@@ -1,0 +1,182 @@
+//! Micro-benchmarks of the simulator's hot paths: the event calendar,
+//! the AQM disciplines, the SACK scoreboard, the PERT controller, and the
+//! DDE integrator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use netsim::event::{EventKind, EventQueue};
+use netsim::ids::{AgentId, FlowId, NodeId};
+use netsim::packet::{Ecn, Packet, Payload};
+use netsim::queue::{DropTail, PiParams, PiQueue, QueueDiscipline, RedParams, RedQueue};
+use netsim::time::{SimDuration, SimTime};
+use pert_core::pert::{PertController, PertParams};
+use pert_tcp::Scoreboard;
+
+fn pkt() -> Packet {
+    Packet {
+        flow: FlowId(0),
+        dst_node: NodeId(0),
+        dst_agent: AgentId(0),
+        size_bytes: 1000,
+        ecn: Ecn::Capable,
+        sent_at: SimTime::ZERO,
+        payload: Payload::Data {
+            seq: 0,
+            retransmit: false,
+        },
+    }
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Pseudorandom but deterministic times.
+                let t = (i.wrapping_mul(2654435761)) % 1_000_000;
+                q.schedule(SimTime::from_nanos(t), EventKind::Control { code: i });
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queues");
+    g.bench_function("droptail/enq_deq", |b| {
+        let mut q = DropTail::new(64);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            let now = SimTime::from_nanos(t);
+            let _ = q.enqueue(pkt(), now);
+            black_box(q.dequeue(now))
+        })
+    });
+    g.bench_function("red/enq_deq", |b| {
+        let params = RedParams::recommended(64, 10_000.0, true, 1);
+        let mut q = RedQueue::new(params);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            let now = SimTime::from_nanos(t);
+            let _ = q.enqueue(pkt(), now);
+            black_box(q.dequeue(now))
+        })
+    });
+    g.bench_function("pi/enq_deq_tick", |b| {
+        let mut q = PiQueue::new(PiParams::hollot_example(64, 20.0, true, 1));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            let now = SimTime::from_nanos(t);
+            let _ = q.enqueue(pkt(), now);
+            q.on_tick(now);
+            black_box(q.dequeue(now))
+        })
+    });
+    g.finish();
+}
+
+fn bench_scoreboard(c: &mut Criterion) {
+    c.bench_function("scoreboard/window_cycle_1k", |b| {
+        b.iter(|| {
+            let mut sb = Scoreboard::new();
+            for s in 0..1000u64 {
+                sb.on_send_new(s);
+            }
+            // Lose every 50th segment, SACK the rest, recover.
+            for s in 0..1000u64 {
+                if s % 50 != 0 {
+                    sb.sack(netsim::SackBlock { start: s, end: s + 1 });
+                }
+            }
+            sb.declare_losses();
+            while let Some(seq) = sb.first_lost() {
+                sb.on_retransmit(seq);
+            }
+            black_box(sb.ack_to(1000))
+        })
+    });
+}
+
+fn bench_pert_controller(c: &mut Criterion) {
+    c.bench_function("pert/on_ack", |b| {
+        b.iter_batched(
+            || PertController::new(PertParams::default(), 3),
+            |mut ctl| {
+                let mut n = 0u32;
+                for i in 0..1000 {
+                    let now = i as f64 * 0.001;
+                    let rtt = 0.060 + 0.010 * ((i % 100) as f64 / 100.0);
+                    if ctl.on_ack(now, rtt).is_some() {
+                        n += 1;
+                    }
+                }
+                black_box(n)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_dde(c: &mut Criterion) {
+    use fluid::dde::{integrate, Method};
+    use fluid::models::PertRedFluid;
+    c.bench_function("dde/pert_red_10s", |b| {
+        let model = PertRedFluid::paper_section_5_3(0.1);
+        b.iter(|| {
+            black_box(integrate(
+                &model,
+                0.0,
+                10.0,
+                0.002,
+                &[1.0, 1.0, 1.0],
+                &|_, _| 1.0,
+                Method::Rk4,
+            ))
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    use pert_tcp::{connect, ConnectionSpec, START_TOKEN};
+    c.bench_function("sim/pert_dumbbell_5s", |b| {
+        b.iter(|| {
+            let mut sim = netsim::Simulator::new(1);
+            let a = sim.add_node();
+            let z = sim.add_node();
+            sim.add_duplex_link(a, z, 10_000_000, SimDuration::from_millis(20), |_| {
+                Box::new(DropTail::new(50))
+            });
+            sim.compute_routes();
+            for i in 0..4u64 {
+                let conn = connect(&mut sim, ConnectionSpec::pert(FlowId(i as usize), a, z, i));
+                sim.schedule_agent_timer(SimTime::ZERO, conn.sender, START_TOKEN);
+            }
+            sim.run_until(SimTime::from_secs_f64(5.0));
+            black_box(sim.events_processed())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_event_queue, bench_queues, bench_scoreboard,
+              bench_pert_controller, bench_dde, bench_end_to_end
+}
+criterion_main!(benches);

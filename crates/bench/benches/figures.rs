@@ -1,0 +1,98 @@
+//! One Criterion bench per table/figure of the paper: each runs the
+//! experiment's `Quick`-scale harness end to end, so `cargo bench`
+//! both times and *executes* every reproduction path. The printed
+//! medians document how long each figure's kernel takes; the real
+//! numbers are produced by `cargo run --release -p experiments`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use experiments::common::Scale;
+use experiments::*;
+
+fn bench_fig2(c: &mut Criterion) {
+    // Figures 2–4 share the §2.2 traffic cases; bench one case run plus
+    // each figure's analysis.
+    let trace = cases::run_case("bench", 10, 10, Scale::Quick, 1);
+    c.bench_function("fig2/one_case", |b| {
+        b.iter(|| black_box(fig2::analyze_traces(std::slice::from_ref(&trace))))
+    });
+    c.bench_function("fig3/battery", |b| {
+        b.iter(|| black_box(fig3::analyze_traces(std::slice::from_ref(&trace))))
+    });
+    c.bench_function("fig4/fp_histogram", |b| {
+        b.iter(|| black_box(fig4::analyze_traces(std::slice::from_ref(&trace))))
+    });
+    c.bench_function("fig234/case_generation", |b| {
+        b.iter(|| black_box(cases::run_case("bench", 6, 6, Scale::Quick, 2)))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5/curve", |b| b.iter(|| black_box(fig5::run())));
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    c.bench_function("fig6/one_point", |b| {
+        let cfg = fig6::config_for(5.0, Scale::Quick);
+        b.iter(|| black_box(sweep::run_one(&cfg, workload::Scheme::Pert, Scale::Quick)))
+    });
+    c.bench_function("fig7/one_point", |b| {
+        let cfg = fig7::config_for(0.030, Scale::Quick);
+        b.iter(|| black_box(sweep::run_one(&cfg, workload::Scheme::Pert, Scale::Quick)))
+    });
+    c.bench_function("fig8/one_point", |b| {
+        let cfg = fig8::config_for(8, Scale::Quick);
+        b.iter(|| black_box(sweep::run_one(&cfg, workload::Scheme::Pert, Scale::Quick)))
+    });
+    c.bench_function("fig9/one_point", |b| {
+        let cfg = fig9::config_for(10, Scale::Quick);
+        b.iter(|| black_box(sweep::run_one(&cfg, workload::Scheme::Pert, Scale::Quick)))
+    });
+    c.bench_function("table1/pert_row", |b| {
+        let cfg = table1::config(Scale::Quick);
+        b.iter(|| black_box(sweep::run_one(&cfg, workload::Scheme::Pert, Scale::Quick)))
+    });
+    c.bench_function("fig14/pert_pi_point", |b| {
+        let cfg = fig7::config_for(0.030, Scale::Quick);
+        b.iter(|| black_box(sweep::run_one(&cfg, workload::Scheme::PertPi, Scale::Quick)))
+    });
+}
+
+fn bench_topologies(c: &mut Criterion) {
+    c.bench_function("fig11/chain_pert", |b| {
+        b.iter(|| black_box(fig11::run_scheme(workload::Scheme::Pert, Scale::Quick)))
+    });
+    c.bench_function("fig12/dynamic_pert", |b| {
+        b.iter(|| black_box(fig12::run(Scale::Quick)))
+    });
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    c.bench_function("fig13a/delta_curve", |b| b.iter(|| black_box(fig13::run_13a())));
+    c.bench_function("fig13bcd/trajectory_100ms", |b| {
+        b.iter(|| black_box(fig13::run_trajectory(0.100, 60.0)))
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    c.bench_function("ablations/decrease_sweep", |b| {
+        b.iter(|| black_box(ablations::run_decrease(Scale::Quick)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig2, bench_fig5, bench_sweeps, bench_topologies,
+              bench_fluid, bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! # pert-bench — Criterion benchmarks
+//!
+//! This crate carries no library code; its `benches/` directory holds:
+//!
+//! * `engine` — micro-benchmarks of the simulator's hot paths (event
+//!   calendar, AQM disciplines, SACK scoreboard, PERT controller, DDE
+//!   integrator, a small end-to-end run);
+//! * `figures` — one bench per table/figure of the paper, each executing
+//!   that experiment's `Quick`-scale harness end to end.
+//!
+//! Run with `cargo bench --workspace`.

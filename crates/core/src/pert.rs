@@ -1,0 +1,348 @@
+//! The PERT controller (paper §3): `srtt_0.99` congestion prediction plus
+//! probabilistic early response, packaged as a transport-independent state
+//! machine a TCP sender drives once per ACK.
+//!
+//! ```
+//! use pert_core::pert::{PertController, PertParams, EarlyResponse};
+//!
+//! let mut pert = PertController::new(PertParams::default(), 42);
+//! // On every ACK: feed the new RTT sample; maybe get a decrease decision.
+//! match pert.on_ack(/*now=*/1.0, /*rtt=*/0.068) {
+//!     Some(EarlyResponse { factor }) => assert!(factor > 0.0 && factor < 1.0),
+//!     None => {}
+//! }
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::estimators::Ewma;
+use crate::response::ResponseCurve;
+
+/// Configuration of the PERT controller.
+#[derive(Clone, Copy, Debug)]
+pub struct PertParams {
+    /// History weight of the smoothed-RTT filter (paper: 0.99).
+    pub srtt_weight: f64,
+    /// The probabilistic response curve on queuing delay.
+    pub curve: ResponseCurve,
+    /// Multiplicative window-decrease factor applied on an early response
+    /// (paper: 0.35, i.e. `cwnd ← 0.65·cwnd`), chosen from the
+    /// buffer-sizing relation `B > f/(1−f)·BDP` so that early responses
+    /// keep the queue below half of a one-BDP buffer.
+    pub decrease_factor: f64,
+}
+
+impl Default for PertParams {
+    fn default() -> Self {
+        PertParams {
+            srtt_weight: 0.99,
+            curve: ResponseCurve::PAPER_DEFAULT,
+            decrease_factor: 0.35,
+        }
+    }
+}
+
+impl PertParams {
+    fn validate(&self) {
+        assert!(
+            (0.0..1.0).contains(&self.srtt_weight),
+            "srtt_weight must be in [0,1)"
+        );
+        assert!(
+            self.decrease_factor > 0.0 && self.decrease_factor < 1.0,
+            "decrease_factor must be in (0,1)"
+        );
+    }
+}
+
+/// A decision to reduce the congestion window early.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EarlyResponse {
+    /// Multiplicative decrease factor: the sender should set
+    /// `cwnd ← (1 − factor)·cwnd`.
+    pub factor: f64,
+}
+
+/// Running statistics a PERT controller keeps about its own activity.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PertStats {
+    /// ACKs processed.
+    pub acks: u64,
+    /// Early responses taken.
+    pub early_responses: u64,
+    /// ACKs whose response coin-flip came up "respond" but were suppressed
+    /// by the once-per-RTT rule.
+    pub suppressed: u64,
+}
+
+/// The per-flow PERT state machine.
+#[derive(Clone, Debug)]
+pub struct PertController {
+    params: PertParams,
+    srtt: Ewma,
+    min_rtt: Option<f64>,
+    /// Time before which early responses are suppressed (one RTT after the
+    /// previous response — the paper limits early response to once per RTT
+    /// because its effect is not visible sooner).
+    hold_until: f64,
+    rng: SmallRng,
+    /// Activity counters.
+    pub stats: PertStats,
+}
+
+impl PertController {
+    /// Create a controller with `params`, drawing response coin flips from
+    /// a deterministic RNG seeded with `seed`.
+    pub fn new(params: PertParams, seed: u64) -> Self {
+        params.validate();
+        PertController {
+            params,
+            srtt: Ewma::new(params.srtt_weight),
+            min_rtt: None,
+            hold_until: 0.0,
+            rng: SmallRng::seed_from_u64(seed ^ 0x70e57_ca75),
+            stats: PertStats::default(),
+        }
+    }
+
+    /// Update the RTT filters without making a response decision. Use this
+    /// for samples that arrive while the sender is already reacting to
+    /// congestion (e.g. during loss recovery), so the `srtt_0.99` signal
+    /// never goes stale.
+    pub fn observe(&mut self, rtt: f64) {
+        assert!(rtt > 0.0 && rtt.is_finite(), "invalid RTT sample {rtt}");
+        self.stats.acks += 1;
+        self.srtt.update(rtt);
+        self.min_rtt = Some(self.min_rtt.map_or(rtt, |m| m.min(rtt)));
+    }
+
+    /// Feed the RTT sample from an arriving ACK at time `now` (seconds).
+    /// Returns a decrease decision, at most once per RTT.
+    pub fn on_ack(&mut self, now: f64, rtt: f64) -> Option<EarlyResponse> {
+        self.observe(rtt);
+        let hold = self.srtt.value().expect("observe() set it");
+        self.decide(now, hold)
+    }
+
+    /// Like [`PertController::on_ack`] but with an explicit hold window:
+    /// after a response, further responses are suppressed for `hold`
+    /// seconds. Used when the congestion signal is a one-way delay (§7) —
+    /// the signal is roughly half an RTT, but responses must still be
+    /// limited to once per *round trip*.
+    pub fn on_ack_with_hold(
+        &mut self,
+        now: f64,
+        delay_signal: f64,
+        hold: f64,
+    ) -> Option<EarlyResponse> {
+        self.observe(delay_signal);
+        self.decide(now, hold)
+    }
+
+    fn decide(&mut self, now: f64, hold: f64) -> Option<EarlyResponse> {
+        let srtt = self.srtt.value().expect("observe() ran");
+        let prop = self.min_rtt.expect("observe() ran");
+
+        let qd = (srtt - prop).max(0.0);
+        let p = self.params.curve.probability(qd);
+        if p <= 0.0 {
+            return None;
+        }
+        if self.rng.gen::<f64>() >= p {
+            return None;
+        }
+        if now < self.hold_until {
+            self.stats.suppressed += 1;
+            return None;
+        }
+        self.hold_until = now + hold;
+        self.stats.early_responses += 1;
+        Some(EarlyResponse {
+            factor: self.params.decrease_factor,
+        })
+    }
+
+    /// Tell the controller a loss-triggered (non-early) response happened,
+    /// so that early responses are also suppressed for one RTT.
+    pub fn on_loss_response(&mut self, now: f64) {
+        let rtt = self.srtt.value().unwrap_or(0.0);
+        self.hold_until = self.hold_until.max(now + rtt);
+    }
+
+    /// Current smoothed RTT (`srtt_0.99`), seconds.
+    pub fn srtt(&self) -> Option<f64> {
+        self.srtt.value()
+    }
+
+    /// Current propagation-delay estimate (minimum RTT), seconds.
+    pub fn min_rtt(&self) -> Option<f64> {
+        self.min_rtt
+    }
+
+    /// Current queuing-delay estimate `srtt − min_rtt`, seconds.
+    pub fn queuing_delay(&self) -> Option<f64> {
+        Some((self.srtt.value()? - self.min_rtt?).max(0.0))
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &PertParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_response_at_base_rtt() {
+        let mut c = PertController::new(PertParams::default(), 1);
+        for i in 0..10_000 {
+            assert_eq!(c.on_ack(i as f64 * 0.01, 0.060), None);
+        }
+        assert_eq!(c.stats.early_responses, 0);
+    }
+
+    #[test]
+    fn responds_under_sustained_queuing_delay() {
+        let mut c = PertController::new(PertParams::default(), 1);
+        // Establish the propagation estimate.
+        c.on_ack(0.0, 0.060);
+        // Sustained 30 ms of queuing delay → srtt converges above T_max,
+        // responses must start.
+        let mut responses = 0;
+        for i in 1..20_000 {
+            if c.on_ack(i as f64 * 0.001, 0.090).is_some() {
+                responses += 1;
+            }
+        }
+        assert!(responses > 0, "no early response under heavy queuing");
+        assert_eq!(c.stats.early_responses, responses);
+    }
+
+    #[test]
+    fn at_most_one_response_per_rtt() {
+        let mut c = PertController::new(PertParams::default(), 1);
+        c.on_ack(0.0, 0.060);
+        // Saturate the curve (qd far beyond 2·T_max → p = 1 eventually).
+        let mut times = Vec::new();
+        let mut now = 0.0;
+        for _ in 0..50_000 {
+            now += 0.0002; // 5000 ACKs per second
+            if c.on_ack(now, 0.200).is_some() {
+                times.push((now, c.srtt().unwrap()));
+            }
+        }
+        assert!(times.len() > 1);
+        for w in times.windows(2) {
+            let (t0, srtt0) = w[0];
+            let (t1, _) = w[1];
+            assert!(
+                t1 - t0 >= srtt0 - 1e-9,
+                "responses {t0} and {t1} closer than one RTT ({srtt0})"
+            );
+        }
+        assert!(c.stats.suppressed > 0);
+    }
+
+    #[test]
+    fn decrease_factor_propagates() {
+        let params = PertParams {
+            decrease_factor: 0.5,
+            ..Default::default()
+        };
+        let mut c = PertController::new(params, 3);
+        c.on_ack(0.0, 0.060);
+        let mut got = None;
+        for i in 1..100_000 {
+            if let Some(r) = c.on_ack(i as f64 * 0.001, 0.300) {
+                got = Some(r);
+                break;
+            }
+        }
+        assert_eq!(got, Some(EarlyResponse { factor: 0.5 }));
+    }
+
+    #[test]
+    fn loss_response_suppresses_early_response() {
+        let mut c = PertController::new(PertParams::default(), 1);
+        c.on_ack(0.0, 0.060);
+        // Drive srtt high.
+        let mut now = 0.0;
+        for _ in 0..5_000 {
+            now += 0.001;
+            c.on_ack(now, 0.300);
+        }
+        c.on_loss_response(now);
+        let hold = now + c.srtt().unwrap();
+        // No early response until one RTT has passed.
+        while now < hold - 0.002 {
+            now += 0.001;
+            assert_eq!(c.on_ack(now, 0.300), None);
+        }
+    }
+
+    #[test]
+    fn queuing_delay_estimate() {
+        let mut c = PertController::new(PertParams::default(), 1);
+        assert_eq!(c.queuing_delay(), None);
+        c.on_ack(0.0, 0.060);
+        assert!(c.queuing_delay().unwrap() < 1e-12);
+        for i in 1..50_000 {
+            c.on_ack(i as f64 * 0.001, 0.080);
+        }
+        let qd = c.queuing_delay().unwrap();
+        assert!((qd - 0.020).abs() < 0.001, "qd = {qd}");
+    }
+
+    #[test]
+    fn response_rate_tracks_curve_probability() {
+        // With qd pinned mid-ramp and the once-per-RTT rule relaxed by
+        // spacing ACKs a full RTT apart, the empirical response rate should
+        // approximate the curve's probability.
+        let params = PertParams::default();
+        let mut c = PertController::new(params, 7);
+        c.on_ack(0.0, 0.060);
+        // Converge srtt to 60 ms + 7.5 ms queuing delay → p = 0.025.
+        let mut now = 0.0;
+        for _ in 0..200_000 {
+            now += 0.001;
+            c.on_ack(now, 0.0675);
+        }
+        let expect = params.curve.probability(c.queuing_delay().unwrap());
+        let mut hits = 0;
+        let trials = 20_000;
+        for _ in 0..trials {
+            now += 1.0; // far beyond the hold window
+            if c.on_ack(now, 0.0675).is_some() {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!(
+            (rate - expect).abs() < 0.01,
+            "rate {rate} vs curve {expect}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = || {
+            let mut c = PertController::new(PertParams::default(), 99);
+            let mut out = Vec::new();
+            for i in 0..5_000 {
+                out.push(c.on_ack(i as f64 * 0.001, 0.100).is_some());
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RTT")]
+    fn rejects_nonpositive_rtt() {
+        let mut c = PertController::new(PertParams::default(), 1);
+        c.on_ack(0.0, 0.0);
+    }
+}

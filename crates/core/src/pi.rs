@@ -1,0 +1,257 @@
+//! PERT/PI: emulating the PI AQM controller at the end host (paper §6).
+//!
+//! Instead of the gentle-RED response curve, the response probability is
+//! produced by a discretized proportional-integral controller acting on the
+//! queuing-delay estimate:
+//!
+//! ```text
+//! p(k) = p(k−1) + γ·(T_q(k) − T_q*) − β·(T_q(k−1) − T_q*)
+//! γ = K/m + K·δ/2,   β = K/m − K·δ/2
+//! ```
+//!
+//! obtained from `C_PI(s) = K (1 + s/m) / s` by the bilinear transform with
+//! sampling interval `δ` (paper eq. 16–19; note eq. 19 in the paper swaps
+//! the `β`/`γ` symbols relative to its own definitions — we implement the
+//! standard stable form with the larger coefficient on the current error).
+//!
+//! Theorem 2 gives the design rule for `m` and `K`; because PERT senses
+//! queuing *delay* rather than queue *length*, the plant gain carries `C²`
+//! rather than RED's `C³` (§6, discussion after Theorem 2).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the PERT/PI controller.
+#[derive(Clone, Copy, Debug)]
+pub struct PertPiParams {
+    /// Coefficient on the current delay error (γ).
+    pub gamma: f64,
+    /// Coefficient on the previous delay error (β).
+    pub beta: f64,
+    /// Queuing-delay setpoint `T_q*` in seconds (paper §6.1 uses 3 ms).
+    pub target_delay: f64,
+    /// Smoothed-RTT history weight (the same `srtt_0.99` signal is used
+    /// for delay measurement, §6.1).
+    pub srtt_weight: f64,
+    /// Multiplicative window-decrease factor on early response.
+    pub decrease_factor: f64,
+}
+
+impl PertPiParams {
+    /// Design rule of Theorem 2: given the link capacity `c_pps`
+    /// (packets/second), a lower bound `n_min` on the number of flows, an
+    /// upper bound `r_max` (seconds) on RTT, a representative stationary
+    /// RTT `r_star`, and sampling interval `delta` (seconds — roughly the
+    /// inter-ACK time `N/C`):
+    ///
+    /// ```text
+    /// m = 2·n_min / (r_max² · c_pps)
+    /// K = m · sqrt((r_star·m)² + 1) / (r_max³·c_pps² / (2·n_min)²)
+    /// ```
+    pub fn design(
+        c_pps: f64,
+        n_min: f64,
+        r_max: f64,
+        r_star: f64,
+        delta: f64,
+        target_delay: f64,
+    ) -> Self {
+        assert!(c_pps > 0.0 && n_min > 0.0 && r_max > 0.0 && delta > 0.0);
+        let m = 2.0 * n_min / (r_max * r_max * c_pps);
+        let plant = r_max.powi(3) * c_pps.powi(2) / (2.0 * n_min).powi(2);
+        let k = m * ((r_star * m).powi(2) + 1.0).sqrt() / plant;
+        PertPiParams {
+            gamma: k / m + k * delta / 2.0,
+            beta: k / m - k * delta / 2.0,
+            target_delay,
+            srtt_weight: 0.99,
+            decrease_factor: 0.35,
+        }
+    }
+
+    /// §6.1's pragmatic parameterization: take a router PI's queue-length
+    /// coefficients `(a, b)` (probability per packet of queue error) and
+    /// multiply by the link capacity in packets/second to convert them to
+    /// per-second-of-delay coefficients.
+    pub fn from_router_pi(a: f64, b: f64, c_pps: f64, target_delay: f64) -> Self {
+        assert!(a > b && b > 0.0, "need a > b > 0");
+        assert!(c_pps > 0.0);
+        PertPiParams {
+            gamma: a * c_pps,
+            beta: b * c_pps,
+            target_delay,
+            srtt_weight: 0.99,
+            decrease_factor: 0.35,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.gamma > self.beta && self.beta > 0.0,
+            "stability requires gamma > beta > 0"
+        );
+        assert!(self.target_delay >= 0.0);
+        assert!((0.0..1.0).contains(&self.srtt_weight));
+        assert!(self.decrease_factor > 0.0 && self.decrease_factor < 1.0);
+    }
+}
+
+/// The per-flow PERT/PI state machine. Drive with [`PertPiController::on_ack`].
+#[derive(Clone, Debug)]
+pub struct PertPiController {
+    params: PertPiParams,
+    srtt: Option<f64>,
+    min_rtt: Option<f64>,
+    /// Current response probability (the PI state).
+    p: f64,
+    /// Previous delay error.
+    prev_err: f64,
+    hold_until: f64,
+    rng: SmallRng,
+    /// Early responses taken.
+    pub early_responses: u64,
+}
+
+impl PertPiController {
+    /// Create with `params`; coin flips derive from `seed`.
+    pub fn new(params: PertPiParams, seed: u64) -> Self {
+        params.validate();
+        PertPiController {
+            params,
+            srtt: None,
+            min_rtt: None,
+            p: 0.0,
+            prev_err: 0.0,
+            hold_until: 0.0,
+            rng: SmallRng::seed_from_u64(seed ^ 0x9121_77e5),
+            early_responses: 0,
+        }
+    }
+
+    /// Update the RTT filters and PI state without making a response
+    /// decision (used for samples arriving during loss recovery).
+    pub fn observe(&mut self, rtt: f64) {
+        assert!(rtt > 0.0 && rtt.is_finite(), "invalid RTT sample {rtt}");
+        let w = self.params.srtt_weight;
+        let srtt = match self.srtt {
+            None => rtt,
+            Some(s) => w * s + (1.0 - w) * rtt,
+        };
+        self.srtt = Some(srtt);
+        self.min_rtt = Some(self.min_rtt.map_or(rtt, |m| m.min(rtt)));
+        let qd = (srtt - self.min_rtt.expect("set")).max(0.0);
+
+        // PI update on the delay error.
+        let err = qd - self.params.target_delay;
+        self.p = (self.p + self.params.gamma * err - self.params.beta * self.prev_err)
+            .clamp(0.0, 1.0);
+        self.prev_err = err;
+    }
+
+    /// Feed an RTT sample at `now` seconds; returns the decrease factor if
+    /// the sender should reduce its window (at most once per RTT).
+    pub fn on_ack(&mut self, now: f64, rtt: f64) -> Option<f64> {
+        self.observe(rtt);
+        if self.p <= 0.0 || self.rng.gen::<f64>() >= self.p {
+            return None;
+        }
+        if now < self.hold_until {
+            return None;
+        }
+        self.hold_until = now + self.srtt.unwrap_or(rtt);
+        self.early_responses += 1;
+        Some(self.params.decrease_factor)
+    }
+
+    /// Current response probability (PI state).
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Current queuing-delay estimate, seconds.
+    pub fn queuing_delay(&self) -> Option<f64> {
+        Some((self.srtt? - self.min_rtt?).max(0.0))
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &PertPiParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> PertPiParams {
+        // Router-PI style coefficients scaled for a 12500 pps link.
+        PertPiParams::from_router_pi(1.822e-5, 1.816e-5, 12_500.0, 0.003)
+    }
+
+    #[test]
+    fn probability_integrates_up_under_excess_delay() {
+        let mut c = PertPiController::new(params(), 1);
+        c.on_ack(0.0, 0.060);
+        for i in 1..5_000 {
+            c.on_ack(i as f64 * 0.001, 0.080); // 20 ms queuing delay ≫ 3 ms
+        }
+        assert!(c.probability() > 0.0, "p = {}", c.probability());
+    }
+
+    #[test]
+    fn probability_unwinds_below_target() {
+        let mut c = PertPiController::new(params(), 1);
+        c.on_ack(0.0, 0.060);
+        for i in 1..5_000 {
+            c.on_ack(i as f64 * 0.001, 0.090);
+        }
+        let high = c.probability();
+        // srtt is sticky (0.99); give it time at base RTT to fall below
+        // target and the integrator to unwind.
+        for i in 5_000..40_000 {
+            c.on_ack(i as f64 * 0.001, 0.060);
+        }
+        assert!(c.probability() < high);
+    }
+
+    #[test]
+    fn probability_stays_clamped() {
+        let mut c = PertPiController::new(params(), 1);
+        for i in 0..100_000 {
+            c.on_ack(i as f64 * 0.0001, if i == 0 { 0.010 } else { 1.0 });
+            let p = c.probability();
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn once_per_rtt_limit_holds() {
+        let mut c = PertPiController::new(params(), 5);
+        c.on_ack(0.0, 0.050);
+        let mut last: Option<f64> = None;
+        let mut now = 0.0;
+        for _ in 0..200_000 {
+            now += 0.0001;
+            if c.on_ack(now, 0.500).is_some() {
+                if let Some(prev) = last {
+                    assert!(now - prev >= 0.05, "two responses within an RTT");
+                }
+                last = Some(now);
+            }
+        }
+        assert!(c.early_responses > 0);
+    }
+
+    #[test]
+    fn design_rule_gives_stable_coefficients() {
+        // 10 Mbps / 1250-byte packets = 1000 pps, 5 flows, R ≤ 240 ms.
+        let p = PertPiParams::design(1000.0, 5.0, 0.24, 0.2, 0.005, 0.003);
+        assert!(p.gamma > p.beta && p.beta > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need a > b > 0")]
+    fn from_router_rejects_bad_coeffs() {
+        let _ = PertPiParams::from_router_pi(1.0e-5, 2.0e-5, 1000.0, 0.003);
+    }
+}

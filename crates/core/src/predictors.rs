@@ -1,0 +1,707 @@
+//! End-host congestion predictors (paper §2.3–§2.4, Figure 3).
+//!
+//! Each predictor consumes the per-ACK stream an end host can observe —
+//! time, instantaneous RTT, and the sender's congestion window — and emits
+//! a binary congestion state: `Low` (state A of the paper's Figure 1) or
+//! `High` (state B). The `stats` crate's transition analyzer then scores
+//! predictions against queue-level losses.
+//!
+//! Implemented predictors and their primary sources:
+//! * [`InstRtt`] — instantaneous RTT vs. a fixed threshold (paper §2.4),
+//! * [`MovingAvgRtt`] — buffer-sized moving average vs. threshold (§2.4),
+//! * [`EwmaRtt`] — EWMA (weight 7/8 or 0.99 = `srtt_0.99`) vs. threshold,
+//! * [`VegasPredictor`] — Brakmo & Peterson's expected-vs-actual test,
+//! * [`Card`] — Jain's normalized delay gradient (CARD),
+//! * [`TriS`] — Wang & Crowcroft's normalized throughput gradient,
+//! * [`Dual`] — Wang & Crowcroft's RTT-vs-(min+max)/2 test,
+//! * [`Cim`] — Martin, Nilsson & Rhee's short-vs-long moving-average test,
+//! * [`SyncTcpTrend`] — Weigle, Jeffay & Smith's one-way-delay trend test
+//!   (Sync-TCP, §2.1 of the paper).
+
+use crate::estimators::{Ewma, MinMax, MovingAverage};
+
+/// Binary congestion state reported by a predictor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CongestionState {
+    /// Low delay / low congestion (state A in Fig. 1).
+    Low,
+    /// High delay / congestion building (state B in Fig. 1).
+    High,
+}
+
+/// One per-ACK observation available at the sender.
+#[derive(Clone, Copy, Debug)]
+pub struct AckSample {
+    /// Time the ACK arrived, in seconds.
+    pub at: f64,
+    /// RTT measured from this ACK, in seconds.
+    pub rtt: f64,
+    /// Forward one-way delay echoed by the receiver, in seconds (used by
+    /// the Sync-TCP trend predictor; equals `rtt/2` on symmetric paths).
+    pub owd: f64,
+    /// Sender congestion window at that moment, in segments.
+    pub cwnd: f64,
+}
+
+/// A congestion predictor driven by per-ACK samples.
+pub trait Predictor {
+    /// Fold in one observation and report the current state.
+    fn on_sample(&mut self, s: &AckSample) -> CongestionState;
+
+    /// Short display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Forget all history (e.g. between trace replays).
+    fn reset(&mut self);
+}
+
+/// Instantaneous RTT against a fixed threshold.
+///
+/// The most aggressive signal considered in §2.4: high prediction
+/// efficiency but noisy (many false positives).
+#[derive(Clone, Debug)]
+pub struct InstRtt {
+    /// Threshold in seconds.
+    pub threshold: f64,
+}
+
+impl InstRtt {
+    /// Create with an absolute RTT threshold (seconds).
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold > 0.0);
+        InstRtt { threshold }
+    }
+}
+
+impl Predictor for InstRtt {
+    fn on_sample(&mut self, s: &AckSample) -> CongestionState {
+        if s.rtt > self.threshold {
+            CongestionState::High
+        } else {
+            CongestionState::Low
+        }
+    }
+    fn name(&self) -> &'static str {
+        "inst-rtt"
+    }
+    fn reset(&mut self) {}
+}
+
+/// Moving average of the last `window` RTT samples against a threshold
+/// (§2.4 sizes the window to the bottleneck buffer: 750).
+#[derive(Clone, Debug)]
+pub struct MovingAvgRtt {
+    ma: MovingAverage,
+    threshold: f64,
+    window: usize,
+}
+
+impl MovingAvgRtt {
+    /// Create with the given window (samples) and threshold (seconds).
+    pub fn new(window: usize, threshold: f64) -> Self {
+        assert!(threshold > 0.0);
+        MovingAvgRtt {
+            ma: MovingAverage::new(window),
+            threshold,
+            window,
+        }
+    }
+}
+
+impl Predictor for MovingAvgRtt {
+    fn on_sample(&mut self, s: &AckSample) -> CongestionState {
+        if self.ma.update(s.rtt) > self.threshold {
+            CongestionState::High
+        } else {
+            CongestionState::Low
+        }
+    }
+    fn name(&self) -> &'static str {
+        "mavg-rtt"
+    }
+    fn reset(&mut self) {
+        self.ma = MovingAverage::new(self.window);
+    }
+}
+
+/// EWMA-smoothed RTT against a threshold. With `alpha = 0.99` this is the
+/// paper's chosen signal `srtt_0.99`.
+#[derive(Clone, Debug)]
+pub struct EwmaRtt {
+    ewma: Ewma,
+    threshold: f64,
+}
+
+impl EwmaRtt {
+    /// Create with history weight `alpha` and threshold (seconds).
+    pub fn new(alpha: f64, threshold: f64) -> Self {
+        assert!(threshold > 0.0);
+        EwmaRtt {
+            ewma: Ewma::new(alpha),
+            threshold,
+        }
+    }
+
+    /// The paper's `srtt_0.99` predictor.
+    pub fn srtt_099(threshold: f64) -> Self {
+        EwmaRtt::new(0.99, threshold)
+    }
+}
+
+impl Predictor for EwmaRtt {
+    fn on_sample(&mut self, s: &AckSample) -> CongestionState {
+        if self.ewma.update(s.rtt) > self.threshold {
+            CongestionState::High
+        } else {
+            CongestionState::Low
+        }
+    }
+    fn name(&self) -> &'static str {
+        "ewma-rtt"
+    }
+    fn reset(&mut self) {
+        self.ewma.reset();
+    }
+}
+
+/// Vegas congestion detection (Brakmo & Peterson 1994): once per RTT,
+/// compare expected throughput `cwnd/base_rtt` with actual `cwnd/rtt`;
+/// the backlog estimate is `diff = cwnd · (rtt − base)/rtt` segments.
+/// State is `High` when `diff > beta` (Vegas' upper threshold, default 3).
+#[derive(Clone, Debug)]
+pub struct VegasPredictor {
+    /// Upper backlog threshold in segments (Vegas' β).
+    pub beta: f64,
+    base_rtt: Option<f64>,
+    next_eval: f64,
+    state: CongestionState,
+}
+
+impl VegasPredictor {
+    /// Create with Vegas' default β = 3 segments.
+    pub fn new() -> Self {
+        Self::with_beta(3.0)
+    }
+
+    /// Create with a custom β.
+    pub fn with_beta(beta: f64) -> Self {
+        assert!(beta > 0.0);
+        VegasPredictor {
+            beta,
+            base_rtt: None,
+            next_eval: 0.0,
+            state: CongestionState::Low,
+        }
+    }
+}
+
+impl Default for VegasPredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Predictor for VegasPredictor {
+    fn on_sample(&mut self, s: &AckSample) -> CongestionState {
+        let base = match self.base_rtt {
+            None => {
+                self.base_rtt = Some(s.rtt);
+                s.rtt
+            }
+            Some(b) => {
+                let b = b.min(s.rtt);
+                self.base_rtt = Some(b);
+                b
+            }
+        };
+        // Evaluate once per RTT, as Vegas does.
+        if s.at >= self.next_eval {
+            self.next_eval = s.at + s.rtt;
+            let diff = s.cwnd * (s.rtt - base) / s.rtt.max(1e-9);
+            self.state = if diff > self.beta {
+                CongestionState::High
+            } else {
+                CongestionState::Low
+            };
+        }
+        self.state
+    }
+    fn name(&self) -> &'static str {
+        "vegas"
+    }
+    fn reset(&mut self) {
+        self.base_rtt = None;
+        self.next_eval = 0.0;
+        self.state = CongestionState::Low;
+    }
+}
+
+/// CARD (Jain 1989): once per RTT, the normalized delay gradient
+/// `NDG = (rtt_i − rtt_{i−1}) / (rtt_i + rtt_{i−1})`; congestion when
+/// `NDG > 0` (delay increasing past the knee).
+#[derive(Clone, Debug)]
+pub struct Card {
+    prev_rtt: Option<f64>,
+    next_eval: f64,
+    state: CongestionState,
+}
+
+impl Card {
+    /// Create a CARD predictor.
+    pub fn new() -> Self {
+        Card {
+            prev_rtt: None,
+            next_eval: 0.0,
+            state: CongestionState::Low,
+        }
+    }
+}
+
+impl Default for Card {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Predictor for Card {
+    fn on_sample(&mut self, s: &AckSample) -> CongestionState {
+        if s.at >= self.next_eval {
+            self.next_eval = s.at + s.rtt;
+            if let Some(prev) = self.prev_rtt {
+                let ndg = (s.rtt - prev) / (s.rtt + prev).max(1e-12);
+                self.state = if ndg > 0.0 {
+                    CongestionState::High
+                } else {
+                    CongestionState::Low
+                };
+            }
+            self.prev_rtt = Some(s.rtt);
+        }
+        self.state
+    }
+    fn name(&self) -> &'static str {
+        "card"
+    }
+    fn reset(&mut self) {
+        self.prev_rtt = None;
+        self.next_eval = 0.0;
+        self.state = CongestionState::Low;
+    }
+}
+
+/// TRI-S (Wang & Crowcroft 1991): once per RTT, the normalized throughput
+/// gradient `NTG = (T_i − T_{i−1}) / (T_i + T_{i−1})` with `T = cwnd/rtt`;
+/// congestion when throughput has flattened (`NTG ≤ ntg_threshold`) while
+/// the window kept growing.
+#[derive(Clone, Debug)]
+pub struct TriS {
+    /// Flatness threshold on the normalized gradient.
+    pub ntg_threshold: f64,
+    prev: Option<(f64, f64)>, // (throughput, cwnd)
+    next_eval: f64,
+    state: CongestionState,
+}
+
+impl TriS {
+    /// Create with the conventional small flatness threshold (0.05).
+    pub fn new() -> Self {
+        TriS {
+            ntg_threshold: 0.05,
+            prev: None,
+            next_eval: 0.0,
+            state: CongestionState::Low,
+        }
+    }
+}
+
+impl Default for TriS {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Predictor for TriS {
+    fn on_sample(&mut self, s: &AckSample) -> CongestionState {
+        if s.at >= self.next_eval {
+            self.next_eval = s.at + s.rtt;
+            let tput = s.cwnd / s.rtt.max(1e-9);
+            if let Some((pt, pw)) = self.prev {
+                let ntg = (tput - pt) / (tput + pt).max(1e-12);
+                let window_grew = s.cwnd > pw;
+                self.state = if window_grew && ntg <= self.ntg_threshold {
+                    CongestionState::High
+                } else {
+                    CongestionState::Low
+                };
+            }
+            self.prev = Some((tput, s.cwnd));
+        }
+        self.state
+    }
+    fn name(&self) -> &'static str {
+        "tri-s"
+    }
+    fn reset(&mut self) {
+        self.prev = None;
+        self.next_eval = 0.0;
+        self.state = CongestionState::Low;
+    }
+}
+
+/// DUAL (Wang & Crowcroft 1992): congestion when the current RTT exceeds
+/// the midpoint of the observed minimum and maximum RTT (i.e. the queue is
+/// estimated to be more than half full). Evaluated once per RTT as in the
+/// original (every other window adjustment in DUAL proper).
+#[derive(Clone, Debug)]
+pub struct Dual {
+    minmax: MinMax,
+    next_eval: f64,
+    state: CongestionState,
+}
+
+impl Dual {
+    /// Create a DUAL predictor.
+    pub fn new() -> Self {
+        Dual {
+            minmax: MinMax::new(),
+            next_eval: 0.0,
+            state: CongestionState::Low,
+        }
+    }
+}
+
+impl Default for Dual {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Predictor for Dual {
+    fn on_sample(&mut self, s: &AckSample) -> CongestionState {
+        self.minmax.update(s.rtt);
+        if s.at >= self.next_eval {
+            self.next_eval = s.at + s.rtt;
+            let mid = self.minmax.midpoint().expect("updated above");
+            self.state = if s.rtt > mid {
+                CongestionState::High
+            } else {
+                CongestionState::Low
+            };
+        }
+        self.state
+    }
+    fn name(&self) -> &'static str {
+        "dual"
+    }
+    fn reset(&mut self) {
+        self.minmax = MinMax::new();
+        self.next_eval = 0.0;
+        self.state = CongestionState::Low;
+    }
+}
+
+/// CIM (Martin, Nilsson & Rhee 2003): compare a short moving average of
+/// RTTs against a long one; congestion when the short average exceeds the
+/// long by more than `ratio` (i.e. recent delay above historical norm).
+#[derive(Clone, Debug)]
+pub struct Cim {
+    short: MovingAverage,
+    long: MovingAverage,
+    short_n: usize,
+    long_n: usize,
+    /// Required excess of short over long average (multiplicative).
+    pub ratio: f64,
+}
+
+impl Cim {
+    /// CIM with its conventional windows (8 vs. 100 samples) and a 5 %
+    /// excess requirement.
+    pub fn new() -> Self {
+        Self::with_windows(8, 100, 1.05)
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_windows(short_n: usize, long_n: usize, ratio: f64) -> Self {
+        assert!(short_n < long_n, "short window must be shorter");
+        assert!(ratio >= 1.0);
+        Cim {
+            short: MovingAverage::new(short_n),
+            long: MovingAverage::new(long_n),
+            short_n,
+            long_n,
+            ratio,
+        }
+    }
+}
+
+impl Default for Cim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Predictor for Cim {
+    fn on_sample(&mut self, s: &AckSample) -> CongestionState {
+        let sh = self.short.update(s.rtt);
+        let lo = self.long.update(s.rtt);
+        if sh > lo * self.ratio {
+            CongestionState::High
+        } else {
+            CongestionState::Low
+        }
+    }
+    fn name(&self) -> &'static str {
+        "cim"
+    }
+    fn reset(&mut self) {
+        self.short = MovingAverage::new(self.short_n);
+        self.long = MovingAverage::new(self.long_n);
+    }
+}
+
+/// Sync-TCP's congestion detector (Weigle, Jeffay & Smith 2005): monitor
+/// the *trend* of forward one-way delays. The window of the most recent
+/// `GROUPS × GROUP_SIZE` OWD samples is split into groups, each group is
+/// summarized by its median, and congestion is flagged when the medians
+/// increase monotonically — a robust "delays are trending up" test.
+#[derive(Clone, Debug)]
+pub struct SyncTcpTrend {
+    window: std::collections::VecDeque<f64>,
+    state: CongestionState,
+}
+
+impl SyncTcpTrend {
+    /// Number of groups in the trend test.
+    pub const GROUPS: usize = 3;
+    /// Samples per group.
+    pub const GROUP_SIZE: usize = 3;
+
+    /// Create a Sync-TCP trend predictor.
+    pub fn new() -> Self {
+        SyncTcpTrend {
+            window: std::collections::VecDeque::with_capacity(
+                Self::GROUPS * Self::GROUP_SIZE,
+            ),
+            state: CongestionState::Low,
+        }
+    }
+
+    fn median3(a: f64, b: f64, c: f64) -> f64 {
+        a.max(b).min(a.min(b).max(c))
+    }
+}
+
+impl Default for SyncTcpTrend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Predictor for SyncTcpTrend {
+    fn on_sample(&mut self, s: &AckSample) -> CongestionState {
+        let cap = Self::GROUPS * Self::GROUP_SIZE;
+        if self.window.len() == cap {
+            self.window.pop_front();
+        }
+        self.window.push_back(s.owd);
+        if self.window.len() == cap {
+            let v: Vec<f64> = self.window.iter().copied().collect();
+            let m: Vec<f64> = v
+                .chunks(Self::GROUP_SIZE)
+                .map(|g| Self::median3(g[0], g[1], g[2]))
+                .collect();
+            self.state = if m.windows(2).all(|w| w[1] > w[0]) {
+                CongestionState::High
+            } else {
+                CongestionState::Low
+            };
+        }
+        self.state
+    }
+    fn name(&self) -> &'static str {
+        "sync-tcp"
+    }
+    fn reset(&mut self) {
+        self.window.clear();
+        self.state = CongestionState::Low;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at: f64, rtt: f64, cwnd: f64) -> AckSample {
+        AckSample {
+            at,
+            rtt,
+            owd: rtt / 2.0,
+            cwnd,
+        }
+    }
+
+    /// Feed a flat-then-rising RTT trace and return states at the end of
+    /// each phase.
+    fn drive(p: &mut dyn Predictor) -> (CongestionState, CongestionState) {
+        let mut last_flat = CongestionState::Low;
+        let mut t = 0.0;
+        for _ in 0..200 {
+            last_flat = p.on_sample(&sample(t, 0.050, 10.0));
+            t += 0.01;
+        }
+        let mut last_high = last_flat;
+        let mut rtt = 0.050;
+        for i in 0..200 {
+            rtt = 0.050 + 0.0005 * i as f64; // ramps to 150 ms
+            last_high = p.on_sample(&sample(t, rtt, 10.0));
+            t += rtt;
+        }
+        (last_flat, last_high)
+    }
+
+    #[test]
+    fn inst_rtt_thresholds() {
+        let mut p = InstRtt::new(0.065);
+        assert_eq!(p.on_sample(&sample(0.0, 0.060, 1.0)), CongestionState::Low);
+        assert_eq!(p.on_sample(&sample(0.0, 0.070, 1.0)), CongestionState::High);
+    }
+
+    #[test]
+    fn ewma_rtt_lags_instantaneous() {
+        let mut p = EwmaRtt::srtt_099(0.065);
+        // A single spike does not flip the heavily-smoothed signal...
+        p.on_sample(&sample(0.0, 0.060, 1.0));
+        assert_eq!(p.on_sample(&sample(0.0, 0.200, 1.0)), CongestionState::Low);
+        // ...but a sustained rise does.
+        let mut st = CongestionState::Low;
+        for i in 0..600 {
+            st = p.on_sample(&sample(i as f64 * 0.01, 0.100, 1.0));
+        }
+        assert_eq!(st, CongestionState::High);
+    }
+
+    #[test]
+    fn all_predictors_flag_sustained_rise() {
+        let preds: Vec<Box<dyn Predictor>> = vec![
+            Box::new(InstRtt::new(0.065)),
+            Box::new(MovingAvgRtt::new(50, 0.065)),
+            Box::new(EwmaRtt::srtt_099(0.065)),
+            Box::new(VegasPredictor::new()),
+            Box::new(Dual::new()),
+            Box::new(Cim::new()),
+            Box::new(Card::new()),
+            Box::new(SyncTcpTrend::new()),
+        ];
+        for mut p in preds {
+            let (flat, high) = drive(p.as_mut());
+            assert_eq!(flat, CongestionState::Low, "{} false positive", p.name());
+            assert_eq!(high, CongestionState::High, "{} false negative", p.name());
+        }
+    }
+
+    #[test]
+    fn vegas_backlog_formula() {
+        let mut p = VegasPredictor::new();
+        // base RTT 100 ms established first.
+        p.on_sample(&sample(0.0, 0.100, 10.0));
+        // rtt 150 ms with cwnd 10: diff = 10·(0.05/0.15) = 3.33 > 3 → High.
+        let st = p.on_sample(&sample(1.0, 0.150, 10.0));
+        assert_eq!(st, CongestionState::High);
+        let mut p = VegasPredictor::new();
+        p.on_sample(&sample(0.0, 0.100, 10.0));
+        // rtt 140: diff = 10·(0.04/0.14) = 2.86 < 3 → Low.
+        let st = p.on_sample(&sample(1.0, 0.140, 10.0));
+        assert_eq!(st, CongestionState::Low);
+    }
+
+    #[test]
+    fn dual_uses_midpoint() {
+        let mut p = Dual::new();
+        p.on_sample(&sample(0.0, 0.040, 1.0)); // min
+        p.on_sample(&sample(0.1, 0.120, 1.0)); // max; mid = 0.08
+        assert_eq!(p.on_sample(&sample(0.5, 0.070, 1.0)), CongestionState::Low);
+        assert_eq!(p.on_sample(&sample(1.0, 0.090, 1.0)), CongestionState::High);
+    }
+
+    #[test]
+    fn card_detects_gradient_sign() {
+        let mut p = Card::new();
+        p.on_sample(&sample(0.0, 0.050, 1.0));
+        // Rising delay → High.
+        assert_eq!(p.on_sample(&sample(0.1, 0.060, 1.0)), CongestionState::High);
+        // Falling delay → Low.
+        assert_eq!(p.on_sample(&sample(0.3, 0.050, 1.0)), CongestionState::Low);
+    }
+
+    #[test]
+    fn tris_flags_flat_throughput_with_growing_window() {
+        let mut p = TriS::new();
+        // Window grows, throughput grows proportionally → Low (below knee).
+        p.on_sample(&sample(0.0, 0.050, 10.0));
+        assert_eq!(
+            p.on_sample(&sample(0.1, 0.050, 12.0)),
+            CongestionState::Low
+        );
+        // Window grows but RTT grows too — throughput flat → High.
+        assert_eq!(
+            p.on_sample(&sample(0.2, 0.060, 14.0)),
+            CongestionState::High
+        );
+    }
+
+    #[test]
+    fn cim_short_vs_long() {
+        let mut p = Cim::with_windows(2, 10, 1.05);
+        for i in 0..10 {
+            p.on_sample(&sample(i as f64, 0.050, 1.0));
+        }
+        // Two high recent samples push the short MA above the long.
+        p.on_sample(&sample(10.0, 0.100, 1.0));
+        assert_eq!(
+            p.on_sample(&sample(11.0, 0.100, 1.0)),
+            CongestionState::High
+        );
+    }
+
+    #[test]
+    fn sync_tcp_flags_monotone_owd_rise() {
+        let mut p = SyncTcpTrend::new();
+        // Nine rising OWD samples → monotone group medians → High.
+        let mut st = CongestionState::Low;
+        for i in 0..9 {
+            st = p.on_sample(&sample(i as f64, 0.050 + 0.002 * i as f64, 1.0));
+        }
+        assert_eq!(st, CongestionState::High);
+        // Flat OWDs → Low.
+        let mut p = SyncTcpTrend::new();
+        for i in 0..9 {
+            st = p.on_sample(&sample(i as f64, 0.050, 1.0));
+        }
+        assert_eq!(st, CongestionState::Low);
+    }
+
+    #[test]
+    fn sync_tcp_is_robust_to_single_spikes() {
+        let mut p = SyncTcpTrend::new();
+        // One spike inside otherwise flat delays must not flip the trend.
+        let rtts = [0.05, 0.05, 0.05, 0.05, 0.30, 0.05, 0.05, 0.05, 0.05];
+        let mut st = CongestionState::Low;
+        for (i, &r) in rtts.iter().enumerate() {
+            st = p.on_sample(&sample(i as f64, r, 1.0));
+        }
+        assert_eq!(st, CongestionState::Low);
+    }
+
+    #[test]
+    fn reset_restores_initial_behaviour() {
+        let mut p = VegasPredictor::new();
+        p.on_sample(&sample(0.0, 0.050, 10.0));
+        p.on_sample(&sample(1.0, 0.500, 10.0));
+        p.reset();
+        // After reset the first sample re-seeds base_rtt.
+        assert_eq!(
+            p.on_sample(&sample(2.0, 0.500, 10.0)),
+            CongestionState::Low
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! PERT/REM: emulating the REM AQM (Athuraliya, Li, Low & Yin 2001 —
+//! reference \[2\] of the paper) at the end host.
+//!
+//! The paper's closing claim is that PERT "is flexible in the sense that
+//! other AQM schemes can be potentially emulated at the end-host"; this
+//! module demonstrates it with REM, whose router form maintains a *price*
+//! driven by backlog and rate mismatch and marks with probability
+//! `1 − φ^(−price)`:
+//!
+//! ```text
+//! price ← max(0, price + γ·(α·(b − b*) + x − c))
+//! ```
+//!
+//! At the end host the backlog is observed as queuing delay
+//! (`b/C = T_q`) and the rate mismatch as the *change* in queuing delay
+//! (`(x − c)/C = dT_q/dt`), both derived from the same `srtt_0.99`
+//! signal PERT already maintains, giving the per-ACK update
+//!
+//! ```text
+//! price ← max(0, price + γ·(α·(T_q − T_q*) + ΔT_q))
+//! p     = 1 − φ^(−price)
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the PERT/REM controller.
+#[derive(Clone, Copy, Debug)]
+pub struct PertRemParams {
+    /// Price step size γ (per second of delay error per ACK).
+    pub gamma: f64,
+    /// Backlog weight α.
+    pub alpha_w: f64,
+    /// Marking base φ (> 1; REM's recommended 1.001 scales with the
+    /// price units — the default here is calibrated for delay-priced
+    /// updates).
+    pub phi: f64,
+    /// Queuing-delay target `T_q*`, seconds.
+    pub target_delay: f64,
+    /// Smoothed-delay history weight (the `srtt_0.99` filter).
+    pub srtt_weight: f64,
+    /// Multiplicative window-decrease factor on early response.
+    pub decrease_factor: f64,
+}
+
+impl Default for PertRemParams {
+    fn default() -> Self {
+        PertRemParams {
+            gamma: 0.02,
+            alpha_w: 0.1,
+            phi: 1.005,
+            target_delay: 0.005,
+            srtt_weight: 0.99,
+            decrease_factor: 0.35,
+        }
+    }
+}
+
+impl PertRemParams {
+    fn validate(&self) {
+        assert!(self.gamma > 0.0, "gamma must be positive");
+        assert!(self.alpha_w > 0.0, "alpha must be positive");
+        assert!(self.phi > 1.0, "phi must exceed 1");
+        assert!(self.target_delay >= 0.0);
+        assert!((0.0..1.0).contains(&self.srtt_weight));
+        assert!(self.decrease_factor > 0.0 && self.decrease_factor < 1.0);
+    }
+}
+
+/// The per-flow PERT/REM state machine; drive with
+/// [`PertRemController::on_ack`] like its RED- and PI-emulating siblings.
+#[derive(Clone, Debug)]
+pub struct PertRemController {
+    params: PertRemParams,
+    srtt: Option<f64>,
+    min_rtt: Option<f64>,
+    price: f64,
+    prev_qd: f64,
+    hold_until: f64,
+    rng: SmallRng,
+    /// Early responses taken.
+    pub early_responses: u64,
+}
+
+impl PertRemController {
+    /// Create with `params`; coin flips derive from `seed`.
+    pub fn new(params: PertRemParams, seed: u64) -> Self {
+        params.validate();
+        PertRemController {
+            params,
+            srtt: None,
+            min_rtt: None,
+            price: 0.0,
+            prev_qd: 0.0,
+            hold_until: 0.0,
+            rng: SmallRng::seed_from_u64(seed ^ 0x4e4d_7031),
+            early_responses: 0,
+        }
+    }
+
+    /// Update the filters and price without a response decision.
+    pub fn observe(&mut self, rtt: f64) {
+        assert!(rtt > 0.0 && rtt.is_finite(), "invalid RTT sample {rtt}");
+        let w = self.params.srtt_weight;
+        let srtt = match self.srtt {
+            None => rtt,
+            Some(s) => w * s + (1.0 - w) * rtt,
+        };
+        self.srtt = Some(srtt);
+        self.min_rtt = Some(self.min_rtt.map_or(rtt, |m| m.min(rtt)));
+        let qd = (srtt - self.min_rtt.expect("set")).max(0.0);
+        let backlog = qd - self.params.target_delay;
+        let mismatch = qd - self.prev_qd;
+        self.price = (self.price
+            + self.params.gamma * (self.params.alpha_w * backlog + mismatch))
+            .max(0.0);
+        self.prev_qd = qd;
+    }
+
+    /// Feed an RTT sample at `now` seconds; returns the decrease factor if
+    /// the sender should reduce its window (at most once per RTT).
+    pub fn on_ack(&mut self, now: f64, rtt: f64) -> Option<f64> {
+        self.observe(rtt);
+        let p = self.probability();
+        if p <= 0.0 || self.rng.gen::<f64>() >= p {
+            return None;
+        }
+        if now < self.hold_until {
+            return None;
+        }
+        self.hold_until = now + self.srtt.unwrap_or(rtt);
+        self.early_responses += 1;
+        Some(self.params.decrease_factor)
+    }
+
+    /// REM's exponential marking law `1 − φ^(−price)`.
+    pub fn probability(&self) -> f64 {
+        1.0 - self.params.phi.powf(-self.price)
+    }
+
+    /// The current price.
+    pub fn price(&self) -> f64 {
+        self.price
+    }
+
+    /// Current queuing-delay estimate, seconds.
+    pub fn queuing_delay(&self) -> Option<f64> {
+        Some((self.srtt? - self.min_rtt?).max(0.0))
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &PertRemParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn price_rises_under_excess_delay_and_decays_below_target() {
+        let mut c = PertRemController::new(PertRemParams::default(), 1);
+        c.on_ack(0.0, 0.060);
+        for i in 1..5_000 {
+            c.on_ack(i as f64 * 0.001, 0.090); // 30 ms ≫ 5 ms target
+        }
+        let high = c.price();
+        assert!(high > 0.0);
+        assert!(c.probability() > 0.0);
+        // Long spell at base RTT: srtt sinks below target, price unwinds.
+        for i in 5_000..60_000 {
+            c.on_ack(i as f64 * 0.001, 0.060);
+        }
+        assert!(c.price() < high);
+    }
+
+    #[test]
+    fn probability_is_rem_law() {
+        let mut c = PertRemController::new(
+            PertRemParams {
+                phi: 2.0,
+                ..Default::default()
+            },
+            1,
+        );
+        c.price = 1.0;
+        assert!((c.probability() - 0.5).abs() < 1e-12);
+        c.price = 0.0;
+        assert_eq!(c.probability(), 0.0);
+        c.price = 10.0;
+        assert!(c.probability() > 0.999);
+    }
+
+    #[test]
+    fn price_never_negative_probability_in_unit_interval() {
+        let mut c = PertRemController::new(PertRemParams::default(), 3);
+        for i in 0..50_000 {
+            let rtt = if i % 100 < 50 { 0.060 } else { 0.030 };
+            c.on_ack(i as f64 * 0.001, rtt);
+            assert!(c.price() >= 0.0);
+            let p = c.probability();
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn responds_once_per_rtt_at_most() {
+        let mut c = PertRemController::new(PertRemParams::default(), 5);
+        c.on_ack(0.0, 0.050);
+        let mut last: Option<f64> = None;
+        let mut now = 0.0;
+        for _ in 0..100_000 {
+            now += 0.0005;
+            if c.on_ack(now, 0.300).is_some() {
+                if let Some(prev) = last {
+                    assert!(now - prev >= 0.05 - 1e-9);
+                }
+                last = Some(now);
+            }
+        }
+        assert!(c.early_responses > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must exceed 1")]
+    fn rejects_bad_phi() {
+        let _ = PertRemController::new(
+            PertRemParams {
+                phi: 0.9,
+                ..Default::default()
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Ablations over PERT's design choices (§3 and §7 call these out):
+//!
+//! * **decrease factor** — 0.35 was chosen from the buffer relation
+//!   (eq. 1); compare against gentler and TCP-standard (0.5) reductions;
+//! * **EWMA weight** — 0.99 was chosen in §2.4; compare 7/8 and 0.995;
+//! * **response curve** — `p_max` and threshold variations around the
+//!   `(5 ms, 10 ms, 0.05)` defaults.
+
+use netsim::SimDuration;
+use pert_core::pert::PertParams;
+use pert_core::ResponseCurve;
+use workload::{DumbbellConfig, Scheme};
+
+use crate::common::{fmt, print_table, Scale};
+use crate::sweep::{run_one, SchemePoint};
+
+/// One ablation row: a label and the measured panels.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Parameter description.
+    pub label: String,
+    /// Measured metrics.
+    pub point: SchemePoint,
+}
+
+fn base_config(scale: Scale) -> DumbbellConfig {
+    let (bps, flows) = if scale == Scale::Quick {
+        (20_000_000, 6)
+    } else {
+        (150_000_000, 50)
+    };
+    DumbbellConfig {
+        bottleneck_bps: bps,
+        bottleneck_delay: SimDuration::from_millis(10),
+        forward_rtts: vec![0.060; flows],
+        start_window_secs: scale.start_window(),
+        seed: 777,
+        ..DumbbellConfig::new(Scheme::Pert)
+    }
+}
+
+/// Sweep the early-response decrease factor.
+pub fn run_decrease(scale: Scale) -> Vec<AblationRow> {
+    [0.20, 0.35, 0.50]
+        .into_iter()
+        .map(|f| {
+            let params = PertParams {
+                decrease_factor: f,
+                ..Default::default()
+            };
+            AblationRow {
+                label: format!("decrease={f}"),
+                point: run_one(&base_config(scale), Scheme::PertCustom(params), scale),
+            }
+        })
+        .collect()
+}
+
+/// Sweep the smoothing weight of the congestion signal.
+pub fn run_weight(scale: Scale) -> Vec<AblationRow> {
+    [0.875, 0.99, 0.995]
+        .into_iter()
+        .map(|w| {
+            let params = PertParams {
+                srtt_weight: w,
+                ..Default::default()
+            };
+            AblationRow {
+                label: format!("alpha={w}"),
+                point: run_one(&base_config(scale), Scheme::PertCustom(params), scale),
+            }
+        })
+        .collect()
+}
+
+/// Sweep the response curve (p_max and thresholds).
+pub fn run_curve(scale: Scale) -> Vec<AblationRow> {
+    let curves = [
+        ("pmax=0.02", ResponseCurve::new(0.005, 0.010, 0.02)),
+        ("pmax=0.05 (paper)", ResponseCurve::PAPER_DEFAULT),
+        ("pmax=0.20", ResponseCurve::new(0.005, 0.010, 0.20)),
+        ("thresholds x2", ResponseCurve::new(0.010, 0.020, 0.05)),
+    ];
+    curves
+        .into_iter()
+        .map(|(label, curve)| {
+            let params = PertParams {
+                curve,
+                ..Default::default()
+            };
+            AblationRow {
+                label: label.to_string(),
+                point: run_one(&base_config(scale), Scheme::PertCustom(params), scale),
+            }
+        })
+        .collect()
+}
+
+/// Run all three ablations.
+pub fn run(scale: Scale) -> Vec<(String, Vec<AblationRow>)> {
+    vec![
+        ("decrease factor".into(), run_decrease(scale)),
+        ("EWMA weight".into(), run_weight(scale)),
+        ("response curve".into(), run_curve(scale)),
+    ]
+}
+
+/// Print all ablation groups.
+pub fn print(groups: &[(String, Vec<AblationRow>)]) {
+    println!("\nAblations: PERT design choices (150 Mbps, 50 flows, 60 ms)");
+    for (name, rows) in groups {
+        println!("\n  -- {name} --");
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    fmt(r.point.queue_norm),
+                    fmt(r.point.drop_rate),
+                    fmt(r.point.utilization),
+                    fmt(r.point.jain),
+                    format!("{}", r.point.early_reductions),
+                ]
+            })
+            .collect();
+        print_table(
+            &["variant", "Q (norm)", "drop rate", "util %", "Jain", "early"],
+            &table,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_decrease_lowers_queue() {
+        let rows = run_decrease(Scale::Quick);
+        let q: Vec<f64> = rows.iter().map(|r| r.point.queue_norm).collect();
+        // 0.5 decrease should not leave a larger queue than 0.2.
+        assert!(
+            q[2] <= q[0] + 0.05,
+            "queues not ordered with decrease factor: {q:?}"
+        );
+    }
+
+    #[test]
+    fn heavier_pmax_responds_more() {
+        let rows = run_curve(Scale::Quick);
+        let low = rows[0].point.early_reductions;
+        let high = rows[2].point.early_reductions;
+        assert!(
+            high >= low,
+            "pmax=0.20 responded less ({high}) than pmax=0.02 ({low})"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! **Figure 11** — multiple bottlenecks (§4.6, topology of Figure 10):
+//! the six-router chain with per-hop local traffic plus end-to-end flows.
+//! Reports per-hop queue, drop rate, utilization, and the Jain index of
+//! the flows crossing that hop.
+
+use sim_stats::jain_index;
+use workload::{build_chain, link_metrics, run_measured, snapshot_goodput, ChainConfig, Scheme};
+
+use crate::common::{fmt, print_table, Scale};
+use crate::sweep::paper_schemes;
+
+/// Per-hop metrics for one scheme.
+#[derive(Clone, Debug)]
+pub struct HopMetrics {
+    /// Hop index (0 = R1→R2).
+    pub hop: usize,
+    /// Normalized mean queue.
+    pub queue_norm: f64,
+    /// Drop rate.
+    pub drop_rate: f64,
+    /// Utilization percent.
+    pub utilization: f64,
+    /// Jain index of the hop-local flows plus the end-to-end flows.
+    pub jain: f64,
+}
+
+/// One scheme's Figure 11 result.
+#[derive(Clone, Debug)]
+pub struct Fig11Result {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Per-hop rows.
+    pub hops: Vec<HopMetrics>,
+}
+
+/// Chain configuration per scale.
+pub fn config(scheme: Scheme, scale: Scale) -> ChainConfig {
+    let mut cfg = ChainConfig::paper(scheme);
+    if scale == Scale::Quick {
+        cfg.num_routers = 4;
+        cfg.cloud_size = 4;
+        cfg.router_bps = 20_000_000;
+    }
+    cfg.start_window_secs = scale.start_window();
+    cfg
+}
+
+/// Run one scheme through the chain.
+pub fn run_scheme(scheme: Scheme, scale: Scale) -> Fig11Result {
+    let name = scheme.name();
+    let c = build_chain(&config(scheme, scale));
+    let mut sim = c.sim;
+
+    sim.run_until(netsim::SimTime::from_secs_f64(scale.warmup()));
+    // Flows relevant per hop: the hop-local ones plus every end-to-end flow.
+    let mut per_hop_flows = Vec::new();
+    for flows in &c.hop_flows {
+        let mut v = flows.clone();
+        v.extend_from_slice(&c.end_to_end);
+        per_hop_flows.push(v);
+    }
+    let before: Vec<_> = per_hop_flows
+        .iter()
+        .map(|f| snapshot_goodput(&sim, f))
+        .collect();
+    let (start, end) = run_measured(&mut sim, scale.warmup(), scale.end());
+    let after: Vec<_> = per_hop_flows
+        .iter()
+        .map(|f| snapshot_goodput(&sim, f))
+        .collect();
+
+    let hops = c
+        .hop_links
+        .iter()
+        .enumerate()
+        .map(|(i, &(fwd, _rev))| {
+            let m = link_metrics(&sim, fwd, start, end);
+            let rates = after[i].rates_since(&before[i]);
+            HopMetrics {
+                hop: i,
+                queue_norm: m.mean_queue_norm,
+                drop_rate: m.drop_rate,
+                utilization: m.utilization,
+                jain: jain_index(&rates),
+            }
+        })
+        .collect();
+
+    Fig11Result { scheme: name, hops }
+}
+
+/// Run all four schemes.
+pub fn run(scale: Scale) -> Vec<Fig11Result> {
+    paper_schemes()
+        .into_iter()
+        .map(|s| run_scheme(s, scale))
+        .collect()
+}
+
+/// Print per-scheme, per-hop rows.
+pub fn print(results: &[Fig11Result]) {
+    println!("\nFigure 11: multiple bottlenecks (six-router chain, Fig. 10 topology)");
+    println!("(paper: PERT holds low queues and ~zero drops on every hop)\n");
+    let mut rows = Vec::new();
+    for r in results {
+        for h in &r.hops {
+            rows.push(vec![
+                r.scheme.to_string(),
+                format!("R{}-R{}", h.hop + 1, h.hop + 2),
+                fmt(h.queue_norm),
+                fmt(h.drop_rate),
+                fmt(h.utilization),
+                fmt(h.jain),
+            ]);
+        }
+    }
+    print_table(
+        &["scheme", "hop", "Q (norm)", "drop rate", "util %", "Jain"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pert_low_queue_across_all_hops() {
+        let pert = run_scheme(Scheme::Pert, Scale::Quick);
+        let sack = run_scheme(Scheme::SackDroptail, Scale::Quick);
+        let pert_mean: f64 =
+            pert.hops.iter().map(|h| h.queue_norm).sum::<f64>() / pert.hops.len() as f64;
+        let sack_mean: f64 =
+            sack.hops.iter().map(|h| h.queue_norm).sum::<f64>() / sack.hops.len() as f64;
+        assert!(
+            pert_mean < sack_mean,
+            "PERT mean hop queue {pert_mean} !< SACK {sack_mean}"
+        );
+        for h in &pert.hops {
+            assert!(h.drop_rate < 0.02, "hop {} drop rate {}", h.hop, h.drop_rate);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! **Figure 12** — dynamic protocol behaviour (§4.7): cohorts of 25 flows
+//! join at fixed intervals, then leave at the same cadence; the panel
+//! plots each cohort's aggregate throughput over time. PERT should
+//! re-converge quickly after every arrival/departure and share bandwidth
+//! across cohorts.
+
+use netsim::{SimDuration, SimTime};
+use pert_tcp::{TcpSender, STOP_TOKEN};
+use sim_stats::TimeSeries;
+use std::cell::RefCell;
+use std::rc::Rc;
+use workload::{build_dumbbell, DumbbellConfig, Scheme};
+
+use crate::common::{fmt, print_table, Scale};
+
+/// The experiment's shape.
+#[derive(Clone, Debug)]
+pub struct Fig12Config {
+    /// Flows per cohort (paper: 25).
+    pub cohort_size: usize,
+    /// Number of cohorts (paper: 4 — at 0, 100, 200, 300 s).
+    pub cohorts: usize,
+    /// Seconds between arrival (and departure) events (paper: 100).
+    pub phase_secs: f64,
+    /// Bottleneck bandwidth, bits/second.
+    pub bottleneck_bps: u64,
+    /// Scheme under test.
+    pub scheme: Scheme,
+}
+
+impl Fig12Config {
+    /// Paper shape at the given scale (Quick shrinks cohorts and phases).
+    pub fn at_scale(scheme: Scheme, scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => Fig12Config {
+                cohort_size: 4,
+                cohorts: 3,
+                phase_secs: 5.0,
+                bottleneck_bps: 20_000_000,
+                scheme,
+            },
+            Scale::Standard => Fig12Config {
+                cohort_size: 25,
+                cohorts: 4,
+                phase_secs: 25.0,
+                bottleneck_bps: 150_000_000,
+                scheme,
+            },
+            Scale::Full => Fig12Config {
+                cohort_size: 25,
+                cohorts: 4,
+                phase_secs: 100.0,
+                bottleneck_bps: 150_000_000,
+                scheme,
+            },
+        }
+    }
+
+    /// Total run time: cohorts join for `cohorts` phases, then leave one
+    /// cohort per phase.
+    pub fn total_secs(&self) -> f64 {
+        self.phase_secs * (2 * self.cohorts - 1) as f64
+    }
+}
+
+/// The result: one aggregate-throughput series per cohort (segments/s,
+/// sampled once per second).
+#[derive(Clone, Debug)]
+pub struct Fig12Result {
+    /// Configuration used.
+    pub config: Fig12Config,
+    /// Per-cohort `(t, aggregate segments/s)` series.
+    pub cohort_throughput: Vec<TimeSeries>,
+}
+
+/// Run the experiment.
+pub fn run_scheme(scheme: Scheme, scale: Scale) -> Fig12Result {
+    let cfg = Fig12Config::at_scale(scheme, scale);
+    let n_total = cfg.cohort_size * cfg.cohorts;
+    let dcfg = DumbbellConfig {
+        bottleneck_bps: cfg.bottleneck_bps,
+        bottleneck_delay: SimDuration::from_millis(10),
+        forward_rtts: vec![0.060; n_total],
+        start_window_secs: 0.0,
+        auto_start: false, // starts are scheduled per cohort below
+        seed: 120,
+        ..DumbbellConfig::new(cfg.scheme.clone())
+    };
+    let d = build_dumbbell(&dcfg);
+    let mut sim = d.sim;
+
+    // Cohort c: flows [c·size, (c+1)·size); joins at c·phase.
+    // Departures: cohort c leaves at (cohorts + c)·phase (the paper removes
+    // flows in arrival order).
+    for c in 0..cfg.cohorts {
+        let join = SimTime::from_secs_f64(c as f64 * cfg.phase_secs);
+        for conn in &d.forward[c * cfg.cohort_size..(c + 1) * cfg.cohort_size] {
+            sim.schedule_agent_timer(join, conn.sender, pert_tcp::START_TOKEN);
+        }
+        if c < cfg.cohorts - 1 {
+            // All but the last cohort leave.
+            let leave =
+                SimTime::from_secs_f64((cfg.cohorts + c) as f64 * cfg.phase_secs);
+            for conn in &d.forward[c * cfg.cohort_size..(c + 1) * cfg.cohort_size] {
+                sim.schedule_agent_timer(leave, conn.sender, STOP_TOKEN);
+            }
+        }
+    }
+
+    // Sample each cohort's aggregate goodput once per second.
+    let series: Rc<RefCell<Vec<TimeSeries>>> =
+        Rc::new(RefCell::new(vec![TimeSeries::new(); cfg.cohorts]));
+    let series2 = series.clone();
+    let cohort_senders: Vec<Vec<netsim::AgentId>> = (0..cfg.cohorts)
+        .map(|c| {
+            d.forward[c * cfg.cohort_size..(c + 1) * cfg.cohort_size]
+                .iter()
+                .map(|x| x.sender)
+                .collect()
+        })
+        .collect();
+    let prev: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(vec![0; cfg.cohorts]));
+    let prev2 = prev.clone();
+    sim.add_probe(SimDuration::from_secs(1), move |sim, now| {
+        let mut prev = prev2.borrow_mut();
+        let mut ser = series2.borrow_mut();
+        for (c, senders) in cohort_senders.iter().enumerate() {
+            let acked: u64 = senders
+                .iter()
+                .map(|&a| sim.agent::<TcpSender>(a).stats.acked_segments)
+                .sum();
+            let rate = acked.saturating_sub(prev[c]) as f64; // per 1 s
+            prev[c] = acked;
+            ser[c].push(now.as_secs_f64(), rate);
+        }
+    });
+
+    sim.run_until(SimTime::from_secs_f64(cfg.total_secs()));
+    drop(sim);
+    let cohort_throughput = Rc::try_unwrap(series)
+        .expect("probe closure still alive")
+        .into_inner();
+
+    Fig12Result {
+        config: cfg,
+        cohort_throughput,
+    }
+}
+
+/// Run with PERT (the paper's displayed panel).
+pub fn run(scale: Scale) -> Fig12Result {
+    run_scheme(Scheme::Pert, scale)
+}
+
+/// Mean aggregate throughput of cohort `c` during phase `p` (phases are
+/// `phase_secs` long).
+pub fn phase_mean(result: &Fig12Result, cohort: usize, phase: usize) -> Option<f64> {
+    let p = result.config.phase_secs;
+    let from = phase as f64 * p + 0.25 * p; // skip the transient quarter
+    let to = (phase + 1) as f64 * p;
+    result.cohort_throughput[cohort].mean_in(from, to)
+}
+
+/// Print phase-by-phase cohort throughput (the table form of the paper's
+/// time-series panel).
+pub fn print(result: &Fig12Result) {
+    let cfg = &result.config;
+    println!(
+        "\nFigure 12: dynamic behaviour — {} cohorts of {} {} flows, {}s phases",
+        cfg.cohorts,
+        cfg.cohort_size,
+        cfg.scheme.name(),
+        cfg.phase_secs
+    );
+    println!("(cells: mean aggregate goodput in segments/s; '-' = cohort inactive)\n");
+    let phases = 2 * cfg.cohorts - 1;
+    let mut rows = Vec::new();
+    for c in 0..cfg.cohorts {
+        let mut row = vec![format!("cohort{c}")];
+        for ph in 0..phases {
+            let active = ph >= c && (c == cfg.cohorts - 1 || ph < cfg.cohorts + c);
+            if active {
+                row.push(phase_mean(result, c, ph).map_or("-".into(), fmt));
+            } else {
+                row.push("-".into());
+            }
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["cohort".to_string()];
+    for ph in 0..phases {
+        header.push(format!("ph{ph}"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table(&header_refs, &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohorts_share_when_all_active_and_last_takes_over() {
+        let r = run(Scale::Quick);
+        let cfg = &r.config;
+        // In the all-active phase (phase cohorts-1) each cohort gets a
+        // non-trivial share.
+        let all_active = cfg.cohorts - 1;
+        let shares: Vec<f64> = (0..cfg.cohorts)
+            .map(|c| phase_mean(&r, c, all_active).unwrap_or(0.0))
+            .collect();
+        let total: f64 = shares.iter().sum();
+        assert!(total > 0.0);
+        for (c, s) in shares.iter().enumerate() {
+            assert!(
+                *s > total / (cfg.cohorts as f64 * 4.0),
+                "cohort {c} starved in all-active phase: {shares:?}"
+            );
+        }
+        // In the final phase only the last cohort remains and should take
+        // clearly more than its all-active share.
+        let last = cfg.cohorts - 1;
+        let final_phase = 2 * cfg.cohorts - 2;
+        let final_rate = phase_mean(&r, last, final_phase).unwrap_or(0.0);
+        assert!(
+            final_rate > shares[last] * 1.5,
+            "last cohort did not absorb freed bandwidth: {final_rate} vs {}",
+            shares[last]
+        );
+    }
+
+    #[test]
+    fn departed_cohorts_go_quiet() {
+        let r = run(Scale::Quick);
+        let cfg = &r.config;
+        // Cohort 0 leaves at phase `cohorts`; in the final phase its rate
+        // must be ~zero.
+        let final_phase = 2 * cfg.cohorts - 2;
+        let rate = phase_mean(&r, 0, final_phase).unwrap_or(0.0);
+        let active = phase_mean(&r, cfg.cohorts - 1, final_phase).unwrap_or(0.0);
+        assert!(
+            rate < active * 0.05 + 1.0,
+            "departed cohort still sending: {rate} vs active {active}"
+        );
+    }
+}

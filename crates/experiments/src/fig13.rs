@@ -1,0 +1,182 @@
+//! **Figure 13** — the fluid-model validation of Theorem 1 (§5.3):
+//!
+//! * panel (a): the minimum stable sampling interval δ against the lower
+//!   bound N⁻ on the number of flows (eq. 13);
+//! * panels (b)–(d): trajectories of the PERT fluid model (eq. 14) at
+//!   R = 100 ms (stable, monotonic), 160 ms (stable, decaying
+//!   oscillations), and 171 ms (the boundary — sustained oscillations).
+
+use fluid::dde::{integrate, Method};
+use fluid::models::PertRedFluid;
+use fluid::stability;
+
+use crate::common::{fmt, print_table, Scale};
+
+/// One point of panel (a).
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaPoint {
+    /// Lower bound on the number of flows.
+    pub n_min: f64,
+    /// Minimum stable sampling interval, seconds.
+    pub min_delta: f64,
+}
+
+/// Panel (a): δ(N⁻) for the paper's configuration — R⁺ = 200 ms,
+/// C = 1000 pkt/s (10 Mbps at 1250-byte packets), p_max = 0.1,
+/// T_max = 100 ms, T_min = 50 ms, α = 0.99.
+pub fn run_13a() -> Vec<DeltaPoint> {
+    let l = stability::l_pert(0.1, 0.100, 0.050);
+    (1..=50)
+        .map(|n| DeltaPoint {
+            n_min: n as f64,
+            min_delta: stability::min_delta(0.99, l, 1000.0, n as f64, 0.2),
+        })
+        .collect()
+}
+
+/// Qualitative classification of a trajectory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrajectoryClass {
+    /// Converges with no late oscillation.
+    Stable,
+    /// Oscillates but the envelope decays.
+    DecayingOscillation,
+    /// Oscillation persists or grows.
+    Unstable,
+}
+
+/// One trajectory run of panels (b)–(d).
+#[derive(Clone, Debug)]
+pub struct TrajectoryRun {
+    /// RTT, seconds.
+    pub rtt: f64,
+    /// Whether Theorem 1's sufficient condition holds at this RTT.
+    pub theorem1_holds: bool,
+    /// Sampled `(t, W)` points (thinned for display).
+    pub window_series: Vec<(f64, f64)>,
+    /// Peak |W − W*| in the middle and final fifths of the run.
+    pub mid_deviation: f64,
+    /// See `mid_deviation`.
+    pub late_deviation: f64,
+    /// Classification.
+    pub class: TrajectoryClass,
+}
+
+/// Integrate the §5.3 model at RTT `r` for `horizon` seconds.
+pub fn run_trajectory(r: f64, horizon: f64) -> TrajectoryRun {
+    let model = PertRedFluid::paper_section_5_3(r);
+    let tr = integrate(
+        &model,
+        0.0,
+        horizon,
+        0.002,
+        &[1.0, 1.0, 1.0],
+        &|_, _| 1.0,
+        Method::Rk4,
+    );
+    let (w_star, _) = model.equilibrium();
+    let dev = |a: f64, b: f64| {
+        tr.component(0)
+            .iter()
+            .filter(|(t, _)| (a..b).contains(t))
+            .map(|(_, w)| (w - w_star).abs())
+            .fold(0.0, f64::max)
+    };
+    let mid = dev(0.4 * horizon, 0.6 * horizon);
+    let late = dev(0.8 * horizon, horizon);
+    let class = if late < 0.02 * w_star {
+        TrajectoryClass::Stable
+    } else if late < 0.6 * mid {
+        TrajectoryClass::DecayingOscillation
+    } else {
+        TrajectoryClass::Unstable
+    };
+
+    let l = stability::l_pert(0.1, 0.100, 0.050);
+    let k = stability::lpf_k(0.99, 1.0e-4);
+    let holds = stability::theorem1_holds(l, k, model.c, model.n, r);
+
+    // Thin to ~100 display points.
+    let every = (tr.states.len() / 100).max(1);
+    let window_series: Vec<(f64, f64)> = tr
+        .component(0)
+        .into_iter()
+        .step_by(every)
+        .collect();
+
+    TrajectoryRun {
+        rtt: r,
+        theorem1_holds: holds,
+        window_series,
+        mid_deviation: mid,
+        late_deviation: late,
+        class,
+    }
+}
+
+/// Panels (b)–(d): the three RTTs of §5.3.
+pub fn run_13bcd(scale: Scale) -> Vec<TrajectoryRun> {
+    let horizon = if scale == Scale::Quick { 120.0 } else { 300.0 };
+    [0.100, 0.160, 0.171]
+        .into_iter()
+        .map(|r| run_trajectory(r, horizon))
+        .collect()
+}
+
+/// Print panel (a).
+pub fn print_13a(points: &[DeltaPoint]) {
+    println!("\nFigure 13a: minimum sampling interval vs N- (eq. 13)");
+    println!("(paper: monotonically decreasing, ~0.1 s at N- = 40)\n");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .step_by(5)
+        .map(|p| vec![format!("{}", p.n_min), fmt(p.min_delta)])
+        .collect();
+    print_table(&["N-", "delta_min (s)"], &rows);
+}
+
+/// Print panels (b)–(d).
+pub fn print_13bcd(runs: &[TrajectoryRun]) {
+    println!("\nFigure 13b-d: PERT fluid model (eq. 14) trajectories");
+    println!("(paper: stable at 100 ms; decaying oscillation at 160 ms; unstable at 171 ms)\n");
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}", r.rtt * 1e3),
+                format!("{}", r.theorem1_holds),
+                fmt(r.mid_deviation),
+                fmt(r.late_deviation),
+                format!("{:?}", r.class),
+            ]
+        })
+        .collect();
+    print_table(
+        &["R (ms)", "thm1 holds", "|dev| mid", "|dev| late", "class"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_a_monotone_and_anchored() {
+        let pts = run_13a();
+        assert_eq!(pts.len(), 50);
+        assert!(pts.windows(2).all(|w| w[1].min_delta <= w[0].min_delta + 1e-12));
+        let d40 = pts[39].min_delta;
+        assert!((0.08..0.15).contains(&d40), "delta(40) = {d40}");
+    }
+
+    #[test]
+    fn panels_bcd_reproduce_the_paper_classification() {
+        let runs = run_13bcd(Scale::Quick);
+        assert_eq!(runs[0].class, TrajectoryClass::Stable, "{:?}", runs[0]);
+        assert!(runs[0].theorem1_holds);
+        assert_ne!(runs[1].class, TrajectoryClass::Unstable);
+        assert!(runs[1].theorem1_holds);
+        assert_eq!(runs[2].class, TrajectoryClass::Unstable);
+    }
+}

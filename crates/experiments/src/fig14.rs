@@ -1,0 +1,83 @@
+//! **Figure 14** — emulating PI at end hosts (§6.1): PERT/PI against
+//! router-based PI with ECN support, over the Figure 7 RTT sweep
+//! (150 Mbps, 50 flows, target delay 3 ms).
+
+use workload::Scheme;
+
+use crate::common::{fmt, print_table, Scale};
+use crate::fig7::{config_for, rtt_grid};
+use crate::sweep::{compare_schemes, SchemePoint};
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct Fig14Point {
+    /// End-to-end RTT, seconds.
+    pub rtt: f64,
+    /// PERT/PI vs SACK over router PI-ECN.
+    pub schemes: Vec<SchemePoint>,
+}
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Vec<Fig14Point> {
+    let schemes = vec![Scheme::PertPi, Scheme::SackPiEcn];
+    rtt_grid(scale)
+        .into_iter()
+        .map(|rtt| {
+            let mut cfg = config_for(rtt, scale);
+            cfg.seed = 140;
+            Fig14Point {
+                rtt,
+                schemes: compare_schemes(&cfg, &schemes, scale),
+            }
+        })
+        .collect()
+}
+
+/// Print the sweep.
+pub fn print(points: &[Fig14Point]) {
+    println!("\nFigure 14: emulating PI from end hosts (150 Mbps, 50 flows)");
+    println!("(paper: PERT-PI ~ router PI-ECN on queue & utilization, near-zero drops)\n");
+    let mut rows = Vec::new();
+    for p in points {
+        for s in &p.schemes {
+            rows.push(vec![
+                format!("{:.0}", p.rtt * 1e3),
+                s.scheme.to_string(),
+                fmt(s.queue_norm),
+                fmt(s.drop_rate),
+                fmt(s.utilization),
+                fmt(s.jain),
+            ]);
+        }
+    }
+    print_table(
+        &["RTT ms", "scheme", "Q (norm)", "drop rate", "util %", "Jain"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pert_pi_avoids_drops_like_router_pi() {
+        let pts = run(Scale::Quick);
+        for p in &pts {
+            let pert_pi = p.schemes.iter().find(|s| s.scheme == "PERT-PI").unwrap();
+            assert!(
+                pert_pi.drop_rate < 0.01,
+                "PERT-PI drop rate {} at rtt {}",
+                pert_pi.drop_rate,
+                p.rtt
+            );
+            assert!(
+                pert_pi.utilization > 50.0,
+                "PERT-PI util {} at rtt {}",
+                pert_pi.utilization,
+                p.rtt
+            );
+            assert!(pert_pi.early_reductions > 0, "PERT-PI never responded");
+        }
+    }
+}

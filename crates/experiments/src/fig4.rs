@@ -1,0 +1,112 @@
+//! **Figure 4** — the distribution of normalized bottleneck queue length
+//! at the instants the `srtt_0.99` predictor raises a false positive.
+//!
+//! The paper's design insight: false positives concentrate at *small*
+//! queue lengths (mostly below 50 % of the buffer), so a response whose
+//! probability grows with the delay estimate — gentle-RED style — damps
+//! exactly the responses most likely to be wrong.
+
+use pert_core::predictors::{CongestionState, EwmaRtt, Predictor};
+use sim_stats::{analyze, Histogram};
+
+use crate::cases::{run_all_cases, CaseTrace, HIGH_RTT_THRESHOLD};
+use crate::common::{fmt, print_table, Scale};
+
+/// Figure 4's result: one normalized-queue-length histogram per case plus
+/// the pooled distribution.
+#[derive(Clone, Debug)]
+pub struct Fig4Result {
+    /// Per-case `(label, histogram over normalized queue length)`.
+    pub per_case: Vec<(String, Histogram)>,
+    /// All cases pooled.
+    pub pooled: Histogram,
+    /// Fraction of false positives occurring below half the buffer
+    /// (pooled) — the paper's headline observation.
+    pub fraction_below_half: f64,
+}
+
+/// Analyze pre-computed case traces.
+pub fn analyze_traces(traces: &[CaseTrace]) -> Fig4Result {
+    let bins = 10;
+    let mut pooled = Histogram::unit(bins);
+    let mut per_case = Vec::new();
+    for t in traces {
+        let mut pred = EwmaRtt::srtt_099(HIGH_RTT_THRESHOLD);
+        let states: Vec<(f64, bool)> = t
+            .samples
+            .iter()
+            .map(|s| (s.at, pred.on_sample(s) == CongestionState::High))
+            .collect();
+        let counts = analyze(&states, &t.queue_drops, 0.060);
+        let mut h = Histogram::unit(bins);
+        for &fp_time in &counts.false_positive_times {
+            if let Some(q) = t.queue_series.value_at(fp_time) {
+                h.add(q);
+                pooled.add(q);
+            }
+        }
+        per_case.push((t.label.clone(), h));
+    }
+    let fraction_below_half = pooled.fraction_below(0.5);
+    Fig4Result {
+        per_case,
+        pooled,
+        fraction_below_half,
+    }
+}
+
+/// Run the full experiment at `scale`.
+pub fn run(scale: Scale) -> Fig4Result {
+    analyze_traces(&run_all_cases(scale))
+}
+
+/// Print the pooled PDF and the below-half fraction.
+pub fn print(result: &Fig4Result) {
+    println!("\nFigure 4: PDF of normalized queue length at srtt_0.99 false positives");
+    println!(
+        "(paper: false positives cluster at low queue; pooled P(q < 0.5) here = {})\n",
+        fmt(result.fraction_below_half)
+    );
+    let pmf = result.pooled.pmf();
+    let rows: Vec<Vec<String>> = pmf
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            vec![
+                format!("{:.2}", result.pooled.bin_center(i)),
+                fmt(p),
+                "#".repeat((p * 50.0).round() as usize),
+            ]
+        })
+        .collect();
+    print_table(&["q/B", "pdf", ""], &rows);
+    println!("  (false positives pooled: {})", result.pooled.total());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::run_case;
+
+    #[test]
+    fn false_positives_skew_toward_low_queue() {
+        let t = run_case("t", 16, 20, Scale::Quick, 11);
+        let r = analyze_traces(&[t]);
+        if r.pooled.total() >= 5 {
+            // The paper's observation: the bulk sits in the lower half.
+            assert!(
+                r.fraction_below_half > 0.5,
+                "P(q < B/2) = {} with {} FPs",
+                r.fraction_below_half,
+                r.pooled.total()
+            );
+        }
+    }
+
+    #[test]
+    fn histograms_per_case_present() {
+        let t = run_case("t", 10, 10, Scale::Quick, 12);
+        let r = analyze_traces(&[t]);
+        assert_eq!(r.per_case.len(), 1);
+    }
+}

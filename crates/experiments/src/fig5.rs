@@ -1,0 +1,74 @@
+//! **Figure 5** — the PERT probabilistic response curve itself.
+//!
+//! Purely analytic: evaluate the gentle-RED-shaped curve at a grid of
+//! smoothed-queuing-delay values and print the anchor points.
+
+use pert_core::ResponseCurve;
+
+use crate::common::{fmt, print_table};
+
+/// One sampled point of the curve.
+#[derive(Clone, Copy, Debug)]
+pub struct CurvePoint {
+    /// Queuing delay (srtt − P), seconds.
+    pub queuing_delay: f64,
+    /// Response probability.
+    pub probability: f64,
+}
+
+/// Sample `curve` at `n` evenly spaced delays in `[0, 2.5·T_max]`.
+pub fn sample_curve(curve: &ResponseCurve, n: usize) -> Vec<CurvePoint> {
+    assert!(n >= 2);
+    let hi = 2.5 * curve.t_max;
+    (0..n)
+        .map(|i| {
+            let qd = hi * i as f64 / (n - 1) as f64;
+            CurvePoint {
+                queuing_delay: qd,
+                probability: curve.probability(qd),
+            }
+        })
+        .collect()
+}
+
+/// Run with the paper's parameters.
+pub fn run() -> Vec<CurvePoint> {
+    sample_curve(&ResponseCurve::PAPER_DEFAULT, 26)
+}
+
+/// Print the curve.
+pub fn print(points: &[CurvePoint]) {
+    let c = ResponseCurve::PAPER_DEFAULT;
+    println!("\nFigure 5: PERT response curve");
+    println!(
+        "(T_min = {} ms, T_max = {} ms, p_max = {}; ramps to 1 at 2*T_max)\n",
+        c.t_min * 1e3,
+        c.t_max * 1e3,
+        c.p_max
+    );
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.queuing_delay * 1e3),
+                fmt(p.probability),
+                "#".repeat((p.probability * 40.0).round() as usize),
+            ]
+        })
+        .collect();
+    print_table(&["qd (ms)", "p(response)", ""], &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_sampling_covers_all_segments() {
+        let pts = run();
+        assert_eq!(pts.first().unwrap().probability, 0.0);
+        assert_eq!(pts.last().unwrap().probability, 1.0);
+        // Monotone.
+        assert!(pts.windows(2).all(|w| w[1].probability >= w[0].probability));
+    }
+}

@@ -1,0 +1,126 @@
+//! **Figure 6** — impact of bottleneck bandwidth (1 Mbps … 1 Gbps).
+//!
+//! Four schemes over a 60 ms-RTT dumbbell; the flow count grows with
+//! bandwidth so the link stays efficiently utilized (paper §4.1). Panels:
+//! average queue (normalized), drop rate, utilization, Jain index.
+
+use netsim::SimDuration;
+use workload::{DumbbellConfig, Scheme};
+
+use crate::common::{fmt, print_table, Scale};
+use crate::sweep::{compare_schemes, paper_schemes, SchemePoint};
+
+/// One sweep point: a bandwidth and the four schemes' panels.
+#[derive(Clone, Debug)]
+pub struct Fig6Point {
+    /// Bottleneck bandwidth, Mbps.
+    pub bandwidth_mbps: f64,
+    /// Long-term flows used at this bandwidth.
+    pub flows: usize,
+    /// Per-scheme metrics.
+    pub schemes: Vec<SchemePoint>,
+}
+
+/// The bandwidth grid (Mbps) at each scale.
+pub fn bandwidth_grid(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![5.0, 50.0],
+        Scale::Standard => vec![1.0, 10.0, 100.0, 500.0, 1000.0],
+        Scale::Full => vec![1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0],
+    }
+}
+
+/// Flow count for a bandwidth, mirroring the paper's "varied such that the
+/// link is efficiently utilized even at large bandwidth".
+pub fn flows_for_bandwidth(mbps: f64) -> usize {
+    ((mbps / 5.0).round() as usize).clamp(5, 200)
+}
+
+/// The base configuration for one sweep point.
+pub fn config_for(mbps: f64, scale: Scale) -> DumbbellConfig {
+    let flows = flows_for_bandwidth(mbps);
+    DumbbellConfig {
+        bottleneck_bps: (mbps * 1e6) as u64,
+        bottleneck_delay: SimDuration::from_millis(10),
+        forward_rtts: crate::sweep::spread_rtts(flows, 0.060),
+        start_window_secs: scale.start_window(),
+        seed: 60,
+        ..DumbbellConfig::new(Scheme::Pert)
+    }
+}
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Vec<Fig6Point> {
+    bandwidth_grid(scale)
+        .into_iter()
+        .map(|mbps| {
+            let cfg = config_for(mbps, scale);
+            Fig6Point {
+                bandwidth_mbps: mbps,
+                flows: cfg.forward_rtts.len(),
+                schemes: compare_schemes(&cfg, &paper_schemes(), scale),
+            }
+        })
+        .collect()
+}
+
+/// Print the sweep in the paper's four-panel layout (as one table).
+pub fn print(points: &[Fig6Point]) {
+    println!("\nFigure 6: impact of bottleneck bandwidth (RTT 60 ms)");
+    println!("(paper: PERT tracks SACK/RED-ECN on queue & drops; SACK/DropTail queue stays high)\n");
+    let mut rows = Vec::new();
+    for p in points {
+        for s in &p.schemes {
+            rows.push(vec![
+                format!("{}", p.bandwidth_mbps),
+                format!("{}", p.flows),
+                s.scheme.to_string(),
+                fmt(s.queue_norm),
+                fmt(s.drop_rate),
+                fmt(s.utilization),
+                fmt(s.jain),
+            ]);
+        }
+    }
+    print_table(
+        &["Mbps", "flows", "scheme", "Q (norm)", "drop rate", "util %", "Jain"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_scaling_rule() {
+        assert_eq!(flows_for_bandwidth(1.0), 5);
+        assert_eq!(flows_for_bandwidth(100.0), 20);
+        assert_eq!(flows_for_bandwidth(1000.0), 200);
+    }
+
+    #[test]
+    fn grids_are_monotone() {
+        for scale in [Scale::Quick, Scale::Standard, Scale::Full] {
+            let g = bandwidth_grid(scale);
+            assert!(g.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn quick_sweep_preserves_orderings() {
+        let pts = run(Scale::Quick);
+        for p in &pts {
+            let get = |n: &str| p.schemes.iter().find(|s| s.scheme == n).unwrap();
+            let pert = get("PERT");
+            let sack = get("SACK/DropTail");
+            assert!(
+                pert.queue_norm <= sack.queue_norm + 0.05,
+                "{} Mbps: PERT Q {} vs SACK {}",
+                p.bandwidth_mbps,
+                pert.queue_norm,
+                sack.queue_norm
+            );
+        }
+    }
+}

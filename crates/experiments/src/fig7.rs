@@ -1,0 +1,112 @@
+//! **Figure 7** — impact of end-to-end RTT (10 ms … 1 s) at 150 Mbps with
+//! 50 long-term flows (§4.2).
+
+use netsim::SimDuration;
+use workload::{DumbbellConfig, Scheme};
+
+use crate::common::{fmt, print_table, Scale};
+use crate::sweep::{compare_schemes, paper_schemes, SchemePoint};
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct Fig7Point {
+    /// End-to-end RTT, seconds.
+    pub rtt: f64,
+    /// Per-scheme metrics.
+    pub schemes: Vec<SchemePoint>,
+}
+
+/// RTT grid (seconds) per scale.
+pub fn rtt_grid(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![0.030, 0.120],
+        Scale::Standard => vec![0.010, 0.030, 0.060, 0.120, 0.300, 1.0],
+        Scale::Full => vec![0.010, 0.020, 0.040, 0.060, 0.120, 0.250, 0.500, 1.0],
+    }
+}
+
+/// Configuration for one RTT point: 150 Mbps (Quick: 30 Mbps), 50 flows
+/// (Quick: 10). The bottleneck propagation is a quarter of the RTT so the
+/// access links can realize the rest.
+pub fn config_for(rtt: f64, scale: Scale) -> DumbbellConfig {
+    let (bps, flows) = if scale == Scale::Quick {
+        (30_000_000, 10)
+    } else {
+        (150_000_000, 50)
+    };
+    DumbbellConfig {
+        bottleneck_bps: bps,
+        bottleneck_delay: SimDuration::from_secs_f64(rtt / 4.0),
+        forward_rtts: crate::sweep::spread_rtts(flows, rtt),
+        start_window_secs: scale.start_window(),
+        seed: 70,
+        ..DumbbellConfig::new(Scheme::Pert)
+    }
+}
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Vec<Fig7Point> {
+    rtt_grid(scale)
+        .into_iter()
+        .map(|rtt| Fig7Point {
+            rtt,
+            schemes: compare_schemes(&config_for(rtt, scale), &paper_schemes(), scale),
+        })
+        .collect()
+}
+
+/// Print the sweep.
+pub fn print(points: &[Fig7Point]) {
+    println!("\nFigure 7: impact of end-to-end RTT (150 Mbps, 50 flows)");
+    println!("(paper: PERT ~ SACK/RED-ECN queue & drops; fixed thresholds cost a little utilization)\n");
+    let mut rows = Vec::new();
+    for p in points {
+        for s in &p.schemes {
+            rows.push(vec![
+                format!("{:.0}", p.rtt * 1e3),
+                s.scheme.to_string(),
+                fmt(s.queue_norm),
+                fmt(s.drop_rate),
+                fmt(s.utilization),
+                fmt(s.jain),
+            ]);
+        }
+    }
+    print_table(
+        &["RTT ms", "scheme", "Q (norm)", "drop rate", "util %", "Jain"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_scale_bottleneck_delay_with_rtt() {
+        let c = config_for(0.120, Scale::Quick);
+        assert_eq!(c.bottleneck_delay, SimDuration::from_millis(30));
+        // RTTs spread ±5 % around the target (varying access delays, as in
+        // the paper's topology).
+        assert!(c
+            .forward_rtts
+            .iter()
+            .all(|&r| (0.95 * 0.120..=1.05 * 0.120).contains(&r)));
+        let mean: f64 = c.forward_rtts.iter().sum::<f64>() / c.forward_rtts.len() as f64;
+        assert!((mean - 0.120).abs() < 0.002);
+    }
+
+    #[test]
+    fn quick_sweep_runs_and_keeps_fairness() {
+        let pts = run(Scale::Quick);
+        for p in &pts {
+            let pert = p.schemes.iter().find(|s| s.scheme == "PERT").unwrap();
+            assert!(
+                pert.jain > 0.5,
+                "PERT Jain {} at rtt {}",
+                pert.jain,
+                p.rtt
+            );
+        }
+    }
+}

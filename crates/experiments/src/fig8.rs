@@ -1,0 +1,123 @@
+//! **Figure 8** — impact of the number of long-term flows (1 … 1000) at
+//! 500 Mbps, 60 ms RTT (§4.3).
+//!
+//! The paper's key observations: PERT tracks SACK/RED-ECN's low queue and
+//! near-zero drops; Vegas — which tries to hold α…β packets *per flow* in
+//! the queue — sees its queue and drop rate grow with the flow count while
+//! its fairness stays poor.
+
+use netsim::SimDuration;
+use workload::{DumbbellConfig, Scheme};
+
+use crate::common::{fmt, print_table, Scale};
+use crate::sweep::{compare_schemes, paper_schemes, SchemePoint};
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct Fig8Point {
+    /// Number of long-term flows.
+    pub flows: usize,
+    /// Per-scheme metrics.
+    pub schemes: Vec<SchemePoint>,
+}
+
+/// Flow-count grid per scale.
+pub fn flow_grid(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![4, 16],
+        Scale::Standard => vec![1, 10, 50, 100, 500, 1000],
+        Scale::Full => vec![1, 5, 10, 50, 100, 500, 1000],
+    }
+}
+
+/// Configuration for one flow-count point (Quick: 50 Mbps to keep tests
+/// fast).
+pub fn config_for(flows: usize, scale: Scale) -> DumbbellConfig {
+    let bps = if scale == Scale::Quick {
+        50_000_000
+    } else {
+        500_000_000
+    };
+    DumbbellConfig {
+        bottleneck_bps: bps,
+        bottleneck_delay: SimDuration::from_millis(10),
+        forward_rtts: crate::sweep::spread_rtts(flows, 0.060),
+        start_window_secs: scale.start_window(),
+        seed: 80,
+        ..DumbbellConfig::new(Scheme::Pert)
+    }
+}
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Vec<Fig8Point> {
+    flow_grid(scale)
+        .into_iter()
+        .map(|flows| Fig8Point {
+            flows,
+            schemes: compare_schemes(&config_for(flows, scale), &paper_schemes(), scale),
+        })
+        .collect()
+}
+
+/// Print the sweep.
+pub fn print(points: &[Fig8Point]) {
+    println!("\nFigure 8: impact of the number of long-term flows (500 Mbps, 60 ms)");
+    println!("(paper: Vegas queue/drops grow with N; PERT stays low with high fairness)\n");
+    let mut rows = Vec::new();
+    for p in points {
+        for s in &p.schemes {
+            rows.push(vec![
+                format!("{}", p.flows),
+                s.scheme.to_string(),
+                fmt(s.queue_norm),
+                fmt(s.drop_rate),
+                fmt(s.utilization),
+                fmt(s.jain),
+            ]);
+        }
+    }
+    print_table(
+        &["flows", "scheme", "Q (norm)", "drop rate", "util %", "Jain"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vegas_queue_grows_with_flow_count() {
+        let pts = run(Scale::Quick);
+        let vegas_q: Vec<f64> = pts
+            .iter()
+            .map(|p| {
+                p.schemes
+                    .iter()
+                    .find(|s| s.scheme == "Vegas")
+                    .unwrap()
+                    .queue_pkts
+            })
+            .collect();
+        assert!(
+            vegas_q[1] > vegas_q[0],
+            "Vegas queue did not grow: {vegas_q:?}"
+        );
+    }
+
+    #[test]
+    fn pert_fairness_stays_high() {
+        let pts = run(Scale::Quick);
+        for p in &pts {
+            let pert = p.schemes.iter().find(|s| s.scheme == "PERT").unwrap();
+            let vegas = p.schemes.iter().find(|s| s.scheme == "Vegas").unwrap();
+            assert!(
+                pert.jain >= vegas.jain - 0.1,
+                "{} flows: PERT {} vs Vegas {}",
+                p.flows,
+                pert.jain,
+                vegas.jain
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! **Figure 9** — impact of bursty web traffic (10 … 1000 sessions) at
+//! 150 Mbps with 50 long-term flows (§4.4). Jain is computed over the
+//! long-term flows only, as in the paper.
+
+use netsim::SimDuration;
+use workload::{DumbbellConfig, Scheme};
+
+use crate::common::{fmt, print_table, Scale};
+use crate::sweep::{compare_schemes, paper_schemes, SchemePoint};
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct Fig9Point {
+    /// Number of web sessions.
+    pub web_sessions: usize,
+    /// Per-scheme metrics.
+    pub schemes: Vec<SchemePoint>,
+}
+
+/// Web-session grid per scale.
+pub fn web_grid(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![5, 25],
+        Scale::Standard => vec![10, 100, 500, 1000],
+        Scale::Full => vec![10, 50, 100, 500, 1000],
+    }
+}
+
+/// Configuration for one point (Quick: 30 Mbps / 10 flows).
+pub fn config_for(web: usize, scale: Scale) -> DumbbellConfig {
+    let (bps, flows) = if scale == Scale::Quick {
+        (30_000_000, 10)
+    } else {
+        (150_000_000, 50)
+    };
+    DumbbellConfig {
+        bottleneck_bps: bps,
+        bottleneck_delay: SimDuration::from_millis(10),
+        forward_rtts: crate::sweep::spread_rtts(flows, 0.060),
+        num_web_sessions: web,
+        start_window_secs: scale.start_window(),
+        seed: 90,
+        ..DumbbellConfig::new(Scheme::Pert)
+    }
+}
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Vec<Fig9Point> {
+    web_grid(scale)
+        .into_iter()
+        .map(|web| Fig9Point {
+            web_sessions: web,
+            schemes: compare_schemes(&config_for(web, scale), &paper_schemes(), scale),
+        })
+        .collect()
+}
+
+/// Print the sweep.
+pub fn print(points: &[Fig9Point]) {
+    println!("\nFigure 9: impact of web traffic (150 Mbps, 50 long-term flows)");
+    println!("(paper: queue stays low and losses near zero for PERT as web load grows)\n");
+    let mut rows = Vec::new();
+    for p in points {
+        for s in &p.schemes {
+            rows.push(vec![
+                format!("{}", p.web_sessions),
+                s.scheme.to_string(),
+                fmt(s.queue_norm),
+                fmt(s.drop_rate),
+                fmt(s.utilization),
+                fmt(s.jain),
+            ]);
+        }
+    }
+    print_table(
+        &["web", "scheme", "Q (norm)", "drop rate", "util %", "Jain"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pert_keeps_low_queue_under_web_load() {
+        let pts = run(Scale::Quick);
+        for p in &pts {
+            let get = |n: &str| p.schemes.iter().find(|s| s.scheme == n).unwrap();
+            let pert = get("PERT");
+            let sack = get("SACK/DropTail");
+            assert!(
+                pert.queue_norm <= sack.queue_norm + 0.05,
+                "{} web: PERT {} vs SACK {}",
+                p.web_sessions,
+                pert.queue_norm,
+                sack.queue_norm
+            );
+        }
+    }
+}

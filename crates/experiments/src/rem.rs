@@ -1,0 +1,101 @@
+//! **§8 generalization** — emulating REM from end hosts.
+//!
+//! The paper closes with "the proposed scheme is flexible in the sense
+//! that other AQM schemes can be potentially emulated at the end-host".
+//! This experiment demonstrates it beyond the paper's own PI case: a
+//! PERT variant whose response probability follows REM's
+//! price-and-exponential-marking law, compared against router REM with
+//! ECN over the Figure-7 RTT sweep.
+
+use workload::Scheme;
+
+use crate::common::{fmt, print_table, Scale};
+use crate::fig7::{config_for, rtt_grid};
+use crate::sweep::{compare_schemes, SchemePoint};
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct RemPoint {
+    /// End-to-end RTT, seconds.
+    pub rtt: f64,
+    /// PERT/REM vs SACK over router REM-ECN.
+    pub schemes: Vec<SchemePoint>,
+}
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Vec<RemPoint> {
+    let schemes = vec![Scheme::PertRem, Scheme::SackRemEcn];
+    rtt_grid(scale)
+        .into_iter()
+        .map(|rtt| {
+            let mut cfg = config_for(rtt, scale);
+            cfg.seed = 180;
+            RemPoint {
+                rtt,
+                schemes: compare_schemes(&cfg, &schemes, scale),
+            }
+        })
+        .collect()
+}
+
+/// Print the sweep.
+pub fn print(points: &[RemPoint]) {
+    println!("\nSection 8 generalization: emulating REM from end hosts (150 Mbps, 50 flows)");
+    println!("(PERT-REM ~ router REM-ECN on queue & utilization, near-zero drops)\n");
+    let mut rows = Vec::new();
+    for p in points {
+        for s in &p.schemes {
+            rows.push(vec![
+                format!("{:.0}", p.rtt * 1e3),
+                s.scheme.to_string(),
+                fmt(s.queue_norm),
+                fmt(s.drop_rate),
+                fmt(s.utilization),
+                fmt(s.jain),
+            ]);
+        }
+    }
+    print_table(
+        &["RTT ms", "scheme", "Q (norm)", "drop rate", "util %", "Jain"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pert_rem_responds_early_and_avoids_drops() {
+        let pts = run(Scale::Quick);
+        for p in &pts {
+            let rem = p.schemes.iter().find(|s| s.scheme == "PERT-REM").unwrap();
+            assert!(rem.early_reductions > 0, "PERT-REM never responded");
+            assert!(
+                rem.drop_rate < 0.02,
+                "PERT-REM drop rate {} at rtt {}",
+                rem.drop_rate,
+                p.rtt
+            );
+            assert!(rem.utilization > 50.0, "PERT-REM util {}", rem.utilization);
+        }
+    }
+
+    #[test]
+    fn router_rem_marks_rather_than_drops() {
+        let pts = run(Scale::Quick);
+        for p in &pts {
+            let r = p
+                .schemes
+                .iter()
+                .find(|s| s.scheme == "SACK/REM-ECN")
+                .unwrap();
+            assert!(
+                r.drop_rate < 0.05,
+                "router REM drop rate {} at rtt {}",
+                r.drop_rate,
+                p.rtt
+            );
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Robustness: non-congestion loss and delayed ACKs.
+//!
+//! Two stress tests of PERT's end-host machinery beyond the paper's
+//! evaluation, probing assumptions the paper states explicitly:
+//!
+//! * **Random loss** — delay-based prediction should be *indifferent* to
+//!   losses that carry no congestion information (wireless corruption):
+//!   PERT's predictor reads queuing delay, not loss. We corrupt the
+//!   bottleneck with Bernoulli loss and compare PERT's goodput retention
+//!   against SACK's (both lose throughput to spurious loss response —
+//!   PERT must not lose *more*).
+//! * **Delayed ACKs** — the paper samples RTT per ACK "as Linux does"
+//!   (§2.4, footnote 2). RFC-1122 delayed ACKs halve the sampling rate;
+//!   PERT should keep working with only mildly degraded behaviour.
+
+use netsim::SimDuration;
+use workload::{build_dumbbell, link_metrics, run_measured, DumbbellConfig, Scheme};
+
+use crate::common::{fmt, print_table, Scale};
+
+/// One random-loss point.
+#[derive(Clone, Debug)]
+pub struct LossPoint {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Corruption probability.
+    pub loss_prob: f64,
+    /// Bottleneck utilization, percent.
+    pub utilization: f64,
+    /// Mean queue (normalized).
+    pub queue_norm: f64,
+}
+
+fn loss_config(scheme: Scheme, loss: f64, scale: Scale) -> DumbbellConfig {
+    let (bps, flows) = if scale == Scale::Quick {
+        (20_000_000, 5)
+    } else {
+        (100_000_000, 20)
+    };
+    DumbbellConfig {
+        bottleneck_bps: bps,
+        bottleneck_delay: SimDuration::from_millis(10),
+        forward_rtts: vec![0.060; flows],
+        random_loss: loss,
+        start_window_secs: scale.start_window(),
+        seed: 1900,
+        ..DumbbellConfig::new(scheme)
+    }
+}
+
+/// Run the random-loss sweep for PERT and SACK.
+pub fn run_loss(scale: Scale) -> Vec<LossPoint> {
+    let probs = [0.0, 0.001, 0.01];
+    let mut out = Vec::new();
+    for scheme in [Scheme::Pert, Scheme::SackDroptail] {
+        for &p in &probs {
+            let name = scheme.name();
+            let d = build_dumbbell(&loss_config(scheme.clone(), p, scale));
+            let mut sim = d.sim;
+            let (s, e) = run_measured(&mut sim, scale.warmup(), scale.end());
+            let m = link_metrics(&sim, d.bottleneck_fwd, s, e);
+            out.push(LossPoint {
+                scheme: name,
+                loss_prob: p,
+                utilization: m.utilization,
+                queue_norm: m.mean_queue_norm,
+            });
+        }
+    }
+    out
+}
+
+/// One delayed-ACK comparison row.
+#[derive(Clone, Debug)]
+pub struct DelackRow {
+    /// ACK policy description.
+    pub policy: &'static str,
+    /// Bottleneck utilization, percent.
+    pub utilization: f64,
+    /// Mean queue (normalized).
+    pub queue_norm: f64,
+    /// Drop rate.
+    pub drop_rate: f64,
+    /// Early reductions taken by the PERT senders.
+    pub early_reductions: u64,
+}
+
+/// Run PERT with per-packet vs delayed ACKs.
+pub fn run_delack(scale: Scale) -> Vec<DelackRow> {
+    [("per-packet acks", None), ("delayed acks (100ms)", Some(SimDuration::from_millis(100)))]
+        .into_iter()
+        .map(|(policy, delack)| {
+            let mut cfg = loss_config(Scheme::Pert, 0.0, scale);
+            cfg.seed = 1950;
+            let mut d = build_dumbbell(&cfg);
+            // The dumbbell builder has no delack knob (the paper assumes
+            // per-packet ACKs); rebuild the connections would be invasive,
+            // so emulate via ConnectionSpec only when requested.
+            if let Some(timeout) = delack {
+                // The generic builder intentionally defaults to the
+                // paper's per-packet ACK policy; build the delayed-ACK
+                // variant with a dedicated constructor.
+                d = build_delack_dumbbell(&cfg, timeout);
+            }
+            let mut sim = d.sim;
+            let (s, e) = run_measured(&mut sim, scale.warmup(), scale.end());
+            let m = link_metrics(&sim, d.bottleneck_fwd, s, e);
+            let early: u64 = d
+                .forward
+                .iter()
+                .map(|c| {
+                    sim.agent::<pert_tcp::TcpSender>(c.sender)
+                        .cc()
+                        .early_reductions()
+                })
+                .sum();
+            DelackRow {
+                policy,
+                utilization: m.utilization,
+                queue_norm: m.mean_queue_norm,
+                drop_rate: m.drop_rate,
+                early_reductions: early,
+            }
+        })
+        .collect()
+}
+
+/// A dumbbell whose sinks use delayed ACKs (hand-built: the generic
+/// builder intentionally defaults to the paper's per-packet policy).
+fn build_delack_dumbbell(cfg: &DumbbellConfig, delack: SimDuration) -> workload::Dumbbell {
+    use netsim::{FlowId, SimTime, Simulator};
+    use pert_tcp::{connect_with_source, Greedy, START_TOKEN};
+
+    let mut sim = Simulator::new(cfg.seed);
+    let r1 = sim.add_node();
+    let r2 = sim.add_node();
+    let pps = cfg.pps();
+    let buffer = cfg.auto_buffer();
+    let mut qseed = cfg.seed;
+    let (fwd, rev) = sim.add_duplex_link(r1, r2, cfg.bottleneck_bps, cfg.bottleneck_delay, |_| {
+        qseed = qseed.wrapping_add(1);
+        cfg.scheme.make_bottleneck_queue(buffer, pps, qseed)
+    });
+    // Access links per flow, as in the generic builder.
+    let mut forward = Vec::new();
+    for (i, &rtt) in cfg.forward_rtts.iter().enumerate() {
+        let access = SimDuration::from_secs_f64(
+            (rtt / 2.0 - cfg.bottleneck_delay.as_secs_f64()) / 2.0,
+        );
+        let src = sim.add_node();
+        let dst = sim.add_node();
+        sim.add_duplex_link(src, r1, cfg.access_bps, access, |_| {
+            Box::new(netsim::queue::DropTail::new(200_000))
+        });
+        sim.add_duplex_link(r2, dst, cfg.access_bps, access, |_| {
+            Box::new(netsim::queue::DropTail::new(200_000))
+        });
+        let mut spec = cfg
+            .scheme
+            .connection(FlowId(i), src, dst, cfg.seed.wrapping_add(i as u64), pps);
+        spec.delack = Some(delack);
+        forward.push(connect_with_source(&mut sim, spec, Box::new(Greedy)));
+    }
+    sim.compute_routes();
+    for (i, c) in forward.iter().enumerate() {
+        sim.schedule_agent_timer(
+            SimTime::from_secs_f64(i as f64 * 0.3),
+            c.sender,
+            START_TOKEN,
+        );
+    }
+    workload::Dumbbell {
+        sim,
+        r1,
+        r2,
+        bottleneck_fwd: fwd,
+        bottleneck_rev: rev,
+        forward,
+        reverse: Vec::new(),
+        web: Vec::new(),
+        buffer_pkts: buffer,
+    }
+}
+
+/// Run both robustness studies.
+pub fn run(scale: Scale) -> (Vec<LossPoint>, Vec<DelackRow>) {
+    (run_loss(scale), run_delack(scale))
+}
+
+/// Print both.
+pub fn print(results: &(Vec<LossPoint>, Vec<DelackRow>)) {
+    println!("\nRobustness: non-congestion (random) loss");
+    println!("(PERT's delay signal ignores corruption; goodput loss mirrors SACK's)\n");
+    let rows: Vec<Vec<String>> = results
+        .0
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.to_string(),
+                fmt(r.loss_prob),
+                fmt(r.utilization),
+                fmt(r.queue_norm),
+            ]
+        })
+        .collect();
+    print_table(&["scheme", "corruption", "util %", "Q (norm)"], &rows);
+
+    println!("\nRobustness: delayed ACKs (halved RTT sampling)");
+    let rows: Vec<Vec<String>> = results
+        .1
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.to_string(),
+                fmt(r.utilization),
+                fmt(r.queue_norm),
+                fmt(r.drop_rate),
+                format!("{}", r.early_reductions),
+            ]
+        })
+        .collect();
+    print_table(&["ack policy", "util %", "Q (norm)", "drop rate", "early"], &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pert_degrades_no_worse_than_sack_under_corruption() {
+        let pts = run_loss(Scale::Quick);
+        let get = |scheme: &str, p: f64| {
+            pts.iter()
+                .find(|x| x.scheme == scheme && (x.loss_prob - p).abs() < 1e-12)
+                .unwrap()
+        };
+        let pert_drop =
+            get("PERT", 0.0).utilization - get("PERT", 0.01).utilization;
+        let sack_drop = get("SACK/DropTail", 0.0).utilization
+            - get("SACK/DropTail", 0.01).utilization;
+        assert!(
+            pert_drop <= sack_drop + 10.0,
+            "PERT lost {pert_drop}% vs SACK {sack_drop}% under 1% corruption"
+        );
+        // Sanity: corruption hurts both.
+        assert!(get("SACK/DropTail", 0.01).utilization < 100.0);
+    }
+
+    #[test]
+    fn pert_survives_delayed_acks() {
+        let rows = run_delack(Scale::Quick);
+        let per_packet = &rows[0];
+        let delayed = &rows[1];
+        assert!(delayed.early_reductions > 0, "predictor went silent");
+        assert!(
+            delayed.utilization > per_packet.utilization - 15.0,
+            "delayed ACKs collapsed utilization: {} vs {}",
+            delayed.utilization,
+            per_packet.utilization
+        );
+        assert!(delayed.queue_norm < 0.9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared machinery for the §4 comparison sweeps (Figures 6–9, Table 1,
+//! Figure 14): run one dumbbell configuration under several schemes and
+//! report the paper's four panels — average queue, drop rate, utilization,
+//! and Jain fairness.
+
+use sim_stats::jain_index;
+use workload::{
+    build_dumbbell, link_metrics, run_measured, snapshot_goodput, DumbbellConfig, Scheme,
+};
+
+use crate::common::Scale;
+
+/// The four panels for one (scheme, configuration) point.
+#[derive(Clone, Debug)]
+pub struct SchemePoint {
+    /// Scheme display name.
+    pub scheme: &'static str,
+    /// Time-weighted mean bottleneck queue, packets.
+    pub queue_pkts: f64,
+    /// Mean queue normalized by the buffer (`Q`).
+    pub queue_norm: f64,
+    /// Bottleneck drop rate (`p`).
+    pub drop_rate: f64,
+    /// Bottleneck ECN mark rate.
+    pub mark_rate: f64,
+    /// Bottleneck utilization percent (`U`).
+    pub utilization: f64,
+    /// Jain fairness index of the long-term flows' goodputs (`F`).
+    pub jain: f64,
+    /// Early (delay-triggered) window reductions across senders (PERT
+    /// diagnostics; 0 for the baselines).
+    pub early_reductions: u64,
+}
+
+/// `n` RTTs spread ±5 % around `center` (deterministic). The paper's
+/// topology attaches flows through access links "of varying delay"; a
+/// small spread also prevents the perfect phase synchronization a fully
+/// deterministic simulator would otherwise produce among identical flows.
+pub fn spread_rtts(n: usize, center: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let f = if n > 1 { i as f64 / (n - 1) as f64 } else { 0.5 };
+            center * (0.95 + 0.10 * f)
+        })
+        .collect()
+}
+
+/// The scheme lineup of the §4 figures.
+pub fn paper_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::Pert,
+        Scheme::SackDroptail,
+        Scheme::SackRedEcn,
+        Scheme::Vegas,
+    ]
+}
+
+/// Run `base` under each scheme (overriding `base.scheme`) and measure.
+pub fn compare_schemes(base: &DumbbellConfig, schemes: &[Scheme], scale: Scale) -> Vec<SchemePoint> {
+    schemes
+        .iter()
+        .map(|s| run_one(base, s.clone(), scale))
+        .collect()
+}
+
+/// Run one scheme point.
+pub fn run_one(base: &DumbbellConfig, scheme: Scheme, scale: Scale) -> SchemePoint {
+    let mut cfg = base.clone();
+    cfg.scheme = scheme;
+    cfg.start_window_secs = cfg.start_window_secs.min(scale.start_window());
+    let d = build_dumbbell(&cfg);
+    let mut sim = d.sim;
+
+    // Warm up, snapshot, measure.
+    sim.run_until(netsim::SimTime::from_secs_f64(scale.warmup()));
+    let long_flows: Vec<_> = d.forward.iter().chain(&d.reverse).copied().collect();
+    let before = snapshot_goodput(&sim, &long_flows);
+    let (start, end) = run_measured(&mut sim, scale.warmup(), scale.end());
+    let after = snapshot_goodput(&sim, &long_flows);
+
+    let m = link_metrics(&sim, d.bottleneck_fwd, start, end);
+    // Fairness over the *forward* long-term flows (the set competing for
+    // the measured bottleneck direction).
+    let fwd_rates = {
+        let all = after.rates_since(&before);
+        all[..d.forward.len()].to_vec()
+    };
+    let early: u64 = long_flows
+        .iter()
+        .map(|c| {
+            sim.agent::<pert_tcp::TcpSender>(c.sender)
+                .cc()
+                .early_reductions()
+        })
+        .sum();
+
+    SchemePoint {
+        scheme: cfg.scheme.name(),
+        queue_pkts: m.mean_queue_pkts,
+        queue_norm: m.mean_queue_norm,
+        drop_rate: m.drop_rate,
+        mark_rate: m.mark_rate,
+        utilization: m.utilization,
+        jain: jain_index(&fwd_rates),
+        early_reductions: early,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimDuration;
+
+    #[test]
+    fn four_scheme_comparison_reproduces_headline_ordering() {
+        // Small dumbbell, Quick scale: PERT's queue must undercut
+        // SACK/DropTail's, with comparable utilization — the essence of
+        // Figures 6–9.
+        let base = DumbbellConfig {
+            bottleneck_bps: 20_000_000,
+            bottleneck_delay: SimDuration::from_millis(10),
+            forward_rtts: vec![0.060; 6],
+            start_window_secs: 2.0,
+            ..DumbbellConfig::new(Scheme::Pert)
+        };
+        let pts = compare_schemes(&base, &paper_schemes(), Scale::Quick);
+        assert_eq!(pts.len(), 4);
+        let get = |n: &str| pts.iter().find(|p| p.scheme == n).unwrap();
+        let pert = get("PERT");
+        let sack = get("SACK/DropTail");
+        assert!(
+            pert.queue_norm < sack.queue_norm,
+            "PERT Q {} !< SACK Q {}",
+            pert.queue_norm,
+            sack.queue_norm
+        );
+        assert!(pert.utilization > 70.0, "PERT util {}", pert.utilization);
+        assert!(pert.early_reductions > 0, "PERT never responded early");
+        assert_eq!(sack.early_reductions, 0);
+        assert!(pert.drop_rate <= sack.drop_rate + 1e-9);
+    }
+}

@@ -1,0 +1,98 @@
+//! **Table 1** — flows with different RTTs (12, 24, …, 120 ms) sharing a
+//! 150 Mbps bottleneck with 100 background web sessions (§4.5). Reports
+//! normalized queue `Q`, drop rate `p`, utilization `U`, and Jain `F` for
+//! the four schemes; the paper's point is that PERT (and Vegas) reduce
+//! TCP's RTT-unfairness while keeping the queue low.
+
+use netsim::SimDuration;
+use workload::{DumbbellConfig, Scheme};
+
+use crate::common::{fmt, print_table, Scale};
+use crate::sweep::{compare_schemes, paper_schemes, SchemePoint};
+
+/// The configuration of Table 1.
+pub fn config(scale: Scale) -> DumbbellConfig {
+    let (bps, n, web) = if scale == Scale::Quick {
+        (30_000_000, 10, 10)
+    } else {
+        (150_000_000, 10, 100)
+    };
+    // RTTs 12, 24, ..., 120 ms.
+    let rtts: Vec<f64> = (1..=n).map(|i| 0.012 * i as f64).collect();
+    DumbbellConfig {
+        bottleneck_bps: bps,
+        bottleneck_delay: SimDuration::from_millis(3),
+        forward_rtts: rtts,
+        num_web_sessions: web,
+        web_rtt: 0.060,
+        start_window_secs: scale.start_window(),
+        seed: 11,
+        ..DumbbellConfig::new(Scheme::Pert)
+    }
+}
+
+/// Run Table 1.
+pub fn run(scale: Scale) -> Vec<SchemePoint> {
+    compare_schemes(&config(scale), &paper_schemes(), scale)
+}
+
+/// Print in the paper's row order.
+pub fn print(points: &[SchemePoint]) {
+    println!("\nTable 1: flows with different RTTs (12..120 ms) + 100 web sessions, 150 Mbps");
+    println!("(paper: PERT Q=0.28 p~4e-6 U=93.8 F=0.86; SACK/DropTail F=0.44; Vegas F=0.98)\n");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|s| {
+            vec![
+                s.scheme.to_string(),
+                fmt(s.queue_norm),
+                fmt(s.drop_rate),
+                fmt(s.utilization),
+                fmt(s.jain),
+            ]
+        })
+        .collect();
+    print_table(&["scheme", "Q", "p", "U %", "F"], &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pert_keeps_queue_low_with_heterogeneous_rtts() {
+        // Quick windows (15 s) are too short for the fairness index to
+        // converge (the paper measures a 200 s window — see the ignored
+        // test below), but the queue ordering shows immediately.
+        let pts = run(Scale::Quick);
+        let get = |n: &str| pts.iter().find(|s| s.scheme == n).unwrap();
+        let pert = get("PERT");
+        let sack = get("SACK/DropTail");
+        assert!(
+            pert.queue_norm < sack.queue_norm,
+            "PERT Q {} !< SACK Q {}",
+            pert.queue_norm,
+            sack.queue_norm
+        );
+        assert!(pert.jain > 0.3, "PERT fairness collapsed: {}", pert.jain);
+    }
+
+    /// The paper's actual Table-1 fairness claim (PERT F ≫ SACK F) needs
+    /// the long measurement window; run with
+    /// `cargo test -p experiments -- --ignored table1`.
+    #[test]
+    #[ignore = "minutes: standard-scale windows"]
+    fn pert_reduces_rtt_unfairness_vs_sack_standard_scale() {
+        let pts = run(Scale::Standard);
+        let get = |n: &str| pts.iter().find(|s| s.scheme == n).unwrap();
+        let pert = get("PERT");
+        let sack = get("SACK/DropTail");
+        assert!(
+            pert.jain > sack.jain,
+            "PERT F {} !> SACK F {}",
+            pert.jain,
+            sack.jain
+        );
+        assert!(pert.queue_norm < sack.queue_norm);
+    }
+}

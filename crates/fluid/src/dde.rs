@@ -1,0 +1,344 @@
+//! A fixed-step integrator for delay differential equations (DDEs).
+//!
+//! The paper's §5.3 validates Theorem 1 by integrating the PERT fluid model
+//! (a three-state DDE with one constant delay) in Matlab; this module is
+//! the equivalent substrate. It implements the classical fourth-order
+//! Runge–Kutta scheme with delayed terms evaluated by linear interpolation
+//! on the stored trajectory — the standard explicit approach for smooth,
+//! non-stiff DDEs — plus a plain Euler stepper used by convergence tests.
+
+/// A delay differential system `x'(t) = f(t, x(t), x(t − τ₁), …)`.
+///
+/// Implementations read delayed state through the [`History`] handle, which
+/// also serves the initial condition for `t ≤ t0`.
+pub trait DdeSystem {
+    /// Number of state variables.
+    fn dim(&self) -> usize;
+
+    /// The largest delay the system ever asks for (used to size history).
+    fn max_delay(&self) -> f64;
+
+    /// Write `dx/dt` into `dx` given time `t`, current state `x`, and
+    /// access to delayed states.
+    fn deriv(&self, t: f64, x: &[f64], hist: &History<'_>, dx: &mut [f64]);
+}
+
+/// Access to past states during integration.
+pub struct History<'a> {
+    t0: f64,
+    h: f64,
+    /// Stored states, one row per accepted step, `times[i] = t0 + i·h`.
+    rows: &'a [Vec<f64>],
+    initial: &'a dyn Fn(f64, usize) -> f64,
+    /// Optional stage extrapolation base (current step start), used so RK
+    /// stages querying `t` between grid points after the last row still
+    /// get a sensible value.
+    current: (f64, &'a [f64]),
+}
+
+impl History<'_> {
+    /// The value of component `j` at (past) time `t`.
+    ///
+    /// For `t ≤ t0` the initial-condition function is used; otherwise the
+    /// stored trajectory is linearly interpolated; queries beyond the last
+    /// accepted step return the current working state (constant
+    /// extrapolation across the active step).
+    pub fn at(&self, t: f64, j: usize) -> f64 {
+        if t <= self.t0 {
+            return (self.initial)(t, j);
+        }
+        let pos = (t - self.t0) / self.h;
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        match (self.rows.get(i), self.rows.get(i + 1)) {
+            (Some(a), Some(b)) => a[j] * (1.0 - frac) + b[j] * frac,
+            (Some(a), None) => {
+                // Between the last accepted row and the working state.
+                let (tc, xc) = self.current;
+                if t >= tc {
+                    xc[j]
+                } else {
+                    let span = tc - (self.t0 + i as f64 * self.h);
+                    if span <= 0.0 {
+                        a[j]
+                    } else {
+                        let f = (t - (self.t0 + i as f64 * self.h)) / span;
+                        a[j] * (1.0 - f) + xc[j] * f
+                    }
+                }
+            }
+            _ => self.current.1[j],
+        }
+    }
+}
+
+/// A computed trajectory.
+#[derive(Clone, Debug)]
+pub struct Trajectory {
+    /// Start time.
+    pub t0: f64,
+    /// Step size.
+    pub h: f64,
+    /// One state vector per step, starting with the initial state.
+    pub states: Vec<Vec<f64>>,
+}
+
+impl Trajectory {
+    /// The time of row `i`.
+    pub fn time(&self, i: usize) -> f64 {
+        self.t0 + i as f64 * self.h
+    }
+
+    /// Iterate `(t, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &[f64])> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (self.time(i), s.as_slice()))
+    }
+
+    /// Extract component `j` as a `(t, value)` series.
+    pub fn component(&self, j: usize) -> Vec<(f64, f64)> {
+        self.iter().map(|(t, s)| (t, s[j])).collect()
+    }
+
+    /// The final state.
+    pub fn last(&self) -> &[f64] {
+        self.states.last().expect("non-empty trajectory")
+    }
+}
+
+/// Integration scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// First-order explicit Euler.
+    Euler,
+    /// Classical fourth-order Runge–Kutta with interpolated delayed terms.
+    Rk4,
+}
+
+/// Integrate `sys` from `t0` to `t_end` with step `h`, starting from
+/// `x0` and using `initial(t, j)` as the pre-history for `t ≤ t0`.
+///
+/// # Panics
+/// Panics if `h ≤ 0`, `t_end < t0`, or `x0.len() != sys.dim()`.
+pub fn integrate(
+    sys: &dyn DdeSystem,
+    t0: f64,
+    t_end: f64,
+    h: f64,
+    x0: &[f64],
+    initial: &dyn Fn(f64, usize) -> f64,
+    method: Method,
+) -> Trajectory {
+    assert!(h > 0.0, "step must be positive");
+    assert!(t_end >= t0, "t_end before t0");
+    assert_eq!(x0.len(), sys.dim(), "state dimension mismatch");
+
+    let steps = ((t_end - t0) / h).round() as usize;
+    let dim = sys.dim();
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(steps + 1);
+    rows.push(x0.to_vec());
+
+    let mut k1 = vec![0.0; dim];
+    let mut k2 = vec![0.0; dim];
+    let mut k3 = vec![0.0; dim];
+    let mut k4 = vec![0.0; dim];
+    let mut tmp = vec![0.0; dim];
+
+    fn mk_hist<'a>(
+        t0: f64,
+        h: f64,
+        rows: &'a [Vec<f64>],
+        initial: &'a dyn Fn(f64, usize) -> f64,
+        current: (f64, &'a [f64]),
+    ) -> History<'a> {
+        History {
+            t0,
+            h,
+            rows,
+            initial,
+            current,
+        }
+    }
+
+    for i in 0..steps {
+        let t = t0 + i as f64 * h;
+        let x = rows[i].clone();
+
+        let next = match method {
+            Method::Euler => {
+                sys.deriv(t, &x, &mk_hist(t0, h, &rows, initial, (t, &x)), &mut k1);
+                x.iter().zip(&k1).map(|(xi, ki)| xi + h * ki).collect()
+            }
+            Method::Rk4 => {
+                sys.deriv(t, &x, &mk_hist(t0, h, &rows, initial, (t, &x)), &mut k1);
+                for j in 0..dim {
+                    tmp[j] = x[j] + 0.5 * h * k1[j];
+                }
+                sys.deriv(
+                    t + 0.5 * h,
+                    &tmp,
+                    &mk_hist(t0, h, &rows, initial, (t + 0.5 * h, &tmp)),
+                    &mut k2,
+                );
+                for j in 0..dim {
+                    tmp[j] = x[j] + 0.5 * h * k2[j];
+                }
+                sys.deriv(
+                    t + 0.5 * h,
+                    &tmp,
+                    &mk_hist(t0, h, &rows, initial, (t + 0.5 * h, &tmp)),
+                    &mut k3,
+                );
+                for j in 0..dim {
+                    tmp[j] = x[j] + h * k3[j];
+                }
+                sys.deriv(
+                    t + h,
+                    &tmp,
+                    &mk_hist(t0, h, &rows, initial, (t + h, &tmp)),
+                    &mut k4,
+                );
+                (0..dim)
+                    .map(|j| x[j] + h / 6.0 * (k1[j] + 2.0 * k2[j] + 2.0 * k3[j] + k4[j]))
+                    .collect()
+            }
+        };
+        rows.push(next);
+    }
+
+    Trajectory {
+        t0,
+        h,
+        states: rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// x' = −x, no delay: exact solution e^{−t}.
+    struct Decay;
+    impl DdeSystem for Decay {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn max_delay(&self) -> f64 {
+            0.0
+        }
+        fn deriv(&self, _t: f64, x: &[f64], _h: &History<'_>, dx: &mut [f64]) {
+            dx[0] = -x[0];
+        }
+    }
+
+    /// The classic delayed negative feedback x'(t) = −(π/2)·x(t−1), with
+    /// x(t)=1 for t≤0: sits exactly on the Hopf boundary (sustained
+    /// oscillation, period 4).
+    struct DelayedFeedback {
+        gain: f64,
+    }
+    impl DdeSystem for DelayedFeedback {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn max_delay(&self) -> f64 {
+            1.0
+        }
+        fn deriv(&self, t: f64, _x: &[f64], h: &History<'_>, dx: &mut [f64]) {
+            dx[0] = -self.gain * h.at(t - 1.0, 0);
+        }
+    }
+
+    #[test]
+    fn rk4_matches_exponential_decay() {
+        let tr = integrate(&Decay, 0.0, 5.0, 0.01, &[1.0], &|_, _| 1.0, Method::Rk4);
+        let got = tr.last()[0];
+        assert!((got - (-5.0f64).exp()).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn euler_converges_first_order() {
+        let err = |h: f64| {
+            let tr = integrate(&Decay, 0.0, 1.0, h, &[1.0], &|_, _| 1.0, Method::Euler);
+            (tr.last()[0] - (-1.0f64).exp()).abs()
+        };
+        let e1 = err(0.01);
+        let e2 = err(0.005);
+        let order = (e1 / e2).log2();
+        assert!((order - 1.0).abs() < 0.1, "order {order}");
+    }
+
+    #[test]
+    fn rk4_converges_higher_order_than_euler() {
+        let err = |m: Method| {
+            let tr = integrate(&Decay, 0.0, 1.0, 0.05, &[1.0], &|_, _| 1.0, m);
+            (tr.last()[0] - (-1.0f64).exp()).abs()
+        };
+        assert!(err(Method::Rk4) < err(Method::Euler) * 1e-3);
+    }
+
+    #[test]
+    fn subcritical_delayed_feedback_decays() {
+        // gain < π/2 → asymptotically stable.
+        let sys = DelayedFeedback { gain: 1.0 };
+        let tr = integrate(&sys, 0.0, 60.0, 0.001, &[1.0], &|_, _| 1.0, Method::Rk4);
+        let tail = tr.last()[0].abs();
+        assert!(tail < 0.05, "tail amplitude {tail}");
+    }
+
+    #[test]
+    fn supercritical_delayed_feedback_grows() {
+        // gain > π/2 → oscillations grow.
+        let sys = DelayedFeedback { gain: 2.2 };
+        let tr = integrate(&sys, 0.0, 40.0, 0.001, &[1.0], &|_, _| 1.0, Method::Rk4);
+        let early_max = tr
+            .component(0)
+            .iter()
+            .filter(|(t, _)| (5.0..10.0).contains(t))
+            .map(|(_, v)| v.abs())
+            .fold(0.0, f64::max);
+        let late_max = tr
+            .component(0)
+            .iter()
+            .filter(|(t, _)| (35.0..40.0).contains(t))
+            .map(|(_, v)| v.abs())
+            .fold(0.0, f64::max);
+        assert!(late_max > early_max * 5.0, "{early_max} → {late_max}");
+    }
+
+    #[test]
+    fn initial_history_is_respected() {
+        // x'(t) = −x(t−1) with history ≡ 3 for t ≤ 0:
+        // on [0,1], x(t) = x0 − 3t exactly.
+        struct S;
+        impl DdeSystem for S {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn max_delay(&self) -> f64 {
+                1.0
+            }
+            fn deriv(&self, t: f64, _x: &[f64], h: &History<'_>, dx: &mut [f64]) {
+                dx[0] = -h.at(t - 1.0, 0);
+            }
+        }
+        let tr = integrate(&S, 0.0, 1.0, 0.01, &[5.0], &|_, _| 3.0, Method::Rk4);
+        assert!((tr.last()[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trajectory_accessors() {
+        let tr = integrate(&Decay, 0.0, 0.1, 0.05, &[1.0], &|_, _| 1.0, Method::Euler);
+        assert_eq!(tr.states.len(), 3);
+        assert_eq!(tr.time(2), 0.1);
+        assert_eq!(tr.component(0).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dimension_rejected() {
+        integrate(&Decay, 0.0, 1.0, 0.1, &[1.0, 2.0], &|_, _| 0.0, Method::Rk4);
+    }
+}

@@ -1,0 +1,22 @@
+//! # fluid — fluid-flow models and stability analysis for PERT
+//!
+//! The control-theoretic half of the paper (§5–§6):
+//!
+//! * [`dde`] — a fixed-step RK4/Euler integrator for delay differential
+//!   equations (the Matlab substrate of §5.3, rebuilt);
+//! * [`models`] — the PERT/RED fluid model (eq. 14), the classical
+//!   TCP/RED model of Misra et al. for comparison, and the continuous
+//!   PERT/PI loop of §6;
+//! * [`stability`] — Theorem 1's sufficient condition (eq. 11–12), the
+//!   sampling-interval guideline (eq. 13, Figure 13a), the equilibrium
+//!   (eq. 9), and the scale-invariant form (eq. 15).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dde;
+pub mod models;
+pub mod stability;
+
+pub use dde::{integrate, DdeSystem, History, Method, Trajectory};
+pub use models::{PertPiFluid, PertRedFluid, TcpRedFluid};

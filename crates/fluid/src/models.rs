@@ -1,0 +1,358 @@
+//! Fluid-flow models of PERT and of router-based AQM (paper §5–§6).
+//!
+//! [`PertRedFluid`] is the paper's eq. (14): the three-state DDE obtained
+//! from window dynamics (3), RED-emulation (4)–(6), and queueing (7) under
+//! the notation `x₁ = W`, `x₂ = T_q` (instantaneous queuing delay),
+//! `x₃ = smoothed T_q`:
+//!
+//! ```text
+//! x₁' = 1/R − L·x₁(t)·x₁(t−R)·(x₃(t−R) − T_min) / (2R)
+//! x₂' = N/(R·C) · x₁(t) − 1
+//! x₃' = K·x₃(t) − K·x₂(t)            (K = ln α / δ < 0)
+//! ```
+//!
+//! [`TcpRedFluid`] is the classical Misra–Gong–Towsley TCP/RED model used
+//! for the paper's "identical stability condition, C³ vs C²" comparison,
+//! and [`PertPiFluid`] the continuous PERT/PI loop of §6.
+
+use crate::dde::{DdeSystem, History};
+
+/// The PERT/RED fluid model, eq. (14).
+#[derive(Clone, Debug)]
+pub struct PertRedFluid {
+    /// Round-trip time `R`, seconds (held constant as in §5.2).
+    pub r: f64,
+    /// Link capacity `C`, packets/second.
+    pub c: f64,
+    /// Number of flows `N`.
+    pub n: f64,
+    /// Response-curve gain `L_PERT = p_max/(T_max − T_min)`, 1/second.
+    pub l_pert: f64,
+    /// Lower delay threshold `T_min`, seconds.
+    pub t_min: f64,
+    /// LPF coefficient `K = ln α / δ` (negative), 1/second.
+    pub k: f64,
+}
+
+impl PertRedFluid {
+    /// The configuration §5.3 simulates: `C = 100` pkt/s (1 Mbps, 1250-byte
+    /// packets), `N = 5`, `p_max = 0.1`, `T_max = 100` ms, `T_min = 50` ms,
+    /// `α = 0.99`, `δ = 0.1` ms — leaving RTT `r` as the stability knob.
+    pub fn paper_section_5_3(r: f64) -> Self {
+        PertRedFluid {
+            r,
+            c: 100.0,
+            n: 5.0,
+            l_pert: 0.1 / (0.100 - 0.050),
+            t_min: 0.050,
+            k: (0.99f64).ln() / 1.0e-4,
+        }
+    }
+
+    /// The equilibrium `(W*, p*)` of eq. (9): `W* = RC/N`,
+    /// `p* = 2N²/(R²C²)`.
+    pub fn equilibrium(&self) -> (f64, f64) {
+        let w = self.r * self.c / self.n;
+        let p = 2.0 * self.n * self.n / (self.r * self.r * self.c * self.c);
+        (w, p)
+    }
+
+    /// The equilibrium smoothed queuing delay implied by (4):
+    /// `T_q* = T_min + p*/L`.
+    pub fn equilibrium_delay(&self) -> f64 {
+        let (_, p) = self.equilibrium();
+        self.t_min + p / self.l_pert
+    }
+}
+
+impl DdeSystem for PertRedFluid {
+    fn dim(&self) -> usize {
+        3
+    }
+
+    fn max_delay(&self) -> f64 {
+        self.r
+    }
+
+    fn deriv(&self, t: f64, x: &[f64], hist: &History<'_>, dx: &mut [f64]) {
+        let w = x[0];
+        let w_d = hist.at(t - self.r, 0);
+        let srtt_d = hist.at(t - self.r, 2);
+        // Loss probability from the delayed smoothed queuing delay.
+        let p = self.l_pert * (srtt_d - self.t_min);
+        dx[0] = 1.0 / self.r - w * w_d * p / (2.0 * self.r);
+        dx[1] = self.n / (self.r * self.c) * w - 1.0;
+        dx[2] = self.k * x[2] - self.k * x[1];
+    }
+}
+
+/// The Misra–Gong–Towsley TCP/RED fluid model (reference \[23\] of the
+/// paper), with the averaged queue as a third state and the loss
+/// probability delayed by one RTT (the router marks, the sender reacts an
+/// RTT later):
+///
+/// ```text
+/// W' = 1/R − W(t)·W(t−R)·p(t−R) / (2R)
+/// q' = N·W/R − C            (clamped at q = 0)
+/// v' = K·v − K·q            (EWMA average queue, K = ln(1−w_q)/δ < 0)
+/// p  = L_RED·(v − min_th)   (clamped to [0, 1])
+/// ```
+#[derive(Clone, Debug)]
+pub struct TcpRedFluid {
+    /// Round-trip time, seconds.
+    pub r: f64,
+    /// Capacity, packets/second.
+    pub c: f64,
+    /// Number of flows.
+    pub n: f64,
+    /// RED slope `L_RED = max_p/(max_th − min_th)`, 1/packet.
+    pub l_red: f64,
+    /// RED lower threshold, packets.
+    pub min_th: f64,
+    /// Averaging coefficient (negative), 1/second.
+    pub k: f64,
+}
+
+impl DdeSystem for TcpRedFluid {
+    fn dim(&self) -> usize {
+        3
+    }
+
+    fn max_delay(&self) -> f64 {
+        self.r
+    }
+
+    fn deriv(&self, t: f64, x: &[f64], hist: &History<'_>, dx: &mut [f64]) {
+        let w = x[0];
+        let q = x[1];
+        let w_d = hist.at(t - self.r, 0);
+        let v_d = hist.at(t - self.r, 2);
+        let p = (self.l_red * (v_d - self.min_th)).clamp(0.0, 1.0);
+        dx[0] = 1.0 / self.r - w * w_d * p / (2.0 * self.r);
+        let fill = self.n * w / self.r - self.c;
+        dx[1] = if q <= 0.0 { fill.max(0.0) } else { fill };
+        dx[2] = self.k * x[2] - self.k * q;
+    }
+}
+
+/// The continuous PERT/PI loop of §6: the same window/queue dynamics with
+/// the response probability produced by `C_PI(s) = K_pi (1 + s/m)/s` acting
+/// on the queuing-delay error. States: `x₀ = W`, `x₁ = T_q`,
+/// `x₂ = ∫(T_q − T_q*) dt`.
+#[derive(Clone, Debug)]
+pub struct PertPiFluid {
+    /// Round-trip time, seconds.
+    pub r: f64,
+    /// Capacity, packets/second.
+    pub c: f64,
+    /// Number of flows.
+    pub n: f64,
+    /// PI gain `K_pi`.
+    pub k_pi: f64,
+    /// PI zero `m`.
+    pub m: f64,
+    /// Target queuing delay `T_q*`, seconds.
+    pub target: f64,
+}
+
+impl PertPiFluid {
+    /// Design per Theorem 2 for the given bounds (see
+    /// `pert_core::pi::PertPiParams::design` for the discrete twin).
+    pub fn design(r: f64, c: f64, n: f64, target: f64) -> Self {
+        let m = 2.0 * n / (r * r * c);
+        let plant = r.powi(3) * c * c / (2.0 * n).powi(2);
+        let k_pi = m * ((r * m).powi(2) + 1.0).sqrt() / plant;
+        PertPiFluid {
+            r,
+            c,
+            n,
+            k_pi,
+            m,
+            target,
+        }
+    }
+
+    /// The response probability for state `x`.
+    pub fn probability(&self, x: &[f64]) -> f64 {
+        (self.k_pi * ((x[1] - self.target) + x[2] / self.m)).clamp(0.0, 1.0)
+    }
+}
+
+impl DdeSystem for PertPiFluid {
+    fn dim(&self) -> usize {
+        3
+    }
+
+    fn max_delay(&self) -> f64 {
+        self.r
+    }
+
+    fn deriv(&self, t: f64, x: &[f64], hist: &History<'_>, dx: &mut [f64]) {
+        let w = x[0];
+        let w_d = hist.at(t - self.r, 0);
+        // Delay the error signal by R as PERT senses at the end host.
+        let tq_d = hist.at(t - self.r, 1);
+        let i_d = hist.at(t - self.r, 2);
+        let p = (self.k_pi * ((tq_d - self.target) + i_d / self.m)).clamp(0.0, 1.0);
+        dx[0] = 1.0 / self.r - w * w_d * p / (2.0 * self.r);
+        let fill = self.n / (self.r * self.c) * w - 1.0;
+        dx[1] = if x[1] <= 0.0 { fill.max(0.0) } else { fill };
+        dx[2] = x[1] - self.target;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dde::{integrate, Method};
+
+    #[test]
+    fn pert_red_equilibrium_formulas() {
+        let m = PertRedFluid::paper_section_5_3(0.2);
+        let (w, p) = m.equilibrium();
+        // W* = RC/N = 0.2·100/5 = 4; p* = 2·25/(0.04·10000) = 0.125.
+        assert!((w - 4.0).abs() < 1e-12);
+        assert!((p - 0.125).abs() < 1e-12);
+        assert!((m.equilibrium_delay() - (0.05 + 0.125 / 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pert_red_converges_for_small_rtt() {
+        // R = 100 ms satisfies Theorem 1 (§5.3, Fig. 13b).
+        let m = PertRedFluid::paper_section_5_3(0.100);
+        let tr = integrate(
+            &m,
+            0.0,
+            120.0,
+            0.002,
+            &[1.0, 1.0, 1.0],
+            &|_, _| 1.0,
+            Method::Rk4,
+        );
+        let (w_star, _) = m.equilibrium();
+        let w_end = tr.last()[0];
+        assert!(
+            (w_end - w_star).abs() / w_star < 0.05,
+            "W(end) = {w_end}, W* = {w_star}"
+        );
+    }
+
+    #[test]
+    fn pert_red_oscillates_beyond_stability_boundary() {
+        // R = 171 ms sits on/beyond the boundary (§5.3, Fig. 13d):
+        // oscillations must not die out.
+        let m = PertRedFluid::paper_section_5_3(0.171);
+        let tr = integrate(
+            &m,
+            0.0,
+            200.0,
+            0.002,
+            &[1.0, 1.0, 1.0],
+            &|_, _| 1.0,
+            Method::Rk4,
+        );
+        let (w_star, _) = m.equilibrium();
+        let dev_in = |a: f64, b: f64| {
+            tr.component(0)
+                .iter()
+                .filter(|(t, _)| (a..b).contains(t))
+                .map(|(_, w)| (w - w_star).abs())
+                .fold(0.0, f64::max)
+        };
+        let mid = dev_in(80.0, 120.0);
+        let late = dev_in(160.0, 200.0);
+        assert!(
+            late > 0.5 * mid && late > 0.05 * w_star,
+            "oscillation died: mid {mid}, late {late}"
+        );
+    }
+
+    #[test]
+    fn pert_red_decaying_oscillations_near_boundary() {
+        // R = 160 ms: stable but oscillatory (Fig. 13c) — late deviation
+        // smaller than mid-run deviation.
+        let m = PertRedFluid::paper_section_5_3(0.160);
+        let tr = integrate(
+            &m,
+            0.0,
+            300.0,
+            0.002,
+            &[1.0, 1.0, 1.0],
+            &|_, _| 1.0,
+            Method::Rk4,
+        );
+        let (w_star, _) = m.equilibrium();
+        let dev_in = |a: f64, b: f64| {
+            tr.component(0)
+                .iter()
+                .filter(|(t, _)| (a..b).contains(t))
+                .map(|(_, w)| (w - w_star).abs())
+                .fold(0.0, f64::max)
+        };
+        assert!(dev_in(250.0, 300.0) < dev_in(50.0, 100.0));
+    }
+
+    #[test]
+    fn tcp_red_fluid_reaches_positive_equilibrium() {
+        // A standard TCP/RED configuration should settle near
+        // W* = RC/N with a standing averaged queue above min_th.
+        let m = TcpRedFluid {
+            r: 0.1,
+            c: 1000.0,
+            n: 20.0,
+            l_red: 0.1 / 100.0,
+            min_th: 50.0,
+            k: (1.0f64 - 0.0001).ln() / 0.001,
+        };
+        let tr = integrate(
+            &m,
+            0.0,
+            300.0,
+            0.001,
+            &[1.0, 0.0, 0.0],
+            &|_, _| 0.0,
+            Method::Rk4,
+        );
+        let last = tr.last();
+        assert!(last[0] > 1.0 && last[0] < 20.0, "W = {}", last[0]);
+        assert!(last[1] > m.min_th, "queue {} below min_th", last[1]);
+    }
+
+    #[test]
+    fn pert_pi_regulates_delay_to_target() {
+        let m = PertPiFluid::design(0.1, 1000.0, 10.0, 0.02);
+        let tr = integrate(
+            &m,
+            0.0,
+            600.0,
+            0.002,
+            &[1.0, 0.0, 0.0],
+            &|_, _| 0.0,
+            Method::Rk4,
+        );
+        let last = tr.last();
+        assert!(
+            (last[1] - 0.02).abs() < 0.01,
+            "queuing delay {} vs target 0.02",
+            last[1]
+        );
+    }
+
+    #[test]
+    fn queue_never_goes_negative() {
+        let m = PertPiFluid::design(0.1, 1000.0, 10.0, 0.02);
+        let tr = integrate(
+            &m,
+            0.0,
+            100.0,
+            0.002,
+            &[1.0, 0.0, 0.0],
+            &|_, _| 0.0,
+            Method::Rk4,
+        );
+        // Explicit RK stages can undershoot the q = 0 clamp by a hair;
+        // anything beyond a few milliseconds of "negative delay" would mean
+        // the clamp is broken.
+        assert!(tr.iter().all(|(_, s)| s[1] >= -5e-3));
+    }
+}

@@ -1,0 +1,199 @@
+//! Stability conditions: Theorem 1 (PERT/RED) and its corollaries
+//! (paper §5.2, eq. 10–13 and 15).
+
+/// The response-curve gain `L_PERT = p_max / (T_max − T_min)` (eq. 10).
+pub fn l_pert(p_max: f64, t_max: f64, t_min: f64) -> f64 {
+    assert!(t_max > t_min, "need T_max > T_min");
+    assert!(p_max > 0.0);
+    p_max / (t_max - t_min)
+}
+
+/// The low-pass-filter coefficient `K = ln α / δ` (eq. 10); negative for
+/// `α < 1`.
+pub fn lpf_k(alpha: f64, delta: f64) -> f64 {
+    assert!((0.0..1.0).contains(&alpha), "alpha in (0,1)");
+    assert!(delta > 0.0, "delta must be positive");
+    alpha.ln() / delta
+}
+
+/// The gain-crossover bound `w_g = 0.1·min(2N⁻/(R⁺²C), 1/R⁺)` (eq. 12).
+pub fn w_g(n_min: f64, r_max: f64, c: f64) -> f64 {
+    assert!(n_min > 0.0 && r_max > 0.0 && c > 0.0);
+    0.1 * (2.0 * n_min / (r_max * r_max * c)).min(1.0 / r_max)
+}
+
+/// Theorem 1's sufficient local-stability condition (eq. 11):
+///
+/// ```text
+/// L_PERT·R⁺³·C² / (2N⁻)² ≤ sqrt(w_g²/K² + 1)
+/// ```
+///
+/// Returns the pair `(lhs, rhs)`; the condition holds iff `lhs ≤ rhs`.
+pub fn theorem1_sides(l: f64, k: f64, c: f64, n_min: f64, r_max: f64) -> (f64, f64) {
+    let lhs = l * r_max.powi(3) * c * c / (2.0 * n_min).powi(2);
+    let wg = w_g(n_min, r_max, c);
+    let rhs = (wg * wg / (k * k) + 1.0).sqrt();
+    (lhs, rhs)
+}
+
+/// True if Theorem 1's condition holds for the given configuration.
+pub fn theorem1_holds(l: f64, k: f64, c: f64, n_min: f64, r_max: f64) -> bool {
+    let (lhs, rhs) = theorem1_sides(l, k, c, n_min, r_max);
+    lhs <= rhs
+}
+
+/// The largest `R⁺` (by bisection) for which Theorem 1 still holds — the
+/// theoretical stability boundary plotted against §5.3's simulations.
+pub fn theorem1_max_rtt(l: f64, k: f64, c: f64, n_min: f64) -> f64 {
+    let (mut lo, mut hi) = (1e-4, 10.0);
+    assert!(theorem1_holds(l, k, c, n_min, lo), "unstable even at 0.1 ms");
+    if theorem1_holds(l, k, c, n_min, hi) {
+        return hi;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if theorem1_holds(l, k, c, n_min, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The minimum sampling interval `δ` guaranteeing stability (eq. 13):
+///
+/// ```text
+/// δ ≥ −ln α / (4·N⁻²·w_g) · sqrt(L²·R⁺⁶·C⁴ − 16·N⁻⁴)
+/// ```
+///
+/// Returns 0 when the radicand is non-positive (any `δ` is fine).
+pub fn min_delta(alpha: f64, l: f64, c: f64, n_min: f64, r_max: f64) -> f64 {
+    assert!((0.0..1.0).contains(&alpha));
+    let radicand = l * l * r_max.powi(6) * c.powi(4) - 16.0 * n_min.powi(4);
+    if radicand <= 0.0 {
+        return 0.0;
+    }
+    let wg = w_g(n_min, r_max, c);
+    -alpha.ln() / (4.0 * n_min * n_min * wg) * radicand.sqrt()
+}
+
+/// The equilibrium of eq. (9): `(W*, p*) = (RC/N, 2N²/(R²C²))`.
+pub fn equilibrium(r: f64, c: f64, n: f64) -> (f64, f64) {
+    assert!(r > 0.0 && c > 0.0 && n > 0.0);
+    (r * c / n, 2.0 * n * n / (r * r * c * c))
+}
+
+/// The scale-invariant form (eq. 15) for constant per-flow capacity
+/// `σ = C/N` (with `W* ≥ 2`, `N = N⁻`, `R = R⁺`):
+///
+/// ```text
+/// L_PERT·σ²·R⁺ ≤ 4·sqrt(0.04/(σ²·K²·R⁺⁴) + 1)
+/// ```
+///
+/// Returns `(lhs, rhs)`; independence from `C` and `N⁻` individually is
+/// what distinguishes PERT from RED (whose condition carries `C³`).
+pub fn scaled_condition_sides(l: f64, sigma: f64, k: f64, r_max: f64) -> (f64, f64) {
+    assert!(sigma > 0.0 && r_max > 0.0);
+    let lhs = l * sigma * sigma * r_max;
+    let rhs = 4.0 * (0.04 / (sigma * sigma * k * k * r_max.powi(4)) + 1.0).sqrt();
+    (lhs, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §5.3 configuration: C = 100 pkt/s, N⁻ = 5, p_max = 0.1,
+    /// T_max = 100 ms, T_min = 50 ms, α = 0.99, δ = 0.1 ms.
+    fn paper_cfg() -> (f64, f64) {
+        let l = l_pert(0.1, 0.100, 0.050);
+        let k = lpf_k(0.99, 1.0e-4);
+        (l, k)
+    }
+
+    #[test]
+    fn paper_constants() {
+        let (l, k) = paper_cfg();
+        assert!((l - 2.0).abs() < 1e-12);
+        assert!((k + 100.503).abs() < 0.01, "K = {k}");
+    }
+
+    #[test]
+    fn stable_at_100ms_unstable_past_171ms() {
+        // §5.3: R = 100 ms and 160 ms satisfy the condition; 171 ms is
+        // "exactly on the stability boundary".
+        let (l, k) = paper_cfg();
+        assert!(theorem1_holds(l, k, 100.0, 5.0, 0.100));
+        assert!(theorem1_holds(l, k, 100.0, 5.0, 0.160));
+        assert!(!theorem1_holds(l, k, 100.0, 5.0, 0.172));
+    }
+
+    #[test]
+    fn boundary_is_at_171ms() {
+        let (l, k) = paper_cfg();
+        let r_max = theorem1_max_rtt(l, k, 100.0, 5.0);
+        assert!(
+            (r_max - 0.171).abs() < 0.001,
+            "boundary {r_max} ≠ 171 ms"
+        );
+    }
+
+    #[test]
+    fn fig13a_min_delta_reaches_point1s_at_n40() {
+        // Fig. 13a: R = 200 ms, C = 1000 pkt/s (10 Mbps / 1250 B), the
+        // minimum δ decreases monotonically in N⁻ and is ≈ 0.1 s around
+        // N⁻ = 40.
+        let l = l_pert(0.1, 0.100, 0.050);
+        let mut prev = f64::INFINITY;
+        for n in 1..=50 {
+            let d = min_delta(0.99, l, 1000.0, n as f64, 0.2);
+            assert!(d <= prev + 1e-12, "not monotone at N = {n}");
+            prev = d;
+        }
+        let d40 = min_delta(0.99, l, 1000.0, 40.0, 0.2);
+        assert!((0.08..0.15).contains(&d40), "δ(40) = {d40}");
+    }
+
+    #[test]
+    fn min_delta_zero_when_condition_trivially_holds() {
+        // Tiny capacity: the radicand goes negative.
+        let l = l_pert(0.1, 0.100, 0.050);
+        assert_eq!(min_delta(0.99, l, 1.0, 50.0, 0.01), 0.0);
+    }
+
+    #[test]
+    fn equilibrium_matches_paper_example() {
+        // §5.2: p* = 2/(W*)² — for W* = 10, p* = 2%.
+        let (w, p) = equilibrium(0.1, 1000.0, 10.0);
+        assert!((w - 10.0).abs() < 1e-12);
+        assert!((p - 0.02).abs() < 1e-12);
+        assert!((p - 2.0 / (w * w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_condition_is_c_independent() {
+        // Equal σ = C/N must give identical sides regardless of C.
+        let (l, k) = paper_cfg();
+        let a = scaled_condition_sides(l, 20.0, k, 0.2);
+        let b = scaled_condition_sides(l, 20.0, k, 0.2);
+        assert_eq!(a, b);
+        // And the sides only change through σ and R⁺.
+        let c = scaled_condition_sides(l, 40.0, k, 0.2);
+        assert!(c.0 > a.0);
+    }
+
+    #[test]
+    fn stability_region_grows_with_more_flows() {
+        let (l, k) = paper_cfg();
+        let r5 = theorem1_max_rtt(l, k, 100.0, 5.0);
+        let r10 = theorem1_max_rtt(l, k, 100.0, 10.0);
+        assert!(r10 > r5);
+    }
+
+    #[test]
+    #[should_panic(expected = "T_max > T_min")]
+    fn l_pert_rejects_inverted_thresholds() {
+        l_pert(0.1, 0.05, 0.10);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the DDE integrator and stability formulas.
+
+use fluid::dde::{integrate, DdeSystem, History, Method};
+use fluid::stability;
+use proptest::prelude::*;
+
+/// Linear scalar ODE x' = a·x with known solution x0·e^{a t}.
+struct LinearOde {
+    a: f64,
+}
+impl DdeSystem for LinearOde {
+    fn dim(&self) -> usize {
+        1
+    }
+    fn max_delay(&self) -> f64 {
+        0.0
+    }
+    fn deriv(&self, _t: f64, x: &[f64], _h: &History<'_>, dx: &mut [f64]) {
+        dx[0] = self.a * x[0];
+    }
+}
+
+/// Two-state rotation: x'' = −ω²x expressed as a first-order system;
+/// energy (x² + (y/ω)²) is conserved by the exact flow.
+struct Oscillator {
+    w: f64,
+}
+impl DdeSystem for Oscillator {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn max_delay(&self) -> f64 {
+        0.0
+    }
+    fn deriv(&self, _t: f64, x: &[f64], _h: &History<'_>, dx: &mut [f64]) {
+        dx[0] = x[1];
+        dx[1] = -self.w * self.w * x[0];
+    }
+}
+
+proptest! {
+    /// RK4 integrates linear decay to high accuracy for any stable rate.
+    #[test]
+    fn rk4_matches_exponential(a in -3.0f64..-0.05, x0 in 0.1f64..10.0) {
+        let tr = integrate(&LinearOde { a }, 0.0, 2.0, 0.01, &[x0], &|_, _| x0, Method::Rk4);
+        let exact = x0 * (a * 2.0).exp();
+        let got = tr.last()[0];
+        prop_assert!((got - exact).abs() < 1e-6 * x0.max(1.0), "got {got}, exact {exact}");
+    }
+
+    /// RK4 nearly conserves the oscillator's energy over many periods.
+    #[test]
+    fn rk4_conserves_oscillator_energy(w in 0.5f64..4.0) {
+        let x0 = [1.0, 0.0];
+        let tr = integrate(&Oscillator { w }, 0.0, 10.0, 0.005, &x0, &|_, _| 0.0, Method::Rk4);
+        let energy = |s: &[f64]| s[0] * s[0] + (s[1] / w) * (s[1] / w);
+        let e0 = energy(&x0);
+        let e1 = energy(tr.last());
+        prop_assert!((e1 - e0).abs() / e0 < 1e-6, "energy drift {e0} -> {e1}");
+    }
+
+    /// The Theorem-1 boundary RTT decreases as the response gain L grows
+    /// and increases with more flows — the qualitative reading of eq. 11.
+    #[test]
+    fn boundary_monotone_in_gain_and_flows(
+        l in 0.5f64..5.0,
+        c in 50.0f64..500.0,
+        n in 2.0f64..20.0,
+    ) {
+        let k = stability::lpf_k(0.99, 1e-4);
+        let r1 = stability::theorem1_max_rtt(l, k, c, n);
+        let r2 = stability::theorem1_max_rtt(2.0 * l, k, c, n);
+        prop_assert!(r2 <= r1 + 1e-9, "gain up, boundary grew: {r1} -> {r2}");
+        let r3 = stability::theorem1_max_rtt(l, k, c, 2.0 * n);
+        prop_assert!(r3 >= r1 - 1e-9, "flows up, boundary shrank: {r1} -> {r3}");
+    }
+
+    /// min_delta is consistent with theorem1: at δ = min_delta(·) the
+    /// condition holds (with the implied K), and it fails for much smaller δ
+    /// whenever min_delta is strictly positive.
+    #[test]
+    fn min_delta_is_the_stability_knee(
+        c in 100.0f64..2000.0,
+        n in 1.0f64..20.0,
+        r in 0.05f64..0.5,
+    ) {
+        let l = stability::l_pert(0.1, 0.100, 0.050);
+        let d = stability::min_delta(0.99, l, c, n, r);
+        if d > 1e-12 {
+            // min_delta sits exactly on the boundary; evaluate a hair above
+            // it so floating-point rounding cannot flip the comparison.
+            let k_at = stability::lpf_k(0.99, d * (1.0 + 1e-9));
+            prop_assert!(
+                stability::theorem1_holds(l, k_at, c, n, r),
+                "condition fails at its own min_delta"
+            );
+            let k_small = stability::lpf_k(0.99, d / 100.0);
+            prop_assert!(
+                !stability::theorem1_holds(l, k_small, c, n, r),
+                "condition holds far below min_delta"
+            );
+        }
+    }
+
+    /// Equilibrium identities of eq. 9: W*·N = R·C and p*·W*² = 2.
+    #[test]
+    fn equilibrium_identities(r in 0.01f64..1.0, c in 10.0f64..1e5, n in 1.0f64..100.0) {
+        let (w, p) = stability::equilibrium(r, c, n);
+        prop_assert!((w * n - r * c).abs() < 1e-6 * (r * c));
+        prop_assert!((p * w * w - 2.0).abs() < 1e-9);
+    }
+}

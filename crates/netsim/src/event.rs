@@ -1,0 +1,198 @@
+//! The event calendar.
+//!
+//! A binary-heap priority queue keyed by `(time, insertion sequence)`.
+//! The sequence number makes ordering of simultaneous events deterministic
+//! (FIFO among equals), which in turn makes every simulation bit-for-bit
+//! reproducible for a given seed — a property the test suite relies on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::ids::{AgentId, LinkId, NodeId};
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// An opaque token an agent attaches to a timer so it can tell its own
+/// timers apart (e.g. retransmission timeout vs. delayed send).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerToken(pub u64);
+
+/// What an event does when it fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A packet arrives at `node` (after propagating across a link, or
+    /// injected directly by the simulation driver).
+    Arrival {
+        /// Node the packet arrives at.
+        node: NodeId,
+        /// The packet itself.
+        packet: Packet,
+    },
+    /// The head-of-line packet on `link` finishes serialization; the link
+    /// should propagate it and start transmitting the next queued packet.
+    Departure {
+        /// Link whose transmission completes.
+        link: LinkId,
+    },
+    /// A timer scheduled by `agent` fires.
+    Timer {
+        /// Owning agent.
+        agent: AgentId,
+        /// Agent-chosen discriminator.
+        token: TimerToken,
+    },
+    /// A control hook fires (flow start/stop, periodic sampling probe, ...).
+    /// The `u64` is interpreted by the simulation driver.
+    Control {
+        /// Driver-chosen discriminator.
+        code: u64,
+    },
+}
+
+/// A scheduled event: a time, a tiebreak sequence, and the action.
+#[derive(Debug)]
+pub struct Event {
+    /// When the event fires.
+    pub at: SimTime,
+    seq: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic event calendar.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl EventQueue {
+    /// Create an empty calendar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` to fire at `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the last event already delivered —
+    /// scheduling into the past would violate causality.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        assert!(
+            at >= self.last_popped,
+            "scheduling into the past: {at:?} < {:?}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Remove and return the earliest event, advancing the internal
+    /// causality watermark.
+    pub fn pop(&mut self) -> Option<Event> {
+        let ev = self.heap.pop()?;
+        self.last_popped = ev.at;
+        Some(ev)
+    }
+
+    /// The firing time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl(code: u64) -> EventKind {
+        EventKind::Control { code }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), ctrl(3));
+        q.schedule(SimTime::from_nanos(10), ctrl(1));
+        q.schedule(SimTime::from_nanos(20), ctrl(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Control { code } => code,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for code in 0..10 {
+            q.schedule(t, ctrl(code));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Control { code } => code,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(100), ctrl(0));
+        q.pop();
+        q.schedule(SimTime::from_nanos(50), ctrl(1));
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.schedule(SimTime::from_nanos(42), ctrl(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(42)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Arena-style identifiers for simulator entities.
+//!
+//! The simulator stores nodes, links, flows and agents in flat `Vec`s and
+//! refers to them with these index newtypes. This keeps the object graph
+//! acyclic (no `Rc<RefCell<...>>` webs) and every lookup O(1).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a node (host or router) in the topology.
+    NodeId,
+    "n"
+);
+id_type!(
+    /// Identifies a unidirectional link.
+    LinkId,
+    "l"
+);
+id_type!(
+    /// Identifies a transport agent (sender or sink endpoint).
+    AgentId,
+    "a"
+);
+id_type!(
+    /// Identifies a flow (a sender/sink pair); used for per-flow accounting
+    /// and drop tracing.
+    FlowId,
+    "f"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_tags() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", LinkId(1)), "l1");
+        assert_eq!(format!("{}", AgentId(0)), "a0");
+        assert_eq!(format!("{}", FlowId(9)), "f9");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(FlowId(4).index(), 4);
+    }
+}

@@ -1,0 +1,134 @@
+//! Unidirectional links.
+//!
+//! A link connects two nodes with a fixed capacity (bits/second) and a
+//! fixed propagation delay, and owns a [`QueueDiscipline`] that buffers
+//! packets awaiting transmission. The link transmits one packet at a time:
+//! when a packet finishes serializing (a `Departure` event), it starts
+//! propagating (arriving at the far end `delay` later) and the next queued
+//! packet begins serialization.
+
+use crate::ids::{LinkId, NodeId};
+use crate::queue::QueueDiscipline;
+use crate::time::{SimDuration, SimTime};
+
+/// A unidirectional link with an attached queue.
+pub struct Link {
+    /// This link's id.
+    pub id: LinkId,
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Capacity in bits per second.
+    pub capacity_bps: u64,
+    /// Propagation delay.
+    pub delay: SimDuration,
+    /// Buffer management discipline.
+    pub queue: Box<dyn QueueDiscipline>,
+    /// True while a packet is being serialized.
+    pub(crate) busy: bool,
+    /// Bits fully serialized since the last measurement-window reset;
+    /// `delivered_bits / (capacity × window)` is the link utilization.
+    pub delivered_bits: u64,
+    /// Packets fully serialized since the last measurement-window reset.
+    pub delivered_pkts: u64,
+}
+
+impl Link {
+    pub(crate) fn new(
+        id: LinkId,
+        from: NodeId,
+        to: NodeId,
+        capacity_bps: u64,
+        delay: SimDuration,
+        queue: Box<dyn QueueDiscipline>,
+    ) -> Self {
+        assert!(capacity_bps > 0, "link capacity must be positive");
+        Link {
+            id,
+            from,
+            to,
+            capacity_bps,
+            delay,
+            queue,
+            busy: false,
+            delivered_bits: 0,
+            delivered_pkts: 0,
+        }
+    }
+
+    /// Utilization over a window of `span`: delivered bits divided by the
+    /// bits the link could have carried. In percent, as the paper reports.
+    pub fn utilization_percent(&self, span: SimDuration) -> f64 {
+        let possible = self.capacity_bps as f64 * span.as_secs_f64();
+        if possible <= 0.0 {
+            return 0.0;
+        }
+        100.0 * self.delivered_bits as f64 / possible
+    }
+
+    /// Zero the delivery counters and restart the queue-occupancy window.
+    pub fn reset_measurement(&mut self, now: SimTime) {
+        self.delivered_bits = 0;
+        self.delivered_pkts = 0;
+        let len = self.queue.len();
+        self.queue.stats_mut().reset_window(now, len);
+    }
+
+    /// Flush the queue-occupancy integral up to `now` (call at the end of a
+    /// measurement window before reading `mean_len`).
+    pub fn flush_stats(&mut self, now: SimTime) {
+        let len = self.queue.len();
+        self.queue.stats_mut().advance(now, len);
+    }
+}
+
+impl std::fmt::Debug for Link {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Link")
+            .field("id", &self.id)
+            .field("from", &self.from)
+            .field("to", &self.to)
+            .field("capacity_bps", &self.capacity_bps)
+            .field("delay", &self.delay)
+            .field("queue", &self.queue.name())
+            .field("busy", &self.busy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::DropTail;
+
+    #[test]
+    fn utilization_math() {
+        let mut l = Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            10_000_000,
+            SimDuration::from_millis(5),
+            Box::new(DropTail::new(10)),
+        );
+        l.delivered_bits = 5_000_000; // half the capacity over 1 s
+        assert!((l.utilization_percent(SimDuration::from_secs(1)) - 50.0).abs() < 1e-9);
+        l.reset_measurement(SimTime::ZERO);
+        assert_eq!(l.delivered_bits, 0);
+        assert_eq!(l.utilization_percent(SimDuration::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            0,
+            SimDuration::ZERO,
+            Box::new(DropTail::new(1)),
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Nodes and static routing.
+//!
+//! A node is a host or a router; the distinction is purely which agents are
+//! attached and how many links terminate there. Forwarding uses a static
+//! per-node next-hop table computed by breadth-first search on hop count
+//! (shortest path, ties broken by lowest link id — deterministic).
+
+use crate::ids::{LinkId, NodeId};
+
+/// A topology node.
+#[derive(Debug, Default)]
+pub struct Node {
+    /// Outgoing links, in creation order.
+    pub out_links: Vec<LinkId>,
+    /// `routes[dst]` is the outgoing link towards `dst`, or `None` if
+    /// unreachable (or `dst` is this node).
+    pub routes: Vec<Option<LinkId>>,
+}
+
+/// Compute next-hop tables for all nodes by BFS from every destination.
+///
+/// `links` provides `(from, to)` per link id. The result is a vector of
+/// route tables, one per node, each indexed by destination node.
+pub fn compute_routes(
+    num_nodes: usize,
+    links: &[(NodeId, NodeId)],
+) -> Vec<Vec<Option<LinkId>>> {
+    // adjacency: for each node, its outgoing (link, to) pairs in link order.
+    let mut adj: Vec<Vec<(LinkId, NodeId)>> = vec![Vec::new(); num_nodes];
+    for (i, &(from, to)) in links.iter().enumerate() {
+        adj[from.index()].push((LinkId(i), to));
+    }
+
+    let mut routes = vec![vec![None; num_nodes]; num_nodes];
+
+    // BFS backwards from each destination over incoming edges. Build the
+    // reverse adjacency once.
+    let mut radj: Vec<Vec<(LinkId, NodeId)>> = vec![Vec::new(); num_nodes];
+    for (i, &(from, to)) in links.iter().enumerate() {
+        radj[to.index()].push((LinkId(i), from));
+    }
+
+    for dst in 0..num_nodes {
+        let mut dist = vec![usize::MAX; num_nodes];
+        dist[dst] = 0;
+        let mut frontier = std::collections::VecDeque::new();
+        frontier.push_back(dst);
+        while let Some(v) = frontier.pop_front() {
+            // Each predecessor `u` of `v` can reach dst via the u→v link.
+            for &(link, u) in &radj[v] {
+                if dist[u.index()] == usize::MAX {
+                    dist[u.index()] = dist[v] + 1;
+                    routes[u.index()][dst] = Some(link);
+                    frontier.push_back(u.index());
+                } else if dist[u.index()] == dist[v] + 1 {
+                    // Tie: keep the lowest link id for determinism.
+                    let cur = routes[u.index()][dst].unwrap();
+                    if link < cur {
+                        routes[u.index()][dst] = Some(link);
+                    }
+                }
+            }
+        }
+    }
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_topology_routes_through_middle() {
+        // n0 <-> n1 <-> n2 (duplex = two unidirectional links each)
+        let links = vec![
+            (NodeId(0), NodeId(1)), // l0
+            (NodeId(1), NodeId(0)), // l1
+            (NodeId(1), NodeId(2)), // l2
+            (NodeId(2), NodeId(1)), // l3
+        ];
+        let routes = compute_routes(3, &links);
+        assert_eq!(routes[0][2], Some(LinkId(0))); // n0 → n2 via l0
+        assert_eq!(routes[1][2], Some(LinkId(2)));
+        assert_eq!(routes[2][0], Some(LinkId(3)));
+        assert_eq!(routes[0][0], None); // self
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let links = vec![(NodeId(0), NodeId(1))];
+        let routes = compute_routes(3, &links);
+        assert_eq!(routes[0][2], None);
+        assert_eq!(routes[1][0], None); // link is unidirectional
+    }
+
+    #[test]
+    fn tie_break_prefers_lowest_link_id() {
+        // Two parallel links n0 → n1.
+        let links = vec![(NodeId(0), NodeId(1)), (NodeId(0), NodeId(1))];
+        let routes = compute_routes(2, &links);
+        assert_eq!(routes[0][1], Some(LinkId(0)));
+    }
+
+    #[test]
+    fn star_topology() {
+        // hub n0 with spokes n1..n3, duplex.
+        let mut links = Vec::new();
+        for s in 1..4 {
+            links.push((NodeId(0), NodeId(s)));
+            links.push((NodeId(s), NodeId(0)));
+        }
+        let routes = compute_routes(4, &links);
+        // spoke to spoke goes via hub.
+        assert_eq!(routes[1][2], routes[1][0]);
+        assert!(routes[1][2].is_some());
+    }
+}

@@ -1,0 +1,223 @@
+//! Packet representation.
+//!
+//! Packets are modelled at the granularity the PERT paper's experiments need:
+//! a flow id, a segment sequence number (segments, not bytes, as in ns-2),
+//! a size in bytes (which determines transmission delay), ECN codepoints,
+//! and a small transport header carried inline (cumulative ACK, up to three
+//! SACK blocks, and a timestamp echo for per-ACK RTT measurement).
+//!
+//! Everything is `Copy`-cheap and heap-free so queues can hold hundreds of
+//! thousands of packets without allocator churn (smoltcp-style).
+
+use crate::ids::{AgentId, FlowId, NodeId};
+use crate::time::SimTime;
+
+/// Maximum number of SACK blocks carried on an ACK, mirroring the common
+/// TCP option-space limit when timestamps are in use.
+pub const MAX_SACK_BLOCKS: usize = 3;
+
+/// ECN codepoint carried by a packet, following RFC 3168 semantics at the
+/// granularity the simulator needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ecn {
+    /// Sender's transport is not ECN-capable; AQM must drop, not mark.
+    NotCapable,
+    /// ECN-capable transport, not yet marked (ECT).
+    Capable,
+    /// Congestion experienced (CE) — marked by an AQM on the path.
+    CongestionExperienced,
+}
+
+impl Ecn {
+    /// True if an AQM may mark this packet instead of dropping it.
+    #[inline]
+    pub fn is_capable(self) -> bool {
+        !matches!(self, Ecn::NotCapable)
+    }
+
+    /// True if the CE mark has been applied.
+    #[inline]
+    pub fn is_marked(self) -> bool {
+        matches!(self, Ecn::CongestionExperienced)
+    }
+}
+
+/// A half-open range `[start, end)` of segment sequence numbers reported by
+/// a SACK block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SackBlock {
+    /// First segment covered by the block.
+    pub start: u64,
+    /// One past the last segment covered by the block.
+    pub end: u64,
+}
+
+impl SackBlock {
+    /// Number of segments the block covers.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True if the block covers no segments.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// True if `seq` lies inside the block.
+    #[inline]
+    pub fn contains(&self, seq: u64) -> bool {
+        self.start <= seq && seq < self.end
+    }
+}
+
+/// The transport-level payload of a packet: either a data segment or an
+/// acknowledgment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// A data segment with the given sequence number (in segments).
+    Data {
+        /// Segment sequence number.
+        seq: u64,
+        /// True if this transmission is a retransmission.
+        retransmit: bool,
+    },
+    /// A (possibly selective) acknowledgment.
+    Ack {
+        /// Cumulative ACK: all segments `< cum_ack` have been received.
+        cum_ack: u64,
+        /// Up to [`MAX_SACK_BLOCKS`] SACK blocks, most recent first; unused
+        /// slots are `None`.
+        sack: [Option<SackBlock>; MAX_SACK_BLOCKS],
+        /// Echo of the timestamp carried by the segment that triggered this
+        /// ACK, used by senders for per-ACK RTT samples.
+        ts_echo: SimTime,
+        /// Forward one-way delay of the triggering segment as measured by
+        /// the receiver (arrival − send timestamp; the simulator's global
+        /// clock models synchronized hosts). Enables the paper's §7
+        /// suggestion of driving PERT from one-way delays so reverse-path
+        /// congestion does not trigger early response.
+        owd_echo: crate::time::SimDuration,
+        /// True if the acknowledged segment carried a CE mark (the receiver
+        /// echoes congestion back to the sender, RFC 3168 ECE semantics).
+        ece: bool,
+    },
+}
+
+/// A simulated packet.
+///
+/// `size_bytes` covers the whole wire footprint (headers + payload) and is
+/// what the link layer charges for transmission time.
+#[derive(Clone, Copy, Debug)]
+pub struct Packet {
+    /// Flow this packet belongs to (for tracing and per-flow accounting).
+    pub flow: FlowId,
+    /// Node the packet is ultimately destined to.
+    pub dst_node: NodeId,
+    /// Agent at `dst_node` that should receive the packet.
+    pub dst_agent: AgentId,
+    /// Total wire size in bytes.
+    pub size_bytes: u32,
+    /// ECN codepoint.
+    pub ecn: Ecn,
+    /// Time the packet was handed to the simulator by its source agent.
+    pub sent_at: SimTime,
+    /// Transport payload.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// Wire size in bits, for transmission-delay computation.
+    #[inline]
+    pub fn size_bits(&self) -> u64 {
+        u64::from(self.size_bytes) * 8
+    }
+
+    /// True if this is a data segment.
+    #[inline]
+    pub fn is_data(&self) -> bool {
+        matches!(self.payload, Payload::Data { .. })
+    }
+
+    /// True if this is an acknowledgment.
+    #[inline]
+    pub fn is_ack(&self) -> bool {
+        matches!(self.payload, Payload::Ack { .. })
+    }
+
+    /// The data sequence number, if this is a data segment.
+    #[inline]
+    pub fn data_seq(&self) -> Option<u64> {
+        match self.payload {
+            Payload::Data { seq, .. } => Some(seq),
+            Payload::Ack { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AgentId, FlowId, NodeId};
+
+    fn mk(payload: Payload) -> Packet {
+        Packet {
+            flow: FlowId(0),
+            dst_node: NodeId(1),
+            dst_agent: AgentId(2),
+            size_bytes: 1000,
+            ecn: Ecn::Capable,
+            sent_at: SimTime::ZERO,
+            payload,
+        }
+    }
+
+    #[test]
+    fn size_bits() {
+        let p = mk(Payload::Data {
+            seq: 0,
+            retransmit: false,
+        });
+        assert_eq!(p.size_bits(), 8000);
+    }
+
+    #[test]
+    fn payload_classification() {
+        let d = mk(Payload::Data {
+            seq: 7,
+            retransmit: false,
+        });
+        assert!(d.is_data() && !d.is_ack());
+        assert_eq!(d.data_seq(), Some(7));
+
+        let a = mk(Payload::Ack {
+            cum_ack: 3,
+            sack: [None; MAX_SACK_BLOCKS],
+            ts_echo: SimTime::ZERO,
+            owd_echo: crate::time::SimDuration::ZERO,
+            ece: false,
+        });
+        assert!(a.is_ack() && !a.is_data());
+        assert_eq!(a.data_seq(), None);
+    }
+
+    #[test]
+    fn ecn_codepoints() {
+        assert!(!Ecn::NotCapable.is_capable());
+        assert!(Ecn::Capable.is_capable());
+        assert!(Ecn::CongestionExperienced.is_capable());
+        assert!(Ecn::CongestionExperienced.is_marked());
+        assert!(!Ecn::Capable.is_marked());
+    }
+
+    #[test]
+    fn sack_block_geometry() {
+        let b = SackBlock { start: 10, end: 14 };
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+        assert!(b.contains(10) && b.contains(13));
+        assert!(!b.contains(14) && !b.contains(9));
+        assert!(SackBlock { start: 5, end: 5 }.is_empty());
+    }
+}

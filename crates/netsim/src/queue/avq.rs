@@ -1,0 +1,267 @@
+//! AVQ — the Adaptive Virtual Queue of Kunniyur & Srikant (SIGCOMM 2001;
+//! reference [19] of the PERT paper).
+//!
+//! AVQ keeps a *virtual* queue whose capacity `C̃` is adapted so the real
+//! link settles at a target utilization `γ` (< 1): each arrival is offered
+//! to the virtual queue first, and arrivals that would overflow it are
+//! marked/dropped at the real queue. Between arrivals the virtual queue
+//! drains at `C̃`, and the virtual capacity adapts as
+//!
+//! ```text
+//! C̃' = α·(γ·C − λ)        (λ = arrival rate)
+//! ```
+//!
+//! implemented event-driven at each arrival exactly as in the original
+//! paper's pseudo-code:
+//!
+//! ```text
+//! VQ  ← max(VQ − C̃·(t − s), 0)            // drain since last arrival
+//! C̃   ← clamp(C̃ + α·γ·C·(t − s) − α·b, 0, C)
+//! if VQ + b > B̃ : mark/drop  else VQ ← VQ + b
+//! ```
+
+use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
+use crate::packet::{Ecn, Packet};
+use crate::time::SimTime;
+
+/// AVQ configuration.
+#[derive(Clone, Debug)]
+pub struct AvqParams {
+    /// Real buffer limit, packets.
+    pub capacity_pkts: usize,
+    /// Virtual buffer limit, packets (usually the real buffer size).
+    pub virtual_capacity_pkts: f64,
+    /// Real link capacity, packets/second.
+    pub link_pps: f64,
+    /// Desired utilization γ (Kunniyur & Srikant use 0.98).
+    pub gamma: f64,
+    /// Adaptation gain α (their stability analysis suggests α ≲ 0.15 for
+    /// typical configurations).
+    pub alpha: f64,
+    /// Mark ECN-capable packets instead of dropping.
+    pub ecn: bool,
+}
+
+impl AvqParams {
+    /// The original paper's recommended configuration for a link of
+    /// `pps` packets/second with `buffer` packets of real buffering.
+    pub fn recommended(buffer: usize, pps: f64, ecn: bool) -> Self {
+        AvqParams {
+            capacity_pkts: buffer,
+            virtual_capacity_pkts: buffer as f64,
+            link_pps: pps,
+            gamma: 0.98,
+            alpha: 0.15,
+            ecn,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.capacity_pkts > 0, "capacity must be positive");
+        assert!(self.virtual_capacity_pkts > 0.0);
+        assert!(self.link_pps > 0.0);
+        assert!(
+            self.gamma > 0.0 && self.gamma <= 1.0,
+            "gamma must be in (0, 1]"
+        );
+        assert!(self.alpha > 0.0, "alpha must be positive");
+    }
+}
+
+/// An AVQ queue.
+#[derive(Debug)]
+pub struct AvqQueue {
+    params: AvqParams,
+    store: FifoStore,
+    stats: QueueStats,
+    /// Virtual queue occupancy, packets (fractional).
+    vq: f64,
+    /// Virtual capacity C̃, packets/second.
+    c_tilde: f64,
+    /// Time of the previous arrival.
+    last_arrival: SimTime,
+}
+
+impl AvqQueue {
+    /// Create an AVQ queue; the virtual capacity starts at the real one.
+    pub fn new(params: AvqParams) -> Self {
+        params.validate();
+        let c = params.link_pps;
+        AvqQueue {
+            params,
+            store: FifoStore::default(),
+            stats: QueueStats::default(),
+            vq: 0.0,
+            c_tilde: c,
+            last_arrival: SimTime::ZERO,
+        }
+    }
+
+    /// Current virtual capacity C̃, packets/second.
+    pub fn virtual_capacity(&self) -> f64 {
+        self.c_tilde
+    }
+
+    /// Current virtual queue occupancy, packets.
+    pub fn virtual_queue(&self) -> f64 {
+        self.vq
+    }
+}
+
+impl QueueDiscipline for AvqQueue {
+    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> EnqueueOutcome {
+        self.stats.advance(now, self.store.len());
+        if self.store.len() >= self.params.capacity_pkts {
+            self.stats.dropped += 1;
+            return EnqueueOutcome::Dropped(pkt, DropReason::Overflow);
+        }
+
+        // Event-driven AVQ update at this arrival.
+        let dt = now.duration_since(self.last_arrival).as_secs_f64();
+        self.last_arrival = now;
+        let b = 1.0; // one packet
+        self.vq = (self.vq - self.c_tilde * dt).max(0.0);
+        self.c_tilde = (self.c_tilde
+            + self.params.alpha * (self.params.gamma * self.params.link_pps * dt - b))
+            .clamp(0.0, self.params.link_pps);
+
+        let congested = self.vq + b > self.params.virtual_capacity_pkts;
+        if congested {
+            // Virtual overflow: signal congestion (virtual queue unchanged).
+            if self.params.ecn && pkt.ecn.is_capable() {
+                pkt.ecn = Ecn::CongestionExperienced;
+                self.store.push(pkt);
+                self.stats.enqueued += 1;
+                self.stats.marked += 1;
+                return EnqueueOutcome::Marked;
+            }
+            self.stats.dropped += 1;
+            return EnqueueOutcome::Dropped(pkt, DropReason::Early);
+        }
+        self.vq += b;
+        self.store.push(pkt);
+        self.stats.enqueued += 1;
+        EnqueueOutcome::Enqueued
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        self.stats.advance(now, self.store.len());
+        let pkt = self.store.pop()?;
+        self.stats.dequeued += 1;
+        Some(pkt)
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.store.bytes()
+    }
+
+    fn capacity_pkts(&self) -> usize {
+        self.params.capacity_pkts
+    }
+
+    fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut QueueStats {
+        &mut self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "AVQ"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::test_packet;
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn mk() -> AvqQueue {
+        // 1000 pkt/s link, 50-packet buffers.
+        AvqQueue::new(AvqParams::recommended(50, 1000.0, false))
+    }
+
+    #[test]
+    fn sparse_arrivals_pass_untouched() {
+        let mut q = mk();
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            t = t + SimDuration::from_millis(10); // exactly link rate / 10
+            assert!(matches!(
+                q.enqueue(test_packet(1000, Ecn::NotCapable), t),
+                EnqueueOutcome::Enqueued
+            ));
+            q.dequeue(t);
+        }
+        assert_eq!(q.stats().dropped, 0);
+    }
+
+    #[test]
+    fn overload_shrinks_virtual_capacity_and_signals() {
+        let mut q = mk();
+        let mut t = SimTime::ZERO;
+        let c0 = q.virtual_capacity();
+        // Arrivals at 5× the link rate.
+        let mut dropped = 0;
+        for _ in 0..2000 {
+            t = t + SimDuration::from_micros(200);
+            if matches!(
+                q.enqueue(test_packet(1000, Ecn::NotCapable), t),
+                EnqueueOutcome::Dropped(..)
+            ) {
+                dropped += 1;
+            }
+            q.dequeue(t);
+        }
+        assert!(q.virtual_capacity() < c0, "C~ did not adapt down");
+        assert!(dropped > 0, "no early signals under 5x overload");
+    }
+
+    #[test]
+    fn virtual_capacity_stays_clamped() {
+        let mut q = mk();
+        let mut t = SimTime::ZERO;
+        for i in 0..5000 {
+            // Bursty on/off arrivals.
+            let gap = if i % 100 < 50 { 100 } else { 5000 };
+            t = t + SimDuration::from_micros(gap);
+            let _ = q.enqueue(test_packet(1000, Ecn::NotCapable), t);
+            let _ = q.dequeue(t);
+            assert!((0.0..=1000.0).contains(&q.virtual_capacity()));
+            assert!(q.virtual_queue() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn ecn_marks_when_enabled() {
+        let mut q = AvqQueue::new(AvqParams::recommended(50, 1000.0, true));
+        let mut t = SimTime::ZERO;
+        let mut marked = 0;
+        for _ in 0..2000 {
+            t = t + SimDuration::from_micros(200); // 5x overload
+            if matches!(
+                q.enqueue(test_packet(1000, Ecn::Capable), t),
+                EnqueueOutcome::Marked
+            ) {
+                marked += 1;
+            }
+            q.dequeue(t);
+        }
+        assert!(marked > 0);
+        assert_eq!(q.stats().dropped, 0, "ECT packets must be marked, not dropped");
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in (0, 1]")]
+    fn rejects_bad_gamma() {
+        let mut p = AvqParams::recommended(10, 100.0, false);
+        p.gamma = 1.5;
+        AvqQueue::new(p);
+    }
+}

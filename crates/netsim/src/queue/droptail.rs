@@ -1,0 +1,150 @@
+//! Plain FIFO with tail drop — the default router behaviour in the paper's
+//! SACK/DropTail baseline and under the PERT and Vegas experiments (both of
+//! which assume unmodified routers).
+
+use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// First-in first-out queue that drops arrivals when full.
+#[derive(Debug)]
+pub struct DropTail {
+    store: FifoStore,
+    capacity_pkts: usize,
+    stats: QueueStats,
+}
+
+impl DropTail {
+    /// Create a tail-drop FIFO holding at most `capacity_pkts` packets.
+    ///
+    /// # Panics
+    /// Panics if `capacity_pkts` is zero.
+    pub fn new(capacity_pkts: usize) -> Self {
+        assert!(capacity_pkts > 0, "queue capacity must be positive");
+        DropTail {
+            store: FifoStore::default(),
+            capacity_pkts,
+            stats: QueueStats::default(),
+        }
+    }
+}
+
+impl QueueDiscipline for DropTail {
+    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
+        self.stats.advance(now, self.store.len());
+        if self.store.len() >= self.capacity_pkts {
+            self.stats.dropped += 1;
+            return EnqueueOutcome::Dropped(pkt, DropReason::Overflow);
+        }
+        self.store.push(pkt);
+        self.stats.enqueued += 1;
+        EnqueueOutcome::Enqueued
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        self.stats.advance(now, self.store.len());
+        let pkt = self.store.pop()?;
+        self.stats.dequeued += 1;
+        Some(pkt)
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.store.bytes()
+    }
+
+    fn capacity_pkts(&self) -> usize {
+        self.capacity_pkts
+    }
+
+    fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut QueueStats {
+        &mut self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "DropTail"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::test_packet;
+    use super::*;
+    use crate::packet::Ecn;
+
+    #[test]
+    fn accepts_until_full_then_drops() {
+        let mut q = DropTail::new(2);
+        let t = SimTime::ZERO;
+        assert!(matches!(
+            q.enqueue(test_packet(100, Ecn::NotCapable), t),
+            EnqueueOutcome::Enqueued
+        ));
+        assert!(matches!(
+            q.enqueue(test_packet(100, Ecn::NotCapable), t),
+            EnqueueOutcome::Enqueued
+        ));
+        assert!(matches!(
+            q.enqueue(test_packet(100, Ecn::NotCapable), t),
+            EnqueueOutcome::Dropped(_, DropReason::Overflow)
+        ));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.stats().dropped, 1);
+        assert_eq!(q.stats().enqueued, 2);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = DropTail::new(10);
+        for seq in 0..5u64 {
+            let mut p = test_packet(100, Ecn::NotCapable);
+            p.payload = crate::packet::Payload::Data {
+                seq,
+                retransmit: false,
+            };
+            q.enqueue(p, SimTime::ZERO);
+        }
+        for seq in 0..5u64 {
+            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().data_seq(), Some(seq));
+        }
+        assert!(q.dequeue(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn conservation_enqueued_equals_dequeued_plus_resident() {
+        let mut q = DropTail::new(3);
+        for _ in 0..10 {
+            q.enqueue(test_packet(50, Ecn::NotCapable), SimTime::ZERO);
+        }
+        let mut out = 0;
+        while q.dequeue(SimTime::ZERO).is_some() {
+            out += 1;
+        }
+        assert_eq!(q.stats().enqueued, out);
+        assert_eq!(q.stats().enqueued + q.stats().dropped, 10);
+    }
+
+    #[test]
+    fn never_marks() {
+        let mut q = DropTail::new(1);
+        match q.enqueue(test_packet(100, Ecn::Capable), SimTime::ZERO) {
+            EnqueueOutcome::Enqueued => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(q.stats().marked, 0);
+        assert!(!q.dequeue(SimTime::ZERO).unwrap().ecn.is_marked());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = DropTail::new(0);
+    }
+}

@@ -1,0 +1,164 @@
+//! A random-loss wrapper around any queue discipline.
+//!
+//! Models non-congestion loss (wireless corruption, faulty hardware):
+//! every arriving packet is independently dropped with a fixed probability
+//! *before* the inner discipline sees it. Used by the robustness
+//! experiments to check that PERT's delay-based predictor is not confused
+//! by losses that carry no congestion information — a key failure mode of
+//! pure loss-based control.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::{DropReason, EnqueueOutcome, QueueDiscipline, QueueStats};
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+
+/// Wraps an inner discipline with Bernoulli packet corruption.
+pub struct RandomLoss {
+    inner: Box<dyn QueueDiscipline>,
+    loss_prob: f64,
+    rng: SmallRng,
+    /// Packets destroyed by the loss process (also counted in the shared
+    /// `dropped` statistic).
+    pub corrupted: u64,
+}
+
+impl RandomLoss {
+    /// Wrap `inner`, dropping each arrival independently with
+    /// `loss_prob`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ loss_prob < 1`.
+    pub fn new(inner: Box<dyn QueueDiscipline>, loss_prob: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&loss_prob),
+            "loss probability must be in [0, 1)"
+        );
+        RandomLoss {
+            inner,
+            loss_prob,
+            rng: SmallRng::seed_from_u64(seed ^ 0x1055_1055),
+            corrupted: 0,
+        }
+    }
+
+    /// The wrapped discipline.
+    pub fn inner(&self) -> &dyn QueueDiscipline {
+        self.inner.as_ref()
+    }
+}
+
+impl QueueDiscipline for RandomLoss {
+    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
+        if self.loss_prob > 0.0 && self.rng.gen::<f64>() < self.loss_prob {
+            self.corrupted += 1;
+            self.inner.stats_mut().dropped += 1;
+            return EnqueueOutcome::Dropped(pkt, DropReason::Early);
+        }
+        self.inner.enqueue(pkt, now)
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        self.inner.dequeue(now)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.inner.len_bytes()
+    }
+
+    fn capacity_pkts(&self) -> usize {
+        self.inner.capacity_pkts()
+    }
+
+    fn stats(&self) -> &QueueStats {
+        self.inner.stats()
+    }
+
+    fn stats_mut(&mut self) -> &mut QueueStats {
+        self.inner.stats_mut()
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        self.inner.on_tick(now);
+    }
+
+    fn tick_interval(&self) -> Option<SimDuration> {
+        self.inner.tick_interval()
+    }
+
+    fn name(&self) -> &'static str {
+        "lossy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::test_packet;
+    use super::super::DropTail;
+    use super::*;
+    use crate::packet::Ecn;
+
+    #[test]
+    fn zero_probability_is_transparent() {
+        let mut q = RandomLoss::new(Box::new(DropTail::new(10)), 0.0, 1);
+        for _ in 0..10 {
+            assert!(matches!(
+                q.enqueue(test_packet(100, Ecn::NotCapable), SimTime::ZERO),
+                EnqueueOutcome::Enqueued
+            ));
+        }
+        assert_eq!(q.corrupted, 0);
+        assert_eq!(q.len(), 10);
+    }
+
+    #[test]
+    fn loss_rate_matches_configuration() {
+        let mut q = RandomLoss::new(Box::new(DropTail::new(100_000)), 0.1, 2);
+        let n = 50_000;
+        for _ in 0..n {
+            let _ = q.enqueue(test_packet(100, Ecn::NotCapable), SimTime::ZERO);
+            let _ = q.dequeue(SimTime::ZERO);
+        }
+        let rate = q.corrupted as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "corruption rate {rate}");
+    }
+
+    #[test]
+    fn corrupted_packets_count_as_drops() {
+        let mut q = RandomLoss::new(Box::new(DropTail::new(10)), 0.5, 3);
+        for _ in 0..100 {
+            let _ = q.enqueue(test_packet(100, Ecn::NotCapable), SimTime::ZERO);
+            let _ = q.dequeue(SimTime::ZERO);
+        }
+        assert_eq!(q.stats().dropped, q.corrupted);
+        assert!(q.corrupted > 20);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut q = RandomLoss::new(Box::new(DropTail::new(10)), 0.3, seed);
+            (0..100)
+                .map(|_| {
+                    matches!(
+                        q.enqueue(test_packet(100, Ecn::NotCapable), SimTime::ZERO),
+                        EnqueueOutcome::Dropped(..)
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn rejects_certain_loss() {
+        let _ = RandomLoss::new(Box::new(DropTail::new(1)), 1.0, 0);
+    }
+}

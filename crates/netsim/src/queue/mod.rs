@@ -1,0 +1,276 @@
+//! Queue disciplines (buffer management / AQM).
+//!
+//! Every link owns a [`QueueDiscipline`]. The link hands arriving packets to
+//! [`QueueDiscipline::enqueue`], which decides to store, ECN-mark-and-store,
+//! or drop them; the link pulls packets for transmission with
+//! [`QueueDiscipline::dequeue`].
+//!
+//! Implementations:
+//! * [`DropTail`] — plain FIFO with tail drop (the paper's baseline),
+//! * [`RedQueue`] — Random Early Detection with optional *gentle* slope and
+//!   the Adaptive-RED auto-tuning the paper uses for its RED/ECN routers,
+//! * [`PiQueue`] — the Proportional-Integral AQM of Hollot et al., which
+//!   PERT/PI emulates from the end host,
+//! * [`RemQueue`] — Random Exponential Marking (Athuraliya & Low), the
+//!   reference point for the PERT/REM generalization,
+//! * [`AvqQueue`] — the Adaptive Virtual Queue of Kunniyur & Srikant,
+//! * [`RandomLoss`] — a Bernoulli-corruption wrapper for robustness
+//!   experiments (non-congestion loss).
+
+mod avq;
+mod droptail;
+mod lossy;
+mod pi;
+mod red;
+mod rem;
+
+pub use avq::{AvqParams, AvqQueue};
+pub use droptail::DropTail;
+pub use lossy::RandomLoss;
+pub use pi::{PiParams, PiQueue};
+pub use red::{AdaptiveRedParams, RedParams, RedQueue};
+pub use rem::{RemParams, RemQueue};
+
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+
+/// Why a queue dropped a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Buffer was full (tail drop / forced drop).
+    Overflow,
+    /// Early (probabilistic) drop by an AQM on an ECN-incapable packet, or
+    /// beyond the AQM's hard-drop region.
+    Early,
+}
+
+/// Result of offering a packet to a queue.
+#[derive(Debug)]
+pub enum EnqueueOutcome {
+    /// Stored unchanged.
+    Enqueued,
+    /// Stored with the ECN CE codepoint applied by the AQM.
+    Marked,
+    /// Rejected; the packet is handed back for loss tracing.
+    Dropped(Packet, DropReason),
+}
+
+/// Time-weighted occupancy and event counters shared by all disciplines.
+///
+/// `integral_pkt_ns` accumulates `queue length × time`, giving an exact
+/// time-weighted mean queue length — the `Q` column of the paper's
+/// evaluation figures.
+#[derive(Debug, Default, Clone)]
+pub struct QueueStats {
+    /// Packets accepted (including marked).
+    pub enqueued: u64,
+    /// Packets handed to the link for transmission.
+    pub dequeued: u64,
+    /// Packets dropped, by any reason.
+    pub dropped: u64,
+    /// Packets ECN-marked.
+    pub marked: u64,
+    /// ∫ q(t) dt in packet·nanoseconds, up to `last_change`.
+    pub integral_pkt_ns: u128,
+    /// Time of the last occupancy change accounted in the integral.
+    pub last_change: SimTime,
+    /// Largest instantaneous occupancy seen (packets).
+    pub peak_len: usize,
+}
+
+impl QueueStats {
+    /// Fold the elapsed interval at occupancy `len` into the time integral.
+    /// Call *before* every occupancy change and once at measurement end.
+    pub fn advance(&mut self, now: SimTime, len: usize) {
+        let dt = now.duration_since(self.last_change).as_nanos();
+        self.integral_pkt_ns += dt as u128 * len as u128;
+        self.last_change = now;
+        if len > self.peak_len {
+            self.peak_len = len;
+        }
+    }
+
+    /// Time-weighted mean occupancy (packets) between `start` and `end`.
+    ///
+    /// Only meaningful when the caller also restricted the integral to that
+    /// window (see [`QueueStats::reset_window`]).
+    pub fn mean_len(&self, start: SimTime, end: SimTime) -> f64 {
+        let span = end.duration_since(start).as_nanos();
+        if span == 0 {
+            return 0.0;
+        }
+        self.integral_pkt_ns as f64 / span as f64
+    }
+
+    /// Restart the measurement window at `now` with current occupancy `len`,
+    /// zeroing counters and the occupancy integral. Used to discard the
+    /// warm-up transient (the paper measures t ∈ [100 s, 300 s]).
+    pub fn reset_window(&mut self, now: SimTime, len: usize) {
+        *self = QueueStats {
+            last_change: now,
+            peak_len: len,
+            ..QueueStats::default()
+        };
+    }
+
+    /// Fraction of offered packets that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        let offered = self.enqueued + self.dropped;
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / offered as f64
+        }
+    }
+
+    /// Fraction of offered packets that were ECN-marked.
+    pub fn mark_rate(&self) -> f64 {
+        let offered = self.enqueued + self.dropped;
+        if offered == 0 {
+            0.0
+        } else {
+            self.marked as f64 / offered as f64
+        }
+    }
+}
+
+/// A buffer-management discipline attached to a link.
+pub trait QueueDiscipline: Send {
+    /// Offer `pkt` to the queue at time `now`.
+    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome;
+
+    /// Remove the next packet to transmit, if any.
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+
+    /// Instantaneous occupancy in packets.
+    fn len(&self) -> usize;
+
+    /// True if no packets are buffered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Instantaneous occupancy in bytes.
+    fn len_bytes(&self) -> u64;
+
+    /// Configured capacity in packets.
+    fn capacity_pkts(&self) -> usize;
+
+    /// Shared counters / occupancy integral.
+    fn stats(&self) -> &QueueStats;
+
+    /// Mutable access to the counters (for window resets and final
+    /// integral flushes by monitors).
+    fn stats_mut(&mut self) -> &mut QueueStats;
+
+    /// Give periodic disciplines (Adaptive RED's `max_p` adaptation, PI's
+    /// probability update) a chance to run. The link calls this from a
+    /// periodic control event; FIFO disciplines ignore it.
+    fn on_tick(&mut self, _now: SimTime) {}
+
+    /// The interval at which [`QueueDiscipline::on_tick`] wants to be
+    /// called, or `None` if the discipline is purely event-driven.
+    fn tick_interval(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// A short human-readable name for reports (e.g. `"RED"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Shared plain-FIFO storage used by the concrete disciplines.
+#[derive(Debug, Default)]
+pub(crate) struct FifoStore {
+    buf: std::collections::VecDeque<Packet>,
+    bytes: u64,
+}
+
+impl FifoStore {
+    pub(crate) fn push(&mut self, pkt: Packet) {
+        self.bytes += u64::from(pkt.size_bytes);
+        self.buf.push_back(pkt);
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Packet> {
+        let pkt = self.buf.pop_front()?;
+        self.bytes -= u64::from(pkt.size_bytes);
+        Some(pkt)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub(crate) fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AgentId, FlowId, NodeId};
+    use crate::packet::{Ecn, Payload};
+
+    pub(crate) fn test_packet(size: u32, ecn: Ecn) -> Packet {
+        Packet {
+            flow: FlowId(0),
+            dst_node: NodeId(0),
+            dst_agent: AgentId(0),
+            size_bytes: size,
+            ecn,
+            sent_at: SimTime::ZERO,
+            payload: Payload::Data {
+                seq: 0,
+                retransmit: false,
+            },
+        }
+    }
+
+    #[test]
+    fn stats_time_weighted_mean() {
+        let mut s = QueueStats::default();
+        // Occupancy 2 for 10ns, then 4 for 30ns: mean = (20+120)/40 = 3.5
+        s.advance(SimTime::from_nanos(10), 2);
+        s.advance(SimTime::from_nanos(40), 4);
+        assert!((s.mean_len(SimTime::ZERO, SimTime::from_nanos(40)) - 3.5).abs() < 1e-12);
+        assert_eq!(s.peak_len, 4);
+    }
+
+    #[test]
+    fn stats_window_reset() {
+        let mut s = QueueStats::default();
+        s.enqueued = 10;
+        s.dropped = 5;
+        s.advance(SimTime::from_nanos(100), 7);
+        s.reset_window(SimTime::from_nanos(100), 3);
+        assert_eq!(s.enqueued, 0);
+        assert_eq!(s.integral_pkt_ns, 0);
+        assert_eq!(s.last_change, SimTime::from_nanos(100));
+        assert_eq!(s.peak_len, 3);
+    }
+
+    #[test]
+    fn drop_and_mark_rates() {
+        let s = QueueStats {
+            enqueued: 90,
+            dropped: 10,
+            marked: 9,
+            ..Default::default()
+        };
+        assert!((s.drop_rate() - 0.1).abs() < 1e-12);
+        assert!((s.mark_rate() - 0.09).abs() < 1e-12);
+        assert_eq!(QueueStats::default().drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn fifo_store_tracks_bytes() {
+        let mut f = FifoStore::default();
+        f.push(test_packet(100, Ecn::NotCapable));
+        f.push(test_packet(250, Ecn::NotCapable));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.bytes(), 350);
+        assert_eq!(f.pop().unwrap().size_bytes, 100);
+        assert_eq!(f.bytes(), 250);
+    }
+}

@@ -1,0 +1,508 @@
+//! Random Early Detection (Floyd & Jacobson 1993) with the *gentle*
+//! extension and the Adaptive-RED auto-tuning of Floyd, Gummadi & Shenker
+//! (2001). This is the router the paper's `SACK/RED-ECN` baseline uses
+//! ("we have used the adaptive RED version for the routers", §4.2) and the
+//! algorithm whose probabilistic response PERT emulates at the end host.
+//!
+//! Algorithm summary (per arriving packet):
+//! 1. update the EWMA average queue `avg` (with idle-time compensation),
+//! 2. if `avg < min_th`: enqueue;
+//!    if `min_th ≤ avg < max_th`: mark/drop with probability
+//!    `p_b = max_p (avg − min_th)/(max_th − min_th)`, spread by the
+//!    `count` mechanism: `p_a = p_b / (1 − count · p_b)`;
+//!    if gentle and `max_th ≤ avg < 2·max_th`:
+//!    `p_b = max_p + (1 − max_p)(avg − max_th)/max_th`;
+//!    beyond the region (`avg ≥ 2·max_th`, or `≥ max_th` when not gentle):
+//!    force a drop,
+//! 3. ECN-capable packets are marked instead of dropped in the
+//!    probabilistic region; forced drops always drop.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
+use crate::packet::{Ecn, Packet};
+use crate::time::{SimDuration, SimTime};
+
+/// Static RED configuration.
+#[derive(Clone, Debug)]
+pub struct RedParams {
+    /// Hard buffer limit in packets.
+    pub capacity_pkts: usize,
+    /// Lower average-queue threshold (packets).
+    pub min_th: f64,
+    /// Upper average-queue threshold (packets).
+    pub max_th: f64,
+    /// Marking probability at `max_th`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue (`avg += w_q (q − avg)`).
+    pub w_q: f64,
+    /// Use the gentle slope between `max_th` and `2·max_th`.
+    pub gentle: bool,
+    /// Mark ECN-capable packets instead of dropping them.
+    pub ecn: bool,
+    /// Mean packet transmission time, used to decay `avg` across idle
+    /// periods (ns-2's `ptc` idle compensation).
+    pub mean_pkt_time: SimDuration,
+    /// RNG seed for the marking coin flips.
+    pub seed: u64,
+}
+
+impl RedParams {
+    /// The classic rule-of-thumb configuration for a link buffered with
+    /// `capacity_pkts` packets draining at `capacity_pps` packets/second:
+    /// `min_th = max(5, capacity/12)`, `max_th = 3·min_th`,
+    /// `w_q = 1 − exp(−1/C)` (Adaptive RED's automatic setting),
+    /// gentle mode on, `max_p = 0.1`.
+    pub fn recommended(capacity_pkts: usize, capacity_pps: f64, ecn: bool, seed: u64) -> Self {
+        let min_th = (capacity_pkts as f64 / 12.0).max(5.0);
+        let max_th = 3.0 * min_th;
+        let w_q = 1.0 - (-1.0 / capacity_pps.max(1.0)).exp();
+        RedParams {
+            capacity_pkts,
+            min_th,
+            max_th,
+            max_p: 0.1,
+            w_q,
+            gentle: true,
+            ecn,
+            mean_pkt_time: SimDuration::from_secs_f64(1.0 / capacity_pps.max(1.0)),
+            seed,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.capacity_pkts > 0, "capacity must be positive");
+        assert!(
+            self.min_th > 0.0 && self.max_th > self.min_th,
+            "need 0 < min_th < max_th"
+        );
+        assert!(
+            self.max_p > 0.0 && self.max_p <= 1.0,
+            "max_p must be in (0, 1]"
+        );
+        assert!(self.w_q > 0.0 && self.w_q <= 1.0, "w_q must be in (0, 1]");
+    }
+}
+
+/// Adaptive-RED add-on: periodically nudges `max_p` so the average queue
+/// settles inside the target band `[min_th + 0.4·Δ, min_th + 0.6·Δ]`
+/// where `Δ = max_th − min_th` (Floyd et al. 2001, AIMD variant).
+#[derive(Clone, Debug)]
+pub struct AdaptiveRedParams {
+    /// Adaptation period (0.5 s in the paper).
+    pub interval: SimDuration,
+    /// Additive increment applied to `max_p` when above the band
+    /// (capped at `max_p/4` as recommended).
+    pub alpha: f64,
+    /// Multiplicative decrease factor applied when below the band.
+    pub beta: f64,
+    /// Bounds on `max_p`.
+    pub max_p_bounds: (f64, f64),
+}
+
+impl Default for AdaptiveRedParams {
+    fn default() -> Self {
+        AdaptiveRedParams {
+            interval: SimDuration::from_millis(500),
+            alpha: 0.01,
+            beta: 0.9,
+            max_p_bounds: (0.01, 0.5),
+        }
+    }
+}
+
+/// A RED (optionally Adaptive-RED) queue.
+#[derive(Debug)]
+pub struct RedQueue {
+    params: RedParams,
+    adaptive: Option<AdaptiveRedParams>,
+    store: FifoStore,
+    stats: QueueStats,
+    rng: SmallRng,
+    /// EWMA of the queue length in packets.
+    avg: f64,
+    /// Packets enqueued since the last mark/drop (the uniformization
+    /// counter of the original paper). −1 right after a mark.
+    count: i64,
+    /// Start of the current idle period, if the queue is empty.
+    idle_since: Option<SimTime>,
+    /// Current max_p (mutated by the adaptive add-on).
+    max_p: f64,
+}
+
+impl RedQueue {
+    /// Create a RED queue with fixed parameters.
+    pub fn new(params: RedParams) -> Self {
+        params.validate();
+        let max_p = params.max_p;
+        let seed = params.seed;
+        RedQueue {
+            params,
+            adaptive: None,
+            store: FifoStore::default(),
+            stats: QueueStats::default(),
+            rng: SmallRng::seed_from_u64(seed ^ 0x5ca1ab1e),
+            avg: 0.0,
+            count: -1,
+            idle_since: Some(SimTime::ZERO),
+            max_p,
+        }
+    }
+
+    /// Create an Adaptive-RED queue (what the paper runs at RED routers).
+    pub fn adaptive(params: RedParams, adaptive: AdaptiveRedParams) -> Self {
+        let mut q = RedQueue::new(params);
+        q.adaptive = Some(adaptive);
+        q
+    }
+
+    /// Current EWMA average queue length in packets.
+    pub fn avg_queue(&self) -> f64 {
+        self.avg
+    }
+
+    /// Current `max_p` (differs from the configured value once the
+    /// adaptive machinery has run).
+    pub fn current_max_p(&self) -> f64 {
+        self.max_p
+    }
+
+    /// Update the EWMA. If the queue has been idle, decay the average as if
+    /// `m` small packets had drained during the idle time (ns-2 idle
+    /// compensation), where `m = idle_time / mean_pkt_time`.
+    fn update_avg(&mut self, now: SimTime) {
+        if let Some(idle_start) = self.idle_since.take() {
+            let idle = now.duration_since(idle_start).as_secs_f64();
+            let mean = self.params.mean_pkt_time.as_secs_f64().max(1e-12);
+            let m = idle / mean;
+            self.avg *= (1.0 - self.params.w_q).powf(m);
+        }
+        self.avg += self.params.w_q * (self.store.len() as f64 - self.avg);
+    }
+
+    /// The base marking probability `p_b` for the current average.
+    /// Returns `None` when the average lies beyond the probabilistic region
+    /// (forced drop) and `Some(0.0)` below `min_th`.
+    fn base_probability(&self) -> Option<f64> {
+        let RedParams {
+            min_th,
+            max_th,
+            gentle,
+            ..
+        } = self.params;
+        if self.avg < min_th {
+            Some(0.0)
+        } else if self.avg < max_th {
+            Some(self.max_p * (self.avg - min_th) / (max_th - min_th))
+        } else if gentle && self.avg < 2.0 * max_th {
+            Some(self.max_p + (1.0 - self.max_p) * (self.avg - max_th) / max_th)
+        } else {
+            None
+        }
+    }
+
+    fn adapt(&mut self) {
+        let Some(a) = &self.adaptive else { return };
+        let delta = self.params.max_th - self.params.min_th;
+        let target_lo = self.params.min_th + 0.4 * delta;
+        let target_hi = self.params.min_th + 0.6 * delta;
+        if self.avg > target_hi && self.max_p < a.max_p_bounds.1 {
+            let inc = a.alpha.min(self.max_p / 4.0);
+            self.max_p = (self.max_p + inc).min(a.max_p_bounds.1);
+        } else if self.avg < target_lo && self.max_p > a.max_p_bounds.0 {
+            self.max_p = (self.max_p * a.beta).max(a.max_p_bounds.0);
+        }
+    }
+}
+
+impl QueueDiscipline for RedQueue {
+    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> EnqueueOutcome {
+        self.stats.advance(now, self.store.len());
+        self.update_avg(now);
+
+        // Hard limit first: a full buffer always tail-drops.
+        if self.store.len() >= self.params.capacity_pkts {
+            self.count = 0;
+            self.stats.dropped += 1;
+            return EnqueueOutcome::Dropped(pkt, DropReason::Overflow);
+        }
+
+        let verdict = match self.base_probability() {
+            None => Some(DropReason::Early), // beyond 2·max_th (or max_th, sharp)
+            Some(p_b) if p_b > 0.0 => {
+                self.count += 1;
+                // Uniformize inter-mark gaps: p_a = p_b / (1 − count·p_b).
+                let denom = 1.0 - self.count as f64 * p_b;
+                let p_a = if denom <= 0.0 { 1.0 } else { (p_b / denom).min(1.0) };
+                if self.rng.gen::<f64>() < p_a {
+                    self.count = 0;
+                    Some(DropReason::Early)
+                } else {
+                    None
+                }
+            }
+            _ => {
+                self.count = -1;
+                None
+            }
+        };
+
+        match verdict {
+            Some(DropReason::Early) if self.params.ecn && pkt.ecn.is_capable() => {
+                pkt.ecn = Ecn::CongestionExperienced;
+                self.store.push(pkt);
+                self.stats.enqueued += 1;
+                self.stats.marked += 1;
+                EnqueueOutcome::Marked
+            }
+            Some(reason) => {
+                self.stats.dropped += 1;
+                EnqueueOutcome::Dropped(pkt, reason)
+            }
+            None => {
+                self.store.push(pkt);
+                self.stats.enqueued += 1;
+                EnqueueOutcome::Enqueued
+            }
+        }
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        self.stats.advance(now, self.store.len());
+        let pkt = self.store.pop()?;
+        self.stats.dequeued += 1;
+        if self.store.len() == 0 {
+            self.idle_since = Some(now);
+        }
+        Some(pkt)
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.store.bytes()
+    }
+
+    fn capacity_pkts(&self) -> usize {
+        self.params.capacity_pkts
+    }
+
+    fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut QueueStats {
+        &mut self.stats
+    }
+
+    fn on_tick(&mut self, _now: SimTime) {
+        self.adapt();
+    }
+
+    fn tick_interval(&self) -> Option<SimDuration> {
+        self.adaptive.as_ref().map(|a| a.interval)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.adaptive.is_some() {
+            "ARED"
+        } else {
+            "RED"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::test_packet;
+    use super::*;
+
+    fn params(capacity: usize) -> RedParams {
+        RedParams {
+            capacity_pkts: capacity,
+            min_th: 5.0,
+            max_th: 15.0,
+            max_p: 0.1,
+            w_q: 0.002,
+            gentle: true,
+            ecn: false,
+            mean_pkt_time: SimDuration::from_micros(100),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn below_min_th_never_drops() {
+        let mut q = RedQueue::new(params(100));
+        for _ in 0..4 {
+            match q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO) {
+                EnqueueOutcome::Enqueued => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(q.stats().dropped, 0);
+    }
+
+    #[test]
+    fn full_buffer_tail_drops() {
+        let mut q = RedQueue::new(params(3));
+        for _ in 0..3 {
+            q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO);
+        }
+        match q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO) {
+            EnqueueOutcome::Dropped(_, DropReason::Overflow) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probability_curve_shape() {
+        let mut q = RedQueue::new(params(1000));
+        // Below min_th.
+        q.avg = 4.0;
+        assert_eq!(q.base_probability(), Some(0.0));
+        // Midpoint of [min, max]: p = max_p/2.
+        q.avg = 10.0;
+        let p = q.base_probability().unwrap();
+        assert!((p - 0.05).abs() < 1e-12, "{p}");
+        // At max_th the gentle region starts at exactly max_p.
+        q.avg = 15.0;
+        let p = q.base_probability().unwrap();
+        assert!((p - 0.1).abs() < 1e-12, "{p}");
+        // Midpoint of gentle region [max_th, 2max_th]: max_p + (1-max_p)/2.
+        q.avg = 22.5;
+        let p = q.base_probability().unwrap();
+        assert!((p - 0.55).abs() < 1e-12, "{p}");
+        // Beyond 2·max_th: forced.
+        q.avg = 30.0;
+        assert_eq!(q.base_probability(), None);
+    }
+
+    #[test]
+    fn sharp_mode_forces_at_max_th() {
+        let mut p = params(1000);
+        p.gentle = false;
+        let mut q = RedQueue::new(p);
+        q.avg = 16.0;
+        assert_eq!(q.base_probability(), None);
+    }
+
+    #[test]
+    fn ecn_marks_instead_of_dropping() {
+        let mut p = params(1000);
+        p.ecn = true;
+        p.max_p = 1.0;
+        let mut q = RedQueue::new(p);
+        q.avg = 14.9; // deep in the probabilistic region
+        // Force avg to stay high by enqueueing many: with max_p=1 and
+        // avg>min_th, marks should occur and never early-drops for ECT.
+        let mut marked = 0;
+        for _ in 0..50 {
+            q.avg = 14.9;
+            match q.enqueue(test_packet(1000, Ecn::Capable), SimTime::ZERO) {
+                EnqueueOutcome::Marked => marked += 1,
+                EnqueueOutcome::Enqueued => {}
+                EnqueueOutcome::Dropped(_, r) => panic!("ECT dropped early: {r:?}"),
+            }
+        }
+        assert!(marked > 0);
+        assert_eq!(q.stats().marked, marked);
+    }
+
+    #[test]
+    fn non_ect_dropped_in_probabilistic_region() {
+        let mut p = params(1000);
+        p.ecn = true;
+        p.max_p = 1.0;
+        let mut q = RedQueue::new(p);
+        let mut dropped = 0;
+        for _ in 0..50 {
+            q.avg = 14.9;
+            if let EnqueueOutcome::Dropped(_, DropReason::Early) =
+                q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO)
+            {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0);
+        assert_eq!(q.stats().marked, 0);
+    }
+
+    #[test]
+    fn idle_time_decays_average() {
+        let mut q = RedQueue::new(params(100));
+        // Build up some average.
+        for _ in 0..50 {
+            q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO);
+        }
+        while q.dequeue(SimTime::ZERO).is_some() {}
+        let avg_before = q.avg_queue();
+        assert!(avg_before > 0.0);
+        // Arrive after a long idle period: the average must have decayed.
+        q.enqueue(
+            test_packet(1000, Ecn::NotCapable),
+            SimTime::from_secs_f64(1.0),
+        );
+        assert!(q.avg_queue() < avg_before * 0.5);
+    }
+
+    #[test]
+    fn adaptive_red_raises_max_p_when_above_band() {
+        let mut q = RedQueue::adaptive(params(1000), AdaptiveRedParams::default());
+        q.avg = 14.0; // above min_th + 0.6 * 10 = 11
+        let before = q.current_max_p();
+        q.on_tick(SimTime::ZERO);
+        assert!(q.current_max_p() > before);
+    }
+
+    #[test]
+    fn adaptive_red_lowers_max_p_when_below_band() {
+        let mut q = RedQueue::adaptive(params(1000), AdaptiveRedParams::default());
+        q.avg = 6.0; // below min_th + 0.4 * 10 = 9
+        q.max_p = 0.2;
+        q.on_tick(SimTime::ZERO);
+        assert!((q.current_max_p() - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_red_respects_bounds() {
+        let mut q = RedQueue::adaptive(params(1000), AdaptiveRedParams::default());
+        q.avg = 14.0;
+        q.max_p = 0.5;
+        q.on_tick(SimTime::ZERO);
+        assert!(q.current_max_p() <= 0.5);
+        q.avg = 6.0;
+        q.max_p = 0.01;
+        q.on_tick(SimTime::ZERO);
+        assert!(q.current_max_p() >= 0.01);
+    }
+
+    #[test]
+    fn tick_interval_only_when_adaptive() {
+        let q = RedQueue::new(params(10));
+        assert!(q.tick_interval().is_none());
+        let q = RedQueue::adaptive(params(10), AdaptiveRedParams::default());
+        assert_eq!(q.tick_interval(), Some(SimDuration::from_millis(500)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut q = RedQueue::new(params(50));
+            let mut outcomes = Vec::new();
+            for i in 0..200 {
+                q.avg = 10.0; // stay in probabilistic region
+                let t = SimTime::from_nanos(i);
+                outcomes.push(matches!(
+                    q.enqueue(test_packet(1000, Ecn::NotCapable), t),
+                    EnqueueOutcome::Dropped(..)
+                ));
+            }
+            outcomes
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,723 @@
+//! The simulator: topology construction, the event loop, and the agent API.
+//!
+//! # Model
+//!
+//! * **Nodes** forward packets using static next-hop tables
+//!   ([`Simulator::compute_routes`] must be called after the topology is
+//!   built and before the first packet is sent).
+//! * **Links** are unidirectional, serialize one packet at a time, and own
+//!   an AQM queue; a duplex "cable" is just two links.
+//! * **Agents** (transport endpoints) live on nodes. They receive packets
+//!   addressed to them and timer callbacks, and react through [`Ctx`]
+//!   (send a packet, arm a timer, draw random numbers).
+//! * **Probes** are closures sampled at a fixed period with a read-only view
+//!   of the simulator — used for queue-length time series etc.
+//!
+//! The loop is strictly deterministic: events fire in `(time, insertion)`
+//! order and all randomness flows from seeded [`SmallRng`]s.
+
+use std::any::Any;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::event::{EventKind, EventQueue, TimerToken};
+use crate::ids::{AgentId, LinkId, NodeId};
+use crate::link::Link;
+use crate::node::{compute_routes, Node};
+use crate::packet::Packet;
+use crate::queue::{EnqueueOutcome, QueueDiscipline};
+use crate::time::{transmission_delay, SimDuration, SimTime};
+use crate::trace::{DropRecord, MarkRecord, Trace};
+
+/// A transport endpoint attached to a node.
+///
+/// Implementations hold all their own state (congestion window, RTT
+/// estimators, receive buffers, statistics) and interact with the world only
+/// through [`Ctx`]. After a run, experiments read results back by
+/// downcasting via [`Agent::as_any`].
+pub trait Agent {
+    /// A packet addressed to this agent has arrived at its node.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
+
+    /// A timer armed with [`Ctx::schedule`] has fired.
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_>);
+
+    /// Downcast support for reading results after a run.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The world as seen by an agent during a callback.
+pub struct Ctx<'a> {
+    sim: &'a mut Simulator,
+    /// The agent being called.
+    pub agent: AgentId,
+    /// The node the agent lives on.
+    pub node: NodeId,
+}
+
+impl Ctx<'_> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.sim.now
+    }
+
+    /// Transmit `pkt` from this agent's node. The packet is routed by the
+    /// static tables and experiences queueing, serialization, and
+    /// propagation delays on every hop.
+    pub fn send(&mut self, mut pkt: Packet) {
+        pkt.sent_at = self.sim.now;
+        self.sim.route_packet(self.node, pkt);
+    }
+
+    /// Arm a timer that calls [`Agent::on_timer`] after `delay` with
+    /// `token`. Timers cannot be cancelled; stale timers should be detected
+    /// and ignored by the agent (e.g. by embedding an epoch in the token).
+    pub fn schedule(&mut self, delay: SimDuration, token: TimerToken) {
+        let at = self.sim.now + delay;
+        self.sim
+            .events
+            .schedule(at, EventKind::Timer { agent: self.agent, token });
+    }
+
+    /// Deterministic per-simulation random source.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.sim.rng
+    }
+}
+
+/// A periodic read-only measurement callback.
+type ProbeFn = Box<dyn FnMut(&Simulator, SimTime)>;
+
+struct Probe {
+    interval: SimDuration,
+    f: Option<ProbeFn>,
+}
+
+/// Control-event codes are `(kind << 32) | index`.
+const CTRL_QUEUE_TICK: u64 = 1 << 32;
+const CTRL_PROBE: u64 = 2 << 32;
+
+/// The discrete-event network simulator.
+pub struct Simulator {
+    now: SimTime,
+    events: EventQueue,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    link_endpoints: Vec<(NodeId, NodeId)>,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    agent_nodes: Vec<NodeId>,
+    probes: Vec<Probe>,
+    /// Central drop/mark log.
+    pub trace: Trace,
+    rng: SmallRng,
+    routes_ready: bool,
+    events_processed: u64,
+}
+
+impl Simulator {
+    /// Create a simulator whose randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            link_endpoints: Vec::new(),
+            agents: Vec::new(),
+            agent_nodes: Vec::new(),
+            probes: Vec::new(),
+            trace: Trace::default(),
+            rng: SmallRng::seed_from_u64(seed),
+            routes_ready: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far (engine throughput metric).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    // ------------------------------------------------------------------
+    // Topology construction
+    // ------------------------------------------------------------------
+
+    /// Add a node and return its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node::default());
+        id
+    }
+
+    /// Add `n` nodes and return their ids.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Add a unidirectional link `from → to`.
+    pub fn add_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        capacity_bps: u64,
+        delay: SimDuration,
+        queue: Box<dyn QueueDiscipline>,
+    ) -> LinkId {
+        assert!(from != to, "self-links are not allowed");
+        let id = LinkId(self.links.len());
+        if let Some(iv) = queue.tick_interval() {
+            self.events.schedule(
+                self.now + iv,
+                EventKind::Control { code: CTRL_QUEUE_TICK | id.0 as u64 },
+            );
+        }
+        self.links
+            .push(Link::new(id, from, to, capacity_bps, delay, queue));
+        self.link_endpoints.push((from, to));
+        self.nodes[from.index()].out_links.push(id);
+        self.routes_ready = false;
+        id
+    }
+
+    /// Add a duplex link (two mirrored unidirectional links), constructing a
+    /// separate queue for each direction via `mk_queue(direction)`.
+    pub fn add_duplex_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity_bps: u64,
+        delay: SimDuration,
+        mut mk_queue: impl FnMut(usize) -> Box<dyn QueueDiscipline>,
+    ) -> (LinkId, LinkId) {
+        let f = self.add_link(a, b, capacity_bps, delay, mk_queue(0));
+        let r = self.add_link(b, a, capacity_bps, delay, mk_queue(1));
+        (f, r)
+    }
+
+    /// (Re)compute all next-hop tables. Must be called after topology
+    /// changes and before packets flow.
+    pub fn compute_routes(&mut self) {
+        let tables = compute_routes(self.nodes.len(), &self.link_endpoints);
+        for (node, table) in self.nodes.iter_mut().zip(tables) {
+            node.routes = table;
+        }
+        self.routes_ready = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Agents
+    // ------------------------------------------------------------------
+
+    /// Reserve an agent slot (so endpoints can learn each other's ids
+    /// before construction) to be filled by [`Simulator::install_agent`].
+    pub fn alloc_agent(&mut self) -> AgentId {
+        let id = AgentId(self.agents.len());
+        self.agents.push(None);
+        self.agent_nodes.push(NodeId(usize::MAX));
+        id
+    }
+
+    /// Install `agent` in a previously allocated slot, attached to `node`.
+    pub fn install_agent(&mut self, id: AgentId, node: NodeId, agent: Box<dyn Agent>) {
+        assert!(node.index() < self.nodes.len(), "unknown node {node}");
+        assert!(
+            self.agents[id.index()].is_none(),
+            "agent slot {id} already installed"
+        );
+        self.agents[id.index()] = Some(agent);
+        self.agent_nodes[id.index()] = node;
+    }
+
+    /// Convenience: allocate and install in one call.
+    pub fn add_agent(&mut self, node: NodeId, agent: Box<dyn Agent>) -> AgentId {
+        let id = self.alloc_agent();
+        self.install_agent(id, node, agent);
+        id
+    }
+
+    /// Arm a timer for `agent` at absolute time `at` (typically used to
+    /// start flows at staggered times).
+    pub fn schedule_agent_timer(&mut self, at: SimTime, agent: AgentId, token: TimerToken) {
+        assert!(
+            self.agents[agent.index()].is_some(),
+            "agent {agent} not installed"
+        );
+        self.events.schedule(at, EventKind::Timer { agent, token });
+    }
+
+    /// Borrow an installed agent immutably, downcast to `T`.
+    ///
+    /// # Panics
+    /// Panics if the agent is missing or of a different concrete type.
+    pub fn agent<T: 'static>(&self, id: AgentId) -> &T {
+        self.agents[id.index()]
+            .as_deref()
+            .unwrap_or_else(|| panic!("agent {id} not installed"))
+            .as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("agent {id} has unexpected type"))
+    }
+
+    /// Borrow an installed agent mutably, downcast to `T`.
+    pub fn agent_mut<T: 'static>(&mut self, id: AgentId) -> &mut T {
+        self.agents[id.index()]
+            .as_deref_mut()
+            .unwrap_or_else(|| panic!("agent {id} not installed"))
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("agent {id} has unexpected type"))
+    }
+
+    // ------------------------------------------------------------------
+    // Probes and measurement windows
+    // ------------------------------------------------------------------
+
+    /// Register a probe called every `interval` with a read-only simulator
+    /// view. The first call happens one `interval` from now.
+    pub fn add_probe(
+        &mut self,
+        interval: SimDuration,
+        f: impl FnMut(&Simulator, SimTime) + 'static,
+    ) {
+        assert!(!interval.is_zero(), "probe interval must be positive");
+        let idx = self.probes.len();
+        self.probes.push(Probe {
+            interval,
+            f: Some(Box::new(f)),
+        });
+        self.events.schedule(
+            self.now + interval,
+            EventKind::Control { code: CTRL_PROBE | idx as u64 },
+        );
+    }
+
+    /// Access a link (for probes and post-run reporting).
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Mutable link access (for measurement-window management).
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.index()]
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Restart every link's measurement window (delivery counters, queue
+    /// occupancy integrals) and clear the drop/mark trace. Call at the end
+    /// of the warm-up transient; the paper measures t ∈ [100 s, 300 s].
+    pub fn reset_measurements(&mut self) {
+        let now = self.now;
+        for link in &mut self.links {
+            link.reset_measurement(now);
+        }
+        self.trace.clear();
+    }
+
+    /// Flush all occupancy integrals up to `now` (call before reading
+    /// time-weighted queue statistics).
+    pub fn flush_measurements(&mut self) {
+        let now = self.now;
+        for link in &mut self.links {
+            link.flush_stats(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Packet movement
+    // ------------------------------------------------------------------
+
+    /// Route `pkt` out of `node`: deliver locally if it has arrived, else
+    /// enqueue on the next-hop link.
+    fn route_packet(&mut self, node: NodeId, pkt: Packet) {
+        assert!(self.routes_ready, "compute_routes() was not called");
+        if pkt.dst_node == node {
+            self.deliver(node, pkt);
+            return;
+        }
+        let next = self.nodes[node.index()].routes[pkt.dst_node.index()]
+            .unwrap_or_else(|| panic!("no route from {node} to {}", pkt.dst_node));
+        self.enqueue_on_link(next, pkt);
+    }
+
+    /// Offer `pkt` to `link`'s queue; start transmission if idle; log drops
+    /// and marks.
+    fn enqueue_on_link(&mut self, link_id: LinkId, pkt: Packet) {
+        let now = self.now;
+        let was_data = pkt.is_data();
+        let flow = pkt.flow;
+        let link = &mut self.links[link_id.index()];
+        match link.queue.enqueue(pkt, now) {
+            EnqueueOutcome::Enqueued => {}
+            EnqueueOutcome::Marked => {
+                if self.trace.record_marks {
+                    self.trace.marks.push(MarkRecord {
+                        at: now,
+                        link: link_id,
+                        flow,
+                    });
+                }
+            }
+            EnqueueOutcome::Dropped(_, reason) => {
+                self.trace.drops.push(DropRecord {
+                    at: now,
+                    link: link_id,
+                    flow,
+                    reason,
+                    was_data,
+                });
+                return;
+            }
+        }
+        if !link.busy {
+            self.start_transmission(link_id);
+        }
+    }
+
+    /// Pull the next packet from the queue (if any) and schedule its
+    /// departure after the serialization delay.
+    fn start_transmission(&mut self, link_id: LinkId) {
+        let now = self.now;
+        let link = &mut self.links[link_id.index()];
+        debug_assert!(!link.busy);
+        // The departing packet stays logically "on the wire"; we peek by
+        // dequeuing now and carrying the packet inside the Departure event
+        // would lose FIFO stats, so instead we dequeue at departure time.
+        // Here we only need its size to compute the serialization delay —
+        // but disciplines may reorder in principle, so we dequeue now and
+        // stash the packet until departure.
+        if let Some(pkt) = link.queue.dequeue(now) {
+            link.busy = true;
+            let tx = transmission_delay(pkt.size_bits(), link.capacity_bps);
+            link.delivered_bits += pkt.size_bits();
+            link.delivered_pkts += 1;
+            let arrive_at = now + tx + link.delay;
+            let to = link.to;
+            self.events
+                .schedule(now + tx, EventKind::Departure { link: link_id });
+            self.events
+                .schedule(arrive_at, EventKind::Arrival { node: to, packet: pkt });
+        }
+    }
+
+    /// Deliver `pkt` to its destination agent at `node`.
+    fn deliver(&mut self, node: NodeId, pkt: Packet) {
+        let id = pkt.dst_agent;
+        debug_assert_eq!(
+            self.agent_nodes[id.index()],
+            node,
+            "packet for {id} delivered to wrong node {node}"
+        );
+        let mut agent = self.agents[id.index()]
+            .take()
+            .unwrap_or_else(|| panic!("agent {id} not installed (or re-entrant callback)"));
+        let mut ctx = Ctx { sim: self, agent: id, node };
+        agent.on_packet(pkt, &mut ctx);
+        self.agents[id.index()] = Some(agent);
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Run until the clock reaches `until` (events at exactly `until` are
+    /// processed) or the calendar empties.
+    ///
+    /// # Panics
+    /// Panics if more than ten million events fire without simulated time
+    /// advancing — a zero-delay event storm, which always indicates an
+    /// agent bug (e.g. two agents answering each other with zero-latency
+    /// messages). The panic message names the stuck timestamp.
+    pub fn run_until(&mut self, until: SimTime) {
+        let mut stuck_at = self.now;
+        let mut stuck_count: u64 = 0;
+        while let Some(at) = self.events.peek_time() {
+            if at > until {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked event vanished");
+            if ev.at == stuck_at {
+                stuck_count += 1;
+                assert!(
+                    stuck_count < 10_000_000,
+                    "event storm: 10M events at t = {stuck_at:?} without progress \
+                     (last kind: {:?})",
+                    ev.kind
+                );
+            } else {
+                stuck_at = ev.at;
+                stuck_count = 0;
+            }
+            self.now = ev.at;
+            self.events_processed += 1;
+            match ev.kind {
+                EventKind::Arrival { node, packet } => self.route_packet(node, packet),
+                EventKind::Departure { link } => self.on_link_free(link),
+                EventKind::Timer { agent, token } => {
+                    let mut a = self.agents[agent.index()]
+                        .take()
+                        .unwrap_or_else(|| panic!("timer for missing agent {agent}"));
+                    let node = self.agent_nodes[agent.index()];
+                    let mut ctx = Ctx { sim: self, agent, node };
+                    a.on_timer(token, &mut ctx);
+                    self.agents[agent.index()] = Some(a);
+                }
+                EventKind::Control { code } => self.on_control(code),
+            }
+        }
+        // Advance the clock to the horizon so measurement windows line up.
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    fn on_link_free(&mut self, link_id: LinkId) {
+        let link = &mut self.links[link_id.index()];
+        link.busy = false;
+        if !link.queue.is_empty() {
+            self.start_transmission(link_id);
+        }
+    }
+
+    fn on_control(&mut self, code: u64) {
+        let kind = code & (0xffff_ffff << 32);
+        let idx = (code & 0xffff_ffff) as usize;
+        match kind {
+            CTRL_QUEUE_TICK => {
+                let now = self.now;
+                let link = &mut self.links[idx];
+                link.queue.on_tick(now);
+                if let Some(iv) = link.queue.tick_interval() {
+                    self.events.schedule(
+                        now + iv,
+                        EventKind::Control { code: CTRL_QUEUE_TICK | idx as u64 },
+                    );
+                }
+            }
+            CTRL_PROBE => {
+                let now = self.now;
+                let mut f = self.probes[idx].f.take().expect("re-entrant probe");
+                f(self, now);
+                let iv = self.probes[idx].interval;
+                self.probes[idx].f = Some(f);
+                self.events
+                    .schedule(now + iv, EventKind::Control { code: CTRL_PROBE | idx as u64 });
+            }
+            _ => unreachable!("unknown control code {code:#x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FlowId;
+    use crate::packet::{Ecn, Payload};
+    use crate::queue::DropTail;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Echoes every received data packet back as an ACK; counts arrivals.
+    struct Echo {
+        peer_agent: AgentId,
+        peer_node: NodeId,
+        received: Vec<(SimTime, u64)>,
+    }
+
+    impl Agent for Echo {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            if let Payload::Data { seq, .. } = pkt.payload {
+                self.received.push((ctx.now(), seq));
+                ctx.send(Packet {
+                    flow: pkt.flow,
+                    dst_node: self.peer_node,
+                    dst_agent: self.peer_agent,
+                    size_bytes: 40,
+                    ecn: Ecn::NotCapable,
+                    sent_at: ctx.now(),
+                    payload: Payload::Ack {
+                        cum_ack: seq + 1,
+                        sack: [None; 3],
+                        ts_echo: pkt.sent_at,
+                        owd_echo: ctx.now().duration_since(pkt.sent_at),
+                        ece: false,
+                    },
+                });
+            }
+        }
+        fn on_timer(&mut self, _t: TimerToken, _ctx: &mut Ctx<'_>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends `n` packets on its start timer; records ACK RTTs.
+    struct Blaster {
+        peer_agent: AgentId,
+        peer_node: NodeId,
+        n: u64,
+        rtts: Vec<SimDuration>,
+    }
+
+    impl Agent for Blaster {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            if let Payload::Ack { ts_echo, .. } = pkt.payload {
+                self.rtts.push(ctx.now().duration_since(ts_echo));
+            }
+        }
+        fn on_timer(&mut self, _t: TimerToken, ctx: &mut Ctx<'_>) {
+            for seq in 0..self.n {
+                ctx.send(Packet {
+                    flow: FlowId(0),
+                    dst_node: self.peer_node,
+                    dst_agent: self.peer_agent,
+                    size_bytes: 1000,
+                    ecn: Ecn::NotCapable,
+                    sent_at: ctx.now(),
+                    payload: Payload::Data {
+                        seq,
+                        retransmit: false,
+                    },
+                });
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_node_sim(queue_cap: usize) -> (Simulator, AgentId, AgentId) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        // 8 Mbps, 10 ms each way: 1000-byte packet tx = 1 ms.
+        sim.add_duplex_link(a, b, 8_000_000, SimDuration::from_millis(10), |_| {
+            Box::new(DropTail::new(queue_cap))
+        });
+        sim.compute_routes();
+        let tx = sim.alloc_agent();
+        let rx = sim.alloc_agent();
+        sim.install_agent(
+            tx,
+            a,
+            Box::new(Blaster {
+                peer_agent: rx,
+                peer_node: b,
+                n: 5,
+                rtts: Vec::new(),
+            }),
+        );
+        sim.install_agent(
+            rx,
+            b,
+            Box::new(Echo {
+                peer_agent: tx,
+                peer_node: a,
+                received: Vec::new(),
+            }),
+        );
+        (sim, tx, rx)
+    }
+
+    #[test]
+    fn end_to_end_delivery_and_timing() {
+        let (mut sim, tx, rx) = two_node_sim(100);
+        sim.schedule_agent_timer(SimTime::ZERO, tx, TimerToken(0));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+
+        let echo: &Echo = sim.agent(rx);
+        assert_eq!(echo.received.len(), 5);
+        // First packet: 1 ms serialization + 10 ms propagation.
+        assert_eq!(
+            echo.received[0].0,
+            SimTime::from_millis_exact(11)
+        );
+        // Subsequent packets pace out at 1 ms (serialization) intervals.
+        assert_eq!(echo.received[1].0, SimTime::from_millis_exact(12));
+
+        let blaster: &Blaster = sim.agent(tx);
+        assert_eq!(blaster.rtts.len(), 5);
+        // RTT of first packet: 1 ms + 10 ms + 0.04 ms (ACK tx) + 10 ms.
+        let rtt = blaster.rtts[0].as_secs_f64();
+        assert!((rtt - 0.02104).abs() < 1e-9, "rtt = {rtt}");
+    }
+
+    #[test]
+    fn queue_overflow_is_traced() {
+        // Queue cap 2: 5 back-to-back sends overflow (1 in flight + 2 queued).
+        let (mut sim, tx, _rx) = two_node_sim(2);
+        sim.schedule_agent_timer(SimTime::ZERO, tx, TimerToken(0));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(sim.trace.drops.len(), 2);
+        assert!(sim.trace.drops.iter().all(|d| d.was_data));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let (mut sim, tx, rx) = two_node_sim(2);
+            sim.schedule_agent_timer(SimTime::ZERO, tx, TimerToken(0));
+            sim.run_until(SimTime::from_secs_f64(1.0));
+            let echo: &Echo = sim.agent(rx);
+            (echo.received.clone(), sim.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn probes_fire_at_interval() {
+        let (mut sim, tx, _rx) = two_node_sim(100);
+        let samples: Rc<RefCell<Vec<SimTime>>> = Rc::default();
+        let s2 = samples.clone();
+        sim.add_probe(SimDuration::from_millis(100), move |_sim, now| {
+            s2.borrow_mut().push(now);
+        });
+        sim.schedule_agent_timer(SimTime::ZERO, tx, TimerToken(0));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let got = samples.borrow();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0], SimTime::from_millis_exact(100));
+    }
+
+    #[test]
+    fn utilization_counts_delivered_bits() {
+        let (mut sim, tx, _rx) = two_node_sim(100);
+        sim.schedule_agent_timer(SimTime::ZERO, tx, TimerToken(0));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        // 5 × 1000-byte packets on the forward link.
+        assert_eq!(sim.link(LinkId(0)).delivered_bits, 5 * 8000);
+        // 5 × 40-byte ACKs on the reverse link.
+        assert_eq!(sim.link(LinkId(1)).delivered_bits, 5 * 320);
+    }
+
+    impl SimTime {
+        /// Test helper: exact whole milliseconds.
+        fn from_millis_exact(ms: u64) -> SimTime {
+            SimTime::from_nanos(ms * 1_000_000)
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Simulation clock types.
+//!
+//! All simulator time is kept in integer **nanoseconds** ([`SimTime`],
+//! [`SimDuration`]) so that event ordering is exact and runs are bit-for-bit
+//! reproducible; floating point is only used at the edges (configuration and
+//! reporting), via the `as_secs_f64` / `from_secs_f64` helpers.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Nanoseconds per second, as used by all conversions in this module.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// An absolute instant on the simulation clock, in nanoseconds since the
+/// start of the run.
+///
+/// `SimTime` is totally ordered and starts at [`SimTime::ZERO`]. Subtracting
+/// a later time from an earlier one panics in debug builds (saturates in
+/// release), which catches scheduling bugs early.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far away"
+    /// sentinel for idle timers.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// The raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Construct from seconds expressed as `f64` (configuration helper).
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid time: {secs}");
+        SimTime((secs * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    /// This instant as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Elapsed time since `earlier`.
+    ///
+    /// Saturates to zero if `earlier` is actually later (debug builds
+    /// assert instead, to surface scheduling bugs).
+    #[inline]
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(
+            self.0 >= earlier.0,
+            "duration_since: {earlier:?} is after {self:?}"
+        );
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * NANOS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
+        SimDuration((secs * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    /// The raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This duration as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// This duration as fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// True if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply by a non-negative float, rounding to the nearest nanosecond.
+    /// Useful for backoff factors (e.g. doubling an RTO).
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        assert!(k.is_finite() && k >= 0.0, "invalid factor: {k}");
+        SimDuration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+/// Compute the serialization (transmission) delay of `bits` on a link of
+/// `capacity_bps` bits per second, rounded up to whole nanoseconds so a
+/// packet never finishes transmitting early.
+///
+/// # Panics
+/// Panics if `capacity_bps` is zero.
+#[inline]
+pub fn transmission_delay(bits: u64, capacity_bps: u64) -> SimDuration {
+    assert!(capacity_bps > 0, "link capacity must be positive");
+    let ns = (bits as u128 * NANOS_PER_SEC as u128).div_ceil(capacity_bps as u128);
+    SimDuration(u64::try_from(ns).expect("transmission delay overflow"))
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimDuration underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= NANOS_PER_SEC {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_roundtrips_through_seconds() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_millis(5), SimDuration::from_micros(5_000));
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.020),
+            SimDuration::from_millis(20)
+        );
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let t = SimTime::from_nanos(100) + SimDuration::from_nanos(50);
+        assert_eq!(t.as_nanos(), 150);
+        assert_eq!(
+            t.duration_since(SimTime::from_nanos(100)),
+            SimDuration::from_nanos(50)
+        );
+    }
+
+    #[test]
+    fn transmission_delay_rounds_up() {
+        // 1000-byte packet on 10 Mbps: 8000 bits / 1e7 bps = 800 us exactly.
+        let d = transmission_delay(8_000, 10_000_000);
+        assert_eq!(d, SimDuration::from_micros(800));
+        // 1 bit on 3 bps: 333333333.3 ns, must round *up*.
+        let d = transmission_delay(1, 3);
+        assert_eq!(d.as_nanos(), 333_333_334);
+    }
+
+    #[test]
+    fn transmission_delay_high_speed_no_overflow() {
+        // 1500-byte packet on 1 Tbps.
+        let d = transmission_delay(12_000, 1_000_000_000_000);
+        assert_eq!(d.as_nanos(), 12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_seconds_rejected() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        let d = SimDuration::from_millis(100).mul_f64(1.5);
+        assert_eq!(d, SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = SimDuration::from_millis(1);
+        let b = SimDuration::from_millis(2);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,89 @@
+//! Simulation-wide event traces.
+//!
+//! The paper's §2 analysis needs losses observable at *two* levels: per-flow
+//! (what a single end host can see) and per-queue (what actually happens at
+//! the bottleneck). Every drop and ECN mark is therefore logged centrally
+//! with its time, link, and flow; analyzers slice the log either way.
+
+use crate::ids::{FlowId, LinkId};
+use crate::queue::DropReason;
+use crate::time::SimTime;
+
+/// One dropped packet.
+#[derive(Clone, Copy, Debug)]
+pub struct DropRecord {
+    /// When the drop happened.
+    pub at: SimTime,
+    /// The link whose queue dropped the packet.
+    pub link: LinkId,
+    /// The flow the packet belonged to.
+    pub flow: FlowId,
+    /// Overflow vs. early (AQM) drop.
+    pub reason: DropReason,
+    /// True if the packet was a data segment (as opposed to an ACK).
+    pub was_data: bool,
+}
+
+/// One ECN-marked packet.
+#[derive(Clone, Copy, Debug)]
+pub struct MarkRecord {
+    /// When the mark was applied.
+    pub at: SimTime,
+    /// The marking link.
+    pub link: LinkId,
+    /// The flow the packet belonged to.
+    pub flow: FlowId,
+}
+
+/// Central drop/mark log.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// All drops, in time order.
+    pub drops: Vec<DropRecord>,
+    /// All ECN marks, in time order (only recorded when `record_marks`).
+    pub marks: Vec<MarkRecord>,
+    /// Whether to store individual mark records (drops are always kept —
+    /// they are sparse; marks can be plentiful under ECN).
+    pub record_marks: bool,
+}
+
+impl Trace {
+    /// Drops on `link` only.
+    pub fn drops_at_link(&self, link: LinkId) -> impl Iterator<Item = &DropRecord> {
+        self.drops.iter().filter(move |d| d.link == link)
+    }
+
+    /// Drops belonging to `flow` only (the "flow-level" view of §2.2).
+    pub fn drops_of_flow(&self, flow: FlowId) -> impl Iterator<Item = &DropRecord> {
+        self.drops.iter().filter(move |d| d.flow == flow)
+    }
+
+    /// Clear everything (used when discarding the warm-up transient).
+    pub fn clear(&mut self) {
+        self.drops.clear();
+        self.marks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slicing_by_link_and_flow() {
+        let mut t = Trace::default();
+        for i in 0..6u64 {
+            t.drops.push(DropRecord {
+                at: SimTime::from_nanos(i),
+                link: LinkId((i % 2) as usize),
+                flow: FlowId((i % 3) as usize),
+                reason: DropReason::Overflow,
+                was_data: true,
+            });
+        }
+        assert_eq!(t.drops_at_link(LinkId(0)).count(), 3);
+        assert_eq!(t.drops_of_flow(FlowId(1)).count(), 2);
+        t.clear();
+        assert!(t.drops.is_empty());
+    }
+}

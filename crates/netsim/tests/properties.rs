@@ -1,0 +1,181 @@
+//! Property-based tests for the simulator's core data structures.
+
+use netsim::event::{EventKind, EventQueue};
+use netsim::ids::{AgentId, FlowId, NodeId};
+use netsim::packet::{Ecn, Packet, Payload};
+use netsim::queue::{DropTail, EnqueueOutcome, PiParams, PiQueue, QueueDiscipline, RedParams, RedQueue};
+use netsim::time::{transmission_delay, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn packet(size: u32, ecn: bool) -> Packet {
+    Packet {
+        flow: FlowId(0),
+        dst_node: NodeId(0),
+        dst_agent: AgentId(0),
+        size_bytes: size,
+        ecn: if ecn { Ecn::Capable } else { Ecn::NotCapable },
+        sent_at: SimTime::ZERO,
+        payload: Payload::Data {
+            seq: 0,
+            retransmit: false,
+        },
+    }
+}
+
+proptest! {
+    /// Events pop in non-decreasing time order regardless of insertion
+    /// order, and simultaneous events pop FIFO.
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), EventKind::Control { code: i as u64 });
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut last_code_at_time: Option<u64> = None;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.at >= last_time);
+            if ev.at > last_time {
+                last_code_at_time = None;
+            }
+            if let EventKind::Control { code } = ev.kind {
+                if let Some(prev) = last_code_at_time {
+                    // FIFO among equal timestamps means codes (insertion
+                    // order) increase.
+                    if ev.at == last_time {
+                        prop_assert!(code > prev);
+                    }
+                }
+                last_code_at_time = Some(code);
+            }
+            last_time = ev.at;
+        }
+    }
+
+    /// Transmission delay is monotone in size and inverse-monotone in
+    /// capacity, and never truncates below the exact value.
+    #[test]
+    fn transmission_delay_monotone(bits in 1u64..10_000_000, cap in 1u64..10_000_000_000) {
+        let d = transmission_delay(bits, cap);
+        let exact = bits as f64 * 1e9 / cap as f64;
+        prop_assert!(d.as_nanos() as f64 >= exact - 1.0);
+        prop_assert!(d.as_nanos() as f64 <= exact + 1.0);
+        prop_assert!(transmission_delay(bits + 1, cap) >= d);
+        if cap > 1 {
+            prop_assert!(transmission_delay(bits, cap - 1) >= d);
+        }
+    }
+
+    /// DropTail conserves packets: enqueued = dequeued + resident, and
+    /// never exceeds capacity.
+    #[test]
+    fn droptail_conservation(
+        cap in 1usize..64,
+        ops in proptest::collection::vec(any::<bool>(), 1..500),
+    ) {
+        let mut q = DropTail::new(cap);
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            let now = SimTime::from_nanos(t);
+            if op {
+                let _ = q.enqueue(packet(100, false), now);
+            } else {
+                let _ = q.dequeue(now);
+            }
+            prop_assert!(q.len() <= cap);
+            let s = q.stats();
+            prop_assert_eq!(s.enqueued, s.dequeued + q.len() as u64);
+        }
+    }
+
+    /// RED: same conservation law; ECT packets are never early-dropped
+    /// when ECN is on (only overflow can drop them); mark+drop+enqueue
+    /// accounts for every offered packet.
+    #[test]
+    fn red_accounting(
+        ops in proptest::collection::vec(any::<bool>(), 1..500),
+        seed in any::<u64>(),
+    ) {
+        let params = RedParams {
+            capacity_pkts: 20,
+            min_th: 2.0,
+            max_th: 6.0,
+            max_p: 0.5,
+            w_q: 0.2,
+            gentle: true,
+            ecn: true,
+            mean_pkt_time: SimDuration::from_micros(10),
+            seed,
+        };
+        let mut q = RedQueue::new(params);
+        let mut offered = 0u64;
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            let now = SimTime::from_nanos(t * 1000);
+            if op {
+                offered += 1;
+                match q.enqueue(packet(100, true), now) {
+                    EnqueueOutcome::Dropped(_, reason) => {
+                        // ECT packets only drop on overflow or beyond the
+                        // gentle region; both are allowed, but overflow
+                        // requires a full buffer.
+                        if reason == netsim::queue::DropReason::Overflow {
+                            prop_assert_eq!(q.len(), 20);
+                        }
+                    }
+                    _ => {}
+                }
+            } else {
+                let _ = q.dequeue(now);
+            }
+            let s = q.stats();
+            prop_assert_eq!(s.enqueued + s.dropped, offered);
+            prop_assert_eq!(s.enqueued, s.dequeued + q.len() as u64);
+            prop_assert!(s.marked <= s.enqueued);
+        }
+    }
+
+    /// PI probability stays in [0, 1] under arbitrary enqueue/dequeue/tick
+    /// interleavings.
+    #[test]
+    fn pi_probability_bounded(
+        ops in proptest::collection::vec(0u8..3, 1..500),
+        q_ref in 0.0f64..30.0,
+    ) {
+        let mut params = PiParams::hollot_example(50, q_ref, false, 1);
+        params.a = 0.01;
+        params.b = 0.005;
+        let mut q = PiQueue::new(params);
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            let now = SimTime::from_nanos(t * 1000);
+            match op {
+                0 => { let _ = q.enqueue(packet(100, false), now); }
+                1 => { let _ = q.dequeue(now); }
+                _ => q.on_tick(now),
+            }
+            prop_assert!((0.0..=1.0).contains(&q.probability()));
+        }
+    }
+
+    /// Queue-occupancy time integral: mean lies between min and max
+    /// observed occupancy.
+    #[test]
+    fn occupancy_mean_within_bounds(
+        lens in proptest::collection::vec(0usize..50, 2..100),
+    ) {
+        let mut stats = netsim::queue::QueueStats::default();
+        let mut t = 0u64;
+        for &len in &lens {
+            t += 17;
+            stats.advance(SimTime::from_nanos(t), len);
+        }
+        let end = SimTime::from_nanos(t);
+        let mean = stats.mean_len(SimTime::ZERO, end);
+        let hi = *lens.iter().max().unwrap() as f64;
+        prop_assert!(mean >= 0.0 && mean <= hi + 1e-9);
+    }
+}

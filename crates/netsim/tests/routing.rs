@@ -1,0 +1,96 @@
+//! Property tests for the static shortest-path routing tables.
+
+use netsim::ids::NodeId;
+use netsim::node::compute_routes;
+use proptest::prelude::*;
+
+/// A random connected-ish digraph: a ring backbone (guaranteeing strong
+/// connectivity) plus arbitrary chords.
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (3usize..20).prop_flat_map(|n| {
+        let chords = proptest::collection::vec((0..n, 0..n), 0..30);
+        (Just(n), chords).prop_map(move |(n, chords)| {
+            let mut links: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+            links.extend(chords.into_iter().filter(|(a, b)| a != b));
+            (n, links)
+        })
+    })
+}
+
+proptest! {
+    /// On a strongly connected graph every node can reach every other, and
+    /// following next-hops is loop-free: it reaches the destination within
+    /// n hops while strictly decreasing the remaining distance.
+    #[test]
+    fn next_hops_reach_destination_without_loops((n, links) in graph_strategy()) {
+        let typed: Vec<(NodeId, NodeId)> = links
+            .iter()
+            .map(|&(a, b)| (NodeId(a), NodeId(b)))
+            .collect();
+        let routes = compute_routes(n, &typed);
+
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    prop_assert!(routes[src][dst].is_none());
+                    continue;
+                }
+                // Walk the next-hop chain.
+                let mut cur = src;
+                let mut hops = 0;
+                while cur != dst {
+                    let link = routes[cur][dst];
+                    prop_assert!(link.is_some(), "no route {src}->{dst} at {cur}");
+                    let (from, to) = links[link.unwrap().index()];
+                    prop_assert_eq!(from, cur, "table points to a foreign link");
+                    cur = to;
+                    hops += 1;
+                    prop_assert!(hops <= n, "routing loop {src}->{dst}");
+                }
+            }
+        }
+    }
+
+    /// Routes found by the table are shortest: walking next-hops takes
+    /// exactly the BFS distance.
+    #[test]
+    fn routes_are_shortest_paths((n, links) in graph_strategy()) {
+        let typed: Vec<(NodeId, NodeId)> = links
+            .iter()
+            .map(|&(a, b)| (NodeId(a), NodeId(b)))
+            .collect();
+        let routes = compute_routes(n, &typed);
+
+        // Independent BFS distances.
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &links {
+            adj[a].push(b);
+        }
+        for src in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[src] = 0;
+            let mut q = std::collections::VecDeque::from([src]);
+            while let Some(v) = q.pop_front() {
+                for &w in &adj[v] {
+                    if dist[w] == usize::MAX {
+                        dist[w] = dist[v] + 1;
+                        q.push_back(w);
+                    }
+                }
+            }
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let mut cur = src;
+                let mut hops = 0;
+                while cur != dst && hops <= n {
+                    let link = routes[cur][dst].expect("reachable");
+                    cur = links[link.index()].1;
+                    hops += 1;
+                }
+                prop_assert_eq!(hops, dist[dst], "{}->{} not shortest", src, dst);
+            }
+        }
+    }
+}

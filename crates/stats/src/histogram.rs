@@ -1,0 +1,165 @@
+//! Fixed-bin histograms and empirical PDFs over `[0, 1]`-normalized data —
+//! used for Figure 4 (distribution of normalized queue length at false
+//! positives).
+
+/// A histogram with `bins` equal-width bins over `[lo, hi)`.
+/// Out-of-range samples clamp into the edge bins.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create with `bins` bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and `bins > 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "need lo < hi");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Histogram over the unit interval (normalized quantities).
+    pub fn unit(bins: usize) -> Self {
+        Histogram::new(0.0, 1.0, bins)
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        assert!(x.is_finite(), "sample must be finite");
+        let n = self.counts.len();
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw counts per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Empirical probability mass per bin (sums to 1; all-zero if empty).
+    pub fn pmf(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Empirical cumulative distribution at the upper edge of each bin.
+    pub fn cdf(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.pmf()
+            .into_iter()
+            .map(|p| {
+                acc += p;
+                acc
+            })
+            .collect()
+    }
+
+    /// Fraction of samples at or below `x` (by bins).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.counts.len();
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        let cut = ((frac * n as f64).floor() as i64).clamp(0, n as i64) as usize;
+        let below: u64 = self.counts[..cut].iter().sum();
+        below as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_correct_bins() {
+        let mut h = Histogram::unit(4);
+        for &x in &[0.1, 0.3, 0.6, 0.9, 0.95] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[1, 1, 1, 2]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::unit(2);
+        h.add(-0.5);
+        h.add(1.5);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let mut h = Histogram::unit(10);
+        for i in 0..1000 {
+            h.add((i % 10) as f64 / 10.0 + 0.05);
+        }
+        let s: f64 = h.pmf().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_ending_at_one() {
+        let mut h = Histogram::unit(5);
+        for &x in &[0.1, 0.2, 0.5, 0.8] {
+            h.add(x);
+        }
+        let cdf = h.cdf();
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_below_half() {
+        let mut h = Histogram::unit(10);
+        for &x in &[0.05, 0.15, 0.25, 0.75] {
+            h.add(x);
+        }
+        assert!((h.fraction_below(0.5) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::unit(4);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_degenerates_gracefully() {
+        let h = Histogram::unit(3);
+        assert_eq!(h.pmf(), vec![0.0; 3]);
+        assert_eq!(h.fraction_below(0.9), 0.0);
+    }
+}

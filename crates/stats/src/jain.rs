@@ -1,0 +1,69 @@
+//! Jain's fairness index (Chiu & Jain 1989), the `F` column of the paper's
+//! evaluation: `J = (Σx)² / (n·Σx²)`, 1 for perfectly equal allocations,
+//! → 1/n as one flow dominates.
+
+/// Jain's fairness index of `allocations`. Returns 1.0 for an empty or
+/// all-zero input (vacuously fair).
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    if allocations.is_empty() {
+        return 1.0;
+    }
+    assert!(
+        allocations.iter().all(|&x| x >= 0.0 && x.is_finite()),
+        "allocations must be non-negative and finite"
+    );
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (allocations.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_allocations_are_perfectly_fair() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_dominating_flow_approaches_one_over_n() {
+        let idx = jain_index(&[100.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_is_scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_value() {
+        // J([1,2,3]) = 36 / (3·14) = 6/7.
+        assert!((jain_index(&[1.0, 2.0, 3.0]) - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_hold() {
+        let xs = [0.3, 9.1, 2.7, 0.0, 5.5];
+        let j = jain_index(&xs);
+        assert!(j > 1.0 / xs.len() as f64 - 1e-12 && j <= 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_fair() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        let _ = jain_index(&[1.0, -2.0]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # sim-stats — measurement utilities for the PERT reproduction
+//!
+//! Dependency-free analysis helpers:
+//!
+//! * [`jain::jain_index`] — Jain's fairness index (`F` in the paper's
+//!   tables);
+//! * [`transitions`] — the §2 congestion-state machine analysis
+//!   (prediction efficiency, false positives, false negatives — Figures
+//!   2 and 3);
+//! * [`histogram::Histogram`] — empirical PDFs (Figure 4);
+//! * [`timeseries::TimeSeries`] — step-interpolated time-indexed lookups
+//!   (queue length at false-positive instants; throughput traces);
+//! * [`summary::Summary`] — streaming mean/variance.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod jain;
+pub mod summary;
+pub mod timeseries;
+pub mod transitions;
+
+pub use histogram::Histogram;
+pub use jain::jain_index;
+pub use summary::Summary;
+pub use timeseries::TimeSeries;
+pub use transitions::{analyze, cluster_losses, TransitionCounts};

@@ -1,0 +1,231 @@
+//! The congestion-state transition analysis of paper §2 (Figure 1).
+//!
+//! A predictor's binary output over time partitions the trace into "low"
+//! (state A) and "high" (state B) periods; packet losses are state C. The
+//! analyzer classifies every **high episode** and every **loss event**:
+//!
+//! * a high episode containing ≥ 1 loss event → transition **2** (B → C):
+//!   a correct prediction;
+//! * a high episode that ends with no loss → transition **5** (B → A):
+//!   a **false positive**;
+//! * a loss event while in the low state → transition **4** (A → C):
+//!   a **false negative**.
+//!
+//! and derives the paper's three metrics:
+//! prediction efficiency `2/(2+5)`, false-positive rate `5/(2+5)`, and
+//! false-negative rate `4/(2+4)`.
+//!
+//! Bursty drops (a buffer overflow drops a run of packets) are first
+//! clustered into loss *events* with a configurable window, mirroring how
+//! the paper reasons about "a loss" rather than "every lost packet".
+
+/// Transition counts over a trace (numbering follows the paper's Fig. 1).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TransitionCounts {
+    /// Transitions A → B (entered the high state).
+    pub low_to_high: u64,
+    /// Transitions B → C: high episodes that correctly preceded a loss.
+    pub high_to_loss: u64,
+    /// Transitions B → A: high episodes with no loss — false positives.
+    pub high_to_low: u64,
+    /// Transitions A → C: loss events arriving in the low state — false
+    /// negatives.
+    pub low_to_loss: u64,
+    /// Clustered loss events in the trace.
+    pub loss_events: u64,
+    /// Times (seconds) at which false-positive episodes *began* — used to
+    /// sample the queue state for Figure 4.
+    pub false_positive_times: Vec<f64>,
+}
+
+impl TransitionCounts {
+    /// Prediction efficiency: `2/(2+5)`. `None` if no high episode closed.
+    pub fn efficiency(&self) -> Option<f64> {
+        let denom = self.high_to_loss + self.high_to_low;
+        (denom > 0).then(|| self.high_to_loss as f64 / denom as f64)
+    }
+
+    /// False-positive rate: `5/(2+5)`.
+    pub fn false_positive_rate(&self) -> Option<f64> {
+        self.efficiency().map(|e| 1.0 - e)
+    }
+
+    /// False-negative rate: `4/(2+4)`.
+    pub fn false_negative_rate(&self) -> Option<f64> {
+        let denom = self.high_to_loss + self.low_to_loss;
+        (denom > 0).then(|| self.low_to_loss as f64 / denom as f64)
+    }
+}
+
+/// Cluster raw per-packet drop times (sorted ascending) into loss events:
+/// drops closer than `window` seconds merge into one event, timestamped at
+/// the first drop.
+pub fn cluster_losses(drop_times: &[f64], window: f64) -> Vec<f64> {
+    assert!(window >= 0.0);
+    debug_assert!(
+        drop_times.windows(2).all(|w| w[0] <= w[1]),
+        "drop times must be sorted"
+    );
+    let mut events = Vec::new();
+    let mut last: Option<f64> = None;
+    for &t in drop_times {
+        match last {
+            Some(prev) if t - prev <= window => {
+                last = Some(t); // extend the cluster
+            }
+            _ => {
+                events.push(t);
+                last = Some(t);
+            }
+        }
+    }
+    events
+}
+
+/// Analyze a prediction trace against loss events.
+///
+/// `states` is the per-sample predictor output as `(time, is_high)` pairs in
+/// time order (one per RTT sample); `drop_times` are raw (unclustered,
+/// sorted) queue- or flow-level drop times; `cluster_window` merges drop
+/// bursts (a good default is one RTT).
+pub fn analyze(states: &[(f64, bool)], drop_times: &[f64], cluster_window: f64) -> TransitionCounts {
+    let losses = cluster_losses(drop_times, cluster_window);
+    let mut counts = TransitionCounts {
+        loss_events: losses.len() as u64,
+        ..Default::default()
+    };
+
+    // Build high episodes [start, end); an episode still open at the trace
+    // end is closed at the last sample time (classified by what it saw).
+    let mut episodes: Vec<(f64, f64)> = Vec::new();
+    let mut cur_start: Option<f64> = None;
+    for &(t, high) in states {
+        match (cur_start, high) {
+            (None, true) => {
+                cur_start = Some(t);
+                counts.low_to_high += 1;
+            }
+            (Some(s), false) => {
+                episodes.push((s, t));
+                cur_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let (Some(s), Some(&(t_end, _))) = (cur_start, states.last()) {
+        episodes.push((s, t_end.max(s)));
+    }
+
+    // Classify loss events and episodes with a linear merge.
+    let mut ep_hit = vec![false; episodes.len()];
+    let mut ei = 0;
+    for &lt in &losses {
+        while ei < episodes.len() && episodes[ei].1 < lt {
+            ei += 1;
+        }
+        if ei < episodes.len() && episodes[ei].0 <= lt && lt <= episodes[ei].1 {
+            ep_hit[ei] = true;
+        } else {
+            counts.low_to_loss += 1;
+        }
+    }
+    for (i, &(start, _)) in episodes.iter().enumerate() {
+        if ep_hit[i] {
+            counts.high_to_loss += 1;
+        } else {
+            counts.high_to_low += 1;
+            counts.false_positive_times.push(start);
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustering_merges_bursts() {
+        let drops = [1.0, 1.005, 1.01, 2.0, 5.0, 5.001];
+        let ev = cluster_losses(&drops, 0.05);
+        assert_eq!(ev, vec![1.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn clustering_chains_across_gaps_within_window() {
+        // Consecutive drops 40 ms apart with a 50 ms window chain together.
+        let drops = [0.0, 0.04, 0.08, 0.12];
+        assert_eq!(cluster_losses(&drops, 0.05), vec![0.0]);
+    }
+
+    #[test]
+    fn correct_prediction_counts_as_transition_2() {
+        // Low at t=0, high 1..3 with a loss at 2, low after.
+        let states = [(0.0, false), (1.0, true), (3.0, false), (4.0, false)];
+        let c = analyze(&states, &[2.0], 0.0);
+        assert_eq!(c.high_to_loss, 1);
+        assert_eq!(c.high_to_low, 0);
+        assert_eq!(c.low_to_loss, 0);
+        assert_eq!(c.efficiency(), Some(1.0));
+    }
+
+    #[test]
+    fn false_positive_counts_as_transition_5() {
+        let states = [(0.0, false), (1.0, true), (3.0, false)];
+        let c = analyze(&states, &[], 0.0);
+        assert_eq!(c.high_to_low, 1);
+        assert_eq!(c.false_positive_times, vec![1.0]);
+        assert_eq!(c.efficiency(), Some(0.0));
+        assert_eq!(c.false_positive_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn loss_in_low_state_is_false_negative() {
+        let states = [(0.0, false), (10.0, false)];
+        let c = analyze(&states, &[5.0], 0.0);
+        assert_eq!(c.low_to_loss, 1);
+        assert_eq!(c.false_negative_rate(), Some(1.0));
+        assert_eq!(c.efficiency(), None);
+    }
+
+    #[test]
+    fn mixed_trace_yields_paper_metrics() {
+        // Episode 1 (1..2): loss at 1.5 → "2".
+        // Episode 2 (3..4): no loss → "5".
+        // Loss at 5 in low state → "4".
+        let states = [
+            (0.0, false),
+            (1.0, true),
+            (2.0, false),
+            (3.0, true),
+            (4.0, false),
+            (6.0, false),
+        ];
+        let c = analyze(&states, &[1.5, 5.0], 0.0);
+        assert_eq!(c.high_to_loss, 1);
+        assert_eq!(c.high_to_low, 1);
+        assert_eq!(c.low_to_loss, 1);
+        assert_eq!(c.low_to_high, 2);
+        assert_eq!(c.efficiency(), Some(0.5));
+        assert_eq!(c.false_negative_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn multiple_losses_in_one_episode_count_once() {
+        let states = [(0.0, false), (1.0, true), (10.0, false)];
+        let c = analyze(&states, &[2.0, 4.0, 6.0], 0.0);
+        assert_eq!(c.high_to_loss, 1);
+        assert_eq!(c.loss_events, 3);
+    }
+
+    #[test]
+    fn open_episode_at_trace_end_is_classified() {
+        // Trace ends while high, having seen a loss → still a "2".
+        let states = [(0.0, false), (1.0, true), (5.0, true)];
+        let c = analyze(&states, &[3.0], 0.0);
+        assert_eq!(c.high_to_loss, 1);
+        // And without a loss → "5".
+        let c = analyze(&states, &[], 0.0);
+        assert_eq!(c.high_to_low, 1);
+    }
+}

@@ -1,0 +1,565 @@
+//! Congestion-control algorithms pluggable into [`crate::TcpSender`].
+//!
+//! The sender owns the mechanical parts of TCP (SACK scoreboard, loss
+//! recovery, RTO); a [`CcAlgorithm`] decides how the window grows on ACKs
+//! and whether to take *early* (delay-triggered) reductions:
+//!
+//! * [`Reno`] — AIMD with slow start; the window-growth core of the
+//!   paper's SACK baseline,
+//! * [`Vegas`] — Brakmo & Peterson's delay-based additive adjustment,
+//! * [`PertCc`] — PERT: Reno growth plus the probabilistic early response
+//!   of [`pert_core::PertController`],
+//! * [`PertPiCc`] — PERT/PI: Reno growth plus the PI-emulating controller
+//!   of [`pert_core::PertPiController`],
+//! * [`PertRemCc`] — PERT/REM: Reno growth plus the REM-emulating
+//!   controller of [`pert_core::PertRemController`] (the paper's §8
+//!   "other AQM schemes" generalization).
+
+use pert_core::pert::{PertController, PertParams};
+use pert_core::pi::{PertPiController, PertPiParams};
+use pert_core::rem::{PertRemController, PertRemParams};
+
+/// Per-ACK information handed to the congestion-control algorithm.
+#[derive(Debug)]
+pub struct CcContext<'a> {
+    /// Current time, seconds.
+    pub now: f64,
+    /// RTT sample from this ACK, seconds.
+    pub rtt: f64,
+    /// Forward one-way delay sample echoed by the receiver, seconds.
+    pub owd: f64,
+    /// Segments newly acknowledged by this ACK (0 on a pure duplicate).
+    pub newly_acked: u64,
+    /// Congestion window, segments (mutable — algorithms grow it here).
+    pub cwnd: &'a mut f64,
+    /// Slow-start threshold, segments.
+    pub ssthresh: &'a mut f64,
+}
+
+impl CcContext<'_> {
+    /// Standard Reno growth: slow start below `ssthresh`, else 1/cwnd per
+    /// acked segment.
+    pub fn reno_increase(&mut self) {
+        if *self.cwnd < *self.ssthresh {
+            *self.cwnd += self.newly_acked as f64;
+        } else if *self.cwnd > 0.0 {
+            *self.cwnd += self.newly_acked as f64 / *self.cwnd;
+        }
+    }
+}
+
+/// What the algorithm wants beyond its own `cwnd` edits.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CcAction {
+    /// Nothing extra.
+    None,
+    /// Take an early (delay-triggered) multiplicative decrease:
+    /// `cwnd ← (1 − factor)·cwnd`, without entering loss recovery.
+    EarlyReduce {
+        /// The decrease factor in (0, 1).
+        factor: f64,
+    },
+}
+
+/// A congestion-control algorithm.
+pub trait CcAlgorithm: Send {
+    /// Short name for reports ("sack", "vegas", "pert", "pert-pi").
+    fn name(&self) -> &'static str;
+
+    /// Process an ACK (called outside loss recovery only).
+    fn on_ack(&mut self, ctx: &mut CcContext<'_>) -> CcAction;
+
+    /// The sender performed a loss/ECN-triggered reduction at `now`
+    /// (lets delay-based schemes suppress early responses for an RTT).
+    fn on_congestion(&mut self, _now: f64) {}
+
+    /// An RTT (and one-way-delay) sample observed while the sender is in
+    /// loss recovery (when [`CcAlgorithm::on_ack`] is not called).
+    /// Delay-based schemes keep their filters fresh here; loss-based
+    /// schemes ignore it.
+    fn on_rtt_sample(&mut self, _now: f64, _rtt: f64, _owd: f64) {}
+
+    /// Multiplicative decrease factor for loss/ECN events (default: halve).
+    fn loss_reduction(&self) -> f64 {
+        0.5
+    }
+
+    /// Early (delay-triggered) reductions taken so far.
+    fn early_reductions(&self) -> u64 {
+        0
+    }
+}
+
+/// Plain Reno/SACK growth: the loss-based baseline.
+#[derive(Debug, Default)]
+pub struct Reno;
+
+impl Reno {
+    /// Create a Reno algorithm.
+    pub fn new() -> Self {
+        Reno
+    }
+}
+
+impl CcAlgorithm for Reno {
+    fn name(&self) -> &'static str {
+        "sack"
+    }
+    fn on_ack(&mut self, ctx: &mut CcContext<'_>) -> CcAction {
+        ctx.reno_increase();
+        CcAction::None
+    }
+}
+
+/// TCP Vegas (Brakmo & Peterson 1994; ns-2's `TCP/Vegas`): once per RTT,
+/// estimate the backlog `diff = cwnd·(rtt − base)/rtt` and additively
+/// adjust so that `alpha ≤ diff ≤ beta`. Slow start doubles every *other*
+/// RTT and ends when `diff > gamma`.
+#[derive(Debug)]
+pub struct Vegas {
+    /// Lower backlog target (segments), default 1.
+    pub alpha: f64,
+    /// Upper backlog target (segments), default 3.
+    pub beta: f64,
+    /// Slow-start exit threshold (segments), default 1.
+    pub gamma: f64,
+    base_rtt: Option<f64>,
+    epoch_end: f64,
+    grow_this_epoch: bool,
+}
+
+impl Vegas {
+    /// Vegas with the canonical (α, β, γ) = (1, 3, 1).
+    pub fn new() -> Self {
+        Vegas {
+            alpha: 1.0,
+            beta: 3.0,
+            gamma: 1.0,
+            base_rtt: None,
+            epoch_end: 0.0,
+            grow_this_epoch: true,
+        }
+    }
+
+    /// Backlog estimate for the given window and RTTs.
+    fn diff(cwnd: f64, rtt: f64, base: f64) -> f64 {
+        cwnd * (rtt - base) / rtt.max(1e-9)
+    }
+}
+
+impl Default for Vegas {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CcAlgorithm for Vegas {
+    fn name(&self) -> &'static str {
+        "vegas"
+    }
+
+    fn on_ack(&mut self, ctx: &mut CcContext<'_>) -> CcAction {
+        let base = match self.base_rtt {
+            None => {
+                self.base_rtt = Some(ctx.rtt);
+                ctx.rtt
+            }
+            Some(b) => {
+                let b = b.min(ctx.rtt);
+                self.base_rtt = Some(b);
+                b
+            }
+        };
+
+        let in_slow_start = *ctx.cwnd < *ctx.ssthresh;
+        if in_slow_start {
+            // Grow by one segment per acked segment, every other RTT.
+            if self.grow_this_epoch {
+                *ctx.cwnd += ctx.newly_acked as f64;
+            }
+        }
+
+        if ctx.now >= self.epoch_end {
+            self.epoch_end = ctx.now + ctx.rtt;
+            let diff = Self::diff(*ctx.cwnd, ctx.rtt, base);
+            if in_slow_start {
+                self.grow_this_epoch = !self.grow_this_epoch;
+                if diff > self.gamma {
+                    // Exit slow start: fall back by 1/8 as Vegas does.
+                    *ctx.ssthresh = (*ctx.cwnd).min(*ctx.ssthresh).max(2.0);
+                    *ctx.cwnd = (*ctx.cwnd * 7.0 / 8.0).max(2.0);
+                    *ctx.ssthresh = (*ctx.cwnd).max(2.0);
+                }
+            } else if diff < self.alpha {
+                *ctx.cwnd += 1.0;
+            } else if diff > self.beta {
+                *ctx.cwnd = (*ctx.cwnd - 1.0).max(2.0);
+            }
+        }
+        CcAction::None
+    }
+}
+
+/// Which delay signal drives PERT's congestion prediction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DelaySignal {
+    /// Round-trip time (the paper's main design; reacts to congestion in
+    /// either direction).
+    Rtt,
+    /// Forward one-way delay (the §7 variant; blind to reverse-path
+    /// congestion). Response suppression still spans one full RTT.
+    OneWayDelay,
+}
+
+/// PERT: Reno growth plus the paper's probabilistic early response
+/// (emulated gentle RED on the `srtt_0.99` queuing-delay estimate).
+#[derive(Debug)]
+pub struct PertCc {
+    ctl: PertController,
+    signal: DelaySignal,
+}
+
+impl PertCc {
+    /// PERT with the paper's default parameters (RTT signal).
+    pub fn new(seed: u64) -> Self {
+        Self::with_params(PertParams::default(), seed)
+    }
+
+    /// PERT with custom parameters (for the ablation experiments).
+    pub fn with_params(params: PertParams, seed: u64) -> Self {
+        PertCc {
+            ctl: PertController::new(params, seed),
+            signal: DelaySignal::Rtt,
+        }
+    }
+
+    /// PERT driven by forward one-way delay (§7's reverse-traffic remedy).
+    pub fn with_signal(params: PertParams, signal: DelaySignal, seed: u64) -> Self {
+        PertCc {
+            ctl: PertController::new(params, seed),
+            signal,
+        }
+    }
+
+    /// The configured signal.
+    pub fn signal(&self) -> DelaySignal {
+        self.signal
+    }
+
+    /// Access the underlying controller (for post-run inspection).
+    pub fn controller(&self) -> &PertController {
+        &self.ctl
+    }
+}
+
+impl CcAlgorithm for PertCc {
+    fn name(&self) -> &'static str {
+        match self.signal {
+            DelaySignal::Rtt => "pert",
+            DelaySignal::OneWayDelay => "pert-owd",
+        }
+    }
+
+    fn on_ack(&mut self, ctx: &mut CcContext<'_>) -> CcAction {
+        ctx.reno_increase();
+        let resp = match self.signal {
+            DelaySignal::Rtt => self.ctl.on_ack(ctx.now, ctx.rtt),
+            DelaySignal::OneWayDelay => {
+                self.ctl.on_ack_with_hold(ctx.now, ctx.owd, ctx.rtt)
+            }
+        };
+        match resp {
+            Some(resp) => CcAction::EarlyReduce {
+                factor: resp.factor,
+            },
+            None => CcAction::None,
+        }
+    }
+
+    fn on_congestion(&mut self, now: f64) {
+        self.ctl.on_loss_response(now);
+    }
+
+    fn on_rtt_sample(&mut self, _now: f64, rtt: f64, owd: f64) {
+        match self.signal {
+            DelaySignal::Rtt => self.ctl.observe(rtt),
+            DelaySignal::OneWayDelay => self.ctl.observe(owd),
+        }
+    }
+
+    fn early_reductions(&self) -> u64 {
+        self.ctl.stats.early_responses
+    }
+}
+
+/// PERT/PI: Reno growth plus the §6 PI-emulating controller.
+#[derive(Debug)]
+pub struct PertPiCc {
+    ctl: PertPiController,
+}
+
+impl PertPiCc {
+    /// Create with explicit PI parameters.
+    pub fn new(params: PertPiParams, seed: u64) -> Self {
+        PertPiCc {
+            ctl: PertPiController::new(params, seed),
+        }
+    }
+
+    /// Access the underlying controller.
+    pub fn controller(&self) -> &PertPiController {
+        &self.ctl
+    }
+}
+
+impl CcAlgorithm for PertPiCc {
+    fn name(&self) -> &'static str {
+        "pert-pi"
+    }
+
+    fn on_ack(&mut self, ctx: &mut CcContext<'_>) -> CcAction {
+        ctx.reno_increase();
+        match self.ctl.on_ack(ctx.now, ctx.rtt) {
+            Some(factor) => CcAction::EarlyReduce { factor },
+            None => CcAction::None,
+        }
+    }
+
+    fn on_rtt_sample(&mut self, _now: f64, rtt: f64, _owd: f64) {
+        self.ctl.observe(rtt);
+    }
+
+    fn early_reductions(&self) -> u64 {
+        self.ctl.early_responses
+    }
+}
+
+/// PERT/REM: Reno growth plus the REM-emulating controller (price +
+/// exponential marking), demonstrating the paper's closing generality
+/// claim.
+#[derive(Debug)]
+pub struct PertRemCc {
+    ctl: PertRemController,
+}
+
+impl PertRemCc {
+    /// Create with explicit REM parameters.
+    pub fn new(params: PertRemParams, seed: u64) -> Self {
+        PertRemCc {
+            ctl: PertRemController::new(params, seed),
+        }
+    }
+
+    /// Access the underlying controller.
+    pub fn controller(&self) -> &PertRemController {
+        &self.ctl
+    }
+}
+
+impl CcAlgorithm for PertRemCc {
+    fn name(&self) -> &'static str {
+        "pert-rem"
+    }
+
+    fn on_ack(&mut self, ctx: &mut CcContext<'_>) -> CcAction {
+        ctx.reno_increase();
+        match self.ctl.on_ack(ctx.now, ctx.rtt) {
+            Some(factor) => CcAction::EarlyReduce { factor },
+            None => CcAction::None,
+        }
+    }
+
+    fn on_rtt_sample(&mut self, _now: f64, rtt: f64, _owd: f64) {
+        self.ctl.observe(rtt);
+    }
+
+    fn early_reductions(&self) -> u64 {
+        self.ctl.early_responses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reno_slow_start_doubles_per_rtt() {
+        let mut cc = Reno::new();
+        let mut cwnd = 2.0;
+        let mut ssthresh = 64.0;
+        // One RTT worth of ACKs: 2 ACKs each acking 1 segment.
+        for _ in 0..2 {
+            let mut ctx = CcContext {
+                now: 0.0,
+                rtt: 0.1,
+                owd: 0.05,
+                newly_acked: 1,
+                cwnd: &mut cwnd,
+                ssthresh: &mut ssthresh,
+            };
+            cc.on_ack(&mut ctx);
+        }
+        assert_eq!(cwnd, 4.0);
+    }
+
+    #[test]
+    fn reno_congestion_avoidance_grows_one_per_rtt() {
+        let mut cc = Reno::new();
+        let mut cwnd = 10.0;
+        let mut ssthresh = 5.0;
+        for _ in 0..10 {
+            let mut ctx = CcContext {
+                now: 0.0,
+                rtt: 0.1,
+                owd: 0.05,
+                newly_acked: 1,
+                cwnd: &mut cwnd,
+                ssthresh: &mut ssthresh,
+            };
+            cc.on_ack(&mut ctx);
+        }
+        // 10 acks at cwnd≈10: ~+1 segment.
+        assert!((cwnd - 11.0).abs() < 0.05, "cwnd = {cwnd}");
+    }
+
+    #[test]
+    fn vegas_increases_when_below_alpha() {
+        let mut cc = Vegas::new();
+        let mut cwnd = 10.0;
+        let mut ssthresh = 5.0; // already in CA
+        // First ack sets base = 0.1.
+        let mut ctx = CcContext {
+            now: 0.0,
+            rtt: 0.1,
+            owd: 0.05,
+            newly_acked: 1,
+            cwnd: &mut cwnd,
+            ssthresh: &mut ssthresh,
+        };
+        cc.on_ack(&mut ctx);
+        // Next epoch with rtt == base → diff 0 < alpha → +1.
+        let before = cwnd;
+        let mut ctx = CcContext {
+            now: 0.2,
+            rtt: 0.1,
+            owd: 0.05,
+            newly_acked: 1,
+            cwnd: &mut cwnd,
+            ssthresh: &mut ssthresh,
+        };
+        cc.on_ack(&mut ctx);
+        assert_eq!(cwnd, before + 1.0);
+    }
+
+    #[test]
+    fn vegas_decreases_when_above_beta() {
+        let mut cc = Vegas::new();
+        let mut cwnd = 10.0;
+        let mut ssthresh = 5.0;
+        let mut ctx = CcContext {
+            now: 0.0,
+            rtt: 0.1,
+            owd: 0.05,
+            newly_acked: 1,
+            cwnd: &mut cwnd,
+            ssthresh: &mut ssthresh,
+        };
+        cc.on_ack(&mut ctx);
+        // rtt 0.2 with base 0.1: diff = 10·0.5 = 5 > beta → −1.
+        let before = cwnd;
+        let mut ctx = CcContext {
+            now: 0.2,
+            rtt: 0.2,
+            owd: 0.1,
+            newly_acked: 1,
+            cwnd: &mut cwnd,
+            ssthresh: &mut ssthresh,
+        };
+        cc.on_ack(&mut ctx);
+        assert_eq!(cwnd, before - 1.0);
+    }
+
+    #[test]
+    fn vegas_holds_inside_band() {
+        let mut cc = Vegas::new();
+        let mut cwnd = 10.0;
+        let mut ssthresh = 5.0;
+        let mut ctx = CcContext {
+            now: 0.0,
+            rtt: 0.1,
+            owd: 0.05,
+            newly_acked: 1,
+            cwnd: &mut cwnd,
+            ssthresh: &mut ssthresh,
+        };
+        cc.on_ack(&mut ctx); // first epoch: diff 0 < α → cwnd = 11
+        // diff = 11·(0.12−0.1)/0.12 ≈ 1.83 ∈ (1, 3) → hold.
+        let before = cwnd;
+        let mut ctx = CcContext {
+            now: 0.2,
+            rtt: 0.12,
+            owd: 0.06,
+            newly_acked: 1,
+            cwnd: &mut cwnd,
+            ssthresh: &mut ssthresh,
+        };
+        cc.on_ack(&mut ctx);
+        assert_eq!(cwnd, before);
+    }
+
+    #[test]
+    fn pert_grows_like_reno_and_reduces_early() {
+        let mut cc = PertCc::new(11);
+        let mut cwnd = 10.0;
+        let mut ssthresh = 5.0;
+        // Base RTT.
+        let mut ctx = CcContext {
+            now: 0.0,
+            rtt: 0.06,
+            owd: 0.03,
+            newly_acked: 1,
+            cwnd: &mut cwnd,
+            ssthresh: &mut ssthresh,
+        };
+        assert_eq!(cc.on_ack(&mut ctx), CcAction::None);
+        // Sustained large queuing delay: eventually EarlyReduce appears.
+        let mut saw_reduce = false;
+        let mut now = 0.0;
+        for _ in 0..100_000 {
+            now += 0.001;
+            let mut ctx = CcContext {
+                now,
+                rtt: 0.2,
+                owd: 0.1,
+                newly_acked: 1,
+                cwnd: &mut cwnd,
+                ssthresh: &mut ssthresh,
+            };
+            if let CcAction::EarlyReduce { factor } = cc.on_ack(&mut ctx) {
+                assert!((factor - 0.35).abs() < 1e-12);
+                saw_reduce = true;
+                break;
+            }
+        }
+        assert!(saw_reduce);
+        assert_eq!(cc.early_reductions(), 1);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        use std::collections::HashSet;
+        let names: HashSet<&str> = [
+            Reno::new().name(),
+            Vegas::new().name(),
+            PertCc::new(0).name(),
+            PertPiCc::new(
+                pert_core::pi::PertPiParams::from_router_pi(1.822e-5, 1.816e-5, 1000.0, 0.003),
+                0,
+            )
+            .name(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,225 @@
+//! # pert-tcp — TCP endpoints for the `netsim` simulator
+//!
+//! A SACK-capable TCP sender/sink pair with pluggable congestion control,
+//! covering every transport the PERT paper evaluates:
+//!
+//! | paper scheme     | construction                                     |
+//! |------------------|--------------------------------------------------|
+//! | SACK (DropTail or RED-ECN routers) | [`cc::Reno`] (+ `ecn: true`)   |
+//! | TCP Vegas        | [`cc::Vegas`]                                    |
+//! | PERT             | [`cc::PertCc`] (gentle-RED emulation, §3)        |
+//! | PERT/PI          | [`cc::PertPiCc`] (PI emulation, §6)              |
+//!
+//! The sender implements slow start, congestion avoidance, FACK-style loss
+//! detection over a SACK scoreboard, fast retransmit/recovery, RTO with
+//! exponential backoff, ECN, and per-ACK RTT sampling via exact packet
+//! timestamps. See [`TcpSender`] and [`TcpSink`].
+//!
+//! Use [`connect`] to wire a sender/sink pair into a simulator:
+//!
+//! ```
+//! use netsim::prelude::*;
+//! use pert_tcp::{connect, ConnectionSpec, START_TOKEN};
+//!
+//! let mut sim = Simulator::new(7);
+//! let (a, b) = (sim.add_node(), sim.add_node());
+//! sim.add_duplex_link(a, b, 10_000_000, SimDuration::from_millis(10), |_| {
+//!     Box::new(DropTail::new(50))
+//! });
+//! sim.compute_routes();
+//! let conn = connect(&mut sim, ConnectionSpec::pert(FlowId(0), a, b, 1));
+//! sim.schedule_agent_timer(SimTime::ZERO, conn.sender, START_TOKEN);
+//! sim.run_until(SimTime::from_secs_f64(5.0));
+//! let sender: &pert_tcp::TcpSender = sim.agent(conn.sender);
+//! assert!(sender.stats.acked_segments > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cc;
+pub mod intervals;
+pub mod scoreboard;
+pub mod sender;
+pub mod sink;
+pub mod source;
+
+pub use cc::{CcAction, CcAlgorithm, CcContext, DelaySignal, PertCc, PertPiCc, PertRemCc, Reno, Vegas};
+pub use intervals::IntervalSet;
+pub use scoreboard::{Scoreboard, SegState};
+pub use sender::{SenderStats, TcpConfig, TcpSender, START_TOKEN, STOP_TOKEN};
+pub use sink::{SinkStats, TcpSink};
+pub use source::{Finite, FnSource, Greedy, Source, Transfer};
+
+use netsim::{AgentId, FlowId, NodeId, Simulator};
+use pert_core::pert::PertParams;
+use pert_core::pi::PertPiParams;
+use pert_core::rem::PertRemParams;
+
+/// Which congestion control a connection uses.
+#[derive(Clone, Debug)]
+pub enum CcKind {
+    /// Loss-based SACK (the paper's standard-TCP baseline).
+    Sack,
+    /// TCP Vegas.
+    Vegas,
+    /// PERT with the given parameters.
+    Pert(PertParams),
+    /// PERT driven by forward one-way delay (§7 variant).
+    PertOwd(PertParams),
+    /// PERT/PI with the given parameters.
+    PertPi(PertPiParams),
+    /// PERT/REM with the given parameters (§8 generalization).
+    PertRem(PertRemParams),
+}
+
+impl CcKind {
+    fn build(&self, seed: u64) -> Box<dyn CcAlgorithm> {
+        match self {
+            CcKind::Sack => Box::new(Reno::new()),
+            CcKind::Vegas => Box::new(Vegas::new()),
+            CcKind::Pert(p) => Box::new(PertCc::with_params(*p, seed)),
+            CcKind::PertOwd(p) => Box::new(PertCc::with_signal(
+                *p,
+                cc::DelaySignal::OneWayDelay,
+                seed,
+            )),
+            CcKind::PertPi(p) => Box::new(PertPiCc::new(*p, seed)),
+            CcKind::PertRem(p) => Box::new(PertRemCc::new(*p, seed)),
+        }
+    }
+
+    /// Short scheme name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CcKind::Sack => "sack",
+            CcKind::Vegas => "vegas",
+            CcKind::Pert(_) => "pert",
+            CcKind::PertOwd(_) => "pert-owd",
+            CcKind::PertPi(_) => "pert-pi",
+            CcKind::PertRem(_) => "pert-rem",
+        }
+    }
+}
+
+/// Everything needed to create one connection.
+#[derive(Clone, Debug)]
+pub struct ConnectionSpec {
+    /// Flow id (unique per connection).
+    pub flow: FlowId,
+    /// Sender-side node.
+    pub src: NodeId,
+    /// Sink-side node.
+    pub dst: NodeId,
+    /// Congestion control.
+    pub cc: CcKind,
+    /// ECN-capable transport (pair with RED/PI-ECN routers).
+    pub ecn: bool,
+    /// Seed for all per-connection randomness.
+    pub seed: u64,
+    /// Record per-ACK samples on the sender.
+    pub record_samples: bool,
+    /// Delayed-ACK timeout for the sink (`None` = per-packet ACKs, the
+    /// paper's assumption).
+    pub delack: Option<netsim::SimDuration>,
+    /// Segment size in bytes.
+    pub seg_size: u32,
+}
+
+impl ConnectionSpec {
+    /// A SACK connection (ECN off — DropTail baseline).
+    pub fn sack(flow: FlowId, src: NodeId, dst: NodeId, seed: u64) -> Self {
+        Self::new(flow, src, dst, CcKind::Sack, seed)
+    }
+
+    /// A SACK connection with ECN (RED-ECN baseline).
+    pub fn sack_ecn(flow: FlowId, src: NodeId, dst: NodeId, seed: u64) -> Self {
+        let mut s = Self::new(flow, src, dst, CcKind::Sack, seed);
+        s.ecn = true;
+        s
+    }
+
+    /// A Vegas connection.
+    pub fn vegas(flow: FlowId, src: NodeId, dst: NodeId, seed: u64) -> Self {
+        Self::new(flow, src, dst, CcKind::Vegas, seed)
+    }
+
+    /// A PERT connection with the paper's default parameters.
+    pub fn pert(flow: FlowId, src: NodeId, dst: NodeId, seed: u64) -> Self {
+        Self::new(flow, src, dst, CcKind::Pert(PertParams::default()), seed)
+    }
+
+    /// A PERT/PI connection.
+    pub fn pert_pi(flow: FlowId, src: NodeId, dst: NodeId, p: PertPiParams, seed: u64) -> Self {
+        Self::new(flow, src, dst, CcKind::PertPi(p), seed)
+    }
+
+    /// Generic constructor.
+    pub fn new(flow: FlowId, src: NodeId, dst: NodeId, cc: CcKind, seed: u64) -> Self {
+        ConnectionSpec {
+            flow,
+            src,
+            dst,
+            cc,
+            ecn: false,
+            seed,
+            record_samples: false,
+            delack: None,
+            seg_size: 1000,
+        }
+    }
+
+    /// Builder-style: record per-ACK samples.
+    pub fn with_samples(mut self) -> Self {
+        self.record_samples = true;
+        self
+    }
+}
+
+/// Handle to an installed connection.
+#[derive(Clone, Copy, Debug)]
+pub struct Connection {
+    /// The flow id.
+    pub flow: FlowId,
+    /// Sender agent (a [`TcpSender`]).
+    pub sender: AgentId,
+    /// Sink agent (a [`TcpSink`]).
+    pub sink: AgentId,
+}
+
+/// Install a sender/sink pair for `spec`, using `source` as the
+/// application (defaults to [`Greedy`] via [`connect`]).
+pub fn connect_with_source(
+    sim: &mut Simulator,
+    spec: ConnectionSpec,
+    source: Box<dyn Source>,
+) -> Connection {
+    let sender_id = sim.alloc_agent();
+    let sink_id = sim.alloc_agent();
+
+    let mut cfg = TcpConfig::new(spec.flow, spec.dst, sink_id);
+    cfg.ecn = spec.ecn;
+    cfg.seed = spec.seed;
+    cfg.record_samples = spec.record_samples;
+    cfg.seg_size = spec.seg_size;
+    let cc = spec.cc.build(spec.seed);
+    let sender = TcpSender::new(cfg, cc, source);
+    sim.install_agent(sender_id, spec.src, Box::new(sender));
+
+    let mut sink = TcpSink::new(spec.flow, spec.src, sender_id, 40);
+    if let Some(timeout) = spec.delack {
+        sink = sink.with_delayed_acks(timeout);
+    }
+    sim.install_agent(sink_id, spec.dst, Box::new(sink));
+
+    Connection {
+        flow: spec.flow,
+        sender: sender_id,
+        sink: sink_id,
+    }
+}
+
+/// Install a greedy (long-lived FTP) connection for `spec`.
+pub fn connect(sim: &mut Simulator, spec: ConnectionSpec) -> Connection {
+    connect_with_source(sim, spec, Box::new(Greedy))
+}

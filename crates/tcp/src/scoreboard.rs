@@ -1,0 +1,355 @@
+//! The SACK scoreboard: per-segment delivery state for the send window.
+//!
+//! Tracks every transmitted-but-unacknowledged segment as one of
+//! `InFlight` (sent, no information), `Sacked` (selectively acknowledged),
+//! `Lost` (declared lost, awaiting retransmission) or `Retx`
+//! (retransmitted, outcome pending). Loss declaration follows the
+//! forward-acknowledgment (FACK) rule: a segment is lost once a segment at
+//! least [`DUP_THRESH`] positions above it has been SACKed — the
+//! SACK-based equivalent of TCP's three-duplicate-ACK threshold.
+//!
+//! All bookkeeping is incremental: `in_flight()` and `first_lost()` are
+//! O(1)/O(log n), and the FACK sweep visits each sequence number at most
+//! once over the window's lifetime (watermark-based), so processing stays
+//! linear in packets even for very large windows.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use netsim::SackBlock;
+
+/// Number of SACKed segments above a hole required to declare it lost.
+pub const DUP_THRESH: u64 = 3;
+
+/// Delivery state of one outstanding segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegState {
+    /// Sent once, no feedback yet.
+    InFlight,
+    /// Covered by a SACK block.
+    Sacked,
+    /// Declared lost; retransmission pending.
+    Lost,
+    /// Retransmitted; outcome pending.
+    Retx,
+}
+
+/// The send-window scoreboard.
+///
+/// Beyond the per-segment state map, a `not_sacked` index keeps every
+/// non-SACKed outstanding sequence number; SACK-block processing and the
+/// FACK sweep walk only that index, so repeatedly receiving the same wide
+/// SACK blocks (one per ACK) costs O(log n), not O(block width).
+#[derive(Debug, Default)]
+pub struct Scoreboard {
+    segs: BTreeMap<u64, SegState>,
+    /// InFlight/Lost/Retx sequence numbers (everything except Sacked).
+    not_sacked: BTreeSet<u64>,
+    lost: BTreeSet<u64>,
+    in_flight: usize,
+    sacked: usize,
+    highest_sacked: Option<u64>,
+    /// FACK sweep watermark: holes below this were already examined.
+    fack_mark: u64,
+}
+
+impl Scoreboard {
+    /// Empty scoreboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Segments currently consuming network capacity
+    /// (`InFlight` + `Retx`).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Segments declared lost and not yet retransmitted.
+    pub fn lost_count(&self) -> usize {
+        self.lost.len()
+    }
+
+    /// Segments currently SACKed.
+    pub fn sacked_count(&self) -> usize {
+        self.sacked
+    }
+
+    /// Total tracked (sent, unacknowledged) segments.
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// True if nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Record the (first) transmission of `seq`.
+    pub fn on_send_new(&mut self, seq: u64) {
+        let prev = self.segs.insert(seq, SegState::InFlight);
+        debug_assert!(prev.is_none(), "segment {seq} sent twice as new");
+        self.not_sacked.insert(seq);
+        self.in_flight += 1;
+    }
+
+    /// Record the retransmission of a lost segment.
+    pub fn on_retransmit(&mut self, seq: u64) {
+        let st = self.segs.get_mut(&seq).expect("retransmit of unknown seq");
+        debug_assert_eq!(*st, SegState::Lost, "retransmit of non-lost seq {seq}");
+        *st = SegState::Retx;
+        self.lost.remove(&seq);
+        self.in_flight += 1;
+    }
+
+    /// Cumulative ACK up to (exclusive) `cum`: forget all covered segments.
+    /// Returns the number of segments newly removed.
+    pub fn ack_to(&mut self, cum: u64) -> u64 {
+        let mut removed = 0;
+        while let Some((&seq, &st)) = self.segs.first_key_value() {
+            if seq >= cum {
+                break;
+            }
+            self.segs.remove(&seq);
+            self.not_sacked.remove(&seq);
+            match st {
+                SegState::InFlight | SegState::Retx => self.in_flight -= 1,
+                SegState::Sacked => self.sacked -= 1,
+                SegState::Lost => {
+                    self.lost.remove(&seq);
+                }
+            }
+            removed += 1;
+        }
+        if self.fack_mark < cum {
+            self.fack_mark = cum;
+        }
+        removed
+    }
+
+    /// Apply one SACK block. Only not-yet-SACKed segments inside the block
+    /// are visited, so repeated identical blocks are nearly free.
+    pub fn sack(&mut self, block: SackBlock) {
+        if block.is_empty() {
+            return;
+        }
+        let hits: Vec<u64> = self
+            .not_sacked
+            .range(block.start..block.end)
+            .copied()
+            .collect();
+        for seq in hits {
+            let st = self.segs.get_mut(&seq).expect("indexed segment exists");
+            match *st {
+                SegState::InFlight | SegState::Retx => {
+                    *st = SegState::Sacked;
+                    self.in_flight -= 1;
+                    self.sacked += 1;
+                }
+                SegState::Lost => {
+                    *st = SegState::Sacked;
+                    self.lost.remove(&seq);
+                    self.sacked += 1;
+                }
+                SegState::Sacked => unreachable!("sacked segment in not_sacked index"),
+            }
+            self.not_sacked.remove(&seq);
+        }
+        // Record the highest SACKed sequence actually covered by the
+        // window (blocks can reference acked-away data harmlessly).
+        if block.end > 0 {
+            self.highest_sacked = Some(
+                self.highest_sacked
+                    .map_or(block.end - 1, |h| h.max(block.end - 1)),
+            );
+        }
+    }
+
+    /// FACK loss declaration: mark as `Lost` every `InFlight` hole lying
+    /// [`DUP_THRESH`] or more below the highest SACKed sequence. Returns
+    /// the number of segments newly declared lost.
+    pub fn declare_losses(&mut self) -> usize {
+        let Some(hs) = self.highest_sacked else {
+            return 0;
+        };
+        let Some(limit) = (hs + 1).checked_sub(DUP_THRESH) else {
+            return 0;
+        };
+        let from = self.fack_mark;
+        if from >= limit {
+            return 0;
+        }
+        let mut newly = Vec::new();
+        for &seq in self.not_sacked.range(from..limit) {
+            if self.segs[&seq] == SegState::InFlight {
+                newly.push(seq);
+            }
+        }
+        self.fack_mark = limit;
+        let n = newly.len();
+        for seq in newly {
+            *self.segs.get_mut(&seq).expect("indexed") = SegState::Lost;
+            self.lost.insert(seq);
+            self.in_flight -= 1;
+        }
+        n
+    }
+
+    /// Declare every non-SACKed outstanding segment lost (RTO recovery).
+    /// Returns how many were newly marked.
+    pub fn mark_all_lost(&mut self) -> usize {
+        let mut newly = Vec::new();
+        for &seq in &self.not_sacked {
+            if matches!(self.segs[&seq], SegState::InFlight | SegState::Retx) {
+                newly.push(seq);
+            }
+        }
+        let n = newly.len();
+        for seq in newly {
+            *self.segs.get_mut(&seq).expect("indexed") = SegState::Lost;
+            self.lost.insert(seq);
+            self.in_flight -= 1;
+        }
+        n
+    }
+
+    /// Lowest lost segment awaiting retransmission.
+    pub fn first_lost(&self) -> Option<u64> {
+        self.lost.first().copied()
+    }
+
+    /// Highest SACKed sequence, if any.
+    pub fn highest_sacked(&self) -> Option<u64> {
+        self.highest_sacked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(start: u64, end: u64) -> SackBlock {
+        SackBlock { start, end }
+    }
+
+    #[test]
+    fn send_and_ack_cycle() {
+        let mut sb = Scoreboard::new();
+        for s in 0..5 {
+            sb.on_send_new(s);
+        }
+        assert_eq!(sb.in_flight(), 5);
+        assert_eq!(sb.ack_to(3), 3);
+        assert_eq!(sb.in_flight(), 2);
+        assert_eq!(sb.len(), 2);
+        assert_eq!(sb.ack_to(3), 0); // idempotent
+    }
+
+    #[test]
+    fn sack_reduces_in_flight() {
+        let mut sb = Scoreboard::new();
+        for s in 0..10 {
+            sb.on_send_new(s);
+        }
+        sb.sack(blk(5, 8));
+        assert_eq!(sb.in_flight(), 7);
+        assert_eq!(sb.sacked_count(), 3);
+        assert_eq!(sb.highest_sacked(), Some(7));
+        // Overlapping SACK is idempotent.
+        sb.sack(blk(5, 8));
+        assert_eq!(sb.sacked_count(), 3);
+    }
+
+    #[test]
+    fn fack_declares_hole_lost_after_three_sacks_above() {
+        let mut sb = Scoreboard::new();
+        for s in 0..10 {
+            sb.on_send_new(s);
+        }
+        // Segment 0 lost in the network; 1 and 2 sacked: only 2 above.
+        sb.sack(blk(1, 3));
+        assert_eq!(sb.declare_losses(), 0);
+        // Third sack above → hole at 0 is lost.
+        sb.sack(blk(3, 4));
+        assert_eq!(sb.declare_losses(), 1);
+        assert_eq!(sb.first_lost(), Some(0));
+        assert_eq!(sb.in_flight(), 6); // 10 − 3 sacked − 1 lost
+    }
+
+    #[test]
+    fn fack_sweep_is_incremental() {
+        let mut sb = Scoreboard::new();
+        for s in 0..100 {
+            sb.on_send_new(s);
+        }
+        sb.sack(blk(50, 60));
+        // highest_sacked = 59 → limit = 57; InFlight holes 0..50 marked.
+        assert_eq!(sb.declare_losses(), 50);
+        assert_eq!(sb.lost_count(), 50);
+        // Re-running without new SACK information marks nothing more.
+        assert_eq!(sb.declare_losses(), 0);
+        // New SACK above extends the limit to 93: holes 60..93 marked.
+        sb.sack(blk(95, 96));
+        assert_eq!(sb.declare_losses(), 33);
+    }
+
+    #[test]
+    fn retransmit_then_ack() {
+        let mut sb = Scoreboard::new();
+        for s in 0..5 {
+            sb.on_send_new(s);
+        }
+        sb.sack(blk(1, 5));
+        sb.declare_losses();
+        assert_eq!(sb.first_lost(), Some(0));
+        sb.on_retransmit(0);
+        assert_eq!(sb.first_lost(), None);
+        assert_eq!(sb.in_flight(), 1); // only the retransmission
+        assert_eq!(sb.ack_to(5), 5);
+        assert!(sb.is_empty());
+        assert_eq!(sb.in_flight(), 0);
+    }
+
+    #[test]
+    fn late_sack_of_lost_segment_cancels_loss() {
+        let mut sb = Scoreboard::new();
+        for s in 0..6 {
+            sb.on_send_new(s);
+        }
+        sb.sack(blk(1, 5));
+        sb.declare_losses();
+        assert_eq!(sb.lost_count(), 1);
+        // The "lost" segment turns out to have arrived late.
+        sb.sack(blk(0, 1));
+        assert_eq!(sb.lost_count(), 0);
+        assert_eq!(sb.first_lost(), None);
+    }
+
+    #[test]
+    fn mark_all_lost_on_rto() {
+        let mut sb = Scoreboard::new();
+        for s in 0..8 {
+            sb.on_send_new(s);
+        }
+        sb.sack(blk(4, 6));
+        assert_eq!(sb.mark_all_lost(), 6);
+        assert_eq!(sb.in_flight(), 0);
+        assert_eq!(sb.lost_count(), 6);
+        assert_eq!(sb.sacked_count(), 2); // SACK info retained
+        assert_eq!(sb.first_lost(), Some(0));
+    }
+
+    #[test]
+    fn conservation_invariant() {
+        let mut sb = Scoreboard::new();
+        for s in 0..50 {
+            sb.on_send_new(s);
+        }
+        sb.sack(blk(10, 20));
+        sb.sack(blk(30, 35));
+        sb.declare_losses();
+        assert_eq!(
+            sb.in_flight() + sb.sacked_count() + sb.lost_count(),
+            sb.len()
+        );
+    }
+}

@@ -1,0 +1,532 @@
+//! The TCP sender agent.
+//!
+//! A SACK-capable sender in the spirit of ns-2's `TCP/Sack1`, hosting any
+//! [`CcAlgorithm`]: slow start / congestion avoidance, FACK-style loss
+//! detection with fast retransmit and SACK-based recovery, retransmission
+//! timeouts with exponential backoff, ECN (ECE-triggered reductions, one
+//! per RTT), per-ACK RTT sampling through exact packet timestamps, and an
+//! application [`Source`] that supplies successive transfers (greedy FTP
+//! flows or think-time-separated web objects).
+
+use std::any::Any;
+
+use netsim::{
+    Agent, AgentId, Ctx, Ecn, FlowId, NodeId, Packet, Payload, SimDuration, TimerToken,
+};
+use pert_core::predictors::AckSample;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::cc::{CcAction, CcAlgorithm, CcContext};
+use crate::scoreboard::Scoreboard;
+use crate::source::Source;
+
+/// Timer token kinds (low 8 bits of the token).
+const TOKEN_START: u64 = 0;
+const TOKEN_STOP: u64 = 1;
+const TOKEN_NEW_TRANSFER: u64 = 2;
+const TOKEN_RTO: u64 = 3;
+
+/// The token used to start a sender (schedule with
+/// [`netsim::Simulator::schedule_agent_timer`]).
+pub const START_TOKEN: TimerToken = TimerToken(TOKEN_START);
+/// The token used to stop a sender (it ceases transmitting new data).
+pub const STOP_TOKEN: TimerToken = TimerToken(TOKEN_STOP);
+
+/// Static sender configuration.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Flow id for tracing and accounting.
+    pub flow: FlowId,
+    /// Node hosting the sink.
+    pub peer_node: NodeId,
+    /// The sink agent.
+    pub peer_agent: AgentId,
+    /// Data segment wire size in bytes (default 1000, as in ns-2).
+    pub seg_size: u32,
+    /// ACK wire size in bytes (default 40).
+    pub ack_size: u32,
+    /// Send ECN-capable (ECT) segments.
+    pub ecn: bool,
+    /// Initial congestion window, segments.
+    pub initial_cwnd: f64,
+    /// Initial slow-start threshold, segments.
+    pub initial_ssthresh: f64,
+    /// Receiver-window clamp on the congestion window, segments.
+    pub max_cwnd: f64,
+    /// Minimum retransmission timeout, seconds (default 0.2).
+    pub min_rto: f64,
+    /// Maximum retransmission timeout, seconds (default 60).
+    pub max_rto: f64,
+    /// Record one [`AckSample`] per ACK (time, RTT, cwnd) — used by the
+    /// paper's predictor studies; off by default to bound memory.
+    pub record_samples: bool,
+    /// Seed for the sender-local RNG (think-time draws etc.).
+    pub seed: u64,
+}
+
+impl TcpConfig {
+    /// Reasonable defaults for a flow from this sender to
+    /// (`peer_node`, `peer_agent`).
+    pub fn new(flow: FlowId, peer_node: NodeId, peer_agent: AgentId) -> Self {
+        TcpConfig {
+            flow,
+            peer_node,
+            peer_agent,
+            seg_size: 1000,
+            ack_size: 40,
+            ecn: false,
+            initial_cwnd: 2.0,
+            initial_ssthresh: f64::MAX,
+            max_cwnd: f64::MAX,
+            min_rto: 0.2,
+            max_rto: 60.0,
+            record_samples: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Aggregate sender statistics (cumulative since flow start).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SenderStats {
+    /// Segments cumulatively acknowledged (goodput measure).
+    pub acked_segments: u64,
+    /// Segments transmitted (including retransmissions).
+    pub sent_segments: u64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+    /// Fast-recovery episodes entered.
+    pub loss_events: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    /// ECE-triggered window reductions.
+    pub ecn_reductions: u64,
+    /// Early (delay-triggered) window reductions.
+    pub early_reductions: u64,
+}
+
+/// The TCP sender agent. Construct with [`TcpSender::new`], install on a
+/// node, and kick off with a [`START_TOKEN`] timer.
+pub struct TcpSender {
+    cfg: TcpConfig,
+    cc: Box<dyn CcAlgorithm>,
+    source: Box<dyn Source>,
+    rng: SmallRng,
+
+    // --- window state -------------------------------------------------
+    cwnd: f64,
+    ssthresh: f64,
+    /// All sequence numbers below this are cumulatively acknowledged.
+    high_ack: u64,
+    /// Next new sequence number to transmit.
+    next_seq: u64,
+    /// Transmit sequence numbers strictly below this (current transfer end).
+    limit_seq: u64,
+    scoreboard: Scoreboard,
+    /// While `Some(p)`, the sender is in loss recovery until
+    /// `high_ack ≥ p`; window reductions are suppressed meanwhile.
+    recovery_point: Option<u64>,
+
+    // --- RTT estimation and RTO ----------------------------------------
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: f64,
+    backoff: u32,
+    /// Absolute time the retransmission timer should fire
+    /// (`f64::INFINITY` when idle).
+    rto_deadline: f64,
+    /// True while a timer event is pending in the calendar.
+    rto_timer_pending: bool,
+
+    // --- ECN -----------------------------------------------------------
+    ecn_hold_until: f64,
+
+    // --- application ---------------------------------------------------
+    started: bool,
+    stopped: bool,
+    awaiting_transfer: bool,
+
+    /// Cumulative statistics.
+    pub stats: SenderStats,
+    /// Optional per-ACK samples (`record_samples`).
+    pub samples: Vec<AckSample>,
+}
+
+impl TcpSender {
+    /// Create a sender using congestion control `cc` and application
+    /// source `source`.
+    pub fn new(cfg: TcpConfig, cc: Box<dyn CcAlgorithm>, source: Box<dyn Source>) -> Self {
+        assert!(cfg.initial_cwnd >= 1.0, "initial cwnd must be ≥ 1");
+        assert!(cfg.seg_size > 0 && cfg.ack_size > 0);
+        assert!(cfg.min_rto > 0.0 && cfg.max_rto >= cfg.min_rto);
+        let seed = cfg.seed;
+        TcpSender {
+            cwnd: cfg.initial_cwnd,
+            ssthresh: cfg.initial_ssthresh,
+            cfg,
+            cc,
+            source,
+            rng: SmallRng::seed_from_u64(seed ^ 0x7c95_e4d3),
+            high_ack: 0,
+            next_seq: 0,
+            limit_seq: 0,
+            scoreboard: Scoreboard::new(),
+            recovery_point: None,
+            srtt: None,
+            rttvar: 0.0,
+            rto: 1.0,
+            backoff: 0,
+            rto_deadline: f64::INFINITY,
+            rto_timer_pending: false,
+            ecn_hold_until: 0.0,
+            started: false,
+            stopped: false,
+            awaiting_transfer: false,
+            stats: SenderStats::default(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The congestion-control algorithm's name.
+    pub fn cc_name(&self) -> &'static str {
+        self.cc.name()
+    }
+
+    /// Current congestion window, segments.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current smoothed RTT estimate, seconds.
+    pub fn srtt(&self) -> Option<f64> {
+        self.srtt
+    }
+
+    /// True once the flow has permanently finished (source exhausted or
+    /// stopped).
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// True while the sender is in loss recovery.
+    pub fn in_recovery(&self) -> bool {
+        self.recovery_point.is_some()
+    }
+
+    /// Access the congestion-control algorithm (for downcasting in
+    /// experiments).
+    pub fn cc(&self) -> &dyn CcAlgorithm {
+        self.cc.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+
+    fn effective_window(&self) -> u64 {
+        self.cwnd.min(self.cfg.max_cwnd).max(1.0).floor() as u64
+    }
+
+    fn send_segment(&mut self, ctx: &mut Ctx<'_>, seq: u64, retransmit: bool) {
+        ctx.send(Packet {
+            flow: self.cfg.flow,
+            dst_node: self.cfg.peer_node,
+            dst_agent: self.cfg.peer_agent,
+            size_bytes: self.cfg.seg_size,
+            ecn: if self.cfg.ecn {
+                Ecn::Capable
+            } else {
+                Ecn::NotCapable
+            },
+            sent_at: ctx.now(), // overwritten by ctx.send, kept for clarity
+            payload: Payload::Data { seq, retransmit },
+        });
+        self.stats.sent_segments += 1;
+        if retransmit {
+            self.stats.retransmits += 1;
+        }
+    }
+
+    /// Transmit as much as the window allows: retransmissions first, then
+    /// new data.
+    fn send_available(&mut self, ctx: &mut Ctx<'_>) {
+        if self.stopped || !self.started {
+            return;
+        }
+        let wnd = self.effective_window();
+        while (self.scoreboard.in_flight() as u64) < wnd {
+            if let Some(seq) = self.scoreboard.first_lost() {
+                self.scoreboard.on_retransmit(seq);
+                self.send_segment(ctx, seq, true);
+            } else if self.next_seq < self.limit_seq {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.scoreboard.on_send_new(seq);
+                self.send_segment(ctx, seq, false);
+            } else {
+                break;
+            }
+        }
+        self.ensure_timer(ctx);
+    }
+
+    // --- RTO management -------------------------------------------------
+
+    fn current_rto(&self) -> f64 {
+        (self.rto * f64::from(1u32 << self.backoff.min(16))).clamp(self.cfg.min_rto, self.cfg.max_rto)
+    }
+
+    fn restart_rto(&mut self, now: f64) {
+        self.rto_deadline = now + self.current_rto();
+    }
+
+    fn ensure_timer(&mut self, ctx: &mut Ctx<'_>) {
+        if self.scoreboard.in_flight() == 0 && self.scoreboard.lost_count() == 0 {
+            self.rto_deadline = f64::INFINITY;
+            return;
+        }
+        if self.rto_deadline.is_infinite() {
+            self.restart_rto(ctx.now().as_secs_f64());
+        }
+        if !self.rto_timer_pending {
+            let now = ctx.now().as_secs_f64();
+            let delay = (self.rto_deadline - now).max(0.0);
+            ctx.schedule(SimDuration::from_secs_f64(delay), TimerToken(TOKEN_RTO));
+            self.rto_timer_pending = true;
+        }
+    }
+
+    fn on_rto_timer(&mut self, ctx: &mut Ctx<'_>) {
+        self.rto_timer_pending = false;
+        if self.stopped || self.rto_deadline.is_infinite() {
+            return;
+        }
+        let now = ctx.now().as_secs_f64();
+        // Timers have nanosecond granularity; treat any deadline within a
+        // nanosecond as reached, or a sub-nanosecond residue would re-arm a
+        // zero-delay timer forever.
+        if now + 1e-9 < self.rto_deadline {
+            // Deadline was pushed forward by ACK progress; re-arm lazily.
+            self.ensure_timer(ctx);
+            return;
+        }
+        // Genuine timeout.
+        self.stats.timeouts += 1;
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = 1.0;
+        self.backoff = (self.backoff + 1).min(16);
+        self.scoreboard.mark_all_lost();
+        // A timeout ends any fast-recovery episode and starts a fresh one
+        // so subsequent SACK losses don't re-cut the window immediately.
+        self.recovery_point = Some(self.next_seq);
+        self.cc.on_congestion(now);
+        self.restart_rto(now);
+        self.send_available(ctx);
+    }
+
+    // --- ACK processing --------------------------------------------------
+
+    fn update_rtt(&mut self, sample: f64) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2.0;
+            }
+            Some(s) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (s - sample).abs();
+                self.srtt = Some(0.875 * s + 0.125 * sample);
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        self.rto = (srtt + 4.0 * self.rttvar).clamp(self.cfg.min_rto, self.cfg.max_rto);
+    }
+
+    /// A loss/ECN-triggered multiplicative decrease (at most one per
+    /// recovery episode / per RTT for ECN).
+    fn congestion_reduce(&mut self, now: f64) {
+        let factor = self.cc.loss_reduction();
+        self.ssthresh = (self.cwnd * (1.0 - factor)).max(2.0);
+        self.cwnd = self.ssthresh;
+        self.cc.on_congestion(now);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_ack_packet(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        cum_ack: u64,
+        sack: [Option<netsim::SackBlock>; netsim::MAX_SACK_BLOCKS],
+        ts_echo: netsim::SimTime,
+        owd: f64,
+        ece: bool,
+    ) {
+        let now = ctx.now().as_secs_f64();
+        let rtt = ctx.now().duration_since(ts_echo).as_secs_f64();
+        if rtt > 0.0 {
+            self.update_rtt(rtt);
+        }
+
+        // 1. Cumulative progress.
+        let newly = if cum_ack > self.high_ack {
+            let n = self.scoreboard.ack_to(cum_ack);
+            self.high_ack = cum_ack;
+            self.stats.acked_segments += n;
+            self.backoff = 0;
+            self.restart_rto(now);
+            n
+        } else {
+            0
+        };
+
+        // 2. Recovery exit.
+        if let Some(rp) = self.recovery_point {
+            if self.high_ack >= rp {
+                self.recovery_point = None;
+            }
+        }
+
+        // 3. SACK bookkeeping and loss declaration.
+        for block in sack.into_iter().flatten() {
+            self.scoreboard.sack(block);
+        }
+        let new_losses = self.scoreboard.declare_losses();
+        if new_losses > 0 && self.recovery_point.is_none() {
+            // Enter fast recovery: one multiplicative decrease per episode.
+            self.recovery_point = Some(self.next_seq);
+            self.stats.loss_events += 1;
+            self.congestion_reduce(now);
+        }
+
+        // 4. ECN response (once per RTT, not during loss recovery).
+        if ece && now >= self.ecn_hold_until && self.recovery_point.is_none() {
+            self.stats.ecn_reductions += 1;
+            self.congestion_reduce(now);
+            self.ecn_hold_until = now + self.srtt.unwrap_or(self.rto);
+        }
+
+        // 5. Congestion-control growth / early response.
+        if rtt > 0.0 {
+            if self.recovery_point.is_none() {
+                let mut ctx_cc = CcContext {
+                    now,
+                    rtt,
+                    owd,
+                    newly_acked: newly,
+                    cwnd: &mut self.cwnd,
+                    ssthresh: &mut self.ssthresh,
+                };
+                match self.cc.on_ack(&mut ctx_cc) {
+                    CcAction::None => {}
+                    CcAction::EarlyReduce { factor } => {
+                        self.stats.early_reductions += 1;
+                        self.ssthresh = (self.cwnd * (1.0 - factor)).max(1.0);
+                        self.cwnd = self.ssthresh;
+                    }
+                }
+            } else {
+                // In recovery the window is not grown by the CC algorithm —
+                // except for post-RTO slow start: after a timeout cwnd was
+                // reset to 1 with recovery_point = next_seq, and without
+                // growth the sender would crawl at one segment per RTT
+                // until the entire pre-timeout window was re-covered.
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += newly as f64;
+                }
+                self.cc.on_rtt_sample(now, rtt, owd);
+            }
+        }
+        self.cwnd = self.cwnd.min(self.cfg.max_cwnd).max(1.0);
+
+        if self.cfg.record_samples && rtt > 0.0 {
+            self.samples.push(AckSample {
+                at: now,
+                rtt,
+                owd,
+                cwnd: self.cwnd,
+            });
+        }
+
+        // 6. Transfer completion → ask the source for the next one.
+        if !self.awaiting_transfer
+            && !self.stopped
+            && self.started
+            && self.next_seq >= self.limit_seq
+            && self.scoreboard.is_empty()
+        {
+            self.begin_next_transfer(ctx);
+        }
+
+        // 7. Keep the pipe full.
+        self.send_available(ctx);
+    }
+
+    fn begin_next_transfer(&mut self, ctx: &mut Ctx<'_>) {
+        match self.source.next_transfer(&mut self.rng) {
+            None => {
+                self.stopped = true;
+                self.rto_deadline = f64::INFINITY;
+            }
+            Some(t) => {
+                self.awaiting_transfer = true;
+                // Stash the size in the token payload; think time via timer.
+                let token = TimerToken(TOKEN_NEW_TRANSFER | (t.segments << 8));
+                ctx.schedule(SimDuration::from_secs_f64(t.think_secs), token);
+            }
+        }
+    }
+
+    fn on_new_transfer(&mut self, segments: u64, ctx: &mut Ctx<'_>) {
+        self.awaiting_transfer = false;
+        if self.stopped {
+            return;
+        }
+        self.limit_seq = self.limit_seq.saturating_add(segments);
+        // Each transfer restarts from a fresh (small) window, modelling a
+        // new connection of the same session over the same path.
+        self.cwnd = self.cfg.initial_cwnd;
+        self.send_available(ctx);
+    }
+}
+
+impl Agent for TcpSender {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if let Payload::Ack {
+            cum_ack,
+            sack,
+            ts_echo,
+            owd_echo,
+            ece,
+        } = pkt.payload
+        {
+            self.on_ack_packet(ctx, cum_ack, sack, ts_echo, owd_echo.as_secs_f64(), ece);
+        }
+        // Data packets addressed to a sender are a wiring bug; ignore in
+        // release, catch in debug.
+        debug_assert!(pkt.is_ack(), "sender received a data packet");
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_>) {
+        match token.0 & 0xff {
+            TOKEN_START => {
+                if !self.started {
+                    self.started = true;
+                    self.begin_next_transfer(ctx);
+                }
+            }
+            TOKEN_STOP => {
+                self.stopped = true;
+                self.rto_deadline = f64::INFINITY;
+            }
+            TOKEN_NEW_TRANSFER => self.on_new_transfer(token.0 >> 8, ctx),
+            TOKEN_RTO => self.on_rto_timer(ctx),
+            other => unreachable!("unknown sender timer token {other}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

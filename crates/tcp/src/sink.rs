@@ -1,0 +1,321 @@
+//! The TCP sink (receiver) agent.
+//!
+//! Acknowledges every data segment immediately (per-packet ACKs — the
+//! paper's per-ACK RTT sampling assumes this, as Linux does for RTO
+//! estimation), carries up to three SACK blocks describing out-of-order
+//! data, echoes the segment's timestamp for exact sender-side RTT
+//! measurement, and echoes CE marks as ECE (per-packet, i.e. "accurate
+//! ECN" style; the sender rate-limits its reaction to once per RTT).
+//!
+//! Out-of-order data is kept in an interval set (O(log n) per segment),
+//! and the SACK blocks reported are, in order: the block containing the
+//! segment that triggered this ACK (RFC 2018's "most recent" rule), the
+//! highest block (which drives the sender's FACK loss declaration), and
+//! the lowest block.
+
+use std::any::Any;
+
+use netsim::{
+    Agent, AgentId, Ctx, Ecn, FlowId, NodeId, Packet, Payload, SackBlock, SimDuration, SimTime,
+    TimerToken, MAX_SACK_BLOCKS,
+};
+
+use crate::intervals::IntervalSet;
+
+/// Timer token for the delayed-ACK timeout (low bits; epoch above).
+const TOKEN_DELACK: u64 = 0xDA;
+
+/// Receiver statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SinkStats {
+    /// Data segments received (including duplicates).
+    pub segments_received: u64,
+    /// Duplicate segments received.
+    pub duplicates: u64,
+    /// CE-marked segments received.
+    pub marked: u64,
+    /// Highest in-order sequence delivered (next expected).
+    pub rcv_next: u64,
+}
+
+/// The sink agent: pair one with each [`crate::TcpSender`].
+pub struct TcpSink {
+    flow: FlowId,
+    peer_node: NodeId,
+    peer_agent: AgentId,
+    ack_size: u32,
+    rcv_next: u64,
+    /// Out-of-order segments above `rcv_next`, as merged intervals.
+    ooo: IntervalSet,
+    /// Delayed-ACK timeout; `None` = acknowledge every segment (the
+    /// paper's per-packet-ACK assumption).
+    delack: Option<SimDuration>,
+    /// In-order segments received since the last ACK was sent.
+    pending: u32,
+    /// Timestamp/OWD/ECE of the oldest unacknowledged trigger segment.
+    pending_echo: Option<(SimTime, SimDuration, bool)>,
+    /// Epoch invalidating stale delayed-ACK timers.
+    delack_epoch: u64,
+    /// Receiver statistics.
+    pub stats: SinkStats,
+}
+
+impl TcpSink {
+    /// Create a sink acknowledging back to (`peer_node`, `peer_agent`),
+    /// acknowledging every data segment (no delayed ACKs).
+    pub fn new(flow: FlowId, peer_node: NodeId, peer_agent: AgentId, ack_size: u32) -> Self {
+        assert!(ack_size > 0);
+        TcpSink {
+            flow,
+            peer_node,
+            peer_agent,
+            ack_size,
+            rcv_next: 0,
+            ooo: IntervalSet::new(),
+            delack: None,
+            pending: 0,
+            pending_echo: None,
+            delack_epoch: 0,
+            stats: SinkStats::default(),
+        }
+    }
+
+    /// Enable RFC-1122 delayed ACKs: acknowledge every second in-order
+    /// segment or after `timeout`, whichever first; out-of-order arrivals
+    /// and CE marks are acknowledged immediately (RFC 5681 duplicate-ACK
+    /// and ECN behaviour). Halves the sender's RTT sampling rate — the
+    /// `delack` ablation measures what that does to PERT's predictor.
+    pub fn with_delayed_acks(mut self, timeout: SimDuration) -> Self {
+        assert!(!timeout.is_zero());
+        self.delack = Some(timeout);
+        self
+    }
+
+    /// Accept `seq`; returns the interval it joined if it was out of
+    /// order.
+    fn accept(&mut self, seq: u64) -> Option<(u64, u64)> {
+        if seq == self.rcv_next {
+            self.rcv_next += 1;
+            // Consume a now-contiguous leading interval, if any.
+            if let Some((s, e)) = self.ooo.first() {
+                if s == self.rcv_next {
+                    self.rcv_next = e;
+                    self.ooo.remove_below(e);
+                }
+            }
+            None
+        } else if seq > self.rcv_next {
+            let (interval, fresh) = self.ooo.insert(seq);
+            if !fresh {
+                self.stats.duplicates += 1;
+            }
+            Some(interval)
+        } else {
+            self.stats.duplicates += 1;
+            None
+        }
+    }
+
+    /// Build up to [`MAX_SACK_BLOCKS`] SACK blocks: the triggering block
+    /// first, then the highest, then the lowest (deduplicated).
+    fn sack_blocks(&self, triggered: Option<(u64, u64)>) -> [Option<SackBlock>; MAX_SACK_BLOCKS] {
+        let mut blocks = [None; MAX_SACK_BLOCKS];
+        let mut n = 0;
+        let mut push = |iv: Option<(u64, u64)>| {
+            if let Some((s, e)) = iv {
+                let b = SackBlock { start: s, end: e };
+                if n < MAX_SACK_BLOCKS && !blocks[..n].iter().any(|x| *x == Some(b)) {
+                    blocks[n] = Some(b);
+                    n += 1;
+                }
+            }
+        };
+        push(triggered);
+        push(self.ooo.last());
+        push(self.ooo.first());
+        blocks
+    }
+
+    /// Emit an ACK now, echoing `(ts, owd, ece)`.
+    fn send_ack(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        triggered: Option<(u64, u64)>,
+        ts_echo: SimTime,
+        owd_echo: SimDuration,
+        ece: bool,
+    ) {
+        self.pending = 0;
+        self.pending_echo = None;
+        self.delack_epoch += 1; // invalidate any armed delayed-ACK timer
+        ctx.send(Packet {
+            flow: self.flow,
+            dst_node: self.peer_node,
+            dst_agent: self.peer_agent,
+            size_bytes: self.ack_size,
+            ecn: Ecn::NotCapable, // ACKs are not ECN-capable (RFC 3168)
+            sent_at: ctx.now(),
+            payload: Payload::Ack {
+                cum_ack: self.rcv_next,
+                sack: self.sack_blocks(triggered),
+                ts_echo,
+                owd_echo,
+                ece,
+            },
+        });
+    }
+}
+
+impl Agent for TcpSink {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        let Payload::Data { seq, .. } = pkt.payload else {
+            debug_assert!(false, "sink received a non-data packet");
+            return;
+        };
+        self.stats.segments_received += 1;
+        let ece = pkt.ecn.is_marked();
+        if ece {
+            self.stats.marked += 1;
+        }
+
+        let triggered = self.accept(seq);
+        self.stats.rcv_next = self.rcv_next;
+        let ts = pkt.sent_at;
+        let owd = ctx.now().duration_since(pkt.sent_at);
+
+        match self.delack {
+            None => self.send_ack(ctx, triggered, ts, owd, ece),
+            Some(timeout) => {
+                // Immediate ACK on out-of-order data, CE marks, or every
+                // second in-order segment; otherwise arm the timer.
+                self.pending += 1;
+                let held_ece = self
+                    .pending_echo
+                    .map(|(_, _, e)| e)
+                    .unwrap_or(false);
+                if self.pending_echo.is_none() {
+                    self.pending_echo = Some((ts, owd, ece));
+                }
+                if triggered.is_some() || ece || self.pending >= 2 {
+                    // Echo the *triggering* (most recent) segment's clock:
+                    // its RTT is not inflated by the hold time, keeping the
+                    // sender's delay signal accurate (the held segment's
+                    // ECE, if any, is still propagated).
+                    self.send_ack(ctx, triggered, ts, owd, ece || held_ece);
+                } else if self.pending == 1 {
+                    let token = TimerToken(TOKEN_DELACK | (self.delack_epoch << 16));
+                    ctx.schedule(timeout, token);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_>) {
+        let expected = TimerToken(TOKEN_DELACK | (self.delack_epoch << 16));
+        if token == expected && self.pending > 0 {
+            if let Some((ts, owd, ece)) = self.pending_echo.take() {
+                self.send_ack(ctx, None, ts, owd, ece);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink() -> TcpSink {
+        TcpSink::new(FlowId(0), NodeId(0), AgentId(0), 40)
+    }
+
+    #[test]
+    fn in_order_advances_cumulative() {
+        let mut s = sink();
+        for seq in 0..5 {
+            assert_eq!(s.accept(seq), None);
+        }
+        assert_eq!(s.rcv_next, 5);
+        assert!(s.ooo.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_fills_hole() {
+        let mut s = sink();
+        s.accept(0);
+        assert_eq!(s.accept(2), Some((2, 3)));
+        assert_eq!(s.accept(3), Some((2, 4)));
+        assert_eq!(s.rcv_next, 1);
+        let blocks = s.sack_blocks(Some((2, 4)));
+        assert_eq!(blocks[0], Some(SackBlock { start: 2, end: 4 }));
+        // Filling the hole consumes the interval.
+        s.accept(1);
+        assert_eq!(s.rcv_next, 4);
+        assert!(s.ooo.is_empty());
+    }
+
+    #[test]
+    fn sack_blocks_cover_triggering_highest_lowest() {
+        let mut s = sink();
+        s.accept(0);
+        for &seq in &[2u64, 3, 10, 20, 21] {
+            s.accept(seq);
+        }
+        // A new arrival at 11 triggers; highest run is (20,22), lowest (2,4).
+        let t = s.accept(11);
+        assert_eq!(t, Some((10, 12)));
+        let blocks = s.sack_blocks(t);
+        assert_eq!(blocks[0], Some(SackBlock { start: 10, end: 12 }));
+        assert_eq!(blocks[1], Some(SackBlock { start: 20, end: 22 }));
+        assert_eq!(blocks[2], Some(SackBlock { start: 2, end: 4 }));
+    }
+
+    #[test]
+    fn sack_blocks_deduplicate() {
+        let mut s = sink();
+        s.accept(0);
+        s.accept(5);
+        let t = s.accept(6);
+        let blocks = s.sack_blocks(t);
+        // Only one distinct interval exists.
+        assert_eq!(blocks[0], Some(SackBlock { start: 5, end: 7 }));
+        assert_eq!(blocks[1], None);
+        assert_eq!(blocks[2], None);
+    }
+
+    #[test]
+    fn duplicates_are_counted() {
+        let mut s = sink();
+        s.accept(0);
+        s.accept(0); // below rcv_next
+        s.accept(5);
+        s.accept(5); // duplicate OOO
+        assert_eq!(s.stats.duplicates, 2);
+    }
+
+    #[test]
+    fn empty_ooo_yields_no_blocks() {
+        let s = sink();
+        assert_eq!(s.sack_blocks(None), [None; MAX_SACK_BLOCKS]);
+    }
+
+    #[test]
+    fn long_reordering_run_consumed_in_one_step() {
+        let mut s = sink();
+        s.accept(0);
+        for seq in 2..1000u64 {
+            s.accept(seq);
+        }
+        assert_eq!(s.ooo.interval_count(), 1);
+        s.accept(1);
+        assert_eq!(s.rcv_next, 1000);
+        assert!(s.ooo.is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! End-to-end transport tests: full TCP dynamics over the simulator.
+
+use netsim::prelude::*;
+use netsim::queue::QueueDiscipline;
+use pert_tcp::{connect, connect_with_source, ConnectionSpec, Finite, TcpSender, START_TOKEN};
+
+/// Dumbbell: n0 — bottleneck — n1; returns (sim, n0, n1, forward link id).
+fn dumbbell(
+    capacity_bps: u64,
+    delay: SimDuration,
+    queue: impl Fn(usize) -> Box<dyn QueueDiscipline>,
+    seed: u64,
+) -> (Simulator, NodeId, NodeId, LinkId) {
+    let mut sim = Simulator::new(seed);
+    let a = sim.add_node();
+    let b = sim.add_node();
+    let (f, _r) = sim.add_duplex_link(a, b, capacity_bps, delay, |d| queue(d));
+    sim.compute_routes();
+    (sim, a, b, f)
+}
+
+#[test]
+fn sack_fills_the_link() {
+    // 10 Mbps, 20 ms RTT, ample buffer: one SACK flow should reach ≳90%
+    // utilization after slow start.
+    let (mut sim, a, b, fwd) = dumbbell(10_000_000, SimDuration::from_millis(10), |_| {
+        Box::new(DropTail::new(100))
+    }, 1);
+    let conn = connect(&mut sim, ConnectionSpec::sack(FlowId(0), a, b, 1));
+    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, START_TOKEN);
+    sim.run_until(SimTime::from_secs_f64(5.0));
+    sim.reset_measurements();
+    sim.run_until(SimTime::from_secs_f64(15.0));
+    let util = sim
+        .link(fwd)
+        .utilization_percent(SimDuration::from_secs(10));
+    assert!(util > 90.0, "utilization {util}%");
+}
+
+#[test]
+fn sack_recovers_from_buffer_overflow_losses() {
+    // Tiny buffer forces periodic loss; the flow must keep making progress
+    // and actually retransmit.
+    let (mut sim, a, b, _fwd) = dumbbell(10_000_000, SimDuration::from_millis(10), |_| {
+        Box::new(DropTail::new(10))
+    }, 2);
+    let conn = connect(&mut sim, ConnectionSpec::sack(FlowId(0), a, b, 2));
+    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, START_TOKEN);
+    sim.run_until(SimTime::from_secs_f64(20.0));
+    let s: &TcpSender = sim.agent(conn.sender);
+    assert!(!sim.trace.drops.is_empty(), "expected drops with a 10-pkt buffer");
+    assert!(s.stats.retransmits > 0, "no retransmissions despite drops");
+    assert!(s.stats.loss_events > 0);
+    // Goodput sanity: ≥ 70% of the link over 20 s (10 Mbps = 1250 seg/s).
+    assert!(
+        s.stats.acked_segments > 17_000,
+        "acked only {}",
+        s.stats.acked_segments
+    );
+}
+
+#[test]
+fn delivery_is_reliable_and_in_order() {
+    // A finite 5000-segment transfer over a lossy bottleneck must deliver
+    // every segment exactly (cumulative ack reaches the limit).
+    let (mut sim, a, b, _f) = dumbbell(5_000_000, SimDuration::from_millis(5), |_| {
+        Box::new(DropTail::new(8))
+    }, 3);
+    let conn = connect_with_source(
+        &mut sim,
+        ConnectionSpec::sack(FlowId(0), a, b, 3),
+        Box::new(Finite::new(5000)),
+    );
+    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, START_TOKEN);
+    sim.run_until(SimTime::from_secs_f64(60.0));
+    let s: &TcpSender = sim.agent(conn.sender);
+    assert_eq!(s.stats.acked_segments, 5000);
+    assert!(s.is_stopped(), "finite flow should finish");
+    let sink: &pert_tcp::TcpSink = sim.agent(conn.sink);
+    assert_eq!(sink.stats.rcv_next, 5000);
+}
+
+#[test]
+fn pert_keeps_queue_and_drops_low() {
+    // 10 Mbps, 60 ms RTT, buffer = BDP (75 pkts). PERT should hold the
+    // average queue well below DropTail-SACK and avoid (nearly all) drops.
+    let run = |spec: fn(FlowId, NodeId, NodeId, u64) -> ConnectionSpec| {
+        let (mut sim, a, b, fwd) = dumbbell(10_000_000, SimDuration::from_millis(30), |_| {
+            Box::new(DropTail::new(75))
+        }, 4);
+        for i in 0..4u64 {
+            let c = connect(&mut sim, spec(FlowId(i as usize), a, b, i + 10));
+            sim.schedule_agent_timer(
+                SimTime::from_secs_f64(i as f64 * 0.5),
+                c.sender,
+                START_TOKEN,
+            );
+        }
+        sim.run_until(SimTime::from_secs_f64(20.0));
+        sim.reset_measurements();
+        sim.run_until(SimTime::from_secs_f64(60.0));
+        sim.flush_measurements();
+        let link = sim.link(fwd);
+        let span = SimTime::from_secs_f64(60.0).duration_since(SimTime::from_secs_f64(20.0));
+        let mean_q = link
+            .queue
+            .stats()
+            .mean_len(SimTime::from_secs_f64(20.0), SimTime::from_secs_f64(60.0));
+        let drops = link.queue.stats().dropped;
+        let util = link.utilization_percent(span);
+        (mean_q, drops, util)
+    };
+
+    let (q_sack, drops_sack, util_sack) = run(ConnectionSpec::sack);
+    let (q_pert, drops_pert, util_pert) = run(ConnectionSpec::pert);
+
+    assert!(
+        q_pert < q_sack * 0.6,
+        "PERT queue {q_pert:.1} not ≪ SACK queue {q_sack:.1}"
+    );
+    assert!(
+        drops_pert * 10 <= drops_sack.max(10),
+        "PERT drops {drops_pert} vs SACK {drops_sack}"
+    );
+    assert!(util_pert > 80.0, "PERT utilization {util_pert}%");
+    assert!(util_sack > 90.0, "SACK utilization {util_sack}%");
+}
+
+#[test]
+fn vegas_holds_small_backlog() {
+    let (mut sim, a, b, fwd) = dumbbell(10_000_000, SimDuration::from_millis(30), |_| {
+        Box::new(DropTail::new(75))
+    }, 5);
+    let c = connect(&mut sim, ConnectionSpec::vegas(FlowId(0), a, b, 5));
+    sim.schedule_agent_timer(SimTime::ZERO, c.sender, START_TOKEN);
+    sim.run_until(SimTime::from_secs_f64(10.0));
+    sim.reset_measurements();
+    sim.run_until(SimTime::from_secs_f64(30.0));
+    sim.flush_measurements();
+    let link = sim.link(fwd);
+    let mean_q = link
+        .queue
+        .stats()
+        .mean_len(SimTime::from_secs_f64(10.0), SimTime::from_secs_f64(30.0));
+    // A single Vegas flow targets 1–3 packets of backlog.
+    assert!(mean_q < 8.0, "Vegas mean queue {mean_q}");
+    assert_eq!(link.queue.stats().dropped, 0);
+    let util = link.utilization_percent(SimDuration::from_secs(20));
+    assert!(util > 85.0, "Vegas utilization {util}%");
+}
+
+#[test]
+fn ecn_with_red_avoids_drops() {
+    // SACK-ECN through a RED-ECN bottleneck: marks instead of drops.
+    let capacity_pps = 10_000_000.0 / 8000.0;
+    let (mut sim, a, b, fwd) = dumbbell(10_000_000, SimDuration::from_millis(30), |_| {
+        Box::new(RedQueue::adaptive(
+            RedParams::recommended(75, capacity_pps, true, 9),
+            AdaptiveRedParams::default(),
+        ))
+    }, 6);
+    for i in 0..4u64 {
+        let c = connect(&mut sim, ConnectionSpec::sack_ecn(FlowId(i as usize), a, b, i));
+        sim.schedule_agent_timer(SimTime::from_secs_f64(i as f64 * 0.3), c.sender, START_TOKEN);
+    }
+    sim.run_until(SimTime::from_secs_f64(10.0));
+    sim.reset_measurements();
+    sim.run_until(SimTime::from_secs_f64(40.0));
+    sim.flush_measurements();
+    let link = sim.link(fwd);
+    assert!(link.queue.stats().marked > 0, "RED never marked");
+    // ECN converts congestion signals to marks; only the rare excursion
+    // beyond RED's hard-drop region may still drop.
+    let stats = link.queue.stats();
+    assert!(
+        stats.dropped * 20 < stats.marked,
+        "drops {} not rare vs marks {}",
+        stats.dropped,
+        stats.marked
+    );
+    assert!(stats.drop_rate() < 0.001, "drop rate {}", stats.drop_rate());
+    let util = link.utilization_percent(SimDuration::from_secs(30));
+    assert!(util > 85.0, "utilization {util}%");
+}
+
+#[test]
+fn identical_seeds_reproduce_exactly() {
+    let run = || {
+        let (mut sim, a, b, _f) = dumbbell(5_000_000, SimDuration::from_millis(20), |_| {
+            Box::new(DropTail::new(30))
+        }, 7);
+        for i in 0..3u64 {
+            let c = connect(&mut sim, ConnectionSpec::pert(FlowId(i as usize), a, b, i));
+            sim.schedule_agent_timer(SimTime::from_secs_f64(i as f64 * 0.1), c.sender, START_TOKEN);
+        }
+        sim.run_until(SimTime::from_secs_f64(15.0));
+        (
+            sim.events_processed(),
+            sim.trace.drops.len(),
+            sim.link(LinkId(0)).delivered_bits,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn delayed_acks_halve_ack_traffic_without_breaking_reliability() {
+    let (mut sim, a, b, _f) = dumbbell(10_000_000, SimDuration::from_millis(10), |_| {
+        Box::new(DropTail::new(50))
+    }, 9);
+    let mut spec = ConnectionSpec::sack(FlowId(0), a, b, 9);
+    spec.delack = Some(SimDuration::from_millis(100));
+    let conn = connect_with_source(&mut sim, spec, Box::new(Finite::new(3000)));
+    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, START_TOKEN);
+    sim.run_until(SimTime::from_secs_f64(30.0));
+    let s: &TcpSender = sim.agent(conn.sender);
+    assert_eq!(s.stats.acked_segments, 3000, "reliability broken");
+    let sink: &pert_tcp::TcpSink = sim.agent(conn.sink);
+    assert_eq!(sink.stats.rcv_next, 3000);
+    // ACK traffic on the reverse link should be roughly halved: ~1 ACK per
+    // 2 data segments (allow slack for timer ACKs and recovery).
+    let acks = sim.link(LinkId(1)).delivered_pkts;
+    assert!(
+        acks < 2200,
+        "delayed ACKs sent {acks} ACKs for 3000 segments"
+    );
+    assert!(acks > 1400);
+}
+
+#[test]
+fn per_ack_samples_are_recorded_when_requested() {
+    let (mut sim, a, b, _f) = dumbbell(10_000_000, SimDuration::from_millis(10), |_| {
+        Box::new(DropTail::new(50))
+    }, 8);
+    let c = connect(
+        &mut sim,
+        ConnectionSpec::sack(FlowId(0), a, b, 8).with_samples(),
+    );
+    sim.schedule_agent_timer(SimTime::ZERO, c.sender, START_TOKEN);
+    sim.run_until(SimTime::from_secs_f64(3.0));
+    let s: &TcpSender = sim.agent(c.sender);
+    assert!(!s.samples.is_empty());
+    // Samples are (time, rtt, cwnd) with sane ranges.
+    for smp in &s.samples {
+        assert!(smp.rtt >= 0.020, "rtt below propagation: {}", smp.rtt);
+        assert!(smp.cwnd >= 1.0);
+    }
+    // One sample per ACK ≈ one per acked segment.
+    assert!(s.samples.len() as u64 >= s.stats.acked_segments / 2);
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the SACK scoreboard and sink reassembly.
+
+use netsim::SackBlock;
+use pert_tcp::Scoreboard;
+use proptest::prelude::*;
+
+/// A random but causally valid operation sequence on a scoreboard.
+#[derive(Clone, Debug)]
+enum Op {
+    SendNew,
+    AckTo(u64),
+    Sack { start: u64, len: u64 },
+    DeclareLosses,
+    RetransmitFirst,
+    MarkAllLost,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => Just(Op::SendNew),
+        2 => (0u64..100).prop_map(Op::AckTo),
+        3 => (0u64..100, 1u64..8).prop_map(|(start, len)| Op::Sack { start, len }),
+        2 => Just(Op::DeclareLosses),
+        2 => Just(Op::RetransmitFirst),
+        1 => Just(Op::MarkAllLost),
+    ]
+}
+
+proptest! {
+    /// Under any valid operation sequence the scoreboard's partition
+    /// invariant holds: in_flight + sacked + lost == tracked, and the
+    /// cumulative-ACK frontier only moves forward.
+    #[test]
+    fn scoreboard_partition_invariant(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let mut sb = Scoreboard::new();
+        let mut next_seq = 0u64;
+        let mut high_ack = 0u64;
+        for op in ops {
+            match op {
+                Op::SendNew => {
+                    // Only send if not already tracked (mirrors the sender).
+                    sb.on_send_new(next_seq);
+                    next_seq += 1;
+                }
+                Op::AckTo(raw) => {
+                    let cum = (high_ack + raw % 10).min(next_seq);
+                    if cum > high_ack {
+                        let removed = sb.ack_to(cum);
+                        prop_assert!(removed <= cum - high_ack);
+                        high_ack = cum;
+                    }
+                }
+                Op::Sack { start, len } => {
+                    let s = high_ack + start % 20;
+                    let e = (s + len).min(next_seq);
+                    if s < e {
+                        sb.sack(SackBlock { start: s, end: e });
+                    }
+                }
+                Op::DeclareLosses => {
+                    sb.declare_losses();
+                }
+                Op::RetransmitFirst => {
+                    if let Some(seq) = sb.first_lost() {
+                        sb.on_retransmit(seq);
+                        prop_assert!(seq >= high_ack);
+                    }
+                }
+                Op::MarkAllLost => {
+                    sb.mark_all_lost();
+                }
+            }
+            prop_assert_eq!(
+                sb.in_flight() + sb.sacked_count() + sb.lost_count(),
+                sb.len(),
+                "partition violated"
+            );
+            prop_assert!(sb.len() as u64 <= next_seq - high_ack);
+        }
+    }
+
+    /// After acking everything ever sent, the scoreboard is empty.
+    #[test]
+    fn full_ack_empties_scoreboard(
+        n in 1u64..200,
+        sacks in proptest::collection::vec((0u64..200, 1u64..10), 0..20),
+    ) {
+        let mut sb = Scoreboard::new();
+        for s in 0..n {
+            sb.on_send_new(s);
+        }
+        for (start, len) in sacks {
+            let s = start % n;
+            let e = (s + len).min(n);
+            sb.sack(SackBlock { start: s, end: e });
+        }
+        sb.declare_losses();
+        while let Some(seq) = sb.first_lost() {
+            sb.on_retransmit(seq);
+        }
+        let removed = sb.ack_to(n);
+        prop_assert_eq!(removed, n);
+        prop_assert!(sb.is_empty());
+        prop_assert_eq!(sb.in_flight(), 0);
+        prop_assert_eq!(sb.lost_count(), 0);
+    }
+}

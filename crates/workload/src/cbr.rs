@@ -1,0 +1,242 @@
+//! Constant-bit-rate (unresponsive) traffic.
+//!
+//! §4.7 of the paper also studies "dynamic changes in traffic caused by
+//! non-responsive traffic". This agent transmits fixed-size packets at a
+//! fixed rate regardless of loss — a UDP/CBR source — with optional
+//! on/off scheduling so experiments can inject and remove load abruptly.
+
+use std::any::Any;
+
+use netsim::{
+    Agent, AgentId, Ctx, Ecn, FlowId, NodeId, Packet, Payload, SimDuration, TimerToken,
+};
+
+/// Timer token used for the periodic send tick.
+const TOKEN_TICK: u64 = 0xCB;
+/// Timer token that starts the source.
+pub const CBR_START: TimerToken = TimerToken(0xCB0);
+/// Timer token that stops the source.
+pub const CBR_STOP: TimerToken = TimerToken(0xCB1);
+
+/// Configuration of a CBR source.
+#[derive(Clone, Debug)]
+pub struct CbrConfig {
+    /// Flow id for tracing.
+    pub flow: FlowId,
+    /// Destination node.
+    pub dst_node: NodeId,
+    /// Destination agent (a [`CbrSink`]).
+    pub dst_agent: AgentId,
+    /// Sending rate, bits/second.
+    pub rate_bps: u64,
+    /// Packet size, bytes.
+    pub pkt_bytes: u32,
+}
+
+/// An unresponsive constant-bit-rate sender. Kick off with [`CBR_START`];
+/// halt with [`CBR_STOP`].
+pub struct CbrSource {
+    cfg: CbrConfig,
+    interval: SimDuration,
+    running: bool,
+    epoch: u64,
+    seq: u64,
+    /// Packets transmitted.
+    pub sent: u64,
+}
+
+impl CbrSource {
+    /// Create a CBR source; it stays idle until [`CBR_START`] fires.
+    pub fn new(cfg: CbrConfig) -> Self {
+        assert!(cfg.rate_bps > 0 && cfg.pkt_bytes > 0);
+        let interval = netsim::transmission_delay(u64::from(cfg.pkt_bytes) * 8, cfg.rate_bps);
+        CbrSource {
+            cfg,
+            interval,
+            running: false,
+            epoch: 0,
+            seq: 0,
+            sent: 0,
+        }
+    }
+
+    /// The inter-packet interval implied by the configured rate.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    fn tick_token(&self) -> TimerToken {
+        TimerToken(TOKEN_TICK | (self.epoch << 16))
+    }
+
+    fn send_one(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send(Packet {
+            flow: self.cfg.flow,
+            dst_node: self.cfg.dst_node,
+            dst_agent: self.cfg.dst_agent,
+            size_bytes: self.cfg.pkt_bytes,
+            ecn: Ecn::NotCapable,
+            sent_at: ctx.now(),
+            payload: Payload::Data {
+                seq: self.seq,
+                retransmit: false,
+            },
+        });
+        self.seq += 1;
+        self.sent += 1;
+    }
+}
+
+impl Agent for CbrSource {
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {
+        // Unresponsive: ignores everything the network tells it.
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_>) {
+        if token == CBR_START {
+            if !self.running {
+                self.running = true;
+                self.epoch += 1;
+                self.send_one(ctx);
+                let t = self.tick_token();
+                ctx.schedule(self.interval, t);
+            }
+        } else if token == CBR_STOP {
+            self.running = false;
+            self.epoch += 1; // invalidates in-flight ticks
+        } else if token == self.tick_token() && self.running {
+            self.send_one(ctx);
+            let t = self.tick_token();
+            ctx.schedule(self.interval, t);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Counts CBR packets; sends nothing back.
+#[derive(Debug, Default)]
+pub struct CbrSink {
+    /// Packets received.
+    pub received: u64,
+    /// Bytes received.
+    pub bytes: u64,
+}
+
+impl CbrSink {
+    /// Create an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Agent for CbrSink {
+    fn on_packet(&mut self, pkt: Packet, _ctx: &mut Ctx<'_>) {
+        self.received += 1;
+        self.bytes += u64::from(pkt.size_bytes);
+    }
+
+    fn on_timer(&mut self, _token: TimerToken, _ctx: &mut Ctx<'_>) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Install a CBR source/sink pair between `src` and `dst`.
+pub fn add_cbr(
+    sim: &mut netsim::Simulator,
+    flow: FlowId,
+    src: NodeId,
+    dst: NodeId,
+    rate_bps: u64,
+    pkt_bytes: u32,
+) -> (AgentId, AgentId) {
+    let source_id = sim.alloc_agent();
+    let sink_id = sim.alloc_agent();
+    sim.install_agent(
+        sink_id,
+        dst,
+        Box::new(CbrSink::new()),
+    );
+    sim.install_agent(
+        source_id,
+        src,
+        Box::new(CbrSource::new(CbrConfig {
+            flow,
+            dst_node: dst,
+            dst_agent: sink_id,
+            rate_bps,
+            pkt_bytes,
+        })),
+    );
+    (source_id, sink_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::queue::DropTail;
+    use netsim::{SimTime, Simulator};
+
+    fn setup(rate_bps: u64) -> (Simulator, AgentId, AgentId) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, 10_000_000, SimDuration::from_millis(5), |_| {
+            Box::new(DropTail::new(100))
+        });
+        sim.compute_routes();
+        let (src, snk) = add_cbr(&mut sim, FlowId(0), a, b, rate_bps, 1000);
+        (sim, src, snk)
+    }
+
+    #[test]
+    fn sends_at_configured_rate() {
+        let (mut sim, src, snk) = setup(1_000_000); // 125 pkt/s
+        sim.schedule_agent_timer(SimTime::ZERO, src, CBR_START);
+        sim.run_until(SimTime::from_secs_f64(10.0));
+        let sink: &CbrSink = sim.agent(snk);
+        // 125 pkt/s × 10 s = 1250 ± boundary effects.
+        assert!(
+            (1240..=1260).contains(&(sink.received as i64)),
+            "received {}",
+            sink.received
+        );
+    }
+
+    #[test]
+    fn stop_start_cycles_work() {
+        let (mut sim, src, snk) = setup(1_000_000);
+        sim.schedule_agent_timer(SimTime::ZERO, src, CBR_START);
+        sim.schedule_agent_timer(SimTime::from_secs_f64(2.0), src, CBR_STOP);
+        sim.schedule_agent_timer(SimTime::from_secs_f64(8.0), src, CBR_START);
+        sim.run_until(SimTime::from_secs_f64(10.0));
+        let sink: &CbrSink = sim.agent(snk);
+        // Active 2 s + 2 s = 4 s → ~500 packets.
+        assert!(
+            (480..=520).contains(&(sink.received as i64)),
+            "received {}",
+            sink.received
+        );
+    }
+
+    #[test]
+    fn ignores_incoming_packets() {
+        let (mut sim, src, _snk) = setup(1_000_000);
+        sim.schedule_agent_timer(SimTime::ZERO, src, CBR_START);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let s: &CbrSource = sim.agent(src);
+        assert!(s.sent > 100);
+    }
+}

@@ -1,0 +1,132 @@
+//! Random-variate samplers for workload generation.
+//!
+//! Implemented directly over [`rand::Rng`] uniform draws (inverse-CDF
+//! method) to keep the dependency footprint minimal and the draws
+//! reproducible across platforms.
+
+use rand::Rng;
+
+/// Exponential distribution with the given mean (inter-arrival/think
+/// times).
+#[derive(Clone, Copy, Debug)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Create with `mean > 0`.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        Exponential { mean }
+    }
+
+    /// Draw one variate.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        // Inverse CDF; 1−U avoids ln(0).
+        -self.mean * (1.0 - rng.gen::<f64>()).ln()
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Pareto distribution (heavy-tailed file/page sizes, as prescribed for
+/// web traffic by Feldmann et al. — reference \[11\] of the paper).
+#[derive(Clone, Copy, Debug)]
+pub struct Pareto {
+    x_min: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Create with scale `x_min > 0` and tail index `shape > 0`.
+    pub fn new(x_min: f64, shape: f64) -> Self {
+        assert!(x_min > 0.0 && shape > 0.0);
+        Pareto { x_min, shape }
+    }
+
+    /// Construct from a target mean and tail index (`shape > 1` so the
+    /// mean exists): `x_min = mean·(shape − 1)/shape`.
+    pub fn with_mean(mean: f64, shape: f64) -> Self {
+        assert!(shape > 1.0, "mean requires shape > 1");
+        assert!(mean > 0.0);
+        Pareto::new(mean * (shape - 1.0) / shape, shape)
+    }
+
+    /// Draw one variate (≥ `x_min`).
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.x_min / u.powf(1.0 / self.shape)
+    }
+
+    /// The distribution mean (`∞` if `shape ≤ 1`).
+    pub fn mean(&self) -> f64 {
+        if self.shape <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.shape * self.x_min / (self.shape - 1.0)
+        }
+    }
+
+    /// The scale parameter.
+    pub fn x_min(&self) -> f64 {
+        self.x_min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = Exponential::new(2.5);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = Exponential::new(0.001);
+        assert!((0..10_000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn pareto_respects_x_min() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = Pareto::new(4.0, 1.2);
+        assert!((0..10_000).all(|_| d.sample(&mut rng) >= 4.0));
+    }
+
+    #[test]
+    fn pareto_with_mean_sets_scale() {
+        let d = Pareto::with_mean(12.0, 1.2);
+        assert!((d.x_min() - 2.0).abs() < 1e-12);
+        assert!((d.mean() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        // With shape 1.2 a non-trivial fraction of draws exceeds 5× x_min.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let d = Pareto::new(1.0, 1.2);
+        let n = 100_000;
+        let big = (0..n).filter(|_| d.sample(&mut rng) > 5.0).count();
+        let frac = big as f64 / n as f64;
+        // P(X > 5) = 5^{-1.2} ≈ 0.145.
+        assert!((frac - 0.145).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape > 1")]
+    fn with_mean_requires_finite_mean() {
+        let _ = Pareto::with_mean(10.0, 0.9);
+    }
+}

@@ -1,0 +1,381 @@
+//! The single-bottleneck (dumbbell) scenario used by most of the paper's
+//! evaluation (§2.2's six traffic cases, §4.1–§4.5, §6.1):
+//!
+//! ```text
+//!  s₀ ─┐                           ┌─ d₀
+//!  s₁ ─┤  access                   ├─ d₁     forward flows sᵢ → dᵢ
+//!   ⋮  ├── R1 ══ bottleneck ══ R2 ─┤  ⋮      reverse flows dᵢ → sᵢ
+//!  sₙ ─┘                           └─ dₙ     web sessions  wᵢ → vᵢ
+//! ```
+//!
+//! Every flow gets its own access-link pair, whose propagation delays are
+//! chosen so the flow's end-to-end RTT matches the requested value —
+//! reproducing the paper's "several nodes connected to both routers with
+//! links of varying delay, resulting in different flows having different
+//! RTTs".
+
+use netsim::queue::DropTail;
+use netsim::{FlowId, NodeId, LinkId, SimDuration, SimTime, Simulator};
+use pert_tcp::{connect_with_source, Connection, Greedy, Source, START_TOKEN};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::scheme::Scheme;
+use crate::web::{WebParams, WebSession};
+
+/// Configuration of a dumbbell experiment.
+#[derive(Clone, Debug)]
+pub struct DumbbellConfig {
+    /// Bottleneck capacity, bits/second.
+    pub bottleneck_bps: u64,
+    /// One-way propagation delay of the bottleneck link.
+    pub bottleneck_delay: SimDuration,
+    /// Access-link capacity, bits/second (paper: 500 Mbps).
+    pub access_bps: u64,
+    /// Bottleneck buffer, packets.
+    pub buffer_pkts: usize,
+    /// Scheme under test (transport + bottleneck queue).
+    pub scheme: Scheme,
+    /// End-to-end RTT of each forward long-term flow, seconds. Each entry
+    /// creates one flow; must be ≥ `2·bottleneck_delay`.
+    pub forward_rtts: Vec<f64>,
+    /// End-to-end RTTs of reverse long-term flows.
+    pub reverse_rtts: Vec<f64>,
+    /// Number of background web sessions (forward direction).
+    pub num_web_sessions: usize,
+    /// Web-session parameters.
+    pub web: WebParams,
+    /// Web sessions' end-to-end RTT, seconds (jittered ±20 %).
+    pub web_rtt: f64,
+    /// Flow start times are drawn uniformly from `[0, start_window)`
+    /// seconds (paper: 50 s) to expose fairness across staggered starts.
+    pub start_window_secs: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Record per-ACK samples on this forward flow (the §2 "observed"
+    /// flow).
+    pub observed_flow: Option<usize>,
+    /// Schedule START timers for every flow (uniform in the start window).
+    /// Disable when the caller manages starts itself (e.g. the Figure 12
+    /// cohort arrivals).
+    pub auto_start: bool,
+    /// Bernoulli corruption probability applied to the bottleneck link in
+    /// both directions (non-congestion loss; robustness experiments).
+    pub random_loss: f64,
+    /// Segment size, bytes.
+    pub seg_size: u32,
+}
+
+impl DumbbellConfig {
+    /// A baseline configuration; callers override fields as the experiment
+    /// requires.
+    pub fn new(scheme: Scheme) -> Self {
+        DumbbellConfig {
+            bottleneck_bps: 150_000_000,
+            bottleneck_delay: SimDuration::from_millis(10),
+            access_bps: 500_000_000,
+            buffer_pkts: 0, // 0 → auto (BDP, min 2× flows)
+            scheme,
+            forward_rtts: vec![0.060; 10],
+            reverse_rtts: Vec::new(),
+            num_web_sessions: 0,
+            web: WebParams::default(),
+            web_rtt: 0.060,
+            start_window_secs: 50.0,
+            seed: 1,
+            observed_flow: None,
+            auto_start: true,
+            random_loss: 0.0,
+            seg_size: 1000,
+        }
+    }
+
+    /// Bottleneck capacity in packets/second.
+    pub fn pps(&self) -> f64 {
+        self.bottleneck_bps as f64 / (8.0 * self.seg_size as f64)
+    }
+
+    /// The buffer the paper's §4 protocol prescribes: one
+    /// bandwidth-delay product (at the mean forward RTT), floored at twice
+    /// the number of flows and at 10 packets.
+    pub fn auto_buffer(&self) -> usize {
+        let n_flows = self.forward_rtts.len() + self.reverse_rtts.len();
+        let mean_rtt = if self.forward_rtts.is_empty() {
+            0.060
+        } else {
+            self.forward_rtts.iter().sum::<f64>() / self.forward_rtts.len() as f64
+        };
+        let bdp = (self.pps() * mean_rtt).ceil() as usize;
+        bdp.max(2 * n_flows).max(10)
+    }
+}
+
+/// A built dumbbell: the simulator plus handles to everything measurable.
+pub struct Dumbbell {
+    /// The simulator, ready to run.
+    pub sim: Simulator,
+    /// Left router.
+    pub r1: NodeId,
+    /// Right router.
+    pub r2: NodeId,
+    /// The forward bottleneck link (R1 → R2).
+    pub bottleneck_fwd: LinkId,
+    /// The reverse bottleneck link (R2 → R1).
+    pub bottleneck_rev: LinkId,
+    /// Forward long-term connections, in `forward_rtts` order.
+    pub forward: Vec<Connection>,
+    /// Reverse long-term connections.
+    pub reverse: Vec<Connection>,
+    /// Web-session connections.
+    pub web: Vec<Connection>,
+    /// The buffer actually installed at the bottleneck.
+    pub buffer_pkts: usize,
+}
+
+/// Build the dumbbell of `cfg`, schedule all flow starts, and return it.
+///
+/// # Panics
+/// Panics if any requested RTT is smaller than the bottleneck's own
+/// round-trip propagation.
+pub fn build_dumbbell(cfg: &DumbbellConfig) -> Dumbbell {
+    let mut sim = Simulator::new(cfg.seed);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xd0b_be11);
+    let pps = cfg.pps();
+    let buffer = if cfg.buffer_pkts == 0 {
+        cfg.auto_buffer()
+    } else {
+        cfg.buffer_pkts
+    };
+
+    let r1 = sim.add_node();
+    let r2 = sim.add_node();
+    let mut qseed = cfg.seed;
+    let (bottleneck_fwd, bottleneck_rev) =
+        sim.add_duplex_link(r1, r2, cfg.bottleneck_bps, cfg.bottleneck_delay, |_| {
+            qseed = qseed.wrapping_add(1);
+            let q = cfg.scheme.make_bottleneck_queue(buffer, pps, qseed);
+            if cfg.random_loss > 0.0 {
+                Box::new(netsim::queue::RandomLoss::new(q, cfg.random_loss, qseed))
+            } else {
+                q
+            }
+        });
+
+    // Access delay so that e2e RTT = 2·(2·access + bottleneck).
+    let access_delay = |rtt: f64| -> SimDuration {
+        let one_way = rtt / 2.0;
+        let access = (one_way - cfg.bottleneck_delay.as_secs_f64()) / 2.0;
+        assert!(
+            access >= 0.0,
+            "RTT {rtt}s too small for bottleneck delay {:?}",
+            cfg.bottleneck_delay
+        );
+        SimDuration::from_secs_f64(access)
+    };
+    // Generous access buffers: the access links must never be the drop
+    // point.
+    let access_buf = 200_000;
+
+    let mut next_flow = 0usize;
+    let attach_pair = |sim: &mut Simulator, rtt: f64| -> (NodeId, NodeId) {
+        let d = access_delay(rtt);
+        let src = sim.add_node();
+        let dst = sim.add_node();
+        sim.add_duplex_link(src, r1, cfg.access_bps, d, |_| Box::new(DropTail::new(access_buf)));
+        sim.add_duplex_link(r2, dst, cfg.access_bps, d, |_| Box::new(DropTail::new(access_buf)));
+        (src, dst)
+    };
+
+    // Forward long-term flows.
+    let mut forward = Vec::new();
+    for (i, &rtt) in cfg.forward_rtts.iter().enumerate() {
+        let (src, dst) = attach_pair(&mut sim, rtt);
+        let flow = FlowId(next_flow);
+        next_flow += 1;
+        let mut spec = cfg
+            .scheme
+            .connection(flow, src, dst, cfg.seed.wrapping_add(1000 + i as u64), pps);
+        spec.seg_size = cfg.seg_size;
+        if cfg.observed_flow == Some(i) {
+            spec.record_samples = true;
+        }
+        forward.push(connect_with_source(&mut sim, spec, Box::new(Greedy)));
+    }
+
+    // Reverse long-term flows (data R2-side → R1-side).
+    let mut reverse = Vec::new();
+    for (i, &rtt) in cfg.reverse_rtts.iter().enumerate() {
+        let (src_left, dst_right) = attach_pair(&mut sim, rtt);
+        // Swap roles: sender lives on the right.
+        let flow = FlowId(next_flow);
+        next_flow += 1;
+        let mut spec = cfg.scheme.connection(
+            flow,
+            dst_right,
+            src_left,
+            cfg.seed.wrapping_add(2000 + i as u64),
+            pps,
+        );
+        spec.seg_size = cfg.seg_size;
+        reverse.push(connect_with_source(&mut sim, spec, Box::new(Greedy)));
+    }
+
+    // Web sessions.
+    let mut web = Vec::new();
+    for i in 0..cfg.num_web_sessions {
+        let jitter = 0.8 + 0.4 * rng.gen::<f64>();
+        let rtt = (cfg.web_rtt * jitter).max(2.0 * cfg.bottleneck_delay.as_secs_f64() + 1e-6);
+        let (src, dst) = attach_pair(&mut sim, rtt);
+        let flow = FlowId(next_flow);
+        next_flow += 1;
+        let mut spec = cfg
+            .scheme
+            .connection(flow, src, dst, cfg.seed.wrapping_add(3000 + i as u64), pps);
+        spec.seg_size = cfg.seg_size;
+        let session: Box<dyn Source> = Box::new(WebSession::new(cfg.web));
+        web.push(connect_with_source(&mut sim, spec, session));
+    }
+
+    sim.compute_routes();
+
+    // Staggered starts.
+    if cfg.auto_start {
+        for conn in forward.iter().chain(&reverse).chain(&web) {
+            let start = rng.gen::<f64>() * cfg.start_window_secs.max(1e-9);
+            sim.schedule_agent_timer(SimTime::from_secs_f64(start), conn.sender, START_TOKEN);
+        }
+    }
+
+    Dumbbell {
+        sim,
+        r1,
+        r2,
+        bottleneck_fwd,
+        bottleneck_rev,
+        forward,
+        reverse,
+        web,
+        buffer_pkts: buffer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pert_tcp::TcpSender;
+
+    fn small_cfg(scheme: Scheme) -> DumbbellConfig {
+        DumbbellConfig {
+            bottleneck_bps: 10_000_000,
+            forward_rtts: vec![0.060; 4],
+            reverse_rtts: vec![0.080; 2],
+            num_web_sessions: 3,
+            start_window_secs: 2.0,
+            ..DumbbellConfig::new(scheme)
+        }
+    }
+
+    #[test]
+    fn builds_expected_topology() {
+        let d = build_dumbbell(&small_cfg(Scheme::Pert));
+        // 2 routers + 2 nodes per flow (4 fwd + 2 rev + 3 web).
+        assert_eq!(d.sim.num_nodes(), 2 + 2 * 9);
+        assert_eq!(d.forward.len(), 4);
+        assert_eq!(d.reverse.len(), 2);
+        assert_eq!(d.web.len(), 3);
+        // Bottleneck duplex + 2 duplex access links per flow.
+        assert_eq!(d.sim.num_links(), 2 + 9 * 4);
+    }
+
+    #[test]
+    fn auto_buffer_is_bdp_with_floor() {
+        let mut cfg = small_cfg(Scheme::Pert);
+        // 10 Mbps → 1250 pps × 60 ms = 75 pkts BDP > 2·6 flows.
+        assert_eq!(cfg.auto_buffer(), 75);
+        cfg.forward_rtts = vec![0.060; 100];
+        // 2 × 102 flows = 204 > 75.
+        assert_eq!(cfg.auto_buffer(), 204);
+    }
+
+    #[test]
+    fn flows_actually_transfer_data() {
+        let d = build_dumbbell(&small_cfg(Scheme::SackDroptail));
+        let mut sim = d.sim;
+        sim.run_until(SimTime::from_secs_f64(10.0));
+        let total: u64 = d
+            .forward
+            .iter()
+            .map(|c| sim.agent::<TcpSender>(c.sender).stats.acked_segments)
+            .sum();
+        assert!(total > 1000, "forward goodput too low: {total}");
+        let rev: u64 = d
+            .reverse
+            .iter()
+            .map(|c| sim.agent::<TcpSender>(c.sender).stats.acked_segments)
+            .sum();
+        assert!(rev > 100, "reverse goodput too low: {rev}");
+        let web_total: u64 = d
+            .web
+            .iter()
+            .map(|c| sim.agent::<TcpSender>(c.sender).stats.acked_segments)
+            .sum();
+        assert!(web_total > 0, "web sessions silent");
+    }
+
+    #[test]
+    fn observed_flow_records_samples() {
+        let mut cfg = small_cfg(Scheme::Pert);
+        cfg.observed_flow = Some(0);
+        let d = build_dumbbell(&cfg);
+        let mut sim = d.sim;
+        sim.run_until(SimTime::from_secs_f64(8.0));
+        let s: &TcpSender = sim.agent(d.forward[0].sender);
+        assert!(!s.samples.is_empty());
+        let o: &TcpSender = sim.agent(d.forward[1].sender);
+        assert!(o.samples.is_empty());
+    }
+
+    #[test]
+    fn requested_rtt_is_realized() {
+        // Single flow, no competition: measured RTT ≈ configured RTT plus
+        // serialization.
+        let mut cfg = small_cfg(Scheme::SackDroptail);
+        cfg.forward_rtts = vec![0.100];
+        cfg.reverse_rtts.clear();
+        cfg.num_web_sessions = 0;
+        cfg.observed_flow = Some(0);
+        cfg.start_window_secs = 0.0;
+        let d = build_dumbbell(&cfg);
+        let mut sim = d.sim;
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        let s: &TcpSender = sim.agent(d.forward[0].sender);
+        let min_rtt = s
+            .samples
+            .iter()
+            .map(|x| x.rtt)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            (min_rtt - 0.100).abs() < 0.005,
+            "configured 100 ms, measured min {min_rtt}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too small for bottleneck delay")]
+    fn rejects_impossible_rtt() {
+        let mut cfg = small_cfg(Scheme::Pert);
+        cfg.forward_rtts = vec![0.005];
+        build_dumbbell(&cfg);
+    }
+
+    #[test]
+    fn deterministic_construction_and_run() {
+        let run = || {
+            let d = build_dumbbell(&small_cfg(Scheme::Pert));
+            let mut sim = d.sim;
+            sim.run_until(SimTime::from_secs_f64(5.0));
+            (sim.events_processed(), sim.trace.drops.len())
+        };
+        assert_eq!(run(), run());
+    }
+}

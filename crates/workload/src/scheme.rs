@@ -1,0 +1,191 @@
+//! The four (plus two) schemes the paper compares, bundling transport and
+//! router behaviour:
+//!
+//! | scheme          | transport        | bottleneck queue      |
+//! |-----------------|------------------|-----------------------|
+//! | `SackDroptail`  | SACK             | DropTail              |
+//! | `SackRedEcn`    | SACK + ECN       | Adaptive RED + ECN    |
+//! | `Vegas`         | Vegas            | DropTail              |
+//! | `Pert`          | PERT             | DropTail              |
+//! | `PertPi`        | PERT/PI          | DropTail              |
+//! | `SackPiEcn`     | SACK + ECN       | PI + ECN (router PI)  |
+
+use netsim::queue::{
+    AdaptiveRedParams, DropTail, PiParams, PiQueue, QueueDiscipline, RedParams, RedQueue,
+    RemParams, RemQueue,
+};
+use netsim::{FlowId, NodeId};
+use pert_core::pert::PertParams;
+use pert_core::pi::PertPiParams;
+use pert_core::rem::PertRemParams;
+use pert_tcp::{CcKind, ConnectionSpec};
+
+/// The Hollot et al. per-packet PI coefficients used for both the router
+/// PI queue and (scaled by capacity, §6.1) the PERT/PI end-host
+/// controller.
+pub const PI_A: f64 = 1.822e-5;
+/// See [`PI_A`].
+pub const PI_B: f64 = 1.816e-5;
+/// The PERT/PI and router-PI target queuing delay (§6.1: 3 ms).
+pub const PI_TARGET_DELAY: f64 = 0.003;
+
+/// A transport + router-queue combination under evaluation.
+#[derive(Clone, Debug)]
+pub enum Scheme {
+    /// SACK over DropTail (the standard-TCP baseline).
+    SackDroptail,
+    /// ECN-enabled SACK over Adaptive-RED-ECN routers.
+    SackRedEcn,
+    /// TCP Vegas over DropTail.
+    Vegas,
+    /// PERT (paper defaults) over DropTail.
+    Pert,
+    /// PERT with custom parameters (ablations) over DropTail.
+    PertCustom(PertParams),
+    /// PERT driven by forward one-way delay (§7) over DropTail.
+    PertOwd,
+    /// PERT/PI (§6) over DropTail.
+    PertPi,
+    /// PERT/REM (§8 generalization) over DropTail.
+    PertRem,
+    /// ECN-enabled SACK over router PI-ECN (the Fig. 14 comparator).
+    SackPiEcn,
+    /// ECN-enabled SACK over router REM-ECN (the PERT/REM comparator).
+    SackRemEcn,
+}
+
+impl Scheme {
+    /// Short display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::SackDroptail => "SACK/DropTail",
+            Scheme::SackRedEcn => "SACK/RED-ECN",
+            Scheme::Vegas => "Vegas",
+            Scheme::Pert | Scheme::PertCustom(_) => "PERT",
+            Scheme::PertOwd => "PERT-OWD",
+            Scheme::PertPi => "PERT-PI",
+            Scheme::PertRem => "PERT-REM",
+            Scheme::SackPiEcn => "SACK/PI-ECN",
+            Scheme::SackRemEcn => "SACK/REM-ECN",
+        }
+    }
+
+    /// Build the bottleneck queue for a link draining `pps`
+    /// packets/second with `buffer_pkts` of buffering.
+    pub fn make_bottleneck_queue(
+        &self,
+        buffer_pkts: usize,
+        pps: f64,
+        seed: u64,
+    ) -> Box<dyn QueueDiscipline> {
+        match self {
+            Scheme::SackDroptail
+            | Scheme::Vegas
+            | Scheme::Pert
+            | Scheme::PertCustom(_)
+            | Scheme::PertOwd
+            | Scheme::PertPi
+            | Scheme::PertRem => Box::new(DropTail::new(buffer_pkts)),
+            Scheme::SackRedEcn => Box::new(RedQueue::adaptive(
+                RedParams::recommended(buffer_pkts, pps, true, seed),
+                AdaptiveRedParams::default(),
+            )),
+            Scheme::SackPiEcn => Box::new(PiQueue::new(PiParams {
+                capacity_pkts: buffer_pkts,
+                q_ref: (PI_TARGET_DELAY * pps).max(1.0),
+                a: PI_A,
+                b: PI_B,
+                sample_interval: netsim::SimDuration::from_secs_f64(1.0 / 170.0),
+                ecn: true,
+                seed,
+            })),
+            Scheme::SackRemEcn => Box::new(RemQueue::new(RemParams::recommended(
+                buffer_pkts,
+                (PI_TARGET_DELAY * pps).max(1.0),
+                pps,
+                true,
+                seed,
+            ))),
+        }
+    }
+
+    /// Build a connection spec for one flow of this scheme across a
+    /// bottleneck of `pps` packets/second.
+    pub fn connection(
+        &self,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        seed: u64,
+        pps: f64,
+    ) -> ConnectionSpec {
+        let (cc, ecn) = match self {
+            Scheme::SackDroptail => (CcKind::Sack, false),
+            Scheme::SackRedEcn | Scheme::SackPiEcn | Scheme::SackRemEcn => (CcKind::Sack, true),
+            Scheme::Vegas => (CcKind::Vegas, false),
+            Scheme::Pert => (CcKind::Pert(PertParams::default()), false),
+            Scheme::PertCustom(p) => (CcKind::Pert(*p), false),
+            Scheme::PertOwd => (CcKind::PertOwd(PertParams::default()), false),
+            Scheme::PertPi => (
+                CcKind::PertPi(PertPiParams::from_router_pi(
+                    PI_A,
+                    PI_B,
+                    pps,
+                    PI_TARGET_DELAY,
+                )),
+                false,
+            ),
+            Scheme::PertRem => (CcKind::PertRem(PertRemParams::default()), false),
+        };
+        let mut spec = ConnectionSpec::new(flow, src, dst, cc, seed);
+        spec.ecn = ecn;
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_types_match_schemes() {
+        let q = Scheme::SackDroptail.make_bottleneck_queue(100, 1000.0, 1);
+        assert_eq!(q.name(), "DropTail");
+        let q = Scheme::SackRedEcn.make_bottleneck_queue(100, 1000.0, 1);
+        assert_eq!(q.name(), "ARED");
+        let q = Scheme::SackPiEcn.make_bottleneck_queue(100, 1000.0, 1);
+        assert_eq!(q.name(), "PI");
+        let q = Scheme::Pert.make_bottleneck_queue(100, 1000.0, 1);
+        assert_eq!(q.name(), "DropTail");
+    }
+
+    #[test]
+    fn ecn_only_for_aqm_schemes() {
+        let pps = 1000.0;
+        let mk = |s: &Scheme| s.connection(FlowId(0), NodeId(0), NodeId(1), 0, pps);
+        assert!(!mk(&Scheme::SackDroptail).ecn);
+        assert!(mk(&Scheme::SackRedEcn).ecn);
+        assert!(mk(&Scheme::SackPiEcn).ecn);
+        assert!(!mk(&Scheme::Pert).ecn);
+        assert!(!mk(&Scheme::Vegas).ecn);
+    }
+
+    #[test]
+    fn pert_pi_scales_with_capacity() {
+        let spec = Scheme::PertPi.connection(FlowId(0), NodeId(0), NodeId(1), 0, 2000.0);
+        match spec.cc {
+            CcKind::PertPi(p) => {
+                assert!((p.gamma - PI_A * 2000.0).abs() < 1e-12);
+                assert!((p.beta - PI_B * 2000.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected cc {other:?}"),
+        }
+    }
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(Scheme::SackDroptail.name(), "SACK/DropTail");
+        assert_eq!(Scheme::Pert.name(), "PERT");
+        assert_eq!(Scheme::PertCustom(PertParams::default()).name(), "PERT");
+    }
+}

@@ -1,0 +1,100 @@
+//! Custom predictor: extending the §2 predictor framework.
+//!
+//! Implements a new congestion predictor (a median-of-window detector)
+//! against the `pert-core` `Predictor` trait, then scores it side by side
+//! with the paper's battery on a simulated trace using the transition
+//! analyzer — the workflow behind Figure 3, applied to your own idea.
+//!
+//! Run with: `cargo run --release --example custom_predictor`
+
+use pert::core::predictors::{AckSample, CongestionState, Predictor};
+use pert::experiments::cases::{run_case, HIGH_RTT_THRESHOLD};
+use pert::experiments::common::Scale;
+use pert::experiments::fig3::{predictor_battery, PREDICTOR_NAMES};
+use pert::stats::analyze;
+
+/// Flags congestion when the *median* of the last `window` RTT samples
+/// exceeds a threshold — more robust to single spikes than the mean, at
+/// the cost of a sort per evaluation.
+struct MedianRtt {
+    window: Vec<f64>,
+    size: usize,
+    threshold: f64,
+}
+
+impl MedianRtt {
+    fn new(size: usize, threshold: f64) -> Self {
+        MedianRtt {
+            window: Vec::with_capacity(size),
+            size,
+            threshold,
+        }
+    }
+}
+
+impl Predictor for MedianRtt {
+    fn on_sample(&mut self, s: &AckSample) -> CongestionState {
+        if self.window.len() == self.size {
+            self.window.remove(0);
+        }
+        self.window.push(s.rtt);
+        let mut sorted = self.window.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite RTTs"));
+        let median = sorted[sorted.len() / 2];
+        if median > self.threshold {
+            CongestionState::High
+        } else {
+            CongestionState::Low
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "median-rtt"
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+fn main() {
+    println!("generating a trace (one section-2.2 style case)...");
+    let trace = run_case("demo", 16, 20, Scale::Quick, 3);
+    println!(
+        "  {} RTT samples, {} queue-level drops\n",
+        trace.samples.len(),
+        trace.queue_drops.len()
+    );
+
+    let mut contenders: Vec<(String, Box<dyn Predictor>)> = predictor_battery()
+        .into_iter()
+        .zip(PREDICTOR_NAMES)
+        .map(|(p, n)| (n.to_string(), p))
+        .collect();
+    contenders.push((
+        "median-rtt (custom)".into(),
+        Box::new(MedianRtt::new(101, HIGH_RTT_THRESHOLD)),
+    ));
+
+    println!(
+        "  {:<22} {:>10} {:>10} {:>10}",
+        "predictor", "efficiency", "false-pos", "false-neg"
+    );
+    for (name, mut pred) in contenders {
+        let states: Vec<(f64, bool)> = trace
+            .samples
+            .iter()
+            .map(|s| (s.at, pred.on_sample(s) == CongestionState::High))
+            .collect();
+        let c = analyze(&states, &trace.queue_drops, 0.060);
+        println!(
+            "  {:<22} {:>10.3} {:>10.3} {:>10.3}",
+            name,
+            c.efficiency().unwrap_or(f64::NAN),
+            c.false_positive_rate().unwrap_or(f64::NAN),
+            c.false_negative_rate().unwrap_or(f64::NAN),
+        );
+    }
+
+    println!("\n(efficiency = P(high-RTT episode precedes a queue loss); see paper section 2)");
+}

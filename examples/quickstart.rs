@@ -1,0 +1,78 @@
+//! Quickstart: four PERT flows over a DropTail bottleneck.
+//!
+//! Builds a 10 Mbps / 60 ms dumbbell directly against the `netsim` and
+//! `pert-tcp` APIs (no scenario builder), runs 60 simulated seconds, and
+//! prints per-flow goodput plus the bottleneck's queue/drop statistics —
+//! the smallest end-to-end demonstration of PERT keeping a DropTail queue
+//! short without router support.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pert::netsim::prelude::*;
+use pert::tcp::{connect, ConnectionSpec, TcpSender, START_TOKEN};
+
+fn main() {
+    // Topology: two hosts joined by a duplex 10 Mbps link with 30 ms
+    // one-way delay (60 ms RTT) and a one-BDP (75-packet) buffer.
+    let mut sim = Simulator::new(42);
+    let left = sim.add_node();
+    let right = sim.add_node();
+    let (fwd, _rev) = sim.add_duplex_link(
+        left,
+        right,
+        10_000_000,
+        SimDuration::from_millis(30),
+        |_| Box::new(DropTail::new(75)),
+    );
+    sim.compute_routes();
+
+    // Four PERT flows, staggered starts.
+    let conns: Vec<_> = (0..4)
+        .map(|i| {
+            let c = connect(
+                &mut sim,
+                ConnectionSpec::pert(FlowId(i), left, right, i as u64),
+            );
+            sim.schedule_agent_timer(
+                SimTime::from_secs_f64(i as f64 * 0.5),
+                c.sender,
+                START_TOKEN,
+            );
+            c
+        })
+        .collect();
+
+    // Warm up 10 s, then measure 50 s.
+    sim.run_until(SimTime::from_secs_f64(10.0));
+    sim.reset_measurements();
+    let acked_at_start: Vec<u64> = conns
+        .iter()
+        .map(|c| sim.agent::<TcpSender>(c.sender).stats.acked_segments)
+        .collect();
+    sim.run_until(SimTime::from_secs_f64(60.0));
+    sim.flush_measurements();
+
+    println!("PERT quickstart — 10 Mbps, 60 ms RTT, 75-packet DropTail buffer\n");
+    for (i, c) in conns.iter().enumerate() {
+        let s: &TcpSender = sim.agent(c.sender);
+        let goodput_mbps =
+            (s.stats.acked_segments - acked_at_start[i]) as f64 * 8000.0 / 50.0 / 1e6;
+        println!(
+            "  flow {i}: goodput {goodput_mbps:.2} Mbps, early reductions {}, loss events {}",
+            s.cc().early_reductions(),
+            s.stats.loss_events
+        );
+    }
+
+    let link = sim.link(fwd);
+    let stats = link.queue.stats();
+    println!(
+        "\n  bottleneck: mean queue {:.1} pkts (of 75), drops {}, utilization {:.1}%",
+        stats.mean_len(SimTime::from_secs_f64(10.0), SimTime::from_secs_f64(60.0)),
+        stats.dropped,
+        link.utilization_percent(SimDuration::from_secs(50))
+    );
+    println!(
+        "  (a SACK/DropTail run here keeps the queue near full and overflows periodically)"
+    );
+}

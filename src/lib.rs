@@ -1,0 +1,54 @@
+//! # pert — Probabilistic Early Response TCP
+//!
+//! A full reproduction of *"Emulating AQM from End Hosts"* (Bhandarkar,
+//! Reddy, Zhang, Loguinov — SIGCOMM 2007) as a Rust workspace, re-exported
+//! here as a single facade:
+//!
+//! * [`core`] (`pert-core`) — the PERT algorithms: the `srtt_0.99`
+//!   congestion signal, the predictor zoo of §2, the gentle-RED response
+//!   curve, and the PERT and PERT/PI per-flow controllers;
+//! * [`netsim`] — a deterministic packet-level network simulator with
+//!   DropTail / RED / Adaptive-RED / PI queues and ECN;
+//! * [`tcp`] (`pert-tcp`) — SACK, Vegas, PERT, and PERT/PI senders plus
+//!   per-packet-ACK sinks over `netsim`;
+//! * [`workload`] — heavy-tailed web sessions, dumbbell and
+//!   multi-bottleneck scenario builders, and the measurement protocol;
+//! * [`stats`] (`sim-stats`) — Jain fairness, transition analysis,
+//!   histograms;
+//! * [`fluid`] — DDE fluid models (eq. 14) and the Theorem 1/2 stability
+//!   calculators;
+//! * [`experiments`] — one module per table/figure of the paper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pert::core::{PertController, PertParams};
+//!
+//! // Drive PERT from any per-ACK RTT stream:
+//! let mut pert = PertController::new(PertParams::default(), 1);
+//! let mut cwnd: f64 = 10.0;
+//! for ack in 0..1000 {
+//!     let now = ack as f64 * 0.01;
+//!     let rtt = 0.060 + 0.0001 * (ack % 50) as f64;
+//!     if let Some(resp) = pert.on_ack(now, rtt) {
+//!         cwnd = (cwnd * (1.0 - resp.factor)).max(1.0);
+//!     } else {
+//!         cwnd += 1.0 / cwnd;
+//!     }
+//! }
+//! assert!(cwnd >= 1.0);
+//! ```
+//!
+//! See `examples/` for simulator-level usage and the `experiments` binary
+//! for the paper's tables and figures.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use experiments;
+pub use fluid;
+pub use netsim;
+pub use pert_core as core;
+pub use pert_tcp as tcp;
+pub use sim_stats as stats;
+pub use workload;

@@ -1,0 +1,195 @@
+//! Cross-crate integration tests: the paper's claims exercised through the
+//! full stack (scenario builder → simulator → transport → analysis), plus
+//! consistency checks between the packet simulator and the fluid model.
+
+use pert::core::{PertController, PertParams};
+use pert::fluid::stability;
+use pert::netsim::{SimDuration, SimTime};
+use pert::stats::jain_index;
+use pert::tcp::TcpSender;
+use pert::workload::{
+    build_dumbbell, link_metrics, run_measured, snapshot_goodput, DumbbellConfig, Scheme,
+};
+
+fn base(scheme: Scheme, seed: u64) -> DumbbellConfig {
+    DumbbellConfig {
+        bottleneck_bps: 20_000_000,
+        bottleneck_delay: SimDuration::from_millis(10),
+        forward_rtts: vec![0.060; 5],
+        start_window_secs: 3.0,
+        seed,
+        ..DumbbellConfig::new(scheme)
+    }
+}
+
+/// The paper's headline: PERT ≈ AQM behaviour without router support.
+/// Queue and drops near SACK/RED-ECN, far below SACK/DropTail.
+#[test]
+fn pert_emulates_aqm_without_router_support() {
+    let run = |scheme: Scheme| {
+        let d = build_dumbbell(&base(scheme, 5));
+        let mut sim = d.sim;
+        let (s, e) = run_measured(&mut sim, 10.0, 40.0);
+        link_metrics(&sim, d.bottleneck_fwd, s, e)
+    };
+    let pert = run(Scheme::Pert);
+    let red = run(Scheme::SackRedEcn);
+    let droptail = run(Scheme::SackDroptail);
+
+    assert!(
+        pert.mean_queue_norm < droptail.mean_queue_norm * 0.7,
+        "PERT Q {} vs DropTail {}",
+        pert.mean_queue_norm,
+        droptail.mean_queue_norm
+    );
+    assert!(
+        (pert.mean_queue_norm - red.mean_queue_norm).abs() < 0.35,
+        "PERT Q {} vs RED-ECN {}",
+        pert.mean_queue_norm,
+        red.mean_queue_norm
+    );
+    assert!(pert.drop_rate <= droptail.drop_rate + 1e-9);
+    assert!(pert.utilization > 75.0, "PERT util {}", pert.utilization);
+}
+
+/// Fairness across staggered starts: PERT close to SACK, Vegas worse —
+/// the §3 argument for multiplicative (not additive) early decrease.
+#[test]
+fn pert_maintains_fairness_across_staggered_starts() {
+    let run = |scheme: Scheme| {
+        let mut cfg = base(scheme, 6);
+        cfg.start_window_secs = 8.0;
+        let d = build_dumbbell(&cfg);
+        let mut sim = d.sim;
+        sim.run_until(SimTime::from_secs_f64(15.0));
+        let before = snapshot_goodput(&sim, &d.forward);
+        sim.run_until(SimTime::from_secs_f64(60.0));
+        let after = snapshot_goodput(&sim, &d.forward);
+        jain_index(&after.rates_since(&before))
+    };
+    let pert = run(Scheme::Pert);
+    assert!(pert > 0.85, "PERT Jain {pert}");
+}
+
+/// The packet simulator and the fluid model agree on the equilibrium
+/// operating point: per-flow window ≈ W* = R·C/N.
+#[test]
+fn packet_sim_matches_fluid_equilibrium() {
+    // 10 Mbps = 1250 pkt/s, 5 flows, 100 ms RTT → W* = 25 segments.
+    let cfg = DumbbellConfig {
+        bottleneck_bps: 10_000_000,
+        bottleneck_delay: SimDuration::from_millis(25),
+        forward_rtts: vec![0.100; 5],
+        start_window_secs: 2.0,
+        seed: 9,
+        ..DumbbellConfig::new(Scheme::Pert)
+    };
+    let (w_star, _) = stability::equilibrium(0.100, 1250.0, 5.0);
+    assert!((w_star - 25.0).abs() < 1e-9);
+
+    let d = build_dumbbell(&cfg);
+    let mut sim = d.sim;
+    sim.run_until(SimTime::from_secs_f64(30.0));
+    // Mean goodput share per flow ↔ window: rate·RTT ≈ W.
+    let before = snapshot_goodput(&sim, &d.forward);
+    sim.run_until(SimTime::from_secs_f64(60.0));
+    let after = snapshot_goodput(&sim, &d.forward);
+    let rates = after.rates_since(&before);
+    let mean_rate = rates.iter().sum::<f64>() / rates.len() as f64;
+    let implied_w = mean_rate * 0.100;
+    assert!(
+        (implied_w - w_star).abs() / w_star < 0.35,
+        "implied window {implied_w} vs fluid W* {w_star}"
+    );
+}
+
+/// ECN path works end to end: SACK-ECN over ARED reduces via ECE without
+/// loss events dominating.
+#[test]
+fn ecn_signalling_reaches_the_sender() {
+    let d = build_dumbbell(&base(Scheme::SackRedEcn, 8));
+    let mut sim = d.sim;
+    sim.run_until(SimTime::from_secs_f64(40.0));
+    let mut ecn_total = 0;
+    let mut loss_total = 0;
+    for c in &d.forward {
+        let s: &TcpSender = sim.agent(c.sender);
+        ecn_total += s.stats.ecn_reductions;
+        loss_total += s.stats.loss_events;
+    }
+    assert!(ecn_total > 0, "no ECE-triggered reductions");
+    assert!(
+        loss_total <= ecn_total,
+        "losses {loss_total} exceed ECN reductions {ecn_total}"
+    );
+}
+
+/// Reverse traffic (ACK-path congestion) does not break PERT: §7 notes
+/// RTT-based signals react to reverse congestion; the flow must still be
+/// live and the system stable.
+#[test]
+fn pert_survives_reverse_path_traffic() {
+    let mut cfg = base(Scheme::Pert, 10);
+    cfg.reverse_rtts = vec![0.060; 5];
+    let d = build_dumbbell(&cfg);
+    let mut sim = d.sim;
+    let (s, e) = run_measured(&mut sim, 10.0, 40.0);
+    let fwd = link_metrics(&sim, d.bottleneck_fwd, s, e);
+    let rev = link_metrics(&sim, d.bottleneck_rev, s, e);
+    assert!(fwd.utilization > 50.0, "forward util {}", fwd.utilization);
+    assert!(rev.utilization > 50.0, "reverse util {}", rev.utilization);
+    for c in d.forward.iter().chain(&d.reverse) {
+        let snd: &TcpSender = sim.agent(c.sender);
+        assert!(snd.stats.acked_segments > 1000, "a flow starved");
+    }
+}
+
+/// The pure controller and the in-simulator PERT behave consistently: a
+/// standalone controller fed the observed flow's RTT trace produces early
+/// responses at a comparable rate to the in-simulation flow.
+#[test]
+fn controller_replay_matches_in_sim_behaviour() {
+    let mut cfg = base(Scheme::Pert, 11);
+    cfg.observed_flow = Some(0);
+    let d = build_dumbbell(&cfg);
+    let mut sim = d.sim;
+    sim.run_until(SimTime::from_secs_f64(40.0));
+    let sender: &TcpSender = sim.agent(d.forward[0].sender);
+    let in_sim = sender.cc().early_reductions();
+    let samples = sender.samples.clone();
+    assert!(samples.len() > 1000);
+
+    let mut ctl = PertController::new(PertParams::default(), 999);
+    let mut replay = 0;
+    for s in &samples {
+        if ctl.on_ack(s.at, s.rtt).is_some() {
+            replay += 1;
+        }
+    }
+    // Different coin flips, same signal: rates within 4×.
+    let (a, b) = (in_sim.max(1) as f64, (replay as u64).max(1) as f64);
+    assert!(
+        a / b < 4.0 && b / a < 4.0,
+        "in-sim {in_sim} vs replay {replay}"
+    );
+}
+
+/// Whole-stack determinism: two identical builds give identical traces.
+#[test]
+fn whole_stack_determinism() {
+    let run = || {
+        let mut cfg = base(Scheme::Pert, 12);
+        cfg.num_web_sessions = 10;
+        cfg.reverse_rtts = vec![0.080; 2];
+        let d = build_dumbbell(&cfg);
+        let mut sim = d.sim;
+        sim.run_until(SimTime::from_secs_f64(20.0));
+        let goodputs: Vec<u64> = d
+            .forward
+            .iter()
+            .map(|c| sim.agent::<TcpSender>(c.sender).stats.acked_segments)
+            .collect();
+        (sim.events_processed(), sim.trace.drops.len(), goodputs)
+    };
+    assert_eq!(run(), run());
+}
