@@ -94,7 +94,10 @@ fn bench_scoreboard(c: &mut Criterion) {
             // Lose every 50th segment, SACK the rest, recover.
             for s in 0..1000u64 {
                 if s % 50 != 0 {
-                    sb.sack(netsim::SackBlock { start: s, end: s + 1 });
+                    sb.sack(netsim::SackBlock {
+                        start: s,
+                        end: s + 1,
+                    });
                 }
             }
             sb.declare_losses();

@@ -70,7 +70,9 @@ fn bench_topologies(c: &mut Criterion) {
 }
 
 fn bench_fluid(c: &mut Criterion) {
-    c.bench_function("fig13a/delta_curve", |b| b.iter(|| black_box(fig13::run_13a())));
+    c.bench_function("fig13a/delta_curve", |b| {
+        b.iter(|| black_box(fig13::run_13a()))
+    });
     c.bench_function("fig13bcd/trajectory_100ms", |b| {
         b.iter(|| black_box(fig13::run_trajectory(0.100, 60.0)))
     });

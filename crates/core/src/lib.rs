@@ -45,13 +45,13 @@ pub mod buffer;
 pub mod estimators;
 pub mod pert;
 pub mod pi;
-pub mod rem;
 pub mod predictors;
+pub mod rem;
 pub mod response;
 
 pub use estimators::{Ewma, MinMax, MovingAverage};
 pub use pert::{EarlyResponse, PertController, PertParams, PertStats};
 pub use pi::{PertPiController, PertPiParams};
-pub use rem::{PertRemController, PertRemParams};
 pub use predictors::{AckSample, CongestionState, Predictor};
+pub use rem::{PertRemController, PertRemParams};
 pub use response::ResponseCurve;

@@ -101,7 +101,7 @@ impl PertController {
             srtt: Ewma::new(params.srtt_weight),
             min_rtt: None,
             hold_until: 0.0,
-            rng: SmallRng::seed_from_u64(seed ^ 0x70e57_ca75),
+            rng: SmallRng::seed_from_u64(seed ^ 0x0007_0e57_ca75),
             stats: PertStats::default(),
         }
     }

@@ -143,8 +143,8 @@ impl PertPiController {
 
         // PI update on the delay error.
         let err = qd - self.params.target_delay;
-        self.p = (self.p + self.params.gamma * err - self.params.beta * self.prev_err)
-            .clamp(0.0, 1.0);
+        self.p =
+            (self.p + self.params.gamma * err - self.params.beta * self.prev_err).clamp(0.0, 1.0);
         self.prev_err = err;
     }
 

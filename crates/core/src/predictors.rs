@@ -479,9 +479,7 @@ impl SyncTcpTrend {
     /// Create a Sync-TCP trend predictor.
     pub fn new() -> Self {
         SyncTcpTrend {
-            window: std::collections::VecDeque::with_capacity(
-                Self::GROUPS * Self::GROUP_SIZE,
-            ),
+            window: std::collections::VecDeque::with_capacity(Self::GROUPS * Self::GROUP_SIZE),
             state: CongestionState::Low,
         }
     }
@@ -550,9 +548,8 @@ mod tests {
             t += 0.01;
         }
         let mut last_high = last_flat;
-        let mut rtt = 0.050;
         for i in 0..200 {
-            rtt = 0.050 + 0.0005 * i as f64; // ramps to 150 ms
+            let rtt = 0.050 + 0.0005 * i as f64; // ramps to 150 ms
             last_high = p.on_sample(&sample(t, rtt, 10.0));
             t += rtt;
         }
@@ -638,10 +635,7 @@ mod tests {
         let mut p = TriS::new();
         // Window grows, throughput grows proportionally → Low (below knee).
         p.on_sample(&sample(0.0, 0.050, 10.0));
-        assert_eq!(
-            p.on_sample(&sample(0.1, 0.050, 12.0)),
-            CongestionState::Low
-        );
+        assert_eq!(p.on_sample(&sample(0.1, 0.050, 12.0)), CongestionState::Low);
         // Window grows but RTT grows too — throughput flat → High.
         assert_eq!(
             p.on_sample(&sample(0.2, 0.060, 14.0)),
@@ -699,9 +693,6 @@ mod tests {
         p.on_sample(&sample(1.0, 0.500, 10.0));
         p.reset();
         // After reset the first sample re-seeds base_rtt.
-        assert_eq!(
-            p.on_sample(&sample(2.0, 0.500, 10.0)),
-            CongestionState::Low
-        );
+        assert_eq!(p.on_sample(&sample(2.0, 0.500, 10.0)), CongestionState::Low);
     }
 }

@@ -111,9 +111,8 @@ impl PertRemController {
         let qd = (srtt - self.min_rtt.expect("set")).max(0.0);
         let backlog = qd - self.params.target_delay;
         let mismatch = qd - self.prev_qd;
-        self.price = (self.price
-            + self.params.gamma * (self.params.alpha_w * backlog + mismatch))
-            .max(0.0);
+        self.price =
+            (self.price + self.params.gamma * (self.params.alpha_w * backlog + mismatch)).max(0.0);
         self.prev_qd = qd;
     }
 

@@ -41,7 +41,11 @@ impl ResponseCurve {
     pub fn new(t_min: f64, t_max: f64, p_max: f64) -> Self {
         assert!(t_min > 0.0 && t_max > t_min, "need 0 < t_min < t_max");
         assert!(p_max > 0.0 && p_max <= 1.0, "p_max must be in (0,1]");
-        ResponseCurve { t_min, t_max, p_max }
+        ResponseCurve {
+            t_min,
+            t_max,
+            p_max,
+        }
     }
 
     /// The response probability for a queuing-delay estimate `qd` seconds.

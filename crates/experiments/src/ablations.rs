@@ -11,7 +11,10 @@ use pert_core::pert::PertParams;
 use pert_core::ResponseCurve;
 use workload::{DumbbellConfig, Scheme};
 
-use crate::common::{fmt, print_table, Scale};
+use crate::common::Scale;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{take, Job, PointResult};
+use crate::scenario::Scenario;
 use crate::sweep::{run_one, SchemePoint};
 
 /// One ablation row: a label and the measured panels.
@@ -23,7 +26,7 @@ pub struct AblationRow {
     pub point: SchemePoint,
 }
 
-fn base_config(scale: Scale) -> DumbbellConfig {
+fn base_config(scale: Scale, seed: u64) -> DumbbellConfig {
     let (bps, flows) = if scale == Scale::Quick {
         (20_000_000, 6)
     } else {
@@ -34,66 +37,88 @@ fn base_config(scale: Scale) -> DumbbellConfig {
         bottleneck_delay: SimDuration::from_millis(10),
         forward_rtts: vec![0.060; flows],
         start_window_secs: scale.start_window(),
-        seed: 777,
+        seed,
         ..DumbbellConfig::new(Scheme::Pert)
     }
 }
 
-/// Sweep the early-response decrease factor.
-pub fn run_decrease(scale: Scale) -> Vec<AblationRow> {
-    [0.20, 0.35, 0.50]
+/// The ablation groups: `(group name, [(variant label, params)])`.
+pub fn variant_groups() -> Vec<(&'static str, Vec<(String, PertParams)>)> {
+    let decrease = [0.20, 0.35, 0.50]
         .into_iter()
         .map(|f| {
-            let params = PertParams {
-                decrease_factor: f,
-                ..Default::default()
-            };
-            AblationRow {
-                label: format!("decrease={f}"),
-                point: run_one(&base_config(scale), Scheme::PertCustom(params), scale),
-            }
+            (
+                format!("decrease={f}"),
+                PertParams {
+                    decrease_factor: f,
+                    ..Default::default()
+                },
+            )
         })
-        .collect()
-}
-
-/// Sweep the smoothing weight of the congestion signal.
-pub fn run_weight(scale: Scale) -> Vec<AblationRow> {
-    [0.875, 0.99, 0.995]
+        .collect();
+    let weight = [0.875, 0.99, 0.995]
         .into_iter()
         .map(|w| {
-            let params = PertParams {
-                srtt_weight: w,
-                ..Default::default()
-            };
-            AblationRow {
-                label: format!("alpha={w}"),
-                point: run_one(&base_config(scale), Scheme::PertCustom(params), scale),
-            }
+            (
+                format!("alpha={w}"),
+                PertParams {
+                    srtt_weight: w,
+                    ..Default::default()
+                },
+            )
         })
-        .collect()
-}
-
-/// Sweep the response curve (p_max and thresholds).
-pub fn run_curve(scale: Scale) -> Vec<AblationRow> {
-    let curves = [
+        .collect();
+    let curve = [
         ("pmax=0.02", ResponseCurve::new(0.005, 0.010, 0.02)),
         ("pmax=0.05 (paper)", ResponseCurve::PAPER_DEFAULT),
         ("pmax=0.20", ResponseCurve::new(0.005, 0.010, 0.20)),
         ("thresholds x2", ResponseCurve::new(0.010, 0.020, 0.05)),
-    ];
-    curves
-        .into_iter()
-        .map(|(label, curve)| {
-            let params = PertParams {
+    ]
+    .into_iter()
+    .map(|(label, curve)| {
+        (
+            label.to_string(),
+            PertParams {
                 curve,
                 ..Default::default()
-            };
-            AblationRow {
-                label: label.to_string(),
-                point: run_one(&base_config(scale), Scheme::PertCustom(params), scale),
-            }
+            },
+        )
+    })
+    .collect();
+    vec![
+        ("decrease factor", decrease),
+        ("EWMA weight", weight),
+        ("response curve", curve),
+    ]
+}
+
+fn run_group(group: &str, scale: Scale, seed: u64) -> Vec<AblationRow> {
+    variant_groups()
+        .into_iter()
+        .find(|(name, _)| *name == group)
+        .expect("known group")
+        .1
+        .into_iter()
+        .map(|(label, params)| AblationRow {
+            label,
+            point: run_one(&base_config(scale, seed), Scheme::PertCustom(params), scale),
         })
         .collect()
+}
+
+/// Sweep the early-response decrease factor.
+pub fn run_decrease(scale: Scale) -> Vec<AblationRow> {
+    run_group("decrease factor", scale, 777)
+}
+
+/// Sweep the smoothing weight of the congestion signal.
+pub fn run_weight(scale: Scale) -> Vec<AblationRow> {
+    run_group("EWMA weight", scale, 777)
+}
+
+/// Sweep the response curve (p_max and thresholds).
+pub fn run_curve(scale: Scale) -> Vec<AblationRow> {
+    run_group("response curve", scale, 777)
 }
 
 /// Run all three ablations.
@@ -105,28 +130,66 @@ pub fn run(scale: Scale) -> Vec<(String, Vec<AblationRow>)> {
     ]
 }
 
-/// Print all ablation groups.
-pub fn print(groups: &[(String, Vec<AblationRow>)]) {
-    println!("\nAblations: PERT design choices (150 Mbps, 50 flows, 60 ms)");
-    for (name, rows) in groups {
-        println!("\n  -- {name} --");
-        let table: Vec<Vec<String>> = rows
-            .iter()
-            .map(|r| {
-                vec![
-                    r.label.clone(),
-                    fmt(r.point.queue_norm),
-                    fmt(r.point.drop_rate),
-                    fmt(r.point.utilization),
-                    fmt(r.point.jain),
-                    format!("{}", r.point.early_reductions),
-                ]
-            })
-            .collect();
-        print_table(
-            &["variant", "Q (norm)", "drop rate", "util %", "Jain", "early"],
-            &table,
-        );
+/// All three ablation groups as one [`Scenario`]: one job per variant,
+/// one table per group.
+pub struct AblationsScenario;
+
+impl Scenario for AblationsScenario {
+    fn name(&self) -> &'static str {
+        "ablations"
+    }
+
+    fn default_seed(&self) -> u64 {
+        777
+    }
+
+    fn points(&self, scale: Scale, seed: u64) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for (group, variants) in variant_groups() {
+            for (label, params) in variants {
+                let job_label = format!("ablations/{group}/{label}");
+                jobs.push(Job::new(job_label, move || AblationRow {
+                    label,
+                    point: run_one(&base_config(scale, seed), Scheme::PertCustom(params), scale),
+                }));
+            }
+        }
+        jobs
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let mut results = results.into_iter();
+        let mut report = Report::new("ablations", scale, seed);
+        for (i, (group, variants)) in variant_groups().into_iter().enumerate() {
+            let mut table = Table::new(
+                format!("Ablations ({group}): PERT design choices (150 Mbps, 50 flows, 60 ms)"),
+                &[
+                    "variant",
+                    "Q (norm)",
+                    "drop rate",
+                    "util %",
+                    "Jain",
+                    "early",
+                ],
+            );
+            if i == 0 {
+                table =
+                    table.with_note("(eq. 1 motivates decrease=0.35; §2.4 motivates alpha=0.99)");
+            }
+            for _ in 0..variants.len() {
+                let r = take::<AblationRow>(results.next().expect("one job per variant"));
+                table.push(vec![
+                    Cell::Str(r.label),
+                    Cell::Num(r.point.queue_norm),
+                    Cell::Num(r.point.drop_rate),
+                    Cell::Num(r.point.utilization),
+                    Cell::Num(r.point.jain),
+                    Cell::Int(r.point.early_reductions as i64),
+                ]);
+            }
+            report.tables.push(table);
+        }
+        report
     }
 }
 

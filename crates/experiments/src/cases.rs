@@ -12,11 +12,13 @@ use netsim::{SimDuration, SimTime};
 use pert_core::predictors::AckSample;
 use pert_tcp::TcpSender;
 use sim_stats::TimeSeries;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use workload::{build_dumbbell, DumbbellConfig, Scheme};
 
 use crate::common::Scale;
+use crate::report::Report;
+use crate::runner::{take, Job, PointResult};
+use crate::scenario::Scenario;
 
 /// The six (n_long, n_web) combinations of §2.2: 50 or 100 long-term
 /// flows (split evenly between directions) × 100/500/1000 web sessions.
@@ -98,13 +100,14 @@ pub fn run_case(label: &str, n_long: usize, n_web: usize, scale: Scale, seed: u6
     let mut sim = d.sim;
 
     // Probe the bottleneck queue every 5 ms for Figure 4's lookups.
-    let series: Rc<RefCell<TimeSeries>> = Rc::default();
-    let series2 = series.clone();
+    let series: Arc<Mutex<TimeSeries>> = Arc::default();
+    let series2 = Arc::clone(&series);
     let fwd = d.bottleneck_fwd;
     sim.add_probe(SimDuration::from_millis(5), move |sim, now| {
         let len = sim.link(fwd).queue.len() as f64;
         series2
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .push(now.as_secs_f64(), len / CASE_BUFFER as f64);
     });
 
@@ -138,11 +141,12 @@ pub fn run_case(label: &str, n_long: usize, n_web: usize, scale: Scale, seed: u6
         .copied()
         .collect();
 
-    // The probe closure (and its Rc clone) dies with the simulator.
+    // The probe closure (and its Arc clone) dies with the simulator.
     drop(sim);
-    let queue_series = Rc::try_unwrap(series)
+    let queue_series = Arc::try_unwrap(series)
         .expect("probe closure still holds the series")
-        .into_inner();
+        .into_inner()
+        .unwrap();
 
     CaseTrace {
         label: label.to_string(),
@@ -168,9 +172,80 @@ pub fn run_all_cases(scale: Scale) -> Vec<CaseTrace> {
         .iter()
         .enumerate()
         .map(|(i, &(n_long, n_web))| {
-            run_case(&format!("case{}", i + 1), n_long, n_web, scale, 42 + i as u64)
+            run_case(
+                &format!("case{}", i + 1),
+                n_long,
+                n_web,
+                scale,
+                42 + i as u64,
+            )
         })
         .collect()
+}
+
+/// One independent [`Job`] per §2.2 case (case `i` runs at `seed + i`,
+/// matching [`run_all_cases`]' historical per-case seeds).
+pub fn case_jobs(target: &str, scale: Scale, seed: u64) -> Vec<Job> {
+    let cases = if scale == Scale::Quick {
+        QUICK_CASES
+    } else {
+        PAPER_CASES
+    };
+    cases
+        .iter()
+        .enumerate()
+        .map(|(i, &(n_long, n_web))| {
+            let label = format!("{target}/case{}", i + 1);
+            let case_label = format!("case{}", i + 1);
+            Job::new(label, move || {
+                run_case(&case_label, n_long, n_web, scale, seed + i as u64)
+            })
+        })
+        .collect()
+}
+
+/// Downcast a full set of case-job results back to traces.
+pub fn take_traces(results: Vec<PointResult>) -> Vec<CaseTrace> {
+    results.into_iter().map(take::<CaseTrace>).collect()
+}
+
+/// Figures 2–4 as one [`Scenario`]: the six case simulations run once and
+/// all three analyses read the same traces.
+pub struct Fig234Scenario;
+
+impl Scenario for Fig234Scenario {
+    fn name(&self) -> &'static str {
+        "fig234"
+    }
+
+    fn default_seed(&self) -> u64 {
+        42
+    }
+
+    fn points(&self, scale: Scale, seed: u64) -> Vec<Job> {
+        case_jobs("fig234", scale, seed)
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let traces = take_traces(results);
+        let mut report = Report::new("fig234", scale, seed);
+        report
+            .tables
+            .push(crate::fig2::build_table(&crate::fig2::analyze_traces(
+                &traces,
+            )));
+        report
+            .tables
+            .push(crate::fig3::build_table(&crate::fig3::analyze_traces(
+                &traces,
+            )));
+        report
+            .tables
+            .push(crate::fig4::build_table(&crate::fig4::analyze_traces(
+                &traces,
+            )));
+        report
+    }
 }
 
 #[cfg(test)]
@@ -195,7 +270,11 @@ mod tests {
     #[test]
     fn observed_flow_rtt_floors_at_configured_value() {
         let t = run_case("t", 10, 5, Scale::Quick, 8);
-        let min = t.samples.iter().map(|s| s.rtt).fold(f64::INFINITY, f64::min);
+        let min = t
+            .samples
+            .iter()
+            .map(|s| s.rtt)
+            .fold(f64::INFINITY, f64::min);
         assert!(
             (min - OBSERVED_RTT).abs() < 0.01,
             "observed min RTT {min} vs configured {OBSERVED_RTT}"

@@ -1,0 +1,157 @@
+//! Argument parsing for the `experiments` binary.
+//!
+//! Kept dependency-free and separate from `main.rs` so the parsing rules
+//! (flag validation, target validation, `all` expansion, deduplication)
+//! are unit-testable.
+
+use crate::common::Scale;
+use crate::runner::default_workers;
+use crate::scenario::{is_target, ALL_TARGETS};
+
+/// The usage text printed on a parse error.
+pub const USAGE: &str = "usage: experiments <target>... [--quick|--standard|--full] [--jobs N] \
+[--seed S] [--json PATH] [--csv PATH]\n\
+targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1\n\
+\t fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all";
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cli {
+    /// Validated, deduplicated targets in execution order.
+    pub targets: Vec<String>,
+    /// Scale preset.
+    pub scale: Scale,
+    /// Worker threads for the runner.
+    pub jobs: usize,
+    /// Base-seed override (`None` = each target's historical seed).
+    pub seed: Option<u64>,
+    /// Write all reports as a JSON array to this path.
+    pub json: Option<String>,
+    /// Write all reports as CSV sections to this path.
+    pub csv: Option<String>,
+}
+
+fn flag_value<'a>(flag: &str, args: &'a [String], i: &mut usize) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Parse `args` (without the program name).
+pub fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut scale = Scale::Standard;
+    let mut jobs = default_workers();
+    let mut seed = None;
+    let mut json = None;
+    let mut csv = None;
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        match a {
+            "--quick" => scale = Scale::Quick,
+            "--standard" => scale = Scale::Standard,
+            "--full" => scale = Scale::Full,
+            "--jobs" => {
+                let v = flag_value(a, args, &mut i)?;
+                jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs wants a positive integer, got '{v}'"))?;
+            }
+            "--seed" => {
+                let v = flag_value(a, args, &mut i)?;
+                seed = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--seed wants an unsigned integer, got '{v}'"))?,
+                );
+            }
+            "--json" => json = Some(flag_value(a, args, &mut i)?.to_string()),
+            "--csv" => csv = Some(flag_value(a, args, &mut i)?.to_string()),
+            f if f.starts_with('-') => return Err(format!("unknown flag '{f}'")),
+            t => {
+                if t == "all" {
+                    targets.extend(ALL_TARGETS.iter().map(|s| s.to_string()));
+                } else if is_target(t) {
+                    targets.push(t.to_string());
+                } else {
+                    return Err(format!("unknown target '{t}'"));
+                }
+            }
+        }
+        i += 1;
+    }
+
+    if targets.is_empty() {
+        return Err("no targets given".into());
+    }
+    // Dedupe, keeping the first occurrence's position.
+    let mut seen = std::collections::HashSet::new();
+    targets.retain(|t| seen.insert(t.clone()));
+
+    Ok(Cli {
+        targets,
+        scale,
+        jobs,
+        seed,
+        json,
+        csv,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Cli, String> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_targets_flags_and_values() {
+        let c = p(&["fig6", "--quick", "--jobs", "4", "--seed", "9"]).unwrap();
+        assert_eq!(c.targets, vec!["fig6"]);
+        assert_eq!(c.scale, Scale::Quick);
+        assert_eq!(c.jobs, 4);
+        assert_eq!(c.seed, Some(9));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_targets() {
+        assert!(p(&["fig6", "--frobnicate"])
+            .unwrap_err()
+            .contains("unknown flag '--frobnicate'"));
+        assert!(p(&["fig99"])
+            .unwrap_err()
+            .contains("unknown target 'fig99'"));
+    }
+
+    #[test]
+    fn rejects_bad_flag_values() {
+        assert!(p(&["fig6", "--jobs", "0"]).unwrap_err().contains("--jobs"));
+        assert!(p(&["fig6", "--jobs"])
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(p(&["fig6", "--seed", "x"]).unwrap_err().contains("--seed"));
+        assert!(p(&[]).unwrap_err().contains("no targets"));
+    }
+
+    #[test]
+    fn all_expands_in_order_and_dedupes() {
+        let c = p(&["fig6", "all"]).unwrap();
+        assert_eq!(c.targets[0], "fig6");
+        assert_eq!(c.targets.len(), ALL_TARGETS.len());
+        let again = p(&["fig6", "fig6", "fig7"]).unwrap();
+        assert_eq!(again.targets, vec!["fig6", "fig7"]);
+    }
+
+    #[test]
+    fn output_paths_are_captured() {
+        let c = p(&["fig5", "--json", "a.json", "--csv", "b.csv"]).unwrap();
+        assert_eq!(c.json.as_deref(), Some("a.json"));
+        assert_eq!(c.csv.as_deref(), Some("b.csv"));
+    }
+}

@@ -1,4 +1,6 @@
-//! Shared experiment plumbing: scale presets and table printing.
+//! Shared experiment plumbing: scale presets and number formatting.
+//! (Table rendering lives in [`crate::report`] — scenarios build typed
+//! tables instead of printing.)
 
 /// How big to run an experiment.
 ///
@@ -62,36 +64,6 @@ pub fn fmt(x: f64) -> String {
         format!("{x:.4}")
     } else {
         format!("{x:.2e}")
-    }
-}
-
-/// Print an aligned table: a header row then data rows.
-pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
-    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-    }
-    let line = |cells: &[String]| {
-        let joined: Vec<String> = cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(8)))
-            .collect();
-        println!("  {}", joined.join("  "));
-    };
-    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
-    for row in rows {
-        line(row);
     }
 }
 

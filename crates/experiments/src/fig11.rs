@@ -6,7 +6,10 @@
 use sim_stats::jain_index;
 use workload::{build_chain, link_metrics, run_measured, snapshot_goodput, ChainConfig, Scheme};
 
-use crate::common::{fmt, print_table, Scale};
+use crate::common::Scale;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{take, Job, PointResult};
+use crate::scenario::Scenario;
 use crate::sweep::paper_schemes;
 
 /// Per-hop metrics for one scheme.
@@ -47,8 +50,15 @@ pub fn config(scheme: Scheme, scale: Scale) -> ChainConfig {
 
 /// Run one scheme through the chain.
 pub fn run_scheme(scheme: Scheme, scale: Scale) -> Fig11Result {
+    run_scheme_seeded(scheme, scale, ChainConfig::paper(Scheme::Pert).seed)
+}
+
+/// Run one scheme through the chain with an explicit master seed.
+pub fn run_scheme_seeded(scheme: Scheme, scale: Scale, seed: u64) -> Fig11Result {
     let name = scheme.name();
-    let c = build_chain(&config(scheme, scale));
+    let mut cfg = config(scheme, scale);
+    cfg.seed = seed;
+    let c = build_chain(&cfg);
     let mut sim = c.sim;
 
     sim.run_until(netsim::SimTime::from_secs_f64(scale.warmup()));
@@ -97,27 +107,50 @@ pub fn run(scale: Scale) -> Vec<Fig11Result> {
         .collect()
 }
 
-/// Print per-scheme, per-hop rows.
-pub fn print(results: &[Fig11Result]) {
-    println!("\nFigure 11: multiple bottlenecks (six-router chain, Fig. 10 topology)");
-    println!("(paper: PERT holds low queues and ~zero drops on every hop)\n");
-    let mut rows = Vec::new();
-    for r in results {
-        for h in &r.hops {
-            rows.push(vec![
-                r.scheme.to_string(),
-                format!("R{}-R{}", h.hop + 1, h.hop + 2),
-                fmt(h.queue_norm),
-                fmt(h.drop_rate),
-                fmt(h.utilization),
-                fmt(h.jain),
-            ]);
-        }
+/// The chain experiment as a [`Scenario`]: one job per scheme.
+pub struct Fig11Scenario;
+
+impl Scenario for Fig11Scenario {
+    fn name(&self) -> &'static str {
+        "fig11"
     }
-    print_table(
-        &["scheme", "hop", "Q (norm)", "drop rate", "util %", "Jain"],
-        &rows,
-    );
+
+    fn default_seed(&self) -> u64 {
+        ChainConfig::paper(Scheme::Pert).seed
+    }
+
+    fn points(&self, scale: Scale, seed: u64) -> Vec<Job> {
+        paper_schemes()
+            .into_iter()
+            .map(|scheme| {
+                let label = format!("fig11/{}", scheme.name());
+                Job::new(label, move || run_scheme_seeded(scheme, scale, seed))
+            })
+            .collect()
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let mut table = Table::new(
+            "Figure 11: multiple bottlenecks (six-router chain, Fig. 10 topology)",
+            &["scheme", "hop", "Q (norm)", "drop rate", "util %", "Jain"],
+        )
+        .with_note("(paper: PERT holds low queues and ~zero drops on every hop)");
+        for r in results.into_iter().map(take::<Fig11Result>) {
+            for h in &r.hops {
+                table.push(vec![
+                    Cell::Str(r.scheme.to_string()),
+                    Cell::Str(format!("R{}-R{}", h.hop + 1, h.hop + 2)),
+                    Cell::Num(h.queue_norm),
+                    Cell::Num(h.drop_rate),
+                    Cell::Num(h.utilization),
+                    Cell::Num(h.jain),
+                ]);
+            }
+        }
+        let mut report = Report::new("fig11", scale, seed);
+        report.tables.push(table);
+        report
+    }
 }
 
 #[cfg(test)]
@@ -137,7 +170,12 @@ mod tests {
             "PERT mean hop queue {pert_mean} !< SACK {sack_mean}"
         );
         for h in &pert.hops {
-            assert!(h.drop_rate < 0.02, "hop {} drop rate {}", h.hop, h.drop_rate);
+            assert!(
+                h.drop_rate < 0.02,
+                "hop {} drop rate {}",
+                h.hop,
+                h.drop_rate
+            );
         }
     }
 }

@@ -7,11 +7,13 @@
 use netsim::{SimDuration, SimTime};
 use pert_tcp::{TcpSender, STOP_TOKEN};
 use sim_stats::TimeSeries;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use workload::{build_dumbbell, DumbbellConfig, Scheme};
 
-use crate::common::{fmt, print_table, Scale};
+use crate::common::Scale;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{take, Job, PointResult};
+use crate::scenario::Scenario;
 
 /// The experiment's shape.
 #[derive(Clone, Debug)]
@@ -75,6 +77,11 @@ pub struct Fig12Result {
 
 /// Run the experiment.
 pub fn run_scheme(scheme: Scheme, scale: Scale) -> Fig12Result {
+    run_scheme_seeded(scheme, scale, 120)
+}
+
+/// Run the experiment with an explicit master seed.
+pub fn run_scheme_seeded(scheme: Scheme, scale: Scale, seed: u64) -> Fig12Result {
     let cfg = Fig12Config::at_scale(scheme, scale);
     let n_total = cfg.cohort_size * cfg.cohorts;
     let dcfg = DumbbellConfig {
@@ -83,7 +90,7 @@ pub fn run_scheme(scheme: Scheme, scale: Scale) -> Fig12Result {
         forward_rtts: vec![0.060; n_total],
         start_window_secs: 0.0,
         auto_start: false, // starts are scheduled per cohort below
-        seed: 120,
+        seed,
         ..DumbbellConfig::new(cfg.scheme.clone())
     };
     let d = build_dumbbell(&dcfg);
@@ -99,8 +106,7 @@ pub fn run_scheme(scheme: Scheme, scale: Scale) -> Fig12Result {
         }
         if c < cfg.cohorts - 1 {
             // All but the last cohort leave.
-            let leave =
-                SimTime::from_secs_f64((cfg.cohorts + c) as f64 * cfg.phase_secs);
+            let leave = SimTime::from_secs_f64((cfg.cohorts + c) as f64 * cfg.phase_secs);
             for conn in &d.forward[c * cfg.cohort_size..(c + 1) * cfg.cohort_size] {
                 sim.schedule_agent_timer(leave, conn.sender, STOP_TOKEN);
             }
@@ -108,9 +114,9 @@ pub fn run_scheme(scheme: Scheme, scale: Scale) -> Fig12Result {
     }
 
     // Sample each cohort's aggregate goodput once per second.
-    let series: Rc<RefCell<Vec<TimeSeries>>> =
-        Rc::new(RefCell::new(vec![TimeSeries::new(); cfg.cohorts]));
-    let series2 = series.clone();
+    let series: Arc<Mutex<Vec<TimeSeries>>> =
+        Arc::new(Mutex::new(vec![TimeSeries::new(); cfg.cohorts]));
+    let series2 = Arc::clone(&series);
     let cohort_senders: Vec<Vec<netsim::AgentId>> = (0..cfg.cohorts)
         .map(|c| {
             d.forward[c * cfg.cohort_size..(c + 1) * cfg.cohort_size]
@@ -119,11 +125,11 @@ pub fn run_scheme(scheme: Scheme, scale: Scale) -> Fig12Result {
                 .collect()
         })
         .collect();
-    let prev: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(vec![0; cfg.cohorts]));
-    let prev2 = prev.clone();
+    let prev: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(vec![0; cfg.cohorts]));
+    let prev2 = Arc::clone(&prev);
     sim.add_probe(SimDuration::from_secs(1), move |sim, now| {
-        let mut prev = prev2.borrow_mut();
-        let mut ser = series2.borrow_mut();
+        let mut prev = prev2.lock().unwrap();
+        let mut ser = series2.lock().unwrap();
         for (c, senders) in cohort_senders.iter().enumerate() {
             let acked: u64 = senders
                 .iter()
@@ -137,9 +143,10 @@ pub fn run_scheme(scheme: Scheme, scale: Scale) -> Fig12Result {
 
     sim.run_until(SimTime::from_secs_f64(cfg.total_secs()));
     drop(sim);
-    let cohort_throughput = Rc::try_unwrap(series)
+    let cohort_throughput = Arc::try_unwrap(series)
         .expect("probe closure still alive")
-        .into_inner();
+        .into_inner()
+        .unwrap();
 
     Fig12Result {
         config: cfg,
@@ -161,38 +168,62 @@ pub fn phase_mean(result: &Fig12Result, cohort: usize, phase: usize) -> Option<f
     result.cohort_throughput[cohort].mean_in(from, to)
 }
 
-/// Print phase-by-phase cohort throughput (the table form of the paper's
-/// time-series panel).
-pub fn print(result: &Fig12Result) {
-    let cfg = &result.config;
-    println!(
-        "\nFigure 12: dynamic behaviour — {} cohorts of {} {} flows, {}s phases",
-        cfg.cohorts,
-        cfg.cohort_size,
-        cfg.scheme.name(),
-        cfg.phase_secs
-    );
-    println!("(cells: mean aggregate goodput in segments/s; '-' = cohort inactive)\n");
-    let phases = 2 * cfg.cohorts - 1;
-    let mut rows = Vec::new();
-    for c in 0..cfg.cohorts {
-        let mut row = vec![format!("cohort{c}")];
+/// The dynamic-behaviour experiment as a [`Scenario`]: a single job (the
+/// paper's PERT panel) whose result becomes the phase-by-phase cohort
+/// throughput table.
+pub struct Fig12Scenario;
+
+impl Scenario for Fig12Scenario {
+    fn name(&self) -> &'static str {
+        "fig12"
+    }
+
+    fn default_seed(&self) -> u64 {
+        120
+    }
+
+    fn points(&self, scale: Scale, seed: u64) -> Vec<Job> {
+        vec![Job::new("fig12/PERT", move || {
+            run_scheme_seeded(Scheme::Pert, scale, seed)
+        })]
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let result = take::<Fig12Result>(results.into_iter().next().expect("one job"));
+        let cfg = &result.config;
+        let phases = 2 * cfg.cohorts - 1;
+        let mut header = vec!["cohort".to_string()];
         for ph in 0..phases {
-            let active = ph >= c && (c == cfg.cohorts - 1 || ph < cfg.cohorts + c);
-            if active {
-                row.push(phase_mean(result, c, ph).map_or("-".into(), fmt));
-            } else {
-                row.push("-".into());
-            }
+            header.push(format!("ph{ph}"));
         }
-        rows.push(row);
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(
+            format!(
+                "Figure 12: dynamic behaviour — {} cohorts of {} {} flows, {}s phases",
+                cfg.cohorts,
+                cfg.cohort_size,
+                cfg.scheme.name(),
+                cfg.phase_secs
+            ),
+            &header_refs,
+        )
+        .with_note("(cells: mean aggregate goodput in segments/s; '-' = cohort inactive)");
+        for c in 0..cfg.cohorts {
+            let mut row = vec![Cell::Str(format!("cohort{c}"))];
+            for ph in 0..phases {
+                let active = ph >= c && (c == cfg.cohorts - 1 || ph < cfg.cohorts + c);
+                if active {
+                    row.push(phase_mean(&result, c, ph).map_or(Cell::Str("-".into()), Cell::Num));
+                } else {
+                    row.push(Cell::Str("-".into()));
+                }
+            }
+            table.push(row);
+        }
+        let mut report = Report::new("fig12", scale, seed);
+        report.tables.push(table);
+        report
     }
-    let mut header = vec!["cohort".to_string()];
-    for ph in 0..phases {
-        header.push(format!("ph{ph}"));
-    }
-    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    print_table(&header_refs, &rows);
 }
 
 #[cfg(test)]

@@ -10,7 +10,10 @@ use fluid::dde::{integrate, Method};
 use fluid::models::PertRedFluid;
 use fluid::stability;
 
-use crate::common::{fmt, print_table, Scale};
+use crate::common::Scale;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{take, Job, PointResult};
+use crate::scenario::Scenario;
 
 /// One point of panel (a).
 #[derive(Clone, Copy, Debug)]
@@ -98,11 +101,7 @@ pub fn run_trajectory(r: f64, horizon: f64) -> TrajectoryRun {
 
     // Thin to ~100 display points.
     let every = (tr.states.len() / 100).max(1);
-    let window_series: Vec<(f64, f64)> = tr
-        .component(0)
-        .into_iter()
-        .step_by(every)
-        .collect();
+    let window_series: Vec<(f64, f64)> = tr.component(0).into_iter().step_by(every).collect();
 
     TrajectoryRun {
         rtt: r,
@@ -123,38 +122,82 @@ pub fn run_13bcd(scale: Scale) -> Vec<TrajectoryRun> {
         .collect()
 }
 
-/// Print panel (a).
-pub fn print_13a(points: &[DeltaPoint]) {
-    println!("\nFigure 13a: minimum sampling interval vs N- (eq. 13)");
-    println!("(paper: monotonically decreasing, ~0.1 s at N- = 40)\n");
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .step_by(5)
-        .map(|p| vec![format!("{}", p.n_min), fmt(p.min_delta)])
-        .collect();
-    print_table(&["N-", "delta_min (s)"], &rows);
+/// Panel (a) as a [`Scenario`]. The fluid model is deterministic, so the
+/// seed only labels the report.
+pub struct Fig13aScenario;
+
+impl Scenario for Fig13aScenario {
+    fn name(&self) -> &'static str {
+        "fig13a"
+    }
+
+    fn default_seed(&self) -> u64 {
+        0
+    }
+
+    fn points(&self, _scale: Scale, _seed: u64) -> Vec<Job> {
+        vec![Job::new("fig13a/eq13", run_13a)]
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let points = take::<Vec<DeltaPoint>>(results.into_iter().next().expect("one job"));
+        let mut table = Table::new(
+            "Figure 13a: minimum sampling interval vs N- (eq. 13)",
+            &["N-", "delta_min (s)"],
+        )
+        .with_note("(paper: monotonically decreasing, ~0.1 s at N- = 40)");
+        for p in points.iter().step_by(5) {
+            table.push(vec![Cell::Plain(p.n_min), Cell::Num(p.min_delta)]);
+        }
+        let mut report = Report::new("fig13a", scale, seed);
+        report.tables.push(table);
+        report
+    }
 }
 
-/// Print panels (b)–(d).
-pub fn print_13bcd(runs: &[TrajectoryRun]) {
-    println!("\nFigure 13b-d: PERT fluid model (eq. 14) trajectories");
-    println!("(paper: stable at 100 ms; decaying oscillation at 160 ms; unstable at 171 ms)\n");
-    let rows: Vec<Vec<String>> = runs
-        .iter()
-        .map(|r| {
-            vec![
-                format!("{:.0}", r.rtt * 1e3),
-                format!("{}", r.theorem1_holds),
-                fmt(r.mid_deviation),
-                fmt(r.late_deviation),
-                format!("{:?}", r.class),
-            ]
-        })
-        .collect();
-    print_table(
-        &["R (ms)", "thm1 holds", "|dev| mid", "|dev| late", "class"],
-        &rows,
-    );
+/// Panels (b)–(d) as a [`Scenario`]: one job per RTT.
+pub struct Fig13bcdScenario;
+
+impl Scenario for Fig13bcdScenario {
+    fn name(&self) -> &'static str {
+        "fig13bcd"
+    }
+
+    fn default_seed(&self) -> u64 {
+        0
+    }
+
+    fn points(&self, scale: Scale, _seed: u64) -> Vec<Job> {
+        let horizon = if scale == Scale::Quick { 120.0 } else { 300.0 };
+        [0.100, 0.160, 0.171]
+            .into_iter()
+            .map(|r| {
+                Job::new(format!("fig13bcd/{:.0}ms", r * 1e3), move || {
+                    run_trajectory(r, horizon)
+                })
+            })
+            .collect()
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let mut table = Table::new(
+            "Figure 13b-d: PERT fluid model (eq. 14) trajectories",
+            &["R (ms)", "thm1 holds", "|dev| mid", "|dev| late", "class"],
+        )
+        .with_note("(paper: stable at 100 ms; decaying oscillation at 160 ms; unstable at 171 ms)");
+        for r in results.into_iter().map(take::<TrajectoryRun>) {
+            table.push(vec![
+                Cell::Fixed(r.rtt * 1e3, 0),
+                Cell::Str(format!("{}", r.theorem1_holds)),
+                Cell::Num(r.mid_deviation),
+                Cell::Num(r.late_deviation),
+                Cell::Str(format!("{:?}", r.class)),
+            ]);
+        }
+        let mut report = Report::new("fig13bcd", scale, seed);
+        report.tables.push(table);
+        report
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +208,9 @@ mod tests {
     fn panel_a_monotone_and_anchored() {
         let pts = run_13a();
         assert_eq!(pts.len(), 50);
-        assert!(pts.windows(2).all(|w| w[1].min_delta <= w[0].min_delta + 1e-12));
+        assert!(pts
+            .windows(2)
+            .all(|w| w[1].min_delta <= w[0].min_delta + 1e-12));
         let d40 = pts[39].min_delta;
         assert!((0.08..0.15).contains(&d40), "delta(40) = {d40}");
     }

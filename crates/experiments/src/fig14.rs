@@ -4,9 +4,12 @@
 
 use workload::Scheme;
 
-use crate::common::{fmt, print_table, Scale};
+use crate::common::Scale;
 use crate::fig7::{config_for, rtt_grid};
-use crate::sweep::{compare_schemes, SchemePoint};
+use crate::report::{Cell, Report, Table};
+use crate::runner::{Job, PointResult};
+use crate::scenario::Scenario;
+use crate::sweep::{compare_schemes, grid_jobs, regroup, SchemePoint};
 
 /// One sweep point.
 #[derive(Clone, Debug)]
@@ -33,27 +36,65 @@ pub fn run(scale: Scale) -> Vec<Fig14Point> {
         .collect()
 }
 
-/// Print the sweep.
-pub fn print(points: &[Fig14Point]) {
-    println!("\nFigure 14: emulating PI from end hosts (150 Mbps, 50 flows)");
-    println!("(paper: PERT-PI ~ router PI-ECN on queue & utilization, near-zero drops)\n");
-    let mut rows = Vec::new();
-    for p in points {
-        for s in &p.schemes {
-            rows.push(vec![
-                format!("{:.0}", p.rtt * 1e3),
-                s.scheme.to_string(),
-                fmt(s.queue_norm),
-                fmt(s.drop_rate),
-                fmt(s.utilization),
-                fmt(s.jain),
-            ]);
-        }
+/// The PI-emulation sweep as a [`Scenario`].
+pub struct Fig14Scenario;
+
+impl Scenario for Fig14Scenario {
+    fn name(&self) -> &'static str {
+        "fig14"
     }
-    print_table(
-        &["RTT ms", "scheme", "Q (norm)", "drop rate", "util %", "Jain"],
-        &rows,
-    );
+
+    fn default_seed(&self) -> u64 {
+        140
+    }
+
+    fn points(&self, scale: Scale, seed: u64) -> Vec<Job> {
+        let configs = rtt_grid(scale)
+            .into_iter()
+            .map(|rtt| {
+                let mut cfg = config_for(rtt, scale);
+                cfg.seed = seed;
+                (format!("{:.0}ms", rtt * 1e3), cfg)
+            })
+            .collect();
+        grid_jobs(
+            "fig14",
+            configs,
+            vec![Scheme::PertPi, Scheme::SackPiEcn],
+            scale,
+        )
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let groups = regroup(results, 2);
+        let mut table = Table::new(
+            "Figure 14: emulating PI from end hosts (150 Mbps, 50 flows)",
+            &[
+                "RTT ms",
+                "scheme",
+                "Q (norm)",
+                "drop rate",
+                "util %",
+                "Jain",
+            ],
+        )
+        .with_note("(paper: PERT-PI ~ router PI-ECN on queue & utilization, near-zero drops)");
+        for (rtt, group) in rtt_grid(scale).into_iter().zip(groups) {
+            for s in group {
+                table.push(vec![
+                    Cell::Fixed(rtt * 1e3, 0),
+                    Cell::Str(s.scheme.to_string()),
+                    Cell::Num(s.queue_norm),
+                    Cell::Num(s.drop_rate),
+                    Cell::Num(s.utilization),
+                    Cell::Num(s.jain),
+                ]);
+            }
+        }
+        let mut report = Report::new("fig14", scale, seed);
+        report.tables.push(table);
+        report
+    }
 }
 
 #[cfg(test)]

@@ -10,8 +10,11 @@
 use pert_core::predictors::{CongestionState, InstRtt, Predictor};
 use sim_stats::analyze;
 
-use crate::cases::{run_all_cases, CaseTrace, HIGH_RTT_THRESHOLD};
-use crate::common::{fmt, print_table, Scale};
+use crate::cases::{case_jobs, run_all_cases, take_traces, CaseTrace, HIGH_RTT_THRESHOLD};
+use crate::common::Scale;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{Job, PointResult};
+use crate::scenario::Scenario;
 
 /// One row of Figure 2.
 #[derive(Clone, Debug)]
@@ -56,22 +59,46 @@ pub fn run(scale: Scale) -> Vec<Fig2Row> {
     analyze_traces(&run_all_cases(scale))
 }
 
-/// Print the rows in the paper's layout.
-pub fn print(rows: &[Fig2Row]) {
-    println!("\nFigure 2: fraction of high-RTT -> loss transitions");
-    println!("(paper: queue-level correlation substantially exceeds flow-level)\n");
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.case.clone(),
-                format!("{}x{}", r.load.0, r.load.1),
-                fmt(r.flow_level),
-                fmt(r.queue_level),
-            ]
-        })
-        .collect();
-    print_table(&["case", "long x web", "flow-level", "queue-level"], &table);
+/// Build the report table for a set of rows (shared with `fig234`).
+pub fn build_table(rows: &[Fig2Row]) -> Table {
+    let mut table = Table::new(
+        "Figure 2: fraction of high-RTT -> loss transitions",
+        &["case", "long x web", "flow-level", "queue-level"],
+    )
+    .with_note("(paper: queue-level correlation substantially exceeds flow-level)");
+    for r in rows {
+        table.push(vec![
+            Cell::Str(r.case.clone()),
+            Cell::Str(format!("{}x{}", r.load.0, r.load.1)),
+            Cell::Num(r.flow_level),
+            Cell::Num(r.queue_level),
+        ]);
+    }
+    table
+}
+
+/// Figure 2 alone as a [`Scenario`].
+pub struct Fig2Scenario;
+
+impl Scenario for Fig2Scenario {
+    fn name(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn default_seed(&self) -> u64 {
+        42
+    }
+
+    fn points(&self, scale: Scale, seed: u64) -> Vec<Job> {
+        case_jobs("fig2", scale, seed)
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let traces = take_traces(results);
+        let mut report = Report::new("fig2", scale, seed);
+        report.tables.push(build_table(&analyze_traces(&traces)));
+        report
+    }
 }
 
 #[cfg(test)]

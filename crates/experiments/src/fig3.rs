@@ -11,8 +11,13 @@ use pert_core::predictors::{
 };
 use sim_stats::analyze;
 
-use crate::cases::{run_all_cases, CaseTrace, CASE_BUFFER, HIGH_RTT_THRESHOLD};
-use crate::common::{fmt, print_table, Scale};
+use crate::cases::{
+    case_jobs, run_all_cases, take_traces, CaseTrace, CASE_BUFFER, HIGH_RTT_THRESHOLD,
+};
+use crate::common::Scale;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{Job, PointResult};
+use crate::scenario::Scenario;
 
 /// One row of Figure 3 (averaged over cases).
 #[derive(Clone, Debug)]
@@ -104,22 +109,46 @@ pub fn run(scale: Scale) -> Vec<Fig3Row> {
     analyze_traces(&run_all_cases(scale))
 }
 
-/// Print the rows.
-pub fn print(rows: &[Fig3Row]) {
-    println!("\nFigure 3: predictor quality vs queue-level losses (mean over cases)");
-    println!("(paper: srtt_0.99 attains high efficiency with low FP and FN)\n");
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.predictor.to_string(),
-                fmt(r.efficiency),
-                fmt(r.false_positives),
-                fmt(r.false_negatives),
-            ]
-        })
-        .collect();
-    print_table(&["predictor", "efficiency", "false-pos", "false-neg"], &table);
+/// Build the report table for a set of rows (shared with `fig234`).
+pub fn build_table(rows: &[Fig3Row]) -> Table {
+    let mut table = Table::new(
+        "Figure 3: predictor quality vs queue-level losses (mean over cases)",
+        &["predictor", "efficiency", "false-pos", "false-neg"],
+    )
+    .with_note("(paper: srtt_0.99 attains high efficiency with low FP and FN)");
+    for r in rows {
+        table.push(vec![
+            Cell::Str(r.predictor.to_string()),
+            Cell::Num(r.efficiency),
+            Cell::Num(r.false_positives),
+            Cell::Num(r.false_negatives),
+        ]);
+    }
+    table
+}
+
+/// Figure 3 alone as a [`Scenario`].
+pub struct Fig3Scenario;
+
+impl Scenario for Fig3Scenario {
+    fn name(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn default_seed(&self) -> u64 {
+        42
+    }
+
+    fn points(&self, scale: Scale, seed: u64) -> Vec<Job> {
+        case_jobs("fig3", scale, seed)
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let traces = take_traces(results);
+        let mut report = Report::new("fig3", scale, seed);
+        report.tables.push(build_table(&analyze_traces(&traces)));
+        report
+    }
 }
 
 #[cfg(test)]

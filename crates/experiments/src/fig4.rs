@@ -9,8 +9,11 @@
 use pert_core::predictors::{CongestionState, EwmaRtt, Predictor};
 use sim_stats::{analyze, Histogram};
 
-use crate::cases::{run_all_cases, CaseTrace, HIGH_RTT_THRESHOLD};
-use crate::common::{fmt, print_table, Scale};
+use crate::cases::{case_jobs, run_all_cases, take_traces, CaseTrace, HIGH_RTT_THRESHOLD};
+use crate::common::{fmt, Scale};
+use crate::report::{Cell, Report, Table};
+use crate::runner::{Job, PointResult};
+use crate::scenario::Scenario;
 
 /// Figure 4's result: one normalized-queue-length histogram per case plus
 /// the pooled distribution.
@@ -60,27 +63,52 @@ pub fn run(scale: Scale) -> Fig4Result {
     analyze_traces(&run_all_cases(scale))
 }
 
-/// Print the pooled PDF and the below-half fraction.
-pub fn print(result: &Fig4Result) {
-    println!("\nFigure 4: PDF of normalized queue length at srtt_0.99 false positives");
-    println!(
-        "(paper: false positives cluster at low queue; pooled P(q < 0.5) here = {})\n",
+/// Build the report table for a result (shared with `fig234`).
+pub fn build_table(result: &Fig4Result) -> Table {
+    let mut table = Table::new(
+        "Figure 4: PDF of normalized queue length at srtt_0.99 false positives",
+        &["q/B", "pdf", ""],
+    )
+    .with_note(format!(
+        "(paper: false positives cluster at low queue; pooled P(q < 0.5) here = {})",
         fmt(result.fraction_below_half)
-    );
-    let pmf = result.pooled.pmf();
-    let rows: Vec<Vec<String>> = pmf
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| {
-            vec![
-                format!("{:.2}", result.pooled.bin_center(i)),
-                fmt(p),
-                "#".repeat((p * 50.0).round() as usize),
-            ]
-        })
-        .collect();
-    print_table(&["q/B", "pdf", ""], &rows);
-    println!("  (false positives pooled: {})", result.pooled.total());
+    ));
+    for (i, &p) in result.pooled.pmf().iter().enumerate() {
+        table.push(vec![
+            Cell::Fixed(result.pooled.bin_center(i), 2),
+            Cell::Num(p),
+            Cell::Str("#".repeat((p * 50.0).round() as usize)),
+        ]);
+    }
+    table.footer = Some(format!(
+        "(false positives pooled: {})",
+        result.pooled.total()
+    ));
+    table
+}
+
+/// Figure 4 alone as a [`Scenario`].
+pub struct Fig4Scenario;
+
+impl Scenario for Fig4Scenario {
+    fn name(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn default_seed(&self) -> u64 {
+        42
+    }
+
+    fn points(&self, scale: Scale, seed: u64) -> Vec<Job> {
+        case_jobs("fig4", scale, seed)
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let traces = take_traces(results);
+        let mut report = Report::new("fig4", scale, seed);
+        report.tables.push(build_table(&analyze_traces(&traces)));
+        report
+    }
 }
 
 #[cfg(test)]

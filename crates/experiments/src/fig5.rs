@@ -5,7 +5,10 @@
 
 use pert_core::ResponseCurve;
 
-use crate::common::{fmt, print_table};
+use crate::common::Scale;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{take, Job, PointResult};
+use crate::scenario::Scenario;
 
 /// One sampled point of the curve.
 #[derive(Clone, Copy, Debug)]
@@ -31,32 +34,64 @@ pub fn sample_curve(curve: &ResponseCurve, n: usize) -> Vec<CurvePoint> {
         .collect()
 }
 
+/// Sample count per scale (Quick thins the grid, Full refines it; the
+/// historical default was 26).
+pub fn samples_for(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 11,
+        Scale::Standard => 26,
+        Scale::Full => 51,
+    }
+}
+
 /// Run with the paper's parameters.
 pub fn run() -> Vec<CurvePoint> {
     sample_curve(&ResponseCurve::PAPER_DEFAULT, 26)
 }
 
-/// Print the curve.
-pub fn print(points: &[CurvePoint]) {
-    let c = ResponseCurve::PAPER_DEFAULT;
-    println!("\nFigure 5: PERT response curve");
-    println!(
-        "(T_min = {} ms, T_max = {} ms, p_max = {}; ramps to 1 at 2*T_max)\n",
-        c.t_min * 1e3,
-        c.t_max * 1e3,
-        c.p_max
-    );
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            vec![
-                format!("{:.1}", p.queuing_delay * 1e3),
-                fmt(p.probability),
-                "#".repeat((p.probability * 40.0).round() as usize),
-            ]
-        })
-        .collect();
-    print_table(&["qd (ms)", "p(response)", ""], &rows);
+/// The response curve as a [`Scenario`]. Purely analytic — a single job;
+/// the seed only labels the report.
+pub struct Fig5Scenario;
+
+impl Scenario for Fig5Scenario {
+    fn name(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn default_seed(&self) -> u64 {
+        0
+    }
+
+    fn points(&self, scale: Scale, _seed: u64) -> Vec<Job> {
+        vec![Job::new("fig5/curve", move || {
+            sample_curve(&ResponseCurve::PAPER_DEFAULT, samples_for(scale))
+        })]
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let points = take::<Vec<CurvePoint>>(results.into_iter().next().expect("one job"));
+        let c = ResponseCurve::PAPER_DEFAULT;
+        let mut table = Table::new(
+            "Figure 5: PERT response curve",
+            &["qd (ms)", "p(response)", ""],
+        )
+        .with_note(format!(
+            "(T_min = {} ms, T_max = {} ms, p_max = {}; ramps to 1 at 2*T_max)",
+            c.t_min * 1e3,
+            c.t_max * 1e3,
+            c.p_max
+        ));
+        for p in &points {
+            table.push(vec![
+                Cell::Fixed(p.queuing_delay * 1e3, 1),
+                Cell::Num(p.probability),
+                Cell::Str("#".repeat((p.probability * 40.0).round() as usize)),
+            ]);
+        }
+        let mut report = Report::new("fig5", scale, seed);
+        report.tables.push(table);
+        report
+    }
 }
 
 #[cfg(test)]

@@ -7,8 +7,11 @@
 use netsim::SimDuration;
 use workload::{DumbbellConfig, Scheme};
 
-use crate::common::{fmt, print_table, Scale};
-use crate::sweep::{compare_schemes, paper_schemes, SchemePoint};
+use crate::common::Scale;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{Job, PointResult};
+use crate::scenario::Scenario;
+use crate::sweep::{compare_schemes, grid_jobs, paper_schemes, regroup, SchemePoint};
 
 /// One sweep point: a bandwidth and the four schemes' panels.
 #[derive(Clone, Debug)]
@@ -64,28 +67,65 @@ pub fn run(scale: Scale) -> Vec<Fig6Point> {
         .collect()
 }
 
-/// Print the sweep in the paper's four-panel layout (as one table).
-pub fn print(points: &[Fig6Point]) {
-    println!("\nFigure 6: impact of bottleneck bandwidth (RTT 60 ms)");
-    println!("(paper: PERT tracks SACK/RED-ECN on queue & drops; SACK/DropTail queue stays high)\n");
-    let mut rows = Vec::new();
-    for p in points {
-        for s in &p.schemes {
-            rows.push(vec![
-                format!("{}", p.bandwidth_mbps),
-                format!("{}", p.flows),
-                s.scheme.to_string(),
-                fmt(s.queue_norm),
-                fmt(s.drop_rate),
-                fmt(s.utilization),
-                fmt(s.jain),
-            ]);
-        }
+/// The bandwidth sweep as a [`Scenario`]: one job per (bandwidth ×
+/// scheme) simulation.
+pub struct Fig6Scenario;
+
+impl Scenario for Fig6Scenario {
+    fn name(&self) -> &'static str {
+        "fig6"
     }
-    print_table(
-        &["Mbps", "flows", "scheme", "Q (norm)", "drop rate", "util %", "Jain"],
-        &rows,
-    );
+
+    fn default_seed(&self) -> u64 {
+        60
+    }
+
+    fn points(&self, scale: Scale, seed: u64) -> Vec<Job> {
+        let configs = bandwidth_grid(scale)
+            .into_iter()
+            .map(|mbps| {
+                let mut cfg = config_for(mbps, scale);
+                cfg.seed = seed;
+                (format!("{mbps}Mbps"), cfg)
+            })
+            .collect();
+        grid_jobs("fig6", configs, paper_schemes(), scale)
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let groups = regroup(results, paper_schemes().len());
+        let mut table = Table::new(
+            "Figure 6: impact of bottleneck bandwidth (RTT 60 ms)",
+            &[
+                "Mbps",
+                "flows",
+                "scheme",
+                "Q (norm)",
+                "drop rate",
+                "util %",
+                "Jain",
+            ],
+        )
+        .with_note(
+            "(paper: PERT tracks SACK/RED-ECN on queue & drops; SACK/DropTail queue stays high)",
+        );
+        for (mbps, group) in bandwidth_grid(scale).into_iter().zip(groups) {
+            for s in group {
+                table.push(vec![
+                    Cell::Plain(mbps),
+                    Cell::Int(flows_for_bandwidth(mbps) as i64),
+                    Cell::Str(s.scheme.to_string()),
+                    Cell::Num(s.queue_norm),
+                    Cell::Num(s.drop_rate),
+                    Cell::Num(s.utilization),
+                    Cell::Num(s.jain),
+                ]);
+            }
+        }
+        let mut report = Report::new("fig6", scale, seed);
+        report.tables.push(table);
+        report
+    }
 }
 
 #[cfg(test)]

@@ -4,8 +4,11 @@
 use netsim::SimDuration;
 use workload::{DumbbellConfig, Scheme};
 
-use crate::common::{fmt, print_table, Scale};
-use crate::sweep::{compare_schemes, paper_schemes, SchemePoint};
+use crate::common::Scale;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{Job, PointResult};
+use crate::scenario::Scenario;
+use crate::sweep::{compare_schemes, grid_jobs, paper_schemes, regroup, SchemePoint};
 
 /// One sweep point.
 #[derive(Clone, Debug)]
@@ -55,27 +58,55 @@ pub fn run(scale: Scale) -> Vec<Fig7Point> {
         .collect()
 }
 
-/// Print the sweep.
-pub fn print(points: &[Fig7Point]) {
-    println!("\nFigure 7: impact of end-to-end RTT (150 Mbps, 50 flows)");
-    println!("(paper: PERT ~ SACK/RED-ECN queue & drops; fixed thresholds cost a little utilization)\n");
-    let mut rows = Vec::new();
-    for p in points {
-        for s in &p.schemes {
-            rows.push(vec![
-                format!("{:.0}", p.rtt * 1e3),
-                s.scheme.to_string(),
-                fmt(s.queue_norm),
-                fmt(s.drop_rate),
-                fmt(s.utilization),
-                fmt(s.jain),
-            ]);
-        }
+/// The RTT sweep as a [`Scenario`].
+pub struct Fig7Scenario;
+
+impl Scenario for Fig7Scenario {
+    fn name(&self) -> &'static str {
+        "fig7"
     }
-    print_table(
-        &["RTT ms", "scheme", "Q (norm)", "drop rate", "util %", "Jain"],
-        &rows,
-    );
+
+    fn default_seed(&self) -> u64 {
+        70
+    }
+
+    fn points(&self, scale: Scale, seed: u64) -> Vec<Job> {
+        let configs = rtt_grid(scale)
+            .into_iter()
+            .map(|rtt| {
+                let mut cfg = config_for(rtt, scale);
+                cfg.seed = seed;
+                (format!("{:.0}ms", rtt * 1e3), cfg)
+            })
+            .collect();
+        grid_jobs("fig7", configs, paper_schemes(), scale)
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let groups = regroup(results, paper_schemes().len());
+        let mut table = Table::new(
+            "Figure 7: impact of end-to-end RTT (150 Mbps, 50 flows)",
+            &["RTT ms", "scheme", "Q (norm)", "drop rate", "util %", "Jain"],
+        )
+        .with_note(
+            "(paper: PERT ~ SACK/RED-ECN queue & drops; fixed thresholds cost a little utilization)",
+        );
+        for (rtt, group) in rtt_grid(scale).into_iter().zip(groups) {
+            for s in group {
+                table.push(vec![
+                    Cell::Fixed(rtt * 1e3, 0),
+                    Cell::Str(s.scheme.to_string()),
+                    Cell::Num(s.queue_norm),
+                    Cell::Num(s.drop_rate),
+                    Cell::Num(s.utilization),
+                    Cell::Num(s.jain),
+                ]);
+            }
+        }
+        let mut report = Report::new("fig7", scale, seed);
+        report.tables.push(table);
+        report
+    }
 }
 
 #[cfg(test)]
@@ -101,12 +132,7 @@ mod tests {
         let pts = run(Scale::Quick);
         for p in &pts {
             let pert = p.schemes.iter().find(|s| s.scheme == "PERT").unwrap();
-            assert!(
-                pert.jain > 0.5,
-                "PERT Jain {} at rtt {}",
-                pert.jain,
-                p.rtt
-            );
+            assert!(pert.jain > 0.5, "PERT Jain {} at rtt {}", pert.jain, p.rtt);
         }
     }
 }

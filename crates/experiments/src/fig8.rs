@@ -9,8 +9,11 @@
 use netsim::SimDuration;
 use workload::{DumbbellConfig, Scheme};
 
-use crate::common::{fmt, print_table, Scale};
-use crate::sweep::{compare_schemes, paper_schemes, SchemePoint};
+use crate::common::Scale;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{Job, PointResult};
+use crate::scenario::Scenario;
+use crate::sweep::{compare_schemes, grid_jobs, paper_schemes, regroup, SchemePoint};
 
 /// One sweep point.
 #[derive(Clone, Debug)]
@@ -59,27 +62,53 @@ pub fn run(scale: Scale) -> Vec<Fig8Point> {
         .collect()
 }
 
-/// Print the sweep.
-pub fn print(points: &[Fig8Point]) {
-    println!("\nFigure 8: impact of the number of long-term flows (500 Mbps, 60 ms)");
-    println!("(paper: Vegas queue/drops grow with N; PERT stays low with high fairness)\n");
-    let mut rows = Vec::new();
-    for p in points {
-        for s in &p.schemes {
-            rows.push(vec![
-                format!("{}", p.flows),
-                s.scheme.to_string(),
-                fmt(s.queue_norm),
-                fmt(s.drop_rate),
-                fmt(s.utilization),
-                fmt(s.jain),
-            ]);
-        }
+/// The flow-count sweep as a [`Scenario`].
+pub struct Fig8Scenario;
+
+impl Scenario for Fig8Scenario {
+    fn name(&self) -> &'static str {
+        "fig8"
     }
-    print_table(
-        &["flows", "scheme", "Q (norm)", "drop rate", "util %", "Jain"],
-        &rows,
-    );
+
+    fn default_seed(&self) -> u64 {
+        80
+    }
+
+    fn points(&self, scale: Scale, seed: u64) -> Vec<Job> {
+        let configs = flow_grid(scale)
+            .into_iter()
+            .map(|flows| {
+                let mut cfg = config_for(flows, scale);
+                cfg.seed = seed;
+                (format!("{flows}flows"), cfg)
+            })
+            .collect();
+        grid_jobs("fig8", configs, paper_schemes(), scale)
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let groups = regroup(results, paper_schemes().len());
+        let mut table = Table::new(
+            "Figure 8: impact of the number of long-term flows (500 Mbps, 60 ms)",
+            &["flows", "scheme", "Q (norm)", "drop rate", "util %", "Jain"],
+        )
+        .with_note("(paper: Vegas queue/drops grow with N; PERT stays low with high fairness)");
+        for (flows, group) in flow_grid(scale).into_iter().zip(groups) {
+            for s in group {
+                table.push(vec![
+                    Cell::Int(flows as i64),
+                    Cell::Str(s.scheme.to_string()),
+                    Cell::Num(s.queue_norm),
+                    Cell::Num(s.drop_rate),
+                    Cell::Num(s.utilization),
+                    Cell::Num(s.jain),
+                ]);
+            }
+        }
+        let mut report = Report::new("fig8", scale, seed);
+        report.tables.push(table);
+        report
+    }
 }
 
 #[cfg(test)]

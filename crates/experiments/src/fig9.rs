@@ -5,8 +5,11 @@
 use netsim::SimDuration;
 use workload::{DumbbellConfig, Scheme};
 
-use crate::common::{fmt, print_table, Scale};
-use crate::sweep::{compare_schemes, paper_schemes, SchemePoint};
+use crate::common::Scale;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{Job, PointResult};
+use crate::scenario::Scenario;
+use crate::sweep::{compare_schemes, grid_jobs, paper_schemes, regroup, SchemePoint};
 
 /// One sweep point.
 #[derive(Clone, Debug)]
@@ -55,27 +58,53 @@ pub fn run(scale: Scale) -> Vec<Fig9Point> {
         .collect()
 }
 
-/// Print the sweep.
-pub fn print(points: &[Fig9Point]) {
-    println!("\nFigure 9: impact of web traffic (150 Mbps, 50 long-term flows)");
-    println!("(paper: queue stays low and losses near zero for PERT as web load grows)\n");
-    let mut rows = Vec::new();
-    for p in points {
-        for s in &p.schemes {
-            rows.push(vec![
-                format!("{}", p.web_sessions),
-                s.scheme.to_string(),
-                fmt(s.queue_norm),
-                fmt(s.drop_rate),
-                fmt(s.utilization),
-                fmt(s.jain),
-            ]);
-        }
+/// The web-session sweep as a [`Scenario`].
+pub struct Fig9Scenario;
+
+impl Scenario for Fig9Scenario {
+    fn name(&self) -> &'static str {
+        "fig9"
     }
-    print_table(
-        &["web", "scheme", "Q (norm)", "drop rate", "util %", "Jain"],
-        &rows,
-    );
+
+    fn default_seed(&self) -> u64 {
+        90
+    }
+
+    fn points(&self, scale: Scale, seed: u64) -> Vec<Job> {
+        let configs = web_grid(scale)
+            .into_iter()
+            .map(|web| {
+                let mut cfg = config_for(web, scale);
+                cfg.seed = seed;
+                (format!("{web}web"), cfg)
+            })
+            .collect();
+        grid_jobs("fig9", configs, paper_schemes(), scale)
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let groups = regroup(results, paper_schemes().len());
+        let mut table = Table::new(
+            "Figure 9: impact of web traffic (150 Mbps, 50 long-term flows)",
+            &["web", "scheme", "Q (norm)", "drop rate", "util %", "Jain"],
+        )
+        .with_note("(paper: queue stays low and losses near zero for PERT as web load grows)");
+        for (web, group) in web_grid(scale).into_iter().zip(groups) {
+            for s in group {
+                table.push(vec![
+                    Cell::Int(web as i64),
+                    Cell::Str(s.scheme.to_string()),
+                    Cell::Num(s.queue_norm),
+                    Cell::Num(s.drop_rate),
+                    Cell::Num(s.utilization),
+                    Cell::Num(s.jain),
+                ]);
+            }
+        }
+        let mut report = Report::new("fig9", scale, seed);
+        report.tables.push(table);
+        report
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,13 @@
 //! # experiments — the per-figure reproduction harness
 //!
 //! One module per table/figure of *"Emulating AQM from End Hosts"*
-//! (SIGCOMM 2007). Each module exposes `run(Scale) -> rows` and a
-//! `print(...)` that emits the rows the paper reports; the `experiments`
-//! binary dispatches on figure names (see `main.rs`).
+//! (SIGCOMM 2007). Each module implements the [`scenario::Scenario`]
+//! trait: it declares independent, self-seeded [`runner::Job`]s, the
+//! [`runner`] executes them on a worker pool, and the module reassembles
+//! the ordered results into a structured [`report::Report`] (text, JSON,
+//! or CSV). The `experiments` binary dispatches through
+//! [`scenario::lookup`]; output is byte-identical whatever `--jobs` says
+//! because rendering reads only the declared-order cells.
 //!
 //! | module | reproduces |
 //! |--------|------------|
@@ -31,6 +35,7 @@
 
 pub mod ablations;
 pub mod cases;
+pub mod cli;
 pub mod common;
 pub mod fig11;
 pub mod fig12;
@@ -45,9 +50,14 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod rem;
+pub mod report;
 pub mod reverse;
 pub mod robustness;
+pub mod runner;
+pub mod scenario;
 pub mod sweep;
 pub mod table1;
 
 pub use common::Scale;
+pub use report::Report;
+pub use scenario::Scenario;

@@ -1,83 +1,65 @@
 //! CLI for the reproduction harness.
 //!
 //! ```text
-//! experiments <target>... [--quick|--full]
+//! experiments <target>... [--quick|--standard|--full] [--jobs N]
+//!             [--seed S] [--json PATH] [--csv PATH]
 //!
 //! targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1
 //!          fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all
 //! ```
 //!
-//! `fig234` runs the shared §2.2 traffic cases once and derives Figures
-//! 2, 3 and 4 from the same traces (as the paper does).
+//! Every target is a [`Scenario`](experiments::scenario::Scenario): its
+//! independent points run on a `--jobs`-sized worker pool and the results
+//! are reassembled in declared order, so the rendered output is
+//! byte-identical whatever the worker count. Tables go to stdout;
+//! progress and per-point timings go to stderr; `--json`/`--csv` write
+//! the structured reports to files.
 
-use experiments::common::Scale;
-use experiments::*;
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: experiments <target>... [--quick|--full]\n\
-         targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1\n\
-         \t fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all"
-    );
-    std::process::exit(2);
-}
+use experiments::cli;
+use experiments::report::{reports_to_csv, reports_to_json};
+use experiments::runner::run_jobs;
+use experiments::scenario::lookup;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        usage();
-    }
-    let mut scale = Scale::Standard;
-    let mut targets: Vec<String> = Vec::new();
-    for a in &args {
-        match a.as_str() {
-            "--quick" => scale = Scale::Quick,
-            "--full" => scale = Scale::Full,
-            "--standard" => scale = Scale::Standard,
-            t if !t.starts_with('-') => targets.push(t.to_string()),
-            _ => usage(),
+    let cli = match cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", cli::USAGE);
+            std::process::exit(2);
         }
-    }
-    if targets.iter().any(|t| t == "all") {
-        targets = [
-            "fig234", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "fig11", "fig12",
-            "fig13a", "fig13bcd", "fig14", "reverse", "rem", "robustness", "ablations",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-    }
-    println!("scale: {scale:?}");
+    };
 
-    for t in &targets {
+    println!("scale: {:?}", cli.scale);
+    let mut reports = Vec::new();
+    for t in &cli.targets {
+        let scenario = lookup(t).expect("targets were validated by the parser");
+        let seed = cli.seed.unwrap_or_else(|| scenario.default_seed());
         let t0 = std::time::Instant::now();
-        match t.as_str() {
-            "fig2" => fig2::print(&fig2::run(scale)),
-            "fig3" => fig3::print(&fig3::run(scale)),
-            "fig4" => fig4::print(&fig4::run(scale)),
-            "fig234" => {
-                let traces = cases::run_all_cases(scale);
-                fig2::print(&fig2::analyze_traces(&traces));
-                fig3::print(&fig3::analyze_traces(&traces));
-                fig4::print(&fig4::analyze_traces(&traces));
-            }
-            "fig5" => fig5::print(&fig5::run()),
-            "fig6" => fig6::print(&fig6::run(scale)),
-            "fig7" => fig7::print(&fig7::run(scale)),
-            "fig8" => fig8::print(&fig8::run(scale)),
-            "fig9" => fig9::print(&fig9::run(scale)),
-            "table1" => table1::print(&table1::run(scale)),
-            "fig11" => fig11::print(&fig11::run(scale)),
-            "fig12" => fig12::print(&fig12::run(scale)),
-            "fig13a" => fig13::print_13a(&fig13::run_13a()),
-            "fig13bcd" => fig13::print_13bcd(&fig13::run_13bcd(scale)),
-            "fig14" => fig14::print(&fig14::run(scale)),
-            "reverse" => reverse::print(&reverse::run(scale)),
-            "rem" => rem::print(&rem::run(scale)),
-            "robustness" => robustness::print(&robustness::run(scale)),
-            "ablations" => ablations::print(&ablations::run(scale)),
-            _ => usage(),
+        let jobs = scenario.points(cli.scale, seed);
+        let (results, timings) = run_jobs(jobs, cli.jobs);
+        let mut report = scenario.assemble(cli.scale, seed, results);
+        report.timings = timings;
+        print!("{}", report.render_text());
+        for tm in &report.timings {
+            eprintln!("  [{} {:.2}s]", tm.label, tm.secs);
         }
         eprintln!("[{t} done in {:.1}s]", t0.elapsed().as_secs_f64());
+        reports.push(report);
+    }
+
+    if let Some(path) = &cli.json {
+        if let Err(e) = std::fs::write(path, reports_to_json(&reports)) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[wrote {path}]");
+    }
+    if let Some(path) = &cli.csv {
+        if let Err(e) = std::fs::write(path, reports_to_csv(&reports)) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[wrote {path}]");
     }
 }

@@ -18,7 +18,10 @@ use workload::{
     build_dumbbell, link_metrics, run_measured, snapshot_goodput, DumbbellConfig, Scheme,
 };
 
-use crate::common::{fmt, print_table, Scale};
+use crate::common::Scale;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{take, Job, PointResult};
+use crate::scenario::Scenario;
 
 /// One transport's outcome under reverse congestion.
 #[derive(Clone, Debug)]
@@ -40,6 +43,11 @@ pub struct ReverseRow {
 /// Run one transport: `n` forward flows of `scheme` + `n` reverse SACK
 /// flows saturating the ACK path.
 pub fn run_scheme(scheme: Scheme, scale: Scale) -> ReverseRow {
+    run_scheme_seeded(scheme, scale, 1700)
+}
+
+/// [`run_scheme`] with an explicit master seed.
+pub fn run_scheme_seeded(scheme: Scheme, scale: Scale, seed: u64) -> ReverseRow {
     let name = scheme.name();
     let (bps, n) = if scale == Scale::Quick {
         (20_000_000, 5)
@@ -58,7 +66,7 @@ pub fn run_scheme(scheme: Scheme, scale: Scale) -> ReverseRow {
         // are created via a second dumbbell field below.
         reverse_rtts: vec![0.060; n],
         start_window_secs: scale.start_window(),
-        seed: 1700,
+        seed,
         ..DumbbellConfig::new(scheme)
     };
     let d = build_dumbbell(&cfg);
@@ -100,27 +108,58 @@ pub fn run(scale: Scale) -> Vec<ReverseRow> {
     ]
 }
 
-/// Print the comparison.
-pub fn print(rows: &[ReverseRow]) {
-    println!("\nSection 7: impact of reverse-path traffic (bidirectional long-term load)");
-    println!("(paper: RTT-based PERT also responds to reverse congestion; one-way delays avoid it)\n");
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.scheme.to_string(),
-                fmt(r.fwd_utilization),
-                fmt(r.rev_utilization),
-                fmt(r.fwd_queue_norm),
-                format!("{}", r.early_reductions),
-                fmt(r.jain),
-            ]
-        })
-        .collect();
-    print_table(
-        &["scheme", "fwd util %", "rev util %", "fwd Q", "early", "Jain"],
-        &table,
-    );
+/// The reverse-traffic comparison as a [`Scenario`]: one job per
+/// transport variant.
+pub struct ReverseScenario;
+
+impl Scenario for ReverseScenario {
+    fn name(&self) -> &'static str {
+        "reverse"
+    }
+
+    fn default_seed(&self) -> u64 {
+        1700
+    }
+
+    fn points(&self, scale: Scale, seed: u64) -> Vec<Job> {
+        [Scheme::Pert, Scheme::PertOwd, Scheme::SackDroptail]
+            .into_iter()
+            .map(|scheme| {
+                let label = format!("reverse/{}", scheme.name());
+                Job::new(label, move || run_scheme_seeded(scheme, scale, seed))
+            })
+            .collect()
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let mut table = Table::new(
+            "Section 7: impact of reverse-path traffic (bidirectional long-term load)",
+            &[
+                "scheme",
+                "fwd util %",
+                "rev util %",
+                "fwd Q",
+                "early",
+                "Jain",
+            ],
+        )
+        .with_note(
+            "(paper: RTT-based PERT also responds to reverse congestion; one-way delays avoid it)",
+        );
+        for r in results.into_iter().map(take::<ReverseRow>) {
+            table.push(vec![
+                Cell::Str(r.scheme.to_string()),
+                Cell::Num(r.fwd_utilization),
+                Cell::Num(r.rev_utilization),
+                Cell::Num(r.fwd_queue_norm),
+                Cell::Int(r.early_reductions as i64),
+                Cell::Num(r.jain),
+            ]);
+        }
+        let mut report = Report::new("reverse", scale, seed);
+        report.tables.push(table);
+        report
+    }
 }
 
 #[cfg(test)]

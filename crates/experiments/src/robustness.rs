@@ -16,7 +16,10 @@
 use netsim::SimDuration;
 use workload::{build_dumbbell, link_metrics, run_measured, DumbbellConfig, Scheme};
 
-use crate::common::{fmt, print_table, Scale};
+use crate::common::Scale;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{take, Job, PointResult};
+use crate::scenario::Scenario;
 
 /// One random-loss point.
 #[derive(Clone, Debug)]
@@ -31,7 +34,7 @@ pub struct LossPoint {
     pub queue_norm: f64,
 }
 
-fn loss_config(scheme: Scheme, loss: f64, scale: Scale) -> DumbbellConfig {
+fn loss_config(scheme: Scheme, loss: f64, scale: Scale, seed: u64) -> DumbbellConfig {
     let (bps, flows) = if scale == Scale::Quick {
         (20_000_000, 5)
     } else {
@@ -43,28 +46,35 @@ fn loss_config(scheme: Scheme, loss: f64, scale: Scale) -> DumbbellConfig {
         forward_rtts: vec![0.060; flows],
         random_loss: loss,
         start_window_secs: scale.start_window(),
-        seed: 1900,
+        seed,
         ..DumbbellConfig::new(scheme)
+    }
+}
+
+/// The corruption probabilities of the random-loss sweep.
+pub const LOSS_PROBS: [f64; 3] = [0.0, 0.001, 0.01];
+
+/// Run one random-loss point.
+pub fn run_loss_point(scheme: Scheme, p: f64, scale: Scale, seed: u64) -> LossPoint {
+    let name = scheme.name();
+    let d = build_dumbbell(&loss_config(scheme, p, scale, seed));
+    let mut sim = d.sim;
+    let (s, e) = run_measured(&mut sim, scale.warmup(), scale.end());
+    let m = link_metrics(&sim, d.bottleneck_fwd, s, e);
+    LossPoint {
+        scheme: name,
+        loss_prob: p,
+        utilization: m.utilization,
+        queue_norm: m.mean_queue_norm,
     }
 }
 
 /// Run the random-loss sweep for PERT and SACK.
 pub fn run_loss(scale: Scale) -> Vec<LossPoint> {
-    let probs = [0.0, 0.001, 0.01];
     let mut out = Vec::new();
     for scheme in [Scheme::Pert, Scheme::SackDroptail] {
-        for &p in &probs {
-            let name = scheme.name();
-            let d = build_dumbbell(&loss_config(scheme.clone(), p, scale));
-            let mut sim = d.sim;
-            let (s, e) = run_measured(&mut sim, scale.warmup(), scale.end());
-            let m = link_metrics(&sim, d.bottleneck_fwd, s, e);
-            out.push(LossPoint {
-                scheme: name,
-                loss_prob: p,
-                utilization: m.utilization,
-                queue_norm: m.mean_queue_norm,
-            });
+        for &p in &LOSS_PROBS {
+            out.push(run_loss_point(scheme.clone(), p, scale, 1900));
         }
     }
     out
@@ -85,43 +95,55 @@ pub struct DelackRow {
     pub early_reductions: u64,
 }
 
+/// The two ACK policies compared, as `(label, delayed-ACK timeout)`.
+pub fn ack_policies() -> [(&'static str, Option<SimDuration>); 2] {
+    [
+        ("per-packet acks", None),
+        ("delayed acks (100ms)", Some(SimDuration::from_millis(100))),
+    ]
+}
+
+/// Run one ACK-policy point.
+pub fn run_delack_point(
+    policy: &'static str,
+    delack: Option<SimDuration>,
+    scale: Scale,
+    seed: u64,
+) -> DelackRow {
+    let cfg = loss_config(Scheme::Pert, 0.0, scale, seed);
+    // The generic dumbbell builder intentionally defaults to the paper's
+    // per-packet ACK policy; the delayed-ACK variant needs the dedicated
+    // constructor below.
+    let d = match delack {
+        Some(timeout) => build_delack_dumbbell(&cfg, timeout),
+        None => build_dumbbell(&cfg),
+    };
+    let mut sim = d.sim;
+    let (s, e) = run_measured(&mut sim, scale.warmup(), scale.end());
+    let m = link_metrics(&sim, d.bottleneck_fwd, s, e);
+    let early: u64 = d
+        .forward
+        .iter()
+        .map(|c| {
+            sim.agent::<pert_tcp::TcpSender>(c.sender)
+                .cc()
+                .early_reductions()
+        })
+        .sum();
+    DelackRow {
+        policy,
+        utilization: m.utilization,
+        queue_norm: m.mean_queue_norm,
+        drop_rate: m.drop_rate,
+        early_reductions: early,
+    }
+}
+
 /// Run PERT with per-packet vs delayed ACKs.
 pub fn run_delack(scale: Scale) -> Vec<DelackRow> {
-    [("per-packet acks", None), ("delayed acks (100ms)", Some(SimDuration::from_millis(100)))]
+    ack_policies()
         .into_iter()
-        .map(|(policy, delack)| {
-            let mut cfg = loss_config(Scheme::Pert, 0.0, scale);
-            cfg.seed = 1950;
-            let mut d = build_dumbbell(&cfg);
-            // The dumbbell builder has no delack knob (the paper assumes
-            // per-packet ACKs); rebuild the connections would be invasive,
-            // so emulate via ConnectionSpec only when requested.
-            if let Some(timeout) = delack {
-                // The generic builder intentionally defaults to the
-                // paper's per-packet ACK policy; build the delayed-ACK
-                // variant with a dedicated constructor.
-                d = build_delack_dumbbell(&cfg, timeout);
-            }
-            let mut sim = d.sim;
-            let (s, e) = run_measured(&mut sim, scale.warmup(), scale.end());
-            let m = link_metrics(&sim, d.bottleneck_fwd, s, e);
-            let early: u64 = d
-                .forward
-                .iter()
-                .map(|c| {
-                    sim.agent::<pert_tcp::TcpSender>(c.sender)
-                        .cc()
-                        .early_reductions()
-                })
-                .sum();
-            DelackRow {
-                policy,
-                utilization: m.utilization,
-                queue_norm: m.mean_queue_norm,
-                drop_rate: m.drop_rate,
-                early_reductions: early,
-            }
-        })
+        .map(|(policy, delack)| run_delack_point(policy, delack, scale, 1950))
         .collect()
 }
 
@@ -144,9 +166,8 @@ fn build_delack_dumbbell(cfg: &DumbbellConfig, delack: SimDuration) -> workload:
     // Access links per flow, as in the generic builder.
     let mut forward = Vec::new();
     for (i, &rtt) in cfg.forward_rtts.iter().enumerate() {
-        let access = SimDuration::from_secs_f64(
-            (rtt / 2.0 - cfg.bottleneck_delay.as_secs_f64()) / 2.0,
-        );
+        let access =
+            SimDuration::from_secs_f64((rtt / 2.0 - cfg.bottleneck_delay.as_secs_f64()) / 2.0);
         let src = sim.add_node();
         let dst = sim.add_node();
         sim.add_duplex_link(src, r1, cfg.access_bps, access, |_| {
@@ -155,9 +176,9 @@ fn build_delack_dumbbell(cfg: &DumbbellConfig, delack: SimDuration) -> workload:
         sim.add_duplex_link(r2, dst, cfg.access_bps, access, |_| {
             Box::new(netsim::queue::DropTail::new(200_000))
         });
-        let mut spec = cfg
-            .scheme
-            .connection(FlowId(i), src, dst, cfg.seed.wrapping_add(i as u64), pps);
+        let mut spec =
+            cfg.scheme
+                .connection(FlowId(i), src, dst, cfg.seed.wrapping_add(i as u64), pps);
         spec.delack = Some(delack);
         forward.push(connect_with_source(&mut sim, spec, Box::new(Greedy)));
     }
@@ -187,39 +208,74 @@ pub fn run(scale: Scale) -> (Vec<LossPoint>, Vec<DelackRow>) {
     (run_loss(scale), run_delack(scale))
 }
 
-/// Print both.
-pub fn print(results: &(Vec<LossPoint>, Vec<DelackRow>)) {
-    println!("\nRobustness: non-congestion (random) loss");
-    println!("(PERT's delay signal ignores corruption; goodput loss mirrors SACK's)\n");
-    let rows: Vec<Vec<String>> = results
-        .0
-        .iter()
-        .map(|r| {
-            vec![
-                r.scheme.to_string(),
-                fmt(r.loss_prob),
-                fmt(r.utilization),
-                fmt(r.queue_norm),
-            ]
-        })
-        .collect();
-    print_table(&["scheme", "corruption", "util %", "Q (norm)"], &rows);
+/// Both robustness studies as one [`Scenario`]: six random-loss jobs
+/// followed by the two ACK-policy jobs (run at `seed + 50`, matching the
+/// historical per-study seeds 1900/1950).
+pub struct RobustnessScenario;
 
-    println!("\nRobustness: delayed ACKs (halved RTT sampling)");
-    let rows: Vec<Vec<String>> = results
-        .1
-        .iter()
-        .map(|r| {
-            vec![
-                r.policy.to_string(),
-                fmt(r.utilization),
-                fmt(r.queue_norm),
-                fmt(r.drop_rate),
-                format!("{}", r.early_reductions),
-            ]
-        })
-        .collect();
-    print_table(&["ack policy", "util %", "Q (norm)", "drop rate", "early"], &rows);
+impl Scenario for RobustnessScenario {
+    fn name(&self) -> &'static str {
+        "robustness"
+    }
+
+    fn default_seed(&self) -> u64 {
+        1900
+    }
+
+    fn points(&self, scale: Scale, seed: u64) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for scheme in [Scheme::Pert, Scheme::SackDroptail] {
+            for p in LOSS_PROBS {
+                let scheme = scheme.clone();
+                let label = format!("robustness/loss/{}/{p}", scheme.name());
+                jobs.push(Job::new(label, move || {
+                    run_loss_point(scheme, p, scale, seed)
+                }));
+            }
+        }
+        for (policy, delack) in ack_policies() {
+            let label = format!("robustness/delack/{policy}");
+            jobs.push(Job::new(label, move || {
+                run_delack_point(policy, delack, scale, seed + 50)
+            }));
+        }
+        jobs
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let mut results = results.into_iter();
+        let mut loss = Table::new(
+            "Robustness: non-congestion (random) loss",
+            &["scheme", "corruption", "util %", "Q (norm)"],
+        )
+        .with_note("(PERT's delay signal ignores corruption; goodput loss mirrors SACK's)");
+        for _ in 0..2 * LOSS_PROBS.len() {
+            let r = take::<LossPoint>(results.next().expect("six loss jobs"));
+            loss.push(vec![
+                Cell::Str(r.scheme.to_string()),
+                Cell::Num(r.loss_prob),
+                Cell::Num(r.utilization),
+                Cell::Num(r.queue_norm),
+            ]);
+        }
+        let mut delack = Table::new(
+            "Robustness: delayed ACKs (halved RTT sampling)",
+            &["ack policy", "util %", "Q (norm)", "drop rate", "early"],
+        );
+        for r in results.map(take::<DelackRow>) {
+            delack.push(vec![
+                Cell::Str(r.policy.to_string()),
+                Cell::Num(r.utilization),
+                Cell::Num(r.queue_norm),
+                Cell::Num(r.drop_rate),
+                Cell::Int(r.early_reductions as i64),
+            ]);
+        }
+        let mut report = Report::new("robustness", scale, seed);
+        report.tables.push(loss);
+        report.tables.push(delack);
+        report
+    }
 }
 
 #[cfg(test)]
@@ -234,10 +290,9 @@ mod tests {
                 .find(|x| x.scheme == scheme && (x.loss_prob - p).abs() < 1e-12)
                 .unwrap()
         };
-        let pert_drop =
-            get("PERT", 0.0).utilization - get("PERT", 0.01).utilization;
-        let sack_drop = get("SACK/DropTail", 0.0).utilization
-            - get("SACK/DropTail", 0.01).utilization;
+        let pert_drop = get("PERT", 0.0).utilization - get("PERT", 0.01).utilization;
+        let sack_drop =
+            get("SACK/DropTail", 0.0).utilization - get("SACK/DropTail", 0.01).utilization;
         assert!(
             pert_drop <= sack_drop + 10.0,
             "PERT lost {pert_drop}% vs SACK {sack_drop}% under 1% corruption"

@@ -9,6 +9,7 @@ use workload::{
 };
 
 use crate::common::Scale;
+use crate::runner::{take, Job, PointResult};
 
 /// The four panels for one (scheme, configuration) point.
 #[derive(Clone, Debug)]
@@ -39,7 +40,11 @@ pub struct SchemePoint {
 pub fn spread_rtts(n: usize, center: f64) -> Vec<f64> {
     (0..n)
         .map(|i| {
-            let f = if n > 1 { i as f64 / (n - 1) as f64 } else { 0.5 };
+            let f = if n > 1 {
+                i as f64 / (n - 1) as f64
+            } else {
+                0.5
+            };
             center * (0.95 + 0.10 * f)
         })
         .collect()
@@ -56,11 +61,55 @@ pub fn paper_schemes() -> Vec<Scheme> {
 }
 
 /// Run `base` under each scheme (overriding `base.scheme`) and measure.
-pub fn compare_schemes(base: &DumbbellConfig, schemes: &[Scheme], scale: Scale) -> Vec<SchemePoint> {
+pub fn compare_schemes(
+    base: &DumbbellConfig,
+    schemes: &[Scheme],
+    scale: Scale,
+) -> Vec<SchemePoint> {
     schemes
         .iter()
         .map(|s| run_one(base, s.clone(), scale))
         .collect()
+}
+
+/// One runner job per `(grid point × scheme)` simulation: the unit of
+/// parallelism for every §4-style sweep. `configs` pairs a display key
+/// (used in the job label) with the base configuration of that grid
+/// point; job order is `configs × schemes`, which [`regroup`] relies on.
+pub fn grid_jobs(
+    target: &str,
+    configs: Vec<(String, DumbbellConfig)>,
+    schemes: Vec<Scheme>,
+    scale: Scale,
+) -> Vec<Job> {
+    let mut jobs = Vec::with_capacity(configs.len() * schemes.len());
+    for (key, cfg) in configs {
+        for scheme in &schemes {
+            let cfg = cfg.clone();
+            let scheme = scheme.clone();
+            jobs.push(Job::new(
+                format!("{target}/{key}/{}", scheme.name()),
+                move || run_one(&cfg, scheme, scale),
+            ));
+        }
+    }
+    jobs
+}
+
+/// Invert [`grid_jobs`]' flattening: chunk the ordered results back into
+/// one `Vec<SchemePoint>` per grid point.
+pub fn regroup(results: Vec<PointResult>, n_schemes: usize) -> Vec<Vec<SchemePoint>> {
+    assert!(n_schemes > 0 && results.len().is_multiple_of(n_schemes));
+    let mut groups = Vec::with_capacity(results.len() / n_schemes);
+    let mut it = results.into_iter();
+    while it.len() > 0 {
+        groups.push(
+            (0..n_schemes)
+                .map(|_| take::<SchemePoint>(it.next().unwrap()))
+                .collect(),
+        );
+    }
+    groups
 }
 
 /// Run one scheme point.

@@ -7,8 +7,11 @@
 use netsim::SimDuration;
 use workload::{DumbbellConfig, Scheme};
 
-use crate::common::{fmt, print_table, Scale};
-use crate::sweep::{compare_schemes, paper_schemes, SchemePoint};
+use crate::common::Scale;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{Job, PointResult};
+use crate::scenario::Scenario;
+use crate::sweep::{compare_schemes, grid_jobs, paper_schemes, regroup, SchemePoint};
 
 /// The configuration of Table 1.
 pub fn config(scale: Scale) -> DumbbellConfig {
@@ -36,23 +39,49 @@ pub fn run(scale: Scale) -> Vec<SchemePoint> {
     compare_schemes(&config(scale), &paper_schemes(), scale)
 }
 
-/// Print in the paper's row order.
-pub fn print(points: &[SchemePoint]) {
-    println!("\nTable 1: flows with different RTTs (12..120 ms) + 100 web sessions, 150 Mbps");
-    println!("(paper: PERT Q=0.28 p~4e-6 U=93.8 F=0.86; SACK/DropTail F=0.44; Vegas F=0.98)\n");
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|s| {
-            vec![
-                s.scheme.to_string(),
-                fmt(s.queue_norm),
-                fmt(s.drop_rate),
-                fmt(s.utilization),
-                fmt(s.jain),
-            ]
-        })
-        .collect();
-    print_table(&["scheme", "Q", "p", "U %", "F"], &rows);
+/// Table 1 as a [`Scenario`]: one job per scheme.
+pub struct Table1Scenario;
+
+impl Scenario for Table1Scenario {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+
+    fn default_seed(&self) -> u64 {
+        11
+    }
+
+    fn points(&self, scale: Scale, seed: u64) -> Vec<Job> {
+        let mut cfg = config(scale);
+        cfg.seed = seed;
+        grid_jobs(
+            "table1",
+            vec![("hetero-rtt".into(), cfg)],
+            paper_schemes(),
+            scale,
+        )
+    }
+
+    fn assemble(&self, scale: Scale, seed: u64, results: Vec<PointResult>) -> Report {
+        let groups = regroup(results, paper_schemes().len());
+        let mut table = Table::new(
+            "Table 1: flows with different RTTs (12..120 ms) + 100 web sessions, 150 Mbps",
+            &["scheme", "Q", "p", "U %", "F"],
+        )
+        .with_note("(paper: PERT Q=0.28 p~4e-6 U=93.8 F=0.86; SACK/DropTail F=0.44; Vegas F=0.98)");
+        for s in groups.into_iter().flatten() {
+            table.push(vec![
+                Cell::Str(s.scheme.to_string()),
+                Cell::Num(s.queue_norm),
+                Cell::Num(s.drop_rate),
+                Cell::Num(s.utilization),
+                Cell::Num(s.jain),
+            ]);
+        }
+        let mut report = Report::new("table1", scale, seed);
+        report.tables.push(table);
+        report
+    }
 }
 
 #[cfg(test)]

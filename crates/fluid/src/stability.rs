@@ -46,7 +46,10 @@ pub fn theorem1_holds(l: f64, k: f64, c: f64, n_min: f64, r_max: f64) -> bool {
 /// theoretical stability boundary plotted against §5.3's simulations.
 pub fn theorem1_max_rtt(l: f64, k: f64, c: f64, n_min: f64) -> f64 {
     let (mut lo, mut hi) = (1e-4, 10.0);
-    assert!(theorem1_holds(l, k, c, n_min, lo), "unstable even at 0.1 ms");
+    assert!(
+        theorem1_holds(l, k, c, n_min, lo),
+        "unstable even at 0.1 ms"
+    );
     if theorem1_holds(l, k, c, n_min, hi) {
         return hi;
     }
@@ -133,10 +136,7 @@ mod tests {
     fn boundary_is_at_171ms() {
         let (l, k) = paper_cfg();
         let r_max = theorem1_max_rtt(l, k, 100.0, 5.0);
-        assert!(
-            (r_max - 0.171).abs() < 0.001,
-            "boundary {r_max} ≠ 171 ms"
-        );
+        assert!((r_max - 0.171).abs() < 0.001, "boundary {r_max} ≠ 171 ms");
     }
 
     #[test]

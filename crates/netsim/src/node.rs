@@ -21,10 +21,7 @@ pub struct Node {
 ///
 /// `links` provides `(from, to)` per link id. The result is a vector of
 /// route tables, one per node, each indexed by destination node.
-pub fn compute_routes(
-    num_nodes: usize,
-    links: &[(NodeId, NodeId)],
-) -> Vec<Vec<Option<LinkId>>> {
+pub fn compute_routes(num_nodes: usize, links: &[(NodeId, NodeId)]) -> Vec<Vec<Option<LinkId>>> {
     // adjacency: for each node, its outgoing (link, to) pairs in link order.
     let mut adj: Vec<Vec<(LinkId, NodeId)>> = vec![Vec::new(); num_nodes];
     for (i, &(from, to)) in links.iter().enumerate() {

@@ -192,7 +192,7 @@ mod tests {
         let mut q = mk();
         let mut t = SimTime::ZERO;
         for _ in 0..100 {
-            t = t + SimDuration::from_millis(10); // exactly link rate / 10
+            t += SimDuration::from_millis(10); // exactly link rate / 10
             assert!(matches!(
                 q.enqueue(test_packet(1000, Ecn::NotCapable), t),
                 EnqueueOutcome::Enqueued
@@ -210,7 +210,7 @@ mod tests {
         // Arrivals at 5× the link rate.
         let mut dropped = 0;
         for _ in 0..2000 {
-            t = t + SimDuration::from_micros(200);
+            t += SimDuration::from_micros(200);
             if matches!(
                 q.enqueue(test_packet(1000, Ecn::NotCapable), t),
                 EnqueueOutcome::Dropped(..)
@@ -230,7 +230,7 @@ mod tests {
         for i in 0..5000 {
             // Bursty on/off arrivals.
             let gap = if i % 100 < 50 { 100 } else { 5000 };
-            t = t + SimDuration::from_micros(gap);
+            t += SimDuration::from_micros(gap);
             let _ = q.enqueue(test_packet(1000, Ecn::NotCapable), t);
             let _ = q.dequeue(t);
             assert!((0.0..=1000.0).contains(&q.virtual_capacity()));
@@ -244,7 +244,7 @@ mod tests {
         let mut t = SimTime::ZERO;
         let mut marked = 0;
         for _ in 0..2000 {
-            t = t + SimDuration::from_micros(200); // 5x overload
+            t += SimDuration::from_micros(200); // 5x overload
             if matches!(
                 q.enqueue(test_packet(1000, Ecn::Capable), t),
                 EnqueueOutcome::Marked
@@ -254,7 +254,11 @@ mod tests {
             q.dequeue(t);
         }
         assert!(marked > 0);
-        assert_eq!(q.stats().dropped, 0, "ECT packets must be marked, not dropped");
+        assert_eq!(
+            q.stats().dropped,
+            0,
+            "ECT packets must be marked, not dropped"
+        );
     }
 
     #[test]

@@ -239,9 +239,11 @@ mod tests {
 
     #[test]
     fn stats_window_reset() {
-        let mut s = QueueStats::default();
-        s.enqueued = 10;
-        s.dropped = 5;
+        let mut s = QueueStats {
+            enqueued: 10,
+            dropped: 5,
+            ..Default::default()
+        };
         s.advance(SimTime::from_nanos(100), 7);
         s.reset_window(SimTime::from_nanos(100), 3);
         assert_eq!(s.enqueued, 0);

@@ -57,6 +57,7 @@ impl PiParams {
     /// concretely `K = m·sqrt((r_max·m)²+1) / (r_max³·c_pps³/(2 n_min)²)`
     /// matching [16, Proposition 2] (the `C³` form: queue *length* input).
     /// The sampling rate is `sample_hz` (Hollot et al. use 160–170 Hz).
+    #[allow(clippy::too_many_arguments)]
     pub fn design(
         capacity_pkts: usize,
         q_ref: f64,
@@ -70,10 +71,10 @@ impl PiParams {
         assert!(c_pps > 0.0 && n_min > 0.0 && r_max > 0.0 && sample_hz > 0.0);
         let m = 2.0 * n_min / (r_max * r_max * c_pps);
         let plant_gain = (r_max * c_pps).powi(3) / (2.0 * n_min).powi(2) / c_pps / r_max; // = R⁺³C³/(2N⁻)² · 1/(C R⁺)… simplified below
-        // Plant magnitude at low frequency is (R⁺ C)³ / (2N⁻)² · 1/(R⁺²C²)?
-        // We use the standard result: |P(jw)| ≈ (R⁺C)³/(2N⁻)² / R⁺ for the
-        // queue-length loop; the exact constant only scales convergence
-        // speed, not stability, so we take the conservative form:
+                                                                                          // Plant magnitude at low frequency is (R⁺ C)³ / (2N⁻)² · 1/(R⁺²C²)?
+                                                                                          // We use the standard result: |P(jw)| ≈ (R⁺C)³/(2N⁻)² / R⁺ for the
+                                                                                          // queue-length loop; the exact constant only scales convergence
+                                                                                          // speed, not stability, so we take the conservative form:
         let _ = plant_gain;
         let loop_gain = (r_max * c_pps).powi(3) / (2.0 * n_min).powi(2) / (c_pps * r_max * r_max);
         let k = m * ((r_max * m).powi(2) + 1.0).sqrt() / loop_gain;
@@ -108,9 +109,15 @@ impl PiParams {
     fn validate(&self) {
         assert!(self.capacity_pkts > 0, "capacity must be positive");
         assert!(self.q_ref >= 0.0, "q_ref must be non-negative");
-        assert!(self.a > 0.0 && self.b > 0.0, "PI coefficients must be positive");
+        assert!(
+            self.a > 0.0 && self.b > 0.0,
+            "PI coefficients must be positive"
+        );
         assert!(self.a > self.b, "stability requires a > b");
-        assert!(!self.sample_interval.is_zero(), "sampling interval must be positive");
+        assert!(
+            !self.sample_interval.is_zero(),
+            "sampling interval must be positive"
+        );
     }
 }
 

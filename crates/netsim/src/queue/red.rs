@@ -234,7 +234,11 @@ impl QueueDiscipline for RedQueue {
                 self.count += 1;
                 // Uniformize inter-mark gaps: p_a = p_b / (1 − count·p_b).
                 let denom = 1.0 - self.count as f64 * p_b;
-                let p_a = if denom <= 0.0 { 1.0 } else { (p_b / denom).min(1.0) };
+                let p_a = if denom <= 0.0 {
+                    1.0
+                } else {
+                    (p_b / denom).min(1.0)
+                };
                 if self.rng.gen::<f64>() < p_a {
                     self.count = 0;
                     Some(DropReason::Early)
@@ -397,8 +401,8 @@ mod tests {
         p.max_p = 1.0;
         let mut q = RedQueue::new(p);
         q.avg = 14.9; // deep in the probabilistic region
-        // Force avg to stay high by enqueueing many: with max_p=1 and
-        // avg>min_th, marks should occur and never early-drops for ECT.
+                      // Force avg to stay high by enqueueing many: with max_p=1 and
+                      // avg>min_th, marks should occur and never early-drops for ECT.
         let mut marked = 0;
         for _ in 0..50 {
             q.avg = 14.9;

@@ -36,7 +36,11 @@ use crate::trace::{DropRecord, MarkRecord, Trace};
 /// estimators, receive buffers, statistics) and interact with the world only
 /// through [`Ctx`]. After a run, experiments read results back by
 /// downcasting via [`Agent::as_any`].
-pub trait Agent {
+///
+/// Agents are `Send` so a whole [`Simulator`] can be handed to a worker
+/// thread: the experiment runner executes independent simulations in
+/// parallel, each confined to one thread at a time.
+pub trait Agent: Send {
     /// A packet addressed to this agent has arrived at its node.
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
 
@@ -79,9 +83,13 @@ impl Ctx<'_> {
     /// and ignored by the agent (e.g. by embedding an epoch in the token).
     pub fn schedule(&mut self, delay: SimDuration, token: TimerToken) {
         let at = self.sim.now + delay;
-        self.sim
-            .events
-            .schedule(at, EventKind::Timer { agent: self.agent, token });
+        self.sim.events.schedule(
+            at,
+            EventKind::Timer {
+                agent: self.agent,
+                token,
+            },
+        );
     }
 
     /// Deterministic per-simulation random source.
@@ -90,8 +98,9 @@ impl Ctx<'_> {
     }
 }
 
-/// A periodic read-only measurement callback.
-type ProbeFn = Box<dyn FnMut(&Simulator, SimTime)>;
+/// A periodic read-only measurement callback. `Send` for the same reason
+/// as [`Agent`]: probes travel with the simulator across threads.
+type ProbeFn = Box<dyn FnMut(&Simulator, SimTime) + Send>;
 
 struct Probe {
     interval: SimDuration,
@@ -178,7 +187,9 @@ impl Simulator {
         if let Some(iv) = queue.tick_interval() {
             self.events.schedule(
                 self.now + iv,
-                EventKind::Control { code: CTRL_QUEUE_TICK | id.0 as u64 },
+                EventKind::Control {
+                    code: CTRL_QUEUE_TICK | id.0 as u64,
+                },
             );
         }
         self.links
@@ -287,7 +298,7 @@ impl Simulator {
     pub fn add_probe(
         &mut self,
         interval: SimDuration,
-        f: impl FnMut(&Simulator, SimTime) + 'static,
+        f: impl FnMut(&Simulator, SimTime) + Send + 'static,
     ) {
         assert!(!interval.is_zero(), "probe interval must be positive");
         let idx = self.probes.len();
@@ -297,7 +308,9 @@ impl Simulator {
         });
         self.events.schedule(
             self.now + interval,
-            EventKind::Control { code: CTRL_PROBE | idx as u64 },
+            EventKind::Control {
+                code: CTRL_PROBE | idx as u64,
+            },
         );
     }
 
@@ -413,8 +426,13 @@ impl Simulator {
             let to = link.to;
             self.events
                 .schedule(now + tx, EventKind::Departure { link: link_id });
-            self.events
-                .schedule(arrive_at, EventKind::Arrival { node: to, packet: pkt });
+            self.events.schedule(
+                arrive_at,
+                EventKind::Arrival {
+                    node: to,
+                    packet: pkt,
+                },
+            );
         }
     }
 
@@ -429,7 +447,11 @@ impl Simulator {
         let mut agent = self.agents[id.index()]
             .take()
             .unwrap_or_else(|| panic!("agent {id} not installed (or re-entrant callback)"));
-        let mut ctx = Ctx { sim: self, agent: id, node };
+        let mut ctx = Ctx {
+            sim: self,
+            agent: id,
+            node,
+        };
         agent.on_packet(pkt, &mut ctx);
         self.agents[id.index()] = Some(agent);
     }
@@ -476,7 +498,11 @@ impl Simulator {
                         .take()
                         .unwrap_or_else(|| panic!("timer for missing agent {agent}"));
                     let node = self.agent_nodes[agent.index()];
-                    let mut ctx = Ctx { sim: self, agent, node };
+                    let mut ctx = Ctx {
+                        sim: self,
+                        agent,
+                        node,
+                    };
                     a.on_timer(token, &mut ctx);
                     self.agents[agent.index()] = Some(a);
                 }
@@ -508,7 +534,9 @@ impl Simulator {
                 if let Some(iv) = link.queue.tick_interval() {
                     self.events.schedule(
                         now + iv,
-                        EventKind::Control { code: CTRL_QUEUE_TICK | idx as u64 },
+                        EventKind::Control {
+                            code: CTRL_QUEUE_TICK | idx as u64,
+                        },
                     );
                 }
             }
@@ -518,8 +546,12 @@ impl Simulator {
                 f(self, now);
                 let iv = self.probes[idx].interval;
                 self.probes[idx].f = Some(f);
-                self.events
-                    .schedule(now + iv, EventKind::Control { code: CTRL_PROBE | idx as u64 });
+                self.events.schedule(
+                    now + iv,
+                    EventKind::Control {
+                        code: CTRL_PROBE | idx as u64,
+                    },
+                );
             }
             _ => unreachable!("unknown control code {code:#x}"),
         }
@@ -532,8 +564,7 @@ mod tests {
     use crate::ids::FlowId;
     use crate::packet::{Ecn, Payload};
     use crate::queue::DropTail;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     /// Echoes every received data packet back as an ACK; counts arrivals.
     struct Echo {
@@ -652,10 +683,7 @@ mod tests {
         let echo: &Echo = sim.agent(rx);
         assert_eq!(echo.received.len(), 5);
         // First packet: 1 ms serialization + 10 ms propagation.
-        assert_eq!(
-            echo.received[0].0,
-            SimTime::from_millis_exact(11)
-        );
+        assert_eq!(echo.received[0].0, SimTime::from_millis_exact(11));
         // Subsequent packets pace out at 1 ms (serialization) intervals.
         assert_eq!(echo.received[1].0, SimTime::from_millis_exact(12));
 
@@ -691,14 +719,14 @@ mod tests {
     #[test]
     fn probes_fire_at_interval() {
         let (mut sim, tx, _rx) = two_node_sim(100);
-        let samples: Rc<RefCell<Vec<SimTime>>> = Rc::default();
-        let s2 = samples.clone();
+        let samples: Arc<Mutex<Vec<SimTime>>> = Arc::default();
+        let s2 = Arc::clone(&samples);
         sim.add_probe(SimDuration::from_millis(100), move |_sim, now| {
-            s2.borrow_mut().push(now);
+            s2.lock().unwrap().push(now);
         });
         sim.schedule_agent_timer(SimTime::ZERO, tx, TimerToken(0));
         sim.run_until(SimTime::from_secs_f64(1.0));
-        let got = samples.borrow();
+        let got = samples.lock().unwrap();
         assert_eq!(got.len(), 10);
         assert_eq!(got[0], SimTime::from_millis_exact(100));
     }
@@ -719,5 +747,14 @@ mod tests {
         fn from_millis_exact(ms: u64) -> SimTime {
             SimTime::from_nanos(ms * 1_000_000)
         }
+    }
+
+    /// The experiment runner moves whole simulations across threads; a
+    /// non-`Send` field anywhere in the graph should fail this at compile
+    /// time rather than deep inside the experiments crate.
+    #[test]
+    fn simulator_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulator>();
     }
 }

@@ -3,7 +3,9 @@
 use netsim::event::{EventKind, EventQueue};
 use netsim::ids::{AgentId, FlowId, NodeId};
 use netsim::packet::{Ecn, Packet, Payload};
-use netsim::queue::{DropTail, EnqueueOutcome, PiParams, PiQueue, QueueDiscipline, RedParams, RedQueue};
+use netsim::queue::{
+    DropTail, EnqueueOutcome, PiParams, PiQueue, QueueDiscipline, RedParams, RedQueue,
+};
 use netsim::time::{transmission_delay, SimDuration, SimTime};
 use proptest::prelude::*;
 
@@ -116,16 +118,13 @@ proptest! {
             let now = SimTime::from_nanos(t * 1000);
             if op {
                 offered += 1;
-                match q.enqueue(packet(100, true), now) {
-                    EnqueueOutcome::Dropped(_, reason) => {
-                        // ECT packets only drop on overflow or beyond the
-                        // gentle region; both are allowed, but overflow
-                        // requires a full buffer.
-                        if reason == netsim::queue::DropReason::Overflow {
-                            prop_assert_eq!(q.len(), 20);
-                        }
-                    }
-                    _ => {}
+                // ECT packets only drop on overflow or beyond the
+                // gentle region; both are allowed, but overflow
+                // requires a full buffer.
+                if let EnqueueOutcome::Dropped(_, netsim::queue::DropReason::Overflow) =
+                    q.enqueue(packet(100, true), now)
+                {
+                    prop_assert_eq!(q.len(), 20);
                 }
             } else {
                 let _ = q.dequeue(now);

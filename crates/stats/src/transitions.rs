@@ -88,7 +88,11 @@ pub fn cluster_losses(drop_times: &[f64], window: f64) -> Vec<f64> {
 /// time order (one per RTT sample); `drop_times` are raw (unclustered,
 /// sorted) queue- or flow-level drop times; `cluster_window` merges drop
 /// bursts (a good default is one RTT).
-pub fn analyze(states: &[(f64, bool)], drop_times: &[f64], cluster_window: f64) -> TransitionCounts {
+pub fn analyze(
+    states: &[(f64, bool)],
+    drop_times: &[f64],
+    cluster_window: f64,
+) -> TransitionCounts {
     let losses = cluster_losses(drop_times, cluster_window);
     let mut counts = TransitionCounts {
         loss_events: losses.len() as u64,

@@ -264,9 +264,7 @@ impl CcAlgorithm for PertCc {
         ctx.reno_increase();
         let resp = match self.signal {
             DelaySignal::Rtt => self.ctl.on_ack(ctx.now, ctx.rtt),
-            DelaySignal::OneWayDelay => {
-                self.ctl.on_ack_with_hold(ctx.now, ctx.owd, ctx.rtt)
-            }
+            DelaySignal::OneWayDelay => self.ctl.on_ack_with_hold(ctx.now, ctx.owd, ctx.rtt),
         };
         match resp {
             Some(resp) => CcAction::EarlyReduce {
@@ -427,7 +425,7 @@ mod tests {
         let mut cc = Vegas::new();
         let mut cwnd = 10.0;
         let mut ssthresh = 5.0; // already in CA
-        // First ack sets base = 0.1.
+                                // First ack sets base = 0.1.
         let mut ctx = CcContext {
             now: 0.0,
             rtt: 0.1,
@@ -493,7 +491,7 @@ mod tests {
             ssthresh: &mut ssthresh,
         };
         cc.on_ack(&mut ctx); // first epoch: diff 0 < α → cwnd = 11
-        // diff = 11·(0.12−0.1)/0.12 ≈ 1.83 ∈ (1, 3) → hold.
+                             // diff = 11·(0.12−0.1)/0.12 ≈ 1.83 ∈ (1, 3) → hold.
         let before = cwnd;
         let mut ctx = CcContext {
             now: 0.2,

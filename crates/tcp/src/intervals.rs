@@ -73,11 +73,7 @@ impl IntervalSet {
     /// Remove everything below `cut` (exclusive upper bound `cut`).
     pub fn remove_below(&mut self, cut: u64) {
         // Intervals fully below cut: remove; one straddling: trim.
-        let to_remove: Vec<u64> = self
-            .map
-            .range(..cut)
-            .map(|(&s, _)| s)
-            .collect();
+        let to_remove: Vec<u64> = self.map.range(..cut).map(|(&s, _)| s).collect();
         for s in to_remove {
             let e = self.map.remove(&s).expect("present");
             if e > cut {
@@ -175,7 +171,9 @@ mod tests {
         let mut naive = std::collections::BTreeSet::new();
         let mut x = 12345u64;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 33) % 500;
             s.insert(v);
             naive.insert(v);

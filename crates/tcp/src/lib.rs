@@ -44,7 +44,9 @@ pub mod sender;
 pub mod sink;
 pub mod source;
 
-pub use cc::{CcAction, CcAlgorithm, CcContext, DelaySignal, PertCc, PertPiCc, PertRemCc, Reno, Vegas};
+pub use cc::{
+    CcAction, CcAlgorithm, CcContext, DelaySignal, PertCc, PertPiCc, PertRemCc, Reno, Vegas,
+};
 pub use intervals::IntervalSet;
 pub use scoreboard::{Scoreboard, SegState};
 pub use sender::{SenderStats, TcpConfig, TcpSender, START_TOKEN, STOP_TOKEN};
@@ -79,11 +81,9 @@ impl CcKind {
             CcKind::Sack => Box::new(Reno::new()),
             CcKind::Vegas => Box::new(Vegas::new()),
             CcKind::Pert(p) => Box::new(PertCc::with_params(*p, seed)),
-            CcKind::PertOwd(p) => Box::new(PertCc::with_signal(
-                *p,
-                cc::DelaySignal::OneWayDelay,
-                seed,
-            )),
+            CcKind::PertOwd(p) => {
+                Box::new(PertCc::with_signal(*p, cc::DelaySignal::OneWayDelay, seed))
+            }
             CcKind::PertPi(p) => Box::new(PertPiCc::new(*p, seed)),
             CcKind::PertRem(p) => Box::new(PertRemCc::new(*p, seed)),
         }

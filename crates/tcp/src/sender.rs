@@ -10,9 +10,7 @@
 
 use std::any::Any;
 
-use netsim::{
-    Agent, AgentId, Ctx, Ecn, FlowId, NodeId, Packet, Payload, SimDuration, TimerToken,
-};
+use netsim::{Agent, AgentId, Ctx, Ecn, FlowId, NodeId, Packet, Payload, SimDuration, TimerToken};
 use pert_core::predictors::AckSample;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -272,7 +270,8 @@ impl TcpSender {
     // --- RTO management -------------------------------------------------
 
     fn current_rto(&self) -> f64 {
-        (self.rto * f64::from(1u32 << self.backoff.min(16))).clamp(self.cfg.min_rto, self.cfg.max_rto)
+        (self.rto * f64::from(1u32 << self.backoff.min(16)))
+            .clamp(self.cfg.min_rto, self.cfg.max_rto)
     }
 
     fn restart_rto(&mut self, now: f64) {

@@ -124,7 +124,7 @@ impl TcpSink {
         let mut push = |iv: Option<(u64, u64)>| {
             if let Some((s, e)) = iv {
                 let b = SackBlock { start: s, end: e };
-                if n < MAX_SACK_BLOCKS && !blocks[..n].iter().any(|x| *x == Some(b)) {
+                if n < MAX_SACK_BLOCKS && !blocks[..n].contains(&Some(b)) {
                     blocks[n] = Some(b);
                     n += 1;
                 }
@@ -189,10 +189,7 @@ impl Agent for TcpSink {
                 // Immediate ACK on out-of-order data, CE marks, or every
                 // second in-order segment; otherwise arm the timer.
                 self.pending += 1;
-                let held_ece = self
-                    .pending_echo
-                    .map(|(_, _, e)| e)
-                    .unwrap_or(false);
+                let held_ece = self.pending_echo.map(|(_, _, e)| e).unwrap_or(false);
                 if self.pending_echo.is_none() {
                     self.pending_echo = Some((ts, owd, ece));
                 }

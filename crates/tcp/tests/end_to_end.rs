@@ -23,9 +23,12 @@ fn dumbbell(
 fn sack_fills_the_link() {
     // 10 Mbps, 20 ms RTT, ample buffer: one SACK flow should reach ≳90%
     // utilization after slow start.
-    let (mut sim, a, b, fwd) = dumbbell(10_000_000, SimDuration::from_millis(10), |_| {
-        Box::new(DropTail::new(100))
-    }, 1);
+    let (mut sim, a, b, fwd) = dumbbell(
+        10_000_000,
+        SimDuration::from_millis(10),
+        |_| Box::new(DropTail::new(100)),
+        1,
+    );
     let conn = connect(&mut sim, ConnectionSpec::sack(FlowId(0), a, b, 1));
     sim.schedule_agent_timer(SimTime::ZERO, conn.sender, START_TOKEN);
     sim.run_until(SimTime::from_secs_f64(5.0));
@@ -41,14 +44,20 @@ fn sack_fills_the_link() {
 fn sack_recovers_from_buffer_overflow_losses() {
     // Tiny buffer forces periodic loss; the flow must keep making progress
     // and actually retransmit.
-    let (mut sim, a, b, _fwd) = dumbbell(10_000_000, SimDuration::from_millis(10), |_| {
-        Box::new(DropTail::new(10))
-    }, 2);
+    let (mut sim, a, b, _fwd) = dumbbell(
+        10_000_000,
+        SimDuration::from_millis(10),
+        |_| Box::new(DropTail::new(10)),
+        2,
+    );
     let conn = connect(&mut sim, ConnectionSpec::sack(FlowId(0), a, b, 2));
     sim.schedule_agent_timer(SimTime::ZERO, conn.sender, START_TOKEN);
     sim.run_until(SimTime::from_secs_f64(20.0));
     let s: &TcpSender = sim.agent(conn.sender);
-    assert!(!sim.trace.drops.is_empty(), "expected drops with a 10-pkt buffer");
+    assert!(
+        !sim.trace.drops.is_empty(),
+        "expected drops with a 10-pkt buffer"
+    );
     assert!(s.stats.retransmits > 0, "no retransmissions despite drops");
     assert!(s.stats.loss_events > 0);
     // Goodput sanity: ≥ 70% of the link over 20 s (10 Mbps = 1250 seg/s).
@@ -63,9 +72,12 @@ fn sack_recovers_from_buffer_overflow_losses() {
 fn delivery_is_reliable_and_in_order() {
     // A finite 5000-segment transfer over a lossy bottleneck must deliver
     // every segment exactly (cumulative ack reaches the limit).
-    let (mut sim, a, b, _f) = dumbbell(5_000_000, SimDuration::from_millis(5), |_| {
-        Box::new(DropTail::new(8))
-    }, 3);
+    let (mut sim, a, b, _f) = dumbbell(
+        5_000_000,
+        SimDuration::from_millis(5),
+        |_| Box::new(DropTail::new(8)),
+        3,
+    );
     let conn = connect_with_source(
         &mut sim,
         ConnectionSpec::sack(FlowId(0), a, b, 3),
@@ -85,9 +97,12 @@ fn pert_keeps_queue_and_drops_low() {
     // 10 Mbps, 60 ms RTT, buffer = BDP (75 pkts). PERT should hold the
     // average queue well below DropTail-SACK and avoid (nearly all) drops.
     let run = |spec: fn(FlowId, NodeId, NodeId, u64) -> ConnectionSpec| {
-        let (mut sim, a, b, fwd) = dumbbell(10_000_000, SimDuration::from_millis(30), |_| {
-            Box::new(DropTail::new(75))
-        }, 4);
+        let (mut sim, a, b, fwd) = dumbbell(
+            10_000_000,
+            SimDuration::from_millis(30),
+            |_| Box::new(DropTail::new(75)),
+            4,
+        );
         for i in 0..4u64 {
             let c = connect(&mut sim, spec(FlowId(i as usize), a, b, i + 10));
             sim.schedule_agent_timer(
@@ -128,9 +143,12 @@ fn pert_keeps_queue_and_drops_low() {
 
 #[test]
 fn vegas_holds_small_backlog() {
-    let (mut sim, a, b, fwd) = dumbbell(10_000_000, SimDuration::from_millis(30), |_| {
-        Box::new(DropTail::new(75))
-    }, 5);
+    let (mut sim, a, b, fwd) = dumbbell(
+        10_000_000,
+        SimDuration::from_millis(30),
+        |_| Box::new(DropTail::new(75)),
+        5,
+    );
     let c = connect(&mut sim, ConnectionSpec::vegas(FlowId(0), a, b, 5));
     sim.schedule_agent_timer(SimTime::ZERO, c.sender, START_TOKEN);
     sim.run_until(SimTime::from_secs_f64(10.0));
@@ -153,15 +171,27 @@ fn vegas_holds_small_backlog() {
 fn ecn_with_red_avoids_drops() {
     // SACK-ECN through a RED-ECN bottleneck: marks instead of drops.
     let capacity_pps = 10_000_000.0 / 8000.0;
-    let (mut sim, a, b, fwd) = dumbbell(10_000_000, SimDuration::from_millis(30), |_| {
-        Box::new(RedQueue::adaptive(
-            RedParams::recommended(75, capacity_pps, true, 9),
-            AdaptiveRedParams::default(),
-        ))
-    }, 6);
+    let (mut sim, a, b, fwd) = dumbbell(
+        10_000_000,
+        SimDuration::from_millis(30),
+        |_| {
+            Box::new(RedQueue::adaptive(
+                RedParams::recommended(75, capacity_pps, true, 9),
+                AdaptiveRedParams::default(),
+            ))
+        },
+        6,
+    );
     for i in 0..4u64 {
-        let c = connect(&mut sim, ConnectionSpec::sack_ecn(FlowId(i as usize), a, b, i));
-        sim.schedule_agent_timer(SimTime::from_secs_f64(i as f64 * 0.3), c.sender, START_TOKEN);
+        let c = connect(
+            &mut sim,
+            ConnectionSpec::sack_ecn(FlowId(i as usize), a, b, i),
+        );
+        sim.schedule_agent_timer(
+            SimTime::from_secs_f64(i as f64 * 0.3),
+            c.sender,
+            START_TOKEN,
+        );
     }
     sim.run_until(SimTime::from_secs_f64(10.0));
     sim.reset_measurements();
@@ -186,12 +216,19 @@ fn ecn_with_red_avoids_drops() {
 #[test]
 fn identical_seeds_reproduce_exactly() {
     let run = || {
-        let (mut sim, a, b, _f) = dumbbell(5_000_000, SimDuration::from_millis(20), |_| {
-            Box::new(DropTail::new(30))
-        }, 7);
+        let (mut sim, a, b, _f) = dumbbell(
+            5_000_000,
+            SimDuration::from_millis(20),
+            |_| Box::new(DropTail::new(30)),
+            7,
+        );
         for i in 0..3u64 {
             let c = connect(&mut sim, ConnectionSpec::pert(FlowId(i as usize), a, b, i));
-            sim.schedule_agent_timer(SimTime::from_secs_f64(i as f64 * 0.1), c.sender, START_TOKEN);
+            sim.schedule_agent_timer(
+                SimTime::from_secs_f64(i as f64 * 0.1),
+                c.sender,
+                START_TOKEN,
+            );
         }
         sim.run_until(SimTime::from_secs_f64(15.0));
         (
@@ -205,9 +242,12 @@ fn identical_seeds_reproduce_exactly() {
 
 #[test]
 fn delayed_acks_halve_ack_traffic_without_breaking_reliability() {
-    let (mut sim, a, b, _f) = dumbbell(10_000_000, SimDuration::from_millis(10), |_| {
-        Box::new(DropTail::new(50))
-    }, 9);
+    let (mut sim, a, b, _f) = dumbbell(
+        10_000_000,
+        SimDuration::from_millis(10),
+        |_| Box::new(DropTail::new(50)),
+        9,
+    );
     let mut spec = ConnectionSpec::sack(FlowId(0), a, b, 9);
     spec.delack = Some(SimDuration::from_millis(100));
     let conn = connect_with_source(&mut sim, spec, Box::new(Finite::new(3000)));
@@ -229,9 +269,12 @@ fn delayed_acks_halve_ack_traffic_without_breaking_reliability() {
 
 #[test]
 fn per_ack_samples_are_recorded_when_requested() {
-    let (mut sim, a, b, _f) = dumbbell(10_000_000, SimDuration::from_millis(10), |_| {
-        Box::new(DropTail::new(50))
-    }, 8);
+    let (mut sim, a, b, _f) = dumbbell(
+        10_000_000,
+        SimDuration::from_millis(10),
+        |_| Box::new(DropTail::new(50)),
+        8,
+    );
     let c = connect(
         &mut sim,
         ConnectionSpec::sack(FlowId(0), a, b, 8).with_samples(),

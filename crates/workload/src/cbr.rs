@@ -7,9 +7,7 @@
 
 use std::any::Any;
 
-use netsim::{
-    Agent, AgentId, Ctx, Ecn, FlowId, NodeId, Packet, Payload, SimDuration, TimerToken,
-};
+use netsim::{Agent, AgentId, Ctx, Ecn, FlowId, NodeId, Packet, Payload, SimDuration, TimerToken};
 
 /// Timer token used for the periodic send tick.
 const TOKEN_TICK: u64 = 0xCB;
@@ -164,11 +162,7 @@ pub fn add_cbr(
 ) -> (AgentId, AgentId) {
     let source_id = sim.alloc_agent();
     let sink_id = sim.alloc_agent();
-    sim.install_agent(
-        sink_id,
-        dst,
-        Box::new(CbrSink::new()),
-    );
+    sim.install_agent(sink_id, dst, Box::new(CbrSink::new()));
     sim.install_agent(
         source_id,
         src,

@@ -136,9 +136,9 @@ pub fn build_chain(cfg: &ChainConfig) -> Chain {
     let mut mk_conn = |sim: &mut Simulator, src: NodeId, dst: NodeId, salt: u64| {
         let flow = FlowId(next_flow);
         next_flow += 1;
-        let mut spec =
-            cfg.scheme
-                .connection(flow, src, dst, cfg.seed.wrapping_add(salt), pps);
+        let mut spec = cfg
+            .scheme
+            .connection(flow, src, dst, cfg.seed.wrapping_add(salt), pps);
         spec.seg_size = cfg.seg_size;
         connect_with_source(sim, spec, Box::new(Greedy))
     };
@@ -147,10 +147,10 @@ pub fn build_chain(cfg: &ChainConfig) -> Chain {
     let mut hop_flows = Vec::new();
     for i in 0..cfg.num_routers - 1 {
         let mut flows = Vec::new();
-        for k in 0..cfg.cloud_size {
+        for (k, &src) in clouds[i].iter().enumerate().take(cfg.cloud_size) {
             flows.push(mk_conn(
                 &mut sim,
-                clouds[i][k],
+                src,
                 clouds[i + 1][k],
                 (i as u64) * 1000 + k as u64,
             ));
@@ -160,10 +160,10 @@ pub fn build_chain(cfg: &ChainConfig) -> Chain {
 
     // End-to-end flows: cloud 1 → cloud n.
     let mut end_to_end = Vec::new();
-    for k in 0..cfg.cloud_size {
+    for (k, &src) in clouds[0].iter().enumerate().take(cfg.cloud_size) {
         end_to_end.push(mk_conn(
             &mut sim,
-            clouds[0][k],
+            src,
             clouds[cfg.num_routers - 1][k],
             900_000 + k as u64,
         ));

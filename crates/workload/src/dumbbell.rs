@@ -15,7 +15,7 @@
 //! RTTs".
 
 use netsim::queue::DropTail;
-use netsim::{FlowId, NodeId, LinkId, SimDuration, SimTime, Simulator};
+use netsim::{FlowId, LinkId, NodeId, SimDuration, SimTime, Simulator};
 use pert_tcp::{connect_with_source, Connection, Greedy, Source, START_TOKEN};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -181,8 +181,12 @@ pub fn build_dumbbell(cfg: &DumbbellConfig) -> Dumbbell {
         let d = access_delay(rtt);
         let src = sim.add_node();
         let dst = sim.add_node();
-        sim.add_duplex_link(src, r1, cfg.access_bps, d, |_| Box::new(DropTail::new(access_buf)));
-        sim.add_duplex_link(r2, dst, cfg.access_bps, d, |_| Box::new(DropTail::new(access_buf)));
+        sim.add_duplex_link(src, r1, cfg.access_bps, d, |_| {
+            Box::new(DropTail::new(access_buf))
+        });
+        sim.add_duplex_link(r2, dst, cfg.access_bps, d, |_| {
+            Box::new(DropTail::new(access_buf))
+        });
         (src, dst)
     };
 
@@ -192,9 +196,9 @@ pub fn build_dumbbell(cfg: &DumbbellConfig) -> Dumbbell {
         let (src, dst) = attach_pair(&mut sim, rtt);
         let flow = FlowId(next_flow);
         next_flow += 1;
-        let mut spec = cfg
-            .scheme
-            .connection(flow, src, dst, cfg.seed.wrapping_add(1000 + i as u64), pps);
+        let mut spec =
+            cfg.scheme
+                .connection(flow, src, dst, cfg.seed.wrapping_add(1000 + i as u64), pps);
         spec.seg_size = cfg.seg_size;
         if cfg.observed_flow == Some(i) {
             spec.record_samples = true;
@@ -228,9 +232,9 @@ pub fn build_dumbbell(cfg: &DumbbellConfig) -> Dumbbell {
         let (src, dst) = attach_pair(&mut sim, rtt);
         let flow = FlowId(next_flow);
         next_flow += 1;
-        let mut spec = cfg
-            .scheme
-            .connection(flow, src, dst, cfg.seed.wrapping_add(3000 + i as u64), pps);
+        let mut spec =
+            cfg.scheme
+                .connection(flow, src, dst, cfg.seed.wrapping_add(3000 + i as u64), pps);
         spec.seg_size = cfg.seg_size;
         let session: Box<dyn Source> = Box::new(WebSession::new(cfg.web));
         web.push(connect_with_source(&mut sim, spec, session));

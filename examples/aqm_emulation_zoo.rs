@@ -14,8 +14,8 @@ use pert::workload::{build_dumbbell, link_metrics, run_measured, DumbbellConfig,
 fn main() {
     println!("end-host AQM emulation vs router AQM — 50 Mbps, 60 ms RTT, 10 flows\n");
     println!(
-        "  {:<14} {:>9} {:>10} {:>8}   {}",
-        "scheme", "Q (norm)", "drop rate", "util %", "router requirement"
+        "  {:<14} {:>9} {:>10} {:>8}   router requirement",
+        "scheme", "Q (norm)", "drop rate", "util %"
     );
 
     let pairs: [(Scheme, &str); 6] = [

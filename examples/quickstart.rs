@@ -72,7 +72,5 @@ fn main() {
         stats.dropped,
         link.utilization_percent(SimDuration::from_secs(50))
     );
-    println!(
-        "  (a SACK/DropTail run here keeps the queue near full and overflows periodically)"
-    );
+    println!("  (a SACK/DropTail run here keeps the queue near full and overflows periodically)");
 }

@@ -49,7 +49,9 @@ fn main() {
         }
         println!();
     }
-    println!("  (paper: monotone at 100 ms, decaying oscillation at 160 ms, sustained at 171 ms)\n");
+    println!(
+        "  (paper: monotone at 100 ms, decaying oscillation at 160 ms, sustained at 171 ms)\n"
+    );
 
     println!("Sampling-interval guideline (eq. 13; R=200 ms, C=1000 pkt/s):");
     let l13 = stability::l_pert(0.1, 0.100, 0.050);

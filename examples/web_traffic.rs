@@ -11,8 +11,7 @@ use pert::netsim::SimDuration;
 use pert::stats::jain_index;
 use pert::tcp::TcpSender;
 use pert::workload::{
-    build_dumbbell, link_metrics, run_measured, snapshot_goodput, DumbbellConfig, Scheme,
-    WebParams,
+    build_dumbbell, link_metrics, run_measured, snapshot_goodput, DumbbellConfig, Scheme, WebParams,
 };
 
 fn main() {
