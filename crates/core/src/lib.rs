@@ -41,11 +41,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod buffer;
 pub mod estimators;
 pub mod pert;
 pub mod pi;
 pub mod predictors;
+pub mod reference;
 pub mod rem;
 pub mod response;
 

@@ -16,7 +16,11 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+#[cfg(feature = "audit")]
+use crate::audit;
 use crate::estimators::Ewma;
+#[cfg(feature = "audit")]
+use crate::reference::PertReference;
 use crate::response::ResponseCurve;
 
 /// Configuration of the PERT controller.
@@ -86,9 +90,16 @@ pub struct PertController {
     /// previous response — the paper limits early response to once per RTT
     /// because its effect is not visible sooner).
     hold_until: f64,
+    /// A loss response that arrived before the first RTT sample: its hold
+    /// window cannot be sized yet, so it is deferred until the first
+    /// sample defines what "one RTT" means.
+    pending_loss: Option<f64>,
     rng: SmallRng,
     /// Activity counters.
     pub stats: PertStats,
+    /// Differential oracle: straight-line §3 srtt/prop transcription.
+    #[cfg(feature = "audit")]
+    shadow: Option<PertReference>,
 }
 
 impl PertController {
@@ -101,8 +112,11 @@ impl PertController {
             srtt: Ewma::new(params.srtt_weight),
             min_rtt: None,
             hold_until: 0.0,
+            pending_loss: None,
             rng: SmallRng::seed_from_u64(seed ^ 0x0007_0e57_ca75),
             stats: PertStats::default(),
+            #[cfg(feature = "audit")]
+            shadow: audit::enabled().then(|| PertReference::new(params.srtt_weight)),
         }
     }
 
@@ -113,8 +127,33 @@ impl PertController {
     pub fn observe(&mut self, rtt: f64) {
         assert!(rtt > 0.0 && rtt.is_finite(), "invalid RTT sample {rtt}");
         self.stats.acks += 1;
-        self.srtt.update(rtt);
+        let srtt = self.srtt.update(rtt);
         self.min_rtt = Some(self.min_rtt.map_or(rtt, |m| m.min(rtt)));
+        if let Some(at) = self.pending_loss.take() {
+            // First sample after an unsampled loss: size its hold window now.
+            self.hold_until = self.hold_until.max(at + srtt);
+        }
+        #[cfg(feature = "audit")]
+        if let Some(shadow) = &mut self.shadow {
+            shadow.on_sample(rtt);
+            audit::count_oracle_checks(1);
+            if !audit::close_opt(shadow.srtt(), self.srtt.value())
+                || !audit::close_opt(shadow.min_rtt(), self.min_rtt)
+            {
+                audit::violation(
+                    "pert-srtt",
+                    format_args!(
+                        "srtt diverged from §3 reference after ack #{}: \
+                         srtt={:?} ref={:?}, min_rtt={:?} ref={:?}, sample={rtt}",
+                        self.stats.acks,
+                        self.srtt.value(),
+                        shadow.srtt(),
+                        self.min_rtt,
+                        shadow.min_rtt(),
+                    ),
+                );
+            }
+        }
     }
 
     /// Feed the RTT sample from an arriving ACK at time `now` (seconds).
@@ -165,9 +204,17 @@ impl PertController {
 
     /// Tell the controller a loss-triggered (non-early) response happened,
     /// so that early responses are also suppressed for one RTT.
+    ///
+    /// A loss that arrives before the first RTT sample cannot size the
+    /// window yet; it is remembered and applied when the first sample
+    /// arrives (`hold_until = loss_time + first_srtt`), so the
+    /// once-per-RTT rule holds from the very first loss instead of
+    /// collapsing to a zero-length window.
     pub fn on_loss_response(&mut self, now: f64) {
-        let rtt = self.srtt.value().unwrap_or(0.0);
-        self.hold_until = self.hold_until.max(now + rtt);
+        match self.srtt.value() {
+            Some(rtt) => self.hold_until = self.hold_until.max(now + rtt),
+            None => self.pending_loss = Some(self.pending_loss.map_or(now, |p| p.max(now))),
+        }
     }
 
     /// Current smoothed RTT (`srtt_0.99`), seconds.
@@ -281,6 +328,40 @@ mod tests {
             now += 0.001;
             assert_eq!(c.on_ack(now, 0.300), None);
         }
+    }
+
+    #[test]
+    fn loss_before_first_sample_still_suppresses_for_one_rtt() {
+        let mut c = PertController::new(PertParams::default(), 1);
+        // A loss response arrives before any RTT sample exists (e.g. a SYN
+        // or first-window segment is lost)…
+        c.on_loss_response(0.0);
+        // …then the first sample (500 ms) arrives and defines "one RTT":
+        // the hold window must end at 0.0 + 0.5, not collapse to zero.
+        assert_eq!(c.on_ack(0.001, 0.500), None); // qd = 0 at the first sample
+                                                  // A low propagation floor appears while srtt stays high, so
+                                                  // srtt − min_rtt saturates the response curve immediately — only
+                                                  // the hold window can now stand between the controller and an
+                                                  // early response.
+        let mut now = 0.002;
+        assert_eq!(c.on_ack(now, 0.050), None);
+        let mut first = None;
+        while now < 1.0 {
+            now += 0.001;
+            if c.on_ack(now, 0.300).is_some() {
+                first = Some(now);
+                break;
+            }
+        }
+        let first = first.expect("saturated curve must respond once the hold expires");
+        assert!(
+            first >= 0.5 - 1e-9,
+            "early response at {first}, inside the first-RTT hold window"
+        );
+        assert!(
+            c.stats.suppressed > 0,
+            "hold window never suppressed anything"
+        );
     }
 
     #[test]

@@ -10,9 +10,12 @@ use crate::scenario::{is_target, ALL_TARGETS};
 
 /// The usage text printed on a parse error.
 pub const USAGE: &str = "usage: experiments <target>... [--quick|--standard|--full] [--jobs N] \
-[--seed S] [--json PATH] [--csv PATH]\n\
+[--seed S] [--json PATH] [--csv PATH] [--audit]\n\
 targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1\n\
-\t fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all";
+\t fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all\n\
+--audit runs every simulation with the invariant-audit layer on (packet\n\
+conservation, accounting ledgers, differential oracles) and reports the\n\
+check/violation counts per target.";
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -29,6 +32,8 @@ pub struct Cli {
     pub json: Option<String>,
     /// Write all reports as CSV sections to this path.
     pub csv: Option<String>,
+    /// Run with the invariant-audit layer enabled.
+    pub audit: bool,
 }
 
 fn flag_value<'a>(flag: &str, args: &'a [String], i: &mut usize) -> Result<&'a str, String> {
@@ -45,6 +50,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut seed = None;
     let mut json = None;
     let mut csv = None;
+    let mut audit = false;
     let mut targets: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -71,6 +77,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             }
             "--json" => json = Some(flag_value(a, args, &mut i)?.to_string()),
             "--csv" => csv = Some(flag_value(a, args, &mut i)?.to_string()),
+            "--audit" => audit = true,
             f if f.starts_with('-') => return Err(format!("unknown flag '{f}'")),
             t => {
                 if t == "all" {
@@ -99,6 +106,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         seed,
         json,
         csv,
+        audit,
     })
 }
 
@@ -153,5 +161,11 @@ mod tests {
         let c = p(&["fig5", "--json", "a.json", "--csv", "b.csv"]).unwrap();
         assert_eq!(c.json.as_deref(), Some("a.json"));
         assert_eq!(c.csv.as_deref(), Some("b.csv"));
+    }
+
+    #[test]
+    fn audit_flag_is_off_by_default() {
+        assert!(!p(&["fig5"]).unwrap().audit);
+        assert!(p(&["fig5", "--audit"]).unwrap().audit);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments <target>... [--quick|--standard|--full] [--jobs N]
-//!             [--seed S] [--json PATH] [--csv PATH]
+//!             [--seed S] [--json PATH] [--csv PATH] [--audit]
 //!
 //! targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1
 //!          fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all
@@ -16,7 +16,7 @@
 //! the structured reports to files.
 
 use experiments::cli;
-use experiments::report::{reports_to_csv, reports_to_json};
+use experiments::report::{reports_to_csv, reports_to_json, AuditCounts};
 use experiments::runner::run_jobs;
 use experiments::scenario::lookup;
 
@@ -30,16 +30,31 @@ fn main() {
         }
     };
 
+    // Must happen before any simulator is built: audit shadows attach at
+    // construction time.
+    netsim::audit::set_enabled(cli.audit);
+
     println!("scale: {:?}", cli.scale);
     let mut reports = Vec::new();
     for t in &cli.targets {
         let scenario = lookup(t).expect("targets were validated by the parser");
         let seed = cli.seed.unwrap_or_else(|| scenario.default_seed());
         let t0 = std::time::Instant::now();
+        let before = cli.audit.then(netsim::audit::snapshot);
         let jobs = scenario.points(cli.scale, seed);
         let (results, timings) = run_jobs(jobs, cli.jobs);
         let mut report = scenario.assemble(cli.scale, seed, results);
         report.timings = timings;
+        if let Some(b) = before {
+            let d = netsim::audit::snapshot().since(&b);
+            report.audit = Some(AuditCounts {
+                queue_checks: d.queue_checks,
+                oracle_checks: d.oracle_checks,
+                tcp_checks: d.tcp_checks,
+                event_checks: d.event_checks,
+                violations: d.violations,
+            });
+        }
         print!("{}", report.render_text());
         for tm in &report.timings {
             eprintln!("  [{} {:.2}s]", tm.label, tm.secs);

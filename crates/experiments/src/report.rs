@@ -103,6 +103,30 @@ impl Table {
     }
 }
 
+/// Invariant-audit counters accumulated while one target ran (present
+/// only under `--audit`; rendering is unchanged when absent).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuditCounts {
+    /// Queue-ledger verifications (conservation + stats mirror).
+    pub queue_checks: u64,
+    /// Differential-oracle comparisons (RED/PI/REM/PERT references,
+    /// interval-set and scoreboard shadows count as tcp checks).
+    pub oracle_checks: u64,
+    /// TCP-layer checks (sequence invariants, shadow structures).
+    pub tcp_checks: u64,
+    /// Event-loop checks (time monotonicity).
+    pub event_checks: u64,
+    /// Invariant violations observed. Anything nonzero is a bug.
+    pub violations: u64,
+}
+
+impl AuditCounts {
+    /// Sum of all check counters.
+    pub fn total_checks(&self) -> u64 {
+        self.queue_checks + self.oracle_checks + self.tcp_checks + self.event_checks
+    }
+}
+
 /// Wall-clock spent on one point, seconds (stderr/bench only — never
 /// serialized, so parallel and sequential runs emit identical files).
 #[derive(Clone, Debug, PartialEq)]
@@ -126,6 +150,8 @@ pub struct Report {
     pub tables: Vec<Table>,
     /// Per-point wall-clock (populated by the runner; not serialized).
     pub timings: Vec<PointTiming>,
+    /// Audit counters for this target (`--audit` runs only).
+    pub audit: Option<AuditCounts>,
 }
 
 impl Report {
@@ -137,6 +163,7 @@ impl Report {
             seed,
             tables: Vec::new(),
             timings: Vec::new(),
+            audit: None,
         }
     }
 
@@ -160,6 +187,17 @@ impl Report {
                 out.push('\n');
             }
         }
+        if let Some(a) = &self.audit {
+            out.push_str(&format!(
+                "\naudit: {} checks, {} violations (queue {}, oracle {}, tcp {}, event {})\n",
+                a.total_checks(),
+                a.violations,
+                a.queue_checks,
+                a.oracle_checks,
+                a.tcp_checks,
+                a.event_checks,
+            ));
+        }
         out
     }
 
@@ -173,6 +211,13 @@ impl Report {
             json_string(&format!("{:?}", self.scale))
         ));
         out.push_str(&format!("\"seed\":{},", self.seed));
+        if let Some(a) = &self.audit {
+            out.push_str(&format!(
+                "\"audit\":{{\"queue_checks\":{},\"oracle_checks\":{},\"tcp_checks\":{},\
+                 \"event_checks\":{},\"violations\":{}}},",
+                a.queue_checks, a.oracle_checks, a.tcp_checks, a.event_checks, a.violations,
+            ));
+        }
         out.push_str("\"tables\":[");
         for (i, t) in self.tables.iter().enumerate() {
             if i > 0 {
@@ -376,5 +421,29 @@ mod tests {
     fn identical_reports_render_identically() {
         assert_eq!(sample().render_text(), sample().render_text());
         assert_eq!(sample().render_json(), sample().render_json());
+    }
+
+    #[test]
+    fn audit_counts_render_only_when_present() {
+        let plain = sample();
+        let mut audited = sample();
+        audited.audit = Some(AuditCounts {
+            queue_checks: 10,
+            oracle_checks: 4,
+            tcp_checks: 3,
+            event_checks: 2,
+            violations: 0,
+        });
+        assert!(!plain.render_text().contains("audit:"));
+        assert!(!plain.render_json().contains("\"audit\""));
+        let text = audited.render_text();
+        assert!(text.contains("audit: 19 checks, 0 violations"), "{text}");
+        let js = audited.render_json();
+        assert!(
+            js.contains("\"audit\":{\"queue_checks\":10,") && js.contains("\"violations\":0}"),
+            "{js}"
+        );
+        // The audit block must not disturb anything else.
+        assert_eq!(plain.render_csv(), audited.render_csv());
     }
 }

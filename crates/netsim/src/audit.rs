@@ -1,0 +1,615 @@
+//! The invariant-audit layer: hooks wired into the simulator loop that
+//! re-derive, independently, everything the queues and the event loop
+//! claim about themselves — and panic with a reproducer on the first
+//! divergence.
+//!
+//! # What is checked
+//!
+//! * **Packet conservation** per queue: `enqueued = dequeued + resident`
+//!   over the queue's lifetime, after every single operation.
+//! * **Byte accounting**: `len_bytes()` equals the sum of resident packet
+//!   sizes tracked independently.
+//! * **`QueueStats` integral consistency**: the time-weighted occupancy
+//!   integral, the event counters, `peak_len` and `last_change` are
+//!   mirrored step by step by an independent [`QueueLedger`] and compared
+//!   with *exact* (integer) equality.
+//! * **Time monotonicity**: the event loop never goes backwards.
+//! * **TCP sequence-space invariants** at delivery: cumulative ACKs are
+//!   monotone per flow, SACK blocks are non-empty and well-ordered, new
+//!   (non-retransmitted) data arrives with strictly increasing sequence
+//!   numbers on single-path topologies.
+//!
+//! Differential oracles for the AQM update laws (RED/PI/REM/PERT) live
+//! next to their optimized implementations and use the same registry
+//! (see `pert_core::reference`).
+//!
+//! # Cost model
+//!
+//! The whole module is behind the `audit` cargo feature (a default
+//! feature — `--no-default-features` removes every trace of it), and the
+//! hooks are additionally behind the runtime flag re-exported as
+//! [`enabled`]: off in release binaries unless `experiments … --audit`
+//! is given, always on under `cargo test` (debug builds). Auditors batch
+//! their check counts locally and flush them to the process-global
+//! registry on drop, so the hot path touches no shared state.
+
+use std::collections::BTreeMap;
+
+pub use pert_core::audit::{
+    close, close_opt, count_event_checks, count_oracle_checks, count_queue_checks,
+    count_tcp_checks, enabled, set_enabled, snapshot, violation, AuditSnapshot,
+};
+
+use crate::ids::LinkId;
+use crate::packet::{Packet, Payload};
+use crate::queue::QueueDiscipline;
+use crate::time::SimTime;
+
+/// Where an audited operation happened: everything needed to reproduce a
+/// violation (re-run the same seed and break at the event index).
+#[derive(Clone, Copy, Debug)]
+pub struct AuditCtx {
+    /// The simulation seed.
+    pub seed: u64,
+    /// Index of the event being processed (0 before the loop starts).
+    pub event_index: u64,
+    /// Current simulation time.
+    pub now: SimTime,
+}
+
+/// How an offered packet left `enqueue`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnqueueKind {
+    /// Stored unchanged.
+    Stored,
+    /// ECN-marked and stored.
+    Marked,
+    /// Tail-dropped (buffer full).
+    DroppedOverflow,
+    /// Early-dropped by the AQM.
+    DroppedEarly,
+}
+
+/// One queue operation, as observed at the simulator's call site.
+#[derive(Clone, Copy, Debug)]
+pub enum QueueOp {
+    /// A packet was offered to the queue.
+    Enqueue {
+        /// The outcome the queue reported.
+        kind: EnqueueKind,
+        /// Size of the offered packet.
+        size_bytes: u32,
+    },
+    /// The link pulled a packet (or tried to).
+    Dequeue {
+        /// Size of the popped packet, if one was there.
+        popped: Option<u32>,
+    },
+}
+
+/// An observer wired into the simulator loop. All methods default to
+/// no-ops so a hook implements only what it audits. `Send` because whole
+/// simulators move across experiment-runner threads.
+pub trait AuditHook: Send {
+    /// Called when a link (and its fresh queue) joins the topology, so
+    /// per-queue auditors can attach before the first packet flows.
+    fn on_link_added(&mut self, _link: LinkId, _queue: &dyn QueueDiscipline) {}
+
+    /// Called once per event, before it is dispatched.
+    fn on_event(&mut self, _ctx: &AuditCtx) {}
+
+    /// Called after every queue operation, with the queue in its post-op
+    /// state.
+    fn on_queue_op(
+        &mut self,
+        _link: LinkId,
+        _op: &QueueOp,
+        _queue: &dyn QueueDiscipline,
+        _ctx: &AuditCtx,
+    ) {
+    }
+
+    /// Called when a packet reaches its destination agent, before the
+    /// agent sees it.
+    fn on_delivery(&mut self, _pkt: &Packet, _ctx: &AuditCtx) {}
+
+    /// Called when the measurement windows restart
+    /// (`Simulator::reset_measurements`).
+    fn on_window_reset(&mut self, _ctx: &AuditCtx) {}
+
+    /// Called when occupancy integrals are flushed up to now
+    /// (`Simulator::flush_measurements`).
+    fn on_flush(&mut self, _ctx: &AuditCtx) {}
+}
+
+/// An independent, step-by-step mirror of one queue's accounting.
+///
+/// The ledger re-derives from the [`QueueOp`] stream everything
+/// `QueueStats` maintains — counters, the time-weighted occupancy
+/// integral (same integer arithmetic, so comparison is *exact*), the
+/// peak, plus lifetime conservation totals the windowed stats cannot
+/// express — and [`QueueLedger::verify`] compares the two after every
+/// operation.
+#[derive(Clone, Debug)]
+pub struct QueueLedger {
+    // Windowed mirrors of `QueueStats` (reset by `on_window_reset`).
+    enqueued: u64,
+    dequeued: u64,
+    dropped: u64,
+    marked: u64,
+    integral_pkt_ns: u128,
+    last_change: SimTime,
+    peak_len: usize,
+    // Lifetime state (survives window resets).
+    resident: usize,
+    resident_bytes: u64,
+    total_enqueued: u64,
+    total_dequeued: u64,
+    total_dropped: u64,
+}
+
+impl QueueLedger {
+    /// Mirror `queue` from its current state onward. On a fresh queue
+    /// everything starts at zero; attaching mid-run adopts the current
+    /// counters and audits all further evolution independently.
+    pub fn new(queue: &dyn QueueDiscipline) -> Self {
+        let s = queue.stats();
+        let resident = queue.len();
+        QueueLedger {
+            enqueued: s.enqueued,
+            dequeued: s.dequeued,
+            dropped: s.dropped,
+            marked: s.marked,
+            integral_pkt_ns: s.integral_pkt_ns,
+            last_change: s.last_change,
+            peak_len: s.peak_len,
+            resident,
+            resident_bytes: queue.len_bytes(),
+            // Relative lifetime accounting: treat the adopted backlog as
+            // enqueued so conservation holds inductively from here.
+            total_enqueued: resident as u64,
+            total_dequeued: 0,
+            total_dropped: 0,
+        }
+    }
+
+    /// Fold the elapsed interval into the integral exactly as
+    /// `QueueStats::advance` does (which every discipline calls at the
+    /// top of both `enqueue` and `dequeue`, with the pre-op length).
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.duration_since(self.last_change).as_nanos();
+        self.integral_pkt_ns += dt as u128 * self.resident as u128;
+        self.last_change = now;
+        if self.resident > self.peak_len {
+            self.peak_len = self.resident;
+        }
+    }
+
+    /// Apply one observed operation at time `now`.
+    pub fn apply(&mut self, op: &QueueOp, now: SimTime) {
+        self.advance(now);
+        match *op {
+            QueueOp::Enqueue { kind, size_bytes } => match kind {
+                EnqueueKind::Stored | EnqueueKind::Marked => {
+                    self.enqueued += 1;
+                    self.total_enqueued += 1;
+                    if kind == EnqueueKind::Marked {
+                        self.marked += 1;
+                    }
+                    self.resident += 1;
+                    self.resident_bytes += u64::from(size_bytes);
+                }
+                EnqueueKind::DroppedOverflow | EnqueueKind::DroppedEarly => {
+                    self.dropped += 1;
+                    self.total_dropped += 1;
+                }
+            },
+            QueueOp::Dequeue { popped } => {
+                if let Some(size_bytes) = popped {
+                    self.dequeued += 1;
+                    self.total_dequeued += 1;
+                    self.resident -= 1;
+                    self.resident_bytes -= u64::from(size_bytes);
+                }
+            }
+        }
+    }
+
+    /// Mirror `QueueStats::reset_window`: zero the windowed counters and
+    /// the integral, restart at `now` with the current occupancy.
+    pub fn on_window_reset(&mut self, now: SimTime) {
+        self.enqueued = 0;
+        self.dequeued = 0;
+        self.dropped = 0;
+        self.marked = 0;
+        self.integral_pkt_ns = 0;
+        self.last_change = now;
+        self.peak_len = self.resident;
+    }
+
+    /// Mirror a monitor's final `advance` (integral flush up to `now`).
+    pub fn on_flush(&mut self, now: SimTime) {
+        self.advance(now);
+    }
+
+    /// Compare the ledger against the queue's own claims; panics with a
+    /// reproducer on any mismatch.
+    pub fn verify(&self, link: LinkId, queue: &dyn QueueDiscipline, ctx: &AuditCtx) {
+        let s = queue.stats();
+        let ok = s.enqueued == self.enqueued
+            && s.dequeued == self.dequeued
+            && s.dropped == self.dropped
+            && s.marked == self.marked
+            && s.integral_pkt_ns == self.integral_pkt_ns
+            && s.last_change == self.last_change
+            && s.peak_len == self.peak_len
+            && queue.len() == self.resident
+            && queue.len_bytes() == self.resident_bytes
+            && self.total_enqueued == self.total_dequeued + self.resident as u64
+            && self.resident <= queue.capacity_pkts();
+        if !ok {
+            violation(
+                "queue",
+                format_args!(
+                    "{} on {link} diverged from ledger at event #{} \
+                     (seed {}, t={:?}):\n  stats:  enq={} deq={} drop={} mark={} \
+                     integral={} last_change={:?} peak={} len={} bytes={}\n  \
+                     ledger: enq={} deq={} drop={} mark={} integral={} \
+                     last_change={:?} peak={} len={} bytes={} \
+                     (lifetime enq={} deq={} drop={}, capacity={})",
+                    queue.name(),
+                    ctx.event_index,
+                    ctx.seed,
+                    ctx.now,
+                    s.enqueued,
+                    s.dequeued,
+                    s.dropped,
+                    s.marked,
+                    s.integral_pkt_ns,
+                    s.last_change,
+                    s.peak_len,
+                    queue.len(),
+                    queue.len_bytes(),
+                    self.enqueued,
+                    self.dequeued,
+                    self.dropped,
+                    self.marked,
+                    self.integral_pkt_ns,
+                    self.last_change,
+                    self.peak_len,
+                    self.resident,
+                    self.resident_bytes,
+                    self.total_enqueued,
+                    self.total_dequeued,
+                    self.total_dropped,
+                    queue.capacity_pkts(),
+                ),
+            );
+        }
+    }
+}
+
+/// Per-flow sequence-space state for the delivery checks.
+#[derive(Clone, Copy, Debug, Default)]
+struct FlowAudit {
+    highest_cum_ack: u64,
+    next_new_seq: Option<u64>,
+}
+
+/// The default auditor the simulator installs when audits are enabled:
+/// queue ledgers for every link, time monotonicity, and TCP
+/// sequence-space checks at delivery.
+#[derive(Default)]
+pub struct ConservationAuditor {
+    ledgers: BTreeMap<usize, QueueLedger>,
+    flows: BTreeMap<(u64, usize), FlowAudit>,
+    last_event: SimTime,
+    // Locally batched check counts, flushed to the global registry on drop.
+    queue_checks: u64,
+    event_checks: u64,
+    tcp_checks: u64,
+}
+
+impl ConservationAuditor {
+    /// Create an auditor with no per-link state yet; ledgers attach at
+    /// each link's first audited operation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AuditHook for ConservationAuditor {
+    fn on_link_added(&mut self, link: LinkId, queue: &dyn QueueDiscipline) {
+        self.ledgers.insert(link.index(), QueueLedger::new(queue));
+    }
+
+    fn on_event(&mut self, ctx: &AuditCtx) {
+        self.event_checks += 1;
+        if ctx.now < self.last_event {
+            violation(
+                "time",
+                format_args!(
+                    "clock went backwards at event #{} (seed {}): {:?} after {:?}",
+                    ctx.event_index, ctx.seed, ctx.now, self.last_event
+                ),
+            );
+        }
+        self.last_event = ctx.now;
+    }
+
+    fn on_queue_op(
+        &mut self,
+        link: LinkId,
+        op: &QueueOp,
+        queue: &dyn QueueDiscipline,
+        ctx: &AuditCtx,
+    ) {
+        let Some(ledger) = self.ledgers.get_mut(&link.index()) else {
+            // Hook was attached mid-run and missed this link's creation:
+            // the op already mutated the queue, so mirror its post-op
+            // state and audit from the next operation on.
+            self.ledgers.insert(link.index(), QueueLedger::new(queue));
+            return;
+        };
+        ledger.apply(op, ctx.now);
+        ledger.verify(link, queue, ctx);
+        self.queue_checks += 1;
+    }
+
+    fn on_delivery(&mut self, pkt: &Packet, ctx: &AuditCtx) {
+        self.tcp_checks += 1;
+        if pkt.sent_at > ctx.now {
+            violation(
+                "delivery",
+                format_args!(
+                    "packet delivered before it was sent at event #{} (seed {}): \
+                     sent_at={:?} now={:?} flow={}",
+                    ctx.event_index, ctx.seed, pkt.sent_at, ctx.now, pkt.flow
+                ),
+            );
+        }
+        let key = (pkt.flow.0 as u64, pkt.dst_agent.index());
+        let audit = self.flows.entry(key).or_default();
+        match &pkt.payload {
+            Payload::Ack { cum_ack, sack, .. } => {
+                if *cum_ack < audit.highest_cum_ack {
+                    violation(
+                        "tcp-seq",
+                        format_args!(
+                            "cumulative ACK went backwards at event #{} (seed {}): \
+                             {} after {} (flow {}, agent {})",
+                            ctx.event_index,
+                            ctx.seed,
+                            cum_ack,
+                            audit.highest_cum_ack,
+                            pkt.flow,
+                            pkt.dst_agent
+                        ),
+                    );
+                }
+                audit.highest_cum_ack = *cum_ack;
+                for block in sack.iter().flatten() {
+                    if block.start >= block.end {
+                        violation(
+                            "tcp-seq",
+                            format_args!(
+                                "degenerate SACK block [{}, {}) at event #{} (seed {}, flow {})",
+                                block.start, block.end, ctx.event_index, ctx.seed, pkt.flow
+                            ),
+                        );
+                    }
+                }
+            }
+            Payload::Data { seq, retransmit } => {
+                // On the single-path FIFO topologies this simulator builds,
+                // first transmissions arrive in send order; only
+                // retransmissions may revisit old sequence space.
+                if !*retransmit {
+                    if let Some(next) = audit.next_new_seq {
+                        if *seq < next {
+                            violation(
+                                "tcp-seq",
+                                format_args!(
+                                    "new data sequence regressed at event #{} (seed {}): \
+                                     seq {} after {} (flow {}, agent {})",
+                                    ctx.event_index,
+                                    ctx.seed,
+                                    seq,
+                                    next - 1,
+                                    pkt.flow,
+                                    pkt.dst_agent
+                                ),
+                            );
+                        }
+                    }
+                    audit.next_new_seq = Some(seq + 1);
+                }
+            }
+        }
+    }
+
+    fn on_window_reset(&mut self, ctx: &AuditCtx) {
+        for ledger in self.ledgers.values_mut() {
+            ledger.on_window_reset(ctx.now);
+        }
+    }
+
+    fn on_flush(&mut self, ctx: &AuditCtx) {
+        for ledger in self.ledgers.values_mut() {
+            ledger.on_flush(ctx.now);
+        }
+    }
+}
+
+impl Drop for ConservationAuditor {
+    fn drop(&mut self) {
+        if self.queue_checks > 0 {
+            count_queue_checks(self.queue_checks);
+        }
+        if self.event_checks > 0 {
+            count_event_checks(self.event_checks);
+        }
+        if self.tcp_checks > 0 {
+            count_tcp_checks(self.tcp_checks);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AgentId, FlowId, NodeId};
+    use crate::packet::{Ecn, Payload};
+    use crate::queue::{DropTail, EnqueueOutcome};
+
+    fn pkt(size: u32) -> Packet {
+        Packet {
+            flow: FlowId(0),
+            dst_node: NodeId(0),
+            dst_agent: AgentId(0),
+            size_bytes: size,
+            ecn: Ecn::NotCapable,
+            sent_at: SimTime::ZERO,
+            payload: Payload::Data {
+                seq: 0,
+                retransmit: false,
+            },
+        }
+    }
+
+    fn ctx(now: SimTime) -> AuditCtx {
+        AuditCtx {
+            seed: 42,
+            event_index: 0,
+            now,
+        }
+    }
+
+    #[test]
+    fn ledger_mirrors_droptail_exactly() {
+        let mut q = DropTail::new(2);
+        let mut ledger = QueueLedger::new(&q);
+        let ops: [(bool, u64); 6] = [
+            (true, 10),
+            (true, 20),
+            (true, 30), // overflow
+            (false, 40),
+            (false, 50),
+            (false, 60), // empty pop
+        ];
+        for (enq, t) in ops {
+            let now = SimTime::from_nanos(t);
+            let op = if enq {
+                let kind = match q.enqueue(pkt(100), now) {
+                    EnqueueOutcome::Enqueued => EnqueueKind::Stored,
+                    EnqueueOutcome::Marked => EnqueueKind::Marked,
+                    EnqueueOutcome::Dropped(..) => EnqueueKind::DroppedOverflow,
+                };
+                QueueOp::Enqueue {
+                    kind,
+                    size_bytes: 100,
+                }
+            } else {
+                QueueOp::Dequeue {
+                    popped: q.dequeue(now).map(|p| p.size_bytes),
+                }
+            };
+            ledger.apply(&op, now);
+            ledger.verify(LinkId(0), &q, &ctx(now));
+        }
+    }
+
+    #[test]
+    fn ledger_catches_corrupted_counter() {
+        let mut q = DropTail::new(8);
+        let mut ledger = QueueLedger::new(&q);
+        let now = SimTime::from_nanos(5);
+        let _ = q.enqueue(pkt(100), now);
+        ledger.apply(
+            &QueueOp::Enqueue {
+                kind: EnqueueKind::Stored,
+                size_bytes: 100,
+            },
+            now,
+        );
+        // Sabotage the stats the way a buggy discipline would.
+        q.stats_mut().enqueued += 1;
+        let err = std::panic::catch_unwind(move || {
+            ledger.verify(LinkId(3), &q, &ctx(now));
+        })
+        .expect_err("verification must fail");
+        let msg = *err.downcast::<String>().unwrap();
+        assert!(msg.contains("audit violation [queue]"), "{msg}");
+        assert!(msg.contains("seed 42"), "{msg}");
+    }
+
+    #[test]
+    fn ledger_mirrors_window_reset_and_flush() {
+        let mut q = DropTail::new(8);
+        let mut ledger = QueueLedger::new(&q);
+        for i in 1..=4u64 {
+            let now = SimTime::from_nanos(i * 100);
+            let _ = q.enqueue(pkt(100), now);
+            ledger.apply(
+                &QueueOp::Enqueue {
+                    kind: EnqueueKind::Stored,
+                    size_bytes: 100,
+                },
+                now,
+            );
+        }
+        let reset_at = SimTime::from_nanos(1_000);
+        let len = q.len();
+        q.stats_mut().reset_window(reset_at, len);
+        ledger.on_window_reset(reset_at);
+        ledger.verify(LinkId(0), &q, &ctx(reset_at));
+        // Flush later and re-verify the integral matches exactly.
+        let flush_at = SimTime::from_nanos(2_000);
+        let len = q.len();
+        q.stats_mut().advance(flush_at, len);
+        ledger.on_flush(flush_at);
+        ledger.verify(LinkId(0), &q, &ctx(flush_at));
+        assert_eq!(q.stats().integral_pkt_ns, 1_000 * 4);
+    }
+
+    #[test]
+    fn auditor_flags_backwards_clock() {
+        let mut a = ConservationAuditor::new();
+        a.on_event(&ctx(SimTime::from_nanos(10)));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.on_event(&ctx(SimTime::from_nanos(9)));
+        }))
+        .expect_err("must fire");
+        let msg = *err.downcast::<String>().unwrap();
+        assert!(msg.contains("audit violation [time]"), "{msg}");
+    }
+
+    #[test]
+    fn auditor_flags_backwards_cum_ack() {
+        let mut a = ConservationAuditor::new();
+        let now = SimTime::from_nanos(10);
+        let ack = |cum_ack| Packet {
+            flow: FlowId(7),
+            dst_node: NodeId(0),
+            dst_agent: AgentId(1),
+            size_bytes: 40,
+            ecn: Ecn::NotCapable,
+            sent_at: SimTime::ZERO,
+            payload: Payload::Ack {
+                cum_ack,
+                sack: [None; crate::packet::MAX_SACK_BLOCKS],
+                ts_echo: SimTime::ZERO,
+                owd_echo: crate::time::SimDuration::ZERO,
+                ece: false,
+            },
+        };
+        a.on_delivery(&ack(5), &ctx(now));
+        a.on_delivery(&ack(5), &ctx(now)); // duplicate ACK: allowed
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.on_delivery(&ack(4), &ctx(now));
+        }))
+        .expect_err("must fire");
+        let msg = *err.downcast::<String>().unwrap();
+        assert!(msg.contains("audit violation [tcp-seq]"), "{msg}");
+    }
+}

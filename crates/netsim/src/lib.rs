@@ -37,6 +37,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod event;
 pub mod ids;
 pub mod link;

@@ -53,7 +53,13 @@ impl QueueDiscipline for RandomLoss {
     fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
         if self.loss_prob > 0.0 && self.rng.gen::<f64>() < self.loss_prob {
             self.corrupted += 1;
-            self.inner.stats_mut().dropped += 1;
+            // Advance the time-weighted accumulators exactly as the inner
+            // discipline would have before counting the drop, so the
+            // occupancy integral sees this instant too.
+            let len = self.inner.len();
+            let stats = self.inner.stats_mut();
+            stats.advance(now, len);
+            stats.dropped += 1;
             return EnqueueOutcome::Dropped(pkt, DropReason::Early);
         }
         self.inner.enqueue(pkt, now)

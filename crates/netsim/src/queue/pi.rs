@@ -19,7 +19,12 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+#[cfg(feature = "audit")]
+use pert_core::reference::PiReference;
+
 use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
+#[cfg(feature = "audit")]
+use crate::audit;
 use crate::packet::{Ecn, Packet};
 use crate::time::{SimDuration, SimTime};
 
@@ -132,6 +137,10 @@ pub struct PiQueue {
     p: f64,
     /// Queue length at the previous sampling instant.
     q_old: f64,
+    /// Differential oracle: straight-line transcription of Hollot et al.'s
+    /// update equation, compared after every sampling tick.
+    #[cfg(feature = "audit")]
+    oracle: Option<PiReference>,
 }
 
 impl PiQueue {
@@ -140,6 +149,8 @@ impl PiQueue {
         params.validate();
         let seed = params.seed;
         let q_ref = params.q_ref;
+        #[cfg(feature = "audit")]
+        let oracle = audit::enabled().then(|| PiReference::new(params.a, params.b, q_ref));
         PiQueue {
             params,
             store: FifoStore::default(),
@@ -147,6 +158,8 @@ impl PiQueue {
             rng: SmallRng::seed_from_u64(seed ^ 0x9e3779b9),
             p: 0.0,
             q_old: q_ref, // start with zero error history
+            #[cfg(feature = "audit")]
+            oracle,
         }
     }
 
@@ -213,6 +226,21 @@ impl QueueDiscipline for PiQueue {
         let err_old = self.q_old - self.params.q_ref;
         self.p = (self.p + self.params.a * err_now - self.params.b * err_old).clamp(0.0, 1.0);
         self.q_old = q;
+        #[cfg(feature = "audit")]
+        if let Some(oracle) = &mut self.oracle {
+            let ref_p = oracle.tick(q);
+            audit::count_oracle_checks(1);
+            if !audit::close(ref_p, self.p) {
+                audit::violation(
+                    "pi",
+                    format_args!(
+                        "PI diverged from the Hollot et al. reference at t={_now:?} \
+                         (seed {}): p={} ref={}, q={q}, q_old={}",
+                        self.params.seed, self.p, ref_p, self.q_old,
+                    ),
+                );
+            }
+        }
     }
 
     fn tick_interval(&self) -> Option<SimDuration> {

@@ -20,7 +20,12 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+#[cfg(feature = "audit")]
+use pert_core::reference::RedReference;
+
 use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
+#[cfg(feature = "audit")]
+use crate::audit;
 use crate::packet::{Ecn, Packet};
 use crate::time::{SimDuration, SimTime};
 
@@ -129,6 +134,10 @@ pub struct RedQueue {
     idle_since: Option<SimTime>,
     /// Current max_p (mutated by the adaptive add-on).
     max_p: f64,
+    /// Differential oracle: straight-line transcription of the paper's
+    /// average and probability equations, compared after every arrival.
+    #[cfg(feature = "audit")]
+    oracle: Option<RedReference>,
 }
 
 impl RedQueue {
@@ -137,6 +146,16 @@ impl RedQueue {
         params.validate();
         let max_p = params.max_p;
         let seed = params.seed;
+        #[cfg(feature = "audit")]
+        let oracle = audit::enabled().then(|| {
+            RedReference::new(
+                params.w_q,
+                params.min_th,
+                params.max_th,
+                params.gentle,
+                params.mean_pkt_time.as_secs_f64(),
+            )
+        });
         RedQueue {
             params,
             adaptive: None,
@@ -147,6 +166,8 @@ impl RedQueue {
             count: -1,
             idle_since: Some(SimTime::ZERO),
             max_p,
+            #[cfg(feature = "audit")]
+            oracle,
         }
     }
 
@@ -202,6 +223,47 @@ impl RedQueue {
         }
     }
 
+    /// Compare the just-updated average and the marking-probability curve
+    /// against the straight-line paper transcription. Called after
+    /// `update_avg` on every arrival.
+    #[cfg(feature = "audit")]
+    fn check_oracle(&mut self, now: SimTime) {
+        let Some(oracle) = &mut self.oracle else {
+            return;
+        };
+        let ref_avg = oracle.on_arrival(now.as_nanos(), self.store.len());
+        let ref_p = oracle.marking_probability(self.max_p);
+        let opt_p = self.base_probability();
+        audit::count_oracle_checks(1);
+        if !audit::close(ref_avg, self.avg) || !audit::close_opt(ref_p, opt_p) {
+            audit::violation(
+                "red",
+                format_args!(
+                    "RED diverged from the Floyd–Jacobson reference at t={now:?} \
+                     (seed {}): avg={} ref={}, p_b={:?} ref={:?}, q={}, count={}, max_p={}",
+                    self.params.seed,
+                    self.avg,
+                    ref_avg,
+                    opt_p,
+                    ref_p,
+                    self.store.len(),
+                    self.count,
+                    self.max_p,
+                ),
+            );
+        }
+    }
+
+    /// Detach the differential oracle, for tests that poke internal state
+    /// (`avg`) the oracle could not have observed through the public API.
+    #[cfg(all(test, feature = "audit"))]
+    fn detach_oracle(&mut self) {
+        self.oracle = None;
+    }
+
+    #[cfg(all(test, not(feature = "audit")))]
+    fn detach_oracle(&mut self) {}
+
     fn adapt(&mut self) {
         let Some(a) = &self.adaptive else { return };
         let delta = self.params.max_th - self.params.min_th;
@@ -220,6 +282,8 @@ impl QueueDiscipline for RedQueue {
     fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> EnqueueOutcome {
         self.stats.advance(now, self.store.len());
         self.update_avg(now);
+        #[cfg(feature = "audit")]
+        self.check_oracle(now);
 
         // Hard limit first: a full buffer always tail-drops.
         if self.store.len() >= self.params.capacity_pkts {
@@ -262,6 +326,18 @@ impl QueueDiscipline for RedQueue {
             }
             Some(reason) => {
                 self.stats.dropped += 1;
+                // The arrival consumed `idle_since` in `update_avg`, but a
+                // dropped packet never occupies the queue: if the store is
+                // still empty the idle period continues. Without this the
+                // next `update_avg` skips the idle decay entirely and the
+                // stale average keeps dropping packets at an empty queue.
+                if self.store.len() == 0 {
+                    self.idle_since = Some(now);
+                    #[cfg(feature = "audit")]
+                    if let Some(oracle) = &mut self.oracle {
+                        oracle.on_idle_start(now.as_nanos());
+                    }
+                }
                 EnqueueOutcome::Dropped(pkt, reason)
             }
             None => {
@@ -278,6 +354,10 @@ impl QueueDiscipline for RedQueue {
         self.stats.dequeued += 1;
         if self.store.len() == 0 {
             self.idle_since = Some(now);
+            #[cfg(feature = "audit")]
+            if let Some(oracle) = &mut self.oracle {
+                oracle.on_idle_start(now.as_nanos());
+            }
         }
         Some(pkt)
     }
@@ -400,6 +480,7 @@ mod tests {
         p.ecn = true;
         p.max_p = 1.0;
         let mut q = RedQueue::new(p);
+        q.detach_oracle(); // the test pokes `avg` directly below
         q.avg = 14.9; // deep in the probabilistic region
                       // Force avg to stay high by enqueueing many: with max_p=1 and
                       // avg>min_th, marks should occur and never early-drops for ECT.
@@ -422,6 +503,7 @@ mod tests {
         p.ecn = true;
         p.max_p = 1.0;
         let mut q = RedQueue::new(p);
+        q.detach_oracle(); // the test pokes `avg` directly below
         let mut dropped = 0;
         for _ in 0..50 {
             q.avg = 14.9;
@@ -451,6 +533,35 @@ mod tests {
             SimTime::from_secs_f64(1.0),
         );
         assert!(q.avg_queue() < avg_before * 0.5);
+    }
+
+    #[test]
+    fn drop_while_empty_preserves_idle_decay() {
+        // Regression: an early drop at an empty queue used to consume
+        // `idle_since` (taken by `update_avg`) without restoring it, so the
+        // idle period silently ended and the average never decayed.
+        let mut q = RedQueue::new(params(100));
+        q.detach_oracle(); // the test pokes `avg` directly below
+        q.avg = 100.0; // way beyond 2*max_th: forced drop, queue stays empty
+        match q.enqueue(
+            test_packet(1000, Ecn::NotCapable),
+            SimTime::from_nanos(1_000_000),
+        ) {
+            EnqueueOutcome::Dropped(_, DropReason::Early) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(q.avg_queue() > 15.0, "avg barely moved: {}", q.avg_queue());
+        // A full second of idle time (10_000 mean packet times at w_q=0.002)
+        // must collapse the average back below min_th, so the next arrival
+        // is accepted rather than dropped by the stale average.
+        match q.enqueue(
+            test_packet(1000, Ecn::NotCapable),
+            SimTime::from_secs_f64(1.0),
+        ) {
+            EnqueueOutcome::Enqueued => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(q.avg_queue() < 5.0, "idle decay skipped: {}", q.avg_queue());
     }
 
     #[test]
@@ -496,6 +607,7 @@ mod tests {
     fn deterministic_given_seed() {
         let run = || {
             let mut q = RedQueue::new(params(50));
+            q.detach_oracle(); // the test pokes `avg` directly below
             let mut outcomes = Vec::new();
             for i in 0..200 {
                 q.avg = 10.0; // stay in probabilistic region

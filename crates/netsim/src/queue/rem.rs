@@ -18,7 +18,12 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+#[cfg(feature = "audit")]
+use pert_core::reference::RemReference;
+
 use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
+#[cfg(feature = "audit")]
+use crate::audit;
 use crate::packet::{Ecn, Packet};
 use crate::time::{SimDuration, SimTime};
 
@@ -79,6 +84,10 @@ pub struct RemQueue {
     rng: SmallRng,
     price: f64,
     q_prev: f64,
+    /// Differential oracle: straight-line transcription of the REM price
+    /// law, compared after every price update.
+    #[cfg(feature = "audit")]
+    oracle: Option<RemReference>,
 }
 
 impl RemQueue {
@@ -86,6 +95,9 @@ impl RemQueue {
     pub fn new(params: RemParams) -> Self {
         params.validate();
         let seed = params.seed;
+        #[cfg(feature = "audit")]
+        let oracle = audit::enabled()
+            .then(|| RemReference::new(params.gamma, params.alpha_w, params.phi, params.q_ref));
         RemQueue {
             params,
             store: FifoStore::default(),
@@ -93,6 +105,8 @@ impl RemQueue {
             rng: SmallRng::seed_from_u64(seed ^ 0x4e4d_0a11),
             price: 0.0,
             q_prev: 0.0,
+            #[cfg(feature = "audit")]
+            oracle,
         }
     }
 
@@ -164,6 +178,23 @@ impl QueueDiscipline for RemQueue {
         let mismatch = q - self.q_prev;
         self.price = (self.price + self.params.gamma * (backlog + mismatch)).max(0.0);
         self.q_prev = q;
+        #[cfg(feature = "audit")]
+        if let Some(oracle) = &mut self.oracle {
+            oracle.tick(q);
+            let (ref_price, ref_p) = (oracle.price(), oracle.probability());
+            let own_p = 1.0 - self.params.phi.powf(-self.price);
+            audit::count_oracle_checks(1);
+            if !audit::close(ref_price, self.price) || !audit::close(ref_p, own_p) {
+                audit::violation(
+                    "rem",
+                    format_args!(
+                        "REM diverged from the Athuraliya et al. reference at t={_now:?} \
+                         (seed {}): price={} ref={ref_price}, p={own_p} ref={ref_p}, q={q}",
+                        self.params.seed, self.price,
+                    ),
+                );
+            }
+        }
     }
 
     fn tick_interval(&self) -> Option<SimDuration> {

@@ -21,11 +21,15 @@ use std::any::Any;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+#[cfg(feature = "audit")]
+use crate::audit::{AuditCtx, AuditHook, ConservationAuditor, EnqueueKind, QueueOp};
 use crate::event::{EventKind, EventQueue, TimerToken};
 use crate::ids::{AgentId, LinkId, NodeId};
 use crate::link::Link;
 use crate::node::{compute_routes, Node};
 use crate::packet::Packet;
+#[cfg(feature = "audit")]
+use crate::queue::DropReason;
 use crate::queue::{EnqueueOutcome, QueueDiscipline};
 use crate::time::{transmission_delay, SimDuration, SimTime};
 use crate::trace::{DropRecord, MarkRecord, Trace};
@@ -126,10 +130,18 @@ pub struct Simulator {
     rng: SmallRng,
     routes_ready: bool,
     events_processed: u64,
+    seed: u64,
+    #[cfg(feature = "audit")]
+    audit_hooks: Vec<Box<dyn AuditHook>>,
 }
 
 impl Simulator {
     /// Create a simulator whose randomness derives from `seed`.
+    ///
+    /// When the audit layer is compiled in and enabled at runtime (see
+    /// [`crate::audit::enabled`]), a [`ConservationAuditor`] is installed
+    /// automatically — the flag must therefore be set *before* simulators
+    /// are built.
     pub fn new(seed: u64) -> Self {
         Simulator {
             now: SimTime::ZERO,
@@ -144,12 +156,63 @@ impl Simulator {
             rng: SmallRng::seed_from_u64(seed),
             routes_ready: false,
             events_processed: 0,
+            seed,
+            #[cfg(feature = "audit")]
+            audit_hooks: if crate::audit::enabled() {
+                vec![Box::new(ConservationAuditor::new()) as Box<dyn AuditHook>]
+            } else {
+                Vec::new()
+            },
         }
     }
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The seed this simulator was created with (embedded in audit
+    /// reproducers).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Install an additional audit hook. Hooks see links added after this
+    /// call; links that already exist are adopted at their next operation.
+    #[cfg(feature = "audit")]
+    pub fn add_audit_hook(&mut self, hook: Box<dyn AuditHook>) {
+        self.audit_hooks.push(hook);
+    }
+
+    #[cfg(feature = "audit")]
+    #[inline]
+    fn audit_ctx(&self) -> AuditCtx {
+        AuditCtx {
+            seed: self.seed,
+            event_index: self.events_processed,
+            now: self.now,
+        }
+    }
+
+    /// Report a queue operation to every audit hook, with the queue in
+    /// its post-op state.
+    #[cfg(feature = "audit")]
+    fn audit_queue_op(&mut self, link_id: LinkId, op: QueueOp) {
+        if self.audit_hooks.is_empty() {
+            return;
+        }
+        let ctx = AuditCtx {
+            seed: self.seed,
+            event_index: self.events_processed,
+            now: self.now,
+        };
+        let Simulator {
+            links, audit_hooks, ..
+        } = self;
+        let queue = links[link_id.index()].queue.as_ref();
+        for hook in audit_hooks.iter_mut() {
+            hook.on_queue_op(link_id, &op, queue, &ctx);
+        }
     }
 
     /// Total events processed so far (engine throughput metric).
@@ -197,6 +260,16 @@ impl Simulator {
         self.link_endpoints.push((from, to));
         self.nodes[from.index()].out_links.push(id);
         self.routes_ready = false;
+        #[cfg(feature = "audit")]
+        {
+            let Simulator {
+                links, audit_hooks, ..
+            } = self;
+            let queue = links[id.index()].queue.as_ref();
+            for hook in audit_hooks.iter_mut() {
+                hook.on_link_added(id, queue);
+            }
+        }
         id
     }
 
@@ -343,6 +416,13 @@ impl Simulator {
             link.reset_measurement(now);
         }
         self.trace.clear();
+        #[cfg(feature = "audit")]
+        {
+            let ctx = self.audit_ctx();
+            for hook in &mut self.audit_hooks {
+                hook.on_window_reset(&ctx);
+            }
+        }
     }
 
     /// Flush all occupancy integrals up to `now` (call before reading
@@ -351,6 +431,13 @@ impl Simulator {
         let now = self.now;
         for link in &mut self.links {
             link.flush_stats(now);
+        }
+        #[cfg(feature = "audit")]
+        {
+            let ctx = self.audit_ctx();
+            for hook in &mut self.audit_hooks {
+                hook.on_flush(&ctx);
+            }
         }
     }
 
@@ -377,8 +464,20 @@ impl Simulator {
         let now = self.now;
         let was_data = pkt.is_data();
         let flow = pkt.flow;
-        let link = &mut self.links[link_id.index()];
-        match link.queue.enqueue(pkt, now) {
+        #[cfg(feature = "audit")]
+        let size_bytes = pkt.size_bytes;
+        let outcome = self.links[link_id.index()].queue.enqueue(pkt, now);
+        #[cfg(feature = "audit")]
+        {
+            let kind = match &outcome {
+                EnqueueOutcome::Enqueued => EnqueueKind::Stored,
+                EnqueueOutcome::Marked => EnqueueKind::Marked,
+                EnqueueOutcome::Dropped(_, DropReason::Overflow) => EnqueueKind::DroppedOverflow,
+                EnqueueOutcome::Dropped(_, DropReason::Early) => EnqueueKind::DroppedEarly,
+            };
+            self.audit_queue_op(link_id, QueueOp::Enqueue { kind, size_bytes });
+        }
+        match outcome {
             EnqueueOutcome::Enqueued => {}
             EnqueueOutcome::Marked => {
                 if self.trace.record_marks {
@@ -400,7 +499,7 @@ impl Simulator {
                 return;
             }
         }
-        if !link.busy {
+        if !self.links[link_id.index()].busy {
             self.start_transmission(link_id);
         }
     }
@@ -417,27 +516,46 @@ impl Simulator {
         // Here we only need its size to compute the serialization delay —
         // but disciplines may reorder in principle, so we dequeue now and
         // stash the packet until departure.
-        if let Some(pkt) = link.queue.dequeue(now) {
-            link.busy = true;
-            let tx = transmission_delay(pkt.size_bits(), link.capacity_bps);
-            link.delivered_bits += pkt.size_bits();
-            link.delivered_pkts += 1;
-            let arrive_at = now + tx + link.delay;
-            let to = link.to;
-            self.events
-                .schedule(now + tx, EventKind::Departure { link: link_id });
-            self.events.schedule(
-                arrive_at,
-                EventKind::Arrival {
-                    node: to,
-                    packet: pkt,
-                },
-            );
-        }
+        let Some(pkt) = link.queue.dequeue(now) else {
+            #[cfg(feature = "audit")]
+            self.audit_queue_op(link_id, QueueOp::Dequeue { popped: None });
+            return;
+        };
+        link.busy = true;
+        let tx = transmission_delay(pkt.size_bits(), link.capacity_bps);
+        link.delivered_bits += pkt.size_bits();
+        link.delivered_pkts += 1;
+        let arrive_at = now + tx + link.delay;
+        let to = link.to;
+        #[cfg(feature = "audit")]
+        let size_bytes = pkt.size_bytes;
+        self.events
+            .schedule(now + tx, EventKind::Departure { link: link_id });
+        self.events.schedule(
+            arrive_at,
+            EventKind::Arrival {
+                node: to,
+                packet: pkt,
+            },
+        );
+        #[cfg(feature = "audit")]
+        self.audit_queue_op(
+            link_id,
+            QueueOp::Dequeue {
+                popped: Some(size_bytes),
+            },
+        );
     }
 
     /// Deliver `pkt` to its destination agent at `node`.
     fn deliver(&mut self, node: NodeId, pkt: Packet) {
+        #[cfg(feature = "audit")]
+        if !self.audit_hooks.is_empty() {
+            let ctx = self.audit_ctx();
+            for hook in &mut self.audit_hooks {
+                hook.on_delivery(&pkt, &ctx);
+            }
+        }
         let id = pkt.dst_agent;
         debug_assert_eq!(
             self.agent_nodes[id.index()],
@@ -490,6 +608,13 @@ impl Simulator {
             }
             self.now = ev.at;
             self.events_processed += 1;
+            #[cfg(feature = "audit")]
+            if !self.audit_hooks.is_empty() {
+                let ctx = self.audit_ctx();
+                for hook in &mut self.audit_hooks {
+                    hook.on_event(&ctx);
+                }
+            }
             match ev.kind {
                 EventKind::Arrival { node, packet } => self.route_packet(node, packet),
                 EventKind::Departure { link } => self.on_link_free(link),

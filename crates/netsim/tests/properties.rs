@@ -4,10 +4,53 @@ use netsim::event::{EventKind, EventQueue};
 use netsim::ids::{AgentId, FlowId, NodeId};
 use netsim::packet::{Ecn, Packet, Payload};
 use netsim::queue::{
-    DropTail, EnqueueOutcome, PiParams, PiQueue, QueueDiscipline, RedParams, RedQueue,
+    AvqParams, AvqQueue, DropTail, EnqueueOutcome, PiParams, PiQueue, QueueDiscipline, RandomLoss,
+    RedParams, RedQueue, RemParams, RemQueue,
 };
 use netsim::time::{transmission_delay, SimDuration, SimTime};
 use proptest::prelude::*;
+
+/// One of each discipline (plus the random-loss wrapper), small buffers
+/// and aggressive AQM constants so random streams hit every outcome.
+fn all_disciplines(seed: u64) -> Vec<Box<dyn QueueDiscipline>> {
+    let mut pi = PiParams::hollot_example(12, 4.0, true, seed);
+    pi.a = 0.01;
+    pi.b = 0.005;
+    vec![
+        Box::new(DropTail::new(12)),
+        Box::new(RedQueue::new(RedParams {
+            capacity_pkts: 12,
+            min_th: 2.0,
+            max_th: 6.0,
+            max_p: 0.5,
+            w_q: 0.2,
+            gentle: true,
+            ecn: true,
+            mean_pkt_time: SimDuration::from_micros(10),
+            seed,
+        })),
+        Box::new(PiQueue::new(pi)),
+        Box::new(RemQueue::new(RemParams {
+            capacity_pkts: 12,
+            q_ref: 4.0,
+            gamma: 0.05,
+            alpha_w: 0.1,
+            phi: 1.2,
+            update_interval: SimDuration::from_micros(1),
+            ecn: true,
+            seed,
+        })),
+        Box::new(AvqQueue::new(AvqParams {
+            capacity_pkts: 12,
+            virtual_capacity_pkts: 6.0,
+            link_pps: 1000.0,
+            gamma: 0.98,
+            alpha: 0.1,
+            ecn: true,
+        })),
+        Box::new(RandomLoss::new(Box::new(DropTail::new(12)), 0.3, seed)),
+    ]
+}
 
 fn packet(size: u32, ecn: bool) -> Packet {
     Packet {
@@ -176,5 +219,94 @@ proptest! {
         let mean = stats.mean_len(SimTime::ZERO, end);
         let hi = *lens.iter().max().unwrap() as f64;
         prop_assert!(mean >= 0.0 && mean <= hi + 1e-9);
+    }
+
+    /// The `QueueStats` occupancy integral matches an independently
+    /// maintained naive step trace *exactly* (same integer arithmetic)
+    /// for every discipline under randomized enqueue/dequeue/tick
+    /// interleavings with mixed ECN traffic.
+    #[test]
+    fn integral_matches_naive_step_trace(
+        // Two bits per op: bit 0 = enqueue (vs dequeue), bit 1 = ECT.
+        ops in proptest::collection::vec(0u8..4, 1..300),
+        seed in any::<u64>(),
+    ) {
+        for mut q in all_disciplines(seed) {
+            let mut t = 0u64;
+            let (mut len, mut last, mut integral) = (0usize, 0u64, 0u128);
+            for (i, &op) in ops.iter().enumerate() {
+                let (enq, ecn) = (op & 1 != 0, op & 2 != 0);
+                t += 1_000;
+                // Disciplines advance the accumulators at the op instant
+                // with the pre-op length; mirror that before applying.
+                integral += (t - last) as u128 * len as u128;
+                last = t;
+                let now = SimTime::from_nanos(t);
+                if enq {
+                    match q.enqueue(packet(100, ecn), now) {
+                        EnqueueOutcome::Enqueued | EnqueueOutcome::Marked => len += 1,
+                        EnqueueOutcome::Dropped(..) => {}
+                    }
+                } else if q.dequeue(now).is_some() {
+                    len -= 1;
+                }
+                if i % 7 == 0 {
+                    q.on_tick(now); // must never touch the accumulators
+                }
+                prop_assert_eq!(q.len(), len);
+                prop_assert_eq!(q.stats().integral_pkt_ns, integral);
+            }
+        }
+    }
+}
+
+#[cfg(feature = "audit")]
+mod audit_props {
+    use super::*;
+    use netsim::audit::{AuditCtx, EnqueueKind, QueueLedger, QueueOp};
+    use netsim::ids::LinkId;
+    use netsim::queue::DropReason;
+
+    proptest! {
+        /// Every discipline conserves packets: replaying the observed
+        /// operation stream through the audit ledger (which verifies
+        /// `enqueued = dequeued + dropped + resident`, byte totals, and
+        /// the full `QueueStats` mirror after every op) never trips a
+        /// violation, for random packet streams including ECN mixes.
+        #[test]
+        fn disciplines_conserve_packets_via_audit_ledger(
+            // Two bits per op: bit 0 = enqueue (vs dequeue), bit 1 = ECT.
+            ops in proptest::collection::vec(0u8..4, 1..300),
+            seed in any::<u64>(),
+        ) {
+            for mut q in all_disciplines(seed) {
+                let mut ledger = QueueLedger::new(q.as_ref());
+                let mut t = 0u64;
+                for (i, &op) in ops.iter().enumerate() {
+                    let (enq, ecn) = (op & 1 != 0, op & 2 != 0);
+                    t += 1_000;
+                    let now = SimTime::from_nanos(t);
+                    let ctx = AuditCtx { seed, event_index: i as u64, now };
+                    let op = if enq {
+                        let kind = match q.enqueue(packet(100, ecn), now) {
+                            EnqueueOutcome::Enqueued => EnqueueKind::Stored,
+                            EnqueueOutcome::Marked => EnqueueKind::Marked,
+                            EnqueueOutcome::Dropped(_, DropReason::Overflow) => {
+                                EnqueueKind::DroppedOverflow
+                            }
+                            EnqueueOutcome::Dropped(_, DropReason::Early) => {
+                                EnqueueKind::DroppedEarly
+                            }
+                        };
+                        QueueOp::Enqueue { kind, size_bytes: 100 }
+                    } else {
+                        QueueOp::Dequeue { popped: q.dequeue(now).map(|p| p.size_bytes) }
+                    };
+                    ledger.apply(&op, now);
+                    // Panics with a seed/event/state dump on divergence.
+                    ledger.verify(LinkId(0), q.as_ref(), &ctx);
+                }
+            }
+        }
     }
 }

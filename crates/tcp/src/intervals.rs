@@ -4,12 +4,40 @@
 
 use std::collections::BTreeMap;
 
-/// Disjoint, maximally-merged set of half-open intervals `[start, end)`.
+#[cfg(feature = "audit")]
+use pert_core::audit;
+
+/// Differential shadow: the same set held as a plain `BTreeSet<u64>`,
+/// the obviously-correct O(n) structure the interval map optimizes.
+/// Attached at construction when auditing is enabled; every mutation is
+/// replayed on it and cheap invariants compared per-op, with a full
+/// structural comparison every 64th operation.
+#[cfg(feature = "audit")]
 #[derive(Clone, Debug, Default)]
+struct Shadow {
+    set: std::collections::BTreeSet<u64>,
+    ops: u64,
+}
+
+/// Disjoint, maximally-merged set of half-open intervals `[start, end)`.
+#[derive(Clone, Debug)]
 pub struct IntervalSet {
     /// start → end, disjoint and non-adjacent.
     map: BTreeMap<u64, u64>,
     len: u64,
+    #[cfg(feature = "audit")]
+    shadow: Option<Box<Shadow>>,
+}
+
+impl Default for IntervalSet {
+    fn default() -> Self {
+        IntervalSet {
+            map: BTreeMap::new(),
+            len: 0,
+            #[cfg(feature = "audit")]
+            shadow: audit::enabled().then(Box::<Shadow>::default),
+        }
+    }
 }
 
 impl IntervalSet {
@@ -45,6 +73,13 @@ impl IntervalSet {
     /// Returns the (possibly merged) containing interval, and whether `x`
     /// was newly added (`false` = duplicate).
     pub fn insert(&mut self, x: u64) -> ((u64, u64), bool) {
+        let res = self.insert_inner(x);
+        #[cfg(feature = "audit")]
+        self.shadow_check_insert(x, res);
+        res
+    }
+
+    fn insert_inner(&mut self, x: u64) -> ((u64, u64), bool) {
         // Find a predecessor interval that touches or covers x.
         let mut start = x;
         let mut end = x + 1;
@@ -82,6 +117,84 @@ impl IntervalSet {
             } else {
                 self.len -= e - s;
             }
+        }
+        #[cfg(feature = "audit")]
+        self.shadow_check_remove_below(cut);
+    }
+
+    #[cfg(feature = "audit")]
+    fn shadow_check_insert(&mut self, x: u64, ((start, end), fresh): ((u64, u64), bool)) {
+        let Some(shadow) = &mut self.shadow else {
+            return;
+        };
+        let naive_fresh = shadow.set.insert(x);
+        shadow.ops += 1;
+        let structural = shadow.ops.is_multiple_of(64);
+        let naive_len = shadow.set.len() as u64;
+        audit::count_tcp_checks(1);
+        if naive_fresh != fresh || self.len != naive_len || !(start <= x && x < end) {
+            audit::violation(
+                "interval-set",
+                format_args!(
+                    "insert({x}) diverged from the BTreeSet shadow: \
+                     fresh={fresh} naive={naive_fresh}, len={} naive={naive_len}, \
+                     interval=[{start},{end})",
+                    self.len,
+                ),
+            );
+        }
+        if structural {
+            self.verify_structure();
+        }
+    }
+
+    #[cfg(feature = "audit")]
+    fn shadow_check_remove_below(&mut self, cut: u64) {
+        let Some(shadow) = &mut self.shadow else {
+            return;
+        };
+        shadow.set = shadow.set.split_off(&cut);
+        shadow.ops += 1;
+        let structural = shadow.ops.is_multiple_of(64);
+        let naive_len = shadow.set.len() as u64;
+        audit::count_tcp_checks(1);
+        if self.len != naive_len {
+            audit::violation(
+                "interval-set",
+                format_args!(
+                    "remove_below({cut}) diverged from the BTreeSet shadow: \
+                     len={} naive={naive_len}",
+                    self.len,
+                ),
+            );
+        }
+        if structural {
+            self.verify_structure();
+        }
+    }
+
+    /// Full structural comparison: rebuild maximal runs from the shadow
+    /// and demand the interval map matches exactly.
+    #[cfg(feature = "audit")]
+    fn verify_structure(&self) {
+        let Some(shadow) = &self.shadow else { return };
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for &v in &shadow.set {
+            match runs.last_mut() {
+                Some((_, end)) if *end == v => *end = v + 1,
+                _ => runs.push((v, v + 1)),
+            }
+        }
+        let ours: Vec<(u64, u64)> = self.iter().collect();
+        audit::count_tcp_checks(1);
+        if ours != runs {
+            audit::violation(
+                "interval-set",
+                format_args!(
+                    "intervals diverged from the BTreeSet shadow: \
+                     ours={ours:?} naive={runs:?}"
+                ),
+            );
         }
     }
 

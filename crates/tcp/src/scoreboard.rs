@@ -15,6 +15,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+#[cfg(feature = "audit")]
+use pert_core::audit;
+
 use netsim::SackBlock;
 
 /// Number of SACKed segments above a hole required to declare it lost.
@@ -50,6 +53,9 @@ pub struct Scoreboard {
     highest_sacked: Option<u64>,
     /// FACK sweep watermark: holes below this were already examined.
     fack_mark: u64,
+    /// Mutation counter driving the periodic full audit rescan.
+    #[cfg(feature = "audit")]
+    ops: u64,
 }
 
 impl Scoreboard {
@@ -90,6 +96,7 @@ impl Scoreboard {
         debug_assert!(prev.is_none(), "segment {seq} sent twice as new");
         self.not_sacked.insert(seq);
         self.in_flight += 1;
+        self.audit();
     }
 
     /// Record the retransmission of a lost segment.
@@ -99,6 +106,7 @@ impl Scoreboard {
         *st = SegState::Retx;
         self.lost.remove(&seq);
         self.in_flight += 1;
+        self.audit();
     }
 
     /// Cumulative ACK up to (exclusive) `cum`: forget all covered segments.
@@ -123,6 +131,7 @@ impl Scoreboard {
         if self.fack_mark < cum {
             self.fack_mark = cum;
         }
+        self.audit();
         removed
     }
 
@@ -162,6 +171,7 @@ impl Scoreboard {
                     .map_or(block.end - 1, |h| h.max(block.end - 1)),
             );
         }
+        self.audit();
     }
 
     /// FACK loss declaration: mark as `Lost` every `InFlight` hole lying
@@ -191,6 +201,7 @@ impl Scoreboard {
             self.lost.insert(seq);
             self.in_flight -= 1;
         }
+        self.audit();
         n
     }
 
@@ -209,8 +220,79 @@ impl Scoreboard {
             self.lost.insert(seq);
             self.in_flight -= 1;
         }
+        self.audit();
         n
     }
+
+    /// Differential check of the incremental bookkeeping against the state
+    /// map it summarizes: O(1) conservation identity on every mutation,
+    /// full linear rescan (the naive implementation the counters replace)
+    /// every 64th.
+    #[cfg(feature = "audit")]
+    fn audit(&mut self) {
+        if !audit::enabled() {
+            return;
+        }
+        self.ops += 1;
+        audit::count_tcp_checks(1);
+        if self.in_flight + self.sacked + self.lost.len() != self.segs.len() {
+            audit::violation(
+                "scoreboard",
+                format_args!(
+                    "conservation broken: in_flight={} + sacked={} + lost={} != len={}",
+                    self.in_flight,
+                    self.sacked,
+                    self.lost.len(),
+                    self.segs.len(),
+                ),
+            );
+        }
+        if !self.ops.is_multiple_of(64) {
+            return;
+        }
+        let (mut in_flight, mut sacked, mut lost) = (0usize, 0usize, 0usize);
+        for (&seq, &st) in &self.segs {
+            match st {
+                SegState::InFlight | SegState::Retx => in_flight += 1,
+                SegState::Sacked => sacked += 1,
+                SegState::Lost => lost += 1,
+            }
+            if (st == SegState::Sacked) == self.not_sacked.contains(&seq) {
+                audit::violation(
+                    "scoreboard",
+                    format_args!("not_sacked index wrong for seq {seq} in state {st:?}"),
+                );
+            }
+            if (st == SegState::Lost) != self.lost.contains(&seq) {
+                audit::violation(
+                    "scoreboard",
+                    format_args!("lost index wrong for seq {seq} in state {st:?}"),
+                );
+            }
+        }
+        if in_flight != self.in_flight
+            || sacked != self.sacked
+            || lost != self.lost.len()
+            || self.not_sacked.len() + self.sacked != self.segs.len()
+        {
+            audit::violation(
+                "scoreboard",
+                format_args!(
+                    "counters diverged from linear rescan: in_flight={} rescan={in_flight}, \
+                     sacked={} rescan={sacked}, lost={} rescan={lost}, not_sacked={}, len={}",
+                    self.in_flight,
+                    self.sacked,
+                    self.lost.len(),
+                    self.not_sacked.len(),
+                    self.segs.len(),
+                ),
+            );
+        }
+    }
+
+    #[cfg(not(feature = "audit"))]
+    #[inline(always)]
+    fn audit(&mut self) {}
 
     /// Lowest lost segment awaiting retransmission.
     pub fn first_lost(&self) -> Option<u64> {
