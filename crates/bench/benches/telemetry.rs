@@ -1,0 +1,65 @@
+//! Telemetry overhead: the same PERT dumbbell simulation with taps
+//! detached (runtime flag down — the default for every experiment run)
+//! and attached (`--telemetry`). The detached case is the overhead
+//! contract of DESIGN.md §7: publish sites reduce to `None` branches,
+//! so it must track the pre-telemetry baseline; the attached case prices
+//! the flight-recorder ring and metrics flushes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use netsim::queue::DropTail;
+use netsim::{SimDuration, SimTime};
+use pert_core::telemetry;
+use pert_tcp::{connect, ConnectionSpec, START_TOKEN};
+
+/// One 5-second, 4-flow PERT dumbbell; returns events processed.
+fn pert_dumbbell_5s() -> u64 {
+    let mut sim = netsim::Simulator::new(1);
+    let a = sim.add_node();
+    let z = sim.add_node();
+    sim.add_duplex_link(a, z, 10_000_000, SimDuration::from_millis(20), |_| {
+        Box::new(DropTail::new(50))
+    });
+    sim.compute_routes();
+    for i in 0..4u64 {
+        let conn = connect(
+            &mut sim,
+            ConnectionSpec::pert(netsim::FlowId(i as usize), a, z, i),
+        );
+        sim.schedule_agent_timer(SimTime::ZERO, conn.sender, START_TOKEN);
+    }
+    sim.run_until(SimTime::from_secs_f64(5.0));
+    sim.events_processed()
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // Events per iteration, so wall-clock converts to events/sec.
+    eprintln!("telemetry bench: {} events per run", pert_dumbbell_5s());
+    let mut g = c.benchmark_group("telemetry");
+    g.bench_function("pert_dumbbell_5s/detached", |b| {
+        telemetry::set_enabled(false);
+        b.iter(|| black_box(pert_dumbbell_5s()))
+    });
+    g.bench_function("pert_dumbbell_5s/attached", |b| {
+        telemetry::set_enabled(true);
+        b.iter(|| black_box(pert_dumbbell_5s()));
+        telemetry::set_enabled(false);
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_telemetry_overhead
+}
+criterion_main!(benches);

@@ -50,6 +50,7 @@ pub mod predictors;
 pub mod reference;
 pub mod rem;
 pub mod response;
+pub mod telemetry;
 
 pub use estimators::{Ewma, MinMax, MovingAverage};
 pub use pert::{EarlyResponse, PertController, PertParams, PertStats};

@@ -22,6 +22,8 @@ use crate::estimators::Ewma;
 #[cfg(feature = "audit")]
 use crate::reference::PertReference;
 use crate::response::ResponseCurve;
+#[cfg(feature = "telemetry")]
+use crate::telemetry;
 
 /// Configuration of the PERT controller.
 #[derive(Clone, Copy, Debug)]
@@ -100,6 +102,11 @@ pub struct PertController {
     /// Differential oracle: straight-line §3 srtt/prop transcription.
     #[cfg(feature = "audit")]
     shadow: Option<PertReference>,
+    /// Telemetry key (the construction seed) when a tap attached; the
+    /// controller publishes `pert/srtt`, `pert/qdelay` and `pert/prob`
+    /// on every decision. `None` ⇒ zero-cost.
+    #[cfg(feature = "telemetry")]
+    tap_key: Option<u64>,
 }
 
 impl PertController {
@@ -117,6 +124,8 @@ impl PertController {
             stats: PertStats::default(),
             #[cfg(feature = "audit")]
             shadow: audit::enabled().then(|| PertReference::new(params.srtt_weight)),
+            #[cfg(feature = "telemetry")]
+            tap_key: telemetry::enabled().then_some(seed),
         }
     }
 
@@ -185,6 +194,12 @@ impl PertController {
 
         let qd = (srtt - prop).max(0.0);
         let p = self.params.curve.probability(qd);
+        #[cfg(feature = "telemetry")]
+        if let Some(key) = self.tap_key {
+            telemetry::record("pert/srtt", key, now, srtt);
+            telemetry::record("pert/qdelay", key, now, qd);
+            telemetry::record("pert/prob", key, now, p);
+        }
         if p <= 0.0 {
             return None;
         }

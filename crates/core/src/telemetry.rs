@@ -1,0 +1,617 @@
+//! Process-wide telemetry: signal taps, the metrics registry, profiler
+//! spans, and the flight recorder.
+//!
+//! This mirrors the two-gate design of [`crate::audit`]:
+//!
+//! * a **compile-time feature** (`telemetry`, on by default in the
+//!   simulator crates) gates the tap fields and record calls in hot
+//!   code, so `--no-default-features` builds carry zero cost;
+//! * a **runtime flag** ([`enabled`], default **off**) decides at
+//!   construction time whether a [`Tap`] attaches. With the flag down
+//!   every publish site is a branch on an `Option` that is `None`, and
+//!   experiment output is byte-identical to a build without the
+//!   feature. The `experiments` binary raises it with `--telemetry` or
+//!   `--trace-out`.
+//!
+//! Four kinds of data flow through here:
+//!
+//! * **Records** — `(scope, series, key, t, value)` samples published
+//!   by attached taps (PERT `srtt`, queue lengths, controller state).
+//!   Every record lands in a bounded ring (the *flight recorder*,
+//!   newest [`FLIGHT_CAP`] records); with [`set_full_trace`] they are
+//!   additionally kept in full for `--trace-out`.
+//! * **Metrics** — named counters/gauges/histograms in a global
+//!   [`MetricsSet`]. All operations are commutative, so per-job flushes
+//!   arriving in any thread order yield identical snapshots — the
+//!   `--jobs 1` vs `--jobs N` determinism contract.
+//! * **Spans** — coarse wall-clock phase timers ([`span`]) emitted as a
+//!   Chrome-trace file. Wall-clock data never enters reports, so it is
+//!   exempt from the determinism contract.
+//! * **Flight dumps** — [`install_flight_dump_on_panic`] hooks the
+//!   panic handler so an audit violation (which panics) or any scenario
+//!   panic dumps the telemetry window preceding the failure as JSONL.
+//!
+//! ## Scopes and ordering
+//!
+//! Records carry a thread-local *scope* string, set by the experiment
+//! runner to the job label via [`scoped`]. Within one scope all records
+//! come from one deterministic, single-threaded simulation, so their
+//! relative order is reproducible; across scopes the interleaving
+//! depends on worker scheduling. [`write_trace_jsonl`] therefore
+//! stable-sorts by `(scope, series, key)` before writing, which makes
+//! the trace file itself identical at any `--jobs N`.
+//!
+//! ## Series naming
+//!
+//! `subsystem/signal`, keyed by an integer the publisher chooses (PERT:
+//! controller seed; queues: link index; TCP: flow id). Current series
+//! are listed in DESIGN.md §7.
+
+pub use sim_stats::metrics::{BucketHistogram, MetricValue, MetricsSet};
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static FULL_TRACE: AtomicBool = AtomicBool::new(false);
+
+/// Capacity of the flight-recorder ring: the newest records kept for a
+/// post-mortem dump.
+pub const FLIGHT_CAP: usize = 65_536;
+
+/// True if telemetry is collecting. Defaults to **off**: unlike audits,
+/// telemetry is pull-based tooling, and reports must stay byte-identical
+/// unless explicitly requested otherwise.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn telemetry on or off process-wide. Like the audit flag, this must
+/// be raised **before** the instrumented objects are built: taps attach
+/// at construction time.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// When on, keep *every* record (not just the flight-recorder window)
+/// for [`write_trace_jsonl`]. Implied by `--trace-out`.
+pub fn set_full_trace(on: bool) {
+    FULL_TRACE.store(on, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static SCOPE: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Set this thread's telemetry scope for the lifetime of the returned
+/// guard (the previous scope is restored on drop). The experiment
+/// runner scopes each job by its label.
+pub fn scoped(label: &str) -> ScopeGuard {
+    let prev = SCOPE.with(|s| std::mem::replace(&mut *s.borrow_mut(), label.to_owned()));
+    ScopeGuard { prev }
+}
+
+/// Restores the previous thread scope on drop. See [`scoped`].
+#[derive(Debug)]
+pub struct ScopeGuard {
+    prev: String,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE.with(|s| *s.borrow_mut() = std::mem::take(&mut self.prev));
+    }
+}
+
+fn current_scope() -> String {
+    SCOPE.with(|s| s.borrow().clone())
+}
+
+// ---------------------------------------------------------------------
+// Records and taps
+// ---------------------------------------------------------------------
+
+/// One telemetry sample: series `series[key]` had `value` at simulated
+/// time `t` (seconds), published from job `scope`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Publishing job's label (runner-assigned; empty outside a job).
+    pub scope: String,
+    /// Series name, `subsystem/signal`.
+    pub series: &'static str,
+    /// Publisher-chosen instance key (seed, link index, flow id).
+    pub key: u64,
+    /// Simulated time, seconds.
+    pub t: f64,
+    /// Sample value.
+    pub value: f64,
+}
+
+struct Buffers {
+    ring: VecDeque<Record>,
+    full: Vec<Record>,
+}
+
+static BUFFERS: Mutex<Buffers> = Mutex::new(Buffers {
+    ring: VecDeque::new(),
+    full: Vec::new(),
+});
+
+/// Publish one sample. Prefer holding a [`Tap`]: attachment is the
+/// runtime gate, so detached code paths never reach this.
+pub fn record(series: &'static str, key: u64, t: f64, value: f64) {
+    let rec = Record {
+        scope: current_scope(),
+        series,
+        key,
+        t,
+        value,
+    };
+    let mut buf = BUFFERS.lock().unwrap();
+    if buf.ring.len() == FLIGHT_CAP {
+        buf.ring.pop_front();
+    }
+    if FULL_TRACE.load(Ordering::Relaxed) {
+        buf.full.push(rec.clone());
+    }
+    buf.ring.push_back(rec);
+}
+
+/// A handle a publisher holds when telemetry was enabled at its
+/// construction. Holding `Option<Tap>` (or just the key) and branching
+/// on it is the whole runtime cost when detached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tap {
+    series: &'static str,
+    key: u64,
+}
+
+impl Tap {
+    /// Attach a tap for `series[key]`, or `None` when telemetry is off.
+    pub fn attach(series: &'static str, key: u64) -> Option<Tap> {
+        enabled().then_some(Tap { series, key })
+    }
+
+    /// Publish one sample on this tap's series.
+    pub fn record(&self, t: f64, value: f64) {
+        record(self.series, self.key, t, value);
+    }
+
+    /// The instance key this tap was attached with.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+/// The newest records (up to [`FLIGHT_CAP`]), oldest first, in arrival
+/// order — the window a post-mortem wants.
+pub fn flight_snapshot() -> Vec<Record> {
+    let buf = BUFFERS.lock().unwrap();
+    buf.ring.iter().cloned().collect()
+}
+
+/// All records collected under [`set_full_trace`], stable-sorted by
+/// `(scope, series, key)` so the output is deterministic at any worker
+/// count (within a group, records come from one single-threaded job and
+/// keep their publication order).
+pub fn trace_snapshot_sorted() -> Vec<Record> {
+    let buf = BUFFERS.lock().unwrap();
+    let mut out = buf.full.clone();
+    drop(buf);
+    out.sort_by(|a, b| {
+        (a.scope.as_str(), a.series, a.key).cmp(&(b.scope.as_str(), b.series, b.key))
+    });
+    out
+}
+
+// ---------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------
+
+static METRICS: Mutex<MetricsSet> = Mutex::new(MetricsSet::new());
+
+/// Bucket edges for RTT-class histograms, nanoseconds:
+/// 1/2/5-stepped from 1 ms to 5 s, plus overflow.
+pub const RTT_EDGES_NS: [u64; 12] = [
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    5_000_000_000,
+];
+
+/// Add `n` to the global counter `name`. Callers batch per simulation
+/// and flush once (typically on drop) — never per event.
+pub fn counter_add(name: &str, n: u64) {
+    if n > 0 {
+        METRICS.lock().unwrap().counter_add(name, n);
+    }
+}
+
+/// Raise the global gauge `name` to at least `v`.
+pub fn gauge_max(name: &str, v: u64) {
+    METRICS.lock().unwrap().gauge_max(name, v);
+}
+
+/// Record one observation into the global histogram `name`.
+pub fn histogram_observe(name: &str, edges: &[u64], value: u64) {
+    METRICS
+        .lock()
+        .unwrap()
+        .histogram_observe(name, edges, value);
+}
+
+/// Merge a locally accumulated histogram into the global one.
+pub fn histogram_merge(name: &str, hist: &BucketHistogram) {
+    if hist.total > 0 {
+        METRICS.lock().unwrap().histogram_merge(name, hist);
+    }
+}
+
+/// A point-in-time copy of the global metrics. Use
+/// [`MetricsSet::since`] on two snapshots for per-target deltas.
+pub fn metrics_snapshot() -> MetricsSet {
+    METRICS.lock().unwrap().clone()
+}
+
+// ---------------------------------------------------------------------
+// Profiler spans
+// ---------------------------------------------------------------------
+
+/// One closed wall-clock phase, microseconds relative to process start.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Phase name (e.g. `sim/run_until`, `job/fig6 b=10`).
+    pub name: String,
+    /// Scope active when the span opened.
+    pub scope: String,
+    /// Small per-thread id for trace lanes.
+    pub tid: u64,
+    /// Start, µs since process epoch.
+    pub start_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+}
+
+static SPANS: Mutex<Vec<Span>> = Mutex::new(Vec::new());
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Open a wall-clock span, closed when the guard drops. `None` when
+/// telemetry is off, so the idiom is `let _span = telemetry::span(..);`.
+pub fn span(name: impl Into<String>) -> Option<SpanGuard> {
+    if !enabled() {
+        return None;
+    }
+    Some(SpanGuard {
+        name: name.into(),
+        started: Instant::now(),
+    })
+}
+
+/// Closes its [`span`] on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: String,
+    started: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let start_us = self.started.saturating_duration_since(epoch()).as_micros() as u64;
+        let dur_us = self.started.elapsed().as_micros() as u64;
+        SPANS.lock().unwrap().push(Span {
+            name: std::mem::take(&mut self.name),
+            scope: current_scope(),
+            tid: thread_id(),
+            start_us,
+            dur_us,
+        });
+    }
+}
+
+/// Record a pre-measured wall-clock phase (ending now) as a closed span
+/// — for durations accumulated across many short operations, like
+/// per-packet queue calls, where a guard per call would drown the trace.
+pub fn span_closed(name: impl Into<String>, dur_us: u64) {
+    if !enabled() {
+        return;
+    }
+    let end_us = epoch().elapsed().as_micros() as u64;
+    SPANS.lock().unwrap().push(Span {
+        name: name.into(),
+        scope: current_scope(),
+        tid: thread_id(),
+        start_us: end_us.saturating_sub(dur_us),
+        dur_us,
+    });
+}
+
+/// All closed spans so far.
+pub fn spans_snapshot() -> Vec<Span> {
+    SPANS.lock().unwrap().clone()
+}
+
+// ---------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn write_records_jsonl(path: &Path, records: &[Record]) -> io::Result<usize> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for r in records {
+        writeln!(
+            w,
+            "{{\"scope\":\"{}\",\"series\":\"{}\",\"key\":{},\"t\":{},\"v\":{}}}",
+            json_escape(&r.scope),
+            json_escape(r.series),
+            r.key,
+            json_num(r.t),
+            json_num(r.value),
+        )?;
+    }
+    w.flush()?;
+    Ok(records.len())
+}
+
+/// Dump the flight-recorder window (newest [`FLIGHT_CAP`] records,
+/// arrival order) as JSONL. Returns the record count.
+pub fn write_flight_jsonl(path: &Path) -> io::Result<usize> {
+    write_records_jsonl(path, &flight_snapshot())
+}
+
+/// Write the full trace (requires [`set_full_trace`]) as JSONL, sorted
+/// for determinism as described on [`trace_snapshot_sorted`]. Returns
+/// the record count.
+pub fn write_trace_jsonl(path: &Path) -> io::Result<usize> {
+    write_records_jsonl(path, &trace_snapshot_sorted())
+}
+
+/// Write all closed spans as a Chrome-trace-format file (load in
+/// `chrome://tracing` or Perfetto). Returns the span count.
+pub fn write_chrome_trace(path: &Path) -> io::Result<usize> {
+    let spans = spans_snapshot();
+    let mut w = BufWriter::new(File::create(path)?);
+    write!(w, "{{\"traceEvents\":[")?;
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            write!(w, ",")?;
+        }
+        write!(
+            w,
+            "{{\"name\":\"{}\",\"cat\":\"pert\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"scope\":\"{}\"}}}}",
+            json_escape(&s.name),
+            s.start_us,
+            s.dur_us,
+            s.tid,
+            json_escape(&s.scope),
+        )?;
+    }
+    write!(w, "]}}")?;
+    w.flush()?;
+    Ok(spans.len())
+}
+
+/// Chain a panic hook that dumps the flight recorder to `path` before
+/// the default handler runs, so audit violations (which panic) and
+/// scenario panics leave the telemetry window that preceded them on
+/// disk. Installs at most once per process; later calls are no-ops.
+pub fn install_flight_dump_on_panic(path: PathBuf) {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(move || {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            match write_flight_jsonl(&path) {
+                Ok(n) => eprintln!("flight recorder: dumped {n} records to {}", path.display()),
+                Err(e) => eprintln!("flight recorder: dump to {} failed: {e}", path.display()),
+            }
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: as with the audit flag, the enabled switch is process-global
+    // and tests share one process. Tests that need collection on flip it
+    // and never flip it back off mid-run would race other tests — so all
+    // tests here work with the flag *up* (extra records from concurrent
+    // tests are tolerated by filtering on unique series names), and no
+    // test ever lowers it.
+
+    #[test]
+    fn tap_requires_enabled_flag() {
+        // Runs first in lexical order? No guarantee — so assert only the
+        // off-state behaviour via a fresh look when the flag happens to
+        // be down, and the on-state behaviour after raising it.
+        set_enabled(true);
+        let tap = Tap::attach("test/tap_gate", 9).expect("enabled => attached");
+        tap.record(1.0, 2.0);
+        let found = flight_snapshot()
+            .iter()
+            .any(|r| r.series == "test/tap_gate" && r.key == 9 && r.value == 2.0);
+        assert!(found);
+    }
+
+    #[test]
+    fn full_trace_sorted_deterministically() {
+        set_enabled(true);
+        set_full_trace(true);
+        {
+            let _s = scoped("job-b");
+            record("test/sorted", 1, 0.5, 5.0);
+        }
+        {
+            let _s = scoped("job-a");
+            record("test/sorted", 1, 0.25, 2.5);
+            record("test/sorted", 1, 0.75, 7.5);
+        }
+        let trace: Vec<Record> = trace_snapshot_sorted()
+            .into_iter()
+            .filter(|r| r.series == "test/sorted")
+            .collect();
+        let scopes: Vec<&str> = trace.iter().map(|r| r.scope.as_str()).collect();
+        assert_eq!(scopes, vec!["job-a", "job-a", "job-b"]);
+        // Within a scope, publication order survives the stable sort.
+        assert_eq!(trace[0].t, 0.25);
+        assert_eq!(trace[1].t, 0.75);
+    }
+
+    #[test]
+    fn scope_guard_restores_previous() {
+        let _outer = scoped("outer");
+        assert_eq!(current_scope(), "outer");
+        {
+            let _inner = scoped("inner");
+            assert_eq!(current_scope(), "inner");
+        }
+        assert_eq!(current_scope(), "outer");
+    }
+
+    #[test]
+    fn metrics_flow_through_registry() {
+        set_enabled(true);
+        let before = metrics_snapshot();
+        counter_add("test/ctr", 3);
+        counter_add("test/ctr", 4);
+        gauge_max("test/gauge", 5);
+        gauge_max("test/gauge", 2);
+        histogram_observe("test/hist", &RTT_EDGES_NS, 1_500_000);
+        let delta = metrics_snapshot().since(&before);
+        assert_eq!(delta.get("test/ctr"), Some(&MetricValue::Counter(7)));
+        assert_eq!(delta.get("test/gauge"), Some(&MetricValue::Gauge(5)));
+        match delta.get("test/hist") {
+            Some(MetricValue::Histogram(h)) => assert!(h.total >= 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_close_on_drop() {
+        set_enabled(true);
+        {
+            let _g = span("test/span_close");
+        }
+        assert!(spans_snapshot().iter().any(|s| s.name == "test/span_close"));
+    }
+
+    #[test]
+    fn span_closed_records_premeasured_duration() {
+        set_enabled(true);
+        span_closed("test/span_closed", 1234);
+        let s = spans_snapshot()
+            .into_iter()
+            .find(|s| s.name == "test/span_closed")
+            .expect("span recorded");
+        assert_eq!(s.dur_us, 1234);
+    }
+
+    #[test]
+    fn writers_emit_valid_lines() {
+        set_enabled(true);
+        set_full_trace(true);
+        record("test/writer", 3, 1.5, 0.25);
+        let dir = std::env::temp_dir();
+        let flight = dir.join("pert_test_flight.jsonl");
+        let trace = dir.join("pert_test_trace.jsonl");
+        let chrome = dir.join("pert_test_chrome.json");
+        assert!(write_flight_jsonl(&flight).unwrap() >= 1);
+        assert!(write_trace_jsonl(&trace).unwrap() >= 1);
+        {
+            let _g = span("test/writer_span");
+        }
+        assert!(write_chrome_trace(&chrome).unwrap() >= 1);
+        let line = std::fs::read_to_string(&trace)
+            .unwrap()
+            .lines()
+            .find(|l| l.contains("\"series\":\"test/writer\""))
+            .map(str::to_owned)
+            .expect("record present");
+        assert!(line.contains("\"key\":3"));
+        assert!(line.contains("\"t\":1.5"));
+        assert!(line.contains("\"v\":0.25"));
+        let chrome_text = std::fs::read_to_string(&chrome).unwrap();
+        assert!(chrome_text.starts_with("{\"traceEvents\":["));
+        assert!(chrome_text.ends_with("]}"));
+        for p in [flight, trace, chrome] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn panic_dump_leaves_flight_window_on_disk() {
+        set_enabled(true);
+        record("test/panic_dump", 7, 2.0, 42.0);
+        let path = std::env::temp_dir().join("pert_test_panic_flight.jsonl");
+        let _ = std::fs::remove_file(&path);
+        install_flight_dump_on_panic(path.clone());
+        // An audit violation panics; any panic must leave the preceding
+        // telemetry window on disk before the default handler runs.
+        let _ = std::panic::catch_unwind(|| panic!("induced violation"));
+        let body = std::fs::read_to_string(&path).expect("dump written");
+        assert!(body.contains("\"series\":\"test/panic_dump\""));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(0.5), "0.5");
+    }
+}

@@ -10,12 +10,16 @@ use crate::scenario::{is_target, ALL_TARGETS};
 
 /// The usage text printed on a parse error.
 pub const USAGE: &str = "usage: experiments <target>... [--quick|--standard|--full] [--jobs N] \
-[--seed S] [--json PATH] [--csv PATH] [--audit]\n\
+[--seed S] [--json PATH] [--csv PATH] [--audit] [--telemetry] [--trace-out PATH]\n\
 targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1\n\
 \t fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all\n\
 --audit runs every simulation with the invariant-audit layer on (packet\n\
 conservation, accounting ledgers, differential oracles) and reports the\n\
-check/violation counts per target.";
+check/violation counts per target.\n\
+--telemetry attaches signal taps and appends a per-target metrics block to\n\
+each report; --trace-out PATH (implies --telemetry) additionally writes the\n\
+full per-series trace as JSONL to PATH plus a Chrome-trace profile and a\n\
+flight-recorder dump alongside it.";
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -34,6 +38,10 @@ pub struct Cli {
     pub csv: Option<String>,
     /// Run with the invariant-audit layer enabled.
     pub audit: bool,
+    /// Run with telemetry taps attached and report per-target metrics.
+    pub telemetry: bool,
+    /// Write the full telemetry trace (JSONL) here; implies `telemetry`.
+    pub trace_out: Option<String>,
 }
 
 fn flag_value<'a>(flag: &str, args: &'a [String], i: &mut usize) -> Result<&'a str, String> {
@@ -51,6 +59,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut json = None;
     let mut csv = None;
     let mut audit = false;
+    let mut telemetry = false;
+    let mut trace_out = None;
     let mut targets: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -78,6 +88,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--json" => json = Some(flag_value(a, args, &mut i)?.to_string()),
             "--csv" => csv = Some(flag_value(a, args, &mut i)?.to_string()),
             "--audit" => audit = true,
+            "--telemetry" => telemetry = true,
+            "--trace-out" => trace_out = Some(flag_value(a, args, &mut i)?.to_string()),
             f if f.starts_with('-') => return Err(format!("unknown flag '{f}'")),
             t => {
                 if t == "all" {
@@ -99,6 +111,10 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut seen = std::collections::HashSet::new();
     targets.retain(|t| seen.insert(t.clone()));
 
+    // A trace file is useless without collection, so --trace-out implies
+    // --telemetry.
+    let telemetry = telemetry || trace_out.is_some();
+
     Ok(Cli {
         targets,
         scale,
@@ -107,6 +123,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         json,
         csv,
         audit,
+        telemetry,
+        trace_out,
     })
 }
 
@@ -167,5 +185,23 @@ mod tests {
     fn audit_flag_is_off_by_default() {
         assert!(!p(&["fig5"]).unwrap().audit);
         assert!(p(&["fig5", "--audit"]).unwrap().audit);
+    }
+
+    #[test]
+    fn telemetry_flags() {
+        let off = p(&["fig5"]).unwrap();
+        assert!(!off.telemetry);
+        assert_eq!(off.trace_out, None);
+
+        assert!(p(&["fig5", "--telemetry"]).unwrap().telemetry);
+
+        // --trace-out implies telemetry collection.
+        let traced = p(&["fig5", "--trace-out", "t.jsonl"]).unwrap();
+        assert!(traced.telemetry);
+        assert_eq!(traced.trace_out.as_deref(), Some("t.jsonl"));
+
+        assert!(p(&["fig5", "--trace-out"])
+            .unwrap_err()
+            .contains("needs a value"));
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! experiments <target>... [--quick|--standard|--full] [--jobs N]
 //!             [--seed S] [--json PATH] [--csv PATH] [--audit]
+//!             [--telemetry] [--trace-out PATH]
 //!
 //! targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1
 //!          fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all
@@ -19,6 +20,16 @@ use experiments::cli;
 use experiments::report::{reports_to_csv, reports_to_json, AuditCounts};
 use experiments::runner::run_jobs;
 use experiments::scenario::lookup;
+use pert_core::telemetry;
+
+/// Where the flight-recorder dump lands: next to the trace file when
+/// `--trace-out` is given, else a fixed name in the working directory.
+fn flight_path(trace_out: Option<&str>) -> String {
+    match trace_out {
+        Some(p) => format!("{}.flight.jsonl", p.strip_suffix(".jsonl").unwrap_or(p)),
+        None => "pert-flight.jsonl".to_string(),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,9 +41,17 @@ fn main() {
         }
     };
 
-    // Must happen before any simulator is built: audit shadows attach at
-    // construction time.
+    // Must happen before any simulator is built: audit shadows and
+    // telemetry taps both attach at construction time.
     netsim::audit::set_enabled(cli.audit);
+    telemetry::set_enabled(cli.telemetry);
+    let flight = flight_path(cli.trace_out.as_deref());
+    if cli.telemetry {
+        telemetry::set_full_trace(cli.trace_out.is_some());
+        // An audit violation panics; leave the preceding telemetry
+        // window on disk when one fires (or any scenario panics).
+        telemetry::install_flight_dump_on_panic(flight.clone().into());
+    }
 
     println!("scale: {:?}", cli.scale);
     let mut reports = Vec::new();
@@ -41,10 +60,20 @@ fn main() {
         let seed = cli.seed.unwrap_or_else(|| scenario.default_seed());
         let t0 = std::time::Instant::now();
         let before = cli.audit.then(netsim::audit::snapshot);
-        let jobs = scenario.points(cli.scale, seed);
+        let metrics_before = cli.telemetry.then(telemetry::metrics_snapshot);
+        let jobs = {
+            let _span = telemetry::span(format!("{t}/points"));
+            scenario.points(cli.scale, seed)
+        };
         let (results, timings) = run_jobs(jobs, cli.jobs);
-        let mut report = scenario.assemble(cli.scale, seed, results);
+        let mut report = {
+            let _span = telemetry::span(format!("{t}/assemble"));
+            scenario.assemble(cli.scale, seed, results)
+        };
         report.timings = timings;
+        if let Some(b) = metrics_before {
+            report.metrics = Some(telemetry::metrics_snapshot().since(&b));
+        }
         if let Some(b) = before {
             let d = netsim::audit::snapshot().since(&b);
             report.audit = Some(AuditCounts {
@@ -76,5 +105,33 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[wrote {path}]");
+    }
+
+    if let Some(path) = &cli.trace_out {
+        let stem = path.strip_suffix(".jsonl").unwrap_or(path);
+        let chrome = format!("{stem}.chrome.json");
+        match telemetry::write_trace_jsonl(std::path::Path::new(path)) {
+            Ok(n) => eprintln!("[wrote {path}: {n} records]"),
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        match telemetry::write_chrome_trace(std::path::Path::new(&chrome)) {
+            Ok(n) => eprintln!("[wrote {chrome}: {n} spans]"),
+            Err(e) => {
+                eprintln!("error: writing {chrome}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if cli.telemetry {
+        // Always leave the final flight window on disk: CI archives it,
+        // and a clean run's window is the baseline to diff a crashed
+        // run's dump against.
+        match telemetry::write_flight_jsonl(std::path::Path::new(&flight)) {
+            Ok(n) => eprintln!("[wrote {flight}: {n} records]"),
+            Err(e) => eprintln!("warning: writing {flight}: {e}"),
+        }
     }
 }

@@ -10,6 +10,7 @@
 //! same reason.
 
 use crate::common::{fmt, Scale};
+use sim_stats::{MetricValue, MetricsSet};
 
 /// One typed table cell. The variant picks both the text rendering and
 /// the JSON/CSV serialization (numbers stay numbers).
@@ -152,6 +153,9 @@ pub struct Report {
     pub timings: Vec<PointTiming>,
     /// Audit counters for this target (`--audit` runs only).
     pub audit: Option<AuditCounts>,
+    /// Telemetry metrics accumulated while this target ran
+    /// (`--telemetry` runs only; rendering is unchanged when absent).
+    pub metrics: Option<MetricsSet>,
 }
 
 impl Report {
@@ -164,6 +168,7 @@ impl Report {
             tables: Vec::new(),
             timings: Vec::new(),
             audit: None,
+            metrics: None,
         }
     }
 
@@ -198,6 +203,18 @@ impl Report {
                 a.event_checks,
             ));
         }
+        if let Some(m) = &self.metrics {
+            out.push_str("\ntelemetry metrics:\n");
+            for (name, v) in m.iter() {
+                match v {
+                    MetricValue::Counter(c) => out.push_str(&format!("  {name} = {c}\n")),
+                    MetricValue::Gauge(g) => out.push_str(&format!("  {name} = {g} (peak)\n")),
+                    MetricValue::Histogram(h) => {
+                        out.push_str(&format!("  {name}: n={} mean={:.0}\n", h.total, h.mean()))
+                    }
+                }
+            }
+        }
         out
     }
 
@@ -217,6 +234,33 @@ impl Report {
                  \"event_checks\":{},\"violations\":{}}},",
                 a.queue_checks, a.oracle_checks, a.tcp_checks, a.event_checks, a.violations,
             ));
+        }
+        if let Some(m) = &self.metrics {
+            out.push_str("\"metrics\":{");
+            for (i, (name, v)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(name));
+                out.push(':');
+                match v {
+                    MetricValue::Counter(c) => out.push_str(&format!("{{\"counter\":{c}}}")),
+                    MetricValue::Gauge(g) => out.push_str(&format!("{{\"gauge\":{g}}}")),
+                    MetricValue::Histogram(h) => {
+                        let join =
+                            |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+                        out.push_str(&format!(
+                            "{{\"histogram\":{{\"edges\":[{}],\"counts\":[{}],\
+                             \"total\":{},\"sum\":{}}}}}",
+                            join(&h.edges),
+                            join(&h.counts),
+                            h.total,
+                            h.sum,
+                        ));
+                    }
+                }
+            }
+            out.push_str("},");
         }
         out.push_str("\"tables\":[");
         for (i, t) in self.tables.iter().enumerate() {
@@ -445,5 +489,43 @@ mod tests {
         );
         // The audit block must not disturb anything else.
         assert_eq!(plain.render_csv(), audited.render_csv());
+    }
+
+    #[test]
+    fn metrics_render_only_when_present() {
+        let plain = sample();
+        let mut metered = sample();
+        let mut m = MetricsSet::new();
+        m.counter_add("sim/events", 1234);
+        m.gauge_max("queue/peak_len", 17);
+        m.histogram_observe("tcp/rtt_ns", &[1_000_000, 10_000_000], 2_000_000);
+        metered.metrics = Some(m);
+
+        assert!(!plain.render_text().contains("telemetry metrics:"));
+        assert!(!plain.render_json().contains("\"metrics\""));
+
+        let text = metered.render_text();
+        assert!(text.contains("telemetry metrics:"), "{text}");
+        assert!(text.contains("  sim/events = 1234"), "{text}");
+        assert!(text.contains("  queue/peak_len = 17 (peak)"), "{text}");
+        assert!(text.contains("  tcp/rtt_ns: n=1 mean=2000000"), "{text}");
+
+        let js = metered.render_json();
+        assert!(
+            js.contains("\"metrics\":{\"queue/peak_len\":{\"gauge\":17}"),
+            "{js}"
+        );
+        assert!(js.contains("\"sim/events\":{\"counter\":1234}"), "{js}");
+        assert!(
+            js.contains(
+                "\"tcp/rtt_ns\":{\"histogram\":{\"edges\":[1000000,10000000],\
+                 \"counts\":[0,1,0],\"total\":1,\"sum\":2000000}}"
+            ),
+            "{js}"
+        );
+
+        // The metrics block must not disturb anything else.
+        assert_eq!(plain.render_csv(), metered.render_csv());
+        assert_eq!(metered.render_json(), metered.clone().render_json());
     }
 }

@@ -7,6 +7,13 @@
 //! never what it computes. Workers claim jobs through an atomic cursor
 //! and deposit each result in the slot matching the job's declared
 //! index, so assembly order is independent of completion order.
+//!
+//! Each job additionally runs under a telemetry *scope* equal to its
+//! label (see [`pert_core::telemetry::scoped`]): any records a job's
+//! simulations publish are tagged with the label, which is what lets the
+//! trace writer group and sort them deterministically regardless of
+//! which worker thread ran the job. With telemetry off this is a
+//! thread-local string swap per job — nothing more.
 
 use std::any::Any;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -53,7 +60,7 @@ pub fn run_jobs(jobs: Vec<Job>, workers: usize) -> (Vec<PointResult>, Vec<PointT
         let mut timings = Vec::with_capacity(n);
         for job in jobs {
             let t0 = Instant::now();
-            results.push((job.run)());
+            results.push(run_scoped(&job.label, job.run));
             timings.push(PointTiming {
                 label: job.label,
                 secs: t0.elapsed().as_secs_f64(),
@@ -80,7 +87,7 @@ pub fn run_jobs(jobs: Vec<Job>, workers: usize) -> (Vec<PointResult>, Vec<PointT
                 }
                 let f = work[i].lock().unwrap().take().expect("job claimed twice");
                 let t0 = Instant::now();
-                let result = f();
+                let result = run_scoped(&labels[i], f);
                 *done[i].lock().unwrap() = Some((result, t0.elapsed().as_secs_f64()));
             });
         }
@@ -97,6 +104,16 @@ pub fn run_jobs(jobs: Vec<Job>, workers: usize) -> (Vec<PointResult>, Vec<PointT
         timings.push(PointTiming { label, secs });
     }
     (results, timings)
+}
+
+/// Run one job closure under a telemetry scope named after its label,
+/// with a `job/<label>` profiler span (a no-op when telemetry is off).
+fn run_scoped(label: &str, f: impl FnOnce() -> PointResult) -> PointResult {
+    let _scope = pert_core::telemetry::scoped(label);
+    let _span = pert_core::telemetry::enabled()
+        .then(|| pert_core::telemetry::span(format!("job/{label}")))
+        .flatten();
+    f()
 }
 
 /// Downcast a [`PointResult`] back to its concrete type.

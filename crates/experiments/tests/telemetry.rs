@@ -1,0 +1,104 @@
+//! Telemetry integration: taps attached to a real figure's simulations
+//! publish the paper's signals, and the metrics registry merges per-job
+//! flushes deterministically whatever the worker count.
+//!
+//! The telemetry flag is process-global and attachment happens at
+//! construction time, so these tests raise it once and serialize on a
+//! file-local mutex; no test ever lowers the flag (other test binaries
+//! run in their own processes and are unaffected).
+
+use std::sync::Mutex;
+
+use experiments::common::Scale;
+use experiments::runner::run_jobs;
+use experiments::scenario::lookup;
+use pert_core::telemetry;
+use sim_stats::MetricsSet;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Run fig6 at Quick scale on `workers` threads and return the metrics
+/// delta that run contributed to the global registry.
+fn fig6_metrics_with_workers(workers: usize) -> MetricsSet {
+    let sc = lookup("fig6").expect("known target");
+    let seed = sc.default_seed();
+    let before = telemetry::metrics_snapshot();
+    let jobs = sc.points(Scale::Quick, seed);
+    let (results, _) = run_jobs(jobs, workers);
+    let _ = sc.assemble(Scale::Quick, seed, results);
+    telemetry::metrics_snapshot().since(&before)
+}
+
+#[test]
+fn fig6_metrics_merge_identically_across_worker_counts() {
+    let _g = LOCK.lock().unwrap();
+    telemetry::set_enabled(true);
+
+    let m1 = fig6_metrics_with_workers(1);
+    let m4 = fig6_metrics_with_workers(4);
+
+    // Identical simulations flush identical integer metrics, and the
+    // merge is commutative — so the thread interleaving of the 4-worker
+    // pool must be invisible.
+    assert!(!m1.is_empty(), "telemetry run produced no metrics");
+    assert_eq!(m1, m4, "metrics diverged between --jobs 1 and --jobs 4");
+
+    // The simulator and TCP flushes both arrived.
+    for name in [
+        "sim/events",
+        "sim/timers_scheduled",
+        "queue/enqueued",
+        "queue/peak_len",
+        "tcp/acked_segments",
+        "tcp/rtt_ns",
+    ] {
+        assert!(m1.get(name).is_some(), "metric {name} missing: {m1:?}");
+    }
+}
+
+#[test]
+fn fig6_taps_publish_the_papers_signals() {
+    let _g = LOCK.lock().unwrap();
+    telemetry::set_enabled(true);
+
+    let sc = lookup("fig6").expect("known target");
+    let seed = sc.default_seed();
+    // The flight recorder keeps only the newest FLIGHT_CAP records, and
+    // the non-PERT comparison schemes publish enough tcp/queue samples
+    // to evict an earlier job's window — so run just the PERT points.
+    let mut jobs = sc.points(Scale::Quick, seed);
+    jobs.retain(|j| j.label.ends_with("/PERT"));
+    assert!(!jobs.is_empty(), "fig6 has no PERT jobs?");
+    let (results, _) = run_jobs(jobs, 2);
+    drop(results);
+
+    // Figures 5–7 of the paper plot exactly these per-ACK signals; with
+    // taps attached every PERT run publishes them, alongside the queue
+    // and TCP series.
+    let flight = telemetry::flight_snapshot();
+    for series in [
+        "pert/srtt",
+        "pert/qdelay",
+        "pert/prob",
+        "queue/len",
+        "queue/ewma_len",
+        "tcp/cwnd",
+    ] {
+        assert!(
+            flight.iter().any(|r| r.series == series),
+            "series {series} never published"
+        );
+    }
+    // Signal sanity: srtt and the queuing-delay estimate are positive
+    // times; the response probability is a probability.
+    let vals = |s: &str| {
+        flight
+            .iter()
+            .filter(|r| r.series == s)
+            .map(|r| r.value)
+            .collect::<Vec<_>>()
+    };
+    assert!(vals("pert/srtt").iter().all(|&v| v > 0.0));
+    assert!(vals("pert/qdelay").iter().all(|&v| v >= 0.0));
+    assert!(vals("pert/prob").iter().all(|&v| (0.0..=1.0).contains(&v)));
+}

@@ -46,6 +46,8 @@ pub mod node;
 pub mod packet;
 pub mod queue;
 pub mod sim;
+#[cfg(feature = "telemetry")]
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 

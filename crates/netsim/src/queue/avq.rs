@@ -22,6 +22,8 @@
 
 use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
 use crate::packet::{Ecn, Packet};
+#[cfg(feature = "telemetry")]
+use crate::telemetry::{self, QueueTap};
 use crate::time::SimTime;
 
 /// AVQ configuration.
@@ -80,6 +82,8 @@ pub struct AvqQueue {
     c_tilde: f64,
     /// Time of the previous arrival.
     last_arrival: SimTime,
+    #[cfg(feature = "telemetry")]
+    tap: Option<QueueTap>,
 }
 
 impl AvqQueue {
@@ -94,6 +98,8 @@ impl AvqQueue {
             vq: 0.0,
             c_tilde: c,
             last_arrival: SimTime::ZERO,
+            #[cfg(feature = "telemetry")]
+            tap: None,
         }
     }
 
@@ -124,6 +130,16 @@ impl QueueDiscipline for AvqQueue {
         self.c_tilde = (self.c_tilde
             + self.params.alpha * (self.params.gamma * self.params.link_pps * dt - b))
             .clamp(0.0, self.params.link_pps);
+        #[cfg(feature = "telemetry")]
+        if let Some(tap) = &mut self.tap {
+            let vq = self.vq;
+            let c_tilde = self.c_tilde;
+            if tap.on_enqueue(now, self.store.len()) {
+                let t = now.as_secs_f64();
+                telemetry::record("avq/vq", tap.key(), t, vq);
+                telemetry::record("avq/c_tilde", tap.key(), t, c_tilde);
+            }
+        }
 
         let congested = self.vq + b > self.params.virtual_capacity_pkts;
         if congested {
@@ -173,6 +189,11 @@ impl QueueDiscipline for AvqQueue {
 
     fn name(&self) -> &'static str {
         "AVQ"
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn attach_tap(&mut self, key: u64) {
+        self.tap = QueueTap::attach(key);
     }
 }
 

@@ -4,6 +4,8 @@
 
 use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
 use crate::packet::Packet;
+#[cfg(feature = "telemetry")]
+use crate::telemetry::QueueTap;
 use crate::time::SimTime;
 
 /// First-in first-out queue that drops arrivals when full.
@@ -12,6 +14,8 @@ pub struct DropTail {
     store: FifoStore,
     capacity_pkts: usize,
     stats: QueueStats,
+    #[cfg(feature = "telemetry")]
+    tap: Option<QueueTap>,
 }
 
 impl DropTail {
@@ -25,6 +29,8 @@ impl DropTail {
             store: FifoStore::default(),
             capacity_pkts,
             stats: QueueStats::default(),
+            #[cfg(feature = "telemetry")]
+            tap: None,
         }
     }
 }
@@ -32,6 +38,10 @@ impl DropTail {
 impl QueueDiscipline for DropTail {
     fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
         self.stats.advance(now, self.store.len());
+        #[cfg(feature = "telemetry")]
+        if let Some(tap) = &mut self.tap {
+            tap.on_enqueue(now, self.store.len());
+        }
         if self.store.len() >= self.capacity_pkts {
             self.stats.dropped += 1;
             return EnqueueOutcome::Dropped(pkt, DropReason::Overflow);
@@ -70,6 +80,11 @@ impl QueueDiscipline for DropTail {
 
     fn name(&self) -> &'static str {
         "DropTail"
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn attach_tap(&mut self, key: u64) {
+        self.tap = QueueTap::attach(key);
     }
 }
 

@@ -100,6 +100,11 @@ impl QueueDiscipline for RandomLoss {
     fn name(&self) -> &'static str {
         "lossy"
     }
+
+    #[cfg(feature = "telemetry")]
+    fn attach_tap(&mut self, key: u64) {
+        self.inner.attach_tap(key);
+    }
 }
 
 #[cfg(test)]

@@ -176,6 +176,13 @@ pub trait QueueDiscipline: Send {
 
     /// A short human-readable name for reports (e.g. `"RED"`).
     fn name(&self) -> &'static str;
+
+    /// Attach a telemetry tap keyed by the owning link's index. The
+    /// simulator calls this from `add_link` when telemetry is enabled;
+    /// disciplines that publish series override it (wrappers forward to
+    /// their inner queue). The default ignores the request.
+    #[cfg(feature = "telemetry")]
+    fn attach_tap(&mut self, _key: u64) {}
 }
 
 /// Shared plain-FIFO storage used by the concrete disciplines.

@@ -26,6 +26,8 @@ use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
 #[cfg(feature = "audit")]
 use crate::audit;
 use crate::packet::{Ecn, Packet};
+#[cfg(feature = "telemetry")]
+use crate::telemetry::{self, QueueTap};
 use crate::time::{SimDuration, SimTime};
 
 /// PI controller configuration.
@@ -141,6 +143,8 @@ pub struct PiQueue {
     /// update equation, compared after every sampling tick.
     #[cfg(feature = "audit")]
     oracle: Option<PiReference>,
+    #[cfg(feature = "telemetry")]
+    tap: Option<QueueTap>,
 }
 
 impl PiQueue {
@@ -160,6 +164,8 @@ impl PiQueue {
             q_old: q_ref, // start with zero error history
             #[cfg(feature = "audit")]
             oracle,
+            #[cfg(feature = "telemetry")]
+            tap: None,
         }
     }
 
@@ -172,6 +178,10 @@ impl PiQueue {
 impl QueueDiscipline for PiQueue {
     fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> EnqueueOutcome {
         self.stats.advance(now, self.store.len());
+        #[cfg(feature = "telemetry")]
+        if let Some(tap) = &mut self.tap {
+            tap.on_enqueue(now, self.store.len());
+        }
         if self.store.len() >= self.params.capacity_pkts {
             self.stats.dropped += 1;
             return EnqueueOutcome::Dropped(pkt, DropReason::Overflow);
@@ -226,6 +236,10 @@ impl QueueDiscipline for PiQueue {
         let err_old = self.q_old - self.params.q_ref;
         self.p = (self.p + self.params.a * err_now - self.params.b * err_old).clamp(0.0, 1.0);
         self.q_old = q;
+        #[cfg(feature = "telemetry")]
+        if let Some(tap) = &self.tap {
+            telemetry::record("pi/p", tap.key(), _now.as_secs_f64(), self.p);
+        }
         #[cfg(feature = "audit")]
         if let Some(oracle) = &mut self.oracle {
             let ref_p = oracle.tick(q);
@@ -249,6 +263,11 @@ impl QueueDiscipline for PiQueue {
 
     fn name(&self) -> &'static str {
         "PI"
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn attach_tap(&mut self, key: u64) {
+        self.tap = QueueTap::attach(key);
     }
 }
 

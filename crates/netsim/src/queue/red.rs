@@ -27,6 +27,8 @@ use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
 #[cfg(feature = "audit")]
 use crate::audit;
 use crate::packet::{Ecn, Packet};
+#[cfg(feature = "telemetry")]
+use crate::telemetry::{self, QueueTap};
 use crate::time::{SimDuration, SimTime};
 
 /// Static RED configuration.
@@ -138,6 +140,8 @@ pub struct RedQueue {
     /// average and probability equations, compared after every arrival.
     #[cfg(feature = "audit")]
     oracle: Option<RedReference>,
+    #[cfg(feature = "telemetry")]
+    tap: Option<QueueTap>,
 }
 
 impl RedQueue {
@@ -168,6 +172,8 @@ impl RedQueue {
             max_p,
             #[cfg(feature = "audit")]
             oracle,
+            #[cfg(feature = "telemetry")]
+            tap: None,
         }
     }
 
@@ -284,6 +290,12 @@ impl QueueDiscipline for RedQueue {
         self.update_avg(now);
         #[cfg(feature = "audit")]
         self.check_oracle(now);
+        #[cfg(feature = "telemetry")]
+        if let Some(tap) = &mut self.tap {
+            if tap.on_enqueue(now, self.store.len()) {
+                telemetry::record("red/avg", tap.key(), now.as_secs_f64(), self.avg);
+            }
+        }
 
         // Hard limit first: a full buffer always tail-drops.
         if self.store.len() >= self.params.capacity_pkts {
@@ -384,6 +396,10 @@ impl QueueDiscipline for RedQueue {
 
     fn on_tick(&mut self, _now: SimTime) {
         self.adapt();
+        #[cfg(feature = "telemetry")]
+        if let Some(tap) = &self.tap {
+            telemetry::record("red/max_p", tap.key(), _now.as_secs_f64(), self.max_p);
+        }
     }
 
     fn tick_interval(&self) -> Option<SimDuration> {
@@ -396,6 +412,11 @@ impl QueueDiscipline for RedQueue {
         } else {
             "RED"
         }
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn attach_tap(&mut self, key: u64) {
+        self.tap = QueueTap::attach(key);
     }
 }
 

@@ -25,6 +25,8 @@ use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
 #[cfg(feature = "audit")]
 use crate::audit;
 use crate::packet::{Ecn, Packet};
+#[cfg(feature = "telemetry")]
+use crate::telemetry::{self, QueueTap};
 use crate::time::{SimDuration, SimTime};
 
 /// REM configuration.
@@ -88,6 +90,8 @@ pub struct RemQueue {
     /// law, compared after every price update.
     #[cfg(feature = "audit")]
     oracle: Option<RemReference>,
+    #[cfg(feature = "telemetry")]
+    tap: Option<QueueTap>,
 }
 
 impl RemQueue {
@@ -107,6 +111,8 @@ impl RemQueue {
             q_prev: 0.0,
             #[cfg(feature = "audit")]
             oracle,
+            #[cfg(feature = "telemetry")]
+            tap: None,
         }
     }
 
@@ -124,6 +130,10 @@ impl RemQueue {
 impl QueueDiscipline for RemQueue {
     fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> EnqueueOutcome {
         self.stats.advance(now, self.store.len());
+        #[cfg(feature = "telemetry")]
+        if let Some(tap) = &mut self.tap {
+            tap.on_enqueue(now, self.store.len());
+        }
         if self.store.len() >= self.params.capacity_pkts {
             self.stats.dropped += 1;
             return EnqueueOutcome::Dropped(pkt, DropReason::Overflow);
@@ -178,6 +188,12 @@ impl QueueDiscipline for RemQueue {
         let mismatch = q - self.q_prev;
         self.price = (self.price + self.params.gamma * (backlog + mismatch)).max(0.0);
         self.q_prev = q;
+        #[cfg(feature = "telemetry")]
+        if let Some(tap) = &self.tap {
+            let t = _now.as_secs_f64();
+            telemetry::record("rem/price", tap.key(), t, self.price);
+            telemetry::record("rem/prob", tap.key(), t, self.probability());
+        }
         #[cfg(feature = "audit")]
         if let Some(oracle) = &mut self.oracle {
             oracle.tick(q);
@@ -203,6 +219,11 @@ impl QueueDiscipline for RemQueue {
 
     fn name(&self) -> &'static str {
         "REM"
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn attach_tap(&mut self, key: u64) {
+        self.tap = QueueTap::attach(key);
     }
 }
 

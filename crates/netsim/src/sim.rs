@@ -87,6 +87,7 @@ impl Ctx<'_> {
     /// and ignored by the agent (e.g. by embedding an epoch in the token).
     pub fn schedule(&mut self, delay: SimDuration, token: TimerToken) {
         let at = self.sim.now + delay;
+        self.sim.counters.timers_scheduled += 1;
         self.sim.events.schedule(
             at,
             EventKind::Timer {
@@ -115,6 +116,27 @@ struct Probe {
 const CTRL_QUEUE_TICK: u64 = 1 << 32;
 const CTRL_PROBE: u64 = 2 << 32;
 
+/// Cheap always-on per-simulation counters (plain integer increments on
+/// paths that already mutate state — they never affect event order or
+/// randomness). The window restarts at [`Simulator::reset_measurements`];
+/// when the `telemetry` feature is compiled in and the runtime flag was up
+/// at construction, the final window is flushed into the global metrics
+/// registry when the simulator drops.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Timers armed via [`Ctx::schedule`] or
+    /// [`Simulator::schedule_agent_timer`] (timer churn).
+    pub timers_scheduled: u64,
+    /// Packets accepted by a link queue (including marked ones).
+    pub enqueued: u64,
+    /// Packets ECN-marked on acceptance.
+    pub marked: u64,
+    /// Packets dropped because a queue was full.
+    pub dropped_overflow: u64,
+    /// Packets dropped early by an AQM decision.
+    pub dropped_early: u64,
+}
+
 /// The discrete-event network simulator.
 pub struct Simulator {
     now: SimTime,
@@ -130,9 +152,19 @@ pub struct Simulator {
     rng: SmallRng,
     routes_ready: bool,
     events_processed: u64,
+    counters: SimCounters,
     seed: u64,
     #[cfg(feature = "audit")]
     audit_hooks: Vec<Box<dyn AuditHook>>,
+    /// Whether telemetry was enabled when this simulator was built (taps
+    /// attach at construction; see `crate::telemetry`).
+    #[cfg(feature = "telemetry")]
+    tel_on: bool,
+    /// Wall-clock nanoseconds spent inside queue enqueue/dequeue calls
+    /// (accumulated only when `tel_on`; profiling, exempt from the
+    /// determinism contract).
+    #[cfg(feature = "telemetry")]
+    queue_op_ns: u64,
 }
 
 impl Simulator {
@@ -156,6 +188,7 @@ impl Simulator {
             rng: SmallRng::seed_from_u64(seed),
             routes_ready: false,
             events_processed: 0,
+            counters: SimCounters::default(),
             seed,
             #[cfg(feature = "audit")]
             audit_hooks: if crate::audit::enabled() {
@@ -163,6 +196,10 @@ impl Simulator {
             } else {
                 Vec::new()
             },
+            #[cfg(feature = "telemetry")]
+            tel_on: crate::telemetry::enabled(),
+            #[cfg(feature = "telemetry")]
+            queue_op_ns: 0,
         }
     }
 
@@ -215,9 +252,16 @@ impl Simulator {
         }
     }
 
-    /// Total events processed so far (engine throughput metric).
+    /// Total events processed so far (engine throughput metric; lifetime,
+    /// not reset by [`Simulator::reset_measurements`]).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// The current measurement window's event counters (restarted by
+    /// [`Simulator::reset_measurements`]).
+    pub fn counters(&self) -> SimCounters {
+        self.counters
     }
 
     // ------------------------------------------------------------------
@@ -257,6 +301,12 @@ impl Simulator {
         }
         self.links
             .push(Link::new(id, from, to, capacity_bps, delay, queue));
+        #[cfg(feature = "telemetry")]
+        if self.tel_on {
+            // Tap key = link index: `queue/len` series line up with the
+            // LinkIds reported everywhere else.
+            self.links[id.index()].queue.attach_tap(id.0 as u64);
+        }
         self.link_endpoints.push((from, to));
         self.nodes[from.index()].out_links.push(id);
         self.routes_ready = false;
@@ -336,6 +386,7 @@ impl Simulator {
             self.agents[agent.index()].is_some(),
             "agent {agent} not installed"
         );
+        self.counters.timers_scheduled += 1;
         self.events.schedule(at, EventKind::Timer { agent, token });
     }
 
@@ -416,6 +467,7 @@ impl Simulator {
             link.reset_measurement(now);
         }
         self.trace.clear();
+        self.counters = SimCounters::default();
         #[cfg(feature = "audit")]
         {
             let ctx = self.audit_ctx();
@@ -466,7 +518,13 @@ impl Simulator {
         let flow = pkt.flow;
         #[cfg(feature = "audit")]
         let size_bytes = pkt.size_bytes;
+        #[cfg(feature = "telemetry")]
+        let t0 = self.tel_on.then(std::time::Instant::now);
         let outcome = self.links[link_id.index()].queue.enqueue(pkt, now);
+        #[cfg(feature = "telemetry")]
+        if let Some(t0) = t0 {
+            self.queue_op_ns += t0.elapsed().as_nanos() as u64;
+        }
         #[cfg(feature = "audit")]
         {
             let kind = match &outcome {
@@ -478,17 +536,23 @@ impl Simulator {
             self.audit_queue_op(link_id, QueueOp::Enqueue { kind, size_bytes });
         }
         match outcome {
-            EnqueueOutcome::Enqueued => {}
+            EnqueueOutcome::Enqueued => {
+                self.counters.enqueued += 1;
+            }
             EnqueueOutcome::Marked => {
-                if self.trace.record_marks {
-                    self.trace.marks.push(MarkRecord {
-                        at: now,
-                        link: link_id,
-                        flow,
-                    });
-                }
+                self.counters.enqueued += 1;
+                self.counters.marked += 1;
+                self.trace.record_mark(MarkRecord {
+                    at: now,
+                    link: link_id,
+                    flow,
+                });
             }
             EnqueueOutcome::Dropped(_, reason) => {
+                match reason {
+                    crate::queue::DropReason::Overflow => self.counters.dropped_overflow += 1,
+                    crate::queue::DropReason::Early => self.counters.dropped_early += 1,
+                }
                 self.trace.drops.push(DropRecord {
                     at: now,
                     link: link_id,
@@ -508,6 +572,8 @@ impl Simulator {
     /// departure after the serialization delay.
     fn start_transmission(&mut self, link_id: LinkId) {
         let now = self.now;
+        #[cfg(feature = "telemetry")]
+        let t0 = self.tel_on.then(std::time::Instant::now);
         let link = &mut self.links[link_id.index()];
         debug_assert!(!link.busy);
         // The departing packet stays logically "on the wire"; we peek by
@@ -516,7 +582,12 @@ impl Simulator {
         // Here we only need its size to compute the serialization delay —
         // but disciplines may reorder in principle, so we dequeue now and
         // stash the packet until departure.
-        let Some(pkt) = link.queue.dequeue(now) else {
+        let popped = link.queue.dequeue(now);
+        #[cfg(feature = "telemetry")]
+        if let Some(t0) = t0 {
+            self.queue_op_ns += t0.elapsed().as_nanos() as u64;
+        }
+        let Some(pkt) = popped else {
             #[cfg(feature = "audit")]
             self.audit_queue_op(link_id, QueueOp::Dequeue { popped: None });
             return;
@@ -587,6 +658,11 @@ impl Simulator {
     /// agent bug (e.g. two agents answering each other with zero-latency
     /// messages). The panic message names the stuck timestamp.
     pub fn run_until(&mut self, until: SimTime) {
+        #[cfg(feature = "telemetry")]
+        let _span = self
+            .tel_on
+            .then(|| crate::telemetry::span("sim/run_until"))
+            .flatten();
         let mut stuck_at = self.now;
         let mut stuck_count: u64 = 0;
         while let Some(at) = self.events.peek_time() {
@@ -683,6 +759,37 @@ impl Simulator {
     }
 }
 
+/// Flush the final measurement window into the global telemetry metrics
+/// registry. Only active when the runtime flag was up at construction, so
+/// simulators built with telemetry off cost nothing here.
+#[cfg(feature = "telemetry")]
+impl Drop for Simulator {
+    fn drop(&mut self) {
+        if !self.tel_on {
+            return;
+        }
+        use crate::telemetry as tel;
+        tel::counter_add("sim/events", self.events_processed);
+        tel::counter_add("sim/timers_scheduled", self.counters.timers_scheduled);
+        tel::counter_add("queue/enqueued", self.counters.enqueued);
+        tel::counter_add("queue/marked", self.counters.marked);
+        tel::counter_add("queue/dropped_overflow", self.counters.dropped_overflow);
+        tel::counter_add("queue/dropped_early", self.counters.dropped_early);
+        tel::counter_add("trace/marks_dropped", self.trace.marks_dropped);
+        // Wall-clock queue-op time goes to the span (profiling) domain,
+        // never the metrics registry: report metrics must stay identical
+        // across runs and worker counts.
+        tel::span_closed("sim/queue_ops", self.queue_op_ns / 1_000);
+        let peak = self
+            .links
+            .iter()
+            .map(|l| l.queue.stats().peak_len as u64)
+            .max()
+            .unwrap_or(0);
+        tel::gauge_max("queue/peak_len", peak);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -728,11 +835,13 @@ mod tests {
         }
     }
 
-    /// Sends `n` packets on its start timer; records ACK RTTs.
+    /// Sends `n` packets per timer fire (sequence numbers continue across
+    /// fires, keeping the tcp-seq auditor satisfied); records ACK RTTs.
     struct Blaster {
         peer_agent: AgentId,
         peer_node: NodeId,
         n: u64,
+        next_seq: u64,
         rtts: Vec<SimDuration>,
     }
 
@@ -743,7 +852,9 @@ mod tests {
             }
         }
         fn on_timer(&mut self, _t: TimerToken, ctx: &mut Ctx<'_>) {
-            for seq in 0..self.n {
+            let first = self.next_seq;
+            self.next_seq += self.n;
+            for seq in first..first + self.n {
                 ctx.send(Packet {
                     flow: FlowId(0),
                     dst_node: self.peer_node,
@@ -784,6 +895,7 @@ mod tests {
                 peer_agent: rx,
                 peer_node: b,
                 n: 5,
+                next_seq: 0,
                 rtts: Vec::new(),
             }),
         );
@@ -827,6 +939,36 @@ mod tests {
         sim.run_until(SimTime::from_secs_f64(1.0));
         assert_eq!(sim.trace.drops.len(), 2);
         assert!(sim.trace.drops.iter().all(|d| d.was_data));
+    }
+
+    #[test]
+    fn reset_measurements_zeroes_counters_then_rerun_accumulates() {
+        let (mut sim, tx, _rx) = two_node_sim(2);
+        sim.schedule_agent_timer(SimTime::ZERO, tx, TimerToken(0));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let warm = sim.counters();
+        assert!(warm.enqueued > 0, "warm-up produced no enqueues");
+        assert_eq!(warm.dropped_overflow, 2);
+        assert_eq!(warm.timers_scheduled, 1);
+        assert_eq!(sim.trace.drops.len(), 2);
+
+        // End of warm-up: everything windowed must return to zero.
+        sim.reset_measurements();
+        assert_eq!(sim.counters(), SimCounters::default());
+        assert!(sim.trace.drops.is_empty());
+        assert!(sim.trace.marks.is_empty());
+        assert_eq!(sim.trace.marks_dropped, 0);
+
+        // The same workload after the reset fills a fresh window with
+        // identical totals — nothing leaked across the boundary.
+        sim.schedule_agent_timer(SimTime::from_secs_f64(1.0), tx, TimerToken(0));
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        sim.flush_measurements();
+        let fresh = sim.counters();
+        assert_eq!(fresh.enqueued, warm.enqueued);
+        assert_eq!(fresh.dropped_overflow, warm.dropped_overflow);
+        assert_eq!(fresh.timers_scheduled, warm.timers_scheduled);
+        assert_eq!(sim.trace.drops.len(), 2);
     }
 
     #[test]

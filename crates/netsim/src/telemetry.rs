@@ -1,0 +1,100 @@
+//! Simulator-side telemetry helpers over the process-wide registry in
+//! [`pert_core::telemetry`] (re-exported here in full).
+//!
+//! The simulator publishes:
+//!
+//! * per-queue signal series via [`QueueTap`] — instantaneous length
+//!   (`queue/len`), an EWMA length (`queue/ewma_len`), and each AQM's
+//!   internal state (`red/avg`, `pi/p`, `rem/price`, `avq/vq`, …),
+//!   keyed by link index;
+//! * per-simulation counters (events, timers, enqueues, drops by
+//!   reason, marks) batched in [`crate::sim::SimCounters`] and flushed
+//!   into the metrics registry when the simulator drops;
+//! * wall-clock profiler spans around [`crate::sim::Simulator::run_until`].
+//!
+//! Everything is double-gated like the audit layer: this module only
+//! exists under the `telemetry` cargo feature, and taps only attach
+//! when [`enabled`] was raised before construction.
+
+pub use pert_core::telemetry::*;
+
+use crate::time::SimTime;
+
+/// Per-enqueue queue-length series are decimated to one sample every
+/// this many enqueues, keeping trace volume proportional to (not equal
+/// to) the packet count. Controller-internal series (`pi/p`, `red/avg`
+/// on adaptation, `rem/price`) follow their own tick cadence instead.
+pub const QUEUE_SAMPLE_EVERY: u32 = 64;
+
+/// EWMA weight for the smoothed queue-length series — RED's recommended
+/// `w_q`, so `queue/ewma_len` is directly comparable to `red/avg`.
+const EWMA_WEIGHT: f64 = 0.002;
+
+/// A queue discipline's attached tap: publishes decimated length series
+/// and carries the link key for discipline-specific signals.
+#[derive(Clone, Debug)]
+pub struct QueueTap {
+    key: u64,
+    enqueues: u32,
+    ewma_len: f64,
+}
+
+impl QueueTap {
+    /// Attach a tap keyed by link index, or `None` when telemetry is
+    /// off (the zero-cost path: disciplines hold `Option<QueueTap>`).
+    pub fn attach(key: u64) -> Option<QueueTap> {
+        enabled().then_some(QueueTap {
+            key,
+            enqueues: 0,
+            ewma_len: 0.0,
+        })
+    }
+
+    /// The link key this tap was attached with.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Fold one enqueue at occupancy `len` into the EWMA and, on every
+    /// [`QUEUE_SAMPLE_EVERY`]-th call (and the first), publish
+    /// `queue/len` and `queue/ewma_len`. Returns `true` when this call
+    /// published, so disciplines can piggyback their own series at the
+    /// same cadence.
+    pub fn on_enqueue(&mut self, now: SimTime, len: usize) -> bool {
+        self.ewma_len += EWMA_WEIGHT * (len as f64 - self.ewma_len);
+        let sample = self.enqueues.is_multiple_of(QUEUE_SAMPLE_EVERY);
+        self.enqueues = self.enqueues.wrapping_add(1);
+        if sample {
+            let t = now.as_secs_f64();
+            record("queue/len", self.key, t, len as f64);
+            record("queue/ewma_len", self.key, t, self.ewma_len);
+        }
+        sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_tap_decimates() {
+        set_enabled(true);
+        let mut tap = QueueTap::attach(777).expect("enabled");
+        let mut published = 0;
+        for i in 0..(2 * QUEUE_SAMPLE_EVERY) {
+            if tap.on_enqueue(SimTime::from_nanos(u64::from(i)), i as usize) {
+                published += 1;
+            }
+        }
+        assert_eq!(published, 2);
+        assert!(tap.ewma_len > 0.0);
+        let records = flight_snapshot();
+        assert!(records
+            .iter()
+            .any(|r| r.series == "queue/len" && r.key == 777));
+        assert!(records
+            .iter()
+            .any(|r| r.series == "queue/ewma_len" && r.key == 777));
+    }
+}

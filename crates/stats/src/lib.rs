@@ -10,19 +10,24 @@
 //! * [`histogram::Histogram`] — empirical PDFs (Figure 4);
 //! * [`timeseries::TimeSeries`] — step-interpolated time-indexed lookups
 //!   (queue length at false-positive instants; throughput traces);
-//! * [`summary::Summary`] — streaming mean/variance.
+//! * [`summary::Summary`] — streaming mean/variance;
+//! * [`metrics::MetricsSet`] — named counters/gauges/fixed-bucket
+//!   histograms with deterministic, commutative merging (the model
+//!   behind the telemetry registry).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod histogram;
 pub mod jain;
+pub mod metrics;
 pub mod summary;
 pub mod timeseries;
 pub mod transitions;
 
 pub use histogram::Histogram;
 pub use jain::jain_index;
+pub use metrics::{BucketHistogram, MetricValue, MetricsSet};
 pub use summary::Summary;
 pub use timeseries::TimeSeries;
 pub use transitions::{analyze, cluster_losses, TransitionCounts};

@@ -1,0 +1,335 @@
+//! A small, dependency-free metrics model: named counters, gauges and
+//! fixed-bucket histograms with *deterministic, commutative* merging.
+//!
+//! The model is deliberately integer-only. Counters and gauges are
+//! `u64`; histogram observations are `u64` (callers quantise — the
+//! telemetry layer records durations in nanoseconds). Integer addition
+//! and `max` are associative and commutative, so merging per-job
+//! metric sets in *any* order — including the nondeterministic
+//! interleaving of a parallel runner — produces bit-identical results.
+//! That property is what lets `--jobs 1` and `--jobs N` reports agree
+//! byte for byte.
+//!
+//! Entries live in a [`BTreeMap`] keyed by name, so iteration (and
+//! therefore rendering) is in stable lexicographic order.
+
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// `edges` are the inclusive upper bounds of the first `edges.len()`
+/// buckets; one final overflow bucket catches everything larger, so
+/// `counts.len() == edges.len() + 1`. The exact sum is kept in a
+/// `u128` so merging never saturates or loses precision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BucketHistogram {
+    /// Inclusive upper bounds of the finite buckets, strictly increasing.
+    pub edges: Vec<u64>,
+    /// Per-bucket observation counts (`edges.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub total: u64,
+    /// Exact sum of all observed values.
+    pub sum: u128,
+}
+
+impl BucketHistogram {
+    /// An empty histogram with the given bucket edges.
+    pub fn new(edges: &[u64]) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        BucketHistogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| value <= e)
+            .unwrap_or(self.edges.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Add another histogram into this one (bucket-wise).
+    ///
+    /// Panics if the edge vectors differ — merging histograms with
+    /// different bucket layouts has no meaningful result.
+    pub fn merge(&mut self, other: &BucketHistogram) {
+        assert_eq!(self.edges, other.edges, "histogram bucket layouts differ");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// The histogram of observations made since `earlier` was captured.
+    pub fn since(&self, earlier: &BucketHistogram) -> BucketHistogram {
+        assert_eq!(self.edges, earlier.edges, "histogram bucket layouts differ");
+        BucketHistogram {
+            edges: self.edges.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(c, e)| c.saturating_sub(*e))
+                .collect(),
+            total: self.total.saturating_sub(earlier.total),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
+    /// Mean observation, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+}
+
+/// One named metric's value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonically increasing count; merges by summation.
+    Counter(u64),
+    /// A level; merges by taking the maximum (high-water mark).
+    Gauge(u64),
+    /// Fixed-bucket distribution; merges bucket-wise.
+    Histogram(BucketHistogram),
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A set of named metrics with deterministic ordering and merging.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSet {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSet {
+    /// An empty set (usable in `const`/`static` contexts).
+    pub const fn new() -> Self {
+        MetricsSet {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// True when no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of named metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterate entries in lexicographic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.get(name)
+    }
+
+    /// Add `n` to the counter `name`, creating it at zero first.
+    ///
+    /// Panics if `name` already holds a different metric kind.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        match self
+            .entries
+            .entry(name.to_owned())
+            .or_insert(MetricValue::Counter(0))
+        {
+            MetricValue::Counter(c) => *c += n,
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Raise the gauge `name` to at least `v` (high-water mark).
+    pub fn gauge_max(&mut self, name: &str, v: u64) {
+        match self
+            .entries
+            .entry(name.to_owned())
+            .or_insert(MetricValue::Gauge(0))
+        {
+            MetricValue::Gauge(g) => *g = (*g).max(v),
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Record one observation into the histogram `name`, creating it
+    /// with `edges` first.
+    pub fn histogram_observe(&mut self, name: &str, edges: &[u64], value: u64) {
+        match self
+            .entries
+            .entry(name.to_owned())
+            .or_insert_with(|| MetricValue::Histogram(BucketHistogram::new(edges)))
+        {
+            MetricValue::Histogram(h) => h.observe(value),
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Merge a pre-built histogram into `name` (bucket layouts must match).
+    pub fn histogram_merge(&mut self, name: &str, hist: &BucketHistogram) {
+        match self
+            .entries
+            .entry(name.to_owned())
+            .or_insert_with(|| MetricValue::Histogram(BucketHistogram::new(&hist.edges)))
+        {
+            MetricValue::Histogram(h) => h.merge(hist),
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Merge `other` into `self`. Commutative and associative, so any
+    /// merge order yields the same result.
+    pub fn merge(&mut self, other: &MetricsSet) {
+        for (name, value) in &other.entries {
+            match value {
+                MetricValue::Counter(n) => self.counter_add(name, *n),
+                MetricValue::Gauge(v) => self.gauge_max(name, *v),
+                MetricValue::Histogram(h) => self.histogram_merge(name, h),
+            }
+        }
+    }
+
+    /// The delta accumulated since the `earlier` snapshot was taken.
+    ///
+    /// Counters and histograms subtract; gauges keep their current
+    /// value (a high-water mark has no meaningful difference). Metrics
+    /// absent from `earlier` pass through unchanged; entries whose
+    /// delta is zero are omitted.
+    pub fn since(&self, earlier: &MetricsSet) -> MetricsSet {
+        let mut out = MetricsSet::new();
+        for (name, value) in &self.entries {
+            let delta = match (value, earlier.entries.get(name)) {
+                (MetricValue::Counter(c), Some(MetricValue::Counter(e))) => {
+                    MetricValue::Counter(c.saturating_sub(*e))
+                }
+                (MetricValue::Histogram(h), Some(MetricValue::Histogram(e))) => {
+                    MetricValue::Histogram(h.since(e))
+                }
+                // Gauges, kind changes, and metrics new since the
+                // snapshot all report their current value.
+                (v, _) => v.clone(),
+            };
+            let zero = match &delta {
+                MetricValue::Counter(0) => true,
+                MetricValue::Histogram(h) => h.total == 0,
+                _ => false,
+            };
+            if !zero {
+                out.entries.insert(name.clone(), delta);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = BucketHistogram::new(&[10, 100]);
+        for v in [0, 10, 11, 100, 101, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![2, 2, 2]);
+        assert_eq!(h.total, 6);
+        assert_eq!(h.sum, 10 + 11 + 100 + 101 + 5000);
+    }
+
+    #[test]
+    fn histogram_since_subtracts_bucketwise() {
+        let mut h = BucketHistogram::new(&[10]);
+        h.observe(5);
+        let snap = h.clone();
+        h.observe(50);
+        let d = h.since(&snap);
+        assert_eq!(d.counts, vec![0, 1]);
+        assert_eq!(d.total, 1);
+        assert_eq!(d.sum, 50);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = MetricsSet::new();
+        a.counter_add("events", 3);
+        a.gauge_max("peak", 7);
+        a.histogram_observe("rtt", &[10, 100], 42);
+
+        let mut b = MetricsSet::new();
+        b.counter_add("events", 4);
+        b.gauge_max("peak", 5);
+        b.histogram_observe("rtt", &[10, 100], 7);
+        b.counter_add("only_b", 1);
+
+        let mut ab = MetricsSet::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = MetricsSet::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        assert_eq!(ab.get("events"), Some(&MetricValue::Counter(7)));
+        assert_eq!(ab.get("peak"), Some(&MetricValue::Gauge(7)));
+        match ab.get("rtt") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.total, 2);
+                assert_eq!(h.sum, 49);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn since_drops_zero_deltas_and_keeps_gauges() {
+        let mut m = MetricsSet::new();
+        m.counter_add("steady", 10);
+        m.counter_add("moving", 10);
+        m.gauge_max("peak", 4);
+        let snap = m.clone();
+        m.counter_add("moving", 2);
+        m.counter_add("fresh", 1);
+
+        let d = m.since(&snap);
+        assert_eq!(d.get("steady"), None);
+        assert_eq!(d.get("moving"), Some(&MetricValue::Counter(2)));
+        assert_eq!(d.get("fresh"), Some(&MetricValue::Counter(1)));
+        assert_eq!(d.get("peak"), Some(&MetricValue::Gauge(4)));
+    }
+
+    #[test]
+    fn iteration_is_lexicographic() {
+        let mut m = MetricsSet::new();
+        m.counter_add("b", 1);
+        m.counter_add("a", 1);
+        m.counter_add("c", 1);
+        let names: Vec<_> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

@@ -12,6 +12,8 @@ use std::any::Any;
 
 use netsim::{Agent, AgentId, Ctx, Ecn, FlowId, NodeId, Packet, Payload, SimDuration, TimerToken};
 use pert_core::predictors::AckSample;
+#[cfg(feature = "telemetry")]
+use pert_core::telemetry::{self, BucketHistogram};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -149,6 +151,16 @@ pub struct TcpSender {
     pub stats: SenderStats,
     /// Optional per-ACK samples (`record_samples`).
     pub samples: Vec<AckSample>,
+
+    // --- telemetry (attached at construction when the runtime flag is up;
+    // --- `None` costs one branch per ACK) -------------------------------
+    /// Publishes `tcp/cwnd` (key = flow id) on every ACK.
+    #[cfg(feature = "telemetry")]
+    tap: Option<telemetry::Tap>,
+    /// Per-flow RTT histogram, merged into the global `tcp/rtt_ns` metric
+    /// when the sender drops.
+    #[cfg(feature = "telemetry")]
+    rtt_hist: Option<BucketHistogram>,
 }
 
 impl TcpSender {
@@ -159,6 +171,10 @@ impl TcpSender {
         assert!(cfg.seg_size > 0 && cfg.ack_size > 0);
         assert!(cfg.min_rto > 0.0 && cfg.max_rto >= cfg.min_rto);
         let seed = cfg.seed;
+        #[cfg(feature = "telemetry")]
+        let tap = telemetry::Tap::attach("tcp/cwnd", cfg.flow.0 as u64);
+        #[cfg(feature = "telemetry")]
+        let rtt_hist = telemetry::enabled().then(|| BucketHistogram::new(&telemetry::RTT_EDGES_NS));
         TcpSender {
             cwnd: cfg.initial_cwnd,
             ssthresh: cfg.initial_ssthresh,
@@ -183,6 +199,10 @@ impl TcpSender {
             awaiting_transfer: false,
             stats: SenderStats::default(),
             samples: Vec::new(),
+            #[cfg(feature = "telemetry")]
+            tap,
+            #[cfg(feature = "telemetry")]
+            rtt_hist,
         }
     }
 
@@ -435,6 +455,18 @@ impl TcpSender {
         }
         self.cwnd = self.cwnd.min(self.cfg.max_cwnd).max(1.0);
 
+        #[cfg(feature = "telemetry")]
+        {
+            if let Some(tap) = &self.tap {
+                tap.record(now, self.cwnd);
+            }
+            if rtt > 0.0 {
+                if let Some(h) = &mut self.rtt_hist {
+                    h.observe((rtt * 1e9) as u64);
+                }
+            }
+        }
+
         if self.cfg.record_samples && rtt > 0.0 {
             self.samples.push(AckSample {
                 at: now,
@@ -527,5 +559,26 @@ impl Agent for TcpSender {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// Flush cumulative per-flow statistics into the global telemetry metrics
+/// registry. Inactive (early return) for senders built with telemetry off.
+#[cfg(feature = "telemetry")]
+impl Drop for TcpSender {
+    fn drop(&mut self) {
+        if self.tap.is_none() && self.rtt_hist.is_none() {
+            return;
+        }
+        telemetry::counter_add("tcp/acked_segments", self.stats.acked_segments);
+        telemetry::counter_add("tcp/sent_segments", self.stats.sent_segments);
+        telemetry::counter_add("tcp/retransmits", self.stats.retransmits);
+        telemetry::counter_add("tcp/loss_events", self.stats.loss_events);
+        telemetry::counter_add("tcp/timeouts", self.stats.timeouts);
+        telemetry::counter_add("tcp/ecn_reductions", self.stats.ecn_reductions);
+        telemetry::counter_add("tcp/early_reductions", self.stats.early_reductions);
+        if let Some(h) = &self.rtt_hist {
+            telemetry::histogram_merge("tcp/rtt_ns", h);
+        }
     }
 }
