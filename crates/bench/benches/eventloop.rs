@@ -1,0 +1,140 @@
+//! Event-calendar throughput: hierarchical timing wheel vs. binary heap.
+//!
+//! Three loads, each run against both backends so the pairs print side by
+//! side:
+//!
+//! * `churn_100k` — the heap-bound case the wheel was built for: hold
+//!   100 000 pending events and do pop-one/schedule-one steady-state churn
+//!   (every simulator step with many armed flow timers looks like this).
+//!   Heap cost is O(log n) per op with n = 100 000; the wheel is O(1)
+//!   amortized.
+//! * `drain_fill_10k` — the legacy engine micro-bench shape: bulk
+//!   schedule, bulk drain.
+//! * `sim_dumbbell_2s` — a full end-to-end run (4 PERT flows over a
+//!   dumbbell) so the calendar's share of real simulation time is visible.
+//!
+//! `BENCH_eventloop.json` at the repo root records the measured
+//! events/sec; refresh it with
+//! `cargo bench -p pert-bench --bench eventloop`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use netsim::event::{CalendarKind, EventKind, EventQueue};
+use netsim::ids::FlowId;
+use netsim::queue::DropTail;
+use netsim::time::{SimDuration, SimTime};
+
+const BACKENDS: [(CalendarKind, &str); 2] =
+    [(CalendarKind::Wheel, "wheel"), (CalendarKind::Heap, "heap")];
+
+/// Deterministic pseudorandom inter-event gap (1 ns ..= ~1 ms), the same
+/// stream for both backends.
+fn gap(i: u64) -> u64 {
+    1 + (i.wrapping_mul(2654435761).wrapping_add(0x9e3779b9)) % 1_000_000
+}
+
+/// A queue pre-filled with `pending` events at pseudorandom times.
+fn prefilled(kind: CalendarKind, pending: u64) -> EventQueue {
+    let mut q = EventQueue::with_calendar(kind);
+    for i in 0..pending {
+        q.schedule(SimTime::from_nanos(gap(i)), EventKind::Control { code: i });
+    }
+    q
+}
+
+/// Steady-state churn: `steps` rounds of pop-earliest + schedule-one-more
+/// keep `pending` events outstanding the whole time. Returns events popped.
+fn churn(q: &mut EventQueue, pending: u64, steps: u64) -> u64 {
+    let mut popped = 0u64;
+    for i in 0..steps {
+        let ev = q.pop().expect("queue stays full during churn");
+        popped += 1;
+        let next = ev.at.as_nanos() + gap(pending + i);
+        q.schedule(SimTime::from_nanos(next), EventKind::Control { code: i });
+    }
+    popped
+}
+
+fn bench_churn(c: &mut Criterion) {
+    use criterion::BatchSize;
+    let mut g = c.benchmark_group("eventloop");
+    g.measurement_time(Duration::from_secs(3));
+    // Prefill is untimed: these measure the steady-state pop+schedule cost
+    // with the given backlog outstanding.
+    for (pending, label) in [(100_000u64, "churn_100k"), (1_000_000, "churn_1m")] {
+        for (kind, name) in BACKENDS {
+            g.bench_function(format!("{label}/{name}").as_str(), |b| {
+                b.iter_batched_ref(
+                    || prefilled(kind, pending),
+                    |q| black_box(churn(q, pending, 100_000)),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_drain_fill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eventloop");
+    for (kind, name) in BACKENDS {
+        g.bench_function(format!("drain_fill_10k/{name}").as_str(), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_calendar(kind);
+                for i in 0..10_000u64 {
+                    let t = (i.wrapping_mul(2654435761)) % 1_000_000;
+                    q.schedule(SimTime::from_nanos(t), EventKind::Control { code: i });
+                }
+                let mut n = 0;
+                while q.pop().is_some() {
+                    n += 1;
+                }
+                black_box(n)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    use pert_tcp::{connect, ConnectionSpec, START_TOKEN};
+    let mut g = c.benchmark_group("eventloop");
+    for (kind, name) in BACKENDS {
+        g.bench_function(format!("sim_dumbbell_2s/{name}").as_str(), |b| {
+            netsim::set_default_calendar(kind);
+            b.iter(|| {
+                let mut sim = netsim::Simulator::new(1);
+                let a = sim.add_node();
+                let z = sim.add_node();
+                sim.add_duplex_link(a, z, 10_000_000, SimDuration::from_millis(20), |_| {
+                    Box::new(DropTail::new(50))
+                });
+                sim.compute_routes();
+                for i in 0..4u64 {
+                    let conn = connect(&mut sim, ConnectionSpec::pert(FlowId(i as usize), a, z, i));
+                    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, START_TOKEN);
+                }
+                sim.run_until(SimTime::from_secs_f64(2.0));
+                black_box(sim.events_processed())
+            });
+            netsim::set_default_calendar(CalendarKind::Wheel);
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_churn, bench_drain_fill, bench_sim
+}
+criterion_main!(benches);

@@ -29,6 +29,7 @@ static QUEUE_CHECKS: AtomicU64 = AtomicU64::new(0);
 static ORACLE_CHECKS: AtomicU64 = AtomicU64::new(0);
 static TCP_CHECKS: AtomicU64 = AtomicU64::new(0);
 static EVENT_CHECKS: AtomicU64 = AtomicU64::new(0);
+static CALENDAR_CHECKS: AtomicU64 = AtomicU64::new(0);
 static VIOLATIONS: AtomicU64 = AtomicU64::new(0);
 
 /// True if audits should run. Defaults to `cfg!(debug_assertions)`, so
@@ -68,6 +69,12 @@ pub fn count_event_checks(n: u64) {
     EVENT_CHECKS.fetch_add(n, Ordering::Relaxed);
 }
 
+/// Record `n` calendar-shadow comparisons (timing wheel vs. reference
+/// heap `(time, seq)` pop equivalence).
+pub fn count_calendar_checks(n: u64) {
+    CALENDAR_CHECKS.fetch_add(n, Ordering::Relaxed);
+}
+
 /// A point-in-time reading of the global audit counters. Subtract two
 /// snapshots ([`AuditSnapshot::since`]) to report per-target activity.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -80,6 +87,8 @@ pub struct AuditSnapshot {
     pub tcp_checks: u64,
     /// Event-loop checks run.
     pub event_checks: u64,
+    /// Calendar-shadow (wheel vs. heap) comparisons run.
+    pub calendar_checks: u64,
     /// Violations recorded (each also panics, so a finished run always
     /// reports zero — the counter exists for reporting symmetry and for
     /// tests that catch the panic).
@@ -94,13 +103,18 @@ impl AuditSnapshot {
             oracle_checks: self.oracle_checks - earlier.oracle_checks,
             tcp_checks: self.tcp_checks - earlier.tcp_checks,
             event_checks: self.event_checks - earlier.event_checks,
+            calendar_checks: self.calendar_checks - earlier.calendar_checks,
             violations: self.violations - earlier.violations,
         }
     }
 
     /// Total checks of all kinds.
     pub fn total_checks(&self) -> u64 {
-        self.queue_checks + self.oracle_checks + self.tcp_checks + self.event_checks
+        self.queue_checks
+            + self.oracle_checks
+            + self.tcp_checks
+            + self.event_checks
+            + self.calendar_checks
     }
 }
 
@@ -111,6 +125,7 @@ pub fn snapshot() -> AuditSnapshot {
         oracle_checks: ORACLE_CHECKS.load(Ordering::Relaxed),
         tcp_checks: TCP_CHECKS.load(Ordering::Relaxed),
         event_checks: EVENT_CHECKS.load(Ordering::Relaxed),
+        calendar_checks: CALENDAR_CHECKS.load(Ordering::Relaxed),
         violations: VIOLATIONS.load(Ordering::Relaxed),
     }
 }
@@ -160,6 +175,7 @@ mod tests {
         count_oracle_checks(2);
         count_tcp_checks(1);
         count_event_checks(5);
+        count_calendar_checks(4);
         let delta = snapshot().since(&before);
         // Other tests in the process may also count; deltas are at least
         // what we added.
@@ -167,7 +183,8 @@ mod tests {
         assert!(delta.oracle_checks >= 2);
         assert!(delta.tcp_checks >= 1);
         assert!(delta.event_checks >= 5);
-        assert!(delta.total_checks() >= 11);
+        assert!(delta.calendar_checks >= 4);
+        assert!(delta.total_checks() >= 15);
     }
 
     #[test]

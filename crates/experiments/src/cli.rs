@@ -7,10 +7,12 @@
 use crate::common::Scale;
 use crate::runner::default_workers;
 use crate::scenario::{is_target, ALL_TARGETS};
+use netsim::CalendarKind;
 
 /// The usage text printed on a parse error.
 pub const USAGE: &str = "usage: experiments <target>... [--quick|--standard|--full] [--jobs N] \
-[--seed S] [--json PATH] [--csv PATH] [--audit] [--telemetry] [--trace-out PATH]\n\
+[--seed S] [--json PATH] [--csv PATH] [--audit] [--telemetry] [--trace-out PATH] \
+[--calendar wheel|heap]\n\
 targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1\n\
 \t fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all\n\
 --audit runs every simulation with the invariant-audit layer on (packet\n\
@@ -19,7 +21,10 @@ check/violation counts per target.\n\
 --telemetry attaches signal taps and appends a per-target metrics block to\n\
 each report; --trace-out PATH (implies --telemetry) additionally writes the\n\
 full per-series trace as JSONL to PATH plus a Chrome-trace profile and a\n\
-flight-recorder dump alongside it.";
+flight-recorder dump alongside it.\n\
+--calendar selects the event-calendar backend: the hierarchical timing\n\
+wheel (default) or the reference binary heap. Reports are byte-identical\n\
+either way; the heap is the escape hatch and differential baseline.";
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -42,6 +47,8 @@ pub struct Cli {
     pub telemetry: bool,
     /// Write the full telemetry trace (JSONL) here; implies `telemetry`.
     pub trace_out: Option<String>,
+    /// Event-calendar backend for every simulator built by the run.
+    pub calendar: CalendarKind,
 }
 
 fn flag_value<'a>(flag: &str, args: &'a [String], i: &mut usize) -> Result<&'a str, String> {
@@ -61,6 +68,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut audit = false;
     let mut telemetry = false;
     let mut trace_out = None;
+    let mut calendar = CalendarKind::Wheel;
     let mut targets: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -90,6 +98,13 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--audit" => audit = true,
             "--telemetry" => telemetry = true,
             "--trace-out" => trace_out = Some(flag_value(a, args, &mut i)?.to_string()),
+            "--calendar" => {
+                calendar = match flag_value(a, args, &mut i)? {
+                    "wheel" => CalendarKind::Wheel,
+                    "heap" => CalendarKind::Heap,
+                    v => return Err(format!("--calendar wants 'wheel' or 'heap', got '{v}'")),
+                };
+            }
             f if f.starts_with('-') => return Err(format!("unknown flag '{f}'")),
             t => {
                 if t == "all" {
@@ -125,6 +140,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         audit,
         telemetry,
         trace_out,
+        calendar,
     })
 }
 
@@ -201,6 +217,25 @@ mod tests {
         assert_eq!(traced.trace_out.as_deref(), Some("t.jsonl"));
 
         assert!(p(&["fig5", "--trace-out"])
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn calendar_flag() {
+        assert_eq!(p(&["fig5"]).unwrap().calendar, CalendarKind::Wheel);
+        assert_eq!(
+            p(&["fig5", "--calendar", "wheel"]).unwrap().calendar,
+            CalendarKind::Wheel
+        );
+        assert_eq!(
+            p(&["fig5", "--calendar", "heap"]).unwrap().calendar,
+            CalendarKind::Heap
+        );
+        assert!(p(&["fig5", "--calendar", "btree"])
+            .unwrap_err()
+            .contains("--calendar"));
+        assert!(p(&["fig5", "--calendar"])
             .unwrap_err()
             .contains("needs a value"));
     }

@@ -3,7 +3,7 @@
 //! ```text
 //! experiments <target>... [--quick|--standard|--full] [--jobs N]
 //!             [--seed S] [--json PATH] [--csv PATH] [--audit]
-//!             [--telemetry] [--trace-out PATH]
+//!             [--telemetry] [--trace-out PATH] [--calendar wheel|heap]
 //!
 //! targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1
 //!          fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all
@@ -41,8 +41,9 @@ fn main() {
         }
     };
 
-    // Must happen before any simulator is built: audit shadows and
-    // telemetry taps both attach at construction time.
+    // Must happen before any simulator is built: the calendar backend,
+    // audit shadows, and telemetry taps all attach at construction time.
+    netsim::set_default_calendar(cli.calendar);
     netsim::audit::set_enabled(cli.audit);
     telemetry::set_enabled(cli.telemetry);
     let flight = flight_path(cli.trace_out.as_deref());
@@ -81,6 +82,7 @@ fn main() {
                 oracle_checks: d.oracle_checks,
                 tcp_checks: d.tcp_checks,
                 event_checks: d.event_checks,
+                calendar_checks: d.calendar_checks,
                 violations: d.violations,
             });
         }

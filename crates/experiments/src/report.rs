@@ -117,6 +117,8 @@ pub struct AuditCounts {
     pub tcp_checks: u64,
     /// Event-loop checks (time monotonicity).
     pub event_checks: u64,
+    /// Calendar-equivalence checks (timing wheel vs heap shadow pops).
+    pub calendar_checks: u64,
     /// Invariant violations observed. Anything nonzero is a bug.
     pub violations: u64,
 }
@@ -124,7 +126,11 @@ pub struct AuditCounts {
 impl AuditCounts {
     /// Sum of all check counters.
     pub fn total_checks(&self) -> u64 {
-        self.queue_checks + self.oracle_checks + self.tcp_checks + self.event_checks
+        self.queue_checks
+            + self.oracle_checks
+            + self.tcp_checks
+            + self.event_checks
+            + self.calendar_checks
     }
 }
 
@@ -194,13 +200,15 @@ impl Report {
         }
         if let Some(a) = &self.audit {
             out.push_str(&format!(
-                "\naudit: {} checks, {} violations (queue {}, oracle {}, tcp {}, event {})\n",
+                "\naudit: {} checks, {} violations (queue {}, oracle {}, tcp {}, event {}, \
+                 calendar {})\n",
                 a.total_checks(),
                 a.violations,
                 a.queue_checks,
                 a.oracle_checks,
                 a.tcp_checks,
                 a.event_checks,
+                a.calendar_checks,
             ));
         }
         if let Some(m) = &self.metrics {
@@ -231,8 +239,13 @@ impl Report {
         if let Some(a) = &self.audit {
             out.push_str(&format!(
                 "\"audit\":{{\"queue_checks\":{},\"oracle_checks\":{},\"tcp_checks\":{},\
-                 \"event_checks\":{},\"violations\":{}}},",
-                a.queue_checks, a.oracle_checks, a.tcp_checks, a.event_checks, a.violations,
+                 \"event_checks\":{},\"calendar_checks\":{},\"violations\":{}}},",
+                a.queue_checks,
+                a.oracle_checks,
+                a.tcp_checks,
+                a.event_checks,
+                a.calendar_checks,
+                a.violations,
             ));
         }
         if let Some(m) = &self.metrics {
@@ -476,13 +489,16 @@ mod tests {
             oracle_checks: 4,
             tcp_checks: 3,
             event_checks: 2,
+            calendar_checks: 5,
             violations: 0,
         });
         assert!(!plain.render_text().contains("audit:"));
         assert!(!plain.render_json().contains("\"audit\""));
         let text = audited.render_text();
-        assert!(text.contains("audit: 19 checks, 0 violations"), "{text}");
+        assert!(text.contains("audit: 24 checks, 0 violations"), "{text}");
+        assert!(text.contains("calendar 5"), "{text}");
         let js = audited.render_json();
+        assert!(js.contains("\"calendar_checks\":5"), "{js}");
         assert!(
             js.contains("\"audit\":{\"queue_checks\":10,") && js.contains("\"violations\":0}"),
             "{js}"

@@ -36,8 +36,8 @@
 use std::collections::BTreeMap;
 
 pub use pert_core::audit::{
-    close, close_opt, count_event_checks, count_oracle_checks, count_queue_checks,
-    count_tcp_checks, enabled, set_enabled, snapshot, violation, AuditSnapshot,
+    close, close_opt, count_calendar_checks, count_event_checks, count_oracle_checks,
+    count_queue_checks, count_tcp_checks, enabled, set_enabled, snapshot, violation, AuditSnapshot,
 };
 
 use crate::ids::LinkId;

@@ -1,12 +1,37 @@
 //! The event calendar.
 //!
-//! A binary-heap priority queue keyed by `(time, insertion sequence)`.
-//! The sequence number makes ordering of simultaneous events deterministic
-//! (FIFO among equals), which in turn makes every simulation bit-for-bit
-//! reproducible for a given seed — a property the test suite relies on.
+//! Two interchangeable backends implement the same deterministic contract
+//! — events pop in `(time, insertion sequence)` order, FIFO among equals,
+//! so every simulation is bit-for-bit reproducible for a given seed:
+//!
+//! * [`CalendarKind::Wheel`] (the default): a hierarchical timing wheel —
+//!   11 levels of 64 slots, 1 ns granularity at level 0, each level 64×
+//!   coarser — giving O(1) amortized schedule/pop independent of the
+//!   number of pending events. Far-future events (idle sentinels at
+//!   [`SimTime::MAX`]) park in a top-level slot and cost nothing until
+//!   cancelled or reached.
+//! * [`CalendarKind::Heap`]: the original binary-heap priority queue,
+//!   kept as an escape hatch (`experiments --calendar heap`) and as the
+//!   reference implementation the wheel is differentially tested against.
+//!
+//! On top of either backend sits a one-event **front slot**: when a new
+//! event precedes everything pending (the common case for a link
+//! scheduling its next back-to-back serialization), it is held directly
+//! and popped without touching the backend at all.
+//!
+//! Events can be **cancelled** by the [`EventId`] returned from
+//! [`EventQueue::schedule`]; cancellation is lazy (a tombstone), so it is
+//! O(1) and never perturbs the order of surviving events.
+//!
+//! When the `audit` feature is compiled in and the runtime audit flag is
+//! up, every wheel-backed queue carries a **shadow heap** that mirrors the
+//! schedule/cancel stream and independently re-derives each pop's
+//! `(time, seq)`; any divergence between the wheel and the heap ordering
+//! panics with both orderings in the message.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
 
 use crate::ids::{AgentId, LinkId, NodeId};
 use crate::packet::Packet;
@@ -16,6 +41,44 @@ use crate::time::SimTime;
 /// timers apart (e.g. retransmission timeout vs. delayed send).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TimerToken(pub u64);
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+///
+/// Ids are unique for the lifetime of an [`EventQueue`] (they are the
+/// insertion sequence numbers that also break ordering ties).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// Which calendar backend an [`EventQueue`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CalendarKind {
+    /// Hierarchical timing wheel: O(1) amortized schedule/pop.
+    #[default]
+    Wheel,
+    /// Binary heap: O(log n) schedule/pop. Reference implementation and
+    /// CLI escape hatch.
+    Heap,
+}
+
+/// Process-wide default backend for newly built queues (0 = wheel,
+/// 1 = heap). Like the audit/telemetry runtime flags, this must be set
+/// before simulators are constructed.
+static DEFAULT_CALENDAR: AtomicU8 = AtomicU8::new(0);
+
+/// Set the calendar backend used by every [`EventQueue::new`] (and hence
+/// every [`crate::Simulator`]) built afterwards. The experiments binary
+/// exposes this as `--calendar wheel|heap`.
+pub fn set_default_calendar(kind: CalendarKind) {
+    DEFAULT_CALENDAR.store(kind as u8, AtomicOrdering::Relaxed);
+}
+
+/// The backend newly built queues will use.
+pub fn default_calendar() -> CalendarKind {
+    match DEFAULT_CALENDAR.load(AtomicOrdering::Relaxed) {
+        1 => CalendarKind::Heap,
+        _ => CalendarKind::Wheel,
+    }
+}
 
 /// What an event does when it fires.
 #[derive(Debug)]
@@ -59,6 +122,14 @@ pub struct Event {
     pub kind: EventKind,
 }
 
+impl Event {
+    /// The insertion sequence number (the FIFO tiebreak among events at
+    /// the same instant). Exposed for the calendar-equivalence tests.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
@@ -83,57 +154,567 @@ impl Ord for Event {
     }
 }
 
-/// Deterministic event calendar.
+// ---------------------------------------------------------------------
+// Timing wheel
+// ---------------------------------------------------------------------
+
+/// Slots per wheel level (64 = one occupancy `u64` per level).
+const WHEEL_SLOTS: usize = 64;
+/// Levels: 64^11 = 2^66 ≥ 2^64 covers every u64 nanosecond timestamp,
+/// including the `SimTime::MAX` idle sentinel.
+const WHEEL_LEVELS: usize = 11;
+/// log2(WHEEL_SLOTS).
+const SLOT_BITS: u32 = 6;
+
+/// A conservative lower bound on the times stored in a backend, used to
+/// decide whether a newly scheduled event may take the front slot.
+#[derive(Clone, Copy, Debug)]
+enum MinBound {
+    /// Every stored event fires at or after this time.
+    AtLeast(u64),
+    /// No bound known (a pop emptied the slot that held the minimum).
+    Unknown,
+}
+
+/// Hierarchical timing wheel over integer nanoseconds.
+///
+/// `elapsed` is the internal horizon: every event strictly before it has
+/// been drained, and insertions must be at or after it (guaranteed by the
+/// [`EventQueue`] watermark). Level `l` has 64 slots of `64^l` ns each;
+/// an event lives at the highest level where its time differs from
+/// `elapsed` (`level = msb(at ^ elapsed) / 6`) and cascades toward level
+/// 0 as the horizon advances, so each event is touched at most
+/// `WHEEL_LEVELS` times in its life — O(1) amortized.
+#[derive(Debug)]
+struct Wheel {
+    slots: Vec<[VecDeque<Event>; WHEEL_SLOTS]>,
+    /// Per-level occupancy bitmaps; bit `s` set iff `slots[level][s]` is
+    /// non-empty.
+    occupied: [u64; WHEEL_LEVELS],
+    /// Internal horizon (see type docs).
+    elapsed: u64,
+    /// Bit `l` set iff any slot at level `l` is occupied (fast skip of
+    /// empty levels in [`Wheel::next_candidate`]).
+    level_occ: u16,
+    /// Events physically stored (including cancelled residents).
+    stored: usize,
+    /// Lower bound on stored event times (for the front-slot fast path).
+    min_bound: MinBound,
+}
+
+impl Wheel {
+    fn new() -> Self {
+        Wheel {
+            slots: (0..WHEEL_LEVELS)
+                .map(|_| std::array::from_fn(|_| VecDeque::new()))
+                .collect(),
+            occupied: [0; WHEEL_LEVELS],
+            level_occ: 0,
+            elapsed: 0,
+            stored: 0,
+            min_bound: MinBound::AtLeast(0),
+        }
+    }
+
+    fn level_for(at: u64, elapsed: u64) -> usize {
+        let x = at ^ elapsed;
+        if x == 0 {
+            0
+        } else {
+            ((63 - x.leading_zeros()) / SLOT_BITS) as usize
+        }
+    }
+
+    /// Place `ev` without touching the stored count (cascade re-insert).
+    /// `first` prepends instead of appending: slot queues are FIFO by
+    /// arrival, and a front-slot event demoted back into the wheel
+    /// precedes every stored event in `(time, seq)` order — appending it
+    /// behind an equal-time event already in its slot would invert the
+    /// tiebreak.
+    fn place(&mut self, ev: Event, first: bool) {
+        let at = ev.at.as_nanos();
+        debug_assert!(
+            at >= self.elapsed,
+            "wheel insert below horizon: {at} < {}",
+            self.elapsed
+        );
+        let level = Self::level_for(at, self.elapsed);
+        let slot = ((at >> (SLOT_BITS as u64 * level as u64)) & 63) as usize;
+        if first {
+            self.slots[level][slot].push_front(ev);
+        } else {
+            self.slots[level][slot].push_back(ev);
+        }
+        self.occupied[level] |= 1 << slot;
+        self.level_occ |= 1 << level;
+    }
+
+    fn insert(&mut self, ev: Event, first: bool) {
+        let at = ev.at.as_nanos();
+        self.min_bound = if self.stored == 0 {
+            MinBound::AtLeast(at)
+        } else {
+            match self.min_bound {
+                MinBound::AtLeast(m) => MinBound::AtLeast(m.min(at)),
+                MinBound::Unknown => MinBound::Unknown,
+            }
+        };
+        self.stored += 1;
+        self.place(ev, first);
+    }
+
+    /// The earliest candidate: `(level, slot, deadline)`. For level 0 the
+    /// deadline is the exact event time (slots are 1 ns); for higher
+    /// levels it is the slot's start, where the slot must be cascaded
+    /// before its events are orderable. Among equal deadlines the higher
+    /// level wins so cascades happen before drains (the cascaded slot may
+    /// hold an equal-time event with a smaller sequence number).
+    fn next_candidate(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        let mut levels = self.level_occ;
+        while levels != 0 {
+            let level = levels.trailing_zeros() as usize;
+            levels &= levels - 1;
+            let occ = self.occupied[level];
+            let cur = ((self.elapsed >> (SLOT_BITS as u64 * level as u64)) & 63) as u32;
+            let ahead = occ & (u64::MAX << cur);
+            debug_assert!(
+                ahead != 0,
+                "wheel invariant: occupied slot behind the cursor at level {level}"
+            );
+            if ahead == 0 {
+                continue;
+            }
+            let slot = ahead.trailing_zeros() as usize;
+            let window_bits = SLOT_BITS as u64 * (level as u64 + 1);
+            let base = if window_bits >= 64 {
+                0
+            } else {
+                (self.elapsed >> window_bits) << window_bits
+            };
+            let start = base + ((slot as u64) << (SLOT_BITS as u64 * level as u64));
+            let deadline = start.max(self.elapsed);
+            match best {
+                Some((_, _, d)) if deadline > d => {}
+                _ => best = Some((level, slot, deadline)),
+            }
+        }
+        best
+    }
+
+    /// Remove and return the earliest live event if it fires at or before
+    /// `until`, dropping cancelled tombstones along the way. The horizon
+    /// never advances past `until`.
+    fn pop_before(&mut self, until: u64, cancelled: &mut HashSet<u64>) -> Option<Event> {
+        loop {
+            if self.stored == 0 {
+                return None;
+            }
+            let (level, slot, deadline) =
+                self.next_candidate().expect("stored > 0 but no candidate");
+            if deadline > until {
+                return None;
+            }
+            self.elapsed = deadline;
+            if level == 0 {
+                // Level-0 slots are 1 ns wide: everything here fires at
+                // exactly `deadline`, in insertion (seq) order.
+                while let Some(ev) = self.slots[0][slot].pop_front() {
+                    self.stored -= 1;
+                    let emptied = self.slots[0][slot].is_empty();
+                    if emptied {
+                        self.occupied[0] &= !(1 << slot);
+                        if self.occupied[0] == 0 {
+                            self.level_occ &= !1;
+                        }
+                    }
+                    if !cancelled.is_empty() && cancelled.remove(&ev.seq) {
+                        continue;
+                    }
+                    self.min_bound = if !emptied {
+                        MinBound::AtLeast(deadline)
+                    } else if let Some((_, _, d)) = self.next_candidate() {
+                        // One extra scan keeps the bound known, which is
+                        // what lets newly scheduled near-term events take
+                        // the front slot instead of entering the wheel.
+                        MinBound::AtLeast(d)
+                    } else {
+                        MinBound::AtLeast(u64::MAX)
+                    };
+                    return Some(ev);
+                }
+                // Slot held only tombstones; look again.
+                self.min_bound = MinBound::Unknown;
+            } else {
+                // Cascade the whole slot one or more levels down, relative
+                // to the advanced horizon. Preserves relative order, so
+                // equal-time events keep their FIFO relationship.
+                let q = std::mem::take(&mut self.slots[level][slot]);
+                self.occupied[level] &= !(1 << slot);
+                if self.occupied[level] == 0 {
+                    self.level_occ &= !(1 << level);
+                }
+                for ev in q {
+                    if !cancelled.is_empty() && cancelled.remove(&ev.seq) {
+                        self.stored -= 1;
+                        continue;
+                    }
+                    self.place(ev, false);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Audit shadow
+// ---------------------------------------------------------------------
+
+/// A binary-heap mirror of the schedule/cancel stream that independently
+/// re-derives the `(time, seq)` of every pop. Attached to wheel-backed
+/// queues when the audit runtime flag is up, it is the differential
+/// oracle proving the wheel's ordering equals the reference heap's.
+#[cfg(feature = "audit")]
 #[derive(Debug, Default)]
+struct Shadow {
+    heap: BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    cancelled: HashSet<u64>,
+    checks: u64,
+}
+
+#[cfg(feature = "audit")]
+impl Shadow {
+    fn push(&mut self, at: SimTime, seq: u64) {
+        self.heap.push(std::cmp::Reverse((at.as_nanos(), seq)));
+    }
+
+    fn cancel(&mut self, seq: u64) {
+        self.cancelled.insert(seq);
+    }
+
+    fn verify_pop(&mut self, at: SimTime, seq: u64) {
+        let expected = loop {
+            match self.heap.pop() {
+                None => break None,
+                Some(std::cmp::Reverse(e)) => {
+                    if self.cancelled.remove(&e.1) {
+                        continue;
+                    }
+                    break Some(e);
+                }
+            }
+        };
+        self.checks += 1;
+        if expected != Some((at.as_nanos(), seq)) {
+            crate::audit::violation(
+                "calendar",
+                format_args!(
+                    "wheel diverged from heap shadow: popped (t={at:?}, seq={seq}), \
+                     shadow expected {expected:?}"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Backend {
+    Heap(BinaryHeap<Event>),
+    Wheel(Box<Wheel>),
+}
+
+/// Deterministic event calendar (see module docs for the backends, the
+/// front-slot fast path, cancellation, and the audit shadow).
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    backend: Backend,
+    /// One-event cache holding the next event to pop: filled directly by
+    /// [`EventQueue::schedule`] when the new event precedes everything
+    /// pending (bypassing the backend entirely — the departure fast
+    /// path), or pulled through from the backend by a pop/peek.
+    front: Option<Event>,
     next_seq: u64,
-    last_popped: SimTime,
+    /// Scheduling below this instant would violate causality: the
+    /// maximum of every popped event's time and every horizon a pop
+    /// advanced to. Never exceeded by the wheel's internal horizon, which
+    /// keeps insertions valid.
+    watermark: SimTime,
+    /// Live (scheduled minus popped minus cancelled) events.
+    live: usize,
+    /// Tombstones for cancelled events still resident in the backend.
+    cancelled: HashSet<u64>,
+    #[cfg(feature = "audit")]
+    shadow: Option<Shadow>,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
-    /// Create an empty calendar.
+    /// Create an empty calendar on the process-default backend (see
+    /// [`set_default_calendar`]). When the audit runtime flag is up,
+    /// wheel-backed queues attach the heap shadow oracle.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_calendar(default_calendar())
     }
 
-    /// Schedule `kind` to fire at `at`.
+    /// Create an empty calendar on an explicit backend.
+    pub fn with_calendar(kind: CalendarKind) -> Self {
+        let backend = match kind {
+            CalendarKind::Heap => Backend::Heap(BinaryHeap::new()),
+            CalendarKind::Wheel => Backend::Wheel(Box::new(Wheel::new())),
+        };
+        EventQueue {
+            #[cfg(feature = "audit")]
+            shadow: (crate::audit::enabled() && matches!(backend, Backend::Wheel(_)))
+                .then(Shadow::default),
+            backend,
+            front: None,
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+            live: 0,
+            cancelled: HashSet::new(),
+        }
+    }
+
+    /// The backend this queue runs on.
+    pub fn calendar(&self) -> CalendarKind {
+        match self.backend {
+            Backend::Heap(_) => CalendarKind::Heap,
+            Backend::Wheel(_) => CalendarKind::Wheel,
+        }
+    }
+
+    /// Schedule `kind` to fire at `at` and return a handle that can
+    /// cancel it.
     ///
     /// # Panics
-    /// Panics if `at` is earlier than the last event already delivered —
+    /// Panics if `at` is earlier than the causality watermark (the last
+    /// event already delivered, or the last horizon a pop advanced to) —
     /// scheduling into the past would violate causality.
-    pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind) -> EventId {
         assert!(
-            at >= self.last_popped,
+            at >= self.watermark,
             "scheduling into the past: {at:?} < {:?}",
-            self.last_popped
+            self.watermark
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { at, seq, kind });
+        let ev = Event { at, seq, kind };
+        #[cfg(feature = "audit")]
+        if let Some(s) = &mut self.shadow {
+            s.push(at, seq);
+        }
+        self.live += 1;
+        match &mut self.front {
+            Some(f) if at < f.at => {
+                // New event precedes the cached next event: swap it in.
+                // The demoted event still precedes everything in the
+                // backend (in `(time, seq)` order), so the front invariant
+                // survives — and it must re-enter the wheel *ahead* of any
+                // equal-time event already there.
+                let demoted = std::mem::replace(f, ev);
+                self.backend_insert_first(demoted);
+            }
+            Some(_) => self.backend_insert(ev),
+            None => {
+                // Fast path: an event earlier than every pending one is
+                // held directly and never enters the backend — the common
+                // shape for a busy link scheduling its next back-to-back
+                // serialization.
+                if self.backend_min_bound().is_some_and(|m| at.as_nanos() < m) {
+                    self.front = Some(ev);
+                } else {
+                    self.backend_insert(ev);
+                }
+            }
+        }
+        EventId(seq)
+    }
+
+    /// Cancel a pending event. O(1): a tombstone is recorded and the
+    /// event is physically dropped when the calendar reaches it, without
+    /// perturbing the order of surviving events. This is what keeps
+    /// far-future idle sentinels (timers parked at [`SimTime::MAX`]) free.
+    ///
+    /// # Contract
+    /// `id` must identify an event that has been scheduled and has
+    /// neither fired nor been cancelled; cancelling a dead id corrupts
+    /// the live-event count.
+    pub fn cancel(&mut self, id: EventId) {
+        #[cfg(feature = "audit")]
+        if let Some(s) = &mut self.shadow {
+            s.cancel(id.0);
+        }
+        self.live -= 1;
+        if self.front.as_ref().is_some_and(|f| f.seq == id.0) {
+            self.front = None;
+            return;
+        }
+        self.cancelled.insert(id.0);
+    }
+
+    fn backend_insert(&mut self, ev: Event) {
+        match &mut self.backend {
+            Backend::Heap(h) => h.push(ev),
+            Backend::Wheel(w) => w.insert(ev, false),
+        }
+    }
+
+    /// Insert an event known to precede every stored event in
+    /// `(time, seq)` order (a demoted front-slot occupant). The heap
+    /// orders fully by comparison; the wheel needs it prepended to its
+    /// FIFO slot.
+    fn backend_insert_first(&mut self, ev: Event) {
+        match &mut self.backend {
+            Backend::Heap(h) => h.push(ev),
+            Backend::Wheel(w) => w.insert(ev, true),
+        }
+    }
+
+    /// A lower bound on every event stored in the backend, or `None` when
+    /// no bound is known. `Some(m)` guarantees no backend event fires
+    /// before `m`, so an event strictly before `m` may take the front
+    /// slot. (Cancelled residents may weaken the bound below the live
+    /// minimum; that only makes the check stricter, never wrong.)
+    fn backend_min_bound(&self) -> Option<u64> {
+        match &self.backend {
+            Backend::Heap(h) => Some(h.peek().map_or(u64::MAX, |e| e.at.as_nanos())),
+            Backend::Wheel(w) => {
+                if w.stored == 0 {
+                    Some(u64::MAX)
+                } else {
+                    match w.min_bound {
+                        MinBound::AtLeast(m) => Some(m),
+                        MinBound::Unknown => None,
+                    }
+                }
+            }
+        }
+    }
+
+    fn backend_pop_before(&mut self, until: SimTime) -> Option<Event> {
+        match &mut self.backend {
+            Backend::Heap(h) => loop {
+                let at = h.peek()?.at;
+                if at > until {
+                    return None;
+                }
+                let ev = h.pop().expect("peeked event vanished");
+                if !self.cancelled.is_empty() && self.cancelled.remove(&ev.seq) {
+                    continue;
+                }
+                return Some(ev);
+            },
+            Backend::Wheel(w) => w.pop_before(until.as_nanos(), &mut self.cancelled),
+        }
+    }
+
+    /// The wheel's internal horizon (the heap has none). The watermark is
+    /// raised to this after any call that may cascade, so subsequent
+    /// schedules can never land below it.
+    fn backend_horizon(&self) -> SimTime {
+        match &self.backend {
+            Backend::Heap(_) => SimTime::ZERO,
+            Backend::Wheel(w) => SimTime::from_nanos(w.elapsed),
+        }
+    }
+
+    /// Remove and return the earliest event if it fires at or before
+    /// `until`, advancing the causality watermark — to the event's time,
+    /// or to `until` itself when every pending event lies beyond it.
+    pub fn pop_before(&mut self, until: SimTime) -> Option<Event> {
+        if self.live == 0 {
+            return None;
+        }
+        // The front slot, when occupied, precedes everything in the
+        // backend, so it is always the next event; it is NOT refilled
+        // here — prefetching would drag the next backend event out only
+        // for the handler's own schedules to demote it straight back.
+        let ev = match &self.front {
+            Some(f) if f.at <= until => self.front.take(),
+            Some(_) => None,
+            None => self.backend_pop_before(until),
+        };
+        match ev {
+            Some(ev) => {
+                self.live -= 1;
+                self.watermark = ev.at;
+                #[cfg(feature = "audit")]
+                if let Some(s) = &mut self.shadow {
+                    s.verify_pop(ev.at, ev.seq);
+                }
+                Some(ev)
+            }
+            None => {
+                // Nothing fires by `until`; the caller's clock will advance
+                // there, so scheduling before it is now causally invalid
+                // (and the wheel may have cascaded up to it).
+                self.watermark = self.watermark.max(until).max(self.backend_horizon());
+                None
+            }
+        }
     }
 
     /// Remove and return the earliest event, advancing the internal
     /// causality watermark.
     pub fn pop(&mut self) -> Option<Event> {
-        let ev = self.heap.pop()?;
-        self.last_popped = ev.at;
-        Some(ev)
+        if self.live == 0 {
+            return None;
+        }
+        self.pop_before(SimTime::MAX)
     }
 
     /// The firing time of the next event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+    ///
+    /// Finding it may pull the next event into the front slot (and, on
+    /// the wheel, cascade up to it), which raises the causality watermark
+    /// to the returned time: a subsequent schedule below a peeked time is
+    /// rejected.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.live == 0 {
+            return None;
+        }
+        if self.front.is_none() {
+            // The shadow oracle needs no adjustment: it is consulted only
+            // at the logical pop, and prefetching into the front slot is
+            // not one.
+            self.front = self.backend_pop_before(SimTime::MAX);
+            if let Some(f) = &self.front {
+                self.watermark = self.watermark.max(f.at).max(self.backend_horizon());
+            }
+        }
+        self.front.as_ref().map(|e| e.at)
     }
 
-    /// Number of pending events.
+    /// Number of pending (scheduled, unfired, uncancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
+    }
+}
+
+/// Flush the shadow oracle's batched check count into the global audit
+/// registry.
+#[cfg(feature = "audit")]
+impl Drop for EventQueue {
+    fn drop(&mut self) {
+        if let Some(s) = &self.shadow {
+            if s.checks > 0 {
+                crate::audit::count_calendar_checks(s.checks);
+            }
+        }
     }
 }
 
@@ -145,35 +726,41 @@ mod tests {
         EventKind::Control { code }
     }
 
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(30), ctrl(3));
-        q.schedule(SimTime::from_nanos(10), ctrl(1));
-        q.schedule(SimTime::from_nanos(20), ctrl(2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+    fn codes(q: &mut EventQueue) -> Vec<u64> {
+        std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::Control { code } => code,
                 _ => unreachable!(),
             })
-            .collect();
-        assert_eq!(order, vec![1, 2, 3]);
+            .collect()
+    }
+
+    fn both() -> [EventQueue; 2] {
+        [
+            EventQueue::with_calendar(CalendarKind::Wheel),
+            EventQueue::with_calendar(CalendarKind::Heap),
+        ]
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        for mut q in both() {
+            q.schedule(SimTime::from_nanos(30), ctrl(3));
+            q.schedule(SimTime::from_nanos(10), ctrl(1));
+            q.schedule(SimTime::from_nanos(20), ctrl(2));
+            assert_eq!(codes(&mut q), vec![1, 2, 3]);
+        }
     }
 
     #[test]
     fn simultaneous_events_pop_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_nanos(5);
-        for code in 0..10 {
-            q.schedule(t, ctrl(code));
+        for mut q in both() {
+            let t = SimTime::from_nanos(5);
+            for code in 0..10 {
+                q.schedule(t, ctrl(code));
+            }
+            assert_eq!(codes(&mut q), (0..10).collect::<Vec<_>>());
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Control { code } => code,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 
     #[test]
@@ -187,12 +774,147 @@ mod tests {
 
     #[test]
     fn peek_matches_pop() {
-        let mut q = EventQueue::new();
-        assert!(q.peek_time().is_none());
-        q.schedule(SimTime::from_nanos(42), ctrl(0));
-        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(42)));
-        assert_eq!(q.len(), 1);
-        q.pop();
-        assert!(q.is_empty());
+        for mut q in both() {
+            assert!(q.peek_time().is_none());
+            q.schedule(SimTime::from_nanos(42), ctrl(0));
+            assert_eq!(q.peek_time(), Some(SimTime::from_nanos(42)));
+            assert_eq!(q.len(), 1);
+            q.pop();
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn pop_before_respects_horizon_and_watermark() {
+        for mut q in both() {
+            q.schedule(SimTime::from_nanos(500), ctrl(5));
+            assert!(q.pop_before(SimTime::from_nanos(100)).is_none());
+            assert_eq!(q.len(), 1);
+            // The horizon advanced to 100; scheduling at it is still legal.
+            q.schedule(SimTime::from_nanos(100), ctrl(1));
+            let ev = q.pop_before(SimTime::from_nanos(1_000)).expect("due");
+            assert_eq!(ev.at, SimTime::from_nanos(100));
+            let ev = q.pop_before(SimTime::from_nanos(1_000)).expect("due");
+            assert_eq!(ev.at, SimTime::from_nanos(500));
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn cancellation_removes_events_and_sentinels() {
+        for mut q in both() {
+            let a = q.schedule(SimTime::from_nanos(10), ctrl(0));
+            q.schedule(SimTime::from_nanos(20), ctrl(1));
+            // A far-future idle sentinel parks for free and cancels for
+            // free.
+            let sentinel = q.schedule(SimTime::MAX, ctrl(99));
+            assert_eq!(q.len(), 3);
+            q.cancel(a);
+            q.cancel(sentinel);
+            assert_eq!(q.len(), 1);
+            let order = codes(&mut q);
+            assert_eq!(order, vec![1]);
+        }
+    }
+
+    #[test]
+    fn cancel_front_slot_event() {
+        for mut q in both() {
+            q.schedule(SimTime::from_nanos(100), ctrl(1));
+            q.pop();
+            // Fast path: earlier than everything pending → front slot.
+            let id = q.schedule(SimTime::from_nanos(150), ctrl(2));
+            q.schedule(SimTime::from_nanos(200), ctrl(3));
+            q.cancel(id);
+            assert_eq!(codes(&mut q), vec![3]);
+        }
+    }
+
+    #[test]
+    fn far_future_and_sentinel_events_pop_in_order() {
+        for mut q in both() {
+            // Spread across all wheel levels, scheduled out of order.
+            let times = [
+                u64::MAX,
+                1,
+                1 << 40,
+                (1 << 40) + 1,
+                1 << 18,
+                63,
+                64,
+                1 << 30,
+            ];
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(t), ctrl(i as u64));
+            }
+            let mut sorted: Vec<u64> = times.to_vec();
+            sorted.sort_unstable();
+            let popped: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|e| e.at.as_nanos())
+                .collect();
+            assert_eq!(popped, sorted);
+        }
+    }
+
+    #[test]
+    fn schedule_during_pop_interleaving_keeps_order() {
+        for mut q in both() {
+            q.schedule(SimTime::from_nanos(10), ctrl(0));
+            let ev = q.pop().unwrap();
+            assert_eq!(ev.at, SimTime::from_nanos(10));
+            // Zero-delay reschedule at the current instant pops next and
+            // FIFO after anything already pending at that instant.
+            q.schedule(SimTime::from_nanos(10), ctrl(1));
+            q.schedule(SimTime::from_nanos(10), ctrl(2));
+            q.schedule(SimTime::from_nanos(11), ctrl(3));
+            assert_eq!(codes(&mut q), vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn default_calendar_is_wheel_and_settable() {
+        assert_eq!(EventQueue::new().calendar(), default_calendar());
+        set_default_calendar(CalendarKind::Heap);
+        assert_eq!(EventQueue::new().calendar(), CalendarKind::Heap);
+        set_default_calendar(CalendarKind::Wheel);
+        assert_eq!(EventQueue::new().calendar(), CalendarKind::Wheel);
+    }
+
+    /// Dense churn: schedule/pop interleavings drained through `pop_before`
+    /// horizons produce identical (time, seq) streams on both backends.
+    #[test]
+    fn wheel_matches_heap_under_churn() {
+        let mut wheel = EventQueue::with_calendar(CalendarKind::Wheel);
+        let mut heap = EventQueue::with_calendar(CalendarKind::Heap);
+        let mut x = 0x243f_6a88_85a3_08d3u64; // deterministic xorshift
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut watermark = 0u64;
+        for round in 0..200 {
+            for _ in 0..(rnd() % 8) {
+                let at = watermark + rnd() % 100_000;
+                wheel.schedule(SimTime::from_nanos(at), ctrl(round));
+                heap.schedule(SimTime::from_nanos(at), ctrl(round));
+            }
+            let until = watermark + rnd() % 50_000;
+            loop {
+                let a = wheel.pop_before(SimTime::from_nanos(until));
+                let b = heap.pop_before(SimTime::from_nanos(until));
+                match (&a, &b) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!((x.at, x.seq()), (y.at, y.seq()));
+                        watermark = x.at.as_nanos();
+                    }
+                    (None, None) => break,
+                    _ => panic!("backend divergence: {a:?} vs {b:?}"),
+                }
+            }
+            watermark = watermark.max(until);
+        }
+        assert_eq!(wheel.len(), heap.len());
     }
 }

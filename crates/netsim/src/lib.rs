@@ -51,7 +51,7 @@ pub mod telemetry;
 pub mod time;
 pub mod trace;
 
-pub use event::TimerToken;
+pub use event::{default_calendar, set_default_calendar, CalendarKind, EventId, TimerToken};
 pub use ids::{AgentId, FlowId, LinkId, NodeId};
 pub use link::Link;
 pub use packet::{Ecn, Packet, Payload, SackBlock, MAX_SACK_BLOCKS};
@@ -60,7 +60,7 @@ pub use time::{transmission_delay, SimDuration, SimTime};
 
 /// Common imports for simulator users.
 pub mod prelude {
-    pub use crate::event::TimerToken;
+    pub use crate::event::{CalendarKind, EventId, TimerToken};
     pub use crate::ids::{AgentId, FlowId, LinkId, NodeId};
     pub use crate::packet::{Ecn, Packet, Payload, SackBlock};
     pub use crate::queue::{

@@ -23,7 +23,7 @@ use rand::SeedableRng;
 
 #[cfg(feature = "audit")]
 use crate::audit::{AuditCtx, AuditHook, ConservationAuditor, EnqueueKind, QueueOp};
-use crate::event::{EventKind, EventQueue, TimerToken};
+use crate::event::{EventId, EventKind, EventQueue, TimerToken};
 use crate::ids::{AgentId, LinkId, NodeId};
 use crate::link::Link;
 use crate::node::{compute_routes, Node};
@@ -83,9 +83,10 @@ impl Ctx<'_> {
     }
 
     /// Arm a timer that calls [`Agent::on_timer`] after `delay` with
-    /// `token`. Timers cannot be cancelled; stale timers should be detected
-    /// and ignored by the agent (e.g. by embedding an epoch in the token).
-    pub fn schedule(&mut self, delay: SimDuration, token: TimerToken) {
+    /// `token`, returning a handle for [`Ctx::cancel_timer`]. Agents that
+    /// never cancel may instead let stale timers fire and detect them
+    /// (e.g. by embedding an epoch in the token).
+    pub fn schedule(&mut self, delay: SimDuration, token: TimerToken) -> EventId {
         let at = self.sim.now + delay;
         self.sim.counters.timers_scheduled += 1;
         self.sim.events.schedule(
@@ -94,7 +95,14 @@ impl Ctx<'_> {
                 agent: self.agent,
                 token,
             },
-        );
+        )
+    }
+
+    /// Cancel a timer armed with [`Ctx::schedule`] that has not yet fired.
+    /// O(1); see [`crate::event::EventQueue::cancel`] for the contract
+    /// (the id must still be pending).
+    pub fn cancel_timer(&mut self, id: EventId) {
+        self.sim.events.cancel(id);
     }
 
     /// Deterministic per-simulation random source.
@@ -380,14 +388,26 @@ impl Simulator {
     }
 
     /// Arm a timer for `agent` at absolute time `at` (typically used to
-    /// start flows at staggered times).
-    pub fn schedule_agent_timer(&mut self, at: SimTime, agent: AgentId, token: TimerToken) {
+    /// start flows at staggered times). Returns a handle accepted by
+    /// [`Simulator::cancel_timer`].
+    pub fn schedule_agent_timer(
+        &mut self,
+        at: SimTime,
+        agent: AgentId,
+        token: TimerToken,
+    ) -> EventId {
         assert!(
             self.agents[agent.index()].is_some(),
             "agent {agent} not installed"
         );
         self.counters.timers_scheduled += 1;
-        self.events.schedule(at, EventKind::Timer { agent, token });
+        self.events.schedule(at, EventKind::Timer { agent, token })
+    }
+
+    /// Cancel a still-pending timer (see
+    /// [`crate::event::EventQueue::cancel`] for the contract).
+    pub fn cancel_timer(&mut self, id: EventId) {
+        self.events.cancel(id);
     }
 
     /// Borrow an installed agent immutably, downcast to `T`.
@@ -665,11 +685,7 @@ impl Simulator {
             .flatten();
         let mut stuck_at = self.now;
         let mut stuck_count: u64 = 0;
-        while let Some(at) = self.events.peek_time() {
-            if at > until {
-                break;
-            }
-            let ev = self.events.pop().expect("peeked event vanished");
+        while let Some(ev) = self.events.pop_before(until) {
             if ev.at == stuck_at {
                 stuck_count += 1;
                 assert!(
@@ -920,9 +936,9 @@ mod tests {
         let echo: &Echo = sim.agent(rx);
         assert_eq!(echo.received.len(), 5);
         // First packet: 1 ms serialization + 10 ms propagation.
-        assert_eq!(echo.received[0].0, SimTime::from_millis_exact(11));
+        assert_eq!(echo.received[0].0, SimTime::from_millis(11));
         // Subsequent packets pace out at 1 ms (serialization) intervals.
-        assert_eq!(echo.received[1].0, SimTime::from_millis_exact(12));
+        assert_eq!(echo.received[1].0, SimTime::from_millis(12));
 
         let blaster: &Blaster = sim.agent(tx);
         assert_eq!(blaster.rtts.len(), 5);
@@ -995,7 +1011,7 @@ mod tests {
         sim.run_until(SimTime::from_secs_f64(1.0));
         let got = samples.lock().unwrap();
         assert_eq!(got.len(), 10);
-        assert_eq!(got[0], SimTime::from_millis_exact(100));
+        assert_eq!(got[0], SimTime::from_millis(100));
     }
 
     #[test]
@@ -1007,13 +1023,6 @@ mod tests {
         assert_eq!(sim.link(LinkId(0)).delivered_bits, 5 * 8000);
         // 5 × 40-byte ACKs on the reverse link.
         assert_eq!(sim.link(LinkId(1)).delivered_bits, 5 * 320);
-    }
-
-    impl SimTime {
-        /// Test helper: exact whole milliseconds.
-        fn from_millis_exact(ms: u64) -> SimTime {
-            SimTime::from_nanos(ms * 1_000_000)
-        }
     }
 
     /// The experiment runner moves whole simulations across threads; a

@@ -11,6 +11,27 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// Nanoseconds per second, as used by all conversions in this module.
 pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 
+/// The largest nanosecond count an `f64` second value can address without
+/// losing integer precision (2^53 ≈ 104 days). Beyond this, consecutive
+/// representable `f64` values are more than 1 ns apart, so
+/// `from_secs_f64` would silently snap to a nearby-but-wrong nanosecond;
+/// both `from_secs_f64` constructors reject such values. Use the integer
+/// constructors (`from_nanos`/`from_micros`/`from_millis`/`from_secs`)
+/// for times that large.
+pub const MAX_F64_EXACT_NANOS: u64 = 1 << 53;
+
+/// Shared guard for the two `from_secs_f64` constructors.
+fn checked_f64_nanos(secs: f64, what: &str) -> u64 {
+    assert!(secs.is_finite() && secs >= 0.0, "invalid {what}: {secs}");
+    let ns = (secs * NANOS_PER_SEC as f64).round();
+    assert!(
+        ns <= MAX_F64_EXACT_NANOS as f64,
+        "{what} {secs}s exceeds 2^53 ns, where f64 seconds can no longer \
+         address individual nanoseconds; use an integer constructor"
+    );
+    ns as u64
+}
+
 /// An absolute instant on the simulation clock, in nanoseconds since the
 /// start of the run.
 ///
@@ -43,13 +64,32 @@ impl SimTime {
         self.0
     }
 
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * NANOS_PER_SEC)
+    }
+
     /// Construct from seconds expressed as `f64` (configuration helper).
     ///
     /// # Panics
-    /// Panics if `secs` is negative or not finite.
+    /// Panics if `secs` is negative, not finite, or larger than
+    /// [`MAX_F64_EXACT_NANOS`] nanoseconds (where `f64` can no longer
+    /// represent every nanosecond — use the integer constructors).
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid time: {secs}");
-        SimTime((secs * NANOS_PER_SEC as f64).round() as u64)
+        SimTime(checked_f64_nanos(secs, "time"))
     }
 
     /// This instant as fractional seconds.
@@ -105,10 +145,11 @@ impl SimDuration {
     /// Construct from fractional seconds.
     ///
     /// # Panics
-    /// Panics if `secs` is negative or not finite.
+    /// Panics if `secs` is negative, not finite, or larger than
+    /// [`MAX_F64_EXACT_NANOS`] nanoseconds (where `f64` can no longer
+    /// represent every nanosecond — use the integer constructors).
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
-        SimDuration((secs * NANOS_PER_SEC as f64).round() as u64)
+        SimDuration(checked_f64_nanos(secs, "duration"))
     }
 
     /// The raw nanosecond count.
@@ -306,6 +347,42 @@ mod tests {
     #[should_panic]
     fn negative_seconds_rejected() {
         let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn time_integer_constructors_agree() {
+        assert_eq!(SimTime::from_micros(5_000), SimTime::from_millis(5));
+        assert_eq!(SimTime::from_millis(2_000), SimTime::from_secs(2));
+        assert_eq!(SimTime::from_secs(3).as_nanos(), 3 * NANOS_PER_SEC);
+        const T: SimTime = SimTime::from_millis(250); // usable in const context
+        assert_eq!(T, SimTime::from_secs_f64(0.25));
+    }
+
+    #[test]
+    fn f64_seconds_accepted_up_to_precision_limit() {
+        // 9e15 ns sits just under the 2^53 (≈ 9.007e15) limit and is
+        // exactly representable, so the conversion must be lossless.
+        assert_eq!(
+            SimTime::from_secs_f64(9_000_000.0),
+            SimTime::from_secs(9_000_000)
+        );
+        assert_eq!(
+            SimDuration::from_secs_f64(9_000_000.0),
+            SimDuration::from_secs(9_000_000)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 2^53 ns")]
+    fn time_beyond_f64_precision_rejected() {
+        // Twice the limit: f64 can only hit even nanosecond counts here.
+        let _ = SimTime::from_secs_f64(2.0 * (1u64 << 53) as f64 / NANOS_PER_SEC as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 2^53 ns")]
+    fn duration_beyond_f64_precision_rejected() {
+        let _ = SimDuration::from_secs_f64(2.0 * (1u64 << 53) as f64 / NANOS_PER_SEC as f64);
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Calendar-equivalence property tests: the timing wheel and the binary
+//! heap must emit byte-identical `(time, seq, kind)` pop streams for any
+//! legal schedule, including simultaneous events, `SimTime::MAX` idle
+//! sentinels, cancellations, and events scheduled while a pop loop is in
+//! flight.
+
+use std::collections::BTreeMap;
+
+use netsim::event::{CalendarKind, EventKind, EventQueue};
+use netsim::ids::AgentId;
+use netsim::time::SimTime;
+use netsim::TimerToken;
+use proptest::prelude::*;
+
+/// Stable discriminant for comparing event kinds across the two backends.
+fn disc(kind: &EventKind) -> u8 {
+    match kind {
+        EventKind::Arrival { .. } => 0,
+        EventKind::Departure { .. } => 1,
+        EventKind::Timer { .. } => 2,
+        EventKind::Control { .. } => 3,
+    }
+}
+
+fn kind_for(tag: u64, code: u64) -> EventKind {
+    if tag.is_multiple_of(2) {
+        EventKind::Timer {
+            agent: AgentId(tag as usize % 5),
+            token: TimerToken(code),
+        }
+    } else {
+        EventKind::Control { code }
+    }
+}
+
+/// `base + off ns`, saturating at `SimTime::MAX` (reachable once a pop
+/// returns an end-of-time sentinel).
+fn after(base: SimTime, off: u64) -> SimTime {
+    SimTime::from_nanos(base.as_nanos().saturating_add(off))
+}
+
+/// Drive a wheel-backed and a heap-backed queue through the same operation
+/// stream and require identical observable behaviour at every step.
+///
+/// Ops are `(selector, a, b)` triples decoded below. The interpreter keeps
+/// its own watermark mirror so every schedule lands at or after the last
+/// pop (the queue's causality contract), and tracks pending ids so it only
+/// cancels events that have not fired.
+fn drive(ops: &[(u8, u64, u64)]) {
+    let mut wheel = EventQueue::with_calendar(CalendarKind::Wheel);
+    let mut heap = EventQueue::with_calendar(CalendarKind::Heap);
+    let mut now = SimTime::ZERO;
+    // insertion index -> (wheel id, heap id), removed on pop/cancel.
+    let mut pending = BTreeMap::new();
+    let mut scheduled: u64 = 0;
+
+    let schedule = |wheel: &mut EventQueue,
+                    heap: &mut EventQueue,
+                    pending: &mut BTreeMap<u64, _>,
+                    scheduled: &mut u64,
+                    at: SimTime,
+                    tag: u64| {
+        let kind = |code| kind_for(tag, code);
+        let wid = wheel.schedule(at, kind(*scheduled));
+        let hid = heap.schedule(at, kind(*scheduled));
+        pending.insert(*scheduled, (wid, hid));
+        *scheduled += 1;
+    };
+
+    let compare_pop = |a: Option<netsim::event::Event>,
+                       b: Option<netsim::event::Event>,
+                       pending: &mut BTreeMap<u64, _>,
+                       now: &mut SimTime|
+     -> Option<SimTime> {
+        match (a, b) {
+            (None, None) => None,
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(
+                    (x.at, x.seq(), disc(&x.kind)),
+                    (y.at, y.seq(), disc(&y.kind)),
+                    "wheel and heap popped different events"
+                );
+                pending.remove(&x.seq());
+                *now = x.at;
+                Some(x.at)
+            }
+            (x, y) => panic!("pop divergence: wheel {x:?} vs heap {y:?}"),
+        }
+    };
+
+    for &(sel, a, b) in ops {
+        match sel % 8 {
+            // Spread-out schedule: anywhere in the next millisecond.
+            0 | 1 => {
+                let at = after(now, a % 1_000_000);
+                schedule(&mut wheel, &mut heap, &mut pending, &mut scheduled, at, b);
+            }
+            // Collision-heavy schedule: at most 4 ns ahead, forcing
+            // simultaneous events that exercise the FIFO tiebreak.
+            2 => {
+                let at = after(now, a % 4);
+                schedule(&mut wheel, &mut heap, &mut pending, &mut scheduled, at, b);
+            }
+            // Idle sentinel at the end of time.
+            3 => {
+                let at = SimTime::MAX;
+                schedule(&mut wheel, &mut heap, &mut pending, &mut scheduled, at, b);
+            }
+            // Cancel a still-pending event (both queues).
+            4 => {
+                if !pending.is_empty() {
+                    let idx = b as usize % pending.len();
+                    let (&key, &(wid, hid)) = pending.iter().nth(idx).unwrap();
+                    wheel.cancel(wid);
+                    heap.cancel(hid);
+                    pending.remove(&key);
+                }
+            }
+            // Single pop.
+            5 => {
+                let (x, y) = (wheel.pop(), heap.pop());
+                compare_pop(x, y, &mut pending, &mut now);
+            }
+            // Bounded pop_before drain, optionally scheduling new events
+            // mid-drain (the schedule-during-pop interleaving).
+            6 => {
+                let until = after(now, a % 100_000);
+                let mut budget = 8u32;
+                loop {
+                    let (x, y) = (wheel.pop_before(until), heap.pop_before(until));
+                    let Some(at) = compare_pop(x, y, &mut pending, &mut now) else {
+                        break;
+                    };
+                    if b % 3 == 0 && budget > 0 {
+                        budget -= 1;
+                        let again = after(at, 1 + b % 50);
+                        schedule(
+                            &mut wheel,
+                            &mut heap,
+                            &mut pending,
+                            &mut scheduled,
+                            again,
+                            b,
+                        );
+                    }
+                }
+                prop_assert_eq!(wheel.len(), heap.len());
+                now = now.max(until);
+            }
+            // Peek must agree and may advance the causality watermark.
+            _ => {
+                let (tw, th) = (wheel.peek_time(), heap.peek_time());
+                prop_assert_eq!(tw, th, "peek_time diverged");
+                if let Some(t) = tw {
+                    now = now.max(t);
+                }
+            }
+        }
+        prop_assert_eq!(wheel.len(), heap.len(), "live counts diverged");
+        prop_assert_eq!(wheel.is_empty(), heap.is_empty());
+    }
+
+    // Drain to exhaustion: the tails must match event for event.
+    loop {
+        let (x, y) = (wheel.pop(), heap.pop());
+        if compare_pop(x, y, &mut pending, &mut now).is_none() {
+            break;
+        }
+    }
+    prop_assert!(wheel.is_empty() && heap.is_empty());
+}
+
+proptest! {
+    /// Randomized op streams: wheel and heap pop identical
+    /// `(time, seq, kind)` sequences under schedules, collisions,
+    /// sentinels, cancellations, peeks, and mid-drain schedules.
+    #[test]
+    fn wheel_and_heap_pop_identical_streams(
+        ops in proptest::collection::vec(
+            (0u8..8, 0u64..u64::MAX, 0u64..u64::MAX),
+            1..120,
+        ),
+    ) {
+        drive(&ops);
+    }
+
+    /// Pure collision storms: every event lands on one of two instants, so
+    /// the entire pop order is decided by the insertion-seq tiebreak.
+    #[test]
+    fn simultaneous_storms_preserve_fifo(
+        picks in proptest::collection::vec(any::<bool>(), 1..80),
+    ) {
+        let ops: Vec<(u8, u64, u64)> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &hi)| (2u8, if hi { 3 } else { 0 }, i as u64))
+            .collect();
+        drive(&ops);
+    }
+}

@@ -10,7 +10,9 @@
 
 use std::any::Any;
 
-use netsim::{Agent, AgentId, Ctx, Ecn, FlowId, NodeId, Packet, Payload, SimDuration, TimerToken};
+use netsim::{
+    Agent, AgentId, Ctx, Ecn, FlowId, NodeId, Packet, Payload, SimDuration, SimTime, TimerToken,
+};
 use pert_core::predictors::AckSample;
 #[cfg(feature = "telemetry")]
 use pert_core::telemetry::{self, BucketHistogram};
@@ -54,10 +56,10 @@ pub struct TcpConfig {
     pub initial_ssthresh: f64,
     /// Receiver-window clamp on the congestion window, segments.
     pub max_cwnd: f64,
-    /// Minimum retransmission timeout, seconds (default 0.2).
-    pub min_rto: f64,
-    /// Maximum retransmission timeout, seconds (default 60).
-    pub max_rto: f64,
+    /// Minimum retransmission timeout (default 200 ms).
+    pub min_rto: SimDuration,
+    /// Maximum retransmission timeout (default 60 s).
+    pub max_rto: SimDuration,
     /// Record one [`AckSample`] per ACK (time, RTT, cwnd) — used by the
     /// paper's predictor studies; off by default to bound memory.
     pub record_samples: bool,
@@ -79,8 +81,8 @@ impl TcpConfig {
             initial_cwnd: 2.0,
             initial_ssthresh: f64::MAX,
             max_cwnd: f64::MAX,
-            min_rto: 0.2,
-            max_rto: 60.0,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
             record_samples: false,
             seed: 0,
         }
@@ -129,13 +131,16 @@ pub struct TcpSender {
     recovery_point: Option<u64>,
 
     // --- RTT estimation and RTO ----------------------------------------
+    // The srtt/rttvar estimators stay f64 (they feed the CC algorithms'
+    // float math), but everything the calendar sees — the RTO, its
+    // backoff ladder, and the deadline — is exact integer nanoseconds.
     srtt: Option<f64>,
     rttvar: f64,
-    rto: f64,
+    rto: SimDuration,
     backoff: u32,
     /// Absolute time the retransmission timer should fire
-    /// (`f64::INFINITY` when idle).
-    rto_deadline: f64,
+    /// ([`SimTime::MAX`] when idle).
+    rto_deadline: SimTime,
     /// True while a timer event is pending in the calendar.
     rto_timer_pending: bool,
 
@@ -169,7 +174,7 @@ impl TcpSender {
     pub fn new(cfg: TcpConfig, cc: Box<dyn CcAlgorithm>, source: Box<dyn Source>) -> Self {
         assert!(cfg.initial_cwnd >= 1.0, "initial cwnd must be ≥ 1");
         assert!(cfg.seg_size > 0 && cfg.ack_size > 0);
-        assert!(cfg.min_rto > 0.0 && cfg.max_rto >= cfg.min_rto);
+        assert!(!cfg.min_rto.is_zero() && cfg.max_rto >= cfg.min_rto);
         let seed = cfg.seed;
         #[cfg(feature = "telemetry")]
         let tap = telemetry::Tap::attach("tcp/cwnd", cfg.flow.0 as u64);
@@ -189,9 +194,9 @@ impl TcpSender {
             recovery_point: None,
             srtt: None,
             rttvar: 0.0,
-            rto: 1.0,
+            rto: SimDuration::from_secs(1),
             backoff: 0,
-            rto_deadline: f64::INFINITY,
+            rto_deadline: SimTime::MAX,
             rto_timer_pending: false,
             ecn_hold_until: 0.0,
             started: false,
@@ -289,42 +294,48 @@ impl TcpSender {
 
     // --- RTO management -------------------------------------------------
 
-    fn current_rto(&self) -> f64 {
-        (self.rto * f64::from(1u32 << self.backoff.min(16)))
-            .clamp(self.cfg.min_rto, self.cfg.max_rto)
+    /// The armed RTO: base estimate doubled per backoff step (capped at
+    /// 2^16), clamped to the configured bounds — all in exact integer
+    /// nanoseconds, so a deep backoff ladder lands on a deterministic
+    /// nanosecond instead of accumulating float rounding.
+    fn current_rto(&self) -> SimDuration {
+        (self.rto * (1u64 << self.backoff.min(16))).clamp(self.cfg.min_rto, self.cfg.max_rto)
     }
 
-    fn restart_rto(&mut self, now: f64) {
+    fn restart_rto(&mut self, now: SimTime) {
         self.rto_deadline = now + self.current_rto();
     }
 
     fn ensure_timer(&mut self, ctx: &mut Ctx<'_>) {
         if self.scoreboard.in_flight() == 0 && self.scoreboard.lost_count() == 0 {
-            self.rto_deadline = f64::INFINITY;
+            self.rto_deadline = SimTime::MAX;
             return;
         }
-        if self.rto_deadline.is_infinite() {
-            self.restart_rto(ctx.now().as_secs_f64());
+        if self.rto_deadline == SimTime::MAX {
+            self.restart_rto(ctx.now());
         }
         if !self.rto_timer_pending {
-            let now = ctx.now().as_secs_f64();
-            let delay = (self.rto_deadline - now).max(0.0);
-            ctx.schedule(SimDuration::from_secs_f64(delay), TimerToken(TOKEN_RTO));
+            let now = ctx.now();
+            let delay = if self.rto_deadline > now {
+                self.rto_deadline.duration_since(now)
+            } else {
+                SimDuration::ZERO
+            };
+            ctx.schedule(delay, TimerToken(TOKEN_RTO));
             self.rto_timer_pending = true;
         }
     }
 
     fn on_rto_timer(&mut self, ctx: &mut Ctx<'_>) {
         self.rto_timer_pending = false;
-        if self.stopped || self.rto_deadline.is_infinite() {
+        if self.stopped || self.rto_deadline == SimTime::MAX {
             return;
         }
-        let now = ctx.now().as_secs_f64();
-        // Timers have nanosecond granularity; treat any deadline within a
-        // nanosecond as reached, or a sub-nanosecond residue would re-arm a
-        // zero-delay timer forever.
-        if now + 1e-9 < self.rto_deadline {
+        let now = ctx.now();
+        if now < self.rto_deadline {
             // Deadline was pushed forward by ACK progress; re-arm lazily.
+            // Deadlines are exact nanoseconds, so this comparison needs no
+            // epsilon — a timer that fires at its deadline is at it.
             self.ensure_timer(ctx);
             return;
         }
@@ -337,7 +348,7 @@ impl TcpSender {
         // A timeout ends any fast-recovery episode and starts a fresh one
         // so subsequent SACK losses don't re-cut the window immediately.
         self.recovery_point = Some(self.next_seq);
-        self.cc.on_congestion(now);
+        self.cc.on_congestion(now.as_secs_f64());
         self.restart_rto(now);
         self.send_available(ctx);
     }
@@ -356,7 +367,10 @@ impl TcpSender {
             }
         }
         let srtt = self.srtt.expect("just set");
-        self.rto = (srtt + 4.0 * self.rttvar).clamp(self.cfg.min_rto, self.cfg.max_rto);
+        // One float→integer conversion per RTT sample; from here on all
+        // RTO arithmetic (backoff, deadline) is exact.
+        self.rto = SimDuration::from_secs_f64(srtt + 4.0 * self.rttvar)
+            .clamp(self.cfg.min_rto, self.cfg.max_rto);
     }
 
     /// A loss/ECN-triggered multiplicative decrease (at most one per
@@ -390,7 +404,7 @@ impl TcpSender {
             self.high_ack = cum_ack;
             self.stats.acked_segments += n;
             self.backoff = 0;
-            self.restart_rto(now);
+            self.restart_rto(ctx.now());
             n
         } else {
             0
@@ -419,7 +433,7 @@ impl TcpSender {
         if ece && now >= self.ecn_hold_until && self.recovery_point.is_none() {
             self.stats.ecn_reductions += 1;
             self.congestion_reduce(now);
-            self.ecn_hold_until = now + self.srtt.unwrap_or(self.rto);
+            self.ecn_hold_until = now + self.srtt.unwrap_or_else(|| self.rto.as_secs_f64());
         }
 
         // 5. Congestion-control growth / early response.
@@ -494,7 +508,7 @@ impl TcpSender {
         match self.source.next_transfer(&mut self.rng) {
             None => {
                 self.stopped = true;
-                self.rto_deadline = f64::INFINITY;
+                self.rto_deadline = SimTime::MAX;
             }
             Some(t) => {
                 self.awaiting_transfer = true;
@@ -545,7 +559,7 @@ impl Agent for TcpSender {
             }
             TOKEN_STOP => {
                 self.stopped = true;
-                self.rto_deadline = f64::INFINITY;
+                self.rto_deadline = SimTime::MAX;
             }
             TOKEN_NEW_TRANSFER => self.on_new_transfer(token.0 >> 8, ctx),
             TOKEN_RTO => self.on_rto_timer(ctx),
@@ -580,5 +594,128 @@ impl Drop for TcpSender {
         if let Some(h) = &self.rtt_hist {
             telemetry::histogram_merge("tcp/rtt_ns", h);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::Reno;
+    use crate::source::Greedy;
+
+    fn sender() -> TcpSender {
+        TcpSender::new(
+            TcpConfig::new(FlowId(0), NodeId(1), AgentId(1)),
+            Box::new(Reno::new()),
+            Box::new(Greedy),
+        )
+    }
+
+    /// The RTO ladder exactly as the sender computed it before the
+    /// integer-time migration: f64 seconds throughout, converted to
+    /// nanoseconds only at the scheduling boundary.
+    struct OldFloatRto {
+        srtt: Option<f64>,
+        rttvar: f64,
+        rto: f64,
+        min_rto: f64,
+        max_rto: f64,
+    }
+
+    impl OldFloatRto {
+        fn new() -> Self {
+            OldFloatRto {
+                srtt: None,
+                rttvar: 0.0,
+                rto: 1.0,
+                min_rto: 0.2,
+                max_rto: 60.0,
+            }
+        }
+
+        fn update_rtt(&mut self, sample: f64) {
+            match self.srtt {
+                None => {
+                    self.srtt = Some(sample);
+                    self.rttvar = sample / 2.0;
+                }
+                Some(s) => {
+                    self.rttvar = 0.75 * self.rttvar + 0.25 * (s - sample).abs();
+                    self.srtt = Some(0.875 * s + 0.125 * sample);
+                }
+            }
+            self.rto = (self.srtt.unwrap() + 4.0 * self.rttvar).clamp(self.min_rto, self.max_rto);
+        }
+
+        fn current_rto_ns(&self, backoff: u32) -> u64 {
+            let secs =
+                (self.rto * f64::from(1u32 << backoff.min(16))).clamp(self.min_rto, self.max_rto);
+            // The old scheduling boundary: SimDuration::from_secs_f64.
+            (secs * 1e9).round() as u64
+        }
+    }
+
+    /// Regression for the float→integer RTO migration: for RTT samples as
+    /// the simulator actually produces them (integer nanoseconds read
+    /// back through `as_secs_f64`), every rung of the backoff ladder —
+    /// through the 2^16 doubling cap and both RTO clamps — lands on the
+    /// same nanosecond under the old float path and the new integer path.
+    /// What the integer path *removes* is the old deadline arithmetic
+    /// (`now + rto - now` in f64), which drifted once `now` grew large.
+    #[test]
+    fn backoff_ladder_matches_old_float_path() {
+        // (description, RTT samples in ns)
+        let cases: [(&str, &[u64]); 5] = [
+            ("one 21.04 ms sample (the two_node_sim RTT)", &[21_040_000]),
+            ("one 3 ns sample (min_rto clamp floor)", &[3]),
+            ("one 150 ms sample (max_rto cap mid-ladder)", &[150_000_000]),
+            (
+                "EWMA over a jittery handful",
+                &[21_040_000, 24_113_527, 19_998_001, 22_000_003, 21_500_750],
+            ),
+            (
+                "one 2.5 s sample (cap reached by backoff 5)",
+                &[2_500_000_000],
+            ),
+        ];
+        for (what, samples) in cases {
+            let mut new_path = sender();
+            let mut old_path = OldFloatRto::new();
+            for &ns in samples {
+                let secs = SimDuration::from_nanos(ns).as_secs_f64();
+                new_path.update_rtt(secs);
+                old_path.update_rtt(secs);
+            }
+            for backoff in 0..=20u32 {
+                new_path.backoff = backoff;
+                let new_ns = new_path.current_rto().as_nanos();
+                let old_ns = old_path.current_rto_ns(backoff);
+                assert_eq!(
+                    new_ns, old_ns,
+                    "{what}: ladder diverged at backoff {backoff}: \
+                     integer {new_ns} ns vs float {old_ns} ns"
+                );
+            }
+            // The cap must engage: a deep ladder is exactly max_rto.
+            new_path.backoff = 20;
+            assert!(new_path.current_rto() <= SimDuration::from_secs(60));
+        }
+    }
+
+    /// The doubling cap itself: backoff beyond 16 must not widen the RTO
+    /// further (and must not overflow the integer multiply).
+    #[test]
+    fn backoff_caps_at_sixteen_doublings() {
+        let mut s = sender();
+        s.rto = SimDuration::from_micros(300); // below min_rto × 2^-16
+        s.cfg.min_rto = SimDuration::from_nanos(1);
+        s.cfg.max_rto = SimDuration::MAX;
+        s.backoff = 16;
+        let at_cap = s.current_rto();
+        assert_eq!(at_cap, SimDuration::from_micros(300) * 65_536);
+        s.backoff = 17;
+        assert_eq!(s.current_rto(), at_cap);
+        s.backoff = u32::MAX;
+        assert_eq!(s.current_rto(), at_cap);
     }
 }
