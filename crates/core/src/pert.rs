@@ -212,6 +212,10 @@ impl PertController {
         }
         self.hold_until = now + hold;
         self.stats.early_responses += 1;
+        #[cfg(feature = "telemetry")]
+        if let Some(key) = self.tap_key {
+            telemetry::record("pert/response", key, now, 1.0);
+        }
         Some(EarlyResponse {
             factor: self.params.decrease_factor,
         })

@@ -47,6 +47,7 @@
 //! controller seed; queues: link index; TCP: flow id). Current series
 //! are listed in DESIGN.md §7.
 
+pub use sim_stats::derive::{DeriveSet, DerivedSummary};
 pub use sim_stats::metrics::{BucketHistogram, MetricValue, MetricsSet};
 
 use std::cell::RefCell;
@@ -54,16 +55,49 @@ use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static FULL_TRACE: AtomicBool = AtomicBool::new(false);
 
-/// Capacity of the flight-recorder ring: the newest records kept for a
-/// post-mortem dump.
+/// Default capacity of the flight-recorder ring: the newest records
+/// kept for a post-mortem dump. Override with [`set_flight_cap`]
+/// (`--flight-window N` on the experiments CLI).
 pub const FLIGHT_CAP: usize = 65_536;
+
+/// Flight-window bounds accepted by [`set_flight_cap`]. The lower bound
+/// keeps a panic dump useful; the upper bound keeps the ring's memory
+/// footprint sane (records are ~100 bytes).
+pub const FLIGHT_CAP_MIN: usize = 64;
+/// See [`FLIGHT_CAP_MIN`].
+pub const FLIGHT_CAP_MAX: usize = 16_777_216;
+
+static FLIGHT_CAP_VAR: AtomicUsize = AtomicUsize::new(FLIGHT_CAP);
+
+/// The current flight-recorder ring capacity.
+#[inline]
+pub fn flight_cap() -> usize {
+    FLIGHT_CAP_VAR.load(Ordering::Relaxed)
+}
+
+/// Resize the flight-recorder ring. Returns `Err` (and changes nothing)
+/// outside [`FLIGHT_CAP_MIN`]`..=`[`FLIGHT_CAP_MAX`]. Shrinking trims
+/// the oldest records immediately.
+pub fn set_flight_cap(n: usize) -> Result<(), String> {
+    if !(FLIGHT_CAP_MIN..=FLIGHT_CAP_MAX).contains(&n) {
+        return Err(format!(
+            "flight window {n} out of range [{FLIGHT_CAP_MIN}, {FLIGHT_CAP_MAX}]"
+        ));
+    }
+    FLIGHT_CAP_VAR.store(n, Ordering::Relaxed);
+    let mut buf = BUFFERS.lock().unwrap();
+    while buf.ring.len() > n {
+        buf.ring.pop_front();
+    }
+    Ok(())
+}
 
 /// True if telemetry is collecting. Defaults to **off**: unlike audits,
 /// telemetry is pull-based tooling, and reports must stay byte-identical
@@ -158,8 +192,14 @@ pub fn record(series: &'static str, key: u64, t: f64, value: f64) {
         t,
         value,
     };
+    if DERIVE_ON.load(Ordering::Relaxed) {
+        if let Some(d) = DERIVE.lock().unwrap().as_mut() {
+            d.ingest(&rec.scope, rec.series, rec.key, rec.t, rec.value);
+        }
+    }
+    let cap = flight_cap();
     let mut buf = BUFFERS.lock().unwrap();
-    if buf.ring.len() == FLIGHT_CAP {
+    while buf.ring.len() >= cap {
         buf.ring.pop_front();
     }
     if FULL_TRACE.load(Ordering::Relaxed) {
@@ -270,6 +310,87 @@ pub fn histogram_merge(name: &str, hist: &BucketHistogram) {
 /// [`MetricsSet::since`] on two snapshots for per-target deltas.
 pub fn metrics_snapshot() -> MetricsSet {
     METRICS.lock().unwrap().clone()
+}
+
+// ---------------------------------------------------------------------
+// Derived metrics
+// ---------------------------------------------------------------------
+
+static DERIVE_ON: AtomicBool = AtomicBool::new(false);
+static DERIVE: Mutex<Option<DeriveSet>> = Mutex::new(None);
+
+/// Start (or restart) online derivation: every subsequent [`record`]
+/// is also fed through a fresh [`DeriveSet`]. The experiments binary
+/// calls this per target so each report gets its own derived block.
+pub fn derive_reset() {
+    *DERIVE.lock().unwrap() = Some(DeriveSet::new());
+    DERIVE_ON.store(true, Ordering::Relaxed);
+}
+
+/// Stop online derivation and drop the accumulated state.
+pub fn derive_clear() {
+    DERIVE_ON.store(false, Ordering::Relaxed);
+    *DERIVE.lock().unwrap() = None;
+}
+
+/// Summarize the records derived since [`derive_reset`], or `None`
+/// when derivation is not running. The summary is integer-only and
+/// order-independent, so it is byte-identical at any worker count.
+pub fn derive_summary() -> Option<DerivedSummary> {
+    DERIVE.lock().unwrap().as_ref().map(DeriveSet::summary)
+}
+
+// ---------------------------------------------------------------------
+// Progress (stderr-only; never part of deterministic output)
+// ---------------------------------------------------------------------
+
+static PROGRESS_ON: AtomicBool = AtomicBool::new(false);
+static PROGRESS_EVENTS: AtomicU64 = AtomicU64::new(0);
+static PROGRESS_SIM_NS: AtomicU64 = AtomicU64::new(0);
+static PROGRESS_JOBS_DONE: AtomicU64 = AtomicU64::new(0);
+static PROGRESS_JOBS_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Turn the progress counters on or off. Publishers check this once
+/// per batch, so the cost with the flag down is one relaxed load.
+pub fn progress_set_enabled(on: bool) {
+    PROGRESS_ON.store(on, Ordering::Relaxed);
+}
+
+/// True when progress counters are being collected.
+#[inline]
+pub fn progress_enabled() -> bool {
+    PROGRESS_ON.load(Ordering::Relaxed)
+}
+
+/// Add a batch of processed events and advanced simulated time.
+/// Publishers batch (the sim loop flushes every few thousand events) —
+/// never call this per event.
+pub fn progress_add(events: u64, sim_ns: u64) {
+    PROGRESS_EVENTS.fetch_add(events, Ordering::Relaxed);
+    PROGRESS_SIM_NS.fetch_add(sim_ns, Ordering::Relaxed);
+}
+
+/// Reset the counters and set the total job count for the coming run.
+pub fn progress_start(total_jobs: u64) {
+    PROGRESS_EVENTS.store(0, Ordering::Relaxed);
+    PROGRESS_SIM_NS.store(0, Ordering::Relaxed);
+    PROGRESS_JOBS_DONE.store(0, Ordering::Relaxed);
+    PROGRESS_JOBS_TOTAL.store(total_jobs, Ordering::Relaxed);
+}
+
+/// Mark one job complete.
+pub fn progress_job_done() {
+    PROGRESS_JOBS_DONE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot `(events, sim_ns, jobs_done, jobs_total)`.
+pub fn progress_snapshot() -> (u64, u64, u64, u64) {
+    (
+        PROGRESS_EVENTS.load(Ordering::Relaxed),
+        PROGRESS_SIM_NS.load(Ordering::Relaxed),
+        PROGRESS_JOBS_DONE.load(Ordering::Relaxed),
+        PROGRESS_JOBS_TOTAL.load(Ordering::Relaxed),
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -606,6 +727,56 @@ mod tests {
         let body = std::fs::read_to_string(&path).expect("dump written");
         assert!(body.contains("\"series\":\"test/panic_dump\""));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn flight_cap_bounds_are_enforced() {
+        assert!(set_flight_cap(0).is_err());
+        assert!(set_flight_cap(FLIGHT_CAP_MIN - 1).is_err());
+        assert!(set_flight_cap(FLIGHT_CAP_MAX + 1).is_err());
+        // In-range values apply; restore the default afterwards so the
+        // ring keeps its documented size for other tests.
+        assert!(set_flight_cap(FLIGHT_CAP_MIN).is_ok());
+        assert_eq!(flight_cap(), FLIGHT_CAP_MIN);
+        assert!(set_flight_cap(FLIGHT_CAP).is_ok());
+        assert_eq!(flight_cap(), FLIGHT_CAP);
+    }
+
+    #[test]
+    fn derive_hook_feeds_recorded_samples() {
+        set_enabled(true);
+        derive_reset();
+        // Series no other test in this process emits, so the counts
+        // below are exact even with tests running concurrently.
+        record("queue/final_offered", 0, 0.0, 400.0);
+        record("queue/final_dropped", 0, 0.0, 10.0);
+        record("tcp/acked_final", 1, 0.0, 30.0);
+        record("tcp/acked_final", 2, 0.0, 30.0);
+        let s = derive_summary().expect("derivation running");
+        let l = s.loss.expect("loss ingested");
+        assert_eq!(l.offered, 400);
+        assert_eq!(l.dropped, 10);
+        assert_eq!(l.drop_bp, 250);
+        let f = s.fairness.expect("fairness ingested");
+        assert_eq!(f.flows, 2);
+        assert_eq!(f.jain_max_milli, 1_000);
+        derive_clear();
+        assert!(derive_summary().is_none());
+    }
+
+    #[test]
+    fn progress_counters_accumulate() {
+        progress_set_enabled(true);
+        progress_start(4);
+        progress_add(1_000, 500_000);
+        progress_add(500, 250_000);
+        progress_job_done();
+        let (events, sim_ns, done, total) = progress_snapshot();
+        assert!(events >= 1_500);
+        assert!(sim_ns >= 750_000);
+        assert!(done >= 1);
+        assert_eq!(total, 4);
+        progress_set_enabled(false);
     }
 
     #[test]

@@ -12,16 +12,20 @@ use netsim::CalendarKind;
 /// The usage text printed on a parse error.
 pub const USAGE: &str = "usage: experiments <target>... [--quick|--standard|--full] [--jobs N] \
 [--seed S] [--json PATH] [--csv PATH] [--audit] [--telemetry] [--trace-out PATH] \
-[--calendar wheel|heap]\n\
+[--flight-window N] [--progress] [--calendar wheel|heap]\n\
+\x20      experiments trace summarize|diff ... (see `experiments trace`)\n\
 targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1\n\
 \t fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all\n\
 --audit runs every simulation with the invariant-audit layer on (packet\n\
 conservation, accounting ledgers, differential oracles) and reports the\n\
 check/violation counts per target.\n\
---telemetry attaches signal taps and appends a per-target metrics block to\n\
-each report; --trace-out PATH (implies --telemetry) additionally writes the\n\
-full per-series trace as JSONL to PATH plus a Chrome-trace profile and a\n\
-flight-recorder dump alongside it.\n\
+--telemetry attaches signal taps and appends per-target metrics + derived\n\
+sections to each report; --trace-out PATH (implies --telemetry) additionally\n\
+writes the full per-series trace as JSONL to PATH plus a Chrome-trace\n\
+profile and a flight-recorder dump alongside it.\n\
+--flight-window N sets the flight-recorder ring size in records (default\n\
+65536); --progress forces the ~1 Hz stderr progress line on even when\n\
+stderr is not a terminal.\n\
 --calendar selects the event-calendar backend: the hierarchical timing\n\
 wheel (default) or the reference binary heap. Reports are byte-identical\n\
 either way; the heap is the escape hatch and differential baseline.";
@@ -47,6 +51,11 @@ pub struct Cli {
     pub telemetry: bool,
     /// Write the full telemetry trace (JSONL) here; implies `telemetry`.
     pub trace_out: Option<String>,
+    /// Flight-recorder ring size override, records (`None` = default).
+    pub flight_window: Option<usize>,
+    /// Force the stderr progress line on (otherwise it is shown only
+    /// when stderr is a terminal).
+    pub progress: bool,
     /// Event-calendar backend for every simulator built by the run.
     pub calendar: CalendarKind,
 }
@@ -68,6 +77,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut audit = false;
     let mut telemetry = false;
     let mut trace_out = None;
+    let mut flight_window = None;
+    let mut progress = false;
     let mut calendar = CalendarKind::Wheel;
     let mut targets: Vec<String> = Vec::new();
 
@@ -98,6 +109,22 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--audit" => audit = true,
             "--telemetry" => telemetry = true,
             "--trace-out" => trace_out = Some(flag_value(a, args, &mut i)?.to_string()),
+            "--flight-window" => {
+                use pert_core::telemetry::{FLIGHT_CAP_MAX, FLIGHT_CAP_MIN};
+                let v = flag_value(a, args, &mut i)?;
+                flight_window = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|n| (FLIGHT_CAP_MIN..=FLIGHT_CAP_MAX).contains(n))
+                        .ok_or_else(|| {
+                            format!(
+                                "--flight-window wants an integer in \
+                                 [{FLIGHT_CAP_MIN}, {FLIGHT_CAP_MAX}], got '{v}'"
+                            )
+                        })?,
+                );
+            }
+            "--progress" => progress = true,
             "--calendar" => {
                 calendar = match flag_value(a, args, &mut i)? {
                     "wheel" => CalendarKind::Wheel,
@@ -140,6 +167,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         audit,
         telemetry,
         trace_out,
+        flight_window,
+        progress,
         calendar,
     })
 }
@@ -219,6 +248,47 @@ mod tests {
         assert!(p(&["fig5", "--trace-out"])
             .unwrap_err()
             .contains("needs a value"));
+    }
+
+    #[test]
+    fn flight_window_flag_is_bounds_checked() {
+        use pert_core::telemetry::{FLIGHT_CAP_MAX, FLIGHT_CAP_MIN};
+        assert_eq!(p(&["fig5"]).unwrap().flight_window, None);
+        assert_eq!(
+            p(&["fig5", "--flight-window", "1024"])
+                .unwrap()
+                .flight_window,
+            Some(1024)
+        );
+        assert_eq!(
+            p(&["fig5", "--flight-window", &FLIGHT_CAP_MIN.to_string()])
+                .unwrap()
+                .flight_window,
+            Some(FLIGHT_CAP_MIN)
+        );
+        for bad in [
+            "0",
+            "-5",
+            "x",
+            &(FLIGHT_CAP_MIN - 1).to_string(),
+            &(FLIGHT_CAP_MAX + 1).to_string(),
+        ] {
+            assert!(
+                p(&["fig5", "--flight-window", bad])
+                    .unwrap_err()
+                    .contains("--flight-window"),
+                "accepted {bad}"
+            );
+        }
+        assert!(p(&["fig5", "--flight-window"])
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn progress_flag() {
+        assert!(!p(&["fig5"]).unwrap().progress);
+        assert!(p(&["fig5", "--progress"]).unwrap().progress);
     }
 
     #[test]

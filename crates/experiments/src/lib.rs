@@ -37,6 +37,7 @@ pub mod ablations;
 pub mod cases;
 pub mod cli;
 pub mod common;
+pub mod cost;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
@@ -49,6 +50,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod progress;
 pub mod rem;
 pub mod report;
 pub mod reverse;
@@ -57,6 +59,7 @@ pub mod runner;
 pub mod scenario;
 pub mod sweep;
 pub mod table1;
+pub mod trace_cli;
 
 pub use common::Scale;
 pub use report::Report;

@@ -3,7 +3,9 @@
 //! ```text
 //! experiments <target>... [--quick|--standard|--full] [--jobs N]
 //!             [--seed S] [--json PATH] [--csv PATH] [--audit]
-//!             [--telemetry] [--trace-out PATH] [--calendar wheel|heap]
+//!             [--telemetry] [--trace-out PATH] [--flight-window N]
+//!             [--progress] [--calendar wheel|heap]
+//! experiments trace summarize FILE [filters] | trace diff A B [--tol X]
 //!
 //! targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1
 //!          fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all
@@ -20,6 +22,7 @@ use experiments::cli;
 use experiments::report::{reports_to_csv, reports_to_json, AuditCounts};
 use experiments::runner::run_jobs;
 use experiments::scenario::lookup;
+use experiments::{cost, progress, trace_cli};
 use pert_core::telemetry;
 
 /// Where the flight-recorder dump lands: next to the trace file when
@@ -33,6 +36,11 @@ fn flight_path(trace_out: Option<&str>) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `experiments trace ...` is the offline analysis mode: it reads
+    // trace files instead of running simulations.
+    if args.first().map(String::as_str) == Some("trace") {
+        std::process::exit(trace_cli::run(&args[1..]));
+    }
     let cli = match cli::parse(&args) {
         Ok(c) => c,
         Err(e) => {
@@ -47,12 +55,21 @@ fn main() {
     netsim::audit::set_enabled(cli.audit);
     telemetry::set_enabled(cli.telemetry);
     let flight = flight_path(cli.trace_out.as_deref());
+    if let Some(n) = cli.flight_window {
+        // The parser bounds-checked, but the setter is authoritative.
+        if let Err(e) = telemetry::set_flight_cap(n) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
     if cli.telemetry {
         telemetry::set_full_trace(cli.trace_out.is_some());
         // An audit violation panics; leave the preceding telemetry
         // window on disk when one fires (or any scenario panics).
         telemetry::install_flight_dump_on_panic(flight.clone().into());
     }
+
+    let progress_on = progress::should_enable(cli.progress, cli.json.is_some());
 
     println!("scale: {:?}", cli.scale);
     let mut reports = Vec::new();
@@ -62,11 +79,24 @@ fn main() {
         let t0 = std::time::Instant::now();
         let before = cli.audit.then(netsim::audit::snapshot);
         let metrics_before = cli.telemetry.then(telemetry::metrics_snapshot);
+        let spans_before = cli.telemetry.then(|| telemetry::spans_snapshot().len());
+        if cli.telemetry {
+            // Fresh derive state per target: each report summarizes only
+            // its own records.
+            telemetry::derive_reset();
+        }
         let jobs = {
             let _span = telemetry::span(format!("{t}/points"));
             scenario.points(cli.scale, seed)
         };
+        let ticker = progress_on.then(|| {
+            telemetry::progress_start(jobs.len() as u64);
+            progress::Ticker::start(t)
+        });
         let (results, timings) = run_jobs(jobs, cli.jobs);
+        if let Some(ticker) = ticker {
+            ticker.finish();
+        }
         let mut report = {
             let _span = telemetry::span(format!("{t}/assemble"));
             scenario.assemble(cli.scale, seed, results)
@@ -74,6 +104,9 @@ fn main() {
         report.timings = timings;
         if let Some(b) = metrics_before {
             report.metrics = Some(telemetry::metrics_snapshot().since(&b));
+        }
+        if cli.telemetry {
+            report.derived = telemetry::derive_summary();
         }
         if let Some(b) = before {
             let d = netsim::audit::snapshot().since(&b);
@@ -90,8 +123,18 @@ fn main() {
         for tm in &report.timings {
             eprintln!("  [{} {:.2}s]", tm.label, tm.secs);
         }
+        // The "where the time goes" table: wall-clock is host-dependent,
+        // so it lives on stderr with the timings, never in the report.
+        if let (Some(m), Some(b)) = (&report.metrics, spans_before) {
+            let spans = telemetry::spans_snapshot();
+            let rows = cost::attribute(m, &spans[b.min(spans.len())..]);
+            eprint!("{}", cost::render(t, &rows));
+        }
         eprintln!("[{t} done in {:.1}s]", t0.elapsed().as_secs_f64());
         reports.push(report);
+    }
+    if cli.telemetry {
+        telemetry::derive_clear();
     }
 
     if let Some(path) = &cli.json {

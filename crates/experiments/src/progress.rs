@@ -1,0 +1,191 @@
+//! The live stderr progress line.
+//!
+//! A background ticker thread redraws one `\r`-terminated stderr line
+//! roughly once per second while a target runs:
+//!
+//! ```text
+//! [fig6] jobs 3/12  1.24M ev/s  sim/wall 38.2x  eta 14s
+//! ```
+//!
+//! fed by the process-global counters in `pert_core::telemetry`
+//! (`progress_add` batches from the simulator loop, `progress_job_done`
+//! from the runner). The line is stderr-only and therefore invisible to
+//! every determinism contract: stdout, `--json`, `--csv`, traces and
+//! flight dumps are byte-identical with or without it. It is shown when
+//! stderr is a terminal or `--progress` forces it, and suppressed under
+//! `--json` (machine-consumed runs stay quiet).
+
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pert_core::telemetry;
+
+/// Decide whether the progress line should run at all.
+pub fn should_enable(force: bool, json_out: bool) -> bool {
+    !json_out && (force || std::io::stderr().is_terminal())
+}
+
+/// Format the progress line from a counter snapshot. Pure, so the
+/// rendering is unit-testable without threads or timers.
+pub fn render_line(
+    target: &str,
+    events: u64,
+    sim_ns: u64,
+    jobs_done: u64,
+    jobs_total: u64,
+    wall: Duration,
+) -> String {
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    let rate = events as f64 / wall_s;
+    let ratio = sim_ns as f64 / 1e9 / wall_s;
+    let mut line = format!(
+        "[{target}] jobs {jobs_done}/{jobs_total}  {} ev/s  sim/wall {ratio:.1}x",
+        human_count(rate)
+    );
+    if jobs_done > 0 && jobs_done < jobs_total {
+        let eta = wall_s * (jobs_total - jobs_done) as f64 / jobs_done as f64;
+        line.push_str(&format!("  eta {}", human_secs(eta)));
+    }
+    line
+}
+
+/// `1234567.0` → `"1.23M"`; keeps the line width stable.
+fn human_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+fn human_secs(s: f64) -> String {
+    if s >= 3600.0 {
+        format!("{:.0}h{:02.0}m", (s / 3600.0).floor(), (s % 3600.0) / 60.0)
+    } else if s >= 60.0 {
+        format!("{:.0}m{:02.0}s", (s / 60.0).floor(), s % 60.0)
+    } else {
+        format!("{s:.0}s")
+    }
+}
+
+/// A running ticker. Dropping it without [`Ticker::finish`] detaches the
+/// thread (it exits at the next tick); `finish` joins and clears the
+/// line.
+pub struct Ticker {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Ticker {
+    /// Enable the global counters and start redrawing for `target`.
+    pub fn start(target: &str) -> Ticker {
+        telemetry::progress_set_enabled(true);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let target = target.to_string();
+        let handle = std::thread::Builder::new()
+            .name("progress".into())
+            .spawn(move || {
+                let t0 = Instant::now();
+                let mut last_len = 0usize;
+                let mut ticks = 0u32;
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(100));
+                    ticks += 1;
+                    if !ticks.is_multiple_of(10) {
+                        continue;
+                    }
+                    let (events, sim_ns, done, total) = telemetry::progress_snapshot();
+                    let line = render_line(&target, events, sim_ns, done, total, t0.elapsed());
+                    // Pad with spaces rather than ANSI erase so forced
+                    // output into a log file stays readable.
+                    let pad = last_len.saturating_sub(line.len());
+                    last_len = line.len();
+                    let mut err = std::io::stderr().lock();
+                    let _ = write!(err, "\r{line}{}", " ".repeat(pad));
+                    let _ = err.flush();
+                }
+                if last_len > 0 {
+                    let mut err = std::io::stderr().lock();
+                    let _ = write!(err, "\r{}\r", " ".repeat(last_len));
+                    let _ = err.flush();
+                }
+            })
+            .ok();
+        Ticker { stop, handle }
+    }
+
+    /// Stop the ticker, clear the line, and disable the counters.
+    pub fn finish(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        telemetry::progress_set_enabled(false);
+    }
+}
+
+impl Drop for Ticker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        telemetry::progress_set_enabled(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_output_suppresses_even_when_forced() {
+        assert!(!should_enable(true, true));
+        assert!(!should_enable(false, true));
+        // Forced on, no JSON: always shown (terminal or not).
+        assert!(should_enable(true, false));
+    }
+
+    #[test]
+    fn line_shows_rate_ratio_and_eta() {
+        let line = render_line(
+            "fig6",
+            2_480_000,
+            76_400_000_000,
+            3,
+            12,
+            Duration::from_secs(2),
+        );
+        assert_eq!(line, "[fig6] jobs 3/12  1.24M ev/s  sim/wall 38.2x  eta 6s");
+    }
+
+    #[test]
+    fn eta_is_omitted_until_a_job_lands_and_after_the_last() {
+        let before = render_line("t", 100, 0, 0, 4, Duration::from_secs(1));
+        assert!(!before.contains("eta"), "{before}");
+        let after = render_line("t", 100, 0, 4, 4, Duration::from_secs(1));
+        assert!(!after.contains("eta"), "{after}");
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_count(12.0), "12");
+        assert_eq!(human_count(4_500.0), "4.5k");
+        assert_eq!(human_count(2_500_000_000.0), "2.50G");
+        assert_eq!(human_secs(42.0), "42s");
+        assert_eq!(human_secs(125.0), "2m05s");
+        assert_eq!(human_secs(3_700.0), "1h02m");
+    }
+
+    #[test]
+    fn ticker_starts_and_finishes_cleanly() {
+        let t = Ticker::start("test");
+        assert!(telemetry::progress_enabled());
+        t.finish();
+        assert!(!telemetry::progress_enabled());
+    }
+}

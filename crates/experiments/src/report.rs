@@ -10,7 +10,7 @@
 //! same reason.
 
 use crate::common::{fmt, Scale};
-use sim_stats::{MetricValue, MetricsSet};
+use sim_stats::{DerivedSummary, MetricValue, MetricsSet};
 
 /// One typed table cell. The variant picks both the text rendering and
 /// the JSON/CSV serialization (numbers stay numbers).
@@ -162,6 +162,11 @@ pub struct Report {
     /// Telemetry metrics accumulated while this target ran
     /// (`--telemetry` runs only; rendering is unchanged when absent).
     pub metrics: Option<MetricsSet>,
+    /// Derived metrics (qdelay CDF, utilization, loss rates, fairness,
+    /// PERT response frequency) reduced online from the tap stream
+    /// while this target ran (`--telemetry` runs only). Rendered after
+    /// the metrics block so the CI strip marker covers both.
+    pub derived: Option<DerivedSummary>,
 }
 
 impl Report {
@@ -175,6 +180,7 @@ impl Report {
             timings: Vec::new(),
             audit: None,
             metrics: None,
+            derived: None,
         }
     }
 
@@ -221,6 +227,11 @@ impl Report {
                         out.push_str(&format!("  {name}: n={} mean={:.0}\n", h.total, h.mean()))
                     }
                 }
+            }
+        }
+        if let Some(d) = &self.derived {
+            if !d.is_empty() {
+                d.render_text_into(&mut out);
             }
         }
         out
@@ -274,6 +285,13 @@ impl Report {
                 }
             }
             out.push_str("},");
+        }
+        if let Some(d) = &self.derived {
+            if !d.is_empty() {
+                out.push_str("\"derived\":");
+                out.push_str(&d.render_json());
+                out.push(',');
+            }
         }
         out.push_str("\"tables\":[");
         for (i, t) in self.tables.iter().enumerate() {
@@ -543,5 +561,39 @@ mod tests {
         // The metrics block must not disturb anything else.
         assert_eq!(plain.render_csv(), metered.render_csv());
         assert_eq!(metered.render_json(), metered.clone().render_json());
+    }
+
+    #[test]
+    fn derived_renders_only_when_present() {
+        let plain = sample();
+
+        let mut set = sim_stats::DeriveSet::new();
+        set.ingest("a", "queue/final_offered", 0, 0.0, 200.0);
+        set.ingest("a", "queue/final_dropped", 0, 0.0, 5.0);
+        set.ingest("a", "queue/final_marked", 0, 0.0, 10.0);
+        let mut derived = sample();
+        derived.derived = Some(set.summary());
+
+        assert!(!plain.render_text().contains("derived metrics:"));
+        assert!(!plain.render_json().contains("\"derived\""));
+
+        let text = derived.render_text();
+        assert!(text.contains("derived metrics:"), "{text}");
+        assert!(
+            text.contains("loss: offered=200 dropped=5 marked=10"),
+            "{text}"
+        );
+        let js = derived.render_json();
+        assert!(js.contains("\"derived\":{"), "{js}");
+        assert!(js.contains("\"offered\":200"), "{js}");
+
+        // An all-empty summary renders nothing at all.
+        let mut empty = sample();
+        empty.derived = Some(sim_stats::DeriveSet::new().summary());
+        assert_eq!(empty.render_text(), plain.render_text());
+        assert_eq!(empty.render_json(), plain.render_json());
+
+        // The derived block must not disturb CSV.
+        assert_eq!(plain.render_csv(), derived.render_csv());
     }
 }

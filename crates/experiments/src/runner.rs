@@ -113,7 +113,13 @@ fn run_scoped(label: &str, f: impl FnOnce() -> PointResult) -> PointResult {
     let _span = pert_core::telemetry::enabled()
         .then(|| pert_core::telemetry::span(format!("job/{label}")))
         .flatten();
-    f()
+    let result = f();
+    // Feed the stderr progress line (one relaxed atomic add; the
+    // counters only tick while a progress ticker is running).
+    if pert_core::telemetry::progress_enabled() {
+        pert_core::telemetry::progress_job_done();
+    }
+    result
 }
 
 /// Downcast a [`PointResult`] back to its concrete type.

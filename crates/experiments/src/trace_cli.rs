@@ -1,0 +1,792 @@
+//! The `trace` subcommand: offline queries over JSONL telemetry traces.
+//!
+//! Operates on the files the telemetry layer writes — `--trace-out`
+//! traces and flight-recorder dumps share one record shape
+//! (`{"scope":...,"series":...,"key":...,"t":...,"v":...}`), so both
+//! feed the same tooling:
+//!
+//! ```text
+//! experiments trace summarize FILE [--series S] [--scope S]
+//!                                  [--since T] [--until T]
+//!                                  [--csv PATH] [--json PATH]
+//! experiments trace diff A B [--tol X]
+//! ```
+//!
+//! `summarize` prints one row per series (record count, scope/key
+//! cardinality, time range, value min/mean/max) after applying the
+//! filters; `--csv`/`--json` additionally write the same rows to files.
+//! `diff` aligns two traces per `(scope, series, key)` group, record by
+//! record, and reports the per-series maximum absolute value delta —
+//! the regression-triage primitive: a reference trace diffed against a
+//! fresh run pinpoints which signal moved and by how much. The exit
+//! code is nonzero when any series differs beyond `--tol` (default 0,
+//! since traces are deterministic).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parsed trace record (owned strings — the file outlives nothing).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Job label the record was published under.
+    pub scope: String,
+    /// Series name, `subsystem/signal`.
+    pub series: String,
+    /// Publisher-chosen instance key.
+    pub key: u64,
+    /// Simulated time, seconds.
+    pub t: f64,
+    /// Sample value.
+    pub v: f64,
+}
+
+/// Parse one JSONL line of the fixed record shape. Field order is
+/// irrelevant; unknown fields are rejected (they would mean the file is
+/// not a telemetry trace). Returns `Err` with a human-readable reason.
+pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
+    let mut chars = line.char_indices().peekable();
+    let mut scope = None;
+    let mut series = None;
+    let mut key = None;
+    let mut t = None;
+    let mut v = None;
+
+    skip_ws(line, &mut chars);
+    expect(line, &mut chars, '{')?;
+    loop {
+        skip_ws(line, &mut chars);
+        if let Some(&(_, '}')) = chars.peek() {
+            chars.next();
+            break;
+        }
+        let field = parse_string(line, &mut chars)?;
+        skip_ws(line, &mut chars);
+        expect(line, &mut chars, ':')?;
+        skip_ws(line, &mut chars);
+        match field.as_str() {
+            "scope" => scope = Some(parse_string(line, &mut chars)?),
+            "series" => series = Some(parse_string(line, &mut chars)?),
+            "key" => {
+                let n = parse_number(line, &mut chars)?;
+                if n < 0.0 || n.fract() != 0.0 {
+                    return Err(format!("key {n} is not a u64"));
+                }
+                key = Some(n as u64);
+            }
+            "t" => t = Some(parse_number_or_null(line, &mut chars)?),
+            "v" => v = Some(parse_number_or_null(line, &mut chars)?),
+            other => return Err(format!("unexpected field {other:?}")),
+        }
+        skip_ws(line, &mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            _ => return Err("expected ',' or '}'".into()),
+        }
+    }
+    Ok(TraceRecord {
+        scope: scope.ok_or("missing field \"scope\"")?,
+        series: series.ok_or("missing field \"series\"")?,
+        key: key.ok_or("missing field \"key\"")?,
+        t: t.ok_or("missing field \"t\"")?,
+        v: v.ok_or("missing field \"v\"")?,
+    })
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_ws(_line: &str, chars: &mut Chars<'_>) {
+    while matches!(chars.peek(), Some(&(_, c)) if c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect(_line: &str, chars: &mut Chars<'_>, want: char) -> Result<(), String> {
+    match chars.next() {
+        Some((_, c)) if c == want => Ok(()),
+        other => Err(format!("expected {want:?}, got {other:?}")),
+    }
+}
+
+fn parse_string(_line: &str, chars: &mut Chars<'_>) -> Result<String, String> {
+    expect(_line, chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some((_, '"')) => return Ok(out),
+            Some((_, '\\')) => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, c) = chars.next().ok_or("truncated \\u escape")?;
+                        code = code * 16 + c.to_digit(16).ok_or("bad \\u escape")?;
+                    }
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some((_, c)) => out.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn parse_number(line: &str, chars: &mut Chars<'_>) -> Result<f64, String> {
+    let start = match chars.peek() {
+        Some(&(i, c)) if c == '-' || c.is_ascii_digit() => i,
+        other => return Err(format!("expected number, got {other:?}")),
+    };
+    let mut end = start;
+    while let Some(&(i, c)) = chars.peek() {
+        if c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' || c.is_ascii_digit() {
+            end = i + c.len_utf8();
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    line[start..end]
+        .parse::<f64>()
+        .map_err(|e| format!("bad number {:?}: {e}", &line[start..end]))
+}
+
+/// `t`/`v` may be `null` (the writer emits null for non-finite floats).
+fn parse_number_or_null(line: &str, chars: &mut Chars<'_>) -> Result<f64, String> {
+    if let Some(&(i, 'n')) = chars.peek() {
+        if line[i..].starts_with("null") {
+            for _ in 0..4 {
+                chars.next();
+            }
+            return Ok(f64::NAN);
+        }
+    }
+    parse_number(line, chars)
+}
+
+/// Parse a whole JSONL trace file body. Blank lines are skipped; a
+/// malformed line aborts with its line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+/// Record filters shared by `summarize` (`diff` takes none: a diff must
+/// see both files whole).
+#[derive(Clone, Debug, Default)]
+pub struct Filters {
+    /// Keep records whose series contains this substring.
+    pub series: Option<String>,
+    /// Keep records whose scope contains this substring.
+    pub scope: Option<String>,
+    /// Keep records with `t >= since`.
+    pub since: Option<f64>,
+    /// Keep records with `t <= until`.
+    pub until: Option<f64>,
+}
+
+impl Filters {
+    fn keep(&self, r: &TraceRecord) -> bool {
+        if let Some(s) = &self.series {
+            if !r.series.contains(s.as_str()) {
+                return false;
+            }
+        }
+        if let Some(s) = &self.scope {
+            if !r.scope.contains(s.as_str()) {
+                return false;
+            }
+        }
+        // NaN times (null in the file) fail any time-range filter.
+        if let Some(since) = self.since {
+            if r.t.is_nan() || r.t < since {
+                return false;
+            }
+        }
+        if let Some(until) = self.until {
+            if r.t.is_nan() || r.t > until {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One `summarize` output row (per series, after filtering).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SummaryRow {
+    /// Series name.
+    pub series: String,
+    /// Records kept.
+    pub records: u64,
+    /// Distinct scopes seen.
+    pub scopes: u64,
+    /// Distinct keys seen.
+    pub keys: u64,
+    /// Earliest sample time.
+    pub t_min: f64,
+    /// Latest sample time.
+    pub t_max: f64,
+    /// Smallest value.
+    pub v_min: f64,
+    /// Mean value.
+    pub v_mean: f64,
+    /// Largest value.
+    pub v_max: f64,
+}
+
+/// Summarize `records` per series after applying `filters`. Rows come
+/// back in series name order (BTreeMap), so output is deterministic.
+pub fn summarize(records: &[TraceRecord], filters: &Filters) -> Vec<SummaryRow> {
+    struct Acc {
+        records: u64,
+        scopes: std::collections::BTreeSet<String>,
+        keys: std::collections::BTreeSet<u64>,
+        t_min: f64,
+        t_max: f64,
+        v_min: f64,
+        v_max: f64,
+        v_sum: f64,
+    }
+    let mut by_series: BTreeMap<String, Acc> = BTreeMap::new();
+    for r in records.iter().filter(|r| filters.keep(r)) {
+        let a = by_series.entry(r.series.clone()).or_insert(Acc {
+            records: 0,
+            scopes: Default::default(),
+            keys: Default::default(),
+            t_min: f64::INFINITY,
+            t_max: f64::NEG_INFINITY,
+            v_min: f64::INFINITY,
+            v_max: f64::NEG_INFINITY,
+            v_sum: 0.0,
+        });
+        a.records += 1;
+        a.scopes.insert(r.scope.clone());
+        a.keys.insert(r.key);
+        if r.t.is_finite() {
+            a.t_min = a.t_min.min(r.t);
+            a.t_max = a.t_max.max(r.t);
+        }
+        if r.v.is_finite() {
+            a.v_min = a.v_min.min(r.v);
+            a.v_max = a.v_max.max(r.v);
+            a.v_sum += r.v;
+        }
+    }
+    by_series
+        .into_iter()
+        .map(|(series, a)| SummaryRow {
+            series,
+            records: a.records,
+            scopes: a.scopes.len() as u64,
+            keys: a.keys.len() as u64,
+            t_min: zero_if_unset(a.t_min),
+            t_max: zero_if_unset(a.t_max),
+            v_min: zero_if_unset(a.v_min),
+            v_mean: if a.records == 0 {
+                0.0
+            } else {
+                a.v_sum / a.records as f64
+            },
+            v_max: zero_if_unset(a.v_max),
+        })
+        .collect()
+}
+
+fn zero_if_unset(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+/// One `diff` output row (per series present in either trace).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffRow {
+    /// Series name.
+    pub series: String,
+    /// Records in the first trace.
+    pub count_a: u64,
+    /// Records in the second trace.
+    pub count_b: u64,
+    /// Maximum |v_a − v_b| over positionally aligned records (NaN pairs
+    /// count as 0; a NaN against a number counts as infinity).
+    pub max_abs_delta: f64,
+}
+
+impl DiffRow {
+    /// True when the series matches within `tol` (counts equal, delta
+    /// bounded).
+    pub fn matches(&self, tol: f64) -> bool {
+        self.count_a == self.count_b && self.max_abs_delta <= tol
+    }
+}
+
+/// Compare two traces per series. Records are grouped by
+/// `(scope, series, key)` preserving file order within each group (the
+/// trace writer sorts groups but keeps publication order inside them),
+/// then aligned positionally; the per-series row takes the worst delta
+/// over all of that series' groups. Count mismatches surface via
+/// `count_a != count_b`.
+pub fn diff(a: &[TraceRecord], b: &[TraceRecord]) -> Vec<DiffRow> {
+    type GroupKey = (String, String, u64);
+    fn group(records: &[TraceRecord]) -> BTreeMap<GroupKey, Vec<f64>> {
+        let mut m: BTreeMap<GroupKey, Vec<f64>> = BTreeMap::new();
+        for r in records {
+            m.entry((r.scope.clone(), r.series.clone(), r.key))
+                .or_default()
+                .push(r.v);
+        }
+        m
+    }
+    let ga = group(a);
+    let gb = group(b);
+    let empty: Vec<f64> = Vec::new();
+
+    let mut rows: BTreeMap<String, DiffRow> = BTreeMap::new();
+    let keys: std::collections::BTreeSet<&GroupKey> = ga.keys().chain(gb.keys()).collect();
+    for k in keys {
+        let va = ga.get(k).unwrap_or(&empty);
+        let vb = gb.get(k).unwrap_or(&empty);
+        let row = rows.entry(k.1.clone()).or_insert(DiffRow {
+            series: k.1.clone(),
+            count_a: 0,
+            count_b: 0,
+            max_abs_delta: 0.0,
+        });
+        row.count_a += va.len() as u64;
+        row.count_b += vb.len() as u64;
+        for i in 0..va.len().max(vb.len()) {
+            let d = match (va.get(i), vb.get(i)) {
+                (Some(x), Some(y)) => {
+                    if x.is_nan() && y.is_nan() {
+                        0.0
+                    } else {
+                        (x - y).abs()
+                    }
+                }
+                // Length mismatch already shows in the counts; the
+                // delta stays meaningful for the aligned prefix.
+                _ => continue,
+            };
+            if d > row.max_abs_delta || d.is_nan() {
+                row.max_abs_delta = if d.is_nan() { f64::INFINITY } else { d };
+            }
+        }
+    }
+    rows.into_values().collect()
+}
+
+// ---------------------------------------------------------------------
+// Rendering and the subcommand driver
+// ---------------------------------------------------------------------
+
+fn fmt_g(x: f64) -> String {
+    // Shortest-roundtrip float rendering keeps the output diff-stable.
+    format!("{x}")
+}
+
+/// Render summary rows as the aligned text table.
+pub fn render_summary_text(rows: &[SummaryRow]) -> String {
+    let header = [
+        "series", "records", "scopes", "keys", "t_min", "t_max", "v_min", "v_mean", "v_max",
+    ];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.series.clone(),
+                r.records.to_string(),
+                r.scopes.to_string(),
+                r.keys.to_string(),
+                fmt_g(r.t_min),
+                fmt_g(r.t_max),
+                fmt_g(r.v_min),
+                fmt_g(r.v_mean),
+                fmt_g(r.v_max),
+            ]
+        })
+        .collect();
+    render_aligned(&header, &cells)
+}
+
+/// Render summary rows as CSV.
+pub fn render_summary_csv(rows: &[SummaryRow]) -> String {
+    let mut out = String::from("series,records,scopes,keys,t_min,t_max,v_min,v_mean,v_max\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}",
+            r.series,
+            r.records,
+            r.scopes,
+            r.keys,
+            fmt_g(r.t_min),
+            fmt_g(r.t_max),
+            fmt_g(r.v_min),
+            fmt_g(r.v_mean),
+            fmt_g(r.v_max)
+        );
+    }
+    out
+}
+
+/// Render summary rows as a JSON array.
+pub fn render_summary_json(rows: &[SummaryRow]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"series\":\"{}\",\"records\":{},\"scopes\":{},\"keys\":{},\"t_min\":{},\
+             \"t_max\":{},\"v_min\":{},\"v_mean\":{},\"v_max\":{}}}",
+            r.series,
+            r.records,
+            r.scopes,
+            r.keys,
+            json_num(r.t_min),
+            json_num(r.t_max),
+            json_num(r.v_min),
+            json_num(r.v_mean),
+            json_num(r.v_max)
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Render diff rows as the aligned text table.
+pub fn render_diff_text(rows: &[DiffRow]) -> String {
+    let header = ["series", "count_a", "count_b", "max_abs_delta"];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.series.clone(),
+                r.count_a.to_string(),
+                r.count_b.to_string(),
+                fmt_g(r.max_abs_delta),
+            ]
+        })
+        .collect();
+    render_aligned(&header, &cells)
+}
+
+fn render_aligned(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let mut line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if i == 0 {
+                    format!("{c:<w$}", w = widths[0])
+                } else {
+                    format!("{c:>w$}", w = widths[i])
+                }
+            })
+            .collect();
+        out.push_str(joined.join("  ").trim_end());
+        out.push('\n');
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+    out
+}
+
+const TRACE_USAGE: &str = "usage: experiments trace summarize FILE [--series S] [--scope S] \
+[--since T] [--until T] [--csv PATH] [--json PATH]\n\
+\x20      experiments trace diff A B [--tol X]\n\
+Operates on --trace-out JSONL traces and flight-recorder dumps.\n\
+summarize prints per-series record counts, time ranges and value stats;\n\
+diff aligns two traces per (scope, series, key) and reports each series'\n\
+max |v_a - v_b| (exit 1 when any series differs beyond --tol).";
+
+fn read_trace(path: &str) -> Result<Vec<TraceRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Write to stdout ignoring errors: a downstream `head`/`grep -q`
+/// closing the pipe early must not turn into a panic.
+fn emit(s: &str) {
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(s.as_bytes());
+}
+
+/// Run `experiments trace <args>`; returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    match run_inner(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}\n{TRACE_USAGE}");
+            2
+        }
+    }
+}
+
+fn run_inner(args: &[String]) -> Result<i32, String> {
+    let mode = args
+        .first()
+        .map(String::as_str)
+        .ok_or("missing subcommand")?;
+    match mode {
+        "summarize" => {
+            let mut file = None;
+            let mut filters = Filters::default();
+            let mut csv = None;
+            let mut json = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--series" => filters.series = Some(value(args, &mut i)?),
+                    "--scope" => filters.scope = Some(value(args, &mut i)?),
+                    "--since" => filters.since = Some(num_value(args, &mut i)?),
+                    "--until" => filters.until = Some(num_value(args, &mut i)?),
+                    "--csv" => csv = Some(value(args, &mut i)?),
+                    "--json" => json = Some(value(args, &mut i)?),
+                    f if f.starts_with('-') => return Err(format!("unknown flag '{f}'")),
+                    p if file.is_none() => file = Some(p.to_string()),
+                    p => return Err(format!("unexpected argument '{p}'")),
+                }
+                i += 1;
+            }
+            let file = file.ok_or("summarize needs a trace file")?;
+            let records = read_trace(&file)?;
+            let rows = summarize(&records, &filters);
+            emit(&render_summary_text(&rows));
+            emit(&format!("({} records in {file})\n", records.len()));
+            if let Some(path) = csv {
+                std::fs::write(&path, render_summary_csv(&rows))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("[wrote {path}]");
+            }
+            if let Some(path) = json {
+                std::fs::write(&path, render_summary_json(&rows))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("[wrote {path}]");
+            }
+            Ok(0)
+        }
+        "diff" => {
+            let mut files = Vec::new();
+            let mut tol = 0.0f64;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--tol" => tol = num_value(args, &mut i)?,
+                    f if f.starts_with('-') => return Err(format!("unknown flag '{f}'")),
+                    p => files.push(p.to_string()),
+                }
+                i += 1;
+            }
+            let [a_path, b_path] = files.as_slice() else {
+                return Err("diff needs exactly two trace files".into());
+            };
+            let a = read_trace(a_path)?;
+            let b = read_trace(b_path)?;
+            let rows = diff(&a, &b);
+            emit(&render_diff_text(&rows));
+            let bad: Vec<&DiffRow> = rows.iter().filter(|r| !r.matches(tol)).collect();
+            if bad.is_empty() {
+                emit(&format!(
+                    "traces match ({} series, tol {tol})\n",
+                    rows.len()
+                ));
+                Ok(0)
+            } else {
+                emit(&format!(
+                    "{} of {} series differ (tol {tol})\n",
+                    bad.len(),
+                    rows.len()
+                ));
+                Ok(1)
+            }
+        }
+        other => Err(format!("unknown trace subcommand '{other}'")),
+    }
+}
+
+fn value(args: &[String], i: &mut usize) -> Result<String, String> {
+    let flag = args[*i].clone();
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn num_value(args: &[String], i: &mut usize) -> Result<f64, String> {
+    let flag = args[*i].clone();
+    let v = value(args, i)?;
+    v.parse::<f64>()
+        .map_err(|_| format!("{flag} wants a number, got '{v}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(scope: &str, series: &str, key: u64, t: f64, v: f64) -> TraceRecord {
+        TraceRecord {
+            scope: scope.into(),
+            series: series.into(),
+            key,
+            t,
+            v,
+        }
+    }
+
+    #[test]
+    fn parses_writer_shaped_lines() {
+        let r = parse_line(
+            r#"{"scope":"fig6/5Mbps/PERT","series":"pert/srtt","key":42,"t":1.5,"v":0.25}"#,
+        )
+        .unwrap();
+        assert_eq!(r, rec("fig6/5Mbps/PERT", "pert/srtt", 42, 1.5, 0.25));
+
+        // Escapes, null values, arbitrary field order, whitespace.
+        let r =
+            parse_line(r#"{ "v":null, "t":-2e-3, "key":0, "series":"a\"b", "scope":"" }"#).unwrap();
+        assert_eq!(r.series, "a\"b");
+        assert!(r.v.is_nan());
+        assert_eq!(r.t, -2e-3);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("{}").is_err());
+        assert!(parse_line(r#"{"scope":"x"}"#).is_err());
+        assert!(parse_line(r#"{"scope":1,"series":"s","key":0,"t":0,"v":0}"#).is_err());
+        assert!(parse_line(r#"{"bogus":"x","scope":"s"}"#).is_err());
+        assert!(parse_jsonl("{}\n").is_err());
+        let err = parse_jsonl("\n\nnot json\n").unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn summarize_filters_and_aggregates() {
+        let records = vec![
+            rec("a", "pert/srtt", 1, 0.5, 0.030),
+            rec("a", "pert/srtt", 1, 1.5, 0.050),
+            rec("b", "pert/srtt", 2, 1.0, 0.040),
+            rec("a", "queue/len", 0, 1.0, 7.0),
+        ];
+        let all = summarize(&records, &Filters::default());
+        assert_eq!(all.len(), 2);
+        let srtt = &all[0];
+        assert_eq!(srtt.series, "pert/srtt");
+        assert_eq!((srtt.records, srtt.scopes, srtt.keys), (3, 2, 2));
+        assert_eq!(srtt.t_min, 0.5);
+        assert_eq!(srtt.v_max, 0.050);
+        assert!((srtt.v_mean - 0.040).abs() < 1e-12);
+
+        let filtered = summarize(
+            &records,
+            &Filters {
+                series: Some("srtt".into()),
+                scope: Some("a".into()),
+                since: Some(1.0),
+                until: None,
+            },
+        );
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(filtered[0].records, 1);
+        assert_eq!(filtered[0].v_min, 0.050);
+    }
+
+    #[test]
+    fn diff_of_a_trace_against_itself_is_all_zero() {
+        let records = vec![
+            rec("a", "pert/srtt", 1, 0.5, 0.030),
+            rec("a", "pert/srtt", 1, 1.5, 0.050),
+            rec("b", "queue/len", 0, 1.0, 7.0),
+        ];
+        let rows = diff(&records, &records);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.count_a, r.count_b);
+            assert_eq!(r.max_abs_delta, 0.0);
+            assert!(r.matches(0.0));
+        }
+    }
+
+    #[test]
+    fn diff_reports_max_delta_and_count_mismatch() {
+        let a = vec![
+            rec("a", "pert/srtt", 1, 0.5, 0.030),
+            rec("a", "pert/srtt", 1, 1.5, 0.050),
+        ];
+        let b = vec![
+            rec("a", "pert/srtt", 1, 0.5, 0.031),
+            rec("a", "pert/srtt", 1, 1.5, 0.055),
+            rec("a", "pert/qdelay", 1, 1.5, 0.1),
+        ];
+        let rows = diff(&a, &b);
+        assert_eq!(rows.len(), 2);
+        let qd = rows.iter().find(|r| r.series == "pert/qdelay").unwrap();
+        assert_eq!((qd.count_a, qd.count_b), (0, 1));
+        assert!(!qd.matches(1.0));
+        let srtt = rows.iter().find(|r| r.series == "pert/srtt").unwrap();
+        assert!((srtt.max_abs_delta - 0.005).abs() < 1e-12);
+        assert!(srtt.matches(0.01));
+        assert!(!srtt.matches(0.001));
+    }
+
+    #[test]
+    fn round_trip_through_writer_format() {
+        // The exact shape write_records_jsonl emits.
+        let text =
+            "{\"scope\":\"job/a\",\"series\":\"pert/srtt\",\"key\":3,\"t\":0.5,\"v\":0.25}\n\
+                    {\"scope\":\"job/a\",\"series\":\"pert/srtt\",\"key\":3,\"t\":1.5,\"v\":0.5}\n";
+        let records = parse_jsonl(text).unwrap();
+        assert_eq!(records.len(), 2);
+        let rows = diff(&records, &records);
+        assert!(rows.iter().all(|r| r.matches(0.0)));
+        let text_out = render_summary_text(&summarize(&records, &Filters::default()));
+        assert!(text_out.contains("pert/srtt"), "{text_out}");
+    }
+
+    #[test]
+    fn renderers_are_stable() {
+        let rows = summarize(&[rec("a", "s", 0, 1.0, 2.0)], &Filters::default());
+        assert_eq!(render_summary_text(&rows), render_summary_text(&rows));
+        let csv = render_summary_csv(&rows);
+        assert!(csv.starts_with("series,records,"));
+        assert!(csv.contains("s,1,1,1,1,1,2,2,2"), "{csv}");
+        let json = render_summary_json(&rows);
+        assert!(
+            json.starts_with("[{\"series\":\"s\",\"records\":1,"),
+            "{json}"
+        );
+    }
+}

@@ -56,6 +56,82 @@ fn fig6_metrics_merge_identically_across_worker_counts() {
     }
 }
 
+/// Run fig6 at Quick scale on `workers` threads and return the derived
+/// summary reduced online from that run's tap records.
+fn fig6_derived_with_workers(workers: usize) -> sim_stats::DerivedSummary {
+    let sc = lookup("fig6").expect("known target");
+    let seed = sc.default_seed();
+    telemetry::derive_reset();
+    let jobs = sc.points(Scale::Quick, seed);
+    let (results, _) = run_jobs(jobs, workers);
+    let _ = sc.assemble(Scale::Quick, seed, results);
+    let summary = telemetry::derive_summary().expect("derivation was running");
+    telemetry::derive_clear();
+    summary
+}
+
+#[test]
+fn fig6_derived_summary_is_identical_across_worker_counts() {
+    let _g = LOCK.lock().unwrap();
+    telemetry::set_enabled(true);
+
+    let d1 = fig6_derived_with_workers(1);
+    let d4 = fig6_derived_with_workers(4);
+
+    // The derive reducers are integer-only and commutative, so the
+    // 4-worker interleaving must be invisible — the summaries (and
+    // therefore the rendered report section) are equal field by field.
+    assert!(!d1.is_empty(), "derived run produced nothing");
+    assert_eq!(d1, d4, "derived metrics diverged between 1 and 4 workers");
+
+    // fig6 exercises every reducer: PERT publishes qdelay and response
+    // signals, links transmit (utilization), queues see offered load,
+    // and TCP flows finish with positive throughput (fairness).
+    let q = d1.qdelay.expect("no qdelay CDF");
+    assert!(q.samples > 0);
+    assert!(q.p50_us <= q.p95_us && q.p95_us <= q.p99_us);
+    let u = d1.util.expect("no utilization windows");
+    assert!(u.windows > 0);
+    assert!(u.mean_bp <= 10_000);
+    let l = d1.loss.expect("no loss totals");
+    assert!(l.offered > 0);
+    assert!(l.dropped <= l.offered);
+    let f = d1.fairness.expect("no fairness summary");
+    assert!(f.flows > 0);
+    assert!(f.jain_min_milli <= f.jain_mean_milli && f.jain_mean_milli <= f.jain_max_milli);
+    assert!(f.jain_max_milli <= 1000);
+    let p = d1.pert.expect("no PERT response summary");
+    assert!(p.active_us > 0);
+
+    let mut text = String::new();
+    d1.render_text_into(&mut text);
+    assert!(text.contains("derived metrics:"), "{text}");
+}
+
+#[test]
+fn flight_window_flag_bounds_the_ring() {
+    let _g = LOCK.lock().unwrap();
+    telemetry::set_enabled(true);
+    let default_cap = telemetry::flight_cap();
+
+    telemetry::set_flight_cap(telemetry::FLIGHT_CAP_MIN).unwrap();
+    let sc = lookup("fig6").expect("known target");
+    let seed = sc.default_seed();
+    let mut jobs = sc.points(Scale::Quick, seed);
+    jobs.truncate(2);
+    let (results, _) = run_jobs(jobs, 1);
+    drop(results);
+    let flight = telemetry::flight_snapshot();
+    assert!(
+        flight.len() <= telemetry::FLIGHT_CAP_MIN,
+        "ring exceeded the configured window: {}",
+        flight.len()
+    );
+    assert!(!flight.is_empty(), "shrunken ring kept nothing");
+
+    telemetry::set_flight_cap(default_cap).unwrap();
+}
+
 #[test]
 fn fig6_taps_publish_the_papers_signals() {
     let _g = LOCK.lock().unwrap();

@@ -112,6 +112,26 @@ pub enum EventKind {
     },
 }
 
+impl EventKind {
+    /// Number of event classes (size of per-kind accounting tables).
+    pub const CLASSES: usize = 4;
+
+    /// Class names, indexed by [`EventKind::class`].
+    pub const CLASS_NAMES: [&'static str; EventKind::CLASSES] =
+        ["arrival", "departure", "timer", "control"];
+
+    /// Compact class index for per-kind cost accounting.
+    #[inline]
+    pub fn class(&self) -> usize {
+        match self {
+            EventKind::Arrival { .. } => 0,
+            EventKind::Departure { .. } => 1,
+            EventKind::Timer { .. } => 2,
+            EventKind::Control { .. } => 3,
+        }
+    }
+}
+
 /// A scheduled event: a time, a tiebreak sequence, and the action.
 #[derive(Debug)]
 pub struct Event {

@@ -124,6 +124,41 @@ struct Probe {
 const CTRL_QUEUE_TICK: u64 = 1 << 32;
 const CTRL_PROBE: u64 = 2 << 32;
 
+/// Width of a link-utilization window (telemetry derivation): one
+/// simulated second. Windows roll forward on transmission starts; fully
+/// idle windows are coalesced into one `link/idle_wins` record.
+#[cfg(feature = "telemetry")]
+const UTIL_WINDOW_NS: u64 = crate::time::NANOS_PER_SEC;
+
+/// Progress counters flush to the global telemetry atomics once per
+/// this many events — frequent enough for a ~1 Hz display, rare enough
+/// to stay invisible in profiles.
+#[cfg(feature = "telemetry")]
+const PROGRESS_BATCH: u64 = 16_384;
+
+/// Per-link utilization-window state (telemetry derivation only; never
+/// read by the simulation itself).
+#[cfg(feature = "telemetry")]
+#[derive(Clone, Copy, Debug, Default)]
+struct UtilWindow {
+    /// Start of the currently open window, ns.
+    start_ns: u64,
+    /// Bits whose transmission started inside the open window.
+    bits: u64,
+    /// Closed all-idle windows not yet flushed as a coalesced record.
+    idle_pending: u64,
+}
+
+/// Wall-clock cost of one link's queue discipline (telemetry only).
+#[cfg(feature = "telemetry")]
+#[derive(Clone, Copy, Debug, Default)]
+struct QueueOpCost {
+    /// Enqueue + dequeue calls made.
+    ops: u64,
+    /// Wall-clock nanoseconds spent inside those calls.
+    ns: u64,
+}
+
 /// Cheap always-on per-simulation counters (plain integer increments on
 /// paths that already mutate state — they never affect event order or
 /// randomness). The window restarts at [`Simulator::reset_measurements`];
@@ -160,6 +195,9 @@ pub struct Simulator {
     rng: SmallRng,
     routes_ready: bool,
     events_processed: u64,
+    /// Lifetime events by class (see [`EventKind::class`]); cheap plain
+    /// increments, always on, never part of a measurement window.
+    ev_counts: [u64; EventKind::CLASSES],
     counters: SimCounters,
     seed: u64,
     #[cfg(feature = "audit")]
@@ -168,11 +206,18 @@ pub struct Simulator {
     /// attach at construction; see `crate::telemetry`).
     #[cfg(feature = "telemetry")]
     tel_on: bool,
-    /// Wall-clock nanoseconds spent inside queue enqueue/dequeue calls
+    /// Wall-clock nanoseconds spent handling events, by class
     /// (accumulated only when `tel_on`; profiling, exempt from the
     /// determinism contract).
     #[cfg(feature = "telemetry")]
-    queue_op_ns: u64,
+    ev_ns: [u64; EventKind::CLASSES],
+    /// Per-link wall-clock cost of queue enqueue/dequeue calls
+    /// (`tel_on` only), aggregated by discipline name at drop.
+    #[cfg(feature = "telemetry")]
+    queue_op: Vec<QueueOpCost>,
+    /// Per-link utilization-window state (`tel_on` only).
+    #[cfg(feature = "telemetry")]
+    util: Vec<UtilWindow>,
 }
 
 impl Simulator {
@@ -196,6 +241,7 @@ impl Simulator {
             rng: SmallRng::seed_from_u64(seed),
             routes_ready: false,
             events_processed: 0,
+            ev_counts: [0; EventKind::CLASSES],
             counters: SimCounters::default(),
             seed,
             #[cfg(feature = "audit")]
@@ -207,7 +253,11 @@ impl Simulator {
             #[cfg(feature = "telemetry")]
             tel_on: crate::telemetry::enabled(),
             #[cfg(feature = "telemetry")]
-            queue_op_ns: 0,
+            ev_ns: [0; EventKind::CLASSES],
+            #[cfg(feature = "telemetry")]
+            queue_op: Vec::new(),
+            #[cfg(feature = "telemetry")]
+            util: Vec::new(),
         }
     }
 
@@ -272,6 +322,13 @@ impl Simulator {
         self.counters
     }
 
+    /// Lifetime events processed by class, indexed like
+    /// [`EventKind::CLASS_NAMES`] (engine cost attribution; not reset by
+    /// [`Simulator::reset_measurements`]).
+    pub fn event_class_counts(&self) -> [u64; EventKind::CLASSES] {
+        self.ev_counts
+    }
+
     // ------------------------------------------------------------------
     // Topology construction
     // ------------------------------------------------------------------
@@ -310,10 +367,17 @@ impl Simulator {
         self.links
             .push(Link::new(id, from, to, capacity_bps, delay, queue));
         #[cfg(feature = "telemetry")]
-        if self.tel_on {
-            // Tap key = link index: `queue/len` series line up with the
-            // LinkIds reported everywhere else.
-            self.links[id.index()].queue.attach_tap(id.0 as u64);
+        {
+            if self.tel_on {
+                // Tap key = link index: `queue/len` series line up with the
+                // LinkIds reported everywhere else.
+                self.links[id.index()].queue.attach_tap(id.0 as u64);
+            }
+            self.queue_op.push(QueueOpCost::default());
+            self.util.push(UtilWindow {
+                start_ns: self.now.as_nanos(),
+                ..UtilWindow::default()
+            });
         }
         self.link_endpoints.push((from, to));
         self.nodes[from.index()].out_links.push(id);
@@ -488,6 +552,16 @@ impl Simulator {
         }
         self.trace.clear();
         self.counters = SimCounters::default();
+        // Utilization windows restart with the measurement window, so
+        // derived utilization covers the same interval as the link and
+        // queue statistics (warm-up windows are discarded, not flushed).
+        #[cfg(feature = "telemetry")]
+        for w in &mut self.util {
+            *w = UtilWindow {
+                start_ns: now.as_nanos(),
+                ..UtilWindow::default()
+            };
+        }
         #[cfg(feature = "audit")]
         {
             let ctx = self.audit_ctx();
@@ -543,7 +617,9 @@ impl Simulator {
         let outcome = self.links[link_id.index()].queue.enqueue(pkt, now);
         #[cfg(feature = "telemetry")]
         if let Some(t0) = t0 {
-            self.queue_op_ns += t0.elapsed().as_nanos() as u64;
+            let cost = &mut self.queue_op[link_id.index()];
+            cost.ops += 1;
+            cost.ns += t0.elapsed().as_nanos() as u64;
         }
         #[cfg(feature = "audit")]
         {
@@ -605,7 +681,9 @@ impl Simulator {
         let popped = link.queue.dequeue(now);
         #[cfg(feature = "telemetry")]
         if let Some(t0) = t0 {
-            self.queue_op_ns += t0.elapsed().as_nanos() as u64;
+            let cost = &mut self.queue_op[link_id.index()];
+            cost.ops += 1;
+            cost.ns += t0.elapsed().as_nanos() as u64;
         }
         let Some(pkt) = popped else {
             #[cfg(feature = "audit")]
@@ -613,8 +691,9 @@ impl Simulator {
             return;
         };
         link.busy = true;
-        let tx = transmission_delay(pkt.size_bits(), link.capacity_bps);
-        link.delivered_bits += pkt.size_bits();
+        let bits = pkt.size_bits();
+        let tx = transmission_delay(bits, link.capacity_bps);
+        link.delivered_bits += bits;
         link.delivered_pkts += 1;
         let arrive_at = now + tx + link.delay;
         let to = link.to;
@@ -636,6 +715,50 @@ impl Simulator {
                 popped: Some(size_bytes),
             },
         );
+        #[cfg(feature = "telemetry")]
+        if self.tel_on {
+            self.util_account(link_id, now, bits);
+        }
+    }
+
+    /// Fold `bits` (whose transmission starts at `now`) into `link_id`'s
+    /// open utilization window, closing and publishing any windows `now`
+    /// has passed. Telemetry derivation only — the records never feed
+    /// back into the simulation, and `t`/`value` are pure integer
+    /// functions of deterministic state.
+    #[cfg(feature = "telemetry")]
+    fn util_account(&mut self, link_id: LinkId, now: SimTime, bits: u64) {
+        let capacity_bps = self.links[link_id.index()].capacity_bps;
+        let w = &mut self.util[link_id.index()];
+        let now_ns = now.as_nanos();
+        while now_ns >= w.start_ns.saturating_add(UTIL_WINDOW_NS) {
+            if w.bits == 0 {
+                w.idle_pending += 1;
+            } else {
+                if w.idle_pending > 0 {
+                    crate::telemetry::record(
+                        "link/idle_wins",
+                        link_id.0 as u64,
+                        w.start_ns as f64 / 1e9,
+                        w.idle_pending as f64,
+                    );
+                    w.idle_pending = 0;
+                }
+                // Window width is exactly one second, so basis points
+                // reduce to bits / bits-per-second.
+                let bp = (u128::from(w.bits) * 10_000 / u128::from(capacity_bps.max(1))).min(10_000)
+                    as u64;
+                crate::telemetry::record(
+                    "link/util_bp",
+                    link_id.0 as u64,
+                    (w.start_ns + UTIL_WINDOW_NS) as f64 / 1e9,
+                    bp as f64,
+                );
+                w.bits = 0;
+            }
+            w.start_ns += UTIL_WINDOW_NS;
+        }
+        w.bits += bits;
     }
 
     /// Deliver `pkt` to its destination agent at `node`.
@@ -685,6 +808,15 @@ impl Simulator {
             .flatten();
         let mut stuck_at = self.now;
         let mut stuck_count: u64 = 0;
+        // Progress counters batch locally and flush to the process-wide
+        // atomics every PROGRESS_BATCH events — wall-clock/stderr tooling
+        // only, so it reads state but never influences the simulation.
+        #[cfg(feature = "telemetry")]
+        let progress_on = crate::telemetry::progress_enabled();
+        #[cfg(feature = "telemetry")]
+        let mut prog_events: u64 = 0;
+        #[cfg(feature = "telemetry")]
+        let mut prog_since = self.now;
         while let Some(ev) = self.events.pop_before(until) {
             if ev.at == stuck_at {
                 stuck_count += 1;
@@ -707,6 +839,10 @@ impl Simulator {
                     hook.on_event(&ctx);
                 }
             }
+            let class = ev.kind.class();
+            self.ev_counts[class] += 1;
+            #[cfg(feature = "telemetry")]
+            let t0 = self.tel_on.then(std::time::Instant::now);
             match ev.kind {
                 EventKind::Arrival { node, packet } => self.route_packet(node, packet),
                 EventKind::Departure { link } => self.on_link_free(link),
@@ -725,6 +861,25 @@ impl Simulator {
                 }
                 EventKind::Control { code } => self.on_control(code),
             }
+            #[cfg(feature = "telemetry")]
+            if let Some(t0) = t0 {
+                self.ev_ns[class] += t0.elapsed().as_nanos() as u64;
+            }
+            #[cfg(feature = "telemetry")]
+            if progress_on {
+                prog_events += 1;
+                if prog_events == PROGRESS_BATCH {
+                    let adv = self.now.duration_since(prog_since).as_nanos();
+                    crate::telemetry::progress_add(prog_events, adv);
+                    prog_events = 0;
+                    prog_since = self.now;
+                }
+            }
+        }
+        #[cfg(feature = "telemetry")]
+        if progress_on && prog_events > 0 {
+            let adv = self.now.duration_since(prog_since).as_nanos();
+            crate::telemetry::progress_add(prog_events, adv);
         }
         // Advance the clock to the horizon so measurement windows line up.
         if self.now < until {
@@ -792,10 +947,58 @@ impl Drop for Simulator {
         tel::counter_add("queue/dropped_overflow", self.counters.dropped_overflow);
         tel::counter_add("queue/dropped_early", self.counters.dropped_early);
         tel::counter_add("trace/marks_dropped", self.trace.marks_dropped);
-        // Wall-clock queue-op time goes to the span (profiling) domain,
-        // never the metrics registry: report metrics must stay identical
-        // across runs and worker counts.
-        tel::span_closed("sim/queue_ops", self.queue_op_ns / 1_000);
+        // Per-class event counts are deterministic (same event stream
+        // every run), so they may join the metrics registry; the
+        // per-class wall-clock goes to the span (profiling) domain,
+        // never the registry: report metrics must stay identical across
+        // runs and worker counts.
+        for (i, name) in EventKind::CLASS_NAMES.iter().enumerate() {
+            tel::counter_add(&format!("sim/ev_{name}"), self.ev_counts[i]);
+            tel::span_closed(format!("sim/ev/{name}"), self.ev_ns[i] / 1_000);
+        }
+        // Queue-op cost, aggregated by discipline name — "where the
+        // time goes" per AQM. Counts are deterministic; nanoseconds are
+        // spans only.
+        let mut by_discipline: std::collections::BTreeMap<&'static str, QueueOpCost> =
+            std::collections::BTreeMap::new();
+        for (link, cost) in self.links.iter().zip(&self.queue_op) {
+            let agg = by_discipline.entry(link.queue.name()).or_default();
+            agg.ops += cost.ops;
+            agg.ns += cost.ns;
+        }
+        let mut total_ns = 0;
+        for (name, agg) in &by_discipline {
+            tel::counter_add(&format!("sim/queue_ops/{name}"), agg.ops);
+            tel::span_closed(format!("sim/queue_ops/{name}"), agg.ns / 1_000);
+            total_ns += agg.ns;
+        }
+        tel::span_closed("sim/queue_ops", total_ns / 1_000);
+        // Final per-link queue totals for the derived drop/mark rates:
+        // exactly one record per (scope, link), covering the measurement
+        // window (counters restart at `reset_measurements`), so a
+        // summing reducer sees each link once.
+        for (i, link) in self.links.iter().enumerate() {
+            let s = link.queue.stats();
+            let offered = s.enqueued + s.dropped;
+            if offered > 0 {
+                tel::record("queue/final_offered", i as u64, 0.0, offered as f64);
+                tel::record("queue/final_dropped", i as u64, 0.0, s.dropped as f64);
+                tel::record("queue/final_marked", i as u64, 0.0, s.marked as f64);
+            }
+        }
+        // Flush coalesced idle utilization windows left pending (the
+        // partial open window is discarded — a fractional window would
+        // skew the distribution).
+        for (i, w) in self.util.iter().enumerate() {
+            if w.idle_pending > 0 {
+                tel::record(
+                    "link/idle_wins",
+                    i as u64,
+                    w.start_ns as f64 / 1e9,
+                    w.idle_pending as f64,
+                );
+            }
+        }
         let peak = self
             .links
             .iter()

@@ -1,0 +1,560 @@
+//! Online derived metrics: streaming reducers over telemetry records.
+//!
+//! The telemetry layer (PR 3) emits raw `(scope, series, key, t, value)`
+//! records; this module turns them into the quantities the paper argues
+//! about — queueing-delay distributions, link utilization, drop/mark
+//! rates, Jain's fairness index, and PERT response frequency — *while
+//! the run is still going*, with no post-processing pass over a trace
+//! file.
+//!
+//! ## Determinism contract
+//!
+//! A [`DeriveSet`] obeys the same contract as [`MetricsSet`]: every
+//! reduction is integer-only and commutative (bucket-wise histogram
+//! addition, `u64` summation, keyed maxima, `BTreeMap` accumulation),
+//! so feeding the same multiset of records in *any* order — including
+//! the nondeterministic interleaving of a parallel runner — produces a
+//! bit-identical [`DerivedSummary`]. Floating-point record values are
+//! quantized to integers (microseconds, basis points) at ingest, never
+//! accumulated as floats.
+//!
+//! [`MetricsSet`]: crate::metrics::MetricsSet
+
+use crate::metrics::BucketHistogram;
+use std::collections::BTreeMap;
+
+/// Queueing-delay bucket edges, microseconds: a 1–2–5 ladder from
+/// 100 µs to 5 s. A percentile read from the histogram is exact to
+/// within one bucket width (see [`BucketHistogram::percentile_upper`]).
+pub const QDELAY_EDGES_US: [u64; 15] = [
+    100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+    1_000_000, 2_000_000, 5_000_000,
+];
+
+/// Link-utilization bucket edges, basis points (0.5 % granularity up
+/// to the 100 % bucket at 10 000 bp).
+pub const UTIL_EDGES_BP: [u64; 20] = [
+    500, 1_000, 1_500, 2_000, 2_500, 3_000, 3_500, 4_000, 4_500, 5_000, 5_500, 6_000, 6_500, 7_000,
+    7_500, 8_000, 8_500, 9_000, 9_500, 10_000,
+];
+
+/// Streaming reducers over the telemetry record stream.
+///
+/// Feed every record through [`ingest`](Self::ingest) (the telemetry
+/// layer does this under its buffer lock when derivation is enabled),
+/// then call [`summary`](Self::summary) once the run is complete.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeriveSet {
+    /// Queueing delay samples, quantized to microseconds.
+    qdelay_us: BucketHistogram,
+    /// Windowed link utilization, quantized to basis points.
+    util_bp: BucketHistogram,
+    /// Packets offered to bottleneck queues (final per-link counts).
+    offered: u64,
+    /// Packets dropped (overflow + early drops).
+    dropped: u64,
+    /// Packets ECN-marked.
+    marked: u64,
+    /// Per-scope, per-flow delivered segment counts for Jain's index.
+    acked: BTreeMap<String, BTreeMap<u64, u64>>,
+    /// PERT early responses (window reductions triggered by the
+    /// delay-based controller).
+    responses: u64,
+    /// Per-scope last-activity time, quantized to microseconds; the
+    /// sum over scopes approximates total active simulated time.
+    active_us: BTreeMap<String, u64>,
+}
+
+impl Default for DeriveSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeriveSet {
+    /// An empty reducer set.
+    pub fn new() -> Self {
+        DeriveSet {
+            qdelay_us: BucketHistogram::new(&QDELAY_EDGES_US),
+            util_bp: BucketHistogram::new(&UTIL_EDGES_BP),
+            offered: 0,
+            dropped: 0,
+            marked: 0,
+            acked: BTreeMap::new(),
+            responses: 0,
+            active_us: BTreeMap::new(),
+        }
+    }
+
+    /// Consume one telemetry record. Unrecognized series are ignored,
+    /// so the reducer set can sit on the full record stream.
+    pub fn ingest(&mut self, scope: &str, series: &str, key: u64, t: f64, value: f64) {
+        match series {
+            "pert/qdelay" => {
+                // Seconds → µs. The quantization is a pure function of
+                // the record value, so ingestion order cannot matter.
+                self.qdelay_us.observe(quantize_us(value));
+                self.touch(scope, t);
+            }
+            "link/util_bp" => self.util_bp.observe(value as u64),
+            "link/idle_wins" => self.util_bp.observe_n(0, value as u64),
+            "queue/final_offered" => self.offered += value as u64,
+            "queue/final_dropped" => self.dropped += value as u64,
+            "queue/final_marked" => self.marked += value as u64,
+            "tcp/acked_final" => {
+                *self
+                    .acked
+                    .entry(scope.to_owned())
+                    .or_default()
+                    .entry(key)
+                    .or_insert(0) += value as u64;
+            }
+            "pert/response" => {
+                self.responses += value as u64;
+                self.touch(scope, t);
+            }
+            "pert/prob" | "pert/srtt" => self.touch(scope, t),
+            _ => {}
+        }
+    }
+
+    fn touch(&mut self, scope: &str, t: f64) {
+        let us = quantize_us(t);
+        let e = self.active_us.entry(scope.to_owned()).or_insert(0);
+        *e = (*e).max(us);
+    }
+
+    /// Merge another reducer set into this one (commutative).
+    pub fn merge(&mut self, other: &DeriveSet) {
+        self.qdelay_us.merge(&other.qdelay_us);
+        self.util_bp.merge(&other.util_bp);
+        self.offered += other.offered;
+        self.dropped += other.dropped;
+        self.marked += other.marked;
+        for (scope, flows) in &other.acked {
+            let mine = self.acked.entry(scope.clone()).or_default();
+            for (flow, n) in flows {
+                *mine.entry(*flow).or_insert(0) += n;
+            }
+        }
+        self.responses += other.responses;
+        for (scope, us) in &other.active_us {
+            let e = self.active_us.entry(scope.clone()).or_insert(0);
+            *e = (*e).max(*us);
+        }
+    }
+
+    /// True when no record has contributed anything.
+    pub fn is_empty(&self) -> bool {
+        self.qdelay_us.total == 0
+            && self.util_bp.total == 0
+            && self.offered == 0
+            && self.dropped == 0
+            && self.marked == 0
+            && self.acked.is_empty()
+            && self.responses == 0
+            && self.active_us.is_empty()
+    }
+
+    /// Reduce to the reported summary. Pure integer arithmetic over
+    /// state that is itself order-independent, so the summary is
+    /// byte-identical at any worker count.
+    pub fn summary(&self) -> DerivedSummary {
+        let qdelay = (self.qdelay_us.total > 0).then(|| QdelaySummary {
+            samples: self.qdelay_us.total,
+            mean_us: (self.qdelay_us.sum / u128::from(self.qdelay_us.total)) as u64,
+            p50_us: self.qdelay_us.percentile_upper(50).unwrap(),
+            p95_us: self.qdelay_us.percentile_upper(95).unwrap(),
+            p99_us: self.qdelay_us.percentile_upper(99).unwrap(),
+        });
+
+        let util = (self.util_bp.total > 0).then(|| UtilSummary {
+            windows: self.util_bp.total,
+            mean_bp: (self.util_bp.sum / u128::from(self.util_bp.total)) as u64,
+            p50_bp: self.util_bp.percentile_upper(50).unwrap(),
+        });
+
+        let loss = (self.offered > 0).then(|| LossSummary {
+            offered: self.offered,
+            dropped: self.dropped,
+            marked: self.marked,
+            drop_bp: rate_bp(self.dropped, self.offered),
+            mark_bp: rate_bp(self.marked, self.offered),
+        });
+
+        let fairness = self.fairness_summary();
+
+        let pert = (self.responses > 0 || !self.active_us.is_empty()).then(|| {
+            let active_us: u64 = self.active_us.values().sum();
+            PertSummary {
+                responses: self.responses,
+                active_us,
+                // Responses per second of active simulated time, in
+                // milli-hertz (u128 intermediate: no overflow below
+                // ~1.8e13 responses).
+                freq_mhz: if active_us == 0 {
+                    0
+                } else {
+                    (u128::from(self.responses) * 1_000_000_000 / u128::from(active_us)) as u64
+                },
+            }
+        });
+
+        DerivedSummary {
+            qdelay,
+            util,
+            loss,
+            fairness,
+            pert,
+        }
+    }
+
+    fn fairness_summary(&self) -> Option<FairnessSummary> {
+        let mut indices = Vec::new();
+        let mut flows = 0u64;
+        for per_flow in self.acked.values() {
+            let n = per_flow.len() as u128;
+            if n == 0 {
+                continue;
+            }
+            flows += per_flow.len() as u64;
+            let sum: u128 = per_flow.values().map(|&x| u128::from(x)).sum();
+            let sum_sq: u128 = per_flow
+                .values()
+                .map(|&x| u128::from(x) * u128::from(x))
+                .sum();
+            // Jain's index in milli-units: (Σx)² · 1000 / (n · Σx²).
+            // Zero throughput everywhere degenerates to a perfectly
+            // fair 1.000 by convention.
+            let jain_milli = if sum_sq == 0 {
+                1_000
+            } else {
+                (sum * sum * 1_000 / (n * sum_sq)) as u64
+            };
+            indices.push(jain_milli);
+        }
+        if indices.is_empty() {
+            return None;
+        }
+        let total: u128 = indices.iter().map(|&x| u128::from(x)).sum();
+        Some(FairnessSummary {
+            scopes: indices.len() as u64,
+            flows,
+            jain_min_milli: *indices.iter().min().unwrap(),
+            jain_mean_milli: (total / indices.len() as u128) as u64,
+            jain_max_milli: *indices.iter().max().unwrap(),
+        })
+    }
+}
+
+/// Seconds → whole microseconds, round-half-up, clamped at zero.
+fn quantize_us(seconds: f64) -> u64 {
+    if seconds <= 0.0 {
+        0
+    } else {
+        (seconds * 1e6).round() as u64
+    }
+}
+
+/// `part / whole` in basis points, round-to-nearest.
+fn rate_bp(part: u64, whole: u64) -> u64 {
+    if whole == 0 {
+        0
+    } else {
+        ((u128::from(part) * 10_000 + u128::from(whole) / 2) / u128::from(whole)) as u64
+    }
+}
+
+/// Queueing-delay distribution (bucket-quantized percentiles).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QdelaySummary {
+    /// Number of delay samples.
+    pub samples: u64,
+    /// Mean delay, microseconds (exact integer mean).
+    pub mean_us: u64,
+    /// Median upper bucket edge, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile upper bucket edge, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile upper bucket edge, microseconds.
+    pub p99_us: u64,
+}
+
+/// Windowed link-utilization distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UtilSummary {
+    /// Number of utilization windows observed.
+    pub windows: u64,
+    /// Mean utilization, basis points.
+    pub mean_bp: u64,
+    /// Median utilization upper bucket edge, basis points.
+    pub p50_bp: u64,
+}
+
+/// Drop and ECN-mark rates at the bottleneck queues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LossSummary {
+    /// Packets offered to the queues.
+    pub offered: u64,
+    /// Packets dropped (overflow + early).
+    pub dropped: u64,
+    /// Packets ECN-marked.
+    pub marked: u64,
+    /// Drop rate, basis points of offered.
+    pub drop_bp: u64,
+    /// Mark rate, basis points of offered.
+    pub mark_bp: u64,
+}
+
+/// Jain's fairness index over per-flow delivered throughput, one index
+/// per scope (job), reduced to min/mean/max across scopes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FairnessSummary {
+    /// Number of scopes (jobs) that reported flow throughput.
+    pub scopes: u64,
+    /// Total flows across those scopes.
+    pub flows: u64,
+    /// Minimum per-scope Jain index, milli-units (1000 = perfectly fair).
+    pub jain_min_milli: u64,
+    /// Mean per-scope Jain index, milli-units.
+    pub jain_mean_milli: u64,
+    /// Maximum per-scope Jain index, milli-units.
+    pub jain_max_milli: u64,
+}
+
+/// PERT early-response frequency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PertSummary {
+    /// Total early responses across all scopes.
+    pub responses: u64,
+    /// Total active simulated time (sum of per-scope maxima), µs.
+    pub active_us: u64,
+    /// Responses per active second, milli-hertz.
+    pub freq_mhz: u64,
+}
+
+/// The derived-metrics block of a report: everything integer, so text
+/// and JSON renderings are byte-stable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DerivedSummary {
+    /// Queueing-delay distribution, if any samples arrived.
+    pub qdelay: Option<QdelaySummary>,
+    /// Link-utilization distribution, if any windows closed.
+    pub util: Option<UtilSummary>,
+    /// Drop/mark rates, if any packets were offered.
+    pub loss: Option<LossSummary>,
+    /// Fairness, if any flow throughput was reported.
+    pub fairness: Option<FairnessSummary>,
+    /// PERT response frequency, if the controller was active.
+    pub pert: Option<PertSummary>,
+}
+
+impl DerivedSummary {
+    /// True when every section is absent.
+    pub fn is_empty(&self) -> bool {
+        self.qdelay.is_none()
+            && self.util.is_none()
+            && self.loss.is_none()
+            && self.fairness.is_none()
+            && self.pert.is_none()
+    }
+
+    /// Append the text rendering (the `derived metrics:` report block).
+    pub fn render_text_into(&self, out: &mut String) {
+        if self.is_empty() {
+            return;
+        }
+        out.push_str("\nderived metrics:\n");
+        if let Some(q) = &self.qdelay {
+            out.push_str(&format!(
+                "  qdelay: n={} mean={}us p50<={}us p95<={}us p99<={}us\n",
+                q.samples, q.mean_us, q.p50_us, q.p95_us, q.p99_us
+            ));
+        }
+        if let Some(u) = &self.util {
+            out.push_str(&format!(
+                "  util: windows={} mean={}bp p50<={}bp\n",
+                u.windows, u.mean_bp, u.p50_bp
+            ));
+        }
+        if let Some(l) = &self.loss {
+            out.push_str(&format!(
+                "  loss: offered={} dropped={} marked={} drop={}bp mark={}bp\n",
+                l.offered, l.dropped, l.marked, l.drop_bp, l.mark_bp
+            ));
+        }
+        if let Some(f) = &self.fairness {
+            out.push_str(&format!(
+                "  fairness: scopes={} flows={} jain_milli min={} mean={} max={}\n",
+                f.scopes, f.flows, f.jain_min_milli, f.jain_mean_milli, f.jain_max_milli
+            ));
+        }
+        if let Some(p) = &self.pert {
+            out.push_str(&format!(
+                "  pert: responses={} active={}us freq={}mHz\n",
+                p.responses, p.active_us, p.freq_mhz
+            ));
+        }
+    }
+
+    /// The JSON object body for the report's `"derived"` key.
+    pub fn render_json(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(q) = &self.qdelay {
+            parts.push(format!(
+                "\"qdelay\":{{\"samples\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\
+                 \"p99_us\":{}}}",
+                q.samples, q.mean_us, q.p50_us, q.p95_us, q.p99_us
+            ));
+        }
+        if let Some(u) = &self.util {
+            parts.push(format!(
+                "\"util\":{{\"windows\":{},\"mean_bp\":{},\"p50_bp\":{}}}",
+                u.windows, u.mean_bp, u.p50_bp
+            ));
+        }
+        if let Some(l) = &self.loss {
+            parts.push(format!(
+                "\"loss\":{{\"offered\":{},\"dropped\":{},\"marked\":{},\"drop_bp\":{},\
+                 \"mark_bp\":{}}}",
+                l.offered, l.dropped, l.marked, l.drop_bp, l.mark_bp
+            ));
+        }
+        if let Some(f) = &self.fairness {
+            parts.push(format!(
+                "\"fairness\":{{\"scopes\":{},\"flows\":{},\"jain_min_milli\":{},\
+                 \"jain_mean_milli\":{},\"jain_max_milli\":{}}}",
+                f.scopes, f.flows, f.jain_min_milli, f.jain_mean_milli, f.jain_max_milli
+            ));
+        }
+        if let Some(p) = &self.pert {
+            parts.push(format!(
+                "\"pert\":{{\"responses\":{},\"active_us\":{},\"freq_mhz\":{}}}",
+                p.responses, p.active_us, p.freq_mhz
+            ));
+        }
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_order_does_not_matter() {
+        let records: Vec<(&str, &str, u64, f64, f64)> = vec![
+            ("job/a", "pert/qdelay", 1, 0.5, 0.010),
+            ("job/b", "pert/qdelay", 2, 1.0, 0.020),
+            ("job/a", "link/util_bp", 0, 1.0, 9_500.0),
+            ("job/b", "link/idle_wins", 0, 1.0, 3.0),
+            ("job/a", "queue/final_offered", 0, 0.0, 100.0),
+            ("job/b", "queue/final_offered", 0, 0.0, 200.0),
+            ("job/a", "queue/final_dropped", 0, 0.0, 3.0),
+            ("job/a", "tcp/acked_final", 7, 0.0, 40.0),
+            ("job/a", "tcp/acked_final", 8, 0.0, 60.0),
+            ("job/b", "pert/response", 3, 2.5, 1.0),
+            ("job/b", "pert/prob", 3, 9.0, 0.25),
+        ];
+        let mut fwd = DeriveSet::new();
+        for r in &records {
+            fwd.ingest(r.0, r.1, r.2, r.3, r.4);
+        }
+        let mut rev = DeriveSet::new();
+        for r in records.iter().rev() {
+            rev.ingest(r.0, r.1, r.2, r.3, r.4);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.summary(), rev.summary());
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let mut a = DeriveSet::new();
+        a.ingest("job/a", "pert/qdelay", 1, 0.5, 0.010);
+        a.ingest("job/a", "tcp/acked_final", 7, 0.0, 10.0);
+        let mut b = DeriveSet::new();
+        b.ingest("job/b", "pert/qdelay", 2, 1.5, 0.030);
+        b.ingest("job/a", "tcp/acked_final", 7, 0.0, 5.0);
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+
+        let mut single = DeriveSet::new();
+        single.ingest("job/a", "pert/qdelay", 1, 0.5, 0.010);
+        single.ingest("job/a", "tcp/acked_final", 7, 0.0, 10.0);
+        single.ingest("job/b", "pert/qdelay", 2, 1.5, 0.030);
+        single.ingest("job/a", "tcp/acked_final", 7, 0.0, 5.0);
+        assert_eq!(merged, single);
+    }
+
+    #[test]
+    fn summary_numbers_are_exact() {
+        let mut d = DeriveSet::new();
+        // 10 ms and 20 ms delays: mean 15 000 µs, p50 in the 10 000 µs
+        // bucket, p99 in the 20 000 µs bucket.
+        d.ingest("j", "pert/qdelay", 0, 0.1, 0.010);
+        d.ingest("j", "pert/qdelay", 0, 0.2, 0.020);
+        d.ingest("j", "queue/final_offered", 0, 0.0, 1_000.0);
+        d.ingest("j", "queue/final_dropped", 0, 0.0, 25.0);
+        d.ingest("j", "queue/final_marked", 0, 0.0, 50.0);
+        let s = d.summary();
+        let q = s.qdelay.unwrap();
+        assert_eq!(q.mean_us, 15_000);
+        assert_eq!(q.p50_us, 10_000);
+        assert_eq!(q.p99_us, 20_000);
+        let l = s.loss.unwrap();
+        assert_eq!(l.drop_bp, 250);
+        assert_eq!(l.mark_bp, 500);
+    }
+
+    #[test]
+    fn jain_index_milli_units() {
+        let mut d = DeriveSet::new();
+        // Perfectly fair: two flows, equal shares → 1000 milli.
+        d.ingest("fair", "tcp/acked_final", 1, 0.0, 50.0);
+        d.ingest("fair", "tcp/acked_final", 2, 0.0, 50.0);
+        // Maximally unfair two flows: one gets everything → 500 milli.
+        d.ingest("unfair", "tcp/acked_final", 1, 0.0, 100.0);
+        d.ingest("unfair", "tcp/acked_final", 2, 0.0, 0.0);
+        let f = d.summary().fairness.unwrap();
+        assert_eq!(f.scopes, 2);
+        assert_eq!(f.flows, 4);
+        assert_eq!(f.jain_max_milli, 1_000);
+        assert_eq!(f.jain_min_milli, 500);
+        assert_eq!(f.jain_mean_milli, 750);
+    }
+
+    #[test]
+    fn pert_frequency_milli_hz() {
+        let mut d = DeriveSet::new();
+        d.ingest("j", "pert/response", 0, 1.0, 1.0);
+        d.ingest("j", "pert/response", 0, 2.0, 1.0);
+        d.ingest("j", "pert/prob", 0, 10.0, 0.1);
+        let p = d.summary().pert.unwrap();
+        assert_eq!(p.responses, 2);
+        assert_eq!(p.active_us, 10_000_000);
+        // 2 responses over 10 s = 0.2 Hz = 200 mHz.
+        assert_eq!(p.freq_mhz, 200);
+    }
+
+    #[test]
+    fn render_is_stable_and_gated() {
+        let empty = DerivedSummary::default();
+        let mut text = String::new();
+        empty.render_text_into(&mut text);
+        assert!(text.is_empty());
+        assert_eq!(empty.render_json(), "{}");
+
+        let mut d = DeriveSet::new();
+        d.ingest("j", "pert/qdelay", 0, 0.1, 0.010);
+        let s = d.summary();
+        let mut t1 = String::new();
+        let mut t2 = String::new();
+        s.render_text_into(&mut t1);
+        s.render_text_into(&mut t2);
+        assert_eq!(t1, t2);
+        assert!(t1.contains("derived metrics:"));
+        assert!(s.render_json().starts_with("{\"qdelay\":{\"samples\":1,"));
+    }
+}

@@ -13,11 +13,16 @@
 //! * [`summary::Summary`] — streaming mean/variance;
 //! * [`metrics::MetricsSet`] — named counters/gauges/fixed-bucket
 //!   histograms with deterministic, commutative merging (the model
-//!   behind the telemetry registry).
+//!   behind the telemetry registry);
+//! * [`derive::DeriveSet`] — streaming reducers that turn raw telemetry
+//!   records into derived metrics (delay CDFs, utilization, loss rates,
+//!   fairness, PERT response frequency) with the same commutative
+//!   integer contract.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod derive;
 pub mod histogram;
 pub mod jain;
 pub mod metrics;
@@ -25,6 +30,7 @@ pub mod summary;
 pub mod timeseries;
 pub mod transitions;
 
+pub use derive::{DeriveSet, DerivedSummary};
 pub use histogram::Histogram;
 pub use jain::jain_index;
 pub use metrics::{BucketHistogram, MetricValue, MetricsSet};

@@ -57,6 +57,54 @@ impl BucketHistogram {
         self.sum += u128::from(value);
     }
 
+    /// Record `n` identical observations at once.
+    ///
+    /// Equivalent to calling [`observe`](Self::observe) `n` times;
+    /// used to coalesce runs of repeated values (e.g. idle utilization
+    /// windows) into a single record.
+    pub fn observe_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| value <= e)
+            .unwrap_or(self.edges.len());
+        self.counts[idx] += n;
+        self.total += n;
+        self.sum += u128::from(value) * u128::from(n);
+    }
+
+    /// The upper bucket edge covering the `pct`-th percentile, or
+    /// `None` if the histogram is empty.
+    ///
+    /// Uses the nearest-rank definition: the target rank is
+    /// `ceil(total * pct / 100)` (clamped to at least 1), and the
+    /// returned value is the inclusive upper edge of the bucket that
+    /// contains that rank. The exact sorted-quantile value is
+    /// therefore in `(previous_edge, returned_edge]` — i.e. the
+    /// result overestimates by at most one bucket width. Ranks that
+    /// land in the overflow bucket return `u64::MAX`.
+    pub fn percentile_upper(&self, pct: u64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = (u128::from(self.total) * u128::from(pct))
+            .div_ceil(100)
+            .max(1);
+        let mut seen: u128 = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += u128::from(c);
+            if seen >= rank {
+                return Some(self.edges.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        // rank <= total and the counts sum to total, so the loop
+        // always returns; pct > 100 lands in the last occupied bucket.
+        Some(u64::MAX)
+    }
+
     /// Add another histogram into this one (bucket-wise).
     ///
     /// Panics if the edge vectors differ — merging histograms with

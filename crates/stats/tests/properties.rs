@@ -1,10 +1,45 @@
 //! Property-based tests for the measurement utilities.
 
 use proptest::prelude::*;
+use sim_stats::metrics::BucketHistogram;
 use sim_stats::transitions::{analyze, cluster_losses};
 use sim_stats::{jain_index, Histogram, Summary, TimeSeries};
 
 proptest! {
+    /// Integer-bucket percentiles bracket the exact sorted quantile:
+    /// the exact nearest-rank value lies in (previous edge, reported
+    /// edge] — i.e. the histogram answer is within one bucket width.
+    #[test]
+    fn bucket_percentile_within_one_bucket(
+        xs in proptest::collection::vec(0u64..6_000_000, 1..400),
+        pct in 1u64..101,
+    ) {
+        let edges = sim_stats::derive::QDELAY_EDGES_US;
+        let mut h = BucketHistogram::new(&edges);
+        for &x in &xs {
+            h.observe(x);
+        }
+        let upper = h.percentile_upper(pct).unwrap();
+
+        // Exact nearest-rank quantile from the sorted samples.
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let rank = ((xs.len() as u64 * pct).div_ceil(100)).max(1) as usize;
+        let exact = sorted[rank - 1];
+
+        prop_assert!(exact <= upper, "exact {exact} above reported edge {upper}");
+        let lower = edges
+            .iter()
+            .rev()
+            .find(|&&e| e < upper)
+            .copied()
+            .unwrap_or(0);
+        prop_assert!(
+            exact > lower || upper == edges[0],
+            "exact {exact} not within bucket ({lower}, {upper}]"
+        );
+    }
+
     /// Jain's index lies in (1/n, 1] and is scale-invariant.
     #[test]
     fn jain_bounds_and_scale_invariance(

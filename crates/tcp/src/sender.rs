@@ -594,6 +594,15 @@ impl Drop for TcpSender {
         if let Some(h) = &self.rtt_hist {
             telemetry::histogram_merge("tcp/rtt_ns", h);
         }
+        // One record per flow with its final delivered-segment count —
+        // the per-flow throughput sample Jain's fairness index is
+        // derived from (key = flow id, summed per (scope, key)).
+        telemetry::record(
+            "tcp/acked_final",
+            self.cfg.flow.0 as u64,
+            0.0,
+            self.stats.acked_segments as f64,
+        );
     }
 }
 

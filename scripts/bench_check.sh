@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Validate every BENCH_*.json in the repo root against the shared
+# benchmark-record schema. Run from anywhere; CI runs it on every push.
+#
+# Schema (all top-level keys required; extra keys like "raw" allowed):
+#   name         string   short slug, matches the BENCH_<name>.json filename
+#   description  string   one-line summary of what was measured
+#   date         string   measurement date, YYYY-MM-DD
+#   commit       string   commit the numbers were measured on
+#   command      string   how to reproduce the measurement
+#   host         object   where it ran (nproc + free-form notes)
+#   metrics      object   non-empty; each entry is {"value": number, "unit": string}
+#   notes        array    of strings; caveats and context
+#
+# Exit 0 when every file validates, 1 otherwise (all failures listed).
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v jq >/dev/null 2>&1; then
+    echo "bench_check: jq not found" >&2
+    exit 1
+fi
+
+fail=0
+checked=0
+
+for f in BENCH_*.json; do
+    [ -e "$f" ] || { echo "bench_check: no BENCH_*.json files found" >&2; exit 1; }
+    checked=$((checked + 1))
+
+    if ! jq empty "$f" 2>/dev/null; then
+        echo "FAIL $f: not valid JSON" >&2
+        fail=1
+        continue
+    fi
+
+    errs=$(jq -r '
+        def err(cond; msg): if cond then empty else msg end;
+        [
+          err(has("name") and (.name | type == "string" and length > 0);
+              "name: missing or not a non-empty string"),
+          err(has("description") and (.description | type == "string" and length > 0);
+              "description: missing or not a non-empty string"),
+          err(has("date") and (.date | type == "string" and test("^[0-9]{4}-[0-9]{2}-[0-9]{2}$"));
+              "date: missing or not YYYY-MM-DD"),
+          err(has("commit") and (.commit | type == "string" and length > 0);
+              "commit: missing or not a non-empty string"),
+          err(has("command") and (.command | type == "string" and length > 0);
+              "command: missing or not a non-empty string"),
+          err(has("host") and (.host | type == "object");
+              "host: missing or not an object"),
+          err(has("metrics") and (.metrics | type == "object" and length > 0);
+              "metrics: missing, not an object, or empty"),
+          err(has("notes") and (.notes | type == "array" and all(.[]; type == "string"));
+              "notes: missing or not an array of strings"),
+          (if (has("metrics") and (.metrics | type == "object")) then
+             (.metrics | to_entries[]
+              | select((.value | type != "object")
+                       or ((.value.value? | type) != "number")
+                       or ((.value.unit? | type) != "string"))
+              | "metrics.\(.key): must be {\"value\": number, \"unit\": string}")
+           else empty end)
+        ] | .[]
+    ' "$f")
+
+    if [ -n "$errs" ]; then
+        while IFS= read -r e; do echo "FAIL $f: $e" >&2; done <<<"$errs"
+        fail=1
+        continue
+    fi
+
+    # The slug must match the filename so tooling can address records.
+    slug=$(jq -r .name "$f")
+    if [ "$f" != "BENCH_${slug}.json" ]; then
+        echo "FAIL $f: name '\''$slug'\'' does not match filename" >&2
+        fail=1
+        continue
+    fi
+
+    echo "ok   $f"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench_check: FAILED" >&2
+    exit 1
+fi
+echo "bench_check: $checked file(s) valid"
