@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
+use netsim::arena::PacketArena;
 use netsim::event::{EventKind, EventQueue};
 use netsim::ids::{AgentId, FlowId, NodeId};
 use netsim::packet::{Ecn, Packet, Payload};
@@ -50,35 +51,47 @@ fn bench_event_queue(c: &mut Criterion) {
 fn bench_queues(c: &mut Criterion) {
     let mut g = c.benchmark_group("queues");
     g.bench_function("droptail/enq_deq", |b| {
+        let mut arena = PacketArena::new();
         let mut q = DropTail::new(64);
         let mut t = 0u64;
         b.iter(|| {
             t += 1000;
             let now = SimTime::from_nanos(t);
-            let _ = q.enqueue(pkt(), now);
-            black_box(q.dequeue(now))
+            let r = arena.alloc(pkt());
+            if let netsim::queue::EnqueueOutcome::Dropped(r, _) = q.enqueue(r, &mut arena, now) {
+                arena.take(r);
+            }
+            black_box(q.dequeue(&mut arena, now).and_then(|r| arena.take(r)))
         })
     });
     g.bench_function("red/enq_deq", |b| {
         let params = RedParams::recommended(64, 10_000.0, true, 1);
+        let mut arena = PacketArena::new();
         let mut q = RedQueue::new(params);
         let mut t = 0u64;
         b.iter(|| {
             t += 1000;
             let now = SimTime::from_nanos(t);
-            let _ = q.enqueue(pkt(), now);
-            black_box(q.dequeue(now))
+            let r = arena.alloc(pkt());
+            if let netsim::queue::EnqueueOutcome::Dropped(r, _) = q.enqueue(r, &mut arena, now) {
+                arena.take(r);
+            }
+            black_box(q.dequeue(&mut arena, now).and_then(|r| arena.take(r)))
         })
     });
     g.bench_function("pi/enq_deq_tick", |b| {
+        let mut arena = PacketArena::new();
         let mut q = PiQueue::new(PiParams::hollot_example(64, 20.0, true, 1));
         let mut t = 0u64;
         b.iter(|| {
             t += 1000;
             let now = SimTime::from_nanos(t);
-            let _ = q.enqueue(pkt(), now);
+            let r = arena.alloc(pkt());
+            if let netsim::queue::EnqueueOutcome::Dropped(r, _) = q.enqueue(r, &mut arena, now) {
+                arena.take(r);
+            }
             q.on_tick(now);
-            black_box(q.dequeue(now))
+            black_box(q.dequeue(&mut arena, now).and_then(|r| arena.take(r)))
         })
     });
     g.finish();

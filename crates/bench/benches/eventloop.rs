@@ -125,6 +125,90 @@ fn bench_sim(c: &mut Criterion) {
     g.finish();
 }
 
+/// A two-node topology with `flows` PERT senders hosted in the flow slab
+/// (or per-flow agents when `legacy`), all sharing one fat bottleneck.
+/// This is the large-population regime the memory architecture targets:
+/// every flow stays resident (slab rows, armed timers, arena slots) but
+/// each cycles through short transfers separated by a 1 s think time, so
+/// only a few thousand are mid-transfer at any instant. Aggregate demand
+/// (~`flows` × 8 segments / 1 s ≈ 0.8 Mpkt/s) sits below the 10 Gb/s
+/// bottleneck's 1.25 Mpkt/s, so the measurement is dispatch + protocol
+/// work, not loss recovery under perpetual overload. Starts come in
+/// cohorts of 100 per 1 ms tick, in slot order: the calendar sees large
+/// same-timestamp timer batches (the shape batched dispatch exists for)
+/// and the flows active at any instant occupy a contiguous slot range —
+/// the access pattern the SoA rows are laid out for (correlated arrivals;
+/// a stride-scattered active set would defeat any layout).
+fn build_flows(flows: usize, legacy: bool) -> netsim::Simulator {
+    use pert_tcp::{connect_with_source, ConnectionSpec, FnSource, Transfer};
+    pert_tcp::set_legacy_agents(legacy);
+    let mut sim = netsim::Simulator::new(1);
+    let a = sim.add_node();
+    let z = sim.add_node();
+    sim.add_duplex_link(a, z, 10_000_000_000, SimDuration::from_millis(5), |_| {
+        Box::new(DropTail::new(65_536))
+    });
+    sim.compute_routes();
+    for i in 0..flows {
+        let mut started = false;
+        let source = FnSource(move |_rng: &mut rand::rngs::SmallRng| {
+            let think_secs = if started { 1.0 } else { 0.0 };
+            started = true;
+            Some(Transfer {
+                think_secs,
+                segments: 8,
+            })
+        });
+        let conn = connect_with_source(
+            &mut sim,
+            ConnectionSpec::pert(FlowId(i), a, z, i as u64),
+            Box::new(source),
+        );
+        let start = SimTime::from_millis((i / 100) as u64);
+        sim.schedule_agent_timer(start, conn.sender, conn.start_token);
+    }
+    pert_tcp::set_legacy_agents(false);
+    sim
+}
+
+/// The million-flow memory-architecture case: 100k slab-hosted flows
+/// through the batched dispatch loop, with the per-flow-agent hosting as
+/// the side-by-side baseline and a telemetry-attached variant matching
+/// `BENCH_observatory.json`'s "attached" condition. The build is untimed;
+/// the measured region is `run_until` only, so the number is pure
+/// dispatch + protocol work. Events per run are printed once so
+/// `BENCH_soa.json` can record events/second from the iteration time.
+fn bench_slab_dispatch(c: &mut Criterion) {
+    use criterion::BatchSize;
+    let mut g = c.benchmark_group("eventloop");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    static PRINTED: std::sync::Once = std::sync::Once::new();
+    for (legacy, attached, name) in [
+        (false, false, "slab"),
+        (false, true, "slab_attached"),
+        (true, false, "legacy"),
+    ] {
+        g.bench_function(format!("dispatch_100k/{name}").as_str(), |b| {
+            pert_core::telemetry::set_enabled(attached);
+            b.iter_batched_ref(
+                || build_flows(100_000, legacy),
+                |sim| {
+                    // 1.5 s covers the full 1 s start ramp plus one think
+                    // cycle: every flow transfers at least once.
+                    sim.run_until(SimTime::from_secs_f64(1.5));
+                    let ev = sim.events_processed();
+                    PRINTED.call_once(|| eprintln!("[dispatch_100k: {ev} events per run]"));
+                    black_box(ev)
+                },
+                BatchSize::PerIteration,
+            );
+            pert_core::telemetry::set_enabled(false);
+        });
+    }
+    g.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -135,6 +219,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_churn, bench_drain_fill, bench_sim
+    targets = bench_churn, bench_drain_fill, bench_sim, bench_slab_dispatch
 }
 criterion_main!(benches);

@@ -10,7 +10,6 @@
 
 use netsim::{SimDuration, SimTime};
 use pert_core::predictors::AckSample;
-use pert_tcp::TcpSender;
 use sim_stats::TimeSeries;
 use std::sync::{Arc, Mutex};
 use workload::{build_dumbbell, DumbbellConfig, Scheme};
@@ -133,9 +132,7 @@ pub fn run_case(label: &str, n_long: usize, n_web: usize, scale: Scale, seed: u6
         .map(|r| r.at.as_secs_f64())
         .collect();
 
-    let sender: &TcpSender = sim.agent(d.forward[0].sender);
-    let samples: Vec<AckSample> = sender
-        .samples
+    let samples: Vec<AckSample> = pert_tcp::sender_samples(&sim, &d.forward[0])
         .iter()
         .filter(|s| s.at >= warmup)
         .copied()

@@ -12,7 +12,7 @@ use netsim::CalendarKind;
 /// The usage text printed on a parse error.
 pub const USAGE: &str = "usage: experiments <target>... [--quick|--standard|--full] [--jobs N] \
 [--seed S] [--json PATH] [--csv PATH] [--audit] [--telemetry] [--trace-out PATH] \
-[--flight-window N] [--progress] [--calendar wheel|heap]\n\
+[--flight-window N] [--progress] [--calendar wheel|heap] [--legacy-agents]\n\
 \x20      experiments trace summarize|diff ... (see `experiments trace`)\n\
 targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1\n\
 \t fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all\n\
@@ -28,7 +28,10 @@ profile and a flight-recorder dump alongside it.\n\
 stderr is not a terminal.\n\
 --calendar selects the event-calendar backend: the hierarchical timing\n\
 wheel (default) or the reference binary heap. Reports are byte-identical\n\
-either way; the heap is the escape hatch and differential baseline.";
+either way; the heap is the escape hatch and differential baseline.\n\
+--legacy-agents hosts each TCP sender in its own agent instead of the\n\
+shared struct-of-arrays flow slab. Reports are byte-identical either way;\n\
+the per-flow path is the escape hatch and equivalence baseline.";
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -58,6 +61,9 @@ pub struct Cli {
     pub progress: bool,
     /// Event-calendar backend for every simulator built by the run.
     pub calendar: CalendarKind,
+    /// Host each TCP sender in its own agent (pre-slab wiring) instead of
+    /// the shared flow slab.
+    pub legacy_agents: bool,
 }
 
 fn flag_value<'a>(flag: &str, args: &'a [String], i: &mut usize) -> Result<&'a str, String> {
@@ -80,6 +86,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut flight_window = None;
     let mut progress = false;
     let mut calendar = CalendarKind::Wheel;
+    let mut legacy_agents = false;
     let mut targets: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -125,6 +132,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 );
             }
             "--progress" => progress = true,
+            "--legacy-agents" => legacy_agents = true,
             "--calendar" => {
                 calendar = match flag_value(a, args, &mut i)? {
                     "wheel" => CalendarKind::Wheel,
@@ -170,6 +178,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         flight_window,
         progress,
         calendar,
+        legacy_agents,
     })
 }
 
@@ -289,6 +298,12 @@ mod tests {
     fn progress_flag() {
         assert!(!p(&["fig5"]).unwrap().progress);
         assert!(p(&["fig5", "--progress"]).unwrap().progress);
+    }
+
+    #[test]
+    fn legacy_agents_flag() {
+        assert!(!p(&["fig5"]).unwrap().legacy_agents);
+        assert!(p(&["fig5", "--legacy-agents"]).unwrap().legacy_agents);
     }
 
     #[test]

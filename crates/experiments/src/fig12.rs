@@ -5,7 +5,6 @@
 //! across cohorts.
 
 use netsim::{SimDuration, SimTime};
-use pert_tcp::{TcpSender, STOP_TOKEN};
 use sim_stats::TimeSeries;
 use std::sync::{Arc, Mutex};
 use workload::{build_dumbbell, DumbbellConfig, Scheme};
@@ -102,13 +101,13 @@ pub fn run_scheme_seeded(scheme: Scheme, scale: Scale, seed: u64) -> Fig12Result
     for c in 0..cfg.cohorts {
         let join = SimTime::from_secs_f64(c as f64 * cfg.phase_secs);
         for conn in &d.forward[c * cfg.cohort_size..(c + 1) * cfg.cohort_size] {
-            sim.schedule_agent_timer(join, conn.sender, pert_tcp::START_TOKEN);
+            sim.schedule_agent_timer(join, conn.sender, conn.start_token);
         }
         if c < cfg.cohorts - 1 {
             // All but the last cohort leave.
             let leave = SimTime::from_secs_f64((cfg.cohorts + c) as f64 * cfg.phase_secs);
             for conn in &d.forward[c * cfg.cohort_size..(c + 1) * cfg.cohort_size] {
-                sim.schedule_agent_timer(leave, conn.sender, STOP_TOKEN);
+                sim.schedule_agent_timer(leave, conn.sender, conn.stop_token);
             }
         }
     }
@@ -117,23 +116,18 @@ pub fn run_scheme_seeded(scheme: Scheme, scale: Scale, seed: u64) -> Fig12Result
     let series: Arc<Mutex<Vec<TimeSeries>>> =
         Arc::new(Mutex::new(vec![TimeSeries::new(); cfg.cohorts]));
     let series2 = Arc::clone(&series);
-    let cohort_senders: Vec<Vec<netsim::AgentId>> = (0..cfg.cohorts)
-        .map(|c| {
-            d.forward[c * cfg.cohort_size..(c + 1) * cfg.cohort_size]
-                .iter()
-                .map(|x| x.sender)
-                .collect()
-        })
+    let cohort_conns: Vec<Vec<pert_tcp::Connection>> = (0..cfg.cohorts)
+        .map(|c| d.forward[c * cfg.cohort_size..(c + 1) * cfg.cohort_size].to_vec())
         .collect();
     let prev: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(vec![0; cfg.cohorts]));
     let prev2 = Arc::clone(&prev);
     sim.add_probe(SimDuration::from_secs(1), move |sim, now| {
         let mut prev = prev2.lock().unwrap();
         let mut ser = series2.lock().unwrap();
-        for (c, senders) in cohort_senders.iter().enumerate() {
-            let acked: u64 = senders
+        for (c, conns) in cohort_conns.iter().enumerate() {
+            let acked: u64 = conns
                 .iter()
-                .map(|&a| sim.agent::<TcpSender>(a).stats.acked_segments)
+                .map(|conn| pert_tcp::sender_stats(sim, conn).acked_segments)
                 .sum();
             let rate = acked.saturating_sub(prev[c]) as f64; // per 1 s
             prev[c] = acked;

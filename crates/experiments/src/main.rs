@@ -4,7 +4,7 @@
 //! experiments <target>... [--quick|--standard|--full] [--jobs N]
 //!             [--seed S] [--json PATH] [--csv PATH] [--audit]
 //!             [--telemetry] [--trace-out PATH] [--flight-window N]
-//!             [--progress] [--calendar wheel|heap]
+//!             [--progress] [--calendar wheel|heap] [--legacy-agents]
 //! experiments trace summarize FILE [filters] | trace diff A B [--tol X]
 //!
 //! targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1
@@ -53,6 +53,7 @@ fn main() {
     // audit shadows, and telemetry taps all attach at construction time.
     netsim::set_default_calendar(cli.calendar);
     netsim::audit::set_enabled(cli.audit);
+    pert_tcp::set_legacy_agents(cli.legacy_agents);
     telemetry::set_enabled(cli.telemetry);
     let flight = flight_path(cli.trace_out.as_deref());
     if let Some(n) = cli.flight_window {

@@ -82,11 +82,7 @@ pub fn run_scheme_seeded(scheme: Scheme, scale: Scale, seed: u64) -> ReverseRow 
     let early: u64 = d
         .forward
         .iter()
-        .map(|c| {
-            sim.agent::<pert_tcp::TcpSender>(c.sender)
-                .cc()
-                .early_reductions()
-        })
+        .map(|c| pert_tcp::sender_cc(&sim, c).early_reductions())
         .sum();
 
     ReverseRow {

@@ -124,11 +124,7 @@ pub fn run_delack_point(
     let early: u64 = d
         .forward
         .iter()
-        .map(|c| {
-            sim.agent::<pert_tcp::TcpSender>(c.sender)
-                .cc()
-                .early_reductions()
-        })
+        .map(|c| pert_tcp::sender_cc(&sim, c).early_reductions())
         .sum();
     DelackRow {
         policy,
@@ -151,7 +147,7 @@ pub fn run_delack(scale: Scale) -> Vec<DelackRow> {
 /// builder intentionally defaults to the paper's per-packet policy).
 fn build_delack_dumbbell(cfg: &DumbbellConfig, delack: SimDuration) -> workload::Dumbbell {
     use netsim::{FlowId, SimTime, Simulator};
-    use pert_tcp::{connect_with_source, Greedy, START_TOKEN};
+    use pert_tcp::{connect_with_source, Greedy};
 
     let mut sim = Simulator::new(cfg.seed);
     let r1 = sim.add_node();
@@ -187,7 +183,7 @@ fn build_delack_dumbbell(cfg: &DumbbellConfig, delack: SimDuration) -> workload:
         sim.schedule_agent_timer(
             SimTime::from_secs_f64(i as f64 * 0.3),
             c.sender,
-            START_TOKEN,
+            c.start_token,
         );
     }
     workload::Dumbbell {

@@ -136,11 +136,7 @@ pub fn run_one(base: &DumbbellConfig, scheme: Scheme, scale: Scale) -> SchemePoi
     };
     let early: u64 = long_flows
         .iter()
-        .map(|c| {
-            sim.agent::<pert_tcp::TcpSender>(c.sender)
-                .cc()
-                .early_reductions()
-        })
+        .map(|c| pert_tcp::sender_cc(&sim, c).early_reductions())
         .sum();
 
     SchemePoint {

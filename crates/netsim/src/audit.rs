@@ -487,6 +487,7 @@ mod tests {
 
     #[test]
     fn ledger_mirrors_droptail_exactly() {
+        let mut arena = crate::arena::PacketArena::new();
         let mut q = DropTail::new(2);
         let mut ledger = QueueLedger::new(&q);
         let ops: [(bool, u64); 6] = [
@@ -500,10 +501,14 @@ mod tests {
         for (enq, t) in ops {
             let now = SimTime::from_nanos(t);
             let op = if enq {
-                let kind = match q.enqueue(pkt(100), now) {
+                let r = arena.alloc(pkt(100));
+                let kind = match q.enqueue(r, &mut arena, now) {
                     EnqueueOutcome::Enqueued => EnqueueKind::Stored,
                     EnqueueOutcome::Marked => EnqueueKind::Marked,
-                    EnqueueOutcome::Dropped(..) => EnqueueKind::DroppedOverflow,
+                    EnqueueOutcome::Dropped(r, _) => {
+                        arena.take(r);
+                        EnqueueKind::DroppedOverflow
+                    }
                 };
                 QueueOp::Enqueue {
                     kind,
@@ -511,7 +516,9 @@ mod tests {
                 }
             } else {
                 QueueOp::Dequeue {
-                    popped: q.dequeue(now).map(|p| p.size_bytes),
+                    popped: q
+                        .dequeue(&mut arena, now)
+                        .map(|r| arena.take(r).unwrap().size_bytes),
                 }
             };
             ledger.apply(&op, now);
@@ -521,10 +528,12 @@ mod tests {
 
     #[test]
     fn ledger_catches_corrupted_counter() {
+        let mut arena = crate::arena::PacketArena::new();
         let mut q = DropTail::new(8);
         let mut ledger = QueueLedger::new(&q);
         let now = SimTime::from_nanos(5);
-        let _ = q.enqueue(pkt(100), now);
+        let r = arena.alloc(pkt(100));
+        let _ = q.enqueue(r, &mut arena, now);
         ledger.apply(
             &QueueOp::Enqueue {
                 kind: EnqueueKind::Stored,
@@ -545,11 +554,13 @@ mod tests {
 
     #[test]
     fn ledger_mirrors_window_reset_and_flush() {
+        let mut arena = crate::arena::PacketArena::new();
         let mut q = DropTail::new(8);
         let mut ledger = QueueLedger::new(&q);
         for i in 1..=4u64 {
             let now = SimTime::from_nanos(i * 100);
-            let _ = q.enqueue(pkt(100), now);
+            let r = arena.alloc(pkt(100));
+            let _ = q.enqueue(r, &mut arena, now);
             ledger.apply(
                 &QueueOp::Enqueue {
                     kind: EnqueueKind::Stored,

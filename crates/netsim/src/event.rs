@@ -33,8 +33,8 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
 
+use crate::arena::PacketRef;
 use crate::ids::{AgentId, LinkId, NodeId};
-use crate::packet::Packet;
 use crate::time::SimTime;
 
 /// An opaque token an agent attaches to a timer so it can tell its own
@@ -81,6 +81,9 @@ pub fn default_calendar() -> CalendarKind {
 }
 
 /// What an event does when it fires.
+///
+/// Sixteen bytes: packets ride as arena refs, not values, so the calendar
+/// (and every cascade inside the wheel) moves small `Copy` payloads.
 #[derive(Debug)]
 pub enum EventKind {
     /// A packet arrives at `node` (after propagating across a link, or
@@ -88,8 +91,9 @@ pub enum EventKind {
     Arrival {
         /// Node the packet arrives at.
         node: NodeId,
-        /// The packet itself.
-        packet: Packet,
+        /// The packet, interned in the simulator's
+        /// [`crate::arena::PacketArena`].
+        packet: PacketRef,
     },
     /// The head-of-line packet on `link` finishes serialization; the link
     /// should propagate it and start transmitting the next queued packet.
@@ -220,6 +224,11 @@ struct Wheel {
     stored: usize,
     /// Lower bound on stored event times (for the front-slot fast path).
     min_bound: MinBound,
+    /// Scratch buffer for cascades. Swapped with the slot being cascaded
+    /// (instead of `mem::take`-ing it), so slot capacities rotate between
+    /// the wheel and this buffer rather than being freed and reallocated
+    /// — in steady state a cascade touches the heap zero times.
+    cascade: VecDeque<Event>,
 }
 
 impl Wheel {
@@ -233,6 +242,7 @@ impl Wheel {
             elapsed: 0,
             stored: 0,
             min_bound: MinBound::AtLeast(0),
+            cascade: VecDeque::new(),
         }
     }
 
@@ -369,12 +379,16 @@ impl Wheel {
                 // Cascade the whole slot one or more levels down, relative
                 // to the advanced horizon. Preserves relative order, so
                 // equal-time events keep their FIFO relationship.
-                let q = std::mem::take(&mut self.slots[level][slot]);
+                debug_assert!(self.cascade.is_empty());
+                std::mem::swap(&mut self.slots[level][slot], &mut self.cascade);
                 self.occupied[level] &= !(1 << slot);
                 if self.occupied[level] == 0 {
                     self.level_occ &= !(1 << level);
                 }
-                for ev in q {
+                // Cascaded events land strictly below `level` (the horizon
+                // now starts this slot, so their differing bits sit lower),
+                // never back in the slot being drained.
+                while let Some(ev) = self.cascade.pop_front() {
                     if !cancelled.is_empty() && cancelled.remove(&ev.seq) {
                         self.stored -= 1;
                         continue;
@@ -692,6 +706,53 @@ impl EventQueue {
         self.pop_before(SimTime::MAX)
     }
 
+    /// Pop the maximal consecutive run of events sharing the next event's
+    /// timestamp *and* event class into `batch` (cleared first), in exact
+    /// `(time, insertion-seq)` order. Returns the number popped (0 when
+    /// nothing fires by `until`).
+    ///
+    /// This is what lets the dispatch loop match on the event class once
+    /// per batch instead of once per event. Only a *consecutive prefix*
+    /// run is taken — a same-time event of another class ends the batch
+    /// and stays pending — so concatenating successive batches reproduces
+    /// the unbatched pop stream byte for byte, and the shadow oracle
+    /// (which verifies each pop individually) is none the wiser.
+    ///
+    /// Unlike [`EventQueue::peek_time`], probing for the batch's
+    /// continuation never raises the causality watermark past the batch
+    /// instant: handlers of batched events may still schedule at that
+    /// instant (the new events land after the batch in FIFO order,
+    /// exactly as they would mid-stream without batching).
+    pub fn pop_batch_before(&mut self, until: SimTime, batch: &mut Vec<Event>) -> usize {
+        batch.clear();
+        let Some(first) = self.pop_before(until) else {
+            return 0;
+        };
+        let at = first.at;
+        let class = first.kind.class();
+        batch.push(first);
+        loop {
+            if self.front.is_none() {
+                if self.live == 0 {
+                    break;
+                }
+                // Bounded pull: the backend never drains (nor, on the
+                // wheel, cascades) past `at`, which equals the watermark,
+                // so this probe cannot move either. An event pulled in
+                // but not taken simply waits in the front slot.
+                self.front = self.backend_pop_before(at);
+            }
+            match &self.front {
+                Some(f) if f.at == at && f.kind.class() == class => {
+                    let ev = self.pop_before(at).expect("front event vanished");
+                    batch.push(ev);
+                }
+                _ => break,
+            }
+        }
+        batch.len()
+    }
+
     /// The firing time of the next event, if any.
     ///
     /// Finding it may pull the next event into the front slot (and, on
@@ -898,6 +959,115 @@ mod tests {
         assert_eq!(EventQueue::new().calendar(), CalendarKind::Heap);
         set_default_calendar(CalendarKind::Wheel);
         assert_eq!(EventQueue::new().calendar(), CalendarKind::Wheel);
+    }
+
+    #[test]
+    fn batches_group_consecutive_same_time_same_class_runs() {
+        for mut q in both() {
+            let t = |n| SimTime::from_nanos(n);
+            let timer = || EventKind::Timer {
+                agent: AgentId(0),
+                token: TimerToken(0),
+            };
+            q.schedule(t(10), ctrl(0));
+            q.schedule(t(10), ctrl(1));
+            q.schedule(t(10), timer());
+            q.schedule(t(10), ctrl(2));
+            q.schedule(t(20), ctrl(3));
+            let mut batch = Vec::new();
+            // The two leading controls at t=10 batch together…
+            assert_eq!(q.pop_batch_before(SimTime::MAX, &mut batch), 2);
+            assert!(batch.iter().all(|e| e.at == t(10)));
+            assert_eq!(
+                batch.iter().map(|e| e.seq()).collect::<Vec<_>>(),
+                vec![0, 1]
+            );
+            // …the interleaved timer pops alone (it broke the class run)…
+            assert_eq!(q.pop_batch_before(SimTime::MAX, &mut batch), 1);
+            assert_eq!(batch[0].kind.class(), 2);
+            // …the trailing control does NOT rejoin the earlier run…
+            assert_eq!(q.pop_batch_before(SimTime::MAX, &mut batch), 1);
+            assert_eq!(batch[0].seq(), 3);
+            // …and the t=20 event was never dragged into a t=10 batch.
+            assert_eq!(q.pop_batch_before(SimTime::MAX, &mut batch), 1);
+            assert_eq!(batch[0].at, t(20));
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn batch_probe_keeps_scheduling_at_batch_instant_legal() {
+        for mut q in both() {
+            q.schedule(SimTime::from_nanos(10), ctrl(0));
+            q.schedule(SimTime::from_nanos(10), ctrl(1));
+            q.schedule(SimTime::from_nanos(50), ctrl(9));
+            let mut batch = Vec::new();
+            assert_eq!(q.pop_batch_before(SimTime::MAX, &mut batch), 2);
+            // A handler of a batched event scheduling at the batch instant
+            // must not hit the causality assert (peek_time would have
+            // raised the watermark to 50 here), and its event fires after
+            // the batch — identical to the unbatched order.
+            q.schedule(SimTime::from_nanos(10), ctrl(2));
+            assert_eq!(codes(&mut q), vec![2, 9]);
+        }
+    }
+
+    /// The concatenation of batched pops is byte-identical to the
+    /// unbatched pop stream, across backends, under dense churn.
+    #[test]
+    fn batched_stream_equals_unbatched_stream_under_churn() {
+        let mut wheel = EventQueue::with_calendar(CalendarKind::Wheel);
+        let mut heap = EventQueue::with_calendar(CalendarKind::Heap);
+        let mut x = 0x9e37_79b9_7f4a_7c15u64; // deterministic xorshift
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut watermark = 0u64;
+        let mut batch = Vec::new();
+        for round in 0..200 {
+            for _ in 0..(rnd() % 8) {
+                // Coarse times force same-timestamp collisions; alternate
+                // classes so batches actually split.
+                let at = watermark + (rnd() % 40) * 10;
+                let kind = if rnd() % 2 == 0 {
+                    ctrl(round)
+                } else {
+                    EventKind::Timer {
+                        agent: AgentId(0),
+                        token: TimerToken(round),
+                    }
+                };
+                let kind2 = match &kind {
+                    EventKind::Control { code } => ctrl(*code),
+                    EventKind::Timer { agent, token } => EventKind::Timer {
+                        agent: *agent,
+                        token: *token,
+                    },
+                    _ => unreachable!(),
+                };
+                wheel.schedule(SimTime::from_nanos(at), kind);
+                heap.schedule(SimTime::from_nanos(at), kind2);
+            }
+            let until = SimTime::from_nanos(watermark + rnd() % 300);
+            loop {
+                let n = wheel.pop_batch_before(until, &mut batch);
+                if n == 0 {
+                    assert!(heap.pop_before(until).is_none(), "heap had more events");
+                    break;
+                }
+                for ev in batch.drain(..) {
+                    let other = heap.pop_before(until).expect("heap ran dry");
+                    assert_eq!((ev.at, ev.seq()), (other.at, other.seq()));
+                    assert_eq!(ev.kind.class(), other.kind.class());
+                    watermark = ev.at.as_nanos();
+                }
+            }
+            watermark = watermark.max(until.as_nanos());
+        }
+        assert_eq!(wheel.len(), heap.len());
     }
 
     /// Dense churn: schedule/pop interleavings drained through `pop_before`

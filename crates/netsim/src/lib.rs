@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 #[cfg(feature = "audit")]
 pub mod audit;
 pub mod event;
@@ -51,6 +52,7 @@ pub mod telemetry;
 pub mod time;
 pub mod trace;
 
+pub use arena::{PacketArena, PacketRef};
 pub use event::{default_calendar, set_default_calendar, CalendarKind, EventId, TimerToken};
 pub use ids::{AgentId, FlowId, LinkId, NodeId};
 pub use link::Link;
@@ -60,6 +62,7 @@ pub use time::{transmission_delay, SimDuration, SimTime};
 
 /// Common imports for simulator users.
 pub mod prelude {
+    pub use crate::arena::{PacketArena, PacketRef};
     pub use crate::event::{CalendarKind, EventId, TimerToken};
     pub use crate::ids::{AgentId, FlowId, LinkId, NodeId};
     pub use crate::packet::{Ecn, Packet, Payload, SackBlock};

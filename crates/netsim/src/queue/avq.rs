@@ -21,7 +21,8 @@
 //! ```
 
 use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
-use crate::packet::{Ecn, Packet};
+use crate::arena::{PacketArena, PacketRef};
+use crate::packet::Ecn;
 #[cfg(feature = "telemetry")]
 use crate::telemetry::{self, QueueTap};
 use crate::time::SimTime;
@@ -115,7 +116,7 @@ impl AvqQueue {
 }
 
 impl QueueDiscipline for AvqQueue {
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: PacketRef, arena: &mut PacketArena, now: SimTime) -> EnqueueOutcome {
         self.stats.advance(now, self.store.len());
         if self.store.len() >= self.params.capacity_pkts {
             self.stats.dropped += 1;
@@ -144,9 +145,9 @@ impl QueueDiscipline for AvqQueue {
         let congested = self.vq + b > self.params.virtual_capacity_pkts;
         if congested {
             // Virtual overflow: signal congestion (virtual queue unchanged).
-            if self.params.ecn && pkt.ecn.is_capable() {
-                pkt.ecn = Ecn::CongestionExperienced;
-                self.store.push(pkt);
+            if self.params.ecn && arena[pkt].ecn.is_capable() {
+                arena[pkt].ecn = Ecn::CongestionExperienced;
+                self.store.push(pkt, arena);
                 self.stats.enqueued += 1;
                 self.stats.marked += 1;
                 return EnqueueOutcome::Marked;
@@ -155,14 +156,14 @@ impl QueueDiscipline for AvqQueue {
             return EnqueueOutcome::Dropped(pkt, DropReason::Early);
         }
         self.vq += b;
-        self.store.push(pkt);
+        self.store.push(pkt, arena);
         self.stats.enqueued += 1;
         EnqueueOutcome::Enqueued
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, arena: &mut PacketArena, now: SimTime) -> Option<PacketRef> {
         self.stats.advance(now, self.store.len());
-        let pkt = self.store.pop()?;
+        let pkt = self.store.pop(arena)?;
         self.stats.dequeued += 1;
         Some(pkt)
     }
@@ -208,23 +209,40 @@ mod tests {
         AvqQueue::new(AvqParams::recommended(50, 1000.0, false))
     }
 
+    fn offer(q: &mut AvqQueue, arena: &mut PacketArena, ecn: Ecn, t: SimTime) -> EnqueueOutcome {
+        let r = arena.alloc(test_packet(1000, ecn));
+        let out = q.enqueue(r, arena, t);
+        if let EnqueueOutcome::Dropped(r, _) = &out {
+            arena.take(*r);
+        }
+        out
+    }
+
+    fn drain(q: &mut AvqQueue, arena: &mut PacketArena, t: SimTime) {
+        if let Some(r) = q.dequeue(arena, t) {
+            arena.take(r);
+        }
+    }
+
     #[test]
     fn sparse_arrivals_pass_untouched() {
+        let mut arena = PacketArena::new();
         let mut q = mk();
         let mut t = SimTime::ZERO;
         for _ in 0..100 {
             t += SimDuration::from_millis(10); // exactly link rate / 10
             assert!(matches!(
-                q.enqueue(test_packet(1000, Ecn::NotCapable), t),
+                offer(&mut q, &mut arena, Ecn::NotCapable, t),
                 EnqueueOutcome::Enqueued
             ));
-            q.dequeue(t);
+            drain(&mut q, &mut arena, t);
         }
         assert_eq!(q.stats().dropped, 0);
     }
 
     #[test]
     fn overload_shrinks_virtual_capacity_and_signals() {
+        let mut arena = PacketArena::new();
         let mut q = mk();
         let mut t = SimTime::ZERO;
         let c0 = q.virtual_capacity();
@@ -233,12 +251,12 @@ mod tests {
         for _ in 0..2000 {
             t += SimDuration::from_micros(200);
             if matches!(
-                q.enqueue(test_packet(1000, Ecn::NotCapable), t),
+                offer(&mut q, &mut arena, Ecn::NotCapable, t),
                 EnqueueOutcome::Dropped(..)
             ) {
                 dropped += 1;
             }
-            q.dequeue(t);
+            drain(&mut q, &mut arena, t);
         }
         assert!(q.virtual_capacity() < c0, "C~ did not adapt down");
         assert!(dropped > 0, "no early signals under 5x overload");
@@ -246,14 +264,15 @@ mod tests {
 
     #[test]
     fn virtual_capacity_stays_clamped() {
+        let mut arena = PacketArena::new();
         let mut q = mk();
         let mut t = SimTime::ZERO;
         for i in 0..5000 {
             // Bursty on/off arrivals.
             let gap = if i % 100 < 50 { 100 } else { 5000 };
             t += SimDuration::from_micros(gap);
-            let _ = q.enqueue(test_packet(1000, Ecn::NotCapable), t);
-            let _ = q.dequeue(t);
+            let _ = offer(&mut q, &mut arena, Ecn::NotCapable, t);
+            drain(&mut q, &mut arena, t);
             assert!((0.0..=1000.0).contains(&q.virtual_capacity()));
             assert!(q.virtual_queue() >= 0.0);
         }
@@ -261,18 +280,19 @@ mod tests {
 
     #[test]
     fn ecn_marks_when_enabled() {
+        let mut arena = PacketArena::new();
         let mut q = AvqQueue::new(AvqParams::recommended(50, 1000.0, true));
         let mut t = SimTime::ZERO;
         let mut marked = 0;
         for _ in 0..2000 {
             t += SimDuration::from_micros(200); // 5x overload
             if matches!(
-                q.enqueue(test_packet(1000, Ecn::Capable), t),
+                offer(&mut q, &mut arena, Ecn::Capable, t),
                 EnqueueOutcome::Marked
             ) {
                 marked += 1;
             }
-            q.dequeue(t);
+            drain(&mut q, &mut arena, t);
         }
         assert!(marked > 0);
         assert_eq!(

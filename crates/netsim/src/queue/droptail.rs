@@ -3,7 +3,7 @@
 //! which assume unmodified routers).
 
 use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
-use crate::packet::Packet;
+use crate::arena::{PacketArena, PacketRef};
 #[cfg(feature = "telemetry")]
 use crate::telemetry::QueueTap;
 use crate::time::SimTime;
@@ -36,7 +36,7 @@ impl DropTail {
 }
 
 impl QueueDiscipline for DropTail {
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: PacketRef, arena: &mut PacketArena, now: SimTime) -> EnqueueOutcome {
         self.stats.advance(now, self.store.len());
         #[cfg(feature = "telemetry")]
         if let Some(tap) = &mut self.tap {
@@ -46,14 +46,14 @@ impl QueueDiscipline for DropTail {
             self.stats.dropped += 1;
             return EnqueueOutcome::Dropped(pkt, DropReason::Overflow);
         }
-        self.store.push(pkt);
+        self.store.push(pkt, arena);
         self.stats.enqueued += 1;
         EnqueueOutcome::Enqueued
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, arena: &mut PacketArena, now: SimTime) -> Option<PacketRef> {
         self.stats.advance(now, self.store.len());
-        let pkt = self.store.pop()?;
+        let pkt = self.store.pop(arena)?;
         self.stats.dequeued += 1;
         Some(pkt)
     }
@@ -96,18 +96,19 @@ mod tests {
 
     #[test]
     fn accepts_until_full_then_drops() {
+        let mut arena = PacketArena::new();
         let mut q = DropTail::new(2);
         let t = SimTime::ZERO;
+        for _ in 0..2 {
+            let p = arena.alloc(test_packet(100, Ecn::NotCapable));
+            assert!(matches!(
+                q.enqueue(p, &mut arena, t),
+                EnqueueOutcome::Enqueued
+            ));
+        }
+        let p = arena.alloc(test_packet(100, Ecn::NotCapable));
         assert!(matches!(
-            q.enqueue(test_packet(100, Ecn::NotCapable), t),
-            EnqueueOutcome::Enqueued
-        ));
-        assert!(matches!(
-            q.enqueue(test_packet(100, Ecn::NotCapable), t),
-            EnqueueOutcome::Enqueued
-        ));
-        assert!(matches!(
-            q.enqueue(test_packet(100, Ecn::NotCapable), t),
+            q.enqueue(p, &mut arena, t),
             EnqueueOutcome::Dropped(_, DropReason::Overflow)
         ));
         assert_eq!(q.len(), 2);
@@ -117,6 +118,7 @@ mod tests {
 
     #[test]
     fn fifo_order_preserved() {
+        let mut arena = PacketArena::new();
         let mut q = DropTail::new(10);
         for seq in 0..5u64 {
             let mut p = test_packet(100, Ecn::NotCapable);
@@ -124,22 +126,28 @@ mod tests {
                 seq,
                 retransmit: false,
             };
-            q.enqueue(p, SimTime::ZERO);
+            let r = arena.alloc(p);
+            q.enqueue(r, &mut arena, SimTime::ZERO);
         }
         for seq in 0..5u64 {
-            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().data_seq(), Some(seq));
+            let r = q.dequeue(&mut arena, SimTime::ZERO).unwrap();
+            assert_eq!(arena[r].data_seq(), Some(seq));
         }
-        assert!(q.dequeue(SimTime::ZERO).is_none());
+        assert!(q.dequeue(&mut arena, SimTime::ZERO).is_none());
     }
 
     #[test]
     fn conservation_enqueued_equals_dequeued_plus_resident() {
+        let mut arena = PacketArena::new();
         let mut q = DropTail::new(3);
         for _ in 0..10 {
-            q.enqueue(test_packet(50, Ecn::NotCapable), SimTime::ZERO);
+            let p = arena.alloc(test_packet(50, Ecn::NotCapable));
+            if let EnqueueOutcome::Dropped(r, _) = q.enqueue(p, &mut arena, SimTime::ZERO) {
+                arena.take(r);
+            }
         }
         let mut out = 0;
-        while q.dequeue(SimTime::ZERO).is_some() {
+        while q.dequeue(&mut arena, SimTime::ZERO).is_some() {
             out += 1;
         }
         assert_eq!(q.stats().enqueued, out);
@@ -148,13 +156,16 @@ mod tests {
 
     #[test]
     fn never_marks() {
+        let mut arena = PacketArena::new();
         let mut q = DropTail::new(1);
-        match q.enqueue(test_packet(100, Ecn::Capable), SimTime::ZERO) {
+        let p = arena.alloc(test_packet(100, Ecn::Capable));
+        match q.enqueue(p, &mut arena, SimTime::ZERO) {
             EnqueueOutcome::Enqueued => {}
             other => panic!("unexpected outcome {other:?}"),
         }
         assert_eq!(q.stats().marked, 0);
-        assert!(!q.dequeue(SimTime::ZERO).unwrap().ecn.is_marked());
+        let out = q.dequeue(&mut arena, SimTime::ZERO).unwrap();
+        assert!(!arena[out].ecn.is_marked());
     }
 
     #[test]

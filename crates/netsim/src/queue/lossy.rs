@@ -11,7 +11,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use super::{DropReason, EnqueueOutcome, QueueDiscipline, QueueStats};
-use crate::packet::Packet;
+use crate::arena::{PacketArena, PacketRef};
 use crate::time::{SimDuration, SimTime};
 
 /// Wraps an inner discipline with Bernoulli packet corruption.
@@ -28,12 +28,29 @@ impl RandomLoss {
     /// Wrap `inner`, dropping each arrival independently with
     /// `loss_prob`.
     ///
+    /// `loss_prob` must be a probability: any value in `[0, 1]`, finite.
+    /// `0` is transparent (no coin is even flipped), `1` destroys every
+    /// arrival — legal, and occasionally useful as a blackhole in
+    /// robustness sweeps.
+    ///
+    /// # Seed derivation
+    /// The wrapper's RNG is seeded with `seed ^ 0x1055_1055`, *not* `seed`
+    /// itself. Every stochastic component in the stack whitens the master
+    /// seed with its own component-specific constant (TCP senders use
+    /// `^ 0x7c95_e4d3`, RED `^ 0x5ca1ab1e`, PI `^ 0x9e3779b9`, REM
+    /// `^ 0x4e4d_0a11`) so that components handed the same master seed
+    /// still draw independent streams. Callers should pass the scenario's
+    /// master seed (plus any per-link salt) unmodified and let the wrapper
+    /// whiten it; pre-whitening on the caller side risks colliding with
+    /// another component's stream.
+    ///
     /// # Panics
-    /// Panics unless `0 ≤ loss_prob < 1`.
+    /// Panics unless `loss_prob` is finite and `0 ≤ loss_prob ≤ 1`
+    /// (mirroring the `--flight-window` CLI bounds checks).
     pub fn new(inner: Box<dyn QueueDiscipline>, loss_prob: f64, seed: u64) -> Self {
         assert!(
-            (0.0..1.0).contains(&loss_prob),
-            "loss probability must be in [0, 1)"
+            loss_prob.is_finite() && (0.0..=1.0).contains(&loss_prob),
+            "loss probability must be in [0, 1], got {loss_prob}"
         );
         RandomLoss {
             inner,
@@ -50,7 +67,7 @@ impl RandomLoss {
 }
 
 impl QueueDiscipline for RandomLoss {
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: PacketRef, arena: &mut PacketArena, now: SimTime) -> EnqueueOutcome {
         if self.loss_prob > 0.0 && self.rng.gen::<f64>() < self.loss_prob {
             self.corrupted += 1;
             // Advance the time-weighted accumulators exactly as the inner
@@ -62,11 +79,11 @@ impl QueueDiscipline for RandomLoss {
             stats.dropped += 1;
             return EnqueueOutcome::Dropped(pkt, DropReason::Early);
         }
-        self.inner.enqueue(pkt, now)
+        self.inner.enqueue(pkt, arena, now)
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
-        self.inner.dequeue(now)
+    fn dequeue(&mut self, arena: &mut PacketArena, now: SimTime) -> Option<PacketRef> {
+        self.inner.dequeue(arena, now)
     }
 
     fn len(&self) -> usize {
@@ -114,12 +131,28 @@ mod tests {
     use super::*;
     use crate::packet::Ecn;
 
+    fn offer(q: &mut RandomLoss, arena: &mut PacketArena) -> EnqueueOutcome {
+        let p = arena.alloc(test_packet(100, Ecn::NotCapable));
+        let out = q.enqueue(p, arena, SimTime::ZERO);
+        if let EnqueueOutcome::Dropped(r, _) = &out {
+            arena.take(*r);
+        }
+        out
+    }
+
+    fn drain(q: &mut RandomLoss, arena: &mut PacketArena) {
+        if let Some(r) = q.dequeue(arena, SimTime::ZERO) {
+            arena.take(r);
+        }
+    }
+
     #[test]
     fn zero_probability_is_transparent() {
+        let mut arena = PacketArena::new();
         let mut q = RandomLoss::new(Box::new(DropTail::new(10)), 0.0, 1);
         for _ in 0..10 {
             assert!(matches!(
-                q.enqueue(test_packet(100, Ecn::NotCapable), SimTime::ZERO),
+                offer(&mut q, &mut arena),
                 EnqueueOutcome::Enqueued
             ));
         }
@@ -129,11 +162,12 @@ mod tests {
 
     #[test]
     fn loss_rate_matches_configuration() {
+        let mut arena = PacketArena::new();
         let mut q = RandomLoss::new(Box::new(DropTail::new(100_000)), 0.1, 2);
         let n = 50_000;
         for _ in 0..n {
-            let _ = q.enqueue(test_packet(100, Ecn::NotCapable), SimTime::ZERO);
-            let _ = q.dequeue(SimTime::ZERO);
+            let _ = offer(&mut q, &mut arena);
+            drain(&mut q, &mut arena);
         }
         let rate = q.corrupted as f64 / n as f64;
         assert!((rate - 0.1).abs() < 0.01, "corruption rate {rate}");
@@ -141,10 +175,11 @@ mod tests {
 
     #[test]
     fn corrupted_packets_count_as_drops() {
+        let mut arena = PacketArena::new();
         let mut q = RandomLoss::new(Box::new(DropTail::new(10)), 0.5, 3);
         for _ in 0..100 {
-            let _ = q.enqueue(test_packet(100, Ecn::NotCapable), SimTime::ZERO);
-            let _ = q.dequeue(SimTime::ZERO);
+            let _ = offer(&mut q, &mut arena);
+            drain(&mut q, &mut arena);
         }
         assert_eq!(q.stats().dropped, q.corrupted);
         assert!(q.corrupted > 20);
@@ -153,14 +188,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed| {
+            let mut arena = PacketArena::new();
             let mut q = RandomLoss::new(Box::new(DropTail::new(10)), 0.3, seed);
             (0..100)
-                .map(|_| {
-                    matches!(
-                        q.enqueue(test_packet(100, Ecn::NotCapable), SimTime::ZERO),
-                        EnqueueOutcome::Dropped(..)
-                    )
-                })
+                .map(|_| matches!(offer(&mut q, &mut arena), EnqueueOutcome::Dropped(..)))
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
@@ -168,8 +199,35 @@ mod tests {
     }
 
     #[test]
+    fn certain_loss_is_a_blackhole() {
+        let mut arena = PacketArena::new();
+        let mut q = RandomLoss::new(Box::new(DropTail::new(10)), 1.0, 4);
+        for _ in 0..50 {
+            assert!(matches!(
+                offer(&mut q, &mut arena),
+                EnqueueOutcome::Dropped(_, DropReason::Early)
+            ));
+        }
+        assert_eq!(q.corrupted, 50);
+        assert_eq!(q.len(), 0);
+        assert!(arena.is_empty(), "dropped refs must be freed");
+    }
+
+    #[test]
     #[should_panic(expected = "loss probability")]
-    fn rejects_certain_loss() {
-        let _ = RandomLoss::new(Box::new(DropTail::new(1)), 1.0, 0);
+    fn rejects_probability_above_one() {
+        let _ = RandomLoss::new(Box::new(DropTail::new(1)), 1.0 + 1e-9, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn rejects_negative_probability() {
+        let _ = RandomLoss::new(Box::new(DropTail::new(1)), -0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn rejects_nan_probability() {
+        let _ = RandomLoss::new(Box::new(DropTail::new(1)), f64::NAN, 0);
     }
 }

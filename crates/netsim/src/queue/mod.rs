@@ -31,7 +31,7 @@ pub use pi::{PiParams, PiQueue};
 pub use red::{AdaptiveRedParams, RedParams, RedQueue};
 pub use rem::{RemParams, RemQueue};
 
-use crate::packet::Packet;
+use crate::arena::{PacketArena, PacketRef};
 use crate::time::{SimDuration, SimTime};
 
 /// Why a queue dropped a packet.
@@ -51,8 +51,9 @@ pub enum EnqueueOutcome {
     Enqueued,
     /// Stored with the ECN CE codepoint applied by the AQM.
     Marked,
-    /// Rejected; the packet is handed back for loss tracing.
-    Dropped(Packet, DropReason),
+    /// Rejected; the ref is handed back for loss tracing, and the caller
+    /// owns freeing it from the arena.
+    Dropped(PacketRef, DropReason),
 }
 
 /// Time-weighted occupancy and event counters shared by all disciplines.
@@ -135,12 +136,16 @@ impl QueueStats {
 }
 
 /// A buffer-management discipline attached to a link.
+///
+/// Packets live in the simulator's [`PacketArena`]; queues store and move
+/// eight-byte [`PacketRef`] handles and read packet fields (size, ECN)
+/// through the arena passed into each call.
 pub trait QueueDiscipline: Send {
-    /// Offer `pkt` to the queue at time `now`.
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome;
+    /// Offer the packet behind `pkt` to the queue at time `now`.
+    fn enqueue(&mut self, pkt: PacketRef, arena: &mut PacketArena, now: SimTime) -> EnqueueOutcome;
 
     /// Remove the next packet to transmit, if any.
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+    fn dequeue(&mut self, arena: &mut PacketArena, now: SimTime) -> Option<PacketRef>;
 
     /// Instantaneous occupancy in packets.
     fn len(&self) -> usize;
@@ -185,22 +190,23 @@ pub trait QueueDiscipline: Send {
     fn attach_tap(&mut self, _key: u64) {}
 }
 
-/// Shared plain-FIFO storage used by the concrete disciplines.
+/// Shared plain-FIFO storage used by the concrete disciplines. Holds
+/// arena refs; byte accounting reads sizes through the arena at push time.
 #[derive(Debug, Default)]
 pub(crate) struct FifoStore {
-    buf: std::collections::VecDeque<Packet>,
+    buf: std::collections::VecDeque<PacketRef>,
     bytes: u64,
 }
 
 impl FifoStore {
-    pub(crate) fn push(&mut self, pkt: Packet) {
-        self.bytes += u64::from(pkt.size_bytes);
+    pub(crate) fn push(&mut self, pkt: PacketRef, arena: &PacketArena) {
+        self.bytes += u64::from(arena[pkt].size_bytes);
         self.buf.push_back(pkt);
     }
 
-    pub(crate) fn pop(&mut self) -> Option<Packet> {
+    pub(crate) fn pop(&mut self, arena: &PacketArena) -> Option<PacketRef> {
         let pkt = self.buf.pop_front()?;
-        self.bytes -= u64::from(pkt.size_bytes);
+        self.bytes -= u64::from(arena[pkt].size_bytes);
         Some(pkt)
     }
 
@@ -217,7 +223,7 @@ impl FifoStore {
 mod tests {
     use super::*;
     use crate::ids::{AgentId, FlowId, NodeId};
-    use crate::packet::{Ecn, Payload};
+    use crate::packet::{Ecn, Packet, Payload};
 
     pub(crate) fn test_packet(size: u32, ecn: Ecn) -> Packet {
         Packet {
@@ -274,12 +280,16 @@ mod tests {
 
     #[test]
     fn fifo_store_tracks_bytes() {
+        let mut arena = PacketArena::new();
         let mut f = FifoStore::default();
-        f.push(test_packet(100, Ecn::NotCapable));
-        f.push(test_packet(250, Ecn::NotCapable));
+        let a = arena.alloc(test_packet(100, Ecn::NotCapable));
+        let b = arena.alloc(test_packet(250, Ecn::NotCapable));
+        f.push(a, &arena);
+        f.push(b, &arena);
         assert_eq!(f.len(), 2);
         assert_eq!(f.bytes(), 350);
-        assert_eq!(f.pop().unwrap().size_bytes, 100);
+        let first = f.pop(&arena).unwrap();
+        assert_eq!(arena[first].size_bytes, 100);
         assert_eq!(f.bytes(), 250);
     }
 }

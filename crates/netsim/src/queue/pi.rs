@@ -23,9 +23,10 @@ use rand::{Rng, SeedableRng};
 use pert_core::reference::PiReference;
 
 use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
+use crate::arena::{PacketArena, PacketRef};
 #[cfg(feature = "audit")]
 use crate::audit;
-use crate::packet::{Ecn, Packet};
+use crate::packet::Ecn;
 #[cfg(feature = "telemetry")]
 use crate::telemetry::{self, QueueTap};
 use crate::time::{SimDuration, SimTime};
@@ -176,7 +177,7 @@ impl PiQueue {
 }
 
 impl QueueDiscipline for PiQueue {
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: PacketRef, arena: &mut PacketArena, now: SimTime) -> EnqueueOutcome {
         self.stats.advance(now, self.store.len());
         #[cfg(feature = "telemetry")]
         if let Some(tap) = &mut self.tap {
@@ -187,9 +188,9 @@ impl QueueDiscipline for PiQueue {
             return EnqueueOutcome::Dropped(pkt, DropReason::Overflow);
         }
         if self.p > 0.0 && self.rng.gen::<f64>() < self.p {
-            if self.params.ecn && pkt.ecn.is_capable() {
-                pkt.ecn = Ecn::CongestionExperienced;
-                self.store.push(pkt);
+            if self.params.ecn && arena[pkt].ecn.is_capable() {
+                arena[pkt].ecn = Ecn::CongestionExperienced;
+                self.store.push(pkt, arena);
                 self.stats.enqueued += 1;
                 self.stats.marked += 1;
                 return EnqueueOutcome::Marked;
@@ -197,14 +198,14 @@ impl QueueDiscipline for PiQueue {
             self.stats.dropped += 1;
             return EnqueueOutcome::Dropped(pkt, DropReason::Early);
         }
-        self.store.push(pkt);
+        self.store.push(pkt, arena);
         self.stats.enqueued += 1;
         EnqueueOutcome::Enqueued
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, arena: &mut PacketArena, now: SimTime) -> Option<PacketRef> {
         self.stats.advance(now, self.store.len());
-        let pkt = self.store.pop()?;
+        let pkt = self.store.pop(arena)?;
         self.stats.dequeued += 1;
         Some(pkt)
     }
@@ -280,11 +281,21 @@ mod tests {
         PiQueue::new(PiParams::hollot_example(500, q_ref, false, 3))
     }
 
+    fn offer(q: &mut PiQueue, arena: &mut PacketArena, ecn: Ecn) -> EnqueueOutcome {
+        let r = arena.alloc(test_packet(1000, ecn));
+        let out = q.enqueue(r, arena, SimTime::ZERO);
+        if let EnqueueOutcome::Dropped(r, _) = &out {
+            arena.take(*r);
+        }
+        out
+    }
+
     #[test]
     fn probability_rises_when_queue_above_setpoint() {
+        let mut arena = PacketArena::new();
         let mut q = mk(10.0);
         for _ in 0..50 {
-            q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO);
+            offer(&mut q, &mut arena, Ecn::NotCapable);
         }
         let before = q.probability();
         for _ in 0..100 {
@@ -295,10 +306,11 @@ mod tests {
 
     #[test]
     fn probability_falls_back_when_queue_below_setpoint() {
+        let mut arena = PacketArena::new();
         let mut q = mk(10.0);
         // Drive p up with a standing queue…
         for _ in 0..50 {
-            q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO);
+            offer(&mut q, &mut arena, Ecn::NotCapable);
         }
         for _ in 0..200 {
             q.on_tick(SimTime::ZERO);
@@ -306,7 +318,9 @@ mod tests {
         let high = q.probability();
         assert!(high > 0.0);
         // …then drain and let the integrator unwind.
-        while q.dequeue(SimTime::ZERO).is_some() {}
+        while let Some(r) = q.dequeue(&mut arena, SimTime::ZERO) {
+            arena.take(r);
+        }
         for _ in 0..400 {
             q.on_tick(SimTime::ZERO);
         }
@@ -315,9 +329,10 @@ mod tests {
 
     #[test]
     fn probability_clamped_to_unit_interval() {
+        let mut arena = PacketArena::new();
         let mut q = mk(0.0);
         for _ in 0..500 {
-            q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO);
+            offer(&mut q, &mut arena, Ecn::NotCapable);
         }
         for _ in 0..1_000_000 {
             q.on_tick(SimTime::ZERO);
@@ -330,12 +345,13 @@ mod tests {
 
     #[test]
     fn ecn_marks_when_enabled() {
+        let mut arena = PacketArena::new();
         let mut params = PiParams::hollot_example(500, 0.0, true, 3);
         params.a = 0.5;
         params.b = 0.25;
         let mut q = PiQueue::new(params);
         for _ in 0..20 {
-            q.enqueue(test_packet(1000, Ecn::Capable), SimTime::ZERO);
+            offer(&mut q, &mut arena, Ecn::Capable);
         }
         for _ in 0..10 {
             q.on_tick(SimTime::ZERO);
@@ -343,9 +359,7 @@ mod tests {
         assert!(q.probability() > 0.5);
         let mut marked = 0;
         for _ in 0..50 {
-            if let EnqueueOutcome::Marked =
-                q.enqueue(test_packet(1000, Ecn::Capable), SimTime::ZERO)
-            {
+            if let EnqueueOutcome::Marked = offer(&mut q, &mut arena, Ecn::Capable) {
                 marked += 1;
             }
         }
@@ -359,9 +373,10 @@ mod tests {
         let p = PiParams::design(500, 50.0, 1250.0, 5.0, 0.2, 170.0, true, 1);
         assert!(p.a > p.b && p.b > 0.0);
         // Sanity: controller must converge, not blow up, on the hollot test.
+        let mut arena = PacketArena::new();
         let mut q = PiQueue::new(p);
         for _ in 0..100 {
-            q.enqueue(test_packet(1000, Ecn::Capable), SimTime::ZERO);
+            offer(&mut q, &mut arena, Ecn::Capable);
         }
         for _ in 0..10_000 {
             q.on_tick(SimTime::ZERO);
@@ -371,11 +386,12 @@ mod tests {
 
     #[test]
     fn full_buffer_overflows() {
+        let mut arena = PacketArena::new();
         let mut q = PiQueue::new(PiParams::hollot_example(2, 10.0, false, 3));
-        q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO);
-        q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO);
+        offer(&mut q, &mut arena, Ecn::NotCapable);
+        offer(&mut q, &mut arena, Ecn::NotCapable);
         assert!(matches!(
-            q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO),
+            offer(&mut q, &mut arena, Ecn::NotCapable),
             EnqueueOutcome::Dropped(_, DropReason::Overflow)
         ));
     }

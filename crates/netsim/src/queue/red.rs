@@ -24,9 +24,10 @@ use rand::{Rng, SeedableRng};
 use pert_core::reference::RedReference;
 
 use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
+use crate::arena::{PacketArena, PacketRef};
 #[cfg(feature = "audit")]
 use crate::audit;
-use crate::packet::{Ecn, Packet};
+use crate::packet::Ecn;
 #[cfg(feature = "telemetry")]
 use crate::telemetry::{self, QueueTap};
 use crate::time::{SimDuration, SimTime};
@@ -285,7 +286,7 @@ impl RedQueue {
 }
 
 impl QueueDiscipline for RedQueue {
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: PacketRef, arena: &mut PacketArena, now: SimTime) -> EnqueueOutcome {
         self.stats.advance(now, self.store.len());
         self.update_avg(now);
         #[cfg(feature = "audit")]
@@ -329,9 +330,9 @@ impl QueueDiscipline for RedQueue {
         };
 
         match verdict {
-            Some(DropReason::Early) if self.params.ecn && pkt.ecn.is_capable() => {
-                pkt.ecn = Ecn::CongestionExperienced;
-                self.store.push(pkt);
+            Some(DropReason::Early) if self.params.ecn && arena[pkt].ecn.is_capable() => {
+                arena[pkt].ecn = Ecn::CongestionExperienced;
+                self.store.push(pkt, arena);
                 self.stats.enqueued += 1;
                 self.stats.marked += 1;
                 EnqueueOutcome::Marked
@@ -353,16 +354,16 @@ impl QueueDiscipline for RedQueue {
                 EnqueueOutcome::Dropped(pkt, reason)
             }
             None => {
-                self.store.push(pkt);
+                self.store.push(pkt, arena);
                 self.stats.enqueued += 1;
                 EnqueueOutcome::Enqueued
             }
         }
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, arena: &mut PacketArena, now: SimTime) -> Option<PacketRef> {
         self.stats.advance(now, self.store.len());
-        let pkt = self.store.pop()?;
+        let pkt = self.store.pop(arena)?;
         self.stats.dequeued += 1;
         if self.store.len() == 0 {
             self.idle_since = Some(now);
@@ -424,6 +425,18 @@ impl QueueDiscipline for RedQueue {
 mod tests {
     use super::super::tests::test_packet;
     use super::*;
+    use crate::packet::Packet;
+
+    /// Intern `pkt`, offer it, and free the ref again on a drop so the
+    /// test arena only retains resident packets.
+    fn offer(q: &mut RedQueue, arena: &mut PacketArena, pkt: Packet, t: SimTime) -> EnqueueOutcome {
+        let r = arena.alloc(pkt);
+        let out = q.enqueue(r, arena, t);
+        if let EnqueueOutcome::Dropped(r, _) = &out {
+            arena.take(*r);
+        }
+        out
+    }
 
     fn params(capacity: usize) -> RedParams {
         RedParams {
@@ -441,9 +454,15 @@ mod tests {
 
     #[test]
     fn below_min_th_never_drops() {
+        let mut arena = PacketArena::new();
         let mut q = RedQueue::new(params(100));
         for _ in 0..4 {
-            match q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO) {
+            match offer(
+                &mut q,
+                &mut arena,
+                test_packet(1000, Ecn::NotCapable),
+                SimTime::ZERO,
+            ) {
                 EnqueueOutcome::Enqueued => {}
                 other => panic!("unexpected {other:?}"),
             }
@@ -453,11 +472,22 @@ mod tests {
 
     #[test]
     fn full_buffer_tail_drops() {
+        let mut arena = PacketArena::new();
         let mut q = RedQueue::new(params(3));
         for _ in 0..3 {
-            q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO);
+            offer(
+                &mut q,
+                &mut arena,
+                test_packet(1000, Ecn::NotCapable),
+                SimTime::ZERO,
+            );
         }
-        match q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO) {
+        match offer(
+            &mut q,
+            &mut arena,
+            test_packet(1000, Ecn::NotCapable),
+            SimTime::ZERO,
+        ) {
             EnqueueOutcome::Dropped(_, DropReason::Overflow) => {}
             other => panic!("unexpected {other:?}"),
         }
@@ -500,6 +530,7 @@ mod tests {
         let mut p = params(1000);
         p.ecn = true;
         p.max_p = 1.0;
+        let mut arena = PacketArena::new();
         let mut q = RedQueue::new(p);
         q.detach_oracle(); // the test pokes `avg` directly below
         q.avg = 14.9; // deep in the probabilistic region
@@ -508,7 +539,12 @@ mod tests {
         let mut marked = 0;
         for _ in 0..50 {
             q.avg = 14.9;
-            match q.enqueue(test_packet(1000, Ecn::Capable), SimTime::ZERO) {
+            match offer(
+                &mut q,
+                &mut arena,
+                test_packet(1000, Ecn::Capable),
+                SimTime::ZERO,
+            ) {
                 EnqueueOutcome::Marked => marked += 1,
                 EnqueueOutcome::Enqueued => {}
                 EnqueueOutcome::Dropped(_, r) => panic!("ECT dropped early: {r:?}"),
@@ -523,14 +559,18 @@ mod tests {
         let mut p = params(1000);
         p.ecn = true;
         p.max_p = 1.0;
+        let mut arena = PacketArena::new();
         let mut q = RedQueue::new(p);
         q.detach_oracle(); // the test pokes `avg` directly below
         let mut dropped = 0;
         for _ in 0..50 {
             q.avg = 14.9;
-            if let EnqueueOutcome::Dropped(_, DropReason::Early) =
-                q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO)
-            {
+            if let EnqueueOutcome::Dropped(_, DropReason::Early) = offer(
+                &mut q,
+                &mut arena,
+                test_packet(1000, Ecn::NotCapable),
+                SimTime::ZERO,
+            ) {
                 dropped += 1;
             }
         }
@@ -540,16 +580,26 @@ mod tests {
 
     #[test]
     fn idle_time_decays_average() {
+        let mut arena = PacketArena::new();
         let mut q = RedQueue::new(params(100));
         // Build up some average.
         for _ in 0..50 {
-            q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO);
+            offer(
+                &mut q,
+                &mut arena,
+                test_packet(1000, Ecn::NotCapable),
+                SimTime::ZERO,
+            );
         }
-        while q.dequeue(SimTime::ZERO).is_some() {}
+        while let Some(r) = q.dequeue(&mut arena, SimTime::ZERO) {
+            arena.take(r);
+        }
         let avg_before = q.avg_queue();
         assert!(avg_before > 0.0);
         // Arrive after a long idle period: the average must have decayed.
-        q.enqueue(
+        offer(
+            &mut q,
+            &mut arena,
             test_packet(1000, Ecn::NotCapable),
             SimTime::from_secs_f64(1.0),
         );
@@ -561,10 +611,13 @@ mod tests {
         // Regression: an early drop at an empty queue used to consume
         // `idle_since` (taken by `update_avg`) without restoring it, so the
         // idle period silently ended and the average never decayed.
+        let mut arena = PacketArena::new();
         let mut q = RedQueue::new(params(100));
         q.detach_oracle(); // the test pokes `avg` directly below
         q.avg = 100.0; // way beyond 2*max_th: forced drop, queue stays empty
-        match q.enqueue(
+        match offer(
+            &mut q,
+            &mut arena,
             test_packet(1000, Ecn::NotCapable),
             SimTime::from_nanos(1_000_000),
         ) {
@@ -575,7 +628,9 @@ mod tests {
         // A full second of idle time (10_000 mean packet times at w_q=0.002)
         // must collapse the average back below min_th, so the next arrival
         // is accepted rather than dropped by the stale average.
-        match q.enqueue(
+        match offer(
+            &mut q,
+            &mut arena,
             test_packet(1000, Ecn::NotCapable),
             SimTime::from_secs_f64(1.0),
         ) {
@@ -627,6 +682,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = || {
+            let mut arena = PacketArena::new();
             let mut q = RedQueue::new(params(50));
             q.detach_oracle(); // the test pokes `avg` directly below
             let mut outcomes = Vec::new();
@@ -634,7 +690,7 @@ mod tests {
                 q.avg = 10.0; // stay in probabilistic region
                 let t = SimTime::from_nanos(i);
                 outcomes.push(matches!(
-                    q.enqueue(test_packet(1000, Ecn::NotCapable), t),
+                    offer(&mut q, &mut arena, test_packet(1000, Ecn::NotCapable), t),
                     EnqueueOutcome::Dropped(..)
                 ));
             }

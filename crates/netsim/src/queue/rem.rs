@@ -22,9 +22,10 @@ use rand::{Rng, SeedableRng};
 use pert_core::reference::RemReference;
 
 use super::{DropReason, EnqueueOutcome, FifoStore, QueueDiscipline, QueueStats};
+use crate::arena::{PacketArena, PacketRef};
 #[cfg(feature = "audit")]
 use crate::audit;
-use crate::packet::{Ecn, Packet};
+use crate::packet::Ecn;
 #[cfg(feature = "telemetry")]
 use crate::telemetry::{self, QueueTap};
 use crate::time::{SimDuration, SimTime};
@@ -128,7 +129,7 @@ impl RemQueue {
 }
 
 impl QueueDiscipline for RemQueue {
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: PacketRef, arena: &mut PacketArena, now: SimTime) -> EnqueueOutcome {
         self.stats.advance(now, self.store.len());
         #[cfg(feature = "telemetry")]
         if let Some(tap) = &mut self.tap {
@@ -140,9 +141,9 @@ impl QueueDiscipline for RemQueue {
         }
         let p = self.probability();
         if p > 0.0 && self.rng.gen::<f64>() < p {
-            if self.params.ecn && pkt.ecn.is_capable() {
-                pkt.ecn = Ecn::CongestionExperienced;
-                self.store.push(pkt);
+            if self.params.ecn && arena[pkt].ecn.is_capable() {
+                arena[pkt].ecn = Ecn::CongestionExperienced;
+                self.store.push(pkt, arena);
                 self.stats.enqueued += 1;
                 self.stats.marked += 1;
                 return EnqueueOutcome::Marked;
@@ -150,14 +151,14 @@ impl QueueDiscipline for RemQueue {
             self.stats.dropped += 1;
             return EnqueueOutcome::Dropped(pkt, DropReason::Early);
         }
-        self.store.push(pkt);
+        self.store.push(pkt, arena);
         self.stats.enqueued += 1;
         EnqueueOutcome::Enqueued
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, arena: &mut PacketArena, now: SimTime) -> Option<PacketRef> {
         self.stats.advance(now, self.store.len());
-        let pkt = self.store.pop()?;
+        let pkt = self.store.pop(arena)?;
         self.stats.dequeued += 1;
         Some(pkt)
     }
@@ -232,6 +233,15 @@ mod tests {
     use super::super::tests::test_packet;
     use super::*;
 
+    fn offer(q: &mut RemQueue, arena: &mut PacketArena, ecn: Ecn) -> EnqueueOutcome {
+        let r = arena.alloc(test_packet(1000, ecn));
+        let out = q.enqueue(r, arena, SimTime::ZERO);
+        if let EnqueueOutcome::Dropped(r, _) = &out {
+            arena.take(*r);
+        }
+        out
+    }
+
     fn params() -> RemParams {
         RemParams {
             capacity_pkts: 100,
@@ -247,9 +257,10 @@ mod tests {
 
     #[test]
     fn price_rises_with_standing_backlog() {
+        let mut arena = PacketArena::new();
         let mut q = RemQueue::new(params());
         for _ in 0..50 {
-            q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO);
+            offer(&mut q, &mut arena, Ecn::NotCapable);
         }
         for _ in 0..200 {
             q.on_tick(SimTime::ZERO);
@@ -260,15 +271,18 @@ mod tests {
 
     #[test]
     fn price_unwinds_when_drained() {
+        let mut arena = PacketArena::new();
         let mut q = RemQueue::new(params());
         for _ in 0..50 {
-            q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO);
+            offer(&mut q, &mut arena, Ecn::NotCapable);
         }
         for _ in 0..200 {
             q.on_tick(SimTime::ZERO);
         }
         let high = q.price();
-        while q.dequeue(SimTime::ZERO).is_some() {}
+        while let Some(r) = q.dequeue(&mut arena, SimTime::ZERO) {
+            arena.take(r);
+        }
         for _ in 0..2000 {
             q.on_tick(SimTime::ZERO);
         }
@@ -296,11 +310,12 @@ mod tests {
     fn marks_ect_instead_of_dropping() {
         let mut p = params();
         p.ecn = true;
+        let mut arena = PacketArena::new();
         let mut q = RemQueue::new(p);
         q.price = 50.0; // probability ≈ 1
         let mut marked = 0;
         for _ in 0..20 {
-            match q.enqueue(test_packet(1000, Ecn::Capable), SimTime::ZERO) {
+            match offer(&mut q, &mut arena, Ecn::Capable) {
                 EnqueueOutcome::Marked => marked += 1,
                 EnqueueOutcome::Enqueued => {}
                 EnqueueOutcome::Dropped(..) => panic!("ECT dropped"),
@@ -311,14 +326,15 @@ mod tests {
 
     #[test]
     fn overflow_always_drops() {
+        let mut arena = PacketArena::new();
         let mut q = RemQueue::new(RemParams {
             capacity_pkts: 2,
             ..params()
         });
-        q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO);
-        q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO);
+        offer(&mut q, &mut arena, Ecn::NotCapable);
+        offer(&mut q, &mut arena, Ecn::NotCapable);
         assert!(matches!(
-            q.enqueue(test_packet(1000, Ecn::NotCapable), SimTime::ZERO),
+            offer(&mut q, &mut arena, Ecn::NotCapable),
             EnqueueOutcome::Dropped(_, DropReason::Overflow)
         ));
     }

@@ -21,9 +21,10 @@ use std::any::Any;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::arena::{PacketArena, PacketRef};
 #[cfg(feature = "audit")]
 use crate::audit::{AuditCtx, AuditHook, ConservationAuditor, EnqueueKind, QueueOp};
-use crate::event::{EventId, EventKind, EventQueue, TimerToken};
+use crate::event::{Event, EventId, EventKind, EventQueue, TimerToken};
 use crate::ids::{AgentId, LinkId, NodeId};
 use crate::link::Link;
 use crate::node::{compute_routes, Node};
@@ -80,6 +81,15 @@ impl Ctx<'_> {
     pub fn send(&mut self, mut pkt: Packet) {
         pkt.sent_at = self.sim.now;
         self.sim.route_packet(self.node, pkt);
+    }
+
+    /// Transmit `pkt` from an explicit `node` rather than this agent's own.
+    /// Shared agents (e.g. a flow slab hosting many endpoints on different
+    /// nodes) use this; for ordinary agents it is identical to [`Ctx::send`]
+    /// with `node == self.node`.
+    pub fn send_from(&mut self, node: NodeId, mut pkt: Packet) {
+        pkt.sent_at = self.sim.now;
+        self.sim.route_packet(node, pkt);
     }
 
     /// Arm a timer that calls [`Agent::on_timer`] after `delay` with
@@ -150,14 +160,43 @@ struct UtilWindow {
 }
 
 /// Wall-clock cost of one link's queue discipline (telemetry only).
+///
+/// Op counts are exact; wall-clock is *sampled* — every
+/// [`TEL_SAMPLE`]-th call is timed and the total is estimated at flush as
+/// `ns * ops / timed`. Two clock reads per op would otherwise dominate
+/// the attached-telemetry overhead at millions of events per second.
 #[cfg(feature = "telemetry")]
 #[derive(Clone, Copy, Debug, Default)]
 struct QueueOpCost {
-    /// Enqueue + dequeue calls made.
+    /// Enqueue + dequeue calls made (exact).
     ops: u64,
-    /// Wall-clock nanoseconds spent inside those calls.
+    /// Calls that were wall-clock timed (every `TEL_SAMPLE`-th).
+    timed: u64,
+    /// Wall-clock nanoseconds spent inside the timed calls.
     ns: u64,
 }
+
+#[cfg(feature = "telemetry")]
+impl QueueOpCost {
+    /// Estimated total nanoseconds across all ops, scaled up from the
+    /// timed sample (sampling is 1-in-`TEL_SAMPLE`, so the first op is
+    /// always timed: `timed == 0` implies `ops == 0`).
+    fn estimated_ns(&self) -> u64 {
+        if self.timed == 0 {
+            0
+        } else {
+            (self.ns as u128 * self.ops as u128 / self.timed as u128) as u64
+        }
+    }
+}
+
+/// Cost-attribution timing sample rate: 1 in this many queue ops /
+/// dispatch batches gets the two `Instant::now` reads (power of two, so
+/// the selector is a mask). Counts stay exact either way; only the
+/// wall-clock spans are estimates, and they are profiling output exempt
+/// from the determinism contract.
+#[cfg(feature = "telemetry")]
+const TEL_SAMPLE: u64 = 16;
 
 /// Cheap always-on per-simulation counters (plain integer increments on
 /// paths that already mutate state — they never affect event order or
@@ -184,6 +223,10 @@ pub struct SimCounters {
 pub struct Simulator {
     now: SimTime,
     events: EventQueue,
+    /// In-flight packets, interned once at first enqueue and addressed by
+    /// [`PacketRef`] everywhere downstream (queues, Arrival events). Slot
+    /// assignment is a pure function of the deterministic event stream.
+    arena: PacketArena,
     nodes: Vec<Node>,
     links: Vec<Link>,
     link_endpoints: Vec<(NodeId, NodeId)>,
@@ -208,9 +251,19 @@ pub struct Simulator {
     tel_on: bool,
     /// Wall-clock nanoseconds spent handling events, by class
     /// (accumulated only when `tel_on`; profiling, exempt from the
-    /// determinism contract).
+    /// determinism contract). Sampled: every [`TEL_SAMPLE`]-th dispatch
+    /// batch of a class is timed, and the flush scales by the fraction of
+    /// the class's events that fell in timed batches.
     #[cfg(feature = "telemetry")]
     ev_ns: [u64; EventKind::CLASSES],
+    /// Dispatch batches seen per class (the sampling selector).
+    #[cfg(feature = "telemetry")]
+    ev_batches: [u64; EventKind::CLASSES],
+    /// Events that fell inside *timed* batches, per class (the scaling
+    /// denominator — event-weighted so variable batch sizes don't skew
+    /// the estimate).
+    #[cfg(feature = "telemetry")]
+    ev_timed: [u64; EventKind::CLASSES],
     /// Per-link wall-clock cost of queue enqueue/dequeue calls
     /// (`tel_on` only), aggregated by discipline name at drop.
     #[cfg(feature = "telemetry")]
@@ -231,6 +284,7 @@ impl Simulator {
         Simulator {
             now: SimTime::ZERO,
             events: EventQueue::new(),
+            arena: PacketArena::new(),
             nodes: Vec::new(),
             links: Vec::new(),
             link_endpoints: Vec::new(),
@@ -254,6 +308,10 @@ impl Simulator {
             tel_on: crate::telemetry::enabled(),
             #[cfg(feature = "telemetry")]
             ev_ns: [0; EventKind::CLASSES],
+            #[cfg(feature = "telemetry")]
+            ev_batches: [0; EventKind::CLASSES],
+            #[cfg(feature = "telemetry")]
+            ev_timed: [0; EventKind::CLASSES],
             #[cfg(feature = "telemetry")]
             queue_op: Vec::new(),
             #[cfg(feature = "telemetry")]
@@ -451,6 +509,20 @@ impl Simulator {
         id
     }
 
+    /// Install `agent` in a previously allocated slot **without** binding
+    /// it to a node. A shared agent hosts many logical endpoints (one per
+    /// flow) that may live on different nodes: packets address it through
+    /// `dst_agent` as usual and [`Ctx::node`] reports the arrival node;
+    /// timers fired on it see the [`NodeId`] sentinel `usize::MAX` and must
+    /// send via [`Ctx::send_from`].
+    pub fn install_shared_agent(&mut self, id: AgentId, agent: Box<dyn Agent>) {
+        assert!(
+            self.agents[id.index()].is_none(),
+            "agent slot {id} already installed"
+        );
+        self.agents[id.index()] = Some(agent);
+    }
+
     /// Arm a timer for `agent` at absolute time `at` (typically used to
     /// start flows at staggered times). Returns a handle accepted by
     /// [`Simulator::cancel_timer`].
@@ -495,6 +567,37 @@ impl Simulator {
             .as_any_mut()
             .downcast_mut::<T>()
             .unwrap_or_else(|| panic!("agent {id} has unexpected type"))
+    }
+
+    /// Borrow an installed agent immutably if (and only if) its concrete
+    /// type is `T`. Returns `None` for missing slots and type mismatches,
+    /// letting callers probe which implementation backs an [`AgentId`].
+    pub fn try_agent<T: 'static>(&self, id: AgentId) -> Option<&T> {
+        self.agents[id.index()]
+            .as_deref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Find the first installed agent of concrete type `T` (shared agents
+    /// such as flow slabs are singletons, so "first" is unambiguous).
+    pub fn find_agent_by<T: 'static>(&self) -> Option<(AgentId, &T)> {
+        self.agents.iter().enumerate().find_map(|(i, a)| {
+            a.as_deref()?
+                .as_any()
+                .downcast_ref::<T>()
+                .map(|t| (AgentId(i), t))
+        })
+    }
+
+    /// Mutable counterpart of [`Simulator::find_agent_by`].
+    pub fn find_agent_by_mut<T: 'static>(&mut self) -> Option<(AgentId, &mut T)> {
+        self.agents.iter_mut().enumerate().find_map(|(i, a)| {
+            a.as_deref_mut()?
+                .as_any_mut()
+                .downcast_mut::<T>()
+                .map(|t| (AgentId(i), t))
+        })
     }
 
     // ------------------------------------------------------------------
@@ -592,7 +695,8 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     /// Route `pkt` out of `node`: deliver locally if it has arrived, else
-    /// enqueue on the next-hop link.
+    /// intern it in the arena and enqueue on the next-hop link. Packets
+    /// that never cross a link (local delivery) are never interned.
     fn route_packet(&mut self, node: NodeId, pkt: Packet) {
         assert!(self.routes_ready, "compute_routes() was not called");
         if pkt.dst_node == node {
@@ -601,25 +705,53 @@ impl Simulator {
         }
         let next = self.nodes[node.index()].routes[pkt.dst_node.index()]
             .unwrap_or_else(|| panic!("no route from {node} to {}", pkt.dst_node));
-        self.enqueue_on_link(next, pkt);
+        let r = self.arena.alloc(pkt);
+        self.enqueue_on_link(next, r);
+    }
+
+    /// A packet (by ref) reached `node` off a link: free-and-deliver on the
+    /// final hop, else forward the same ref to the next-hop queue.
+    fn on_arrival(&mut self, node: NodeId, r: PacketRef) {
+        let dst = self.arena[r].dst_node;
+        if dst == node {
+            let pkt = self
+                .arena
+                .take(r)
+                .expect("arrival event held a stale PacketRef");
+            self.deliver(node, pkt);
+            return;
+        }
+        let next = self.nodes[node.index()].routes[dst.index()]
+            .unwrap_or_else(|| panic!("no route from {node} to {dst}"));
+        self.enqueue_on_link(next, r);
     }
 
     /// Offer `pkt` to `link`'s queue; start transmission if idle; log drops
-    /// and marks.
-    fn enqueue_on_link(&mut self, link_id: LinkId, pkt: Packet) {
+    /// and marks. Dropped refs are freed here — queues never own packets
+    /// they reject.
+    fn enqueue_on_link(&mut self, link_id: LinkId, pkt: PacketRef) {
         let now = self.now;
-        let was_data = pkt.is_data();
-        let flow = pkt.flow;
+        let was_data = self.arena[pkt].is_data();
+        let flow = self.arena[pkt].flow;
         #[cfg(feature = "audit")]
-        let size_bytes = pkt.size_bytes;
+        let size_bytes = self.arena[pkt].size_bytes;
         #[cfg(feature = "telemetry")]
-        let t0 = self.tel_on.then(std::time::Instant::now);
-        let outcome = self.links[link_id.index()].queue.enqueue(pkt, now);
+        let t0 = (self.tel_on
+            && self.queue_op[link_id.index()]
+                .ops
+                .is_multiple_of(TEL_SAMPLE))
+        .then(std::time::Instant::now);
+        let outcome = self.links[link_id.index()]
+            .queue
+            .enqueue(pkt, &mut self.arena, now);
         #[cfg(feature = "telemetry")]
-        if let Some(t0) = t0 {
+        if self.tel_on {
             let cost = &mut self.queue_op[link_id.index()];
             cost.ops += 1;
-            cost.ns += t0.elapsed().as_nanos() as u64;
+            if let Some(t0) = t0 {
+                cost.timed += 1;
+                cost.ns += t0.elapsed().as_nanos() as u64;
+            }
         }
         #[cfg(feature = "audit")]
         {
@@ -644,7 +776,8 @@ impl Simulator {
                     flow,
                 });
             }
-            EnqueueOutcome::Dropped(_, reason) => {
+            EnqueueOutcome::Dropped(r, reason) => {
+                self.arena.take(r);
                 match reason {
                     crate::queue::DropReason::Overflow => self.counters.dropped_overflow += 1,
                     crate::queue::DropReason::Early => self.counters.dropped_early += 1,
@@ -669,36 +802,43 @@ impl Simulator {
     fn start_transmission(&mut self, link_id: LinkId) {
         let now = self.now;
         #[cfg(feature = "telemetry")]
-        let t0 = self.tel_on.then(std::time::Instant::now);
-        let link = &mut self.links[link_id.index()];
-        debug_assert!(!link.busy);
-        // The departing packet stays logically "on the wire"; we peek by
-        // dequeuing now and carrying the packet inside the Departure event
-        // would lose FIFO stats, so instead we dequeue at departure time.
-        // Here we only need its size to compute the serialization delay —
-        // but disciplines may reorder in principle, so we dequeue now and
-        // stash the packet until departure.
-        let popped = link.queue.dequeue(now);
+        let t0 = (self.tel_on
+            && self.queue_op[link_id.index()]
+                .ops
+                .is_multiple_of(TEL_SAMPLE))
+        .then(std::time::Instant::now);
+        debug_assert!(!self.links[link_id.index()].busy);
+        // The departing packet stays logically "on the wire": we dequeue
+        // now (disciplines may reorder in principle, so its size must come
+        // from the actual pop) and the Arrival event carries only the
+        // 8-byte arena ref, not the packet itself.
+        let popped = self.links[link_id.index()]
+            .queue
+            .dequeue(&mut self.arena, now);
         #[cfg(feature = "telemetry")]
-        if let Some(t0) = t0 {
+        if self.tel_on {
             let cost = &mut self.queue_op[link_id.index()];
             cost.ops += 1;
-            cost.ns += t0.elapsed().as_nanos() as u64;
+            if let Some(t0) = t0 {
+                cost.timed += 1;
+                cost.ns += t0.elapsed().as_nanos() as u64;
+            }
         }
         let Some(pkt) = popped else {
             #[cfg(feature = "audit")]
             self.audit_queue_op(link_id, QueueOp::Dequeue { popped: None });
             return;
         };
+        let bits = self.arena[pkt].size_bits();
+        #[cfg(feature = "audit")]
+        let size_bytes = self.arena[pkt].size_bytes;
+        let link = &mut self.links[link_id.index()];
         link.busy = true;
-        let bits = pkt.size_bits();
         let tx = transmission_delay(bits, link.capacity_bps);
         link.delivered_bits += bits;
         link.delivered_pkts += 1;
         let arrive_at = now + tx + link.delay;
         let to = link.to;
-        #[cfg(feature = "audit")]
-        let size_bytes = pkt.size_bytes;
         self.events
             .schedule(now + tx, EventKind::Departure { link: link_id });
         self.events.schedule(
@@ -771,9 +911,9 @@ impl Simulator {
             }
         }
         let id = pkt.dst_agent;
-        debug_assert_eq!(
-            self.agent_nodes[id.index()],
-            node,
+        debug_assert!(
+            self.agent_nodes[id.index()] == node
+                || self.agent_nodes[id.index()] == NodeId(usize::MAX),
             "packet for {id} delivered to wrong node {node}"
         );
         let mut agent = self.agents[id.index()]
@@ -817,58 +957,96 @@ impl Simulator {
         let mut prog_events: u64 = 0;
         #[cfg(feature = "telemetry")]
         let mut prog_since = self.now;
-        while let Some(ev) = self.events.pop_before(until) {
-            if ev.at == stuck_at {
-                stuck_count += 1;
+        // Batched dispatch: the queue hands back maximal same-(time, class)
+        // runs, so the dispatch `match` below executes once per run instead
+        // of once per event. The buffer is hoisted and reused — steady
+        // state allocates nothing. Concatenating batches reproduces the
+        // unbatched pop stream exactly (see `EventQueue::pop_batch_before`).
+        let mut batch: Vec<Event> = Vec::new();
+        while self.events.pop_batch_before(until, &mut batch) > 0 {
+            let at = batch[0].at;
+            #[cfg(feature = "telemetry")]
+            let n = batch.len() as u64;
+            if at == stuck_at {
+                stuck_count += batch.len() as u64;
                 assert!(
                     stuck_count < 10_000_000,
                     "event storm: 10M events at t = {stuck_at:?} without progress \
                      (last kind: {:?})",
-                    ev.kind
+                    batch[0].kind
                 );
             } else {
-                stuck_at = ev.at;
-                stuck_count = 0;
+                stuck_at = at;
+                stuck_count = batch.len() as u64;
             }
-            self.now = ev.at;
-            self.events_processed += 1;
-            #[cfg(feature = "audit")]
-            if !self.audit_hooks.is_empty() {
-                let ctx = self.audit_ctx();
-                for hook in &mut self.audit_hooks {
-                    hook.on_event(&ctx);
-                }
-            }
-            let class = ev.kind.class();
-            self.ev_counts[class] += 1;
+            self.now = at;
+            let class = batch[0].kind.class();
+            // Wall-clock attribution is sampled 1-in-TEL_SAMPLE batches;
+            // `note_event` below keeps the per-event counts exact.
             #[cfg(feature = "telemetry")]
-            let t0 = self.tel_on.then(std::time::Instant::now);
-            match ev.kind {
-                EventKind::Arrival { node, packet } => self.route_packet(node, packet),
-                EventKind::Departure { link } => self.on_link_free(link),
-                EventKind::Timer { agent, token } => {
-                    let mut a = self.agents[agent.index()]
-                        .take()
-                        .unwrap_or_else(|| panic!("timer for missing agent {agent}"));
-                    let node = self.agent_nodes[agent.index()];
-                    let mut ctx = Ctx {
-                        sim: self,
-                        agent,
-                        node,
-                    };
-                    a.on_timer(token, &mut ctx);
-                    self.agents[agent.index()] = Some(a);
+            let t0 = (self.tel_on && self.ev_batches[class].is_multiple_of(TEL_SAMPLE))
+                .then(std::time::Instant::now);
+            #[cfg(feature = "telemetry")]
+            if self.tel_on {
+                self.ev_batches[class] += 1;
+            }
+            match batch[0].kind {
+                EventKind::Arrival { .. } => {
+                    for ev in batch.drain(..) {
+                        self.note_event(class);
+                        let EventKind::Arrival { node, packet } = ev.kind else {
+                            unreachable!("mixed-class batch");
+                        };
+                        self.on_arrival(node, packet);
+                    }
                 }
-                EventKind::Control { code } => self.on_control(code),
+                EventKind::Departure { .. } => {
+                    for ev in batch.drain(..) {
+                        self.note_event(class);
+                        let EventKind::Departure { link } = ev.kind else {
+                            unreachable!("mixed-class batch");
+                        };
+                        self.on_link_free(link);
+                    }
+                }
+                EventKind::Timer { .. } => {
+                    for ev in batch.drain(..) {
+                        self.note_event(class);
+                        let EventKind::Timer { agent, token } = ev.kind else {
+                            unreachable!("mixed-class batch");
+                        };
+                        let mut a = self.agents[agent.index()]
+                            .take()
+                            .unwrap_or_else(|| panic!("timer for missing agent {agent}"));
+                        let node = self.agent_nodes[agent.index()];
+                        let mut ctx = Ctx {
+                            sim: self,
+                            agent,
+                            node,
+                        };
+                        a.on_timer(token, &mut ctx);
+                        self.agents[agent.index()] = Some(a);
+                    }
+                }
+                EventKind::Control { .. } => {
+                    for ev in batch.drain(..) {
+                        self.note_event(class);
+                        let EventKind::Control { code } = ev.kind else {
+                            unreachable!("mixed-class batch");
+                        };
+                        self.on_control(code);
+                    }
+                }
             }
             #[cfg(feature = "telemetry")]
             if let Some(t0) = t0 {
                 self.ev_ns[class] += t0.elapsed().as_nanos() as u64;
+                self.ev_timed[class] += n;
             }
             #[cfg(feature = "telemetry")]
             if progress_on {
-                prog_events += 1;
-                if prog_events == PROGRESS_BATCH {
+                prog_events += n;
+                if prog_events >= PROGRESS_BATCH {
                     let adv = self.now.duration_since(prog_since).as_nanos();
                     crate::telemetry::progress_add(prog_events, adv);
                     prog_events = 0;
@@ -884,6 +1062,22 @@ impl Simulator {
         // Advance the clock to the horizon so measurement windows line up.
         if self.now < until {
             self.now = until;
+        }
+    }
+
+    /// Per-event bookkeeping, identical to the unbatched loop's: the event
+    /// counter increments *before* the audit hooks run so `event_index` in
+    /// reproducers keeps its historical meaning.
+    #[inline]
+    fn note_event(&mut self, class: usize) {
+        self.events_processed += 1;
+        self.ev_counts[class] += 1;
+        #[cfg(feature = "audit")]
+        if !self.audit_hooks.is_empty() {
+            let ctx = self.audit_ctx();
+            for hook in &mut self.audit_hooks {
+                hook.on_event(&ctx);
+            }
         }
     }
 
@@ -954,7 +1148,15 @@ impl Drop for Simulator {
         // runs and worker counts.
         for (i, name) in EventKind::CLASS_NAMES.iter().enumerate() {
             tel::counter_add(&format!("sim/ev_{name}"), self.ev_counts[i]);
-            tel::span_closed(format!("sim/ev/{name}"), self.ev_ns[i] / 1_000);
+            // Scale the sampled wall-clock up to the full class: the timed
+            // batches covered `ev_timed[i]` of `ev_counts[i]` events.
+            let est_ns = if self.ev_timed[i] == 0 {
+                0
+            } else {
+                (self.ev_ns[i] as u128 * self.ev_counts[i] as u128 / self.ev_timed[i] as u128)
+                    as u64
+            };
+            tel::span_closed(format!("sim/ev/{name}"), est_ns / 1_000);
         }
         // Queue-op cost, aggregated by discipline name — "where the
         // time goes" per AQM. Counts are deterministic; nanoseconds are
@@ -964,7 +1166,9 @@ impl Drop for Simulator {
         for (link, cost) in self.links.iter().zip(&self.queue_op) {
             let agg = by_discipline.entry(link.queue.name()).or_default();
             agg.ops += cost.ops;
-            agg.ns += cost.ns;
+            // Scale each link's sample before aggregating — links can have
+            // very different per-op costs (and sample ratios).
+            agg.ns += cost.estimated_ns();
         }
         let mut total_ns = 0;
         for (name, agg) in &by_discipline {

@@ -1,5 +1,6 @@
 //! Property-based tests for the simulator's core data structures.
 
+use netsim::arena::{PacketArena, PacketRef};
 use netsim::event::{EventKind, EventQueue};
 use netsim::ids::{AgentId, FlowId, NodeId};
 use netsim::packet::{Ecn, Packet, Payload};
@@ -118,15 +119,19 @@ proptest! {
         cap in 1usize..64,
         ops in proptest::collection::vec(any::<bool>(), 1..500),
     ) {
+        let mut arena = PacketArena::new();
         let mut q = DropTail::new(cap);
         let mut t = 0u64;
         for op in ops {
             t += 1;
             let now = SimTime::from_nanos(t);
             if op {
-                let _ = q.enqueue(packet(100, false), now);
-            } else {
-                let _ = q.dequeue(now);
+                let r = arena.alloc(packet(100, false));
+                if let EnqueueOutcome::Dropped(r, _) = q.enqueue(r, &mut arena, now) {
+                    arena.take(r);
+                }
+            } else if let Some(r) = q.dequeue(&mut arena, now) {
+                arena.take(r);
             }
             prop_assert!(q.len() <= cap);
             let s = q.stats();
@@ -153,6 +158,7 @@ proptest! {
             mean_pkt_time: SimDuration::from_micros(10),
             seed,
         };
+        let mut arena = PacketArena::new();
         let mut q = RedQueue::new(params);
         let mut offered = 0u64;
         let mut t = 0u64;
@@ -164,13 +170,15 @@ proptest! {
                 // ECT packets only drop on overflow or beyond the
                 // gentle region; both are allowed, but overflow
                 // requires a full buffer.
-                if let EnqueueOutcome::Dropped(_, netsim::queue::DropReason::Overflow) =
-                    q.enqueue(packet(100, true), now)
-                {
-                    prop_assert_eq!(q.len(), 20);
+                let r = arena.alloc(packet(100, true));
+                if let EnqueueOutcome::Dropped(r, reason) = q.enqueue(r, &mut arena, now) {
+                    if reason == netsim::queue::DropReason::Overflow {
+                        prop_assert_eq!(q.len(), 20);
+                    }
+                    arena.take(r);
                 }
-            } else {
-                let _ = q.dequeue(now);
+            } else if let Some(r) = q.dequeue(&mut arena, now) {
+                arena.take(r);
             }
             let s = q.stats();
             prop_assert_eq!(s.enqueued + s.dropped, offered);
@@ -189,14 +197,24 @@ proptest! {
         let mut params = PiParams::hollot_example(50, q_ref, false, 1);
         params.a = 0.01;
         params.b = 0.005;
+        let mut arena = PacketArena::new();
         let mut q = PiQueue::new(params);
         let mut t = 0u64;
         for op in ops {
             t += 1;
             let now = SimTime::from_nanos(t * 1000);
             match op {
-                0 => { let _ = q.enqueue(packet(100, false), now); }
-                1 => { let _ = q.dequeue(now); }
+                0 => {
+                    let r = arena.alloc(packet(100, false));
+                    if let EnqueueOutcome::Dropped(r, _) = q.enqueue(r, &mut arena, now) {
+                        arena.take(r);
+                    }
+                }
+                1 => {
+                    if let Some(r) = q.dequeue(&mut arena, now) {
+                        arena.take(r);
+                    }
+                }
                 _ => q.on_tick(now),
             }
             prop_assert!((0.0..=1.0).contains(&q.probability()));
@@ -221,6 +239,54 @@ proptest! {
         prop_assert!(mean >= 0.0 && mean <= hi + 1e-9);
     }
 
+    /// Arena generation safety: under arbitrary alloc/free interleavings
+    /// (with heavy slot reuse), live refs always resolve to exactly the
+    /// packet they were created for, and a stale ref — held across a
+    /// free and any number of reuses of its slot — never resolves at all
+    /// (release builds return `None`; debug builds panic, covered by
+    /// `stale_lookup_never_aliases` below and the arena unit tests).
+    #[test]
+    fn arena_generations_never_alias(
+        ops in proptest::collection::vec(any::<u8>(), 1..400),
+    ) {
+        let mut arena = PacketArena::new();
+        let mut live: Vec<(PacketRef, u64)> = Vec::new();
+        let mut stale: Vec<(PacketRef, u64)> = Vec::new();
+        let mut tag = 0u64;
+        for op in ops {
+            if op & 1 == 0 || live.is_empty() {
+                // Alloc, tagging the packet with a unique sequence number.
+                let mut p = packet(100, false);
+                p.payload = Payload::Data { seq: tag, retransmit: false };
+                let r = arena.alloc(p);
+                live.push((r, tag));
+                tag += 1;
+            } else {
+                // Free a pseudo-random live ref; keep it as a stale probe.
+                let victim = (op >> 1) as usize % live.len();
+                let (r, t) = live.swap_remove(victim);
+                let freed = arena.take(r).expect("live ref failed to resolve");
+                prop_assert_eq!(freed.payload, Payload::Data { seq: t, retransmit: false });
+                stale.push((r, t));
+            }
+            prop_assert_eq!(arena.len(), live.len());
+            // Every live ref still reads back its own packet — slot reuse
+            // never rebinds an existing handle.
+            for &(r, t) in &live {
+                let p = arena.get(r).expect("live ref failed to resolve");
+                prop_assert_eq!(p.payload, Payload::Data { seq: t, retransmit: false });
+            }
+            // Stale refs must never alias the slot's new occupant. The
+            // debug contract (panic) can't be probed in a loop without
+            // unwinding; the release contract is `None`.
+            if !cfg!(debug_assertions) {
+                for &(r, _) in &stale {
+                    prop_assert!(arena.get(r).is_none());
+                }
+            }
+        }
+    }
+
     /// The `QueueStats` occupancy integral matches an independently
     /// maintained naive step trace *exactly* (same integer arithmetic)
     /// for every discipline under randomized enqueue/dequeue/tick
@@ -232,6 +298,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         for mut q in all_disciplines(seed) {
+            let mut arena = PacketArena::new();
             let mut t = 0u64;
             let (mut len, mut last, mut integral) = (0usize, 0u64, 0u128);
             for (i, &op) in ops.iter().enumerate() {
@@ -243,11 +310,15 @@ proptest! {
                 last = t;
                 let now = SimTime::from_nanos(t);
                 if enq {
-                    match q.enqueue(packet(100, ecn), now) {
+                    let r = arena.alloc(packet(100, ecn));
+                    match q.enqueue(r, &mut arena, now) {
                         EnqueueOutcome::Enqueued | EnqueueOutcome::Marked => len += 1,
-                        EnqueueOutcome::Dropped(..) => {}
+                        EnqueueOutcome::Dropped(r, _) => {
+                            arena.take(r);
+                        }
                     }
-                } else if q.dequeue(now).is_some() {
+                } else if let Some(r) = q.dequeue(&mut arena, now) {
+                    arena.take(r);
                     len -= 1;
                 }
                 if i % 7 == 0 {
@@ -257,6 +328,61 @@ proptest! {
                 prop_assert_eq!(q.stats().integral_pkt_ns, integral);
             }
         }
+    }
+}
+
+/// Randomized stale-lookup sweep that exercises the *debug* half of the
+/// generation contract (a stale ref panics rather than aliasing), which
+/// the proptest above cannot probe without unwinding on every case. The
+/// default panic hook is silenced for the duration so the expected
+/// panics don't spam test output.
+#[test]
+// The `cfg!(debug_assertions)` assertions are the point: each build mode
+// must take exactly one of the two stale-ref behaviors.
+#[allow(clippy::assertions_on_constants)]
+fn stale_lookup_never_aliases() {
+    let mut x = 0x243f_6a88_85a3_08d3u64; // deterministic xorshift
+    let mut rnd = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = std::panic::catch_unwind(move || {
+        let mut arena = PacketArena::new();
+        let mut live: Vec<PacketRef> = Vec::new();
+        for _ in 0..2_000 {
+            if rnd() % 2 == 0 || live.is_empty() {
+                live.push(arena.alloc(packet(100, false)));
+            } else {
+                let r = live.swap_remove(rnd() as usize % live.len());
+                arena.take(r).expect("live ref failed to resolve");
+                // Force reuse of the freed slot, then probe the stale ref.
+                let reused = arena.alloc(packet(200, true));
+                assert_eq!(reused.index(), r.index(), "free list must be LIFO");
+                live.push(reused);
+                let probe = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    arena.get(r).map(|p| p.size_bytes)
+                }));
+                match probe {
+                    Ok(Some(_)) => panic!("ALIAS: stale ref resolved to the slot's new occupant"),
+                    Ok(None) => assert!(
+                        !cfg!(debug_assertions),
+                        "debug builds must panic on stale refs, not return None"
+                    ),
+                    Err(_) => assert!(
+                        cfg!(debug_assertions),
+                        "release builds must return None on stale refs, not panic"
+                    ),
+                }
+            }
+        }
+    });
+    std::panic::set_hook(hook);
+    if let Err(e) = outcome {
+        std::panic::resume_unwind(e);
     }
 }
 
@@ -280,6 +406,7 @@ mod audit_props {
             seed in any::<u64>(),
         ) {
             for mut q in all_disciplines(seed) {
+                let mut arena = PacketArena::new();
                 let mut ledger = QueueLedger::new(q.as_ref());
                 let mut t = 0u64;
                 for (i, &op) in ops.iter().enumerate() {
@@ -288,19 +415,25 @@ mod audit_props {
                     let now = SimTime::from_nanos(t);
                     let ctx = AuditCtx { seed, event_index: i as u64, now };
                     let op = if enq {
-                        let kind = match q.enqueue(packet(100, ecn), now) {
+                        let r = arena.alloc(packet(100, ecn));
+                        let kind = match q.enqueue(r, &mut arena, now) {
                             EnqueueOutcome::Enqueued => EnqueueKind::Stored,
                             EnqueueOutcome::Marked => EnqueueKind::Marked,
-                            EnqueueOutcome::Dropped(_, DropReason::Overflow) => {
-                                EnqueueKind::DroppedOverflow
-                            }
-                            EnqueueOutcome::Dropped(_, DropReason::Early) => {
-                                EnqueueKind::DroppedEarly
+                            EnqueueOutcome::Dropped(r, reason) => {
+                                arena.take(r);
+                                match reason {
+                                    DropReason::Overflow => EnqueueKind::DroppedOverflow,
+                                    DropReason::Early => EnqueueKind::DroppedEarly,
+                                }
                             }
                         };
                         QueueOp::Enqueue { kind, size_bytes: 100 }
                     } else {
-                        QueueOp::Dequeue { popped: q.dequeue(now).map(|p| p.size_bytes) }
+                        QueueOp::Dequeue {
+                            popped: q
+                                .dequeue(&mut arena, now)
+                                .map(|r| arena.take(r).unwrap().size_bytes),
+                        }
                     };
                     ledger.apply(&op, now);
                     // Panics with a seed/event/state dump on divergence.

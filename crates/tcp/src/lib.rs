@@ -15,11 +15,15 @@
 //! exponential backoff, ECN, and per-ACK RTT sampling via exact packet
 //! timestamps. See [`TcpSender`] and [`TcpSink`].
 //!
-//! Use [`connect`] to wire a sender/sink pair into a simulator:
+//! Use [`connect`] to wire a sender/sink pair into a simulator. By
+//! default every sender of a simulation is hosted by one shared
+//! struct-of-arrays [`FlowSlab`] agent (see [`set_legacy_agents`] for the
+//! per-flow-agent escape hatch); read per-flow results back through the
+//! `sender_*` accessors, which work in both modes:
 //!
 //! ```
 //! use netsim::prelude::*;
-//! use pert_tcp::{connect, ConnectionSpec, START_TOKEN};
+//! use pert_tcp::{connect, ConnectionSpec};
 //!
 //! let mut sim = Simulator::new(7);
 //! let (a, b) = (sim.add_node(), sim.add_node());
@@ -28,10 +32,9 @@
 //! });
 //! sim.compute_routes();
 //! let conn = connect(&mut sim, ConnectionSpec::pert(FlowId(0), a, b, 1));
-//! sim.schedule_agent_timer(SimTime::ZERO, conn.sender, START_TOKEN);
+//! sim.schedule_agent_timer(SimTime::ZERO, conn.sender, conn.start_token);
 //! sim.run_until(SimTime::from_secs_f64(5.0));
-//! let sender: &pert_tcp::TcpSender = sim.agent(conn.sender);
-//! assert!(sender.stats.acked_segments > 0);
+//! assert!(pert_tcp::sender_stats(&sim, &conn).acked_segments > 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -42,6 +45,7 @@ pub mod intervals;
 pub mod scoreboard;
 pub mod sender;
 pub mod sink;
+pub mod slab;
 pub mod source;
 
 pub use cc::{
@@ -51,11 +55,15 @@ pub use intervals::IntervalSet;
 pub use scoreboard::{Scoreboard, SegState};
 pub use sender::{SenderStats, TcpConfig, TcpSender, START_TOKEN, STOP_TOKEN};
 pub use sink::{SinkStats, TcpSink};
+pub use slab::FlowSlab;
 pub use source::{Finite, FnSource, Greedy, Source, Transfer};
 
-use netsim::{AgentId, FlowId, NodeId, Simulator};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use netsim::{AgentId, FlowId, NodeId, Simulator, TimerToken};
 use pert_core::pert::PertParams;
 use pert_core::pi::PertPiParams;
+use pert_core::predictors::AckSample;
 use pert_core::rem::PertRemParams;
 
 /// Which congestion control a connection uses.
@@ -181,15 +189,84 @@ impl ConnectionSpec {
 pub struct Connection {
     /// The flow id.
     pub flow: FlowId,
-    /// Sender agent (a [`TcpSender`]).
+    /// Sender agent: the shared [`FlowSlab`] (default) or a per-flow
+    /// [`TcpSender`] (legacy mode). Use with the timer tokens below and
+    /// the `sender_*` accessors; do not downcast directly.
     pub sender: AgentId,
     /// Sink agent (a [`TcpSink`]).
     pub sink: AgentId,
+    /// Token that starts this flow (schedule on `sender` with
+    /// [`netsim::Simulator::schedule_agent_timer`]).
+    pub start_token: TimerToken,
+    /// Token that stops this flow.
+    pub stop_token: TimerToken,
+}
+
+/// When set, [`connect_with_source`] installs one [`TcpSender`] agent per
+/// flow instead of hosting flows in the shared [`FlowSlab`]. Process-wide;
+/// set before building any simulator (both modes produce byte-identical
+/// schedules, so this is an equivalence-checking and debugging aid).
+static LEGACY_AGENTS: AtomicBool = AtomicBool::new(false);
+
+/// Select per-flow sender agents (`true`) or the shared flow slab
+/// (`false`, the default) for subsequently built connections.
+pub fn set_legacy_agents(on: bool) {
+    LEGACY_AGENTS.store(on, Ordering::Relaxed);
+}
+
+/// True when per-flow sender agents are selected.
+pub fn legacy_agents() -> bool {
+    LEGACY_AGENTS.load(Ordering::Relaxed)
 }
 
 /// Install a sender/sink pair for `spec`, using `source` as the
 /// application (defaults to [`Greedy`] via [`connect`]).
 pub fn connect_with_source(
+    sim: &mut Simulator,
+    spec: ConnectionSpec,
+    source: Box<dyn Source>,
+) -> Connection {
+    if legacy_agents() {
+        return connect_legacy(sim, spec, source);
+    }
+
+    // One slab per simulator hosts every sender; create it lazily.
+    let slab_id = match sim.find_agent_by::<FlowSlab>() {
+        Some((id, _)) => id,
+        None => {
+            let id = sim.alloc_agent();
+            sim.install_shared_agent(id, Box::new(FlowSlab::new()));
+            id
+        }
+    };
+    let sink_id = sim.alloc_agent();
+
+    let mut cfg = TcpConfig::new(spec.flow, spec.dst, sink_id);
+    cfg.ecn = spec.ecn;
+    cfg.seed = spec.seed;
+    cfg.record_samples = spec.record_samples;
+    cfg.seg_size = spec.seg_size;
+    let cc = spec.cc.build(spec.seed);
+    let slab: &mut FlowSlab = sim.agent_mut(slab_id);
+    let slot = slab.add_flow(cfg, cc, source, spec.src);
+
+    let mut sink = TcpSink::new(spec.flow, spec.src, slab_id, 40);
+    if let Some(timeout) = spec.delack {
+        sink = sink.with_delayed_acks(timeout);
+    }
+    sim.install_agent(sink_id, spec.dst, Box::new(sink));
+
+    Connection {
+        flow: spec.flow,
+        sender: slab_id,
+        sink: sink_id,
+        start_token: FlowSlab::start_token(slot),
+        stop_token: FlowSlab::stop_token(slot),
+    }
+}
+
+/// The pre-slab wiring: one [`TcpSender`] agent per flow.
+fn connect_legacy(
     sim: &mut Simulator,
     spec: ConnectionSpec,
     source: Box<dyn Source>,
@@ -216,10 +293,64 @@ pub fn connect_with_source(
         flow: spec.flow,
         sender: sender_id,
         sink: sink_id,
+        start_token: START_TOKEN,
+        stop_token: STOP_TOKEN,
     }
 }
 
 /// Install a greedy (long-lived FTP) connection for `spec`.
 pub fn connect(sim: &mut Simulator, spec: ConnectionSpec) -> Connection {
     connect_with_source(sim, spec, Box::new(Greedy))
+}
+
+// ---------------------------------------------------------------------
+// Per-flow read-back that works in both hosting modes.
+// ---------------------------------------------------------------------
+
+/// Cumulative sender statistics of `conn`.
+pub fn sender_stats(sim: &Simulator, conn: &Connection) -> SenderStats {
+    if let Some(s) = sim.try_agent::<TcpSender>(conn.sender) {
+        return *s.stats();
+    }
+    *sim.agent::<FlowSlab>(conn.sender).stats_of(conn.flow)
+}
+
+/// Per-ACK samples of `conn` (empty unless `record_samples`).
+pub fn sender_samples<'a>(sim: &'a Simulator, conn: &Connection) -> &'a [AckSample] {
+    if let Some(s) = sim.try_agent::<TcpSender>(conn.sender) {
+        return s.samples();
+    }
+    sim.agent::<FlowSlab>(conn.sender).samples_of(conn.flow)
+}
+
+/// The congestion-control algorithm of `conn` (for downcasting).
+pub fn sender_cc<'a>(sim: &'a Simulator, conn: &Connection) -> &'a dyn CcAlgorithm {
+    if let Some(s) = sim.try_agent::<TcpSender>(conn.sender) {
+        return s.cc();
+    }
+    sim.agent::<FlowSlab>(conn.sender).cc_of(conn.flow)
+}
+
+/// Current congestion window of `conn`, segments.
+pub fn sender_cwnd(sim: &Simulator, conn: &Connection) -> f64 {
+    if let Some(s) = sim.try_agent::<TcpSender>(conn.sender) {
+        return s.cwnd();
+    }
+    sim.agent::<FlowSlab>(conn.sender).cwnd_of(conn.flow)
+}
+
+/// Current smoothed RTT estimate of `conn`, seconds.
+pub fn sender_srtt(sim: &Simulator, conn: &Connection) -> Option<f64> {
+    if let Some(s) = sim.try_agent::<TcpSender>(conn.sender) {
+        return s.srtt();
+    }
+    sim.agent::<FlowSlab>(conn.sender).srtt_of(conn.flow)
+}
+
+/// True once `conn`'s flow has permanently finished.
+pub fn sender_stopped(sim: &Simulator, conn: &Connection) -> bool {
+    if let Some(s) = sim.try_agent::<TcpSender>(conn.sender) {
+        return s.is_stopped();
+    }
+    sim.agent::<FlowSlab>(conn.sender).stopped_of(conn.flow)
 }

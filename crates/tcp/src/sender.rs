@@ -1,4 +1,4 @@
-//! The TCP sender agent.
+//! The TCP sender: hot/cold split flow state plus the agent wrapper.
 //!
 //! A SACK-capable sender in the spirit of ns-2's `TCP/Sack1`, hosting any
 //! [`CcAlgorithm`]: slow start / congestion avoidance, FACK-style loss
@@ -7,6 +7,22 @@
 //! per RTT), per-ACK RTT sampling through exact packet timestamps, and an
 //! application [`Source`] that supplies successive transfers (greedy FTP
 //! flows or think-time-separated web objects).
+//!
+//! Flow state is split by access pattern so the same logic can run either
+//! as a standalone per-flow agent ([`TcpSender`]) or inside the
+//! struct-of-arrays [`FlowSlab`](crate::FlowSlab):
+//!
+//! * [`Wnd`], [`RttState`], [`AppState`] — small `Copy` structs touched on
+//!   every ACK; the slab stores them in parallel vectors so a scan over
+//!   many flows stays in cache.
+//! * [`FlowCold`] — everything else (config, boxed CC algorithm and
+//!   source, scoreboard, RNG, stats, samples, telemetry), boxed per flow.
+//!
+//! All protocol logic lives on [`FlowView`] (a bundle of `&mut` borrows of
+//! the four parts) and performs I/O through [`FlowIo`], which maps
+//! `send`/`schedule` onto the hosting agent's identity. The float
+//! arithmetic is therefore textually single-sourced: both paths produce
+//! bit-identical traces.
 
 use std::any::Any;
 
@@ -23,16 +39,22 @@ use crate::cc::{CcAction, CcAlgorithm, CcContext};
 use crate::scoreboard::Scoreboard;
 use crate::source::Source;
 
-/// Timer token kinds (low 8 bits of the token).
-const TOKEN_START: u64 = 0;
-const TOKEN_STOP: u64 = 1;
-const TOKEN_NEW_TRANSFER: u64 = 2;
-const TOKEN_RTO: u64 = 3;
+/// Timer token kinds (low 8 bits of the token; bits 8.. address the flow
+/// slot when the flow lives in a [`FlowSlab`](crate::FlowSlab), and are 0
+/// for a standalone [`TcpSender`]).
+pub(crate) const TOKEN_START: u64 = 0;
+pub(crate) const TOKEN_STOP: u64 = 1;
+pub(crate) const TOKEN_NEW_TRANSFER: u64 = 2;
+pub(crate) const TOKEN_RTO: u64 = 3;
 
-/// The token used to start a sender (schedule with
-/// [`netsim::Simulator::schedule_agent_timer`]).
+/// The token used to start a standalone sender (schedule with
+/// [`netsim::Simulator::schedule_agent_timer`]). Slab-hosted flows embed
+/// their slot in the token; use [`Connection::start_token`]
+/// (crate::Connection) which is correct in both modes.
 pub const START_TOKEN: TimerToken = TimerToken(TOKEN_START);
-/// The token used to stop a sender (it ceases transmitting new data).
+/// The token used to stop a standalone sender (it ceases transmitting new
+/// data). Slab-mode callers use [`Connection::stop_token`]
+/// (crate::Connection).
 pub const STOP_TOKEN: TimerToken = TimerToken(TOKEN_STOP);
 
 /// Static sender configuration.
@@ -108,50 +130,66 @@ pub struct SenderStats {
     pub early_reductions: u64,
 }
 
-/// The TCP sender agent. Construct with [`TcpSender::new`], install on a
-/// node, and kick off with a [`START_TOKEN`] timer.
-pub struct TcpSender {
-    cfg: TcpConfig,
-    cc: Box<dyn CcAlgorithm>,
-    source: Box<dyn Source>,
-    rng: SmallRng,
+// ---------------------------------------------------------------------
+// Hot state: per-ACK fields, `Copy`, stored in parallel vectors by the
+// flow slab.
+// ---------------------------------------------------------------------
 
-    // --- window state -------------------------------------------------
-    cwnd: f64,
-    ssthresh: f64,
+/// Congestion-window and sequence state (hot).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Wnd {
+    pub cwnd: f64,
+    pub ssthresh: f64,
     /// All sequence numbers below this are cumulatively acknowledged.
-    high_ack: u64,
+    pub high_ack: u64,
     /// Next new sequence number to transmit.
-    next_seq: u64,
+    pub next_seq: u64,
     /// Transmit sequence numbers strictly below this (current transfer end).
-    limit_seq: u64,
-    scoreboard: Scoreboard,
+    pub limit_seq: u64,
     /// While `Some(p)`, the sender is in loss recovery until
     /// `high_ack ≥ p`; window reductions are suppressed meanwhile.
-    recovery_point: Option<u64>,
+    pub recovery_point: Option<u64>,
+}
 
-    // --- RTT estimation and RTO ----------------------------------------
-    // The srtt/rttvar estimators stay f64 (they feed the CC algorithms'
-    // float math), but everything the calendar sees — the RTO, its
-    // backoff ladder, and the deadline — is exact integer nanoseconds.
-    srtt: Option<f64>,
-    rttvar: f64,
-    rto: SimDuration,
-    backoff: u32,
+/// RTT estimation and RTO ladder (hot).
+///
+/// The srtt/rttvar estimators stay f64 (they feed the CC algorithms'
+/// float math), but everything the calendar sees — the RTO, its backoff
+/// ladder, and the deadline — is exact integer nanoseconds.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RttState {
+    pub srtt: Option<f64>,
+    pub rttvar: f64,
+    pub rto: SimDuration,
+    pub backoff: u32,
     /// Absolute time the retransmission timer should fire
     /// ([`SimTime::MAX`] when idle).
-    rto_deadline: SimTime,
+    pub rto_deadline: SimTime,
     /// True while a timer event is pending in the calendar.
-    rto_timer_pending: bool,
+    pub rto_timer_pending: bool,
+}
 
-    // --- ECN -----------------------------------------------------------
-    ecn_hold_until: f64,
+/// Application/ECN lifecycle flags (hot).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AppState {
+    pub ecn_hold_until: f64,
+    pub started: bool,
+    pub stopped: bool,
+    pub awaiting_transfer: bool,
+}
 
-    // --- application ---------------------------------------------------
-    started: bool,
-    stopped: bool,
-    awaiting_transfer: bool,
-
+/// Cold per-flow state: touched off the per-ACK fast path or behind a
+/// pointer anyway. The slab boxes one per flow.
+pub(crate) struct FlowCold {
+    pub cfg: TcpConfig,
+    pub cc: Box<dyn CcAlgorithm>,
+    pub source: Box<dyn Source>,
+    pub rng: SmallRng,
+    pub scoreboard: Scoreboard,
+    /// Segment count of the transfer announced by the pending
+    /// `TOKEN_NEW_TRANSFER` timer (the token itself carries only the flow
+    /// slot, so the size rides here).
+    pub pending_transfer: Option<u64>,
     /// Cumulative statistics.
     pub stats: SenderStats,
     /// Optional per-ACK samples (`record_samples`).
@@ -161,135 +199,149 @@ pub struct TcpSender {
     // --- `None` costs one branch per ACK) -------------------------------
     /// Publishes `tcp/cwnd` (key = flow id) on every ACK.
     #[cfg(feature = "telemetry")]
-    tap: Option<telemetry::Tap>,
+    pub tap: Option<telemetry::Tap>,
     /// Per-flow RTT histogram, merged into the global `tcp/rtt_ns` metric
-    /// when the sender drops.
+    /// when the flow drops.
     #[cfg(feature = "telemetry")]
-    rtt_hist: Option<BucketHistogram>,
+    pub rtt_hist: Option<BucketHistogram>,
 }
 
-impl TcpSender {
-    /// Create a sender using congestion control `cc` and application
-    /// source `source`.
-    pub fn new(cfg: TcpConfig, cc: Box<dyn CcAlgorithm>, source: Box<dyn Source>) -> Self {
-        assert!(cfg.initial_cwnd >= 1.0, "initial cwnd must be ≥ 1");
-        assert!(cfg.seg_size > 0 && cfg.ack_size > 0);
-        assert!(!cfg.min_rto.is_zero() && cfg.max_rto >= cfg.min_rto);
-        let seed = cfg.seed;
+/// Build the four state parts for a fresh flow. Shared by
+/// [`TcpSender::new`] and `FlowSlab::add_flow`.
+pub(crate) fn new_flow(
+    cfg: TcpConfig,
+    cc: Box<dyn CcAlgorithm>,
+    source: Box<dyn Source>,
+) -> (Wnd, RttState, AppState, FlowCold) {
+    assert!(cfg.initial_cwnd >= 1.0, "initial cwnd must be ≥ 1");
+    assert!(cfg.seg_size > 0 && cfg.ack_size > 0);
+    assert!(!cfg.min_rto.is_zero() && cfg.max_rto >= cfg.min_rto);
+    let seed = cfg.seed;
+    #[cfg(feature = "telemetry")]
+    let tap = telemetry::Tap::attach("tcp/cwnd", cfg.flow.0 as u64);
+    #[cfg(feature = "telemetry")]
+    let rtt_hist = telemetry::enabled().then(|| BucketHistogram::new(&telemetry::RTT_EDGES_NS));
+    let wnd = Wnd {
+        cwnd: cfg.initial_cwnd,
+        ssthresh: cfg.initial_ssthresh,
+        high_ack: 0,
+        next_seq: 0,
+        limit_seq: 0,
+        recovery_point: None,
+    };
+    let rtt = RttState {
+        srtt: None,
+        rttvar: 0.0,
+        rto: SimDuration::from_secs(1),
+        backoff: 0,
+        rto_deadline: SimTime::MAX,
+        rto_timer_pending: false,
+    };
+    let app = AppState {
+        ecn_hold_until: 0.0,
+        started: false,
+        stopped: false,
+        awaiting_transfer: false,
+    };
+    let cold = FlowCold {
+        cfg,
+        cc,
+        source,
+        rng: SmallRng::seed_from_u64(seed ^ 0x7c95_e4d3),
+        scoreboard: Scoreboard::new(),
+        pending_transfer: None,
+        stats: SenderStats::default(),
+        samples: Vec::new(),
         #[cfg(feature = "telemetry")]
-        let tap = telemetry::Tap::attach("tcp/cwnd", cfg.flow.0 as u64);
+        tap,
         #[cfg(feature = "telemetry")]
-        let rtt_hist = telemetry::enabled().then(|| BucketHistogram::new(&telemetry::RTT_EDGES_NS));
-        TcpSender {
-            cwnd: cfg.initial_cwnd,
-            ssthresh: cfg.initial_ssthresh,
-            cfg,
-            cc,
-            source,
-            rng: SmallRng::seed_from_u64(seed ^ 0x7c95_e4d3),
-            high_ack: 0,
-            next_seq: 0,
-            limit_seq: 0,
-            scoreboard: Scoreboard::new(),
-            recovery_point: None,
-            srtt: None,
-            rttvar: 0.0,
-            rto: SimDuration::from_secs(1),
-            backoff: 0,
-            rto_deadline: SimTime::MAX,
-            rto_timer_pending: false,
-            ecn_hold_until: 0.0,
-            started: false,
-            stopped: false,
-            awaiting_transfer: false,
-            stats: SenderStats::default(),
-            samples: Vec::new(),
-            #[cfg(feature = "telemetry")]
-            tap,
-            #[cfg(feature = "telemetry")]
-            rtt_hist,
-        }
+        rtt_hist,
+    };
+    (wnd, rtt, app, cold)
+}
+
+/// How flow logic reaches the simulator: packets leave from `node` (a
+/// slab hosts endpoints on many nodes, so the agent's own node is not
+/// enough), and timer tokens carry `token_bits` (the flow slot shifted
+/// past the kind byte) so the hosting agent can demultiplex.
+pub(crate) struct FlowIo<'a, 'b> {
+    pub ctx: &'a mut Ctx<'b>,
+    pub node: NodeId,
+    pub token_bits: u64,
+}
+
+impl FlowIo<'_, '_> {
+    #[inline]
+    fn now(&self) -> SimTime {
+        self.ctx.now()
     }
 
-    /// The congestion-control algorithm's name.
-    pub fn cc_name(&self) -> &'static str {
-        self.cc.name()
+    #[inline]
+    fn send(&mut self, pkt: Packet) {
+        self.ctx.send_from(self.node, pkt);
     }
 
-    /// Current congestion window, segments.
-    pub fn cwnd(&self) -> f64 {
-        self.cwnd
+    #[inline]
+    fn schedule(&mut self, delay: SimDuration, kind: u64) {
+        self.ctx.schedule(delay, TimerToken(kind | self.token_bits));
     }
+}
 
-    /// Current smoothed RTT estimate, seconds.
-    pub fn srtt(&self) -> Option<f64> {
-        self.srtt
-    }
+/// Mutable borrows of one flow's four state parts; all protocol logic
+/// lives here so the standalone and slab paths execute the same code.
+pub(crate) struct FlowView<'a> {
+    pub wnd: &'a mut Wnd,
+    pub rtt: &'a mut RttState,
+    pub app: &'a mut AppState,
+    pub cold: &'a mut FlowCold,
+}
 
-    /// True once the flow has permanently finished (source exhausted or
-    /// stopped).
-    pub fn is_stopped(&self) -> bool {
-        self.stopped
-    }
-
-    /// True while the sender is in loss recovery.
-    pub fn in_recovery(&self) -> bool {
-        self.recovery_point.is_some()
-    }
-
-    /// Access the congestion-control algorithm (for downcasting in
-    /// experiments).
-    pub fn cc(&self) -> &dyn CcAlgorithm {
-        self.cc.as_ref()
-    }
-
-    // ------------------------------------------------------------------
-
+impl FlowView<'_> {
     fn effective_window(&self) -> u64 {
-        self.cwnd.min(self.cfg.max_cwnd).max(1.0).floor() as u64
+        self.wnd.cwnd.min(self.cold.cfg.max_cwnd).max(1.0).floor() as u64
     }
 
-    fn send_segment(&mut self, ctx: &mut Ctx<'_>, seq: u64, retransmit: bool) {
-        ctx.send(Packet {
-            flow: self.cfg.flow,
-            dst_node: self.cfg.peer_node,
-            dst_agent: self.cfg.peer_agent,
-            size_bytes: self.cfg.seg_size,
-            ecn: if self.cfg.ecn {
+    fn send_segment(&mut self, io: &mut FlowIo<'_, '_>, seq: u64, retransmit: bool) {
+        io.send(Packet {
+            flow: self.cold.cfg.flow,
+            dst_node: self.cold.cfg.peer_node,
+            dst_agent: self.cold.cfg.peer_agent,
+            size_bytes: self.cold.cfg.seg_size,
+            ecn: if self.cold.cfg.ecn {
                 Ecn::Capable
             } else {
                 Ecn::NotCapable
             },
-            sent_at: ctx.now(), // overwritten by ctx.send, kept for clarity
+            sent_at: io.now(), // overwritten by the send path, kept for clarity
             payload: Payload::Data { seq, retransmit },
         });
-        self.stats.sent_segments += 1;
+        self.cold.stats.sent_segments += 1;
         if retransmit {
-            self.stats.retransmits += 1;
+            self.cold.stats.retransmits += 1;
         }
     }
 
     /// Transmit as much as the window allows: retransmissions first, then
     /// new data.
-    fn send_available(&mut self, ctx: &mut Ctx<'_>) {
-        if self.stopped || !self.started {
+    fn send_available(&mut self, io: &mut FlowIo<'_, '_>) {
+        if self.app.stopped || !self.app.started {
             return;
         }
         let wnd = self.effective_window();
-        while (self.scoreboard.in_flight() as u64) < wnd {
-            if let Some(seq) = self.scoreboard.first_lost() {
-                self.scoreboard.on_retransmit(seq);
-                self.send_segment(ctx, seq, true);
-            } else if self.next_seq < self.limit_seq {
-                let seq = self.next_seq;
-                self.next_seq += 1;
-                self.scoreboard.on_send_new(seq);
-                self.send_segment(ctx, seq, false);
+        while (self.cold.scoreboard.in_flight() as u64) < wnd {
+            if let Some(seq) = self.cold.scoreboard.first_lost() {
+                self.cold.scoreboard.on_retransmit(seq);
+                self.send_segment(io, seq, true);
+            } else if self.wnd.next_seq < self.wnd.limit_seq {
+                let seq = self.wnd.next_seq;
+                self.wnd.next_seq += 1;
+                self.cold.scoreboard.on_send_new(seq);
+                self.send_segment(io, seq, false);
             } else {
                 break;
             }
         }
-        self.ensure_timer(ctx);
+        self.ensure_timer(io);
     }
 
     // --- RTO management -------------------------------------------------
@@ -299,160 +351,161 @@ impl TcpSender {
     /// nanoseconds, so a deep backoff ladder lands on a deterministic
     /// nanosecond instead of accumulating float rounding.
     fn current_rto(&self) -> SimDuration {
-        (self.rto * (1u64 << self.backoff.min(16))).clamp(self.cfg.min_rto, self.cfg.max_rto)
+        (self.rtt.rto * (1u64 << self.rtt.backoff.min(16)))
+            .clamp(self.cold.cfg.min_rto, self.cold.cfg.max_rto)
     }
 
     fn restart_rto(&mut self, now: SimTime) {
-        self.rto_deadline = now + self.current_rto();
+        self.rtt.rto_deadline = now + self.current_rto();
     }
 
-    fn ensure_timer(&mut self, ctx: &mut Ctx<'_>) {
-        if self.scoreboard.in_flight() == 0 && self.scoreboard.lost_count() == 0 {
-            self.rto_deadline = SimTime::MAX;
+    fn ensure_timer(&mut self, io: &mut FlowIo<'_, '_>) {
+        if self.cold.scoreboard.in_flight() == 0 && self.cold.scoreboard.lost_count() == 0 {
+            self.rtt.rto_deadline = SimTime::MAX;
             return;
         }
-        if self.rto_deadline == SimTime::MAX {
-            self.restart_rto(ctx.now());
+        if self.rtt.rto_deadline == SimTime::MAX {
+            self.restart_rto(io.now());
         }
-        if !self.rto_timer_pending {
-            let now = ctx.now();
-            let delay = if self.rto_deadline > now {
-                self.rto_deadline.duration_since(now)
+        if !self.rtt.rto_timer_pending {
+            let now = io.now();
+            let delay = if self.rtt.rto_deadline > now {
+                self.rtt.rto_deadline.duration_since(now)
             } else {
                 SimDuration::ZERO
             };
-            ctx.schedule(delay, TimerToken(TOKEN_RTO));
-            self.rto_timer_pending = true;
+            io.schedule(delay, TOKEN_RTO);
+            self.rtt.rto_timer_pending = true;
         }
     }
 
-    fn on_rto_timer(&mut self, ctx: &mut Ctx<'_>) {
-        self.rto_timer_pending = false;
-        if self.stopped || self.rto_deadline == SimTime::MAX {
+    fn on_rto_timer(&mut self, io: &mut FlowIo<'_, '_>) {
+        self.rtt.rto_timer_pending = false;
+        if self.app.stopped || self.rtt.rto_deadline == SimTime::MAX {
             return;
         }
-        let now = ctx.now();
-        if now < self.rto_deadline {
+        let now = io.now();
+        if now < self.rtt.rto_deadline {
             // Deadline was pushed forward by ACK progress; re-arm lazily.
             // Deadlines are exact nanoseconds, so this comparison needs no
             // epsilon — a timer that fires at its deadline is at it.
-            self.ensure_timer(ctx);
+            self.ensure_timer(io);
             return;
         }
         // Genuine timeout.
-        self.stats.timeouts += 1;
-        self.ssthresh = (self.cwnd / 2.0).max(2.0);
-        self.cwnd = 1.0;
-        self.backoff = (self.backoff + 1).min(16);
-        self.scoreboard.mark_all_lost();
+        self.cold.stats.timeouts += 1;
+        self.wnd.ssthresh = (self.wnd.cwnd / 2.0).max(2.0);
+        self.wnd.cwnd = 1.0;
+        self.rtt.backoff = (self.rtt.backoff + 1).min(16);
+        self.cold.scoreboard.mark_all_lost();
         // A timeout ends any fast-recovery episode and starts a fresh one
         // so subsequent SACK losses don't re-cut the window immediately.
-        self.recovery_point = Some(self.next_seq);
-        self.cc.on_congestion(now.as_secs_f64());
+        self.wnd.recovery_point = Some(self.wnd.next_seq);
+        self.cold.cc.on_congestion(now.as_secs_f64());
         self.restart_rto(now);
-        self.send_available(ctx);
+        self.send_available(io);
     }
 
     // --- ACK processing --------------------------------------------------
 
     fn update_rtt(&mut self, sample: f64) {
-        match self.srtt {
+        match self.rtt.srtt {
             None => {
-                self.srtt = Some(sample);
-                self.rttvar = sample / 2.0;
+                self.rtt.srtt = Some(sample);
+                self.rtt.rttvar = sample / 2.0;
             }
             Some(s) => {
-                self.rttvar = 0.75 * self.rttvar + 0.25 * (s - sample).abs();
-                self.srtt = Some(0.875 * s + 0.125 * sample);
+                self.rtt.rttvar = 0.75 * self.rtt.rttvar + 0.25 * (s - sample).abs();
+                self.rtt.srtt = Some(0.875 * s + 0.125 * sample);
             }
         }
-        let srtt = self.srtt.expect("just set");
+        let srtt = self.rtt.srtt.expect("just set");
         // One float→integer conversion per RTT sample; from here on all
         // RTO arithmetic (backoff, deadline) is exact.
-        self.rto = SimDuration::from_secs_f64(srtt + 4.0 * self.rttvar)
-            .clamp(self.cfg.min_rto, self.cfg.max_rto);
+        self.rtt.rto = SimDuration::from_secs_f64(srtt + 4.0 * self.rtt.rttvar)
+            .clamp(self.cold.cfg.min_rto, self.cold.cfg.max_rto);
     }
 
     /// A loss/ECN-triggered multiplicative decrease (at most one per
     /// recovery episode / per RTT for ECN).
     fn congestion_reduce(&mut self, now: f64) {
-        let factor = self.cc.loss_reduction();
-        self.ssthresh = (self.cwnd * (1.0 - factor)).max(2.0);
-        self.cwnd = self.ssthresh;
-        self.cc.on_congestion(now);
+        let factor = self.cold.cc.loss_reduction();
+        self.wnd.ssthresh = (self.wnd.cwnd * (1.0 - factor)).max(2.0);
+        self.wnd.cwnd = self.wnd.ssthresh;
+        self.cold.cc.on_congestion(now);
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn on_ack_packet(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        io: &mut FlowIo<'_, '_>,
         cum_ack: u64,
         sack: [Option<netsim::SackBlock>; netsim::MAX_SACK_BLOCKS],
         ts_echo: netsim::SimTime,
         owd: f64,
         ece: bool,
     ) {
-        let now = ctx.now().as_secs_f64();
-        let rtt = ctx.now().duration_since(ts_echo).as_secs_f64();
+        let now = io.now().as_secs_f64();
+        let rtt = io.now().duration_since(ts_echo).as_secs_f64();
         if rtt > 0.0 {
             self.update_rtt(rtt);
         }
 
         // 1. Cumulative progress.
-        let newly = if cum_ack > self.high_ack {
-            let n = self.scoreboard.ack_to(cum_ack);
-            self.high_ack = cum_ack;
-            self.stats.acked_segments += n;
-            self.backoff = 0;
-            self.restart_rto(ctx.now());
+        let newly = if cum_ack > self.wnd.high_ack {
+            let n = self.cold.scoreboard.ack_to(cum_ack);
+            self.wnd.high_ack = cum_ack;
+            self.cold.stats.acked_segments += n;
+            self.rtt.backoff = 0;
+            self.restart_rto(io.now());
             n
         } else {
             0
         };
 
         // 2. Recovery exit.
-        if let Some(rp) = self.recovery_point {
-            if self.high_ack >= rp {
-                self.recovery_point = None;
+        if let Some(rp) = self.wnd.recovery_point {
+            if self.wnd.high_ack >= rp {
+                self.wnd.recovery_point = None;
             }
         }
 
         // 3. SACK bookkeeping and loss declaration.
         for block in sack.into_iter().flatten() {
-            self.scoreboard.sack(block);
+            self.cold.scoreboard.sack(block);
         }
-        let new_losses = self.scoreboard.declare_losses();
-        if new_losses > 0 && self.recovery_point.is_none() {
+        let new_losses = self.cold.scoreboard.declare_losses();
+        if new_losses > 0 && self.wnd.recovery_point.is_none() {
             // Enter fast recovery: one multiplicative decrease per episode.
-            self.recovery_point = Some(self.next_seq);
-            self.stats.loss_events += 1;
+            self.wnd.recovery_point = Some(self.wnd.next_seq);
+            self.cold.stats.loss_events += 1;
             self.congestion_reduce(now);
         }
 
         // 4. ECN response (once per RTT, not during loss recovery).
-        if ece && now >= self.ecn_hold_until && self.recovery_point.is_none() {
-            self.stats.ecn_reductions += 1;
+        if ece && now >= self.app.ecn_hold_until && self.wnd.recovery_point.is_none() {
+            self.cold.stats.ecn_reductions += 1;
             self.congestion_reduce(now);
-            self.ecn_hold_until = now + self.srtt.unwrap_or_else(|| self.rto.as_secs_f64());
+            self.app.ecn_hold_until =
+                now + self.rtt.srtt.unwrap_or_else(|| self.rtt.rto.as_secs_f64());
         }
 
         // 5. Congestion-control growth / early response.
         if rtt > 0.0 {
-            if self.recovery_point.is_none() {
+            if self.wnd.recovery_point.is_none() {
                 let mut ctx_cc = CcContext {
                     now,
                     rtt,
                     owd,
                     newly_acked: newly,
-                    cwnd: &mut self.cwnd,
-                    ssthresh: &mut self.ssthresh,
+                    cwnd: &mut self.wnd.cwnd,
+                    ssthresh: &mut self.wnd.ssthresh,
                 };
-                match self.cc.on_ack(&mut ctx_cc) {
+                match self.cold.cc.on_ack(&mut ctx_cc) {
                     CcAction::None => {}
                     CcAction::EarlyReduce { factor } => {
-                        self.stats.early_reductions += 1;
-                        self.ssthresh = (self.cwnd * (1.0 - factor)).max(1.0);
-                        self.cwnd = self.ssthresh;
+                        self.cold.stats.early_reductions += 1;
+                        self.wnd.ssthresh = (self.wnd.cwnd * (1.0 - factor)).max(1.0);
+                        self.wnd.cwnd = self.wnd.ssthresh;
                     }
                 }
             } else {
@@ -461,79 +514,80 @@ impl TcpSender {
                 // reset to 1 with recovery_point = next_seq, and without
                 // growth the sender would crawl at one segment per RTT
                 // until the entire pre-timeout window was re-covered.
-                if self.cwnd < self.ssthresh {
-                    self.cwnd += newly as f64;
+                if self.wnd.cwnd < self.wnd.ssthresh {
+                    self.wnd.cwnd += newly as f64;
                 }
-                self.cc.on_rtt_sample(now, rtt, owd);
+                self.cold.cc.on_rtt_sample(now, rtt, owd);
             }
         }
-        self.cwnd = self.cwnd.min(self.cfg.max_cwnd).max(1.0);
+        self.wnd.cwnd = self.wnd.cwnd.min(self.cold.cfg.max_cwnd).max(1.0);
 
         #[cfg(feature = "telemetry")]
         {
-            if let Some(tap) = &self.tap {
-                tap.record(now, self.cwnd);
+            if let Some(tap) = &self.cold.tap {
+                tap.record(now, self.wnd.cwnd);
             }
             if rtt > 0.0 {
-                if let Some(h) = &mut self.rtt_hist {
+                if let Some(h) = &mut self.cold.rtt_hist {
                     h.observe((rtt * 1e9) as u64);
                 }
             }
         }
 
-        if self.cfg.record_samples && rtt > 0.0 {
-            self.samples.push(AckSample {
+        if self.cold.cfg.record_samples && rtt > 0.0 {
+            self.cold.samples.push(AckSample {
                 at: now,
                 rtt,
                 owd,
-                cwnd: self.cwnd,
+                cwnd: self.wnd.cwnd,
             });
         }
 
         // 6. Transfer completion → ask the source for the next one.
-        if !self.awaiting_transfer
-            && !self.stopped
-            && self.started
-            && self.next_seq >= self.limit_seq
-            && self.scoreboard.is_empty()
+        if !self.app.awaiting_transfer
+            && !self.app.stopped
+            && self.app.started
+            && self.wnd.next_seq >= self.wnd.limit_seq
+            && self.cold.scoreboard.is_empty()
         {
-            self.begin_next_transfer(ctx);
+            self.begin_next_transfer(io);
         }
 
         // 7. Keep the pipe full.
-        self.send_available(ctx);
+        self.send_available(io);
     }
 
-    fn begin_next_transfer(&mut self, ctx: &mut Ctx<'_>) {
-        match self.source.next_transfer(&mut self.rng) {
+    fn begin_next_transfer(&mut self, io: &mut FlowIo<'_, '_>) {
+        match self.cold.source.next_transfer(&mut self.cold.rng) {
             None => {
-                self.stopped = true;
-                self.rto_deadline = SimTime::MAX;
+                self.app.stopped = true;
+                self.rtt.rto_deadline = SimTime::MAX;
             }
             Some(t) => {
-                self.awaiting_transfer = true;
-                // Stash the size in the token payload; think time via timer.
-                let token = TimerToken(TOKEN_NEW_TRANSFER | (t.segments << 8));
-                ctx.schedule(SimDuration::from_secs_f64(t.think_secs), token);
+                self.app.awaiting_transfer = true;
+                // Stash the size here; think time via timer. (The token's
+                // high bits address the flow, so they can't carry it.)
+                self.cold.pending_transfer = Some(t.segments);
+                io.schedule(SimDuration::from_secs_f64(t.think_secs), TOKEN_NEW_TRANSFER);
             }
         }
     }
 
-    fn on_new_transfer(&mut self, segments: u64, ctx: &mut Ctx<'_>) {
-        self.awaiting_transfer = false;
-        if self.stopped {
+    fn on_new_transfer(&mut self, io: &mut FlowIo<'_, '_>) {
+        let segments = self.cold.pending_transfer.take().unwrap_or(0);
+        self.app.awaiting_transfer = false;
+        if self.app.stopped {
             return;
         }
-        self.limit_seq = self.limit_seq.saturating_add(segments);
+        self.wnd.limit_seq = self.wnd.limit_seq.saturating_add(segments);
         // Each transfer restarts from a fresh (small) window, modelling a
         // new connection of the same session over the same path.
-        self.cwnd = self.cfg.initial_cwnd;
-        self.send_available(ctx);
+        self.wnd.cwnd = self.cold.cfg.initial_cwnd;
+        self.send_available(io);
     }
-}
 
-impl Agent for TcpSender {
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+    /// Dispatch a packet delivered to this flow.
+    pub(crate) fn handle_packet(&mut self, pkt: Packet, io: &mut FlowIo<'_, '_>) {
         if let Payload::Ack {
             cum_ack,
             sack,
@@ -542,44 +596,38 @@ impl Agent for TcpSender {
             ece,
         } = pkt.payload
         {
-            self.on_ack_packet(ctx, cum_ack, sack, ts_echo, owd_echo.as_secs_f64(), ece);
+            self.on_ack_packet(io, cum_ack, sack, ts_echo, owd_echo.as_secs_f64(), ece);
         }
         // Data packets addressed to a sender are a wiring bug; ignore in
         // release, catch in debug.
         debug_assert!(pkt.is_ack(), "sender received a data packet");
     }
 
-    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_>) {
-        match token.0 & 0xff {
+    /// Dispatch a timer by its kind byte (token low 8 bits).
+    pub(crate) fn handle_timer(&mut self, kind: u64, io: &mut FlowIo<'_, '_>) {
+        match kind {
             TOKEN_START => {
-                if !self.started {
-                    self.started = true;
-                    self.begin_next_transfer(ctx);
+                if !self.app.started {
+                    self.app.started = true;
+                    self.begin_next_transfer(io);
                 }
             }
             TOKEN_STOP => {
-                self.stopped = true;
-                self.rto_deadline = SimTime::MAX;
+                self.app.stopped = true;
+                self.rtt.rto_deadline = SimTime::MAX;
             }
-            TOKEN_NEW_TRANSFER => self.on_new_transfer(token.0 >> 8, ctx),
-            TOKEN_RTO => self.on_rto_timer(ctx),
+            TOKEN_NEW_TRANSFER => self.on_new_transfer(io),
+            TOKEN_RTO => self.on_rto_timer(io),
             other => unreachable!("unknown sender timer token {other}"),
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 
 /// Flush cumulative per-flow statistics into the global telemetry metrics
-/// registry. Inactive (early return) for senders built with telemetry off.
+/// registry. Lives on the cold part so both the standalone sender and the
+/// slab flush every flow exactly once, whenever its state drops.
 #[cfg(feature = "telemetry")]
-impl Drop for TcpSender {
+impl Drop for FlowCold {
     fn drop(&mut self) {
         if self.tap.is_none() && self.rtt_hist.is_none() {
             return;
@@ -603,6 +651,111 @@ impl Drop for TcpSender {
             0.0,
             self.stats.acked_segments as f64,
         );
+    }
+}
+
+/// The standalone TCP sender agent: one flow per agent, installed on the
+/// source node. Construct with [`TcpSender::new`], install, and kick off
+/// with a [`START_TOKEN`] timer. The default topology builders instead
+/// host flows in a shared [`FlowSlab`](crate::FlowSlab); this per-flow
+/// agent remains as the `--legacy-agents` path and for direct unit tests.
+pub struct TcpSender {
+    pub(crate) wnd: Wnd,
+    pub(crate) rtt: RttState,
+    pub(crate) app: AppState,
+    pub(crate) cold: FlowCold,
+}
+
+impl TcpSender {
+    /// Create a sender using congestion control `cc` and application
+    /// source `source`.
+    pub fn new(cfg: TcpConfig, cc: Box<dyn CcAlgorithm>, source: Box<dyn Source>) -> Self {
+        let (wnd, rtt, app, cold) = new_flow(cfg, cc, source);
+        TcpSender {
+            wnd,
+            rtt,
+            app,
+            cold,
+        }
+    }
+
+    pub(crate) fn view(&mut self) -> FlowView<'_> {
+        FlowView {
+            wnd: &mut self.wnd,
+            rtt: &mut self.rtt,
+            app: &mut self.app,
+            cold: &mut self.cold,
+        }
+    }
+
+    /// The congestion-control algorithm's name.
+    pub fn cc_name(&self) -> &'static str {
+        self.cold.cc.name()
+    }
+
+    /// Current congestion window, segments.
+    pub fn cwnd(&self) -> f64 {
+        self.wnd.cwnd
+    }
+
+    /// Current smoothed RTT estimate, seconds.
+    pub fn srtt(&self) -> Option<f64> {
+        self.rtt.srtt
+    }
+
+    /// True once the flow has permanently finished (source exhausted or
+    /// stopped).
+    pub fn is_stopped(&self) -> bool {
+        self.app.stopped
+    }
+
+    /// True while the sender is in loss recovery.
+    pub fn in_recovery(&self) -> bool {
+        self.wnd.recovery_point.is_some()
+    }
+
+    /// Access the congestion-control algorithm (for downcasting in
+    /// experiments).
+    pub fn cc(&self) -> &dyn CcAlgorithm {
+        self.cold.cc.as_ref()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &SenderStats {
+        &self.cold.stats
+    }
+
+    /// Per-ACK samples (empty unless `record_samples`).
+    pub fn samples(&self) -> &[AckSample] {
+        &self.cold.samples
+    }
+}
+
+impl Agent for TcpSender {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        let mut io = FlowIo {
+            node: ctx.node,
+            token_bits: 0,
+            ctx,
+        };
+        self.view().handle_packet(pkt, &mut io);
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_>) {
+        let mut io = FlowIo {
+            node: ctx.node,
+            token_bits: 0,
+            ctx,
+        };
+        self.view().handle_timer(token.0 & 0xff, &mut io);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -692,12 +845,12 @@ mod tests {
             let mut old_path = OldFloatRto::new();
             for &ns in samples {
                 let secs = SimDuration::from_nanos(ns).as_secs_f64();
-                new_path.update_rtt(secs);
+                new_path.view().update_rtt(secs);
                 old_path.update_rtt(secs);
             }
             for backoff in 0..=20u32 {
-                new_path.backoff = backoff;
-                let new_ns = new_path.current_rto().as_nanos();
+                new_path.rtt.backoff = backoff;
+                let new_ns = new_path.view().current_rto().as_nanos();
                 let old_ns = old_path.current_rto_ns(backoff);
                 assert_eq!(
                     new_ns, old_ns,
@@ -706,8 +859,8 @@ mod tests {
                 );
             }
             // The cap must engage: a deep ladder is exactly max_rto.
-            new_path.backoff = 20;
-            assert!(new_path.current_rto() <= SimDuration::from_secs(60));
+            new_path.rtt.backoff = 20;
+            assert!(new_path.view().current_rto() <= SimDuration::from_secs(60));
         }
     }
 
@@ -716,15 +869,15 @@ mod tests {
     #[test]
     fn backoff_caps_at_sixteen_doublings() {
         let mut s = sender();
-        s.rto = SimDuration::from_micros(300); // below min_rto × 2^-16
-        s.cfg.min_rto = SimDuration::from_nanos(1);
-        s.cfg.max_rto = SimDuration::MAX;
-        s.backoff = 16;
-        let at_cap = s.current_rto();
+        s.rtt.rto = SimDuration::from_micros(300); // below min_rto × 2^-16
+        s.cold.cfg.min_rto = SimDuration::from_nanos(1);
+        s.cold.cfg.max_rto = SimDuration::MAX;
+        s.rtt.backoff = 16;
+        let at_cap = s.view().current_rto();
         assert_eq!(at_cap, SimDuration::from_micros(300) * 65_536);
-        s.backoff = 17;
-        assert_eq!(s.current_rto(), at_cap);
-        s.backoff = u32::MAX;
-        assert_eq!(s.current_rto(), at_cap);
+        s.rtt.backoff = 17;
+        assert_eq!(s.view().current_rto(), at_cap);
+        s.rtt.backoff = u32::MAX;
+        assert_eq!(s.view().current_rto(), at_cap);
     }
 }

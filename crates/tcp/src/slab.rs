@@ -1,0 +1,250 @@
+//! The struct-of-arrays flow slab: one shared agent hosting many TCP
+//! senders.
+//!
+//! Per-flow agents carry two costs at scale: every flow is a separate
+//! `Box<dyn Agent>` (pointer chase + heap spread per event), and the hot
+//! per-ACK fields sit interleaved with cold configuration in one large
+//! struct. The slab flips the layout: the hot parts ([`Wnd`],
+//! [`RttState`], [`AppState`] — all `Copy`) live in parallel vectors
+//! indexed by a dense slot, so dispatching a burst of ACKs walks compact
+//! arrays, while the cold remainder ([`FlowCold`]) stays boxed per flow.
+//!
+//! The slab is installed once per simulator as a *shared* agent (it has no
+//! home node; every flow records its own source node and transmits via
+//! [`netsim::Ctx::send_from`]). Demultiplexing:
+//!
+//! * packets — ACKs carry the flow id; `flow → slot` is a dense lookup.
+//! * timers — tokens carry `slot << 8 | kind`, so bits 8.. address the
+//!   flow and the low byte selects the action (start/stop/transfer/RTO).
+//!
+//! The protocol logic is [`FlowView`]/[`FlowIo`] — the same code the
+//! standalone [`TcpSender`](crate::TcpSender) runs — so slab and legacy
+//! modes produce byte-identical schedules.
+
+use std::any::Any;
+
+use netsim::{Agent, Ctx, FlowId, NodeId, Packet, TimerToken};
+use pert_core::predictors::AckSample;
+
+use crate::cc::CcAlgorithm;
+use crate::sender::{
+    new_flow, AppState, FlowCold, FlowIo, FlowView, RttState, SenderStats, TcpConfig, Wnd,
+    TOKEN_START, TOKEN_STOP,
+};
+use crate::source::Source;
+
+/// Shared agent hosting every TCP sender of a simulation in
+/// struct-of-arrays form. Build implicitly through
+/// [`connect`](crate::connect) /
+/// [`connect_with_source`](crate::connect_with_source); read results back
+/// with the `sender_*` accessors in the crate root.
+#[derive(Default)]
+pub struct FlowSlab {
+    // Hot state, parallel vectors keyed by slot.
+    wnd: Vec<Wnd>,
+    rtt: Vec<RttState>,
+    app: Vec<AppState>,
+    // Cold state and the flow's source node, same keying. The box is
+    // deliberate (clippy: vec_box): `FlowCold` is two orders of magnitude
+    // larger than the hot rows, so boxing keeps slab growth cheap and
+    // keeps the cold bytes entirely out of this vector's cache footprint.
+    #[allow(clippy::vec_box)]
+    cold: Vec<Box<FlowCold>>,
+    nodes: Vec<NodeId>,
+    /// Dense `flow id → slot` map (flow ids are small consecutive
+    /// integers in every topology builder).
+    by_flow: Vec<Option<u32>>,
+}
+
+impl FlowSlab {
+    /// An empty slab.
+    pub fn new() -> Self {
+        FlowSlab::default()
+    }
+
+    /// Number of flows hosted.
+    pub fn len(&self) -> usize {
+        self.cold.len()
+    }
+
+    /// True when the slab hosts no flows.
+    pub fn is_empty(&self) -> bool {
+        self.cold.is_empty()
+    }
+
+    /// Register a flow sending from `node`; returns its slot.
+    pub fn add_flow(
+        &mut self,
+        cfg: TcpConfig,
+        cc: Box<dyn CcAlgorithm>,
+        source: Box<dyn Source>,
+        node: NodeId,
+    ) -> usize {
+        let slot = self.cold.len();
+        assert!(
+            slot < (1usize << 56),
+            "flow slot must fit above the token kind byte"
+        );
+        let flow = cfg.flow;
+        let (wnd, rtt, app, cold) = new_flow(cfg, cc, source);
+        self.wnd.push(wnd);
+        self.rtt.push(rtt);
+        self.app.push(app);
+        self.cold.push(Box::new(cold));
+        self.nodes.push(node);
+        if self.by_flow.len() <= flow.index() {
+            self.by_flow.resize(flow.index() + 1, None);
+        }
+        assert!(
+            self.by_flow[flow.index()].is_none(),
+            "flow {flow} registered twice in the slab"
+        );
+        self.by_flow[flow.index()] = Some(slot as u32);
+        slot
+    }
+
+    /// The slot hosting `flow`, if registered.
+    pub fn slot_of(&self, flow: FlowId) -> Option<usize> {
+        self.by_flow
+            .get(flow.index())
+            .copied()
+            .flatten()
+            .map(|s| s as usize)
+    }
+
+    fn expect_slot(&self, flow: FlowId) -> usize {
+        self.slot_of(flow)
+            .unwrap_or_else(|| panic!("flow {flow} is not hosted by this slab"))
+    }
+
+    /// Timer token that starts `flow`'s slot (see
+    /// [`START_TOKEN`](crate::START_TOKEN) for the standalone equivalent).
+    pub fn start_token(slot: usize) -> TimerToken {
+        TimerToken(TOKEN_START | ((slot as u64) << 8))
+    }
+
+    /// Timer token that stops `flow`'s slot.
+    pub fn stop_token(slot: usize) -> TimerToken {
+        TimerToken(TOKEN_STOP | ((slot as u64) << 8))
+    }
+
+    fn view(&mut self, slot: usize) -> FlowView<'_> {
+        FlowView {
+            wnd: &mut self.wnd[slot],
+            rtt: &mut self.rtt[slot],
+            app: &mut self.app[slot],
+            cold: &mut self.cold[slot],
+        }
+    }
+
+    // --- per-flow read-back (mirrors the `TcpSender` accessors) ---------
+
+    /// Cumulative statistics of `flow`.
+    pub fn stats_of(&self, flow: FlowId) -> &SenderStats {
+        &self.cold[self.expect_slot(flow)].stats
+    }
+
+    /// Per-ACK samples of `flow` (empty unless `record_samples`).
+    pub fn samples_of(&self, flow: FlowId) -> &[AckSample] {
+        &self.cold[self.expect_slot(flow)].samples
+    }
+
+    /// Congestion-control algorithm of `flow` (for downcasting).
+    pub fn cc_of(&self, flow: FlowId) -> &dyn CcAlgorithm {
+        self.cold[self.expect_slot(flow)].cc.as_ref()
+    }
+
+    /// Current congestion window of `flow`, segments.
+    pub fn cwnd_of(&self, flow: FlowId) -> f64 {
+        self.wnd[self.expect_slot(flow)].cwnd
+    }
+
+    /// Current smoothed RTT estimate of `flow`, seconds.
+    pub fn srtt_of(&self, flow: FlowId) -> Option<f64> {
+        self.rtt[self.expect_slot(flow)].srtt
+    }
+
+    /// True once `flow` has permanently finished.
+    pub fn stopped_of(&self, flow: FlowId) -> bool {
+        self.app[self.expect_slot(flow)].stopped
+    }
+
+    /// True while `flow` is in loss recovery.
+    pub fn in_recovery_of(&self, flow: FlowId) -> bool {
+        self.wnd[self.expect_slot(flow)].recovery_point.is_some()
+    }
+}
+
+impl Agent for FlowSlab {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        let slot = self.expect_slot(pkt.flow);
+        let mut io = FlowIo {
+            node: self.nodes[slot],
+            token_bits: (slot as u64) << 8,
+            ctx,
+        };
+        self.view(slot).handle_packet(pkt, &mut io);
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_>) {
+        let slot = (token.0 >> 8) as usize;
+        let mut io = FlowIo {
+            node: self.nodes[slot],
+            token_bits: (slot as u64) << 8,
+            ctx,
+        };
+        self.view(slot).handle_timer(token.0 & 0xff, &mut io);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::Reno;
+    use crate::source::Greedy;
+    use netsim::AgentId;
+
+    fn cfg(flow: usize) -> TcpConfig {
+        TcpConfig::new(FlowId(flow), NodeId(1), AgentId(1))
+    }
+
+    #[test]
+    fn slots_are_dense_and_flow_keyed() {
+        let mut slab = FlowSlab::new();
+        let s0 = slab.add_flow(cfg(7), Box::new(Reno::new()), Box::new(Greedy), NodeId(0));
+        let s1 = slab.add_flow(cfg(3), Box::new(Reno::new()), Box::new(Greedy), NodeId(2));
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.slot_of(FlowId(7)), Some(0));
+        assert_eq!(slab.slot_of(FlowId(3)), Some(1));
+        assert_eq!(slab.slot_of(FlowId(0)), None);
+        assert_eq!(slab.cwnd_of(FlowId(7)), 2.0);
+        assert!(!slab.stopped_of(FlowId(3)));
+    }
+
+    #[test]
+    fn tokens_embed_the_slot_above_the_kind_byte() {
+        let t = FlowSlab::start_token(5);
+        assert_eq!(t.0 & 0xff, TOKEN_START);
+        assert_eq!(t.0 >> 8, 5);
+        let t = FlowSlab::stop_token(1023);
+        assert_eq!(t.0 & 0xff, TOKEN_STOP);
+        assert_eq!(t.0 >> 8, 1023);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_flow_registration_panics() {
+        let mut slab = FlowSlab::new();
+        slab.add_flow(cfg(1), Box::new(Reno::new()), Box::new(Greedy), NodeId(0));
+        slab.add_flow(cfg(1), Box::new(Reno::new()), Box::new(Greedy), NodeId(0));
+    }
+}

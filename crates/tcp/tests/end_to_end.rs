@@ -1,8 +1,16 @@
 //! End-to-end transport tests: full TCP dynamics over the simulator.
+//!
+//! Connections are built through the default flow-slab hosting; the
+//! `sender_*` accessors read per-flow state back regardless of mode, and
+//! `slab_and_legacy_modes_agree` pins the two hostings to identical
+//! dynamics.
 
 use netsim::prelude::*;
 use netsim::queue::QueueDiscipline;
-use pert_tcp::{connect, connect_with_source, ConnectionSpec, Finite, TcpSender, START_TOKEN};
+use pert_tcp::{
+    connect, connect_with_source, sender_samples, sender_stats, sender_stopped, ConnectionSpec,
+    Finite,
+};
 
 /// Dumbbell: n0 — bottleneck — n1; returns (sim, n0, n1, forward link id).
 fn dumbbell(
@@ -30,7 +38,7 @@ fn sack_fills_the_link() {
         1,
     );
     let conn = connect(&mut sim, ConnectionSpec::sack(FlowId(0), a, b, 1));
-    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, START_TOKEN);
+    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, conn.start_token);
     sim.run_until(SimTime::from_secs_f64(5.0));
     sim.reset_measurements();
     sim.run_until(SimTime::from_secs_f64(15.0));
@@ -51,20 +59,20 @@ fn sack_recovers_from_buffer_overflow_losses() {
         2,
     );
     let conn = connect(&mut sim, ConnectionSpec::sack(FlowId(0), a, b, 2));
-    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, START_TOKEN);
+    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, conn.start_token);
     sim.run_until(SimTime::from_secs_f64(20.0));
-    let s: &TcpSender = sim.agent(conn.sender);
+    let stats = sender_stats(&sim, &conn);
     assert!(
         !sim.trace.drops.is_empty(),
         "expected drops with a 10-pkt buffer"
     );
-    assert!(s.stats.retransmits > 0, "no retransmissions despite drops");
-    assert!(s.stats.loss_events > 0);
+    assert!(stats.retransmits > 0, "no retransmissions despite drops");
+    assert!(stats.loss_events > 0);
     // Goodput sanity: ≥ 70% of the link over 20 s (10 Mbps = 1250 seg/s).
     assert!(
-        s.stats.acked_segments > 17_000,
+        stats.acked_segments > 17_000,
         "acked only {}",
-        s.stats.acked_segments
+        stats.acked_segments
     );
 }
 
@@ -83,11 +91,10 @@ fn delivery_is_reliable_and_in_order() {
         ConnectionSpec::sack(FlowId(0), a, b, 3),
         Box::new(Finite::new(5000)),
     );
-    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, START_TOKEN);
+    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, conn.start_token);
     sim.run_until(SimTime::from_secs_f64(60.0));
-    let s: &TcpSender = sim.agent(conn.sender);
-    assert_eq!(s.stats.acked_segments, 5000);
-    assert!(s.is_stopped(), "finite flow should finish");
+    assert_eq!(sender_stats(&sim, &conn).acked_segments, 5000);
+    assert!(sender_stopped(&sim, &conn), "finite flow should finish");
     let sink: &pert_tcp::TcpSink = sim.agent(conn.sink);
     assert_eq!(sink.stats.rcv_next, 5000);
 }
@@ -108,7 +115,7 @@ fn pert_keeps_queue_and_drops_low() {
             sim.schedule_agent_timer(
                 SimTime::from_secs_f64(i as f64 * 0.5),
                 c.sender,
-                START_TOKEN,
+                c.start_token,
             );
         }
         sim.run_until(SimTime::from_secs_f64(20.0));
@@ -150,7 +157,7 @@ fn vegas_holds_small_backlog() {
         5,
     );
     let c = connect(&mut sim, ConnectionSpec::vegas(FlowId(0), a, b, 5));
-    sim.schedule_agent_timer(SimTime::ZERO, c.sender, START_TOKEN);
+    sim.schedule_agent_timer(SimTime::ZERO, c.sender, c.start_token);
     sim.run_until(SimTime::from_secs_f64(10.0));
     sim.reset_measurements();
     sim.run_until(SimTime::from_secs_f64(30.0));
@@ -190,7 +197,7 @@ fn ecn_with_red_avoids_drops() {
         sim.schedule_agent_timer(
             SimTime::from_secs_f64(i as f64 * 0.3),
             c.sender,
-            START_TOKEN,
+            c.start_token,
         );
     }
     sim.run_until(SimTime::from_secs_f64(10.0));
@@ -227,7 +234,7 @@ fn identical_seeds_reproduce_exactly() {
             sim.schedule_agent_timer(
                 SimTime::from_secs_f64(i as f64 * 0.1),
                 c.sender,
-                START_TOKEN,
+                c.start_token,
             );
         }
         sim.run_until(SimTime::from_secs_f64(15.0));
@@ -251,10 +258,13 @@ fn delayed_acks_halve_ack_traffic_without_breaking_reliability() {
     let mut spec = ConnectionSpec::sack(FlowId(0), a, b, 9);
     spec.delack = Some(SimDuration::from_millis(100));
     let conn = connect_with_source(&mut sim, spec, Box::new(Finite::new(3000)));
-    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, START_TOKEN);
+    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, conn.start_token);
     sim.run_until(SimTime::from_secs_f64(30.0));
-    let s: &TcpSender = sim.agent(conn.sender);
-    assert_eq!(s.stats.acked_segments, 3000, "reliability broken");
+    assert_eq!(
+        sender_stats(&sim, &conn).acked_segments,
+        3000,
+        "reliability broken"
+    );
     let sink: &pert_tcp::TcpSink = sim.agent(conn.sink);
     assert_eq!(sink.stats.rcv_next, 3000);
     // ACK traffic on the reverse link should be roughly halved: ~1 ACK per
@@ -279,15 +289,57 @@ fn per_ack_samples_are_recorded_when_requested() {
         &mut sim,
         ConnectionSpec::sack(FlowId(0), a, b, 8).with_samples(),
     );
-    sim.schedule_agent_timer(SimTime::ZERO, c.sender, START_TOKEN);
+    sim.schedule_agent_timer(SimTime::ZERO, c.sender, c.start_token);
     sim.run_until(SimTime::from_secs_f64(3.0));
-    let s: &TcpSender = sim.agent(c.sender);
-    assert!(!s.samples.is_empty());
+    let samples = sender_samples(&sim, &c);
+    assert!(!samples.is_empty());
     // Samples are (time, rtt, cwnd) with sane ranges.
-    for smp in &s.samples {
+    for smp in samples {
         assert!(smp.rtt >= 0.020, "rtt below propagation: {}", smp.rtt);
         assert!(smp.cwnd >= 1.0);
     }
     // One sample per ACK ≈ one per acked segment.
-    assert!(s.samples.len() as u64 >= s.stats.acked_segments / 2);
+    assert!(samples.len() as u64 >= sender_stats(&sim, &c).acked_segments / 2);
+}
+
+/// The slab and legacy hostings must be observationally identical: same
+/// event count, same drop trace, same delivered bits, same per-flow
+/// statistics — for the same seeds.
+#[test]
+fn slab_and_legacy_modes_agree() {
+    let run = |legacy: bool| {
+        pert_tcp::set_legacy_agents(legacy);
+        let (mut sim, a, b, _f) = dumbbell(
+            5_000_000,
+            SimDuration::from_millis(20),
+            |_| Box::new(DropTail::new(30)),
+            11,
+        );
+        let mut conns = Vec::new();
+        for i in 0..3u64 {
+            let c = connect(&mut sim, ConnectionSpec::pert(FlowId(i as usize), a, b, i));
+            sim.schedule_agent_timer(
+                SimTime::from_secs_f64(i as f64 * 0.1),
+                c.sender,
+                c.start_token,
+            );
+            conns.push(c);
+        }
+        sim.run_until(SimTime::from_secs_f64(15.0));
+        pert_tcp::set_legacy_agents(false);
+        let per_flow: Vec<(u64, u64, u64)> = conns
+            .iter()
+            .map(|c| {
+                let s = sender_stats(&sim, c);
+                (s.acked_segments, s.retransmits, s.loss_events)
+            })
+            .collect();
+        (
+            sim.events_processed(),
+            sim.trace.drops.len(),
+            sim.link(LinkId(0)).delivered_bits,
+            per_flow,
+        )
+    };
+    assert_eq!(run(false), run(true));
 }

@@ -6,7 +6,7 @@
 
 use netsim::queue::DropTail;
 use netsim::{FlowId, LinkId, NodeId, SimDuration, SimTime, Simulator};
-use pert_tcp::{connect_with_source, Connection, Greedy, START_TOKEN};
+use pert_tcp::{connect_with_source, Connection, Greedy};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -171,7 +171,7 @@ pub fn build_chain(cfg: &ChainConfig) -> Chain {
 
     for conn in hop_flows.iter().flatten().chain(&end_to_end) {
         let start = rng.gen::<f64>() * cfg.start_window_secs.max(1e-9);
-        sim.schedule_agent_timer(SimTime::from_secs_f64(start), conn.sender, START_TOKEN);
+        sim.schedule_agent_timer(SimTime::from_secs_f64(start), conn.sender, conn.start_token);
     }
 
     Chain {
@@ -187,7 +187,6 @@ pub fn build_chain(cfg: &ChainConfig) -> Chain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pert_tcp::TcpSender;
 
     fn tiny() -> ChainConfig {
         ChainConfig {
@@ -223,8 +222,8 @@ mod tests {
             assert!(sim.link(fwd).delivered_pkts > 1000, "idle hop {fwd:?}");
         }
         for conn in &c.end_to_end {
-            let s: &TcpSender = sim.agent(conn.sender);
-            assert!(s.stats.acked_segments > 100, "e2e flow starved");
+            let acked = pert_tcp::sender_stats(&sim, conn).acked_segments;
+            assert!(acked > 100, "e2e flow starved");
         }
     }
 

@@ -16,7 +16,7 @@
 
 use netsim::queue::DropTail;
 use netsim::{FlowId, LinkId, NodeId, SimDuration, SimTime, Simulator};
-use pert_tcp::{connect_with_source, Connection, Greedy, Source, START_TOKEN};
+use pert_tcp::{connect_with_source, Connection, Greedy, Source};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -246,7 +246,7 @@ pub fn build_dumbbell(cfg: &DumbbellConfig) -> Dumbbell {
     if cfg.auto_start {
         for conn in forward.iter().chain(&reverse).chain(&web) {
             let start = rng.gen::<f64>() * cfg.start_window_secs.max(1e-9);
-            sim.schedule_agent_timer(SimTime::from_secs_f64(start), conn.sender, START_TOKEN);
+            sim.schedule_agent_timer(SimTime::from_secs_f64(start), conn.sender, conn.start_token);
         }
     }
 
@@ -266,7 +266,6 @@ pub fn build_dumbbell(cfg: &DumbbellConfig) -> Dumbbell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pert_tcp::TcpSender;
 
     fn small_cfg(scheme: Scheme) -> DumbbellConfig {
         DumbbellConfig {
@@ -309,19 +308,19 @@ mod tests {
         let total: u64 = d
             .forward
             .iter()
-            .map(|c| sim.agent::<TcpSender>(c.sender).stats.acked_segments)
+            .map(|c| pert_tcp::sender_stats(&sim, c).acked_segments)
             .sum();
         assert!(total > 1000, "forward goodput too low: {total}");
         let rev: u64 = d
             .reverse
             .iter()
-            .map(|c| sim.agent::<TcpSender>(c.sender).stats.acked_segments)
+            .map(|c| pert_tcp::sender_stats(&sim, c).acked_segments)
             .sum();
         assert!(rev > 100, "reverse goodput too low: {rev}");
         let web_total: u64 = d
             .web
             .iter()
-            .map(|c| sim.agent::<TcpSender>(c.sender).stats.acked_segments)
+            .map(|c| pert_tcp::sender_stats(&sim, c).acked_segments)
             .sum();
         assert!(web_total > 0, "web sessions silent");
     }
@@ -333,10 +332,8 @@ mod tests {
         let d = build_dumbbell(&cfg);
         let mut sim = d.sim;
         sim.run_until(SimTime::from_secs_f64(8.0));
-        let s: &TcpSender = sim.agent(d.forward[0].sender);
-        assert!(!s.samples.is_empty());
-        let o: &TcpSender = sim.agent(d.forward[1].sender);
-        assert!(o.samples.is_empty());
+        assert!(!pert_tcp::sender_samples(&sim, &d.forward[0]).is_empty());
+        assert!(pert_tcp::sender_samples(&sim, &d.forward[1]).is_empty());
     }
 
     #[test]
@@ -352,9 +349,7 @@ mod tests {
         let d = build_dumbbell(&cfg);
         let mut sim = d.sim;
         sim.run_until(SimTime::from_secs_f64(2.0));
-        let s: &TcpSender = sim.agent(d.forward[0].sender);
-        let min_rtt = s
-            .samples
+        let min_rtt = pert_tcp::sender_samples(&sim, &d.forward[0])
             .iter()
             .map(|x| x.rtt)
             .fold(f64::INFINITY, f64::min);

@@ -4,7 +4,7 @@
 //! the panels of Figures 6–9, 11, 14).
 
 use netsim::{LinkId, SimTime, Simulator};
-use pert_tcp::{Connection, TcpSender};
+use pert_tcp::Connection;
 
 /// Per-link measurements over a window.
 #[derive(Clone, Copy, Debug)]
@@ -38,7 +38,7 @@ pub fn snapshot_goodput(sim: &Simulator, conns: &[Connection]) -> GoodputSnapsho
         at: sim.now(),
         acked: conns
             .iter()
-            .map(|c| sim.agent::<TcpSender>(c.sender).stats.acked_segments)
+            .map(|c| pert_tcp::sender_stats(sim, c).acked_segments)
             .collect(),
     }
 }

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use pert::netsim::prelude::*;
-use pert::tcp::{connect, ConnectionSpec, TcpSender, START_TOKEN};
+use pert::tcp::{connect, sender_cc, sender_stats, ConnectionSpec};
 
 fn main() {
     // Topology: two hosts joined by a duplex 10 Mbps link with 30 ms
@@ -36,7 +36,7 @@ fn main() {
             sim.schedule_agent_timer(
                 SimTime::from_secs_f64(i as f64 * 0.5),
                 c.sender,
-                START_TOKEN,
+                c.start_token,
             );
             c
         })
@@ -47,20 +47,19 @@ fn main() {
     sim.reset_measurements();
     let acked_at_start: Vec<u64> = conns
         .iter()
-        .map(|c| sim.agent::<TcpSender>(c.sender).stats.acked_segments)
+        .map(|c| sender_stats(&sim, c).acked_segments)
         .collect();
     sim.run_until(SimTime::from_secs_f64(60.0));
     sim.flush_measurements();
 
     println!("PERT quickstart — 10 Mbps, 60 ms RTT, 75-packet DropTail buffer\n");
     for (i, c) in conns.iter().enumerate() {
-        let s: &TcpSender = sim.agent(c.sender);
-        let goodput_mbps =
-            (s.stats.acked_segments - acked_at_start[i]) as f64 * 8000.0 / 50.0 / 1e6;
+        let stats = sender_stats(&sim, c);
+        let goodput_mbps = (stats.acked_segments - acked_at_start[i]) as f64 * 8000.0 / 50.0 / 1e6;
         println!(
             "  flow {i}: goodput {goodput_mbps:.2} Mbps, early reductions {}, loss events {}",
-            s.cc().early_reductions(),
-            s.stats.loss_events
+            sender_cc(&sim, c).early_reductions(),
+            stats.loss_events
         );
     }
 

@@ -9,7 +9,6 @@
 
 use pert::netsim::SimDuration;
 use pert::stats::jain_index;
-use pert::tcp::TcpSender;
 use pert::workload::{
     build_dumbbell, link_metrics, run_measured, snapshot_goodput, DumbbellConfig, Scheme, WebParams,
 };
@@ -46,7 +45,7 @@ fn main() {
         let web_segs: u64 = d
             .web
             .iter()
-            .map(|c| sim.agent::<TcpSender>(c.sender).stats.acked_segments)
+            .map(|c| pert::tcp::sender_stats(&sim, c).acked_segments)
             .sum();
         let span = end.duration_since(start).as_secs_f64();
 

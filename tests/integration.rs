@@ -6,7 +6,7 @@ use pert::core::{PertController, PertParams};
 use pert::fluid::stability;
 use pert::netsim::{SimDuration, SimTime};
 use pert::stats::jain_index;
-use pert::tcp::TcpSender;
+use pert::tcp::{sender_cc, sender_samples, sender_stats};
 use pert::workload::{
     build_dumbbell, link_metrics, run_measured, snapshot_goodput, DumbbellConfig, Scheme,
 };
@@ -113,9 +113,9 @@ fn ecn_signalling_reaches_the_sender() {
     let mut ecn_total = 0;
     let mut loss_total = 0;
     for c in &d.forward {
-        let s: &TcpSender = sim.agent(c.sender);
-        ecn_total += s.stats.ecn_reductions;
-        loss_total += s.stats.loss_events;
+        let stats = sender_stats(&sim, c);
+        ecn_total += stats.ecn_reductions;
+        loss_total += stats.loss_events;
     }
     assert!(ecn_total > 0, "no ECE-triggered reductions");
     assert!(
@@ -139,8 +139,8 @@ fn pert_survives_reverse_path_traffic() {
     assert!(fwd.utilization > 50.0, "forward util {}", fwd.utilization);
     assert!(rev.utilization > 50.0, "reverse util {}", rev.utilization);
     for c in d.forward.iter().chain(&d.reverse) {
-        let snd: &TcpSender = sim.agent(c.sender);
-        assert!(snd.stats.acked_segments > 1000, "a flow starved");
+        let acked = sender_stats(&sim, c).acked_segments;
+        assert!(acked > 1000, "a flow starved");
     }
 }
 
@@ -154,9 +154,8 @@ fn controller_replay_matches_in_sim_behaviour() {
     let d = build_dumbbell(&cfg);
     let mut sim = d.sim;
     sim.run_until(SimTime::from_secs_f64(40.0));
-    let sender: &TcpSender = sim.agent(d.forward[0].sender);
-    let in_sim = sender.cc().early_reductions();
-    let samples = sender.samples.clone();
+    let in_sim = sender_cc(&sim, &d.forward[0]).early_reductions();
+    let samples = sender_samples(&sim, &d.forward[0]).to_vec();
     assert!(samples.len() > 1000);
 
     let mut ctl = PertController::new(PertParams::default(), 999);
@@ -187,7 +186,7 @@ fn whole_stack_determinism() {
         let goodputs: Vec<u64> = d
             .forward
             .iter()
-            .map(|c| sim.agent::<TcpSender>(c.sender).stats.acked_segments)
+            .map(|c| sender_stats(&sim, c).acked_segments)
             .collect();
         (sim.events_processed(), sim.trace.drops.len(), goodputs)
     };
