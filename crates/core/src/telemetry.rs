@@ -148,7 +148,11 @@ impl Drop for ScopeGuard {
     }
 }
 
-fn current_scope() -> String {
+/// This thread's current telemetry scope (empty when unscoped). Exposed
+/// so multi-threaded drivers (the shard workers) can capture the calling
+/// thread's scope and re-establish it with [`scoped`] on their workers —
+/// records published from a worker then group with the owning job.
+pub fn current_scope() -> String {
     SCOPE.with(|s| s.borrow().clone())
 }
 

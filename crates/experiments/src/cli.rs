@@ -11,7 +11,7 @@ use netsim::CalendarKind;
 
 /// The usage text printed on a parse error.
 pub const USAGE: &str = "usage: experiments <target>... [--quick|--standard|--full] [--jobs N] \
-[--seed S] [--json PATH] [--csv PATH] [--audit] [--telemetry] [--trace-out PATH] \
+[--shards N] [--seed S] [--json PATH] [--csv PATH] [--audit] [--telemetry] [--trace-out PATH] \
 [--flight-window N] [--progress] [--calendar wheel|heap] [--legacy-agents]\n\
 \x20      experiments trace summarize|diff ... (see `experiments trace`)\n\
 targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1\n\
@@ -31,7 +31,11 @@ wheel (default) or the reference binary heap. Reports are byte-identical\n\
 either way; the heap is the escape hatch and differential baseline.\n\
 --legacy-agents hosts each TCP sender in its own agent instead of the\n\
 shared struct-of-arrays flow slab. Reports are byte-identical either way;\n\
-the per-flow path is the escape hatch and equivalence baseline.";
+the per-flow path is the escape hatch and equivalence baseline.\n\
+--shards N splits each simulation's measured phase into N space-parallel\n\
+shards (cut at positive-delay links) run in deterministic barrier epochs.\n\
+Reports are byte-identical at any N; scenarios that cannot be split fall\n\
+back to one shard. Composes with --jobs (N threads per in-flight job).";
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -42,6 +46,8 @@ pub struct Cli {
     pub scale: Scale,
     /// Worker threads for the runner.
     pub jobs: usize,
+    /// Space-parallel shards per simulation (1 = monolithic).
+    pub shards: usize,
     /// Base-seed override (`None` = each target's historical seed).
     pub seed: Option<u64>,
     /// Write all reports as a JSON array to this path.
@@ -77,6 +83,7 @@ fn flag_value<'a>(flag: &str, args: &'a [String], i: &mut usize) -> Result<&'a s
 pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut scale = Scale::Standard;
     let mut jobs = default_workers();
+    let mut shards = 1;
     let mut seed = None;
     let mut json = None;
     let mut csv = None;
@@ -103,6 +110,14 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--jobs wants a positive integer, got '{v}'"))?;
+            }
+            "--shards" => {
+                let v = flag_value(a, args, &mut i)?;
+                shards = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--shards wants a positive integer, got '{v}'"))?;
             }
             "--seed" => {
                 let v = flag_value(a, args, &mut i)?;
@@ -169,6 +184,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         targets,
         scale,
         jobs,
+        shards,
         seed,
         json,
         csv,
@@ -207,6 +223,21 @@ mod tests {
         assert!(p(&["fig99"])
             .unwrap_err()
             .contains("unknown target 'fig99'"));
+    }
+
+    #[test]
+    fn shards_flag_defaults_to_one_and_is_validated() {
+        assert_eq!(p(&["fig6"]).unwrap().shards, 1);
+        assert_eq!(p(&["fig6", "--shards", "4"]).unwrap().shards, 4);
+        assert!(p(&["fig6", "--shards", "0"])
+            .unwrap_err()
+            .contains("--shards"));
+        assert!(p(&["fig6", "--shards", "x"])
+            .unwrap_err()
+            .contains("--shards"));
+        assert!(p(&["fig6", "--shards"])
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! The simulator attributes its inner loop two ways while telemetry is
 //! on: wall-clock per event class (`sim/ev/<class>` closed spans, with
 //! matching `sim/ev_<class>` counters) and per queue discipline
-//! (`sim/queue_ops/<name>` spans and counters). This module joins the
-//! two streams into one ranked table per target.
+//! (`sim/queue_ops/<name>` spans and counters). Sharded runs add a
+//! third family, `shard/<n>` (worker-thread wall-clock + events
+//! processed per shard), which makes load imbalance across shards
+//! visible. This module joins the streams into one ranked table per
+//! target.
 //!
 //! Wall-clock is machine-dependent, so the table goes to **stderr**
 //! (and to `BENCH_observatory.json` via the bench harness) — never into
@@ -38,7 +41,9 @@ pub fn attribute(metrics: &MetricsSet, spans: &[Span]) -> Vec<CostRow> {
     // skipped: it is the sum of the per-discipline spans.
     let mut wall: BTreeMap<&str, u64> = BTreeMap::new();
     for s in spans {
-        let interesting = s.name.starts_with("sim/ev/") || s.name.starts_with("sim/queue_ops/");
+        let interesting = s.name.starts_with("sim/ev/")
+            || s.name.starts_with("sim/queue_ops/")
+            || s.name.starts_with("shard/");
         if interesting {
             *wall.entry(s.name.as_str()).or_default() += s.dur_us;
         }
@@ -46,7 +51,8 @@ pub fn attribute(metrics: &MetricsSet, spans: &[Span]) -> Vec<CostRow> {
 
     let count_for = |span_name: &str| -> u64 {
         // `sim/ev/arrival` span ↔ `sim/ev_arrival` counter;
-        // `sim/queue_ops/X` span ↔ `sim/queue_ops/X` counter.
+        // `sim/queue_ops/X` span ↔ `sim/queue_ops/X` counter;
+        // `shard/N` span ↔ `shard/N` counter (events on that shard).
         let counter_name = match span_name.strip_prefix("sim/ev/") {
             Some(class) => format!("sim/ev_{class}"),
             None => span_name.to_string(),
@@ -157,6 +163,34 @@ mod tests {
                 count: 1900,
                 wall_us: 100
             }
+        );
+    }
+
+    #[test]
+    fn shard_rows_join_worker_wall_with_event_counts() {
+        let mut m = MetricsSet::new();
+        m.counter_add("shard/0", 600);
+        m.counter_add("shard/1", 400);
+        let spans = vec![
+            span("shard/0", 900),
+            span("shard/0", 100), // two run_until calls on shard 0 sum
+            span("shard/1", 700),
+        ];
+        let rows = attribute(&m, &spans);
+        assert_eq!(
+            rows,
+            vec![
+                CostRow {
+                    name: "shard/0".into(),
+                    count: 600,
+                    wall_us: 1000
+                },
+                CostRow {
+                    name: "shard/1".into(),
+                    count: 400,
+                    wall_us: 700
+                },
+            ]
         );
     }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments <target>... [--quick|--standard|--full] [--jobs N]
-//!             [--seed S] [--json PATH] [--csv PATH] [--audit]
+//!             [--shards N] [--seed S] [--json PATH] [--csv PATH] [--audit]
 //!             [--telemetry] [--trace-out PATH] [--flight-window N]
 //!             [--progress] [--calendar wheel|heap] [--legacy-agents]
 //! experiments trace summarize FILE [filters] | trace diff A B [--tol X]
@@ -52,6 +52,7 @@ fn main() {
     // Must happen before any simulator is built: the calendar backend,
     // audit shadows, and telemetry taps all attach at construction time.
     netsim::set_default_calendar(cli.calendar);
+    netsim::set_default_shards(cli.shards);
     netsim::audit::set_enabled(cli.audit);
     pert_tcp::set_legacy_agents(cli.legacy_agents);
     telemetry::set_enabled(cli.telemetry);

@@ -16,7 +16,8 @@
 //! thread-local string swap per job — nothing more.
 
 use std::any::Any;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -24,6 +25,31 @@ use crate::report::PointTiming;
 
 /// A type-erased point result; scenarios downcast in `assemble`.
 pub type PointResult = Box<dyn Any + Send>;
+
+/// What a worker deposits for one job: the result, or the panic payload
+/// caught from it.
+type JobOutcome = Result<PointResult, Box<dyn Any + Send>>;
+
+/// Re-raise a panic caught from a job, annotated with the job's label
+/// when the payload is a plain message (the `panic!`/`expect` common
+/// case; exotic `panic_any` payloads pass through untouched so callers
+/// can still downcast them). `resume_unwind` deliberately skips the
+/// panic hook — it already fired at the original panic site, where the
+/// flight recorder dumped its window.
+fn reraise_job_panic(label: &str, payload: Box<dyn Any + Send>) -> ! {
+    let annotated: Box<dyn Any + Send> = if let Some(s) = payload.downcast_ref::<&str>() {
+        Box::new(format!("job '{label}' panicked: {s}"))
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        Box::new(format!("job '{label}' panicked: {s}"))
+    } else {
+        payload
+    };
+    if let Some(s) = annotated.downcast_ref::<String>() {
+        // The hook printed the raw panic site; name the job for the log.
+        eprintln!("{s}");
+    }
+    resume_unwind(annotated)
+}
 
 /// One independent unit of work (usually a single simulation run).
 pub struct Job {
@@ -60,7 +86,10 @@ pub fn run_jobs(jobs: Vec<Job>, workers: usize) -> (Vec<PointResult>, Vec<PointT
         let mut timings = Vec::with_capacity(n);
         for job in jobs {
             let t0 = Instant::now();
-            results.push(run_scoped(&job.label, job.run));
+            match catch_unwind(AssertUnwindSafe(|| run_scoped(&job.label, job.run))) {
+                Ok(result) => results.push(result),
+                Err(payload) => reraise_job_panic(&job.label, payload),
+            }
             timings.push(PointTiming {
                 label: job.label,
                 secs: t0.elapsed().as_secs_f64(),
@@ -75,20 +104,31 @@ pub fn run_jobs(jobs: Vec<Job>, workers: usize) -> (Vec<PointResult>, Vec<PointT
     // One slot per job: workers `take()` the closure, then write the
     // result back into the slot of the same index.
     let work: Vec<WorkSlot> = jobs.into_iter().map(|j| Mutex::new(Some(j.run))).collect();
-    let done: Vec<Mutex<Option<(PointResult, f64)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let done: Vec<Mutex<Option<(JobOutcome, f64)>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    // Raised by the first job that panics: workers stop claiming *new*
+    // jobs but every claimed job still deposits its outcome, so the scope
+    // joins cleanly and completed results drain through assembly below
+    // instead of vanishing in a poisoned pool.
+    let poisoned = AtomicBool::new(false);
 
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
+                if poisoned.load(Ordering::Relaxed) {
+                    break;
+                }
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let f = work[i].lock().unwrap().take().expect("job claimed twice");
                 let t0 = Instant::now();
-                let result = run_scoped(&labels[i], f);
-                *done[i].lock().unwrap() = Some((result, t0.elapsed().as_secs_f64()));
+                let outcome = catch_unwind(AssertUnwindSafe(|| run_scoped(&labels[i], f)));
+                if outcome.is_err() {
+                    poisoned.store(true, Ordering::Relaxed);
+                }
+                *done[i].lock().unwrap() = Some((outcome, t0.elapsed().as_secs_f64()));
             });
         }
     });
@@ -96,12 +136,17 @@ pub fn run_jobs(jobs: Vec<Job>, workers: usize) -> (Vec<PointResult>, Vec<PointT
     let mut results = Vec::with_capacity(n);
     let mut timings = Vec::with_capacity(n);
     for (slot, label) in done.into_iter().zip(labels) {
-        let (result, secs) = slot
-            .into_inner()
-            .unwrap()
-            .expect("worker exited without depositing a result");
-        results.push(result);
-        timings.push(PointTiming { label, secs });
+        // Claims happen in cursor order, so any panicked job sits at a
+        // lower index than every unclaimed (`None`) slot: the re-raise
+        // below always fires before a `None` can be reached.
+        match slot.into_inner().unwrap() {
+            Some((Ok(result), secs)) => {
+                results.push(result);
+                timings.push(PointTiming { label, secs });
+            }
+            Some((Err(payload), _)) => reraise_job_panic(&label, payload),
+            None => unreachable!("job '{label}' unclaimed without an earlier panic"),
+        }
     }
     (results, timings)
 }
@@ -168,6 +213,48 @@ mod tests {
     fn oversubscribed_pool_clamps_to_job_count() {
         let (results, _) = run_jobs(index_jobs(2), 64);
         assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn panicking_job_reraises_with_label_after_draining() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        for workers in [1, 2] {
+            let completed = Arc::new(AtomicUsize::new(0));
+            let mut jobs: Vec<Job> = (0..4)
+                .map(|i| {
+                    let c = Arc::clone(&completed);
+                    Job::new(format!("ok{i}"), move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                        i
+                    })
+                })
+                .collect();
+            jobs.push(Job::new("boom", || -> usize { panic!("kaput") }));
+            let err = catch_unwind(AssertUnwindSafe(|| run_jobs(jobs, workers))).unwrap_err();
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "<non-string payload>".into());
+            assert!(
+                msg.contains("job 'boom' panicked"),
+                "workers={workers}: {msg}"
+            );
+            assert!(msg.contains("kaput"), "workers={workers}: {msg}");
+            // "boom" is declared last, so the cursor claims every other
+            // job first and each claimed job runs to completion.
+            assert_eq!(completed.load(Ordering::Relaxed), 4, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn non_message_panic_payloads_pass_through() {
+        let jobs = vec![Job::new("odd", || -> usize {
+            std::panic::panic_any(42usize)
+        })];
+        let err = catch_unwind(AssertUnwindSafe(|| run_jobs(jobs, 1))).unwrap_err();
+        assert_eq!(*err.downcast::<usize>().unwrap(), 42);
     }
 
     #[test]

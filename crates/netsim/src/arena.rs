@@ -53,7 +53,13 @@ struct Slot {
 }
 
 /// Slab of in-flight packets with generation-checked handles.
-#[derive(Debug, Default)]
+///
+/// `Clone` exists for the shard-split path: every shard receives a full
+/// copy of the pre-split arena, so `PacketRef`s issued before the split
+/// stay valid in whichever shard's event stream or queue store holds
+/// them. Slots only one shard's refs point at simply idle in the other
+/// clones for the remainder of the run.
+#[derive(Clone, Debug, Default)]
 pub struct PacketArena {
     slots: Vec<Slot>,
     /// Indices of vacant slots, reused LIFO (keeps the hot set compact).

@@ -120,6 +120,26 @@ pub trait AuditHook: Send {
     /// Called when occupancy integrals are flushed up to now
     /// (`Simulator::flush_measurements`).
     fn on_flush(&mut self, _ctx: &AuditCtx) {}
+
+    /// True when this hook can be divided across space-parallel shards by
+    /// [`AuditHook::shard_split`]. The simulator probes every installed
+    /// hook *before* mutating anything, so a `false` here vetoes the split
+    /// cleanly (the run falls back to single-shard execution).
+    fn supports_shard_split(&self) -> bool {
+        false
+    }
+
+    /// Split this hook into `n` per-shard hooks. `shard_of_link[i]` names
+    /// the shard owning link `i`; per-link state must *move* to the owner
+    /// (not be copied) so batched check counts stay identical at any shard
+    /// count. The husk hook keeps its accumulated counts and is only asked
+    /// to flush again after the shards are merged back.
+    ///
+    /// Only called after [`AuditHook::supports_shard_split`] returned
+    /// `true`; the default is therefore unreachable.
+    fn shard_split(&mut self, _shard_of_link: &[usize], _n: usize) -> Vec<Box<dyn AuditHook>> {
+        unreachable!("shard_split on a hook that does not support it")
+    }
 }
 
 /// An independent, step-by-step mirror of one queue's accounting.
@@ -438,6 +458,34 @@ impl AuditHook for ConservationAuditor {
         for ledger in self.ledgers.values_mut() {
             ledger.on_flush(ctx.now);
         }
+    }
+
+    fn supports_shard_split(&self) -> bool {
+        true
+    }
+
+    fn shard_split(&mut self, shard_of_link: &[usize], n: usize) -> Vec<Box<dyn AuditHook>> {
+        let mut parts: Vec<ConservationAuditor> =
+            (0..n).map(|_| ConservationAuditor::new()).collect();
+        // Ledgers MOVE to the owning shard: `on_queue_op` silently adopts
+        // an unknown link without counting a check, so a ledger that was
+        // copied instead of moved would change the global check totals.
+        let ids: Vec<usize> = self.ledgers.keys().copied().collect();
+        for id in ids {
+            let ledger = self.ledgers.remove(&id).expect("key came from the map");
+            parts[shard_of_link[id]].ledgers.insert(id, ledger);
+        }
+        for p in &mut parts {
+            // Flow sequence state is cloned everywhere: each flow's
+            // deliveries all land on one shard (the destination node's
+            // owner), which evolves its copy; the other copies idle.
+            p.flows = self.flows.clone();
+            p.last_event = self.last_event;
+        }
+        parts
+            .into_iter()
+            .map(|p| Box::new(p) as Box<dyn AuditHook>)
+            .collect()
     }
 }
 

@@ -1,8 +1,25 @@
 //! The event calendar.
 //!
 //! Two interchangeable backends implement the same deterministic contract
-//! — events pop in `(time, insertion sequence)` order, FIFO among equals,
-//! so every simulation is bit-for-bit reproducible for a given seed:
+//! — events pop in `(time, schedule time, content tie, insertion
+//! sequence)` order, FIFO among equals, so every simulation is
+//! bit-for-bit reproducible for a given seed. The two middle keys exist
+//! for the shard-split path ([`EventQueue::schedule_keyed`]):
+//!
+//! * The **schedule time** is the causality watermark at insertion. In a
+//!   single-queue run it is non-decreasing with the sequence number, so
+//!   it never reorders anything. A cross-shard packet is injected into
+//!   the destination queue *after* local events were scheduled, but
+//!   carries its true emission time as its schedule time, which slots it
+//!   into the position the monolithic run's sequence numbers would have
+//!   given it.
+//! * The **content tie** disambiguates arrivals emitted at the *same*
+//!   nanosecond on *different* shards, where no emission-time order
+//!   exists: every arrival event carries a content hash of its packet
+//!   ([`crate::packet::Packet::order_tie`], non-zero), every other event
+//!   carries 0, and both the monolithic scheduler and the shard injector
+//!   use the same rule — so same-`(time, sched)` ties resolve
+//!   identically at any shard count:
 //!
 //! * [`CalendarKind::Wheel`] (the default): a hierarchical timing wheel —
 //!   11 levels of 64 slots, 1 ns granularity at level 0, each level 64×
@@ -26,8 +43,8 @@
 //! When the `audit` feature is compiled in and the runtime audit flag is
 //! up, every wheel-backed queue carries a **shadow heap** that mirrors the
 //! schedule/cancel stream and independently re-derives each pop's
-//! `(time, seq)`; any divergence between the wheel and the heap ordering
-//! panics with both orderings in the message.
+//! `(time, sched, tie, seq)`; any divergence between the wheel and the
+//! heap ordering panics with both orderings in the message.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
@@ -136,27 +153,49 @@ impl EventKind {
     }
 }
 
-/// A scheduled event: a time, a tiebreak sequence, and the action.
+/// A scheduled event: a firing time, the tiebreak triple (schedule time,
+/// content tie, insertion sequence), and the action.
 #[derive(Debug)]
 pub struct Event {
     /// When the event fires.
     pub at: SimTime,
+    /// When the event was *scheduled* (the causality watermark at
+    /// insertion): the first tiebreak among events firing at the same
+    /// instant. In a single-queue run this is non-decreasing with `seq`,
+    /// so it never reorders anything; cross-shard injections carry their
+    /// true emission time here so same-instant ties resolve exactly as
+    /// the monolithic run's insertion order would.
+    pub sched: SimTime,
+    /// Content-derived tiebreak among events with equal `(at, sched)`:
+    /// the packet content hash for arrivals
+    /// ([`crate::packet::Packet::order_tie`], always non-zero), 0 for
+    /// everything else. Two arrivals emitted at the same nanosecond on
+    /// different shards have no emission-time order, so content is the
+    /// only key both the monolithic and the sharded run can agree on.
+    pub tie: u64,
     seq: u64,
     /// What happens.
     pub kind: EventKind,
 }
 
 impl Event {
-    /// The insertion sequence number (the FIFO tiebreak among events at
-    /// the same instant). Exposed for the calendar-equivalence tests.
+    /// The insertion sequence number (the final FIFO tiebreak among
+    /// events at the same instant with the same schedule time and
+    /// content tie). Exposed for the calendar-equivalence tests.
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// The full ordering key.
+    #[inline]
+    fn key(&self) -> (SimTime, SimTime, u64, u64) {
+        (self.at, self.sched, self.tie, self.seq)
     }
 }
 
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl Eq for Event {}
@@ -169,12 +208,9 @@ impl PartialOrd for Event {
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // BinaryHeap is a max-heap; invert so the earliest
+        // (time, sched, tie, seq) pops first.
+        other.key().cmp(&self.key())
     }
 }
 
@@ -258,9 +294,10 @@ impl Wheel {
     /// Place `ev` without touching the stored count (cascade re-insert).
     /// `first` prepends instead of appending: slot queues are FIFO by
     /// arrival, and a front-slot event demoted back into the wheel
-    /// precedes every stored event in `(time, seq)` order — appending it
-    /// behind an equal-time event already in its slot would invert the
-    /// tiebreak.
+    /// precedes every stored event in `(time, sched, tie, seq)` order.
+    /// (The level-0 drain sorts slots by the tiebreak pair anyway, so
+    /// this is a keep-the-slot-nearly-sorted optimization, not a
+    /// correctness requirement.)
     fn place(&mut self, ev: Event, first: bool) {
         let at = ev.at.as_nanos();
         debug_assert!(
@@ -348,7 +385,20 @@ impl Wheel {
             self.elapsed = deadline;
             if level == 0 {
                 // Level-0 slots are 1 ns wide: everything here fires at
-                // exactly `deadline`, in insertion (seq) order.
+                // exactly `deadline`, in (sched, tie, seq) order. For
+                // queue-local non-arrival schedules insertion order
+                // already matches (the watermark is monotone, tie is 0),
+                // so the sort below is usually a near-no-op pass;
+                // same-instant arrivals and cross-shard injections land
+                // out of key order and are repositioned here. Re-sorting
+                // on every pop is cheap: the slice is mostly sorted
+                // (pdqsort detects runs) and same-instant schedules made
+                // while the slot drains append in order.
+                if self.slots[0][slot].len() > 1 {
+                    self.slots[0][slot]
+                        .make_contiguous()
+                        .sort_by_key(|e| (e.sched, e.tie, e.seq));
+                }
                 while let Some(ev) = self.slots[0][slot].pop_front() {
                     self.stored -= 1;
                     let emptied = self.slots[0][slot].is_empty();
@@ -405,33 +455,39 @@ impl Wheel {
 // ---------------------------------------------------------------------
 
 /// A binary-heap mirror of the schedule/cancel stream that independently
-/// re-derives the `(time, seq)` of every pop. Attached to wheel-backed
-/// queues when the audit runtime flag is up, it is the differential
-/// oracle proving the wheel's ordering equals the reference heap's.
+/// re-derives the `(time, sched, tie, seq)` of every pop. Attached to
+/// wheel-backed queues when the audit runtime flag is up, it is the
+/// differential oracle proving the wheel's ordering equals the reference
+/// heap's.
 #[cfg(feature = "audit")]
 #[derive(Debug, Default)]
 struct Shadow {
-    heap: BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    heap: BinaryHeap<std::cmp::Reverse<(u64, u64, u64, u64)>>,
     cancelled: HashSet<u64>,
     checks: u64,
 }
 
 #[cfg(feature = "audit")]
 impl Shadow {
-    fn push(&mut self, at: SimTime, seq: u64) {
-        self.heap.push(std::cmp::Reverse((at.as_nanos(), seq)));
+    fn push(&mut self, at: SimTime, sched: SimTime, tie: u64, seq: u64) {
+        self.heap.push(std::cmp::Reverse((
+            at.as_nanos(),
+            sched.as_nanos(),
+            tie,
+            seq,
+        )));
     }
 
     fn cancel(&mut self, seq: u64) {
         self.cancelled.insert(seq);
     }
 
-    fn verify_pop(&mut self, at: SimTime, seq: u64) {
+    fn verify_pop(&mut self, at: SimTime, sched: SimTime, tie: u64, seq: u64) {
         let expected = loop {
             match self.heap.pop() {
                 None => break None,
                 Some(std::cmp::Reverse(e)) => {
-                    if self.cancelled.remove(&e.1) {
+                    if self.cancelled.remove(&e.3) {
                         continue;
                     }
                     break Some(e);
@@ -439,12 +495,12 @@ impl Shadow {
             }
         };
         self.checks += 1;
-        if expected != Some((at.as_nanos(), seq)) {
+        if expected != Some((at.as_nanos(), sched.as_nanos(), tie, seq)) {
             crate::audit::violation(
                 "calendar",
                 format_args!(
-                    "wheel diverged from heap shadow: popped (t={at:?}, seq={seq}), \
-                     shadow expected {expected:?}"
+                    "wheel diverged from heap shadow: popped (t={at:?}, sched={sched:?}, \
+                     tie={tie}, seq={seq}), shadow expected {expected:?}"
                 ),
             );
         }
@@ -534,26 +590,67 @@ impl EventQueue {
     /// event already delivered, or the last horizon a pop advanced to) —
     /// scheduling into the past would violate causality.
     pub fn schedule(&mut self, at: SimTime, kind: EventKind) -> EventId {
+        // Stamping the watermark as the schedule time makes the
+        // `(at, sched, tie, seq)` pop order identical to plain
+        // `(at, seq)` order for this queue's own schedules: the
+        // watermark never decreases, so `sched` is non-decreasing with
+        // `seq`, and a zero tie defers to `seq` among equals.
+        let sched = self.watermark;
+        self.schedule_keyed(at, sched, 0, kind)
+    }
+
+    /// Schedule `kind` to fire at `at` with an explicit schedule-time
+    /// tiebreak (which may lie *below* the watermark) and content tie.
+    /// This is the cross-shard path: a packet emitted on another shard
+    /// at (its local) time `sched` is handed over at a barrier, after
+    /// this queue's watermark has already passed `sched` — carrying the
+    /// true emission time lets it win or lose same-instant ties exactly
+    /// as the monolithic run's insertion order would have decided. The
+    /// content tie orders arrivals whose emission times are themselves
+    /// equal; the monolithic arrival scheduler passes the same hash so
+    /// both modes agree (see [`crate::packet::Packet::order_tie`]).
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the causality watermark. Debug
+    /// builds also reject `sched > at` (an event cannot be scheduled
+    /// after it fires).
+    pub(crate) fn schedule_keyed(
+        &mut self,
+        at: SimTime,
+        sched: SimTime,
+        tie: u64,
+        kind: EventKind,
+    ) -> EventId {
         assert!(
             at >= self.watermark,
             "scheduling into the past: {at:?} < {:?}",
             self.watermark
         );
+        debug_assert!(
+            sched <= at,
+            "schedule time after firing time: {sched:?} > {at:?}"
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
-        let ev = Event { at, seq, kind };
+        let ev = Event {
+            at,
+            sched,
+            tie,
+            seq,
+            kind,
+        };
         #[cfg(feature = "audit")]
         if let Some(s) = &mut self.shadow {
-            s.push(at, seq);
+            s.push(at, sched, tie, seq);
         }
         self.live += 1;
         match &mut self.front {
-            Some(f) if at < f.at => {
+            Some(f) if ev.key() < f.key() => {
                 // New event precedes the cached next event: swap it in.
                 // The demoted event still precedes everything in the
-                // backend (in `(time, seq)` order), so the front invariant
-                // survives — and it must re-enter the wheel *ahead* of any
-                // equal-time event already there.
+                // backend (in `(time, sched, seq)` order), so the front
+                // invariant survives — and it re-enters the wheel *ahead*
+                // of any equal-time event already there.
                 let demoted = std::mem::replace(f, ev);
                 self.backend_insert_first(demoted);
             }
@@ -603,9 +700,9 @@ impl EventQueue {
     }
 
     /// Insert an event known to precede every stored event in
-    /// `(time, seq)` order (a demoted front-slot occupant). The heap
-    /// orders fully by comparison; the wheel needs it prepended to its
-    /// FIFO slot.
+    /// `(time, sched, tie, seq)` order (a demoted front-slot occupant). The
+    /// heap orders fully by comparison; the wheel prefers it prepended
+    /// to its slot so the slot stays sorted.
     fn backend_insert_first(&mut self, ev: Event) {
         match &mut self.backend {
             Backend::Heap(h) => h.push(ev),
@@ -683,7 +780,7 @@ impl EventQueue {
                 self.watermark = ev.at;
                 #[cfg(feature = "audit")]
                 if let Some(s) = &mut self.shadow {
-                    s.verify_pop(ev.at, ev.seq);
+                    s.verify_pop(ev.at, ev.sched, ev.tie, ev.seq);
                 }
                 Some(ev)
             }
@@ -708,7 +805,7 @@ impl EventQueue {
 
     /// Pop the maximal consecutive run of events sharing the next event's
     /// timestamp *and* event class into `batch` (cleared first), in exact
-    /// `(time, insertion-seq)` order. Returns the number popped (0 when
+    /// `(time, sched, tie, seq)` order. Returns the number popped (0 when
     /// nothing fires by `until`).
     ///
     /// This is what lets the dispatch loop match on the event class once
@@ -773,6 +870,35 @@ impl EventQueue {
             }
         }
         self.front.as_ref().map(|e| e.at)
+    }
+
+    /// Remove **every** pending event in `(time, sched, tie, seq)` order,
+    /// without advancing the causality watermark and without consulting
+    /// the shadow oracle. The shard-split path migrates each drained
+    /// event into a shard-local queue, where its eventual pop is verified
+    /// (once) against that queue's own shadow — so audit check totals
+    /// stay identical at any shard count. The shadow's accumulated check
+    /// count is preserved (it is flushed by `Drop`); its mirrored pending
+    /// set and the tombstone set are cleared alongside the events.
+    pub(crate) fn drain_all(&mut self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.live);
+        while self.live > 0 {
+            let ev = match self.front.take() {
+                Some(f) => f,
+                None => self
+                    .backend_pop_before(SimTime::MAX)
+                    .expect("live count says events remain, but the backend is empty"),
+            };
+            self.live -= 1;
+            out.push(ev);
+        }
+        self.cancelled.clear();
+        #[cfg(feature = "audit")]
+        if let Some(s) = &mut self.shadow {
+            s.heap.clear();
+            s.cancelled.clear();
+        }
+        out
     }
 
     /// Number of pending (scheduled, unfired, uncancelled) events.
@@ -949,6 +1075,64 @@ mod tests {
             q.schedule(SimTime::from_nanos(10), ctrl(2));
             q.schedule(SimTime::from_nanos(11), ctrl(3));
             assert_eq!(codes(&mut q), vec![1, 2, 3]);
+        }
+    }
+
+    /// The shard-injection path: an event scheduled *late* (after the
+    /// watermark passed its emission time) but carrying an early `sched`
+    /// wins same-instant ties against events scheduled earlier in wall
+    /// order with later `sched` — on both backends, including against a
+    /// front-slot occupant.
+    #[test]
+    fn explicit_sched_reorders_same_instant_ties() {
+        for mut q in both() {
+            let t = SimTime::from_nanos;
+            // Local events: scheduled at watermark 0, firing at 100.
+            q.schedule(t(100), ctrl(0));
+            q.schedule(t(100), ctrl(1));
+            // Advance the watermark to 50 without firing anything.
+            assert!(q.pop_before(t(50)).is_none());
+            // Injection emitted at 10 on another shard, arriving at 100:
+            // must precede both locals (their sched is 0 < 10? no — their
+            // sched IS 0, so they keep winning; emitted-at-10 loses).
+            q.schedule_keyed(t(100), t(10), 0, ctrl(2));
+            // Injection emitted "before" the locals were scheduled is
+            // impossible monolithically (sched 0 ties break by seq), but
+            // one landing between them in sched order is the real shape:
+            // local at sched 0, injected at sched 10, local at sched 50.
+            q.schedule(t(100), ctrl(3)); // sched = watermark = 50
+            assert_eq!(codes(&mut q), vec![0, 1, 2, 3]);
+        }
+    }
+
+    /// Same, but the tie victim sits in the front slot: the injected
+    /// event must demote it.
+    #[test]
+    fn explicit_sched_demotes_front_slot_on_tie() {
+        for mut q in both() {
+            let t = SimTime::from_nanos;
+            q.schedule(t(40), ctrl(9));
+            q.pop(); // watermark 40; backend empty
+            let _front = q.schedule(t(100), ctrl(1)); // takes the front slot, sched 40
+            q.schedule_keyed(t(100), t(20), 0, ctrl(0)); // emitted earlier: precedes
+            assert_eq!(codes(&mut q), vec![0, 1]);
+        }
+    }
+
+    /// Equal `(time, sched)` resolves by the content tie before the
+    /// insertion sequence, and a zero tie (non-arrival) precedes any
+    /// non-zero one — on both backends, including across the front slot.
+    #[test]
+    fn content_tie_orders_equal_time_and_sched() {
+        for mut q in both() {
+            let t = SimTime::from_nanos;
+            q.schedule(t(40), ctrl(9));
+            q.pop(); // watermark 40
+            q.schedule_keyed(t(100), t(40), 7, ctrl(2)); // arrival-like, big tie
+            q.schedule_keyed(t(100), t(40), 3, ctrl(1)); // arrival-like, small tie
+            q.schedule_keyed(t(100), t(40), 0, ctrl(0)); // plain event wins
+            q.schedule_keyed(t(100), t(40), 7, ctrl(3)); // equal tie: falls to seq
+            assert_eq!(codes(&mut q), vec![0, 1, 2, 3]);
         }
     }
 

@@ -16,7 +16,11 @@
 //!   read-only probes.
 //!
 //! The engine is single-threaded and strictly deterministic: identical
-//! seeds produce identical runs, which the test suites rely on.
+//! seeds produce identical runs, which the test suites rely on. For
+//! large topologies the [`shard`] module cuts the node graph along
+//! positive-delay links and runs the pieces space-parallel in
+//! deterministic barrier epochs — reports stay byte-identical at any
+//! shard count.
 //!
 //! ## Example
 //!
@@ -46,6 +50,7 @@ pub mod link;
 pub mod node;
 pub mod packet;
 pub mod queue;
+pub mod shard;
 pub mod sim;
 #[cfg(feature = "telemetry")]
 pub mod telemetry;
@@ -57,6 +62,7 @@ pub use event::{default_calendar, set_default_calendar, CalendarKind, EventId, T
 pub use ids::{AgentId, FlowId, LinkId, NodeId};
 pub use link::Link;
 pub use packet::{Ecn, Packet, Payload, SackBlock, MAX_SACK_BLOCKS};
+pub use shard::{default_shards, set_default_shards, ShardedSim};
 pub use sim::{Agent, Ctx, Simulator};
 pub use time::{transmission_delay, SimDuration, SimTime};
 

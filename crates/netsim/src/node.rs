@@ -8,7 +8,7 @@
 use crate::ids::{LinkId, NodeId};
 
 /// A topology node.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Node {
     /// Outgoing links, in creation order.
     pub out_links: Vec<LinkId>,

@@ -134,6 +134,66 @@ impl Packet {
         u64::from(self.size_bytes) * 8
     }
 
+    /// A stable, content-only ordering tiebreak (FNV-1a over every
+    /// field), guaranteed non-zero. Two *arrival* events landing at the
+    /// same instant with the same emission time are ordered by this
+    /// value in the event calendar; because it depends only on packet
+    /// content, a sharded run reproduces the monolithic order without
+    /// knowing the monolithic insertion sequence (see `netsim::shard`).
+    /// Packets with identical content hash equally, and processing
+    /// identical packets in either order is indistinguishable.
+    pub fn order_tie(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut word = |w: u64| {
+            for b in w.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        word(self.flow.0 as u64);
+        word(self.dst_node.0 as u64);
+        word(self.dst_agent.0 as u64);
+        word(u64::from(self.size_bytes));
+        word(match self.ecn {
+            Ecn::NotCapable => 0,
+            Ecn::Capable => 1,
+            Ecn::CongestionExperienced => 2,
+        });
+        word(self.sent_at.as_nanos());
+        match self.payload {
+            Payload::Data { seq, retransmit } => {
+                word(3);
+                word(seq);
+                word(u64::from(retransmit));
+            }
+            Payload::Ack {
+                cum_ack,
+                sack,
+                ts_echo,
+                owd_echo,
+                ece,
+            } => {
+                word(4);
+                word(cum_ack);
+                for b in sack {
+                    match b {
+                        Some(b) => {
+                            word(b.start);
+                            word(b.end);
+                        }
+                        None => word(u64::MAX),
+                    }
+                }
+                word(ts_echo.as_nanos());
+                word(owd_echo.as_nanos());
+                word(u64::from(ece));
+            }
+        }
+        h | 1
+    }
+
     /// True if this is a data segment.
     #[inline]
     pub fn is_data(&self) -> bool {

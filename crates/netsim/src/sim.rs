@@ -57,6 +57,41 @@ pub trait Agent: Send {
 
     /// Mutable downcast support.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// True when this agent can be divided across space-parallel shards by
+    /// [`Agent::shard_split`]. Ordinary agents return `false` (the
+    /// default) and move wholesale to the shard that owns their node;
+    /// shared agents hosting endpoints on many nodes must opt in here or
+    /// they veto the split (the run falls back to one shard).
+    fn shard_splittable(&self) -> bool {
+        false
+    }
+
+    /// For splittable shared agents: the node a pending timer with this
+    /// token belongs to, so the event can be routed to that node's shard.
+    /// `None` (the default) means the timer cannot be attributed to a
+    /// node, which vetoes the split.
+    fn shard_route_timer(&self, _token: TimerToken) -> Option<NodeId> {
+        None
+    }
+
+    /// Split this (shared) agent into `n` per-shard parts, one per shard,
+    /// in shard order. Per-endpoint state must *move* to the owner shard
+    /// (`shard_of_node[node]`); what remains behind is a husk that only
+    /// [`Agent::shard_merge`] may touch again.
+    ///
+    /// Only called after [`Agent::shard_splittable`] returned `true`; the
+    /// default is therefore unreachable.
+    fn shard_split(&mut self, _n: usize, _shard_of_node: &[usize]) -> Vec<Box<dyn Agent>> {
+        unreachable!("shard_split on an agent that is not splittable")
+    }
+
+    /// Reabsorb the parts produced by [`Agent::shard_split`] (same order)
+    /// after the shards ran to the horizon, restoring a whole agent for
+    /// post-run result reads.
+    fn shard_merge(&mut self, _parts: Vec<Box<dyn Agent>>) {
+        unreachable!("shard_merge on an agent that is not splittable")
+    }
 }
 
 /// The world as seen by an agent during a callback.
@@ -134,6 +169,21 @@ struct Probe {
 const CTRL_QUEUE_TICK: u64 = 1 << 32;
 const CTRL_PROBE: u64 = 2 << 32;
 
+/// Cross-shard send state installed on shard-local simulators by the
+/// space-parallel driver (see [`crate::shard`]). When present,
+/// transmissions whose arrival node lives on another shard divert into
+/// `outbox` instead of the local calendar; the driver exchanges outboxes
+/// at each epoch barrier.
+pub(crate) struct ShardIo {
+    /// This shard's index.
+    me: usize,
+    /// Owning shard of every node.
+    shard_of_node: Vec<usize>,
+    /// Packets bound for other shards, in emission order, each tagged
+    /// with its destination shard.
+    outbox: Vec<(usize, crate::shard::WirePacket)>,
+}
+
 /// Width of a link-utilization window (telemetry derivation): one
 /// simulated second. Windows roll forward on transmission starts; fully
 /// idle windows are coalesced into one `link/idle_wins` record.
@@ -155,6 +205,12 @@ struct UtilWindow {
     start_ns: u64,
     /// Bits whose transmission started inside the open window.
     bits: u64,
+    /// Size of the most recent transmission folded into the open window.
+    /// A window legitimately exceeds `capacity × 1 s` by at most this
+    /// much (a transmission that *starts* inside the window is attributed
+    /// wholly to it even when it finishes in the next one); anything
+    /// beyond is over-delivery and reported as an audit violation.
+    last_bits: u64,
     /// Closed all-idle windows not yet flushed as a coalesced record.
     idle_pending: u64,
 }
@@ -271,6 +327,9 @@ pub struct Simulator {
     /// Per-link utilization-window state (`tel_on` only).
     #[cfg(feature = "telemetry")]
     util: Vec<UtilWindow>,
+    /// `Some` only on shard-local simulators created by
+    /// [`Simulator::split_shards`]; diverts cross-shard transmissions.
+    shard_io: Option<Box<ShardIo>>,
 }
 
 impl Simulator {
@@ -316,6 +375,7 @@ impl Simulator {
             queue_op: Vec::new(),
             #[cfg(feature = "telemetry")]
             util: Vec::new(),
+            shard_io: None,
         }
     }
 
@@ -841,13 +901,50 @@ impl Simulator {
         let to = link.to;
         self.events
             .schedule(now + tx, EventKind::Departure { link: link_id });
-        self.events.schedule(
-            arrive_at,
-            EventKind::Arrival {
-                node: to,
-                packet: pkt,
-            },
-        );
+        // On shard-local simulators, an arrival node owned by another
+        // shard diverts the packet to the outbox: it leaves this shard's
+        // arena here and is re-interned by the destination shard when
+        // batches are exchanged at the next epoch barrier. The partition
+        // cuts only links with `delay >= lookahead`, so the arrival time
+        // always lands at or beyond the barrier the batch crosses.
+        let remote_shard = self.shard_io.as_ref().and_then(|io| {
+            let dst = io.shard_of_node[to.index()];
+            (dst != io.me).then_some(dst)
+        });
+        match remote_shard {
+            Some(dst) => {
+                let pkt = self
+                    .arena
+                    .take(pkt)
+                    .expect("departing packet held a stale PacketRef");
+                self.shard_io.as_mut().expect("checked above").outbox.push((
+                    dst,
+                    crate::shard::WirePacket {
+                        at: arrive_at,
+                        sched: now,
+                        node: to,
+                        pkt,
+                    },
+                ));
+            }
+            None => {
+                // Arrivals carry the packet's content hash as their
+                // ordering tie so that two arrivals landing at the same
+                // instant with the same emission time sort identically
+                // whether scheduled here or injected across a shard
+                // boundary (see `Packet::order_tie`).
+                let tie = self.arena[pkt].order_tie();
+                self.events.schedule_keyed(
+                    arrive_at,
+                    now,
+                    tie,
+                    EventKind::Arrival {
+                        node: to,
+                        packet: pkt,
+                    },
+                );
+            }
+        }
         #[cfg(feature = "audit")]
         self.audit_queue_op(
             link_id,
@@ -884,8 +981,30 @@ impl Simulator {
                     );
                     w.idle_pending = 0;
                 }
+                // A closed window can hold more than one second of bits
+                // only via the single transmission straddling its end;
+                // more than that means the link delivered bits it had no
+                // capacity for — broken accounting, not 100% utilization.
+                #[cfg(feature = "audit")]
+                if u128::from(w.bits) > u128::from(capacity_bps) + u128::from(w.last_bits)
+                    && pert_core::audit::enabled()
+                {
+                    pert_core::audit::violation(
+                        "link",
+                        format_args!(
+                            "utilization over-delivery on link {}: {} bits started \
+                             inside one 1 s window of a {} bit/s link \
+                             (straddle allowance {} bits)",
+                            link_id.0, w.bits, capacity_bps, w.last_bits
+                        ),
+                    );
+                }
                 // Window width is exactly one second, so basis points
-                // reduce to bits / bits-per-second.
+                // reduce to bits / bits-per-second. The straddling
+                // transmission can push a legitimate window a hair over
+                // 100%; the *recorded* value clamps to the 10,000 bp
+                // scale (over-delivery beyond the straddle allowance
+                // panicked above rather than hiding under this clamp).
                 let bp = (u128::from(w.bits) * 10_000 / u128::from(capacity_bps.max(1))).min(10_000)
                     as u64;
                 crate::telemetry::record(
@@ -895,10 +1014,12 @@ impl Simulator {
                     bp as f64,
                 );
                 w.bits = 0;
+                w.last_bits = 0;
             }
             w.start_ns += UTIL_WINDOW_NS;
         }
         w.bits += bits;
+        w.last_bits = bits;
     }
 
     /// Deliver `pkt` to its destination agent at `node`.
@@ -1122,6 +1243,373 @@ impl Simulator {
             _ => unreachable!("unknown control code {code:#x}"),
         }
     }
+
+    // ------------------------------------------------------------------
+    // Space-parallel sharding (driver: `crate::shard`)
+    // ------------------------------------------------------------------
+
+    /// Split this simulator into `n` shard-local simulators along the
+    /// node partition `shard_of_node`, leaving `self` as a husk that only
+    /// [`Simulator::merge_shards`] may revive. Pending events migrate to
+    /// the shard owning their node/link; single-node agents move to their
+    /// owner; shared agents and audit hooks split via their hooks; every
+    /// shard receives a full clone of the packet arena so pre-split
+    /// [`PacketRef`]s stay valid wherever they ended up.
+    ///
+    /// Fails (with `self` fully restored) when anything cannot be
+    /// attributed to one shard: probes, a cut link with zero delay, a
+    /// shared agent or audit hook that does not opt in, or an unroutable
+    /// pending event.
+    pub(crate) fn split_shards(
+        &mut self,
+        shard_of_node: &[usize],
+        n: usize,
+    ) -> Result<Vec<Simulator>, String> {
+        assert!(n >= 1, "need at least one shard");
+        assert_eq!(
+            shard_of_node.len(),
+            self.nodes.len(),
+            "partition must cover every node"
+        );
+        assert!(
+            shard_of_node.iter().all(|&s| s < n),
+            "partition names a shard >= {n}"
+        );
+        assert!(self.routes_ready, "compute_routes() was not called");
+        if !self.probes.is_empty() {
+            return Err("probes sample global simulator state and cannot be split".into());
+        }
+        let shard_of_link: Vec<usize> = self
+            .link_endpoints
+            .iter()
+            .map(|&(from, _)| shard_of_node[from.index()])
+            .collect();
+        for (i, link) in self.links.iter().enumerate() {
+            let (from, to) = self.link_endpoints[i];
+            if shard_of_node[from.index()] != shard_of_node[to.index()] && link.delay.is_zero() {
+                return Err(format!("cut link {i} has zero delay: no lookahead window"));
+            }
+        }
+        for (i, agent) in self.agents.iter().enumerate() {
+            let Some(agent) = agent else { continue };
+            if self.agent_nodes[i] == NodeId(usize::MAX) && !agent.shard_splittable() {
+                return Err(format!("shared agent {i} is not shard-splittable"));
+            }
+        }
+        #[cfg(feature = "audit")]
+        if !self.audit_hooks.iter().all(|h| h.supports_shard_split()) {
+            return Err("an installed audit hook does not support shard splitting".into());
+        }
+
+        // Route every pending event to a shard. The routing pass is pure
+        // reads; its only side effect is the drain itself, which the error
+        // path rolls back exactly (same order, watermark untouched).
+        let drained = self.events.drain_all();
+        let mut routed: Vec<usize> = Vec::with_capacity(drained.len());
+        let mut route_err: Option<String> = None;
+        for ev in &drained {
+            let target = match &ev.kind {
+                EventKind::Arrival { node, .. } => Some(shard_of_node[node.index()]),
+                EventKind::Departure { link } => Some(shard_of_link[link.index()]),
+                EventKind::Timer { agent, token } => {
+                    let node = self.agent_nodes[agent.index()];
+                    if node == NodeId(usize::MAX) {
+                        self.agents[agent.index()]
+                            .as_ref()
+                            .expect("timer pending for a missing agent")
+                            .shard_route_timer(*token)
+                            .map(|node| shard_of_node[node.index()])
+                    } else {
+                        Some(shard_of_node[node.index()])
+                    }
+                }
+                EventKind::Control { code } => {
+                    let kind = code & (0xffff_ffff << 32);
+                    let idx = (code & 0xffff_ffff) as usize;
+                    (kind == CTRL_QUEUE_TICK).then(|| shard_of_link[idx])
+                }
+            };
+            match target {
+                Some(t) => routed.push(t),
+                None => {
+                    route_err = Some(format!(
+                        "pending event {:?} cannot be attributed to a shard",
+                        ev.kind
+                    ));
+                    break;
+                }
+            }
+        }
+        if let Some(err) = route_err {
+            for ev in drained {
+                self.events.schedule_keyed(ev.at, ev.sched, ev.tie, ev.kind);
+            }
+            return Err(err);
+        }
+
+        // ---- Point of no return: distribute state. ----
+        let mut shard_events: Vec<Vec<Event>> = (0..n).map(|_| Vec::new()).collect();
+        for (ev, t) in drained.into_iter().zip(routed) {
+            shard_events[t].push(ev);
+        }
+
+        // Agents: shared ones split, single-node ones move to their owner.
+        // Every other slot stays `None`, so a misrouted packet or timer
+        // panics as "not installed" instead of silently diverging.
+        let mut shard_agents: Vec<Vec<Option<Box<dyn Agent>>>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for i in 0..self.agents.len() {
+            if self.agents[i].is_none() {
+                for sa in &mut shard_agents {
+                    sa.push(None);
+                }
+                continue;
+            }
+            let node = self.agent_nodes[i];
+            if node == NodeId(usize::MAX) {
+                let parts = self.agents[i]
+                    .as_mut()
+                    .expect("checked above")
+                    .shard_split(n, shard_of_node);
+                assert_eq!(parts.len(), n, "shard_split must return one part per shard");
+                for (sa, part) in shard_agents.iter_mut().zip(parts) {
+                    sa.push(Some(part));
+                }
+            } else {
+                let owner = shard_of_node[node.index()];
+                let mut moved = self.agents[i].take();
+                for (s, sa) in shard_agents.iter_mut().enumerate() {
+                    sa.push(if s == owner { moved.take() } else { None });
+                }
+            }
+        }
+
+        #[cfg(feature = "audit")]
+        let mut shard_hooks: Vec<Vec<Box<dyn AuditHook>>> = (0..n).map(|_| Vec::new()).collect();
+        #[cfg(feature = "audit")]
+        for hook in &mut self.audit_hooks {
+            let parts = hook.shard_split(&shard_of_link, n);
+            assert_eq!(parts.len(), n, "shard_split must return one hook per shard");
+            for (sh, part) in shard_hooks.iter_mut().zip(parts) {
+                sh.push(part);
+            }
+        }
+
+        // Links move wholesale to their owner (queues keep their resident
+        // packet refs — valid against the owner's arena clone). Every
+        // other slot gets an inert placeholder preserving LinkId indexing
+        // and the real endpoints; resets and flushes on it are harmless.
+        let endpoints = self.link_endpoints.clone();
+        let placeholder = |i: usize| {
+            let (from, to) = endpoints[i];
+            Link::new(
+                LinkId(i),
+                from,
+                to,
+                1,
+                SimDuration::ZERO,
+                Box::new(crate::queue::DropTail::new(1)),
+            )
+        };
+        let mut shard_links: Vec<Vec<Link>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, &owner) in shard_of_link.iter().enumerate() {
+            let mut real = Some(std::mem::replace(&mut self.links[i], placeholder(i)));
+            for (s, sl) in shard_links.iter_mut().enumerate() {
+                sl.push(if s == owner {
+                    real.take().expect("each link has one owner")
+                } else {
+                    placeholder(i)
+                });
+            }
+        }
+
+        let mut shard_events = shard_events.into_iter();
+        let mut shard_agents = shard_agents.into_iter();
+        let mut shard_links = shard_links.into_iter();
+        #[cfg(feature = "audit")]
+        let mut shard_hooks = shard_hooks.into_iter();
+        let mut shards = Vec::with_capacity(n);
+        for me in 0..n {
+            // Migrated events re-enter a fresh calendar in drained
+            // `(time, sched, tie, seq)` order with their original
+            // schedule times and ties preserved, so same-time tie order
+            // survives both the migration and any later tie against a
+            // cross-shard injection; the new queue's watermark starts at
+            // zero, below every migrated timestamp.
+            let mut events = EventQueue::new();
+            for ev in shard_events.next().expect("one list per shard") {
+                events.schedule_keyed(ev.at, ev.sched, ev.tie, ev.kind);
+            }
+            shards.push(Simulator {
+                now: self.now,
+                events,
+                arena: self.arena.clone(),
+                nodes: self.nodes.clone(),
+                links: shard_links.next().expect("one list per shard"),
+                link_endpoints: self.link_endpoints.clone(),
+                agents: shard_agents.next().expect("one list per shard"),
+                agent_nodes: self.agent_nodes.clone(),
+                probes: Vec::new(),
+                trace: Trace {
+                    record_marks: self.trace.record_marks,
+                    marks_cap: self.trace.marks_cap,
+                    ..Trace::default()
+                },
+                // Never drawn from at runtime (no agent uses `Ctx::rng` on
+                // the shardable scenarios); seeded deterministically anyway.
+                rng: SmallRng::seed_from_u64(self.seed ^ me as u64),
+                routes_ready: true,
+                events_processed: 0,
+                ev_counts: [0; EventKind::CLASSES],
+                counters: SimCounters::default(),
+                seed: self.seed,
+                #[cfg(feature = "audit")]
+                audit_hooks: shard_hooks.next().expect("one list per shard"),
+                #[cfg(feature = "telemetry")]
+                tel_on: self.tel_on,
+                #[cfg(feature = "telemetry")]
+                ev_ns: [0; EventKind::CLASSES],
+                #[cfg(feature = "telemetry")]
+                ev_batches: [0; EventKind::CLASSES],
+                #[cfg(feature = "telemetry")]
+                ev_timed: [0; EventKind::CLASSES],
+                // Full copies: the owner's entries evolve from the
+                // warm-up state exactly as the monolithic run's would;
+                // non-owned copies idle and are discarded at merge.
+                #[cfg(feature = "telemetry")]
+                queue_op: self.queue_op.clone(),
+                #[cfg(feature = "telemetry")]
+                util: self.util.clone(),
+                shard_io: Some(Box::new(ShardIo {
+                    me,
+                    shard_of_node: shard_of_node.to_vec(),
+                    outbox: Vec::new(),
+                })),
+            });
+        }
+        Ok(shards)
+    }
+
+    /// Reabsorb shard simulators produced by [`Simulator::split_shards`]
+    /// after they ran to a common horizon. Owned links, agents, traces,
+    /// and counters return home; leftover shard events (arrivals beyond
+    /// the horizon) are discarded, exactly like the monolithic run's
+    /// never-fired pending events. The merged simulator is for *reading
+    /// results only* — queue-resident refs from packets interned after
+    /// the split do not resolve against the husk's arena.
+    pub(crate) fn merge_shards(&mut self, shards: Vec<Simulator>) {
+        let mut shards = shards;
+        // Shared agents first: parts are collected across shards in shard
+        // order, the order `shard_split` produced them in.
+        for i in 0..self.agents.len() {
+            if self.agent_nodes[i] == NodeId(usize::MAX) && self.agents[i].is_some() {
+                let parts: Vec<Box<dyn Agent>> = shards
+                    .iter_mut()
+                    .map(|s| s.agents[i].take().expect("shared agent part missing"))
+                    .collect();
+                self.agents[i]
+                    .as_mut()
+                    .expect("checked above")
+                    .shard_merge(parts);
+            }
+        }
+        let mut marks: Vec<MarkRecord> = self.trace.marks.drain(..).collect();
+        for mut shard in shards {
+            let io = shard
+                .shard_io
+                .take()
+                .expect("merge_shards on a non-shard simulator");
+            self.now = self.now.max(shard.now);
+            self.events_processed += shard.events_processed;
+            for c in 0..EventKind::CLASSES {
+                self.ev_counts[c] += shard.ev_counts[c];
+            }
+            self.counters.timers_scheduled += shard.counters.timers_scheduled;
+            self.counters.enqueued += shard.counters.enqueued;
+            self.counters.marked += shard.counters.marked;
+            self.counters.dropped_overflow += shard.counters.dropped_overflow;
+            self.counters.dropped_early += shard.counters.dropped_early;
+            #[cfg(feature = "telemetry")]
+            for c in 0..EventKind::CLASSES {
+                self.ev_ns[c] += shard.ev_ns[c];
+                self.ev_batches[c] += shard.ev_batches[c];
+                self.ev_timed[c] += shard.ev_timed[c];
+            }
+            for i in 0..self.links.len() {
+                let (from, _) = self.link_endpoints[i];
+                if io.shard_of_node[from.index()] == io.me {
+                    std::mem::swap(&mut self.links[i], &mut shard.links[i]);
+                    #[cfg(feature = "telemetry")]
+                    {
+                        self.queue_op[i] = shard.queue_op[i];
+                        self.util[i] = shard.util[i];
+                    }
+                }
+            }
+            for a in 0..self.agents.len() {
+                if let Some(agent) = shard.agents[a].take() {
+                    debug_assert!(self.agents[a].is_none(), "agent {a} merged twice");
+                    self.agents[a] = Some(agent);
+                }
+            }
+            self.trace.drops.append(&mut shard.trace.drops);
+            marks.extend(shard.trace.marks.drain(..));
+            self.trace.marks_dropped += shard.trace.marks_dropped;
+            // The shard flushes its audit check counts when it drops here;
+            // its telemetry flush is suppressed — the merged husk reports
+            // the combined totals exactly once.
+            #[cfg(feature = "telemetry")]
+            {
+                shard.tel_on = false;
+            }
+        }
+        // Stable sorts restore global time order; same-instant records
+        // from different shards keep shard order (see DESIGN.md §9 on the
+        // tie caveat).
+        self.trace.drops.sort_by_key(|d| d.at);
+        marks.sort_by_key(|m| m.at);
+        let cap = self.trace.marks_cap;
+        if marks.len() > cap {
+            self.trace.marks_dropped += (marks.len() - cap) as u64;
+            marks.drain(..marks.len() - cap);
+        }
+        self.trace.marks = marks.into();
+    }
+
+    /// Re-intern a packet received from another shard and schedule its
+    /// arrival. The shard driver calls this between epochs in the
+    /// canonical `(time, emission time, content tie, source shard)`
+    /// sequence, which fixes the insertion order of same-instant
+    /// cross-shard arrivals independently of thread scheduling. `sched`
+    /// is the packet's true emission time on its source shard — below
+    /// this queue's watermark by now — so the arrival wins or loses
+    /// same-instant ties against local events exactly as the monolithic
+    /// run's insertion order would have decided; the content tie
+    /// (recomputed here, so it cannot drift from the wire copy) settles
+    /// ties against arrivals emitted the same nanosecond elsewhere, by
+    /// the same rule the monolithic scheduler applies.
+    pub(crate) fn inject_arrival(
+        &mut self,
+        at: SimTime,
+        sched: SimTime,
+        node: NodeId,
+        pkt: Packet,
+    ) {
+        let tie = pkt.order_tie();
+        let packet = self.arena.alloc(pkt);
+        self.events
+            .schedule_keyed(at, sched, tie, EventKind::Arrival { node, packet });
+    }
+
+    /// Drain the packets bound for other shards accumulated since the
+    /// last call, in emission order, each tagged with its destination
+    /// shard. Empty on non-shard simulators.
+    pub(crate) fn take_outbox(&mut self) -> Vec<(usize, crate::shard::WirePacket)> {
+        self.shard_io
+            .as_mut()
+            .map(|io| std::mem::take(&mut io.outbox))
+            .unwrap_or_default()
+    }
 }
 
 /// Flush the final measurement window into the global telemetry metrics
@@ -1131,6 +1619,13 @@ impl Simulator {
 impl Drop for Simulator {
     fn drop(&mut self) {
         if !self.tel_on {
+            return;
+        }
+        // A placeholder left by `std::mem::replace` (the sharded
+        // measurement path swaps the real simulator out) has no links and
+        // processed no events; flushing it would pollute the metrics
+        // registry with zero-valued series.
+        if self.events_processed == 0 && self.links.is_empty() {
             return;
         }
         use crate::telemetry as tel;
@@ -1439,5 +1934,46 @@ mod tests {
     fn simulator_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<Simulator>();
+    }
+
+    /// One transmission straddling the window end can legitimately push a
+    /// window past 100%; that must NOT trip the over-delivery audit.
+    #[test]
+    #[cfg(all(feature = "telemetry", feature = "audit"))]
+    fn util_straddling_transmission_is_not_a_violation() {
+        let (mut sim, _tx, _rx) = two_node_sim(100);
+        let cap = 8_000_000u64; // two_node_sim link capacity, bits/s
+        sim.tel_on = true;
+        sim.util_account(LinkId(0), SimTime::ZERO, cap);
+        sim.util_account(LinkId(0), SimTime::ZERO, cap);
+        // Closing the window sees exactly capacity + straddle allowance.
+        sim.util_account(LinkId(0), SimTime::from_secs(2), 1);
+    }
+
+    /// Bits beyond capacity + one straddling transmission are broken
+    /// accounting and must surface as an audit violation, not be hidden
+    /// by the 10,000 bp clamp.
+    #[test]
+    #[cfg(all(feature = "telemetry", feature = "audit", debug_assertions))]
+    fn util_over_delivery_is_an_audit_violation() {
+        if !pert_core::audit::enabled() {
+            return;
+        }
+        let (mut sim, _tx, _rx) = two_node_sim(100);
+        let cap = 8_000_000u64;
+        sim.tel_on = true;
+        for _ in 0..3 {
+            sim.util_account(LinkId(0), SimTime::ZERO, cap);
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.util_account(LinkId(0), SimTime::from_secs(2), 1);
+        }))
+        .expect_err("an over-delivered window must be reported");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string payload>".into());
+        assert!(msg.contains("audit violation [link]"), "{msg}");
+        assert!(msg.contains("over-delivery"), "{msg}");
     }
 }

@@ -20,6 +20,29 @@ pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 /// for times that large.
 pub const MAX_F64_EXACT_NANOS: u64 = 1 << 53;
 
+/// Report a time-arithmetic underflow (`earlier - later`).
+///
+/// Out of line and cold: the comparison guarding it is the only cost on
+/// the hot path. When the audit layer is compiled in and enabled it is an
+/// audit **violation** — counted and panicking, like a conservation-ledger
+/// breach — because a negative elapsed time means causality broke
+/// somewhere upstream (with cross-shard clock skew it would otherwise
+/// silently clamp to zero and corrupt RTT estimates downstream). Debug
+/// builds without the audit layer still assert; release builds without it
+/// keep the historical saturate-to-zero behavior.
+#[cold]
+#[inline(never)]
+fn underflow(op: &str, lhs_ns: u64, rhs_ns: u64) {
+    #[cfg(feature = "audit")]
+    if pert_core::audit::enabled() {
+        pert_core::audit::violation(
+            "time",
+            format_args!("{op} underflow: {rhs_ns} ns subtracted from {lhs_ns} ns"),
+        );
+    }
+    debug_assert!(false, "{op} underflow: {lhs_ns} ns - {rhs_ns} ns");
+}
+
 /// Shared guard for the two `from_secs_f64` constructors.
 fn checked_f64_nanos(secs: f64, what: &str) -> u64 {
     assert!(secs.is_finite() && secs >= 0.0, "invalid {what}: {secs}");
@@ -100,14 +123,15 @@ impl SimTime {
 
     /// Elapsed time since `earlier`.
     ///
-    /// Saturates to zero if `earlier` is actually later (debug builds
-    /// assert instead, to surface scheduling bugs).
+    /// `earlier` being actually *later* is a causality bug: with the
+    /// audit layer enabled it is reported as an audit violation (counted,
+    /// panicking); debug builds without it assert; release builds without
+    /// it saturate to zero (see [`underflow`]).
     #[inline]
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
-        debug_assert!(
-            self.0 >= earlier.0,
-            "duration_since: {earlier:?} is after {self:?}"
-        );
+        if self.0 < earlier.0 {
+            underflow("SimTime::duration_since", self.0, earlier.0);
+        }
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 }
@@ -243,9 +267,14 @@ impl AddAssign for SimDuration {
 
 impl Sub for SimDuration {
     type Output = SimDuration;
+    /// Checked like [`SimTime::duration_since`]: underflow is an audit
+    /// violation / debug assertion, not a silent clamp. Use
+    /// [`SimDuration::saturating_sub`] where clamping is intended.
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        debug_assert!(self.0 >= rhs.0, "SimDuration underflow");
+        if self.0 < rhs.0 {
+            underflow("SimDuration subtraction", self.0, rhs.0);
+        }
         SimDuration(self.0.saturating_sub(rhs.0))
     }
 }
@@ -396,5 +425,75 @@ mod tests {
         let a = SimDuration::from_millis(1);
         let b = SimDuration::from_millis(2);
         assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+    }
+
+    /// Extract the panic message from a `catch_unwind` payload.
+    #[cfg(debug_assertions)]
+    fn panic_msg(err: &(dyn std::any::Any + Send)) -> String {
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn duration_since_underflow_is_reported() {
+        let err = std::panic::catch_unwind(|| {
+            let _ = SimTime::from_nanos(5).duration_since(SimTime::from_nanos(9));
+        })
+        .expect_err("underflow must panic, not clamp, when checks are on");
+        let msg = panic_msg(&*err);
+        assert!(msg.contains("underflow"), "unexpected panic: {msg}");
+        #[cfg(feature = "audit")]
+        if pert_core::audit::enabled() {
+            assert!(
+                msg.contains("audit violation [time]"),
+                "underflow must surface through the audit layer: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn sim_time_sub_underflow_is_reported() {
+        // `SimTime - SimTime` delegates to `duration_since`; make sure the
+        // operator path is covered too.
+        let err = std::panic::catch_unwind(|| {
+            let _ = SimTime::from_nanos(1) - SimTime::from_nanos(2);
+        })
+        .expect_err("operator underflow must panic when checks are on");
+        assert!(panic_msg(&*err).contains("underflow"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn duration_sub_underflow_is_reported() {
+        let err = std::panic::catch_unwind(|| {
+            let _ = SimDuration::from_millis(1) - SimDuration::from_millis(2);
+        })
+        .expect_err("underflow must panic, not clamp, when checks are on");
+        let msg = panic_msg(&*err);
+        assert!(msg.contains("underflow"), "unexpected panic: {msg}");
+        #[cfg(feature = "audit")]
+        if pert_core::audit::enabled() {
+            assert!(
+                msg.contains("audit violation [time]"),
+                "underflow must surface through the audit layer: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    #[cfg(all(debug_assertions, feature = "audit"))]
+    fn underflow_counts_as_audit_violation() {
+        if !pert_core::audit::enabled() {
+            return;
+        }
+        let before = pert_core::audit::snapshot().violations;
+        let _ = std::panic::catch_unwind(|| {
+            let _ = SimTime::ZERO.duration_since(SimTime::from_nanos(1));
+        });
+        assert!(pert_core::audit::snapshot().violations > before);
     }
 }

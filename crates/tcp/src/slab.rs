@@ -45,11 +45,13 @@ pub struct FlowSlab {
     rtt: Vec<RttState>,
     app: Vec<AppState>,
     // Cold state and the flow's source node, same keying. The box is
-    // deliberate (clippy: vec_box): `FlowCold` is two orders of magnitude
-    // larger than the hot rows, so boxing keeps slab growth cheap and
-    // keeps the cold bytes entirely out of this vector's cache footprint.
-    #[allow(clippy::vec_box)]
-    cold: Vec<Box<FlowCold>>,
+    // deliberate: `FlowCold` is two orders of magnitude larger than the
+    // hot rows, so boxing keeps slab growth cheap and keeps the cold
+    // bytes entirely out of this vector's cache footprint. The option is
+    // the shard-split seam: a slot is `None` while its flow lives on a
+    // (different) shard's copy of the slab — touching it there is a bug
+    // and panics rather than silently diverging.
+    cold: Vec<Option<Box<FlowCold>>>,
     nodes: Vec<NodeId>,
     /// Dense `flow id → slot` map (flow ids are small consecutive
     /// integers in every topology builder).
@@ -90,7 +92,7 @@ impl FlowSlab {
         self.wnd.push(wnd);
         self.rtt.push(rtt);
         self.app.push(app);
-        self.cold.push(Box::new(cold));
+        self.cold.push(Some(Box::new(cold)));
         self.nodes.push(node);
         if self.by_flow.len() <= flow.index() {
             self.by_flow.resize(flow.index() + 1, None);
@@ -133,25 +135,33 @@ impl FlowSlab {
             wnd: &mut self.wnd[slot],
             rtt: &mut self.rtt[slot],
             app: &mut self.app[slot],
-            cold: &mut self.cold[slot],
+            cold: self.cold[slot]
+                .as_mut()
+                .expect("flow is hosted by another shard"),
         }
     }
 
     // --- per-flow read-back (mirrors the `TcpSender` accessors) ---------
 
+    fn cold_of(&self, flow: FlowId) -> &FlowCold {
+        self.cold[self.expect_slot(flow)]
+            .as_ref()
+            .expect("flow is hosted by another shard")
+    }
+
     /// Cumulative statistics of `flow`.
     pub fn stats_of(&self, flow: FlowId) -> &SenderStats {
-        &self.cold[self.expect_slot(flow)].stats
+        &self.cold_of(flow).stats
     }
 
     /// Per-ACK samples of `flow` (empty unless `record_samples`).
     pub fn samples_of(&self, flow: FlowId) -> &[AckSample] {
-        &self.cold[self.expect_slot(flow)].samples
+        &self.cold_of(flow).samples
     }
 
     /// Congestion-control algorithm of `flow` (for downcasting).
     pub fn cc_of(&self, flow: FlowId) -> &dyn CcAlgorithm {
-        self.cold[self.expect_slot(flow)].cc.as_ref()
+        self.cold_of(flow).cc.as_ref()
     }
 
     /// Current congestion window of `flow`, segments.
@@ -203,6 +213,62 @@ impl Agent for FlowSlab {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn shard_splittable(&self) -> bool {
+        true
+    }
+
+    fn shard_route_timer(&self, token: TimerToken) -> Option<NodeId> {
+        self.nodes.get((token.0 >> 8) as usize).copied()
+    }
+
+    fn shard_split(&mut self, n: usize, shard_of_node: &[usize]) -> Vec<Box<dyn Agent>> {
+        // Every part gets full hot vectors and the full flow/node maps —
+        // slot numbering and token routing stay identical everywhere —
+        // but a flow's cold box (and thus the right to run it) moves to
+        // the shard owning its source node. The husk keeps only `None`s.
+        let mut parts: Vec<FlowSlab> = (0..n)
+            .map(|_| FlowSlab {
+                wnd: self.wnd.clone(),
+                rtt: self.rtt.clone(),
+                app: self.app.clone(),
+                cold: (0..self.cold.len()).map(|_| None).collect(),
+                nodes: self.nodes.clone(),
+                by_flow: self.by_flow.clone(),
+            })
+            .collect();
+        for slot in 0..self.cold.len() {
+            let owner = shard_of_node[self.nodes[slot].index()];
+            parts[owner].cold[slot] = self.cold[slot].take();
+        }
+        parts
+            .into_iter()
+            .map(|p| Box::new(p) as Box<dyn Agent>)
+            .collect()
+    }
+
+    fn shard_merge(&mut self, parts: Vec<Box<dyn Agent>>) {
+        // A part owns exactly the slots whose cold box it holds; take the
+        // box home and copy that slot's (authoritative) hot rows with it.
+        for mut part in parts {
+            let slab = part
+                .as_any_mut()
+                .downcast_mut::<FlowSlab>()
+                .expect("shard part of a FlowSlab must be a FlowSlab");
+            for slot in 0..self.cold.len() {
+                if let Some(cold) = slab.cold[slot].take() {
+                    debug_assert!(
+                        self.cold[slot].is_none(),
+                        "slot {slot} merged from two shards"
+                    );
+                    self.cold[slot] = Some(cold);
+                    self.wnd[slot] = slab.wnd[slot];
+                    self.rtt[slot] = slab.rtt[slot];
+                    self.app[slot] = slab.app[slot];
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +304,37 @@ mod tests {
         let t = FlowSlab::stop_token(1023);
         assert_eq!(t.0 & 0xff, TOKEN_STOP);
         assert_eq!(t.0 >> 8, 1023);
+    }
+
+    #[test]
+    fn shard_split_moves_cold_state_to_owner_and_merges_back() {
+        let mut slab = FlowSlab::new();
+        slab.add_flow(cfg(0), Box::new(Reno::new()), Box::new(Greedy), NodeId(0));
+        slab.add_flow(cfg(1), Box::new(Reno::new()), Box::new(Greedy), NodeId(1));
+        assert_eq!(
+            slab.shard_route_timer(FlowSlab::start_token(1)),
+            Some(NodeId(1))
+        );
+
+        let mut parts = slab.shard_split(2, &[0, 1]);
+        {
+            let p0 = parts[0].as_any().downcast_ref::<FlowSlab>().unwrap();
+            assert!(p0.cold[0].is_some() && p0.cold[1].is_none());
+            let p1 = parts[1].as_any().downcast_ref::<FlowSlab>().unwrap();
+            assert!(p1.cold[0].is_none() && p1.cold[1].is_some());
+        }
+        assert!(slab.cold.iter().all(Option::is_none));
+
+        // Hot rows mutated on the owner must win at merge time.
+        parts[1]
+            .as_any_mut()
+            .downcast_mut::<FlowSlab>()
+            .unwrap()
+            .wnd[1]
+            .cwnd = 42.0;
+        slab.shard_merge(parts);
+        assert_eq!(slab.cwnd_of(FlowId(1)), 42.0);
+        assert!(slab.cold.iter().all(Option::is_some));
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Diagnostic: find the first divergence between a monolithic and a
+//! sharded run of a fig6-style dumbbell. Not part of any test suite.
+
+use netsim::{SimDuration, SimTime, Simulator};
+use pert_tcp::Connection;
+use workload::{build_dumbbell, Dumbbell, DumbbellConfig, Scheme};
+
+fn cfg() -> DumbbellConfig {
+    let flows = 10;
+    let rtts: Vec<f64> = (0..flows)
+        .map(|i| 0.060 * (0.95 + 0.10 * i as f64 / (flows - 1) as f64))
+        .collect();
+    DumbbellConfig {
+        bottleneck_bps: 50_000_000,
+        bottleneck_delay: SimDuration::from_millis(10),
+        forward_rtts: rtts,
+        start_window_secs: 1.0,
+        seed: 60,
+        ..DumbbellConfig::new(Scheme::Pert)
+    }
+}
+
+fn fingerprint(sim: &Simulator, conns: &[Connection]) -> Vec<(u64, f64)> {
+    conns
+        .iter()
+        .map(|c| {
+            (
+                pert_tcp::sender_stats(sim, c).acked_segments,
+                pert_tcp::sender_cwnd(sim, c),
+            )
+        })
+        .collect()
+}
+
+fn run_mono(until: f64) -> Dumbbell {
+    let mut d = build_dumbbell(&cfg());
+    d.sim.run_until(SimTime::from_secs_f64(until));
+    d
+}
+
+fn run_sharded(split_at: f64, until: f64, shards: usize) -> Dumbbell {
+    let mut d = build_dumbbell(&cfg());
+    d.sim.run_until(SimTime::from_secs_f64(split_at));
+    let owned = std::mem::replace(&mut d.sim, Simulator::new(0));
+    let mut sharded = match netsim::ShardedSim::split(owned, shards) {
+        Ok(s) => s,
+        Err((_, e)) => panic!("split refused: {e}"),
+    };
+    eprintln!(
+        "split into {} shards, lookahead {:?}",
+        sharded.num_shards(),
+        sharded.lookahead()
+    );
+    sharded.run_until(SimTime::from_secs_f64(until));
+    d.sim = sharded.merge();
+    d
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let split_at: f64 = args.first().map_or(1.0, |s| s.parse().unwrap());
+    let until: f64 = args.get(1).map_or(20.0, |s| s.parse().unwrap());
+    let shards: usize = args.get(2).map_or(2, |s| s.parse().unwrap());
+
+    let mono = run_mono(until);
+    let shrd = run_sharded(split_at, until, shards);
+
+    let fm = fingerprint(&mono.sim, &mono.forward);
+    let fs = fingerprint(&shrd.sim, &shrd.forward);
+    let mut diverged = false;
+    for (i, (m, s)) in fm.iter().zip(&fs).enumerate() {
+        if m != s {
+            println!(
+                "flow {i}: mono acked={} cwnd={:.4}  sharded acked={} cwnd={:.4}",
+                m.0, m.1, s.0, s.1
+            );
+            diverged = true;
+        }
+    }
+    // First differing drop record.
+    let md = &mono.sim.trace.drops;
+    let sd = &shrd.sim.trace.drops;
+    println!("drops: mono {} sharded {}", md.len(), sd.len());
+    for (i, (a, b)) in md.iter().zip(sd.iter()).enumerate() {
+        if a.at != b.at || a.flow != b.flow {
+            println!("first differing drop at index {i}:\n  mono    {a:?}\n  sharded {b:?}");
+            break;
+        }
+    }
+    println!("{}", if diverged { "DIVERGED" } else { "IDENTICAL" });
+}

@@ -81,10 +81,39 @@ pub fn link_metrics(sim: &Simulator, link: LinkId, start: SimTime, end: SimTime)
 /// Run the paper's standard protocol on a prepared simulator: simulate to
 /// `warmup`, reset counters, simulate to `end`, flush, and return nothing —
 /// the caller then reads metrics. Returns the `(start, end)` window.
+///
+/// When [`netsim::default_shards`] is above 1, the post-warmup phase is
+/// attempted space-parallel: the simulator is split along positive-delay
+/// links and the shards run in deterministic barrier epochs, merged back
+/// before the caller reads metrics (byte-identical results — see the
+/// `netsim::shard` docs). Scenarios that cannot be split — probes
+/// installed, inseparable topology — silently run monolithically.
 pub fn run_measured(sim: &mut Simulator, warmup: f64, end: f64) -> (SimTime, SimTime) {
     assert!(end > warmup, "measurement window must be positive");
     let w = SimTime::from_secs_f64(warmup);
     let e = SimTime::from_secs_f64(end);
+    let shards = netsim::default_shards();
+    if shards > 1 {
+        // Warm up sequentially (cheap: the transient is short), then
+        // split for the long measured phase.
+        sim.run_until(w);
+        let owned = std::mem::replace(sim, Simulator::new(0));
+        match netsim::ShardedSim::split(owned, shards) {
+            Ok(mut sharded) => {
+                sharded.reset_measurements();
+                sharded.run_until(e);
+                sharded.flush_measurements();
+                *sim = sharded.merge();
+                return (w, e);
+            }
+            Err((owned, _reason)) => {
+                // Unsplittable scenario: restore and fall through to the
+                // monolithic path (already warmed; run_until(w) is a
+                // no-op).
+                *sim = owned;
+            }
+        }
+    }
     sim.run_until(w);
     sim.reset_measurements();
     sim.run_until(e);

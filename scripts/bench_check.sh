@@ -79,6 +79,22 @@ for f in BENCH_*.json; do
         continue
     fi
 
+    # Record-specific invariants.
+    case "$slug" in
+        shard)
+            # The PR-7 acceptance figure: aggregate (critical-path)
+            # throughput at 4 shards must sit above the single-shard
+            # baseline of the same scenario.
+            ok=$(jq '(.metrics.shards4_critical_path_throughput.value // 0)
+                     >= (.metrics.monolithic_wall_throughput.value // 1)' "$f")
+            if [ "$ok" != "true" ]; then
+                echo "FAIL $f: shards4_critical_path_throughput below the monolithic baseline" >&2
+                fail=1
+                continue
+            fi
+            ;;
+    esac
+
     echo "ok   $f"
 done
 
