@@ -50,7 +50,7 @@
 pub use sim_stats::derive::{DeriveSet, DerivedSummary};
 pub use sim_stats::metrics::{BucketHistogram, MetricValue, MetricsSet};
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -126,6 +126,7 @@ pub fn set_full_trace(on: bool) {
 
 thread_local! {
     static SCOPE: RefCell<String> = const { RefCell::new(String::new()) };
+    static SHARD: Cell<Option<u32>> = const { Cell::new(None) };
 }
 
 /// Set this thread's telemetry scope for the lifetime of the returned
@@ -156,6 +157,35 @@ pub fn current_scope() -> String {
     SCOPE.with(|s| s.borrow().clone())
 }
 
+/// Tag every record this thread publishes with the originating shard id
+/// for the lifetime of the returned guard (the previous tag is restored
+/// on drop). The shard workers establish this so flight dumps and traces
+/// from a multi-shard run attribute each sample — a violation in a
+/// 4-shard run names its shard instead of interleaving anonymously.
+/// Monolithic runs never set it, and untagged records serialize exactly
+/// as before, so single-shard trace bytes are unchanged.
+pub fn shard_scoped(shard: u32) -> ShardScopeGuard {
+    let prev = SHARD.with(|s| s.replace(Some(shard)));
+    ShardScopeGuard { prev }
+}
+
+/// This thread's current shard tag (`None` outside shard workers).
+pub fn current_shard() -> Option<u32> {
+    SHARD.with(|s| s.get())
+}
+
+/// Restores the previous shard tag on drop. See [`shard_scoped`].
+#[derive(Debug)]
+pub struct ShardScopeGuard {
+    prev: Option<u32>,
+}
+
+impl Drop for ShardScopeGuard {
+    fn drop(&mut self) {
+        SHARD.with(|s| s.set(self.prev));
+    }
+}
+
 // ---------------------------------------------------------------------
 // Records and taps
 // ---------------------------------------------------------------------
@@ -174,6 +204,9 @@ pub struct Record {
     pub t: f64,
     /// Sample value.
     pub value: f64,
+    /// Originating shard id when published from a shard worker (see
+    /// [`shard_scoped`]); `None` on monolithic runs.
+    pub shard: Option<u32>,
 }
 
 struct Buffers {
@@ -195,6 +228,7 @@ pub fn record(series: &'static str, key: u64, t: f64, value: f64) {
         key,
         t,
         value,
+        shard: current_shard(),
     };
     if DERIVE_ON.load(Ordering::Relaxed) {
         if let Some(d) = DERIVE.lock().unwrap().as_mut() {
@@ -517,15 +551,28 @@ fn json_num(v: f64) -> String {
 fn write_records_jsonl(path: &Path, records: &[Record]) -> io::Result<usize> {
     let mut w = BufWriter::new(File::create(path)?);
     for r in records {
-        writeln!(
-            w,
-            "{{\"scope\":\"{}\",\"series\":\"{}\",\"key\":{},\"t\":{},\"v\":{}}}",
-            json_escape(&r.scope),
-            json_escape(r.series),
-            r.key,
-            json_num(r.t),
-            json_num(r.value),
-        )?;
+        // The shard tag is emitted only when present, so traces from
+        // monolithic runs stay byte-identical to pre-tagging output.
+        match r.shard {
+            Some(sh) => writeln!(
+                w,
+                "{{\"scope\":\"{}\",\"series\":\"{}\",\"key\":{},\"t\":{},\"v\":{},\"shard\":{sh}}}",
+                json_escape(&r.scope),
+                json_escape(r.series),
+                r.key,
+                json_num(r.t),
+                json_num(r.value),
+            )?,
+            None => writeln!(
+                w,
+                "{{\"scope\":\"{}\",\"series\":\"{}\",\"key\":{},\"t\":{},\"v\":{}}}",
+                json_escape(&r.scope),
+                json_escape(r.series),
+                r.key,
+                json_num(r.t),
+                json_num(r.value),
+            )?,
+        }
     }
     w.flush()?;
     Ok(records.len())
@@ -781,6 +828,38 @@ mod tests {
         assert!(done >= 1);
         assert_eq!(total, 4);
         progress_set_enabled(false);
+    }
+
+    #[test]
+    fn shard_tag_flows_into_records_and_dumps() {
+        set_enabled(true);
+        {
+            let _g = shard_scoped(3);
+            assert_eq!(current_shard(), Some(3));
+            record("test/shard_tag", 1, 0.0, 1.0);
+        }
+        assert_eq!(current_shard(), None);
+        record("test/shard_tag", 2, 0.0, 2.0);
+        let recs: Vec<Record> = flight_snapshot()
+            .into_iter()
+            .filter(|r| r.series == "test/shard_tag")
+            .collect();
+        assert!(recs.iter().any(|r| r.key == 1 && r.shard == Some(3)));
+        assert!(recs.iter().any(|r| r.key == 2 && r.shard.is_none()));
+        let path = std::env::temp_dir().join("pert_test_shard_tag.jsonl");
+        write_flight_jsonl(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let tagged = body
+            .lines()
+            .find(|l| l.contains("\"series\":\"test/shard_tag\",\"key\":1"))
+            .expect("tagged record present");
+        assert!(tagged.trim_end().ends_with("\"shard\":3}"));
+        let untagged = body
+            .lines()
+            .find(|l| l.contains("\"series\":\"test/shard_tag\",\"key\":2"))
+            .expect("untagged record present");
+        assert!(!untagged.contains("\"shard\":"));
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -5,10 +5,20 @@
 //! bottleneck so the partitioner has positive-delay links to cut, then
 //! runs it through `netsim::ShardedSim` at `--shards N` and prints wall
 //! time / events / throughput. This is the scenario behind
-//! `BENCH_shard.json`; `--shards 1` is the monolithic baseline. The
-//! `SECS` env var overrides the 1.5 s horizon; `--attached` turns
-//! telemetry on (per-shard `shard/N` spans and event counters then show
-//! up in the cost-attribution table).
+//! `BENCH_shard.json` and `BENCH_shard_weights.json`; `--shards 1` is
+//! the monolithic baseline. The `SECS` env var overrides the 1.5 s
+//! horizon; `--attached` turns telemetry on (per-shard `shard/N` spans
+//! and event counters then show up in the cost-attribution table).
+//!
+//! The profile → weights → re-partition loop: `--profile-out PATH`
+//! writes the per-node event profile as a pert-shard-weights/v1 file,
+//! and `--weights PATH` feeds one back into the partitioner, which then
+//! balances observed event load instead of node count:
+//!
+//! ```text
+//! shard_profile --shards 4 --profile-out w.json
+//! shard_profile --shards 4 --weights w.json   # lower max-shard share
+//! ```
 use netsim::ids::FlowId;
 use netsim::queue::DropTail;
 use netsim::time::{SimDuration, SimTime};
@@ -25,13 +35,22 @@ fn main() {
         .nth(1)
         .map(|v| v.parse().expect("--shards N"))
         .unwrap_or(1);
+    let profile_out: Option<String> = std::env::args().skip_while(|a| a != "--profile-out").nth(1);
+    let weights_in: Option<String> = std::env::args().skip_while(|a| a != "--weights").nth(1);
     telemetry::set_enabled(attached);
+    netsim::profile::set_enabled(profile_out.is_some());
+    if let Some(path) = &weights_in {
+        let w = experiments::weights::load(path).expect("--weights file");
+        eprintln!("weights: {} nodes from {path}", w.weights.len());
+        netsim::set_partition_weights(Some(w.weights));
+    }
     let t_build = std::time::Instant::now();
     let mut sim = netsim::Simulator::new(1);
-    // Node-id order matters to the partitioner (components slice into
-    // shards contiguously by minimum node id): interleaving each router
-    // among its own hosts keeps the two heavy routers — every packet
-    // crosses both — on *different* shards at any shard count.
+    // Unweighted, the partitioner balances node *count* and sorts the
+    // two heavy routers — every packet crosses both — adjacently, so
+    // they land on one shard (~84% of all events). A `--weights` file
+    // from a profiled run tells it to balance event load instead, which
+    // isolates each router on its own shard.
     let a = sim.add_node();
     let srcs: Vec<_> = (0..HOSTS_PER_SIDE).map(|_| sim.add_node()).collect();
     let z = sim.add_node();
@@ -94,9 +113,16 @@ fn main() {
                 let per_cpu = sharded.per_shard_cpu_ns();
                 for (i, (e, c)) in per_ev.iter().zip(per_cpu).enumerate() {
                     eprintln!(
-                        "  shard {i}: {e} events, {:.2}s cpu, {:.2}M ev/s-cpu",
+                        "  shard {i}: {e} events ({:.1}%), {:.2}s cpu, {:.2}M ev/s-cpu",
+                        *e as f64 / ev.max(1) as f64 * 100.0,
                         *c as f64 / 1e9,
                         *e as f64 / (*c).max(1) as f64 * 1e3
+                    );
+                }
+                if let Some(&max_ev) = per_ev.iter().max() {
+                    eprintln!(
+                        "  max-shard share: {:.1}%",
+                        max_ev as f64 / ev.max(1) as f64 * 100.0
                     );
                 }
                 // Critical-path throughput: on a host with >= N free
@@ -136,5 +162,13 @@ fn main() {
         let m = telemetry::metrics_snapshot().since(&b);
         let rows = experiments::cost::attribute(&m, &telemetry::spans_snapshot());
         eprint!("{}", experiments::cost::render("shard100k", &rows));
+    }
+    if let Some(path) = &profile_out {
+        // The simulator flushed its node profile into the registry when
+        // it dropped above (merged and monolithic paths both end there).
+        let counts = netsim::profile::snapshot();
+        experiments::weights::write(path, &["shard_profile".to_string()], &counts)
+            .expect("write profile");
+        eprintln!("profile: wrote {path} ({} nodes)", counts.len());
     }
 }

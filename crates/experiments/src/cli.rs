@@ -12,7 +12,8 @@ use netsim::CalendarKind;
 /// The usage text printed on a parse error.
 pub const USAGE: &str = "usage: experiments <target>... [--quick|--standard|--full] [--jobs N] \
 [--shards N] [--seed S] [--json PATH] [--csv PATH] [--audit] [--telemetry] [--trace-out PATH] \
-[--flight-window N] [--progress] [--calendar wheel|heap] [--legacy-agents]\n\
+[--flight-window N] [--progress] [--calendar wheel|heap] [--legacy-agents] \
+[--shard-profile-out PATH] [--partition-weights PATH]\n\
 \x20      experiments trace summarize|diff ... (see `experiments trace`)\n\
 targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1\n\
 \t fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all\n\
@@ -35,7 +36,12 @@ the per-flow path is the escape hatch and equivalence baseline.\n\
 --shards N splits each simulation's measured phase into N space-parallel\n\
 shards (cut at positive-delay links) run in deterministic barrier epochs.\n\
 Reports are byte-identical at any N; scenarios that cannot be split fall\n\
-back to one shard. Composes with --jobs (N threads per in-flight job).";
+back to one shard. Composes with --jobs (N threads per in-flight job).\n\
+--shard-profile-out PATH collects the always-on per-node event counts\n\
+across the run and writes them as a pert-shard-weights/v1 file;\n\
+--partition-weights PATH feeds such a file back so the shard partitioner\n\
+balances event load instead of node count. Weights change only which\n\
+shard hosts which node — reports stay byte-identical either way.";
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -70,6 +76,10 @@ pub struct Cli {
     /// Host each TCP sender in its own agent (pre-slab wiring) instead of
     /// the shared flow slab.
     pub legacy_agents: bool,
+    /// Write the per-node event profile as a partition-weight file here.
+    pub shard_profile_out: Option<String>,
+    /// Load partition weights from this file before any simulator runs.
+    pub partition_weights: Option<String>,
 }
 
 fn flag_value<'a>(flag: &str, args: &'a [String], i: &mut usize) -> Result<&'a str, String> {
@@ -94,6 +104,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut progress = false;
     let mut calendar = CalendarKind::Wheel;
     let mut legacy_agents = false;
+    let mut shard_profile_out = None;
+    let mut partition_weights = None;
     let mut targets: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -148,6 +160,12 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             }
             "--progress" => progress = true,
             "--legacy-agents" => legacy_agents = true,
+            "--shard-profile-out" => {
+                shard_profile_out = Some(flag_value(a, args, &mut i)?.to_string())
+            }
+            "--partition-weights" => {
+                partition_weights = Some(flag_value(a, args, &mut i)?.to_string())
+            }
             "--calendar" => {
                 calendar = match flag_value(a, args, &mut i)? {
                     "wheel" => CalendarKind::Wheel,
@@ -195,6 +213,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         progress,
         calendar,
         legacy_agents,
+        shard_profile_out,
+        partition_weights,
     })
 }
 
@@ -335,6 +355,25 @@ mod tests {
     fn legacy_agents_flag() {
         assert!(!p(&["fig5"]).unwrap().legacy_agents);
         assert!(p(&["fig5", "--legacy-agents"]).unwrap().legacy_agents);
+    }
+
+    #[test]
+    fn shard_profile_and_weight_flags() {
+        let off = p(&["fig6"]).unwrap();
+        assert_eq!(off.shard_profile_out, None);
+        assert_eq!(off.partition_weights, None);
+
+        let c = p(&["fig6", "--shard-profile-out", "w.json"]).unwrap();
+        assert_eq!(c.shard_profile_out.as_deref(), Some("w.json"));
+        let c = p(&["fig6", "--partition-weights", "w.json"]).unwrap();
+        assert_eq!(c.partition_weights.as_deref(), Some("w.json"));
+
+        assert!(p(&["fig6", "--shard-profile-out"])
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(p(&["fig6", "--partition-weights"])
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]

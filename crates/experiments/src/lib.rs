@@ -60,6 +60,7 @@ pub mod scenario;
 pub mod sweep;
 pub mod table1;
 pub mod trace_cli;
+pub mod weights;
 
 pub use common::Scale;
 pub use report::Report;

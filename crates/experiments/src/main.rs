@@ -5,7 +5,9 @@
 //!             [--shards N] [--seed S] [--json PATH] [--csv PATH] [--audit]
 //!             [--telemetry] [--trace-out PATH] [--flight-window N]
 //!             [--progress] [--calendar wheel|heap] [--legacy-agents]
+//!             [--shard-profile-out PATH] [--partition-weights PATH]
 //! experiments trace summarize FILE [filters] | trace diff A B [--tol X]
+//!                 | trace shards FILE [--top N]
 //!
 //! targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1
 //!          fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all
@@ -22,7 +24,7 @@ use experiments::cli;
 use experiments::report::{reports_to_csv, reports_to_json, AuditCounts};
 use experiments::runner::run_jobs;
 use experiments::scenario::lookup;
-use experiments::{cost, progress, trace_cli};
+use experiments::{cost, progress, trace_cli, weights};
 use pert_core::telemetry;
 
 /// Where the flight-recorder dump lands: next to the trace file when
@@ -53,6 +55,23 @@ fn main() {
     // audit shadows, and telemetry taps all attach at construction time.
     netsim::set_default_calendar(cli.calendar);
     netsim::set_default_shards(cli.shards);
+    if let Some(path) = &cli.partition_weights {
+        match weights::load(path) {
+            Ok(w) => {
+                eprintln!(
+                    "[loaded {path}: weights for {} nodes from {}]",
+                    w.weights.len(),
+                    w.targets.join(",")
+                );
+                netsim::set_partition_weights(Some(w.weights));
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    netsim::profile::set_enabled(cli.shard_profile_out.is_some());
     netsim::audit::set_enabled(cli.audit);
     pert_tcp::set_legacy_agents(cli.legacy_agents);
     telemetry::set_enabled(cli.telemetry);
@@ -152,6 +171,19 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[wrote {path}]");
+    }
+
+    if let Some(path) = &cli.shard_profile_out {
+        // Every simulator flushed its per-node counts into the profile
+        // registry as it dropped; the snapshot is the whole run.
+        let counts = netsim::profile::snapshot();
+        match weights::write(path, &cli.targets, &counts) {
+            Ok(()) => eprintln!("[wrote {path}: event profile for {} nodes]", counts.len()),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     if let Some(path) = &cli.trace_out {

@@ -73,3 +73,32 @@ fn reverse_quick_is_byte_identical_across_shard_counts() {
     // Reverse-path traffic crosses the cut in both directions at once.
     assert_shard_invariant("reverse");
 }
+
+#[test]
+fn fig6_quick_is_byte_identical_weighted_vs_unweighted() {
+    // Partition weights move nodes between shards but must never leak
+    // into results: weighted and unweighted runs are byte-identical on
+    // every output surface at every shard count. The weight vector is
+    // deliberately lopsided (and longer than some topologies) to force
+    // a different arrangement wherever one is possible.
+    let _guard = SHARD_LOCK.lock().unwrap();
+    let baseline = render("fig6", 1, 1);
+    for shards in [1, 2, 4] {
+        let unweighted = render("fig6", shards, 2);
+        netsim::set_partition_weights(Some(
+            (0..64)
+                .map(|i| if i % 3 == 0 { 10_000 } else { i })
+                .collect(),
+        ));
+        let weighted = render("fig6", shards, 2);
+        netsim::set_partition_weights(None);
+        assert_eq!(
+            unweighted, weighted,
+            "fig6 output diverged under partition weights at {shards} shards"
+        );
+        assert_eq!(
+            baseline, weighted,
+            "fig6 weighted output diverged from monolithic at {shards} shards"
+        );
+    }
+}

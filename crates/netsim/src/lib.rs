@@ -49,6 +49,7 @@ pub mod ids;
 pub mod link;
 pub mod node;
 pub mod packet;
+pub mod profile;
 pub mod queue;
 pub mod shard;
 pub mod sim;
@@ -62,7 +63,9 @@ pub use event::{default_calendar, set_default_calendar, CalendarKind, EventId, T
 pub use ids::{AgentId, FlowId, LinkId, NodeId};
 pub use link::Link;
 pub use packet::{Ecn, Packet, Payload, SackBlock, MAX_SACK_BLOCKS};
-pub use shard::{default_shards, set_default_shards, ShardedSim};
+pub use shard::{
+    default_shards, partition_weights, set_default_shards, set_partition_weights, ShardedSim,
+};
 pub use sim::{Agent, Ctx, Simulator};
 pub use time::{transmission_delay, SimDuration, SimTime};
 

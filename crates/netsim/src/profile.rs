@@ -1,0 +1,83 @@
+//! Process-wide per-node event profile: the registry behind
+//! `--shard-profile-out`.
+//!
+//! Every [`crate::sim::Simulator`] maintains an always-on per-node event
+//! count (plain `u64` increments in the dispatch loop — see the
+//! `node_events` field). When profiling is [`enabled`], each simulator
+//! merges its counts here as it drops; the driver snapshots the totals
+//! once at exit and writes them as a partition-weight file, closing the
+//! profile → weights → re-partition loop
+//! ([`crate::shard::set_partition_weights`]).
+//!
+//! Unlike telemetry, this registry is compiled unconditionally (the
+//! counts themselves cost a handful of adds per event either way), but
+//! the runtime flag defaults to **off** so ordinary runs never touch the
+//! global mutex. All operations are commutative sums keyed by node id,
+//! so totals are identical at any `--jobs N` — though note that node ids
+//! are only meaningful as weights when every profiled job builds the
+//! same topology (the sweep scenarios do; the weight file records which
+//! targets contributed so a mismatch is visible).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TOTALS: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+/// True when dropping simulators flush their node profiles here.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn profile collection on or off process-wide. Raise it before
+/// simulations run (the flush happens at simulator drop, so strictly it
+/// only needs to be up before the drops — but set it with the other
+/// flags at CLI parse time).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Merge one simulator's per-node counts into the process totals,
+/// element-wise by node id (the totals grow to the longest profile
+/// seen).
+pub(crate) fn add(counts: &[u64]) {
+    let mut totals = TOTALS.lock().unwrap();
+    if totals.len() < counts.len() {
+        totals.resize(counts.len(), 0);
+    }
+    for (t, &c) in totals.iter_mut().zip(counts) {
+        *t = t.saturating_add(c);
+    }
+}
+
+/// A copy of the accumulated per-node totals (empty when nothing was
+/// profiled).
+pub fn snapshot() -> Vec<u64> {
+    TOTALS.lock().unwrap().clone()
+}
+
+/// Clear the accumulated totals (tests; the CLI writes once at exit and
+/// never resets).
+pub fn reset() {
+    TOTALS.lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_grows_and_sums_elementwise() {
+        // Process-global state: take the registry as we find it, clear,
+        // and assert only on our own contributions.
+        reset();
+        add(&[1, 2]);
+        add(&[10, 10, 10]);
+        assert_eq!(snapshot(), vec![11, 12, 10]);
+        add(&[u64::MAX, 0, 0]);
+        assert_eq!(snapshot()[0], u64::MAX);
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

@@ -84,6 +84,28 @@ pub fn default_shards() -> usize {
     DEFAULT_SHARDS.load(Ordering::Relaxed)
 }
 
+/// Process-default per-node partition weights, consumed by [`partition`]
+/// (mirrors [`set_default_shards`]): observed event counts per node id,
+/// typically loaded from a `--shard-profile-out` file via
+/// `--partition-weights`. `None` weights every node equally, which makes
+/// weighted slicing degenerate to the original balanced-node-count
+/// slicing.
+static PARTITION_WEIGHTS: Mutex<Option<Vec<u64>>> = Mutex::new(None);
+
+/// Install (or clear, with `None`) the process-default partition
+/// weights. Set before simulations are split, typically from CLI
+/// parsing. Indexed by node id; nodes beyond the vector's length weigh
+/// zero, so a profile recorded on a smaller topology degrades gracefully
+/// instead of erroring.
+pub fn set_partition_weights(weights: Option<Vec<u64>>) {
+    *PARTITION_WEIGHTS.lock().unwrap() = weights;
+}
+
+/// The process-default partition weights (see [`set_partition_weights`]).
+pub fn partition_weights() -> Option<Vec<u64>> {
+    PARTITION_WEIGHTS.lock().unwrap().clone()
+}
+
 /// A packet crossing a shard boundary: everything the destination shard
 /// needs to re-intern it and schedule its arrival. Compact and `Copy` —
 /// barrier exchanges move flat buffers of these, never boxed state.
@@ -118,6 +140,14 @@ pub struct Partition {
     pub lookahead: SimDuration,
 }
 
+/// Cut the topology into up to `want` node groups using the
+/// process-default weights (see [`set_partition_weights`]); see
+/// [`partition_with`] for the algorithm.
+pub fn partition(sim: &Simulator, want: usize) -> Result<Partition, String> {
+    let weights = partition_weights();
+    partition_with(sim, want, weights.as_deref())
+}
+
 /// Cut the topology into up to `want` node groups, cutting only links
 /// with positive propagation delay, and maximize the lookahead window.
 ///
@@ -127,10 +157,26 @@ pub struct Partition {
 /// `want` connected components wins — every cut link then has delay
 /// ≥ θ, so the window is as wide as the request allows. When no
 /// threshold reaches `want` components, the most fragmenting θ is used
-/// and the shard count clamps to its component count. Components are
-/// ordered by minimum node id and sliced contiguously into groups of
-/// balanced node count — deterministic, topology-only, no RNG.
-pub fn partition(sim: &Simulator, want: usize) -> Result<Partition, String> {
+/// and the shard count clamps to its component count.
+///
+/// Components are then sliced contiguously into groups of balanced
+/// **effective weight**, where a node weighs its observed event count
+/// (`weights[node id]`, missing entries read as zero) plus one — the
+/// `+1` floor keeps all-zero or absent weights equivalent to balanced
+/// node count, and keeps every node countable so the cover stays total.
+/// The slicing *order* uses only stable keys — total effective weight,
+/// node count, then the sorted multiset of per-node
+/// `(effective weight, degree)` keys, all descending — so permuting the
+/// creation order of equal-weight nodes cannot reshuffle which group a
+/// heavy or well-connected component lands in; the minimum node id is
+/// only the final, totalizing tiebreak. Deterministic, topology-only,
+/// no RNG, no floating point (weight accumulators are `u128`, so even
+/// `u64::MAX` per-node weights cannot overflow).
+pub fn partition_with(
+    sim: &Simulator,
+    want: usize,
+    weights: Option<&[u64]>,
+) -> Result<Partition, String> {
     let nodes = sim.num_nodes();
     if want < 2 {
         return Err("need at least two shards to split".into());
@@ -204,7 +250,9 @@ pub fn partition(sim: &Simulator, want: usize) -> Result<Partition, String> {
         }
     };
 
-    // Components in min-node-id order (the root IS the minimum id).
+    // Components, initially in min-node-id order (the root IS the
+    // minimum id); each node list is ascending, so `nodes[0]` is the
+    // component's minimum id.
     let mut comps: Vec<Vec<usize>> = Vec::new();
     let mut comp_of_root: Vec<Option<usize>> = vec![None; nodes];
     for (node, &r) in roots.iter().enumerate() {
@@ -215,21 +263,65 @@ pub fn partition(sim: &Simulator, want: usize) -> Result<Partition, String> {
         comps[idx].push(node);
     }
 
-    // Contiguous slicing into `shards` groups of balanced node count;
-    // forced advancement keeps every group non-empty.
+    // Stable per-node key: effective weight (observed events + 1) and
+    // topology degree. Both survive a relabeling of node ids, unlike
+    // the raw creation order.
+    let mut degree = vec![0usize; nodes];
+    for &(from, to, _) in &links {
+        degree[from] += 1;
+        degree[to] += 1;
+    }
+    let node_w = |n: usize| -> u64 {
+        weights
+            .and_then(|w| w.get(n).copied())
+            .unwrap_or(0)
+            .saturating_add(1)
+    };
+    struct Comp {
+        nodes: Vec<usize>,
+        weight: u128,
+        keys: Vec<(u64, usize)>,
+    }
+    let mut comps: Vec<Comp> = comps
+        .into_iter()
+        .map(|nodes| {
+            let weight = nodes.iter().map(|&n| node_w(n) as u128).sum();
+            let mut keys: Vec<(u64, usize)> =
+                nodes.iter().map(|&n| (node_w(n), degree[n])).collect();
+            keys.sort_unstable_by(|a, b| b.cmp(a));
+            Comp {
+                nodes,
+                weight,
+                keys,
+            }
+        })
+        .collect();
+    // Heaviest first, by stable keys only; min node id is the last
+    // resort so equal-keyed components still order deterministically.
+    comps.sort_by(|a, b| {
+        b.weight
+            .cmp(&a.weight)
+            .then(b.nodes.len().cmp(&a.nodes.len()))
+            .then(b.keys.cmp(&a.keys))
+            .then(a.nodes[0].cmp(&b.nodes[0]))
+    });
+
+    // Contiguous slicing into `shards` groups of balanced effective
+    // weight; forced advancement keeps every group non-empty.
+    let total: u128 = comps.iter().map(|c| c.weight).sum();
     let mut shard_of_node = vec![0usize; nodes];
     let mut g = 0usize;
-    let mut cum = 0usize;
+    let mut cum: u128 = 0;
     for (ci, comp) in comps.iter().enumerate() {
-        for &node in comp {
+        for &node in &comp.nodes {
             shard_of_node[node] = g;
         }
-        cum += comp.len();
+        cum += comp.weight;
         let comps_left = comps.len() - ci - 1;
         let groups_left = shards - g - 1;
         if groups_left > 0
             && comps_left >= groups_left
-            && (comps_left == groups_left || cum * shards >= (g + 1) * nodes)
+            && (comps_left == groups_left || cum * shards as u128 >= (g + 1) as u128 * total)
         {
             g += 1;
         }
@@ -335,7 +427,19 @@ impl ShardedSim {
     /// to the monolithic path at zero cost.
     #[allow(clippy::result_large_err)] // the Err deliberately carries the whole Simulator back
     pub fn split(sim: Simulator, want: usize) -> Result<ShardedSim, (Simulator, String)> {
-        let part = match partition(&sim, want) {
+        let weights = partition_weights();
+        Self::split_with(sim, want, weights.as_deref())
+    }
+
+    /// [`split`](Self::split) with explicit partition weights instead of
+    /// the process default (`None` balances node count).
+    #[allow(clippy::result_large_err)]
+    pub fn split_with(
+        sim: Simulator,
+        want: usize,
+        weights: Option<&[u64]>,
+    ) -> Result<ShardedSim, (Simulator, String)> {
+        let part = match partition_with(&sim, want, weights) {
             Ok(p) => p,
             Err(e) => return Err((sim, e)),
         };
@@ -434,6 +538,10 @@ impl ShardedSim {
                 s.spawn(move || {
                     #[cfg(feature = "telemetry")]
                     let _scope = crate::telemetry::scoped(&scope);
+                    // Tag every record this worker publishes (queue taps,
+                    // epoch series, flight/panic dumps) with its shard id.
+                    #[cfg(feature = "telemetry")]
+                    let _shard_tag = crate::telemetry::shard_scoped(me as u32);
                     #[cfg(feature = "telemetry")]
                     let _span = crate::telemetry::enabled()
                         .then(|| crate::telemetry::span(format!("shard/{me}")))
@@ -515,8 +623,26 @@ fn thread_cpu_ns() -> u64 {
         .unwrap_or(0)
 }
 
+/// Every this-many epochs a worker reads the wall clock around its
+/// compute and barrier phases (mirrors the dispatch loop's
+/// `TEL_SAMPLE`): the sampled epoch *is* the record, no scaling — the
+/// observatory wants representative per-epoch durations, not totals.
+/// Counts (`shard/events`, `shard/mailbox_{in,out}_pkts`) stay exact on
+/// every epoch; they are deterministic and cheap.
+#[cfg(feature = "telemetry")]
+const EPOCH_SAMPLE: usize = 16;
+
 /// One shard's epoch loop. All shards compute identical barrier
 /// instants, so they make identical numbers of `barrier.wait` calls.
+///
+/// When telemetry is attached, each epoch publishes per-shard records
+/// keyed by shard id and stamped with the barrier instant: exact event
+/// and mailbox counts every epoch, and 1-in-[`EPOCH_SAMPLE`] wall-clock
+/// samples of the compute and barrier-wait phases (also emitted as
+/// `shard/{me}/epoch` and `shard/{me}/stall` Chrome-trace spans on the
+/// worker's own lane, so a 4-shard run renders as four parallel epoch
+/// timelines). Detached runs skip all of it — the `tel` flag is read
+/// once — so they stay byte-identical to a telemetry-free build.
 #[allow(clippy::too_many_arguments)]
 fn run_worker(
     me: usize,
@@ -528,6 +654,10 @@ fn run_worker(
     window: SimDuration,
     n: usize,
 ) {
+    #[cfg(feature = "telemetry")]
+    let tel = crate::telemetry::enabled();
+    #[cfg(feature = "telemetry")]
+    let mut ev_last = shard.events_processed();
     let mut t = start;
     let mut k = 0usize;
     while t < until {
@@ -548,20 +678,39 @@ fn run_worker(
         } else {
             until
         };
+        #[cfg(feature = "telemetry")]
+        let sampled = tel && k.is_multiple_of(EPOCH_SAMPLE);
+        #[cfg(feature = "telemetry")]
+        let t_compute = sampled.then(std::time::Instant::now);
         shard.run_until(run_to);
+        #[cfg(feature = "telemetry")]
+        let compute_ns = t_compute.map(|t0| t0.elapsed().as_nanos() as u64);
+        // The compute span is emitted here, while "now" is still the
+        // phase's end, so it lands at its true wall-clock position on
+        // this worker's trace lane.
+        #[cfg(feature = "telemetry")]
+        if let Some(c) = compute_ns {
+            crate::telemetry::span_closed(format!("shard/{me}/epoch"), c / 1_000);
+        }
         let slot = k & 1;
         let mut by_dst: Vec<Vec<WirePacket>> = (0..n).map(|_| Vec::new()).collect();
         for (dst, wp) in shard.take_outbox() {
             by_dst[dst].push(wp);
         }
+        #[cfg(feature = "telemetry")]
+        let out_pkts: usize = by_dst.iter().map(Vec::len).sum();
         for (dst, pkts) in by_dst.into_iter().enumerate() {
             if !pkts.is_empty() {
                 mail[dst][me][slot].lock().unwrap().extend(pkts);
             }
         }
+        #[cfg(feature = "telemetry")]
+        let t_wait = sampled.then(std::time::Instant::now);
         if !barrier.wait() {
             return;
         }
+        #[cfg(feature = "telemetry")]
+        let wait_ns = t_wait.map(|t0| t0.elapsed().as_nanos() as u64);
         // Canonical injection order: drain sources in shard-index order,
         // then a stable sort by (arrival time, emission time, content
         // tie) — so injected arrivals enter each calendar in exactly the
@@ -575,8 +724,25 @@ fn run_worker(
             incoming.append(&mut src_boxes[slot].lock().unwrap());
         }
         incoming.sort_by_key(|w| (w.at, w.sched, w.pkt.order_tie()));
+        #[cfg(feature = "telemetry")]
+        let in_pkts = incoming.len();
         for wp in incoming {
             shard.inject_arrival(wp.at, wp.sched, wp.node, wp.pkt);
+        }
+        #[cfg(feature = "telemetry")]
+        if tel {
+            use crate::telemetry as tele;
+            let tb = b.as_nanos() as f64 / 1e9;
+            let ev_now = shard.events_processed();
+            tele::record("shard/events", me as u64, tb, (ev_now - ev_last) as f64);
+            ev_last = ev_now;
+            tele::record("shard/mailbox_out_pkts", me as u64, tb, out_pkts as f64);
+            tele::record("shard/mailbox_in_pkts", me as u64, tb, in_pkts as f64);
+            if let (Some(c), Some(w)) = (compute_ns, wait_ns) {
+                tele::record("shard/epoch_compute_ns", me as u64, tb, c as f64);
+                tele::record("shard/barrier_wait_ns", me as u64, tb, w as f64);
+                tele::span_closed(format!("shard/{me}/stall"), w / 1_000);
+            }
         }
         t = b;
         k += 1;
@@ -643,6 +809,106 @@ mod tests {
         assert!(partition(&sim, 3).is_err());
         let p = partition(&sim, 2).expect("separable");
         assert_eq!(p.shards, 2);
+    }
+
+    #[test]
+    fn weighted_partition_isolates_heavy_components() {
+        // 6 singleton components; node 2 carries the observed load.
+        let sim = line_sim(&[5, 5, 5, 5, 5]);
+        let mut w = vec![0u64; 6];
+        w[2] = 1_000;
+        let p = partition_with(&sim, 2, Some(&w)).expect("separable");
+        assert_eq!(p.shards, 2);
+        let heavy = p.shard_of_node[2];
+        for n in [0usize, 1, 3, 4, 5] {
+            assert_ne!(p.shard_of_node[n], heavy, "node {n} shares the hot shard");
+        }
+    }
+
+    #[test]
+    fn zero_and_extreme_weights_still_produce_a_total_cover() {
+        let sim = line_sim(&[5, 5, 5, 5, 5]);
+        for w in [
+            vec![0u64; 6],
+            vec![u64::MAX; 6],
+            vec![u64::MAX, 0, u64::MAX, 0, 0, 0],
+        ] {
+            let p = partition_with(&sim, 3, Some(&w)).expect("separable");
+            assert_eq!(p.shard_of_node.len(), 6);
+            assert!(p.shard_of_node.iter().all(|&s| s < p.shards));
+            for g in 0..p.shards {
+                assert!(p.shard_of_node.contains(&g), "group {g} empty");
+            }
+        }
+        // A short weight vector reads missing nodes as zero, not an error.
+        let p = partition_with(&sim, 2, Some(&[7])).expect("separable");
+        assert!(p.shard_of_node.iter().all(|&s| s < p.shards));
+    }
+
+    #[test]
+    fn partition_uses_process_default_weights() {
+        let sim = line_sim(&[5, 5, 5, 5, 5]);
+        let mut w = vec![0u64; 6];
+        w[2] = 1_000;
+        set_partition_weights(Some(w.clone()));
+        let via_global = partition(&sim, 2).expect("separable");
+        set_partition_weights(None);
+        assert_eq!(partition_weights(), None);
+        let direct = partition_with(&sim, 2, Some(&w)).expect("separable");
+        assert_eq!(via_global.shard_of_node, direct.shard_of_node);
+    }
+
+    /// The ROADMAP item 1 failure mode: on a mini-dumbbell (router `a`
+    /// feeding two sources, router `z` feeding two sinks), raw
+    /// insertion order decided which hosts shared a shard with which
+    /// router, so permuting node creation order reshuffled the
+    /// partition. Stable keys (weight, size, degree) order the slicing
+    /// instead; creation order must not change the physical grouping.
+    #[test]
+    fn equal_weight_partition_survives_creation_order_permutation() {
+        // Physical identity order: [a, s1, s2, z, d1, d2].
+        fn mini_dumbbell(routers_first: bool) -> (Simulator, Vec<NodeId>) {
+            let mut sim = Simulator::new(7);
+            let (a, s1, s2, z, d1, d2);
+            if routers_first {
+                a = sim.add_node();
+                s1 = sim.add_node();
+                s2 = sim.add_node();
+                z = sim.add_node();
+                d1 = sim.add_node();
+                d2 = sim.add_node();
+            } else {
+                z = sim.add_node();
+                d1 = sim.add_node();
+                d2 = sim.add_node();
+                a = sim.add_node();
+                s1 = sim.add_node();
+                s2 = sim.add_node();
+            }
+            for (x, y, ms) in [(a, z, 10), (a, s1, 5), (a, s2, 5), (z, d1, 5), (z, d2, 5)] {
+                sim.add_duplex_link(x, y, 8_000_000, SimDuration::from_millis(ms), |_| {
+                    Box::new(DropTail::new(64))
+                });
+            }
+            sim.compute_routes();
+            (sim, vec![a, s1, s2, z, d1, d2])
+        }
+        // Canonical form: groups as sorted sets of *physical* indices.
+        fn canon(p: &Partition, ids: &[NodeId]) -> Vec<Vec<usize>> {
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); p.shards];
+            for (phys, id) in ids.iter().enumerate() {
+                groups[p.shard_of_node[id.index()]].push(phys);
+            }
+            groups.sort();
+            groups
+        }
+        for want in [2usize, 3] {
+            let (sim1, ids1) = mini_dumbbell(true);
+            let (sim2, ids2) = mini_dumbbell(false);
+            let p1 = partition_with(&sim1, want, None).expect("separable");
+            let p2 = partition_with(&sim2, want, None).expect("separable");
+            assert_eq!(canon(&p1, &ids1), canon(&p2, &ids2), "want = {want}");
+        }
     }
 
     #[test]

@@ -297,6 +297,13 @@ pub struct Simulator {
     /// Lifetime events by class (see [`EventKind::class`]); cheap plain
     /// increments, always on, never part of a measurement window.
     ev_counts: [u64; EventKind::CLASSES],
+    /// Lifetime events attributed to each node (indexed by [`NodeId`]):
+    /// arrivals to the node, departures and queue ticks to the link's
+    /// from-node, timers to the agent's home node. Cheap plain
+    /// increments, always on; flushed into [`crate::profile`] on drop
+    /// when profiling is enabled, where `--shard-profile-out` turns it
+    /// into partition weights.
+    node_events: Vec<u64>,
     counters: SimCounters,
     seed: u64,
     #[cfg(feature = "audit")]
@@ -355,6 +362,7 @@ impl Simulator {
             routes_ready: false,
             events_processed: 0,
             ev_counts: [0; EventKind::CLASSES],
+            node_events: Vec::new(),
             counters: SimCounters::default(),
             seed,
             #[cfg(feature = "audit")]
@@ -455,7 +463,15 @@ impl Simulator {
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Node::default());
+        self.node_events.push(0);
         id
+    }
+
+    /// Lifetime events attributed to each node so far (see the
+    /// `node_events` field for the attribution rule). The profile behind
+    /// `--shard-profile-out`.
+    pub fn node_event_profile(&self) -> &[u64] {
+        &self.node_events
     }
 
     /// Add `n` nodes and return their ids.
@@ -1118,6 +1134,7 @@ impl Simulator {
                         let EventKind::Arrival { node, packet } = ev.kind else {
                             unreachable!("mixed-class batch");
                         };
+                        self.node_events[node.index()] += 1;
                         self.on_arrival(node, packet);
                     }
                 }
@@ -1127,6 +1144,8 @@ impl Simulator {
                         let EventKind::Departure { link } = ev.kind else {
                             unreachable!("mixed-class batch");
                         };
+                        let (from, _) = self.link_endpoints[link.index()];
+                        self.node_events[from.index()] += 1;
                         self.on_link_free(link);
                     }
                 }
@@ -1140,6 +1159,17 @@ impl Simulator {
                             .take()
                             .unwrap_or_else(|| panic!("timer for missing agent {agent}"));
                         let node = self.agent_nodes[agent.index()];
+                        // Shared slab agents carry the sentinel home node;
+                        // their per-flow timers name a node via the same
+                        // routing hook the shard splitter uses.
+                        let profiled = if node == NodeId(usize::MAX) {
+                            a.shard_route_timer(token)
+                        } else {
+                            Some(node)
+                        };
+                        if let Some(p) = profiled {
+                            self.node_events[p.index()] += 1;
+                        }
                         let mut ctx = Ctx {
                             sim: self,
                             agent,
@@ -1155,6 +1185,12 @@ impl Simulator {
                         let EventKind::Control { code } = ev.kind else {
                             unreachable!("mixed-class batch");
                         };
+                        // Queue ticks belong to their link's from-node;
+                        // probes sample global state and stay unattributed.
+                        if code & (0xffff_ffff << 32) == CTRL_QUEUE_TICK {
+                            let (from, _) = self.link_endpoints[(code & 0xffff_ffff) as usize];
+                            self.node_events[from.index()] += 1;
+                        }
                         self.on_control(code);
                     }
                 }
@@ -1461,6 +1497,7 @@ impl Simulator {
                 routes_ready: true,
                 events_processed: 0,
                 ev_counts: [0; EventKind::CLASSES],
+                node_events: vec![0; self.nodes.len()],
                 counters: SimCounters::default(),
                 seed: self.seed,
                 #[cfg(feature = "audit")]
@@ -1524,6 +1561,12 @@ impl Simulator {
             for c in 0..EventKind::CLASSES {
                 self.ev_counts[c] += shard.ev_counts[c];
             }
+            // Node profiles sum home; the shard's copy is cleared so its
+            // drop below cannot flush the same counts twice.
+            for (home, n) in self.node_events.iter_mut().zip(&shard.node_events) {
+                *home += n;
+            }
+            shard.node_events.clear();
             self.counters.timers_scheduled += shard.counters.timers_scheduled;
             self.counters.enqueued += shard.counters.enqueued;
             self.counters.marked += shard.counters.marked;
@@ -1612,12 +1655,33 @@ impl Simulator {
     }
 }
 
-/// Flush the final measurement window into the global telemetry metrics
-/// registry. Only active when the runtime flag was up at construction, so
-/// simulators built with telemetry off cost nothing here.
-#[cfg(feature = "telemetry")]
+/// Flush terminal state into the process-wide registries: the per-node
+/// event profile into [`crate::profile`] (feature-independent; gated
+/// only by the runtime profiling flag), and — when the `telemetry`
+/// feature is compiled in and the runtime flag was up at construction —
+/// the final measurement window into the global telemetry metrics
+/// registry.
 impl Drop for Simulator {
     fn drop(&mut self) {
+        // The node profile is always maintained; export costs one
+        // registry merge per simulator and only happens when the driver
+        // asked for it (`--shard-profile-out`). Shards merged back by
+        // `merge_shards` arrive here with a cleared profile, so sharded
+        // runs flush each event exactly once, from the husk.
+        if crate::profile::enabled() && self.node_events.iter().any(|&n| n > 0) {
+            crate::profile::add(&self.node_events);
+        }
+        #[cfg(feature = "telemetry")]
+        self.flush_telemetry();
+    }
+}
+
+#[cfg(feature = "telemetry")]
+impl Simulator {
+    /// Drop-time telemetry flush. Only active when the runtime flag was
+    /// up at construction, so simulators built with telemetry off cost
+    /// nothing here.
+    fn flush_telemetry(&mut self) {
         if !self.tel_on {
             return;
         }

@@ -246,4 +246,71 @@ proptest! {
         let got = fingerprint(&merged, events, &pingers2);
         prop_assert_eq!(want, got);
     }
+
+    /// Profile-guided partitioning with arbitrary weights — random,
+    /// all-zero, `u64::MAX` spikes, or a vector of the wrong length —
+    /// always produces a total cover: every node owned by exactly one
+    /// shard, every shard nonempty, shard count within the request.
+    #[test]
+    fn weighted_partition_is_always_a_total_cover(
+        topo in topo_strategy(),
+        want in 2usize..5,
+        weights in proptest::collection::vec(
+            prop_oneof![Just(0u64), Just(u64::MAX), 0u64..1_000_000], 0..32),
+    ) {
+        let (sim, _) = build(&topo);
+        match netsim::shard::partition_with(&sim, want, Some(&weights)) {
+            Ok(p) => {
+                prop_assert_eq!(p.shard_of_node.len(), sim.num_nodes());
+                prop_assert!(p.shards >= 1 && p.shards <= want);
+                let mut seen = vec![false; p.shards];
+                for &s in &p.shard_of_node {
+                    prop_assert!(s < p.shards, "node assigned to shard {} of {}", s, p.shards);
+                    seen[s] = true;
+                }
+                prop_assert!(seen.iter().all(|&s| s), "empty shard in {:?}", p.shard_of_node);
+                // Weights must never change *whether* a topology splits,
+                // nor the lookahead the cut achieves — only the grouping.
+                let unweighted = netsim::shard::partition_with(&sim, want, None).unwrap();
+                prop_assert_eq!(p.shards, unweighted.shards);
+                prop_assert_eq!(p.lookahead, unweighted.lookahead);
+            }
+            Err(_) => {
+                // Refusal must be weight-independent.
+                prop_assert!(netsim::shard::partition_with(&sim, want, None).is_err());
+            }
+        }
+    }
+
+    /// A sharded run under arbitrary partition weights is observably
+    /// identical to the monolithic run — weights relocate nodes, never
+    /// results.
+    #[test]
+    fn weighted_sharded_run_matches_monolithic(
+        topo in topo_strategy(),
+        shards in 2usize..4,
+        weights in proptest::collection::vec(0u64..1_000, 4..24),
+    ) {
+        let until = SimTime::from_millis(200);
+
+        let (mut mono, pingers) = build(&topo);
+        mono.run_until(until);
+        let want = fingerprint(&mono, mono.events_processed(), &pingers);
+
+        let (sim, pingers2) = build(&topo);
+        let (merged, events) = match ShardedSim::split_with(sim, shards, Some(&weights)) {
+            Ok(mut sharded) => {
+                sharded.run_until(until);
+                let events = sharded.events_processed();
+                (sharded.merge(), events)
+            }
+            Err((mut sim, _reason)) => {
+                sim.run_until(until);
+                let events = sim.events_processed();
+                (sim, events)
+            }
+        };
+        let got = fingerprint(&merged, events, &pingers2);
+        prop_assert_eq!(want, got);
+    }
 }

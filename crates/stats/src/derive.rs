@@ -63,6 +63,17 @@ pub struct DeriveSet {
     /// Per-scope last-activity time, quantized to microseconds; the
     /// sum over scopes approximates total active simulated time.
     active_us: BTreeMap<String, u64>,
+    /// Per-shard processed-event counts (`shard/events`, keyed by shard
+    /// id). Exact: the shard runner emits them every epoch.
+    shard_events: BTreeMap<u64, u64>,
+    /// Per-shard compute wall time, nanoseconds, summed over *sampled*
+    /// epochs only (`shard/epoch_compute_ns`; 1-in-16 sampling).
+    shard_compute_ns: BTreeMap<u64, u64>,
+    /// Per-shard barrier-wait wall time over the same sampled epochs
+    /// (`shard/barrier_wait_ns`).
+    shard_wait_ns: BTreeMap<u64, u64>,
+    /// Number of sampled-epoch wall records ingested (compute spans).
+    shard_samples: u64,
 }
 
 impl Default for DeriveSet {
@@ -83,6 +94,10 @@ impl DeriveSet {
             acked: BTreeMap::new(),
             responses: 0,
             active_us: BTreeMap::new(),
+            shard_events: BTreeMap::new(),
+            shard_compute_ns: BTreeMap::new(),
+            shard_wait_ns: BTreeMap::new(),
+            shard_samples: 0,
         }
     }
 
@@ -114,6 +129,16 @@ impl DeriveSet {
                 self.touch(scope, t);
             }
             "pert/prob" | "pert/srtt" => self.touch(scope, t),
+            "shard/events" => {
+                *self.shard_events.entry(key).or_insert(0) += value as u64;
+            }
+            "shard/epoch_compute_ns" => {
+                *self.shard_compute_ns.entry(key).or_insert(0) += value as u64;
+                self.shard_samples += 1;
+            }
+            "shard/barrier_wait_ns" => {
+                *self.shard_wait_ns.entry(key).or_insert(0) += value as u64;
+            }
             _ => {}
         }
     }
@@ -142,6 +167,16 @@ impl DeriveSet {
             let e = self.active_us.entry(scope.clone()).or_insert(0);
             *e = (*e).max(*us);
         }
+        for (shard, n) in &other.shard_events {
+            *self.shard_events.entry(*shard).or_insert(0) += n;
+        }
+        for (shard, ns) in &other.shard_compute_ns {
+            *self.shard_compute_ns.entry(*shard).or_insert(0) += ns;
+        }
+        for (shard, ns) in &other.shard_wait_ns {
+            *self.shard_wait_ns.entry(*shard).or_insert(0) += ns;
+        }
+        self.shard_samples += other.shard_samples;
     }
 
     /// True when no record has contributed anything.
@@ -154,6 +189,10 @@ impl DeriveSet {
             && self.acked.is_empty()
             && self.responses == 0
             && self.active_us.is_empty()
+            && self.shard_events.is_empty()
+            && self.shard_compute_ns.is_empty()
+            && self.shard_wait_ns.is_empty()
+            && self.shard_samples == 0
     }
 
     /// Reduce to the reported summary. Pure integer arithmetic over
@@ -206,7 +245,57 @@ impl DeriveSet {
             loss,
             fairness,
             pert,
+            shards: self.shard_summary(),
         }
+    }
+
+    fn shard_summary(&self) -> Option<ShardSummary> {
+        if self.shard_events.is_empty() {
+            return None;
+        }
+        let n = self.shard_events.len() as u128;
+        let total: u128 = self.shard_events.values().map(|&x| u128::from(x)).sum();
+        let max: u128 = u128::from(*self.shard_events.values().max().unwrap());
+        let sum_sq: u128 = self
+            .shard_events
+            .values()
+            .map(|&x| u128::from(x) * u128::from(x))
+            .sum();
+        // Jain's index over per-shard event counts, milli-units; all
+        // shards idle degenerates to perfectly balanced by convention.
+        let jain_milli = if sum_sq == 0 {
+            1_000
+        } else {
+            (total * total * 1_000 / (n * sum_sq)) as u64
+        };
+        // Rounded basis-point ratio; zero denominator renders as 0.
+        let ratio_bp = |num: u128, den: u128| -> u64 {
+            (num * 10_000 + den / 2).checked_div(den).unwrap_or(0) as u64
+        };
+        let max_share_bp = ratio_bp(max, total);
+        // Wall-clock ratios come from the *sampled* epochs only; both
+        // numerator and denominator use the same sample set so the
+        // ratios are unbiased even though the sums are partial. These
+        // are profiling-domain numbers — nondeterministic run to run.
+        let compute: u128 = self.shard_compute_ns.values().map(|&x| u128::from(x)).sum();
+        let critpath: u128 = self
+            .shard_compute_ns
+            .values()
+            .map(|&x| u128::from(x))
+            .max()
+            .unwrap_or(0);
+        let wait: u128 = self.shard_wait_ns.values().map(|&x| u128::from(x)).sum();
+        let critpath_bp = ratio_bp(critpath, compute);
+        let stall_bp = ratio_bp(wait, compute + wait);
+        Some(ShardSummary {
+            shards: self.shard_events.len() as u64,
+            events: total as u64,
+            max_share_bp,
+            jain_milli,
+            sampled_epochs: self.shard_samples,
+            critpath_bp,
+            stall_bp,
+        })
     }
 
     fn fairness_summary(&self) -> Option<FairnessSummary> {
@@ -333,6 +422,37 @@ pub struct PertSummary {
     pub freq_mhz: u64,
 }
 
+/// Shard-imbalance view of a space-parallel run: how evenly the
+/// partition spread the event load, and what the imbalance cost in
+/// wall time.
+///
+/// Event counts are exact (emitted every barrier epoch); the wall
+/// ratios are computed over 1-in-16 sampled epochs and belong to the
+/// profiling domain — they vary run to run even when the report body
+/// is byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Number of shards that reported events.
+    pub shards: u64,
+    /// Total events processed across all shards.
+    pub events: u64,
+    /// Largest single shard's share of the events, basis points.
+    pub max_share_bp: u64,
+    /// Jain's fairness index over per-shard event counts, milli-units
+    /// (1000 = perfectly balanced).
+    pub jain_milli: u64,
+    /// Number of sampled-epoch wall records behind the ratios below
+    /// (0 when wall sampling never fired — the ratios are then 0 too).
+    pub sampled_epochs: u64,
+    /// Critical path vs aggregate compute: max per-shard compute wall
+    /// time over the sum across shards, basis points. 10 000/shards is
+    /// a perfect split; 10 000 means one shard did all the work.
+    pub critpath_bp: u64,
+    /// Barrier-stall fraction: wait / (compute + wait) across all
+    /// shards, basis points.
+    pub stall_bp: u64,
+}
+
 /// The derived-metrics block of a report: everything integer, so text
 /// and JSON renderings are byte-stable.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -347,6 +467,9 @@ pub struct DerivedSummary {
     pub fairness: Option<FairnessSummary>,
     /// PERT response frequency, if the controller was active.
     pub pert: Option<PertSummary>,
+    /// Shard load balance, if the run was space-parallel with
+    /// telemetry attached.
+    pub shards: Option<ShardSummary>,
 }
 
 impl DerivedSummary {
@@ -357,6 +480,7 @@ impl DerivedSummary {
             && self.loss.is_none()
             && self.fairness.is_none()
             && self.pert.is_none()
+            && self.shards.is_none()
     }
 
     /// Append the text rendering (the `derived metrics:` report block).
@@ -395,6 +519,18 @@ impl DerivedSummary {
                 p.responses, p.active_us, p.freq_mhz
             ));
         }
+        if let Some(s) = &self.shards {
+            out.push_str(&format!(
+                "  shards: n={} events={} max_share={}bp jain_milli={}\n",
+                s.shards, s.events, s.max_share_bp, s.jain_milli
+            ));
+            if s.sampled_epochs > 0 {
+                out.push_str(&format!(
+                    "  shard wall: sampled_epochs={} critpath={}bp stall={}bp\n",
+                    s.sampled_epochs, s.critpath_bp, s.stall_bp
+                ));
+            }
+        }
     }
 
     /// The JSON object body for the report's `"derived"` key.
@@ -431,6 +567,20 @@ impl DerivedSummary {
             parts.push(format!(
                 "\"pert\":{{\"responses\":{},\"active_us\":{},\"freq_mhz\":{}}}",
                 p.responses, p.active_us, p.freq_mhz
+            ));
+        }
+        if let Some(s) = &self.shards {
+            parts.push(format!(
+                "\"shards\":{{\"shards\":{},\"events\":{},\"max_share_bp\":{},\
+                 \"jain_milli\":{},\"sampled_epochs\":{},\"critpath_bp\":{},\
+                 \"stall_bp\":{}}}",
+                s.shards,
+                s.events,
+                s.max_share_bp,
+                s.jain_milli,
+                s.sampled_epochs,
+                s.critpath_bp,
+                s.stall_bp
             ));
         }
         format!("{{{}}}", parts.join(","))
@@ -536,6 +686,64 @@ mod tests {
         assert_eq!(p.active_us, 10_000_000);
         // 2 responses over 10 s = 0.2 Hz = 200 mHz.
         assert_eq!(p.freq_mhz, 200);
+    }
+
+    #[test]
+    fn shard_summary_numbers_are_exact() {
+        let mut d = DeriveSet::new();
+        // Four shards, event split 50/20/20/10.
+        for (shard, n) in [(0u64, 50.0), (1, 20.0), (2, 20.0), (3, 10.0)] {
+            d.ingest("shard", "shard/events", shard, 1.0, n);
+        }
+        // One sampled epoch per shard: compute 8000/1000/500/500 ns,
+        // waits summing to 2500 ns against 10 000 ns of compute.
+        for (shard, c, w) in [
+            (0u64, 8_000.0, 0.0),
+            (1, 1_000.0, 1_500.0),
+            (2, 500.0, 500.0),
+            (3, 500.0, 500.0),
+        ] {
+            d.ingest("shard", "shard/epoch_compute_ns", shard, 1.0, c);
+            d.ingest("shard", "shard/barrier_wait_ns", shard, 1.0, w);
+        }
+        let s = d.summary().shards.unwrap();
+        assert_eq!(s.shards, 4);
+        assert_eq!(s.events, 100);
+        assert_eq!(s.max_share_bp, 5_000);
+        // Jain: 100²·1000 / (4 · (2500 + 400 + 400 + 100)) = 735.
+        assert_eq!(s.jain_milli, 735);
+        assert_eq!(s.sampled_epochs, 4);
+        // Critical path 8000 ns of 10 000 ns aggregate compute.
+        assert_eq!(s.critpath_bp, 8_000);
+        // Stall: 2500 / 12 500 = 2000 bp.
+        assert_eq!(s.stall_bp, 2_000);
+
+        // Events alone (detached wall clocks) still summarize; the
+        // wall line is gated on sampled_epochs.
+        let mut e = DeriveSet::new();
+        e.ingest("shard", "shard/events", 0, 1.0, 10.0);
+        e.ingest("shard", "shard/events", 1, 1.0, 10.0);
+        let s = e.summary().shards.unwrap();
+        assert_eq!((s.max_share_bp, s.jain_milli), (5_000, 1_000));
+        assert_eq!((s.sampled_epochs, s.critpath_bp, s.stall_bp), (0, 0, 0));
+        let mut text = String::new();
+        e.summary().render_text_into(&mut text);
+        assert!(text.contains("shards: n=2"));
+        assert!(!text.contains("shard wall:"));
+
+        // Merge matches a single stream.
+        let mut a = DeriveSet::new();
+        a.ingest("shard", "shard/events", 0, 1.0, 10.0);
+        let mut b = DeriveSet::new();
+        b.ingest("shard", "shard/events", 0, 2.0, 5.0);
+        b.ingest("shard", "shard/events", 1, 2.0, 15.0);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut single = DeriveSet::new();
+        single.ingest("shard", "shard/events", 0, 1.0, 10.0);
+        single.ingest("shard", "shard/events", 0, 2.0, 5.0);
+        single.ingest("shard", "shard/events", 1, 2.0, 15.0);
+        assert_eq!(merged, single);
     }
 
     #[test]

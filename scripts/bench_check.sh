@@ -93,6 +93,19 @@ for f in BENCH_*.json; do
                 continue
             fi
             ;;
+        shard_weights)
+            # The PR-8 acceptance figures: profile-guided weights must
+            # bring the max-shard event share to 65% or below, and must
+            # not lose critical-path throughput vs unweighted slicing.
+            ok=$(jq '((.metrics.weighted_max_shard_share.value // 100) <= 65)
+                     and ((.metrics.weighted_critical_path_throughput.value // 0)
+                          >= (.metrics.unweighted_critical_path_throughput.value // 1))' "$f")
+            if [ "$ok" != "true" ]; then
+                echo "FAIL $f: weighted run must cut max-shard share to <=65% without losing critical-path throughput" >&2
+                fail=1
+                continue
+            fi
+            ;;
     esac
 
     echo "ok   $f"

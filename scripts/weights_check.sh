@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Validate a pert-shard-weights/v1 file (what `--shard-profile-out`
+# writes and `--partition-weights` reads). Usage:
+#
+#   scripts/weights_check.sh FILE...
+#
+# Schema (all keys required, no extras):
+#   schema        string  exactly "pert-shard-weights/v1"
+#   targets       array   of strings; scenarios that contributed
+#   nodes         number  must equal the weights array length
+#   total_events  number  must equal the sum of the weights
+#   weights       array   of non-negative integers, indexed by node id
+#
+# These are the same checks the hand-rolled parser in
+# `experiments::weights` applies, so a file that passes here loads
+# there. Exit 0 when every file validates, 1 otherwise.
+
+set -u
+
+if ! command -v jq >/dev/null 2>&1; then
+    echo "weights_check: jq not found" >&2
+    exit 1
+fi
+
+if [ "$#" -eq 0 ]; then
+    echo "usage: weights_check.sh FILE..." >&2
+    exit 2
+fi
+
+fail=0
+for f in "$@"; do
+    if ! jq empty "$f" 2>/dev/null; then
+        echo "FAIL $f: not valid JSON" >&2
+        fail=1
+        continue
+    fi
+
+    errs=$(jq -r '
+        def err(cond; msg): if cond then empty else msg end;
+        [
+          err(.schema? == "pert-shard-weights/v1";
+              "schema: must be \"pert-shard-weights/v1\""),
+          err((.targets? | type) == "array" and all(.targets[]; type == "string");
+              "targets: missing or not an array of strings"),
+          err((.nodes? | type) == "number";
+              "nodes: missing or not a number"),
+          err((.total_events? | type) == "number";
+              "total_events: missing or not a number"),
+          err((.weights? | type) == "array"
+              and all(.weights[]; type == "number" and . >= 0 and . == floor);
+              "weights: missing or not an array of non-negative integers"),
+          err((keys - ["schema","targets","nodes","total_events","weights"]) == [];
+              "unexpected extra keys: \(keys - ["schema","targets","nodes","total_events","weights"])"),
+          (if (.weights? | type) == "array" and (.nodes? | type) == "number" then
+             err(.nodes == (.weights | length);
+                 "nodes=\(.nodes) disagrees with weights length \(.weights | length)")
+           else empty end),
+          (if (.weights? | type) == "array" and (.total_events? | type) == "number" then
+             err(.total_events == (.weights | add // 0);
+                 "total_events=\(.total_events) disagrees with weight sum \(.weights | add // 0)")
+           else empty end)
+        ] | .[]
+    ' "$f")
+
+    if [ -n "$errs" ]; then
+        while IFS= read -r e; do echo "FAIL $f: $e" >&2; done <<<"$errs"
+        fail=1
+        continue
+    fi
+    echo "ok   $f ($(jq -r '.weights | length' "$f") nodes, $(jq -r .total_events "$f") events)"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "weights_check: FAILED" >&2
+    exit 1
+fi
