@@ -253,6 +253,113 @@ impl PertReference {
     }
 }
 
+/// Straight-line CUBIC window function (RFC 9438 §4.1–4.3):
+///
+/// ```text
+/// K         = cubic_root((W_max − cwnd_epoch) / C)
+/// W_cubic(t) = C·(t − K)³ + W_max
+/// ```
+///
+/// with fast convergence (§4.6) on a new congestion event:
+///
+/// ```text
+/// W_max ← cwnd·(1 + β)/2   if cwnd < W_max   (else W_max ← cwnd)
+/// ```
+///
+/// The reference recomputes `K` and the cubic curve fresh from the epoch
+/// inputs on every query; the optimized implementation caches `K` at
+/// epoch start and is compared against this each ACK under `--audit`.
+#[derive(Clone, Copy, Debug)]
+pub struct CubicReference {
+    /// The cubic scaling constant `C` (RFC 9438 uses 0.4).
+    pub c: f64,
+    /// The multiplicative-decrease factor `β` (RFC 9438 uses 0.7).
+    pub beta: f64,
+}
+
+impl CubicReference {
+    /// A reference with the given constants.
+    pub fn new(c: f64, beta: f64) -> Self {
+        CubicReference { c, beta }
+    }
+
+    /// The time-to-origin `K` for an epoch that starts at window
+    /// `cwnd_epoch` below plateau `w_max`.
+    pub fn k(&self, w_max: f64, cwnd_epoch: f64) -> f64 {
+        ((w_max - cwnd_epoch).max(0.0) / self.c).cbrt()
+    }
+
+    /// The cubic window at `t` seconds into the epoch.
+    pub fn w_cubic(&self, t: f64, w_max: f64, cwnd_epoch: f64) -> f64 {
+        self.c * (t - self.k(w_max, cwnd_epoch)).powi(3) + w_max
+    }
+
+    /// The new plateau after a congestion event at window `cwnd`, with
+    /// fast convergence against the previous plateau `w_max_prev`.
+    pub fn w_max_after_loss(&self, cwnd: f64, w_max_prev: f64) -> f64 {
+        if cwnd < w_max_prev {
+            cwnd * (1.0 + self.beta) / 2.0
+        } else {
+            cwnd
+        }
+    }
+
+    /// The AIMD-friendly additive-increase factor `α` (RFC 9438 §4.3).
+    pub fn aimd_alpha(&self) -> f64 {
+        3.0 * (1.0 - self.beta) / (1.0 + self.beta)
+    }
+}
+
+/// Straight-line BBR model arithmetic (Cardwell et al., "BBR:
+/// Congestion-Based Congestion Control", ACM Queue 2016): the bottleneck
+/// bandwidth is the *maximum* delivery-rate sample over a sliding window
+/// of packet-timed rounds, and the congestion window is a gain on the
+/// bandwidth-delay product:
+///
+/// ```text
+/// btlbw      = max{ rate(r) : r > round − W }
+/// cwnd(gain) = max(gain · btlbw · min_rtt, 4)
+/// ```
+///
+/// The reference keeps every in-window sample and rescans for the max;
+/// the optimized implementation uses a monotonic deque and is compared
+/// against this each round under `--audit`.
+#[derive(Clone, Debug, Default)]
+pub struct BbrReference {
+    /// Filter window, rounds (BBR uses 10).
+    pub window_rounds: u64,
+    samples: Vec<(u64, f64)>,
+}
+
+impl BbrReference {
+    /// An empty filter over `window_rounds` rounds.
+    pub fn new(window_rounds: u64) -> Self {
+        BbrReference {
+            window_rounds,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Record one per-round delivery-rate sample and return the reference
+    /// windowed maximum.
+    pub fn on_rate_sample(&mut self, round: u64, rate: f64) -> f64 {
+        self.samples.push((round, rate));
+        self.samples
+            .retain(|&(r, _)| r + self.window_rounds > round);
+        self.max_rate()
+    }
+
+    /// The reference windowed maximum (0 when empty).
+    pub fn max_rate(&self) -> f64 {
+        self.samples.iter().fold(0.0, |m, &(_, v)| m.max(v))
+    }
+
+    /// The reference congestion window for a bandwidth-delay product.
+    pub fn cwnd_for(gain: f64, btlbw: f64, min_rtt: f64) -> f64 {
+        (gain * btlbw * min_rtt).max(4.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,6 +439,38 @@ mod tests {
         let mut neg = RemReference::new(1.0, 1.0, 2.0, 100.0);
         neg.tick(0.0);
         assert_eq!(neg.price(), 0.0);
+    }
+
+    #[test]
+    fn cubic_curve_textbook_points() {
+        let r = CubicReference::new(0.4, 0.7);
+        // Epoch from cwnd = β·W_max: K = cbrt(W_max·(1−β)/C).
+        let w_max = 100.0;
+        let cwnd = 70.0;
+        let k = r.k(w_max, cwnd);
+        assert!((k - (100.0 * 0.3 / 0.4f64).cbrt()).abs() < 1e-12);
+        // At t = K the curve is back at the plateau.
+        assert!((r.w_cubic(k, w_max, cwnd) - w_max).abs() < 1e-9);
+        // At t = 0 it starts at the reduced window.
+        assert!((r.w_cubic(0.0, w_max, cwnd) - cwnd).abs() < 1e-9);
+        // Fast convergence shrinks the plateau when losing below it.
+        assert!((r.w_max_after_loss(50.0, 100.0) - 42.5).abs() < 1e-12);
+        assert_eq!(r.w_max_after_loss(120.0, 100.0), 120.0);
+        // RFC 9438 α for β = 0.7 is 9/17.
+        assert!((r.aimd_alpha() - 3.0 * 0.3 / 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bbr_windowed_max_expires_old_rounds() {
+        let mut f = BbrReference::new(3);
+        assert_eq!(f.on_rate_sample(0, 10.0), 10.0);
+        assert_eq!(f.on_rate_sample(1, 5.0), 10.0);
+        assert_eq!(f.on_rate_sample(2, 7.0), 10.0);
+        // Round 3 expires the round-0 peak: max of {5, 7, 6}.
+        assert_eq!(f.on_rate_sample(3, 6.0), 7.0);
+        assert_eq!(BbrReference::cwnd_for(2.0, 100.0, 0.05), 10.0);
+        // The floor of 4 segments engages at tiny BDPs.
+        assert_eq!(BbrReference::cwnd_for(2.0, 10.0, 0.001), 4.0);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! are unit-testable.
 
 use crate::common::Scale;
+use crate::mix::CcAxis;
 use crate::runner::default_workers;
 use crate::scenario::{is_target, ALL_TARGETS};
 use netsim::CalendarKind;
@@ -13,10 +14,10 @@ use netsim::CalendarKind;
 pub const USAGE: &str = "usage: experiments <target>... [--quick|--standard|--full] [--jobs N] \
 [--shards N] [--seed S] [--json PATH] [--csv PATH] [--audit] [--telemetry] [--trace-out PATH] \
 [--flight-window N] [--progress] [--calendar wheel|heap] [--legacy-agents] \
-[--shard-profile-out PATH] [--partition-weights PATH]\n\
+[--shard-profile-out PATH] [--partition-weights PATH] [--cc cubic|bbr|both]\n\
 \x20      experiments trace summarize|diff ... (see `experiments trace`)\n\
 targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1\n\
-\t fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all\n\
+\t fig11 fig12 fig13a fig13bcd fig14 mix6 mix12 reverse rem robustness ablations all\n\
 --audit runs every simulation with the invariant-audit layer on (packet\n\
 conservation, accounting ledgers, differential oracles) and reports the\n\
 check/violation counts per target.\n\
@@ -37,6 +38,9 @@ the per-flow path is the escape hatch and equivalence baseline.\n\
 shards (cut at positive-delay links) run in deterministic barrier epochs.\n\
 Reports are byte-identical at any N; scenarios that cannot be split fall\n\
 back to one shard. Composes with --jobs (N threads per in-flight job).\n\
+--cc selects the modern-competitor axes for the mixed-competition targets\n\
+(mix6, mix12): CUBIC only, BBR only, or both (default). Other targets\n\
+ignore it.\n\
 --shard-profile-out PATH collects the always-on per-node event counts\n\
 across the run and writes them as a pert-shard-weights/v1 file;\n\
 --partition-weights PATH feeds such a file back so the shard partitioner\n\
@@ -80,6 +84,8 @@ pub struct Cli {
     pub shard_profile_out: Option<String>,
     /// Load partition weights from this file before any simulator runs.
     pub partition_weights: Option<String>,
+    /// Competitor axes for the mixed-competition targets.
+    pub cc: CcAxis,
 }
 
 fn flag_value<'a>(flag: &str, args: &'a [String], i: &mut usize) -> Result<&'a str, String> {
@@ -106,6 +112,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut legacy_agents = false;
     let mut shard_profile_out = None;
     let mut partition_weights = None;
+    let mut cc = CcAxis::Both;
     let mut targets: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -166,6 +173,14 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--partition-weights" => {
                 partition_weights = Some(flag_value(a, args, &mut i)?.to_string())
             }
+            "--cc" => {
+                cc = match flag_value(a, args, &mut i)? {
+                    "cubic" => CcAxis::Cubic,
+                    "bbr" => CcAxis::Bbr,
+                    "both" => CcAxis::Both,
+                    v => return Err(format!("--cc wants 'cubic', 'bbr', or 'both', got '{v}'")),
+                };
+            }
             "--calendar" => {
                 calendar = match flag_value(a, args, &mut i)? {
                     "wheel" => CalendarKind::Wheel,
@@ -215,6 +230,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         legacy_agents,
         shard_profile_out,
         partition_weights,
+        cc,
     })
 }
 
@@ -374,6 +390,23 @@ mod tests {
         assert!(p(&["fig6", "--partition-weights"])
             .unwrap_err()
             .contains("needs a value"));
+    }
+
+    #[test]
+    fn cc_flag() {
+        assert_eq!(p(&["mix6"]).unwrap().cc, CcAxis::Both);
+        assert_eq!(p(&["mix6", "--cc", "cubic"]).unwrap().cc, CcAxis::Cubic);
+        assert_eq!(p(&["mix6", "--cc", "bbr"]).unwrap().cc, CcAxis::Bbr);
+        assert_eq!(p(&["mix12", "--cc", "both"]).unwrap().cc, CcAxis::Both);
+        assert!(p(&["mix6", "--cc", "reno"]).unwrap_err().contains("--cc"));
+        assert!(p(&["mix6", "--cc"]).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn mix_targets_are_registered() {
+        let c = p(&["mix6", "mix12"]).unwrap();
+        assert_eq!(c.targets, vec!["mix6", "mix12"]);
+        assert!(p(&["all"]).unwrap().targets.contains(&"mix6".to_string()));
     }
 
     #[test]

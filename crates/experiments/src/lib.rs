@@ -25,6 +25,7 @@
 //! | [`fig12`]  | dynamic arrivals/departures |
 //! | [`fig13`]  | fluid-model stability (a: eq. 13; b–d: eq. 14) |
 //! | [`fig14`]  | PERT/PI vs router PI-ECN |
+//! | [`mix`]    | beyond-paper: PERT vs CUBIC/BBR cross-traffic |
 //! | [`reverse`] | §7 reverse-path traffic: PERT (RTT) vs PERT-OWD |
 //! | [`rem`]    | §8 generalization: PERT/REM vs router REM-ECN |
 //! | [`robustness`] | non-congestion loss + delayed-ACK stress tests |
@@ -50,6 +51,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod mix;
 pub mod progress;
 pub mod rem;
 pub mod report;

@@ -6,11 +6,13 @@
 //!             [--telemetry] [--trace-out PATH] [--flight-window N]
 //!             [--progress] [--calendar wheel|heap] [--legacy-agents]
 //!             [--shard-profile-out PATH] [--partition-weights PATH]
+//!             [--cc cubic|bbr|both]
 //! experiments trace summarize FILE [filters] | trace diff A B [--tol X]
 //!                 | trace shards FILE [--top N]
 //!
 //! targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1
-//!          fig11 fig12 fig13a fig13bcd fig14 reverse rem robustness ablations all
+//!          fig11 fig12 fig13a fig13bcd fig14 mix6 mix12 reverse rem
+//!          robustness ablations all
 //! ```
 //!
 //! Every target is a [`Scenario`](experiments::scenario::Scenario): its
@@ -71,6 +73,7 @@ fn main() {
             }
         }
     }
+    experiments::mix::set_cc_axis(cli.cc);
     netsim::profile::set_enabled(cli.shard_profile_out.is_some());
     netsim::audit::set_enabled(cli.audit);
     pert_tcp::set_legacy_agents(cli.legacy_agents);

@@ -195,6 +195,7 @@ fn build_delack_dumbbell(cfg: &DumbbellConfig, delack: SimDuration) -> workload:
         forward,
         reverse: Vec::new(),
         web: Vec::new(),
+        cross: Vec::new(),
         buffer_pkts: buffer,
     }
 }

@@ -29,7 +29,7 @@ pub trait Scenario {
 }
 
 /// Every registered target, in `all` execution order.
-pub const ALL_TARGETS: [&str; 16] = [
+pub const ALL_TARGETS: [&str; 18] = [
     "fig234",
     "fig5",
     "fig6",
@@ -42,6 +42,8 @@ pub const ALL_TARGETS: [&str; 16] = [
     "fig13a",
     "fig13bcd",
     "fig14",
+    "mix6",
+    "mix12",
     "reverse",
     "rem",
     "robustness",
@@ -70,6 +72,8 @@ pub fn lookup(name: &str) -> Option<Box<dyn Scenario>> {
         "fig13a" => Box::new(crate::fig13::Fig13aScenario),
         "fig13bcd" => Box::new(crate::fig13::Fig13bcdScenario),
         "fig14" => Box::new(crate::fig14::Fig14Scenario),
+        "mix6" => Box::new(crate::mix::Mix6Scenario),
+        "mix12" => Box::new(crate::mix::Mix12Scenario),
         "reverse" => Box::new(crate::reverse::ReverseScenario),
         "rem" => Box::new(crate::rem::RemScenario),
         "robustness" => Box::new(crate::robustness::RobustnessScenario),

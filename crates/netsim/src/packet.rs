@@ -134,14 +134,21 @@ impl Packet {
         u64::from(self.size_bytes) * 8
     }
 
-    /// A stable, content-only ordering tiebreak (FNV-1a over every
-    /// field), guaranteed non-zero. Two *arrival* events landing at the
+    /// A stable, content-only ordering tiebreak (FNV-1a over the wire
+    /// content), guaranteed non-zero. Two *arrival* events landing at the
     /// same instant with the same emission time are ordered by this
     /// value in the event calendar; because it depends only on packet
     /// content, a sharded run reproduces the monolithic order without
     /// knowing the monolithic insertion sequence (see `netsim::shard`).
     /// Packets with identical content hash equally, and processing
     /// identical packets in either order is indistinguishable.
+    ///
+    /// `dst_agent` is deliberately **excluded**: agent ids depend on the
+    /// flow hosting (one shared slab agent vs one agent per flow behind
+    /// `--legacy-agents`), and hashing them made same-instant ties — and
+    /// therefore whole trajectories — differ between hostings. Every
+    /// hashed field below is transport-level content that both hostings
+    /// produce identically.
     pub fn order_tie(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -154,7 +161,6 @@ impl Packet {
         };
         word(self.flow.0 as u64);
         word(self.dst_node.0 as u64);
-        word(self.dst_agent.0 as u64);
         word(u64::from(self.size_bytes));
         word(match self.ecn {
             Ecn::NotCapable => 0,
@@ -240,6 +246,29 @@ mod tests {
             retransmit: false,
         });
         assert_eq!(p.size_bits(), 8000);
+    }
+
+    /// The calendar tiebreak must not see the hosting: the same wire
+    /// packet delivered to a slab agent or a standalone per-flow agent
+    /// (different `dst_agent`) has to sort identically, or slab and
+    /// legacy runs diverge on same-instant arrival ties.
+    #[test]
+    fn order_tie_ignores_the_destination_agent() {
+        let a = mk(Payload::Data {
+            seq: 9,
+            retransmit: false,
+        });
+        let mut b = a;
+        b.dst_agent = AgentId(77);
+        assert_eq!(a.order_tie(), b.order_tie());
+        // But genuine content differences still separate packets.
+        let mut c = a;
+        c.payload = Payload::Data {
+            seq: 10,
+            retransmit: false,
+        };
+        assert_ne!(a.order_tie(), c.order_tie());
+        assert_ne!(a.order_tie() % 2, 0, "tie must stay non-zero/odd");
     }
 
     #[test]

@@ -74,6 +74,22 @@ pub struct DeriveSet {
     shard_wait_ns: BTreeMap<u64, u64>,
     /// Number of sampled-epoch wall records ingested (compute spans).
     shard_samples: u64,
+    /// CUBIC HyStart exits (`cubic/hystart_exit` records).
+    cc_hystart_exits: u64,
+    /// CUBIC congestion epochs (`cubic/w_max` records, one per loss).
+    cc_cubic_epochs: u64,
+    /// Largest CUBIC plateau seen, milli-segments.
+    cc_wmax_max_milli: u64,
+    /// BBR bandwidth-filter updates (`bbr/btlbw` records, one per round).
+    cc_bbr_rounds: u64,
+    /// Peak BtlBw estimate, milli-segments/second.
+    cc_btlbw_max_milli: u64,
+    /// Lowest BBR min-RTT estimate, microseconds (`u64::MAX` = none).
+    cc_min_rtt_us: u64,
+    /// BBR state transitions (`bbr/state` records).
+    cc_bbr_transitions: u64,
+    /// Transitions into ProbeRTT (state index 3).
+    cc_probe_rtt_entries: u64,
 }
 
 impl Default for DeriveSet {
@@ -98,6 +114,14 @@ impl DeriveSet {
             shard_compute_ns: BTreeMap::new(),
             shard_wait_ns: BTreeMap::new(),
             shard_samples: 0,
+            cc_hystart_exits: 0,
+            cc_cubic_epochs: 0,
+            cc_wmax_max_milli: 0,
+            cc_bbr_rounds: 0,
+            cc_btlbw_max_milli: 0,
+            cc_min_rtt_us: u64::MAX,
+            cc_bbr_transitions: 0,
+            cc_probe_rtt_entries: 0,
         }
     }
 
@@ -139,6 +163,26 @@ impl DeriveSet {
             "shard/barrier_wait_ns" => {
                 *self.shard_wait_ns.entry(key).or_insert(0) += value as u64;
             }
+            // Congestion-control zoo series. Counts and maxima/minima
+            // only — all commutative, floats quantized at ingest.
+            "cubic/hystart_exit" => self.cc_hystart_exits += 1,
+            "cubic/w_max" => {
+                self.cc_cubic_epochs += 1;
+                self.cc_wmax_max_milli = self.cc_wmax_max_milli.max(quantize_milli(value));
+            }
+            "bbr/btlbw" => {
+                self.cc_bbr_rounds += 1;
+                self.cc_btlbw_max_milli = self.cc_btlbw_max_milli.max(quantize_milli(value));
+            }
+            "bbr/min_rtt" => {
+                self.cc_min_rtt_us = self.cc_min_rtt_us.min(quantize_us(value));
+            }
+            "bbr/state" => {
+                self.cc_bbr_transitions += 1;
+                if value as u64 == 3 {
+                    self.cc_probe_rtt_entries += 1;
+                }
+            }
             _ => {}
         }
     }
@@ -177,6 +221,14 @@ impl DeriveSet {
             *self.shard_wait_ns.entry(*shard).or_insert(0) += ns;
         }
         self.shard_samples += other.shard_samples;
+        self.cc_hystart_exits += other.cc_hystart_exits;
+        self.cc_cubic_epochs += other.cc_cubic_epochs;
+        self.cc_wmax_max_milli = self.cc_wmax_max_milli.max(other.cc_wmax_max_milli);
+        self.cc_bbr_rounds += other.cc_bbr_rounds;
+        self.cc_btlbw_max_milli = self.cc_btlbw_max_milli.max(other.cc_btlbw_max_milli);
+        self.cc_min_rtt_us = self.cc_min_rtt_us.min(other.cc_min_rtt_us);
+        self.cc_bbr_transitions += other.cc_bbr_transitions;
+        self.cc_probe_rtt_entries += other.cc_probe_rtt_entries;
     }
 
     /// True when no record has contributed anything.
@@ -193,6 +245,16 @@ impl DeriveSet {
             && self.shard_compute_ns.is_empty()
             && self.shard_wait_ns.is_empty()
             && self.shard_samples == 0
+            && !self.cc_active()
+    }
+
+    /// True when any congestion-control-zoo record has arrived.
+    fn cc_active(&self) -> bool {
+        self.cc_hystart_exits > 0
+            || self.cc_cubic_epochs > 0
+            || self.cc_bbr_rounds > 0
+            || self.cc_min_rtt_us != u64::MAX
+            || self.cc_bbr_transitions > 0
     }
 
     /// Reduce to the reported summary. Pure integer arithmetic over
@@ -239,6 +301,21 @@ impl DeriveSet {
             }
         });
 
+        let cc = self.cc_active().then_some(CcSummary {
+            hystart_exits: self.cc_hystart_exits,
+            cubic_epochs: self.cc_cubic_epochs,
+            cubic_wmax_max_milli: self.cc_wmax_max_milli,
+            bbr_rounds: self.cc_bbr_rounds,
+            bbr_btlbw_max_milli: self.cc_btlbw_max_milli,
+            bbr_min_rtt_us: if self.cc_min_rtt_us == u64::MAX {
+                0
+            } else {
+                self.cc_min_rtt_us
+            },
+            bbr_transitions: self.cc_bbr_transitions,
+            bbr_probe_rtt_entries: self.cc_probe_rtt_entries,
+        });
+
         DerivedSummary {
             qdelay,
             util,
@@ -246,6 +323,7 @@ impl DeriveSet {
             fairness,
             pert,
             shards: self.shard_summary(),
+            cc,
         }
     }
 
@@ -333,6 +411,15 @@ impl DeriveSet {
             jain_mean_milli: (total / indices.len() as u128) as u64,
             jain_max_milli: *indices.iter().max().unwrap(),
         })
+    }
+}
+
+/// Units → whole milli-units, round-to-nearest, clamped at zero.
+fn quantize_milli(value: f64) -> u64 {
+    if value <= 0.0 {
+        0
+    } else {
+        (value * 1e3).round() as u64
     }
 }
 
@@ -453,6 +540,28 @@ pub struct ShardSummary {
     pub stall_bp: u64,
 }
 
+/// Congestion-control-zoo activity: CUBIC plateau/HyStart behaviour and
+/// BBR model-filter state, reduced to counts and extrema.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CcSummary {
+    /// HyStart slow-start exits across all CUBIC flows.
+    pub hystart_exits: u64,
+    /// CUBIC congestion epochs (one `cubic/w_max` record per loss event).
+    pub cubic_epochs: u64,
+    /// Largest CUBIC plateau (`w_max`) observed, milli-segments.
+    pub cubic_wmax_max_milli: u64,
+    /// BBR bandwidth-filter updates (one per delivery round).
+    pub bbr_rounds: u64,
+    /// Peak bottleneck-bandwidth estimate, milli-segments/second.
+    pub bbr_btlbw_max_milli: u64,
+    /// Lowest min-RTT estimate, microseconds (0 when no sample arrived).
+    pub bbr_min_rtt_us: u64,
+    /// BBR state-machine transitions.
+    pub bbr_transitions: u64,
+    /// Transitions into ProbeRTT.
+    pub bbr_probe_rtt_entries: u64,
+}
+
 /// The derived-metrics block of a report: everything integer, so text
 /// and JSON renderings are byte-stable.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -470,6 +579,8 @@ pub struct DerivedSummary {
     /// Shard load balance, if the run was space-parallel with
     /// telemetry attached.
     pub shards: Option<ShardSummary>,
+    /// Congestion-control-zoo activity, if any CUBIC/BBR flow ran.
+    pub cc: Option<CcSummary>,
 }
 
 impl DerivedSummary {
@@ -481,6 +592,7 @@ impl DerivedSummary {
             && self.fairness.is_none()
             && self.pert.is_none()
             && self.shards.is_none()
+            && self.cc.is_none()
     }
 
     /// Append the text rendering (the `derived metrics:` report block).
@@ -530,6 +642,19 @@ impl DerivedSummary {
                     s.sampled_epochs, s.critpath_bp, s.stall_bp
                 ));
             }
+        }
+        if let Some(c) = &self.cc {
+            out.push_str(&format!(
+                "  cc: hystart_exits={} cubic_epochs={} wmax_max={}milli \
+                 bbr_rounds={} btlbw_max={}milli min_rtt={}us probe_rtt={}\n",
+                c.hystart_exits,
+                c.cubic_epochs,
+                c.cubic_wmax_max_milli,
+                c.bbr_rounds,
+                c.bbr_btlbw_max_milli,
+                c.bbr_min_rtt_us,
+                c.bbr_probe_rtt_entries
+            ));
         }
     }
 
@@ -581,6 +706,22 @@ impl DerivedSummary {
                 s.sampled_epochs,
                 s.critpath_bp,
                 s.stall_bp
+            ));
+        }
+        if let Some(c) = &self.cc {
+            parts.push(format!(
+                "\"cc\":{{\"hystart_exits\":{},\"cubic_epochs\":{},\
+                 \"cubic_wmax_max_milli\":{},\"bbr_rounds\":{},\
+                 \"bbr_btlbw_max_milli\":{},\"bbr_min_rtt_us\":{},\
+                 \"bbr_transitions\":{},\"bbr_probe_rtt_entries\":{}}}",
+                c.hystart_exits,
+                c.cubic_epochs,
+                c.cubic_wmax_max_milli,
+                c.bbr_rounds,
+                c.bbr_btlbw_max_milli,
+                c.bbr_min_rtt_us,
+                c.bbr_transitions,
+                c.bbr_probe_rtt_entries
             ));
         }
         format!("{{{}}}", parts.join(","))
@@ -744,6 +885,58 @@ mod tests {
         single.ingest("shard", "shard/events", 0, 2.0, 5.0);
         single.ingest("shard", "shard/events", 1, 2.0, 15.0);
         assert_eq!(merged, single);
+    }
+
+    #[test]
+    fn cc_summary_counts_and_extrema() {
+        let mut d = DeriveSet::new();
+        assert!(d.summary().cc.is_none());
+        // Two CUBIC flows: one HyStart exit, two loss epochs.
+        d.ingest("j", "cubic/hystart_exit", 10, 1.0, 64.0);
+        d.ingest("j", "cubic/w_max", 10, 2.0, 44.8);
+        d.ingest("j", "cubic/w_max", 11, 3.0, 120.25);
+        // One BBR flow: two rounds, improving bandwidth, min RTT 40 ms,
+        // a transition into ProbeRTT among others.
+        d.ingest("j", "bbr/btlbw", 20, 1.0, 900.5);
+        d.ingest("j", "bbr/btlbw", 20, 2.0, 1_000.0);
+        d.ingest("j", "bbr/min_rtt", 20, 1.0, 0.050);
+        d.ingest("j", "bbr/min_rtt", 20, 2.0, 0.040);
+        d.ingest("j", "bbr/state", 20, 1.0, 1.0);
+        d.ingest("j", "bbr/state", 20, 2.0, 3.0);
+        let c = d.summary().cc.unwrap();
+        assert_eq!(c.hystart_exits, 1);
+        assert_eq!(c.cubic_epochs, 2);
+        assert_eq!(c.cubic_wmax_max_milli, 120_250);
+        assert_eq!(c.bbr_rounds, 2);
+        assert_eq!(c.bbr_btlbw_max_milli, 1_000_000);
+        assert_eq!(c.bbr_min_rtt_us, 40_000);
+        assert_eq!(c.bbr_transitions, 2);
+        assert_eq!(c.bbr_probe_rtt_entries, 1);
+
+        // Merge matches a single stream and min/max stay commutative.
+        let mut a = DeriveSet::new();
+        a.ingest("j", "bbr/min_rtt", 20, 1.0, 0.050);
+        a.ingest("j", "cubic/w_max", 10, 1.0, 30.0);
+        let mut b = DeriveSet::new();
+        b.ingest("j", "bbr/min_rtt", 20, 2.0, 0.040);
+        b.ingest("j", "cubic/w_max", 10, 2.0, 80.0);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut single = DeriveSet::new();
+        single.ingest("j", "bbr/min_rtt", 20, 1.0, 0.050);
+        single.ingest("j", "cubic/w_max", 10, 1.0, 30.0);
+        single.ingest("j", "bbr/min_rtt", 20, 2.0, 0.040);
+        single.ingest("j", "cubic/w_max", 10, 2.0, 80.0);
+        assert_eq!(merged, single);
+        assert_eq!(merged.summary().cc.unwrap().bbr_min_rtt_us, 40_000);
+
+        let mut text = String::new();
+        d.summary().render_text_into(&mut text);
+        assert!(text.contains("cc: hystart_exits=1"));
+        assert!(d
+            .summary()
+            .render_json()
+            .contains("\"cc\":{\"hystart_exits\":1,"));
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct CcContext<'a> {
     pub owd: f64,
     /// Segments newly acknowledged by this ACK (0 on a pure duplicate).
     pub newly_acked: u64,
+    /// Segments currently in flight (RFC 6675 pipe: sent, not yet
+    /// cumulatively acked, SACKed, or declared lost), *after* this ACK's
+    /// scoreboard bookkeeping.
+    pub in_flight: u64,
     /// Congestion window, segments (mutable — algorithms grow it here).
     pub cwnd: &'a mut f64,
     /// Slow-start threshold, segments.
@@ -39,11 +43,23 @@ pub struct CcContext<'a> {
 impl CcContext<'_> {
     /// Standard Reno growth: slow start below `ssthresh`, else 1/cwnd per
     /// acked segment.
+    ///
+    /// RFC 5681 §3.1: a stretch ACK that carries `cwnd` across `ssthresh`
+    /// is split at the crossover — only the segments below the threshold
+    /// get exponential credit; the remainder grows linearly. (The old
+    /// code applied full slow-start growth to the entire ACK, letting one
+    /// cumulative ACK overshoot `ssthresh` by up to `newly_acked − 1`
+    /// segments.)
     pub fn reno_increase(&mut self) {
+        let mut remaining = self.newly_acked as f64;
         if *self.cwnd < *self.ssthresh {
-            *self.cwnd += self.newly_acked as f64;
-        } else if *self.cwnd > 0.0 {
-            *self.cwnd += self.newly_acked as f64 / *self.cwnd;
+            let room = *self.ssthresh - *self.cwnd;
+            let exp = remaining.min(room);
+            *self.cwnd += exp;
+            remaining -= exp;
+        }
+        if remaining > 0.0 && *self.cwnd > 0.0 {
+            *self.cwnd += remaining / *self.cwnd;
         }
     }
 }
@@ -72,6 +88,48 @@ pub trait CcAlgorithm: Send {
     /// The sender performed a loss/ECN-triggered reduction at `now`
     /// (lets delay-based schemes suppress early responses for an RTT).
     fn on_congestion(&mut self, _now: f64) {}
+
+    /// Richer congestion notification: the window at the moment of the
+    /// event and the current pipe. Schemes that track `w_max`
+    /// (CUBIC) or run their own recovery arithmetic override this; the
+    /// default forwards to [`CcAlgorithm::on_congestion`] so legacy
+    /// schemes are unaffected.
+    fn on_congestion_event(&mut self, now: f64, _cwnd_at_event: f64, _in_flight: u64) {
+        self.on_congestion(now);
+    }
+
+    /// When true, the sender leaves `cwnd` alone on recovery entry and
+    /// lets the algorithm drive the in-recovery window through
+    /// [`CcAlgorithm::on_recovery_start`] / [`CcAlgorithm::on_recovery_ack`]
+    /// (e.g. CUBIC's proportional-rate reduction, BBR's inflight cap).
+    /// `ssthresh` is still set to `(1 − loss_reduction)·cwnd` by the
+    /// sender before these hooks run.
+    fn governs_recovery(&self) -> bool {
+        false
+    }
+
+    /// The sender just entered loss recovery (fast retransmit, not RTO).
+    /// `in_flight` is the pipe after the triggering ACK's scoreboard
+    /// bookkeeping.
+    fn on_recovery_start(&mut self, _now: f64, _in_flight: u64) {}
+
+    /// An ACK arrived while the sender is in loss recovery. The default
+    /// reproduces the sender's historical hardwired rule: keep slow-start
+    /// growth if still below `ssthresh`, otherwise hold the window.
+    fn on_recovery_ack(&mut self, ctx: &mut CcContext<'_>) {
+        if *ctx.cwnd < *ctx.ssthresh {
+            *ctx.cwnd += ctx.newly_acked as f64;
+        }
+    }
+
+    /// The cumulative ACK crossed the recovery point: recovery is over.
+    fn on_recovery_exit(&mut self, _ctx: &mut CcContext<'_>) {}
+
+    /// Pacing rate in segments/second, if this scheme paces (BBR). `None`
+    /// (the default) keeps the sender's pure window-driven send loop.
+    fn pacing_rate(&self) -> Option<f64> {
+        None
+    }
 
     /// An RTT (and one-way-delay) sample observed while the sender is in
     /// loss recovery (when [`CcAlgorithm::on_ack`] is not called).
@@ -186,9 +244,18 @@ impl CcAlgorithm for Vegas {
                 self.grow_this_epoch = !self.grow_this_epoch;
                 if diff > self.gamma {
                     // Exit slow start: fall back by 1/8 as Vegas does.
-                    *ctx.ssthresh = (*ctx.cwnd).min(*ctx.ssthresh).max(2.0);
+                    //
+                    // ns-2's `TCP/Vegas` sets `ssthresh_ = 2` here (not
+                    // `ssthresh = cwnd`, which our old code did): pinning
+                    // ssthresh low keeps the flow in congestion avoidance
+                    // even after a later `diff > beta` decrement, instead
+                    // of re-entering the doubling-every-other-RTT slow
+                    // start. Also re-arm `grow_this_epoch` so a future
+                    // legitimate slow start (post-RTO) begins on a growth
+                    // epoch.
                     *ctx.cwnd = (*ctx.cwnd * 7.0 / 8.0).max(2.0);
-                    *ctx.ssthresh = (*ctx.cwnd).max(2.0);
+                    *ctx.ssthresh = 2.0;
+                    self.grow_this_epoch = true;
                 }
             } else if diff < self.alpha {
                 *ctx.cwnd += 1.0;
@@ -392,6 +459,7 @@ mod tests {
                 rtt: 0.1,
                 owd: 0.05,
                 newly_acked: 1,
+                in_flight: 0,
                 cwnd: &mut cwnd,
                 ssthresh: &mut ssthresh,
             };
@@ -411,6 +479,7 @@ mod tests {
                 rtt: 0.1,
                 owd: 0.05,
                 newly_acked: 1,
+                in_flight: 0,
                 cwnd: &mut cwnd,
                 ssthresh: &mut ssthresh,
             };
@@ -431,6 +500,7 @@ mod tests {
             rtt: 0.1,
             owd: 0.05,
             newly_acked: 1,
+            in_flight: 0,
             cwnd: &mut cwnd,
             ssthresh: &mut ssthresh,
         };
@@ -442,6 +512,7 @@ mod tests {
             rtt: 0.1,
             owd: 0.05,
             newly_acked: 1,
+            in_flight: 0,
             cwnd: &mut cwnd,
             ssthresh: &mut ssthresh,
         };
@@ -459,6 +530,7 @@ mod tests {
             rtt: 0.1,
             owd: 0.05,
             newly_acked: 1,
+            in_flight: 0,
             cwnd: &mut cwnd,
             ssthresh: &mut ssthresh,
         };
@@ -470,6 +542,7 @@ mod tests {
             rtt: 0.2,
             owd: 0.1,
             newly_acked: 1,
+            in_flight: 0,
             cwnd: &mut cwnd,
             ssthresh: &mut ssthresh,
         };
@@ -487,6 +560,7 @@ mod tests {
             rtt: 0.1,
             owd: 0.05,
             newly_acked: 1,
+            in_flight: 0,
             cwnd: &mut cwnd,
             ssthresh: &mut ssthresh,
         };
@@ -498,6 +572,7 @@ mod tests {
             rtt: 0.12,
             owd: 0.06,
             newly_acked: 1,
+            in_flight: 0,
             cwnd: &mut cwnd,
             ssthresh: &mut ssthresh,
         };
@@ -516,6 +591,7 @@ mod tests {
             rtt: 0.06,
             owd: 0.03,
             newly_acked: 1,
+            in_flight: 0,
             cwnd: &mut cwnd,
             ssthresh: &mut ssthresh,
         };
@@ -530,6 +606,7 @@ mod tests {
                 rtt: 0.2,
                 owd: 0.1,
                 newly_acked: 1,
+                in_flight: 0,
                 cwnd: &mut cwnd,
                 ssthresh: &mut ssthresh,
             };
@@ -541,6 +618,92 @@ mod tests {
         }
         assert!(saw_reduce);
         assert_eq!(cc.early_reductions(), 1);
+    }
+
+    #[test]
+    fn stretch_ack_splits_growth_at_ssthresh_crossover() {
+        // RFC 5681 §3.1: a stretch ACK for 8 segments with cwnd = 6 and
+        // ssthresh = 10 gets 4 segments of exponential credit (up to the
+        // threshold) and the remaining 4 as linear growth from the
+        // threshold: cwnd = 10 + 4/10, not 14.
+        let mut cwnd = 6.0;
+        let mut ssthresh = 10.0;
+        let mut ctx = CcContext {
+            now: 0.0,
+            rtt: 0.1,
+            owd: 0.05,
+            newly_acked: 8,
+            in_flight: 0,
+            cwnd: &mut cwnd,
+            ssthresh: &mut ssthresh,
+        };
+        ctx.reno_increase();
+        assert!((cwnd - 10.4).abs() < 1e-12, "cwnd = {cwnd}");
+
+        // Entirely below the threshold: pure slow start, unchanged.
+        let mut cwnd = 2.0;
+        let mut ssthresh = 64.0;
+        let mut ctx = CcContext {
+            now: 0.0,
+            rtt: 0.1,
+            owd: 0.05,
+            newly_acked: 3,
+            in_flight: 0,
+            cwnd: &mut cwnd,
+            ssthresh: &mut ssthresh,
+        };
+        ctx.reno_increase();
+        assert_eq!(cwnd, 5.0);
+    }
+
+    #[test]
+    fn vegas_slow_start_exit_pins_ssthresh_and_stays_in_ca() {
+        let mut cc = Vegas::new();
+        let mut cwnd = 32.0;
+        let mut ssthresh = 64.0; // slow start
+        let mut ctx = CcContext {
+            now: 0.0,
+            rtt: 0.1,
+            owd: 0.05,
+            newly_acked: 1,
+            in_flight: 0,
+            cwnd: &mut cwnd,
+            ssthresh: &mut ssthresh,
+        };
+        cc.on_ack(&mut ctx); // base = 0.1, epoch armed
+                             // Next epoch: rtt 0.2 → diff = cwnd·0.5 ≫ γ → exit.
+        let mut ctx = CcContext {
+            now: 0.2,
+            rtt: 0.2,
+            owd: 0.1,
+            newly_acked: 1,
+            in_flight: 0,
+            cwnd: &mut cwnd,
+            ssthresh: &mut ssthresh,
+        };
+        cc.on_ack(&mut ctx);
+        // ns-2 semantics: cwnd falls back by 1/8, ssthresh pins at 2.
+        assert!(cwnd < 32.0, "cwnd should fall back, got {cwnd}");
+        assert_eq!(ssthresh, 2.0);
+        // Later epochs must behave as congestion avoidance (±1/RTT), never
+        // the every-other-RTT doubling the old ssthresh=cwnd code allowed
+        // after a beta decrement dropped cwnd back under ssthresh.
+        let before = cwnd;
+        let mut ctx = CcContext {
+            now: 0.5,
+            rtt: 0.2,
+            owd: 0.1,
+            newly_acked: 4,
+            in_flight: 0,
+            cwnd: &mut cwnd,
+            ssthresh: &mut ssthresh,
+        };
+        cc.on_ack(&mut ctx);
+        assert!(
+            cwnd >= before - 1.0 - 1e-9 && cwnd <= before + 1.0 + 1e-9,
+            "CA adjustment expected, got {before} -> {cwnd}"
+        );
+        assert_eq!(ssthresh, 2.0);
     }
 
     #[test]

@@ -40,7 +40,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bbr;
 pub mod cc;
+pub mod cubic;
 pub mod intervals;
 pub mod scoreboard;
 pub mod sender;
@@ -48,9 +50,11 @@ pub mod sink;
 pub mod slab;
 pub mod source;
 
+pub use bbr::Bbr;
 pub use cc::{
     CcAction, CcAlgorithm, CcContext, DelaySignal, PertCc, PertPiCc, PertRemCc, Reno, Vegas,
 };
+pub use cubic::Cubic;
 pub use intervals::IntervalSet;
 pub use scoreboard::{Scoreboard, SegState};
 pub use sender::{SenderStats, TcpConfig, TcpSender, START_TOKEN, STOP_TOKEN};
@@ -81,6 +85,12 @@ pub enum CcKind {
     PertPi(PertPiParams),
     /// PERT/REM with the given parameters (§8 generalization).
     PertRem(PertRemParams),
+    /// CUBIC (RFC 9438) with hybrid slow start and PRR — the modern
+    /// loss-based competitor.
+    Cubic,
+    /// BBRv1-style model-based sender (delivery-rate + min-RTT filters,
+    /// gain cycling, paced sending).
+    Bbr,
 }
 
 impl CcKind {
@@ -94,6 +104,8 @@ impl CcKind {
             }
             CcKind::PertPi(p) => Box::new(PertPiCc::new(*p, seed)),
             CcKind::PertRem(p) => Box::new(PertRemCc::new(*p, seed)),
+            CcKind::Cubic => Box::new(Cubic::new(seed)),
+            CcKind::Bbr => Box::new(Bbr::new(seed)),
         }
     }
 
@@ -106,6 +118,8 @@ impl CcKind {
             CcKind::PertOwd(_) => "pert-owd",
             CcKind::PertPi(_) => "pert-pi",
             CcKind::PertRem(_) => "pert-rem",
+            CcKind::Cubic => "cubic",
+            CcKind::Bbr => "bbr",
         }
     }
 }
@@ -160,6 +174,16 @@ impl ConnectionSpec {
     /// A PERT/PI connection.
     pub fn pert_pi(flow: FlowId, src: NodeId, dst: NodeId, p: PertPiParams, seed: u64) -> Self {
         Self::new(flow, src, dst, CcKind::PertPi(p), seed)
+    }
+
+    /// A CUBIC connection.
+    pub fn cubic(flow: FlowId, src: NodeId, dst: NodeId, seed: u64) -> Self {
+        Self::new(flow, src, dst, CcKind::Cubic, seed)
+    }
+
+    /// A BBR connection.
+    pub fn bbr(flow: FlowId, src: NodeId, dst: NodeId, seed: u64) -> Self {
+        Self::new(flow, src, dst, CcKind::Bbr, seed)
     }
 
     /// Generic constructor.

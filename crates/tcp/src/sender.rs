@@ -46,6 +46,13 @@ pub(crate) const TOKEN_START: u64 = 0;
 pub(crate) const TOKEN_STOP: u64 = 1;
 pub(crate) const TOKEN_NEW_TRANSFER: u64 = 2;
 pub(crate) const TOKEN_RTO: u64 = 3;
+pub(crate) const TOKEN_PACE: u64 = 4;
+
+/// RFC 6298 §2.4 clock-granularity term `G`: the variance contribution to
+/// the RTO never drops below this, so microsecond-RTT links cannot collapse
+/// `srtt + 4·rttvar` toward zero and trip spurious timeouts from the
+/// slightest jitter.
+pub(crate) const RTO_GRANULARITY_SECS: f64 = 0.001;
 
 /// The token used to start a standalone sender (schedule with
 /// [`netsim::Simulator::schedule_agent_timer`]). Slab-hosted flows embed
@@ -176,6 +183,11 @@ pub(crate) struct AppState {
     pub started: bool,
     pub stopped: bool,
     pub awaiting_transfer: bool,
+    /// Earliest time the next pacing quantum may leave (paced schemes
+    /// only; [`SimTime::ZERO`] means "now").
+    pub pace_next: SimTime,
+    /// True while a `TOKEN_PACE` timer is pending in the calendar.
+    pub pace_pending: bool,
 }
 
 /// Cold per-flow state: touched off the per-ACK fast path or behind a
@@ -242,6 +254,8 @@ pub(crate) fn new_flow(
         started: false,
         stopped: false,
         awaiting_transfer: false,
+        pace_next: SimTime::ZERO,
+        pace_pending: false,
     };
     let cold = FlowCold {
         cfg,
@@ -321,27 +335,91 @@ impl FlowView<'_> {
         }
     }
 
+    /// Transmit one eligible segment (retransmissions first, then new
+    /// data). Returns false when nothing was eligible.
+    fn try_send_one(&mut self, io: &mut FlowIo<'_, '_>) -> bool {
+        if let Some(seq) = self.cold.scoreboard.first_lost() {
+            self.cold.scoreboard.on_retransmit(seq);
+            self.send_segment(io, seq, true);
+            true
+        } else if self.wnd.next_seq < self.wnd.limit_seq {
+            let seq = self.wnd.next_seq;
+            self.wnd.next_seq += 1;
+            self.cold.scoreboard.on_send_new(seq);
+            self.send_segment(io, seq, false);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn has_data_to_send(&self) -> bool {
+        self.cold.scoreboard.first_lost().is_some() || self.wnd.next_seq < self.wnd.limit_seq
+    }
+
     /// Transmit as much as the window allows: retransmissions first, then
-    /// new data.
+    /// new data. Paced schemes (BBR) instead release quanta on the
+    /// calendar via [`TOKEN_PACE`].
     fn send_available(&mut self, io: &mut FlowIo<'_, '_>) {
         if self.app.stopped || !self.app.started {
             return;
         }
-        let wnd = self.effective_window();
-        while (self.cold.scoreboard.in_flight() as u64) < wnd {
-            if let Some(seq) = self.cold.scoreboard.first_lost() {
-                self.cold.scoreboard.on_retransmit(seq);
-                self.send_segment(io, seq, true);
-            } else if self.wnd.next_seq < self.wnd.limit_seq {
-                let seq = self.wnd.next_seq;
-                self.wnd.next_seq += 1;
-                self.cold.scoreboard.on_send_new(seq);
-                self.send_segment(io, seq, false);
-            } else {
-                break;
+        match self.cold.cc.pacing_rate() {
+            Some(rate) if rate > 0.0 => self.send_paced(io, rate),
+            _ => {
+                let wnd = self.effective_window();
+                while (self.cold.scoreboard.in_flight() as u64) < wnd {
+                    if !self.try_send_one(io) {
+                        break;
+                    }
+                }
             }
         }
         self.ensure_timer(io);
+    }
+
+    /// Arm a `TOKEN_PACE` timer for `pace_next` (coalesced: at most one
+    /// pending at a time).
+    fn schedule_pace(&mut self, io: &mut FlowIo<'_, '_>) {
+        if self.app.pace_pending {
+            return;
+        }
+        let now = io.now();
+        let delay = if self.app.pace_next > now {
+            self.app.pace_next.duration_since(now)
+        } else {
+            SimDuration::ZERO
+        };
+        io.schedule(delay, TOKEN_PACE);
+        self.app.pace_pending = true;
+    }
+
+    /// Paced transmission: release up to one quantum (~1 ms of data at
+    /// `rate` segments/s, clamped to [1, 64] segments) if the pacing clock
+    /// allows, then book the next release on the calendar. All arithmetic
+    /// is on exact integer time, so paced schedules stay byte-identical
+    /// across hostings and shard counts.
+    fn send_paced(&mut self, io: &mut FlowIo<'_, '_>, rate: f64) {
+        let now = io.now();
+        if now < self.app.pace_next {
+            self.schedule_pace(io);
+            return;
+        }
+        let wnd = self.effective_window();
+        let quantum = ((rate * 0.001).ceil() as u64).clamp(1, 64);
+        let mut sent = 0u64;
+        while sent < quantum && (self.cold.scoreboard.in_flight() as u64) < wnd {
+            if !self.try_send_one(io) {
+                break;
+            }
+            sent += 1;
+        }
+        if sent > 0 {
+            self.app.pace_next = now + SimDuration::from_secs_f64(sent as f64 / rate);
+        }
+        if (self.cold.scoreboard.in_flight() as u64) < wnd && self.has_data_to_send() {
+            self.schedule_pace(io);
+        }
     }
 
     // --- RTO management -------------------------------------------------
@@ -394,14 +472,21 @@ impl FlowView<'_> {
         }
         // Genuine timeout.
         self.cold.stats.timeouts += 1;
+        let prior_cwnd = self.wnd.cwnd;
         self.wnd.ssthresh = (self.wnd.cwnd / 2.0).max(2.0);
         self.wnd.cwnd = 1.0;
         self.rtt.backoff = (self.rtt.backoff + 1).min(16);
         self.cold.scoreboard.mark_all_lost();
         // A timeout ends any fast-recovery episode and starts a fresh one
         // so subsequent SACK losses don't re-cut the window immediately.
+        // No `on_recovery_start`: post-RTO recovery is plain slow start
+        // from cwnd = 1, not a PRR/inflight-governed episode.
         self.wnd.recovery_point = Some(self.wnd.next_seq);
-        self.cold.cc.on_congestion(now.as_secs_f64());
+        self.cold.cc.on_congestion_event(
+            now.as_secs_f64(),
+            prior_cwnd,
+            self.cold.scoreboard.in_flight() as u64,
+        );
         self.restart_rto(now);
         self.send_available(io);
     }
@@ -421,18 +506,31 @@ impl FlowView<'_> {
         }
         let srtt = self.rtt.srtt.expect("just set");
         // One float→integer conversion per RTT sample; from here on all
-        // RTO arithmetic (backoff, deadline) is exact.
-        self.rtt.rto = SimDuration::from_secs_f64(srtt + 4.0 * self.rtt.rttvar)
-            .clamp(self.cold.cfg.min_rto, self.cold.cfg.max_rto);
+        // RTO arithmetic (backoff, deadline) is exact. RFC 6298 §2.3/§2.4:
+        // the variance term is floored at the clock granularity `G` so a
+        // microsecond-RTT path (srtt and rttvar both ~µs) still yields an
+        // RTO safely above the measurement noise; `min_rto` then applies
+        // as the overall floor.
+        self.rtt.rto =
+            SimDuration::from_secs_f64(srtt + (4.0 * self.rtt.rttvar).max(RTO_GRANULARITY_SECS))
+                .clamp(self.cold.cfg.min_rto, self.cold.cfg.max_rto);
     }
 
     /// A loss/ECN-triggered multiplicative decrease (at most one per
-    /// recovery episode / per RTT for ECN).
-    fn congestion_reduce(&mut self, now: f64) {
+    /// recovery episode / per RTT for ECN). When the algorithm governs its
+    /// own recovery (CUBIC's PRR, BBR) and this reduction *enters* fast
+    /// recovery, only `ssthresh` is cut here — the in-recovery window is
+    /// then driven by the algorithm's recovery hooks.
+    fn congestion_reduce(&mut self, now: f64, entering_recovery: bool) {
         let factor = self.cold.cc.loss_reduction();
+        let prior_cwnd = self.wnd.cwnd;
         self.wnd.ssthresh = (self.wnd.cwnd * (1.0 - factor)).max(2.0);
-        self.wnd.cwnd = self.wnd.ssthresh;
-        self.cold.cc.on_congestion(now);
+        if !(entering_recovery && self.cold.cc.governs_recovery()) {
+            self.wnd.cwnd = self.wnd.ssthresh;
+        }
+        self.cold
+            .cc
+            .on_congestion_event(now, prior_cwnd, self.cold.scoreboard.in_flight() as u64);
     }
 
     fn on_ack_packet(
@@ -466,6 +564,16 @@ impl FlowView<'_> {
         if let Some(rp) = self.wnd.recovery_point {
             if self.wnd.high_ack >= rp {
                 self.wnd.recovery_point = None;
+                let mut ctx_cc = CcContext {
+                    now,
+                    rtt,
+                    owd,
+                    newly_acked: newly,
+                    in_flight: self.cold.scoreboard.in_flight() as u64,
+                    cwnd: &mut self.wnd.cwnd,
+                    ssthresh: &mut self.wnd.ssthresh,
+                };
+                self.cold.cc.on_recovery_exit(&mut ctx_cc);
             }
         }
 
@@ -478,45 +586,54 @@ impl FlowView<'_> {
             // Enter fast recovery: one multiplicative decrease per episode.
             self.wnd.recovery_point = Some(self.wnd.next_seq);
             self.cold.stats.loss_events += 1;
-            self.congestion_reduce(now);
+            self.congestion_reduce(now, true);
+            self.cold
+                .cc
+                .on_recovery_start(now, self.cold.scoreboard.in_flight() as u64);
         }
 
         // 4. ECN response (once per RTT, not during loss recovery).
         if ece && now >= self.app.ecn_hold_until && self.wnd.recovery_point.is_none() {
             self.cold.stats.ecn_reductions += 1;
-            self.congestion_reduce(now);
+            self.congestion_reduce(now, false);
             self.app.ecn_hold_until =
                 now + self.rtt.srtt.unwrap_or_else(|| self.rtt.rto.as_secs_f64());
         }
 
         // 5. Congestion-control growth / early response.
         if rtt > 0.0 {
+            let mut ctx_cc = CcContext {
+                now,
+                rtt,
+                owd,
+                newly_acked: newly,
+                in_flight: self.cold.scoreboard.in_flight() as u64,
+                cwnd: &mut self.wnd.cwnd,
+                ssthresh: &mut self.wnd.ssthresh,
+            };
             if self.wnd.recovery_point.is_none() {
-                let mut ctx_cc = CcContext {
-                    now,
-                    rtt,
-                    owd,
-                    newly_acked: newly,
-                    cwnd: &mut self.wnd.cwnd,
-                    ssthresh: &mut self.wnd.ssthresh,
-                };
                 match self.cold.cc.on_ack(&mut ctx_cc) {
                     CcAction::None => {}
                     CcAction::EarlyReduce { factor } => {
                         self.cold.stats.early_reductions += 1;
-                        self.wnd.ssthresh = (self.wnd.cwnd * (1.0 - factor)).max(1.0);
-                        self.wnd.cwnd = self.wnd.ssthresh;
+                        // ssthresh keeps the RFC 5681 floor of 2; the
+                        // window itself may shrink to one segment so a
+                        // heavily multiplexed link stays schedulable.
+                        let reduced = self.wnd.cwnd * (1.0 - factor);
+                        self.wnd.ssthresh = reduced.max(2.0);
+                        self.wnd.cwnd = reduced.max(1.0);
                     }
                 }
             } else {
-                // In recovery the window is not grown by the CC algorithm —
-                // except for post-RTO slow start: after a timeout cwnd was
-                // reset to 1 with recovery_point = next_seq, and without
-                // growth the sender would crawl at one segment per RTT
-                // until the entire pre-timeout window was re-covered.
-                if self.wnd.cwnd < self.wnd.ssthresh {
-                    self.wnd.cwnd += newly as f64;
-                }
+                // In recovery the window is governed by the algorithm's
+                // recovery hook. The default reproduces the historical
+                // rule — hold the window, except post-RTO slow start:
+                // after a timeout cwnd was reset to 1 with recovery_point
+                // = next_seq, and without growth the sender would crawl at
+                // one segment per RTT until the entire pre-timeout window
+                // was re-covered. CUBIC overrides this with PRR, BBR with
+                // its inflight cap.
+                self.cold.cc.on_recovery_ack(&mut ctx_cc);
                 self.cold.cc.on_rtt_sample(now, rtt, owd);
             }
         }
@@ -618,6 +735,10 @@ impl FlowView<'_> {
             }
             TOKEN_NEW_TRANSFER => self.on_new_transfer(io),
             TOKEN_RTO => self.on_rto_timer(io),
+            TOKEN_PACE => {
+                self.app.pace_pending = false;
+                self.send_available(io);
+            }
             other => unreachable!("unknown sender timer token {other}"),
         }
     }
@@ -862,6 +983,39 @@ mod tests {
             new_path.rtt.backoff = 20;
             assert!(new_path.view().current_rto() <= SimDuration::from_secs(60));
         }
+    }
+
+    /// RFC 6298 granularity clamp: on a microsecond-RTT link with an
+    /// aggressive `min_rto`, repeated near-identical samples drive
+    /// `4·rttvar` toward zero — the RTO must still hold at least the
+    /// clock granularity above `srtt`, not collapse to the raw
+    /// `srtt + 4·rttvar` (which here would be ~50 µs and fire on any
+    /// scheduling jitter).
+    #[test]
+    fn sub_millisecond_rtt_keeps_granularity_floor() {
+        let mut s = sender();
+        s.cold.cfg.min_rto = SimDuration::from_micros(1);
+        s.cold.cfg.max_rto = SimDuration::from_secs(60);
+        // 50 µs RTT samples, essentially noiseless.
+        for _ in 0..200 {
+            s.view().update_rtt(50e-6);
+        }
+        let srtt = s.rtt.srtt.unwrap();
+        assert!(srtt < 60e-6, "srtt should track the ~50 µs path");
+        assert!(
+            4.0 * s.rtt.rttvar < RTO_GRANULARITY_SECS,
+            "test premise: variance term must have decayed below G"
+        );
+        let rto = s.rtt.rto;
+        assert!(
+            rto >= SimDuration::from_secs_f64(RTO_GRANULARITY_SECS),
+            "RTO {rto:?} fell below the granularity floor"
+        );
+        assert!(
+            rto <= SimDuration::from_secs_f64(srtt + RTO_GRANULARITY_SECS)
+                + SimDuration::from_nanos(1),
+            "RTO {rto:?} should be srtt + G when variance has decayed"
+        );
     }
 
     /// The doubling cap itself: backoff beyond 16 must not widen the RTO

@@ -302,11 +302,125 @@ fn per_ack_samples_are_recorded_when_requested() {
     assert!(samples.len() as u64 >= sender_stats(&sim, &c).acked_segments / 2);
 }
 
+#[test]
+fn cubic_fills_the_link() {
+    // One CUBIC flow over 10 Mbps / 20 ms RTT with a BDP buffer: HyStart
+    // exits slow start before overshoot and the cubic window keeps the
+    // pipe full.
+    let (mut sim, a, b, fwd) = dumbbell(
+        10_000_000,
+        SimDuration::from_millis(10),
+        |_| Box::new(DropTail::new(50)),
+        21,
+    );
+    let conn = connect(&mut sim, ConnectionSpec::cubic(FlowId(0), a, b, 21));
+    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, conn.start_token);
+    sim.run_until(SimTime::from_secs_f64(5.0));
+    sim.reset_measurements();
+    sim.run_until(SimTime::from_secs_f64(15.0));
+    let util = sim
+        .link(fwd)
+        .utilization_percent(SimDuration::from_secs(10));
+    assert!(util > 90.0, "CUBIC utilization {util}%");
+}
+
+#[test]
+fn bbr_fills_the_link_without_standing_queue() {
+    // BBR paces at the estimated bottleneck bandwidth: high utilization
+    // with a mean queue far below what a loss-based probe would build.
+    let (mut sim, a, b, fwd) = dumbbell(
+        10_000_000,
+        SimDuration::from_millis(30),
+        |_| Box::new(DropTail::new(150)),
+        22,
+    );
+    let conn = connect(&mut sim, ConnectionSpec::bbr(FlowId(0), a, b, 22));
+    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, conn.start_token);
+    sim.run_until(SimTime::from_secs_f64(10.0));
+    sim.reset_measurements();
+    sim.run_until(SimTime::from_secs_f64(40.0));
+    sim.flush_measurements();
+    let link = sim.link(fwd);
+    let util = link.utilization_percent(SimDuration::from_secs(30));
+    let mean_q = link
+        .queue
+        .stats()
+        .mean_len(SimTime::from_secs_f64(10.0), SimTime::from_secs_f64(40.0));
+    assert!(util > 80.0, "BBR utilization {util}%");
+    // 150-pkt buffer = 2 BDP; BBR should sit well under half of it.
+    assert!(mean_q < 75.0, "BBR standing queue {mean_q} pkts");
+}
+
+/// Tests that toggle the process-wide hosting flag take this lock so the
+/// parallel test runner can't interleave their toggles.
+static HOSTING_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Run one flow of `spec` for 15 s in the given hosting and return its
+/// observable trajectory.
+fn one_flow_trajectory(
+    legacy: bool,
+    spec: impl Fn(FlowId, NodeId, NodeId, u64) -> ConnectionSpec,
+) -> (u64, usize, u64, u64, u64) {
+    pert_tcp::set_legacy_agents(legacy);
+    let (mut sim, a, b, _f) = dumbbell(
+        10_000_000,
+        SimDuration::from_millis(10),
+        |_| Box::new(DropTail::new(40)),
+        23,
+    );
+    let mut c = spec(FlowId(0), a, b, 23);
+    // Delayed ACKs make every ACK a stretch ACK, so the slow-start to
+    // congestion-avoidance crossover credit split is on the hot path.
+    c.delack = Some(SimDuration::from_millis(100));
+    let conn = connect(&mut sim, c);
+    sim.schedule_agent_timer(SimTime::ZERO, conn.sender, conn.start_token);
+    sim.run_until(SimTime::from_secs_f64(15.0));
+    let stats = sender_stats(&sim, &conn);
+    pert_tcp::set_legacy_agents(false);
+    (
+        sim.events_processed(),
+        sim.trace.drops.len(),
+        stats.acked_segments,
+        stats.retransmits,
+        stats.loss_events,
+    )
+}
+
+/// Regression for the RFC 5681 §3.1 stretch-ACK crossover fix: under
+/// delayed ACKs the Reno window must grow identically in the slab and
+/// legacy hostings, and the flow must still fill the link (pre-fix, the
+/// whole stretch ACK was credited as slow start, over-inflating cwnd).
+#[test]
+fn stretch_ack_crossover_agrees_in_both_hostings() {
+    let _guard = HOSTING_LOCK.lock().unwrap();
+    let slab = one_flow_trajectory(false, ConnectionSpec::sack);
+    let legacy = one_flow_trajectory(true, ConnectionSpec::sack);
+    assert_eq!(slab, legacy);
+    // 10 Mbps for ~15 s is ≥ 18 750 segments at full rate; require most.
+    assert!(slab.2 > 15_000, "acked only {} segments", slab.2);
+}
+
+/// The new schemes ride the same dual-hosting machinery: CUBIC and BBR
+/// trajectories must be identical in slab and legacy modes.
+#[test]
+fn cubic_and_bbr_agree_in_both_hostings() {
+    let _guard = HOSTING_LOCK.lock().unwrap();
+    assert_eq!(
+        one_flow_trajectory(false, ConnectionSpec::cubic),
+        one_flow_trajectory(true, ConnectionSpec::cubic)
+    );
+    assert_eq!(
+        one_flow_trajectory(false, ConnectionSpec::bbr),
+        one_flow_trajectory(true, ConnectionSpec::bbr)
+    );
+}
+
 /// The slab and legacy hostings must be observationally identical: same
 /// event count, same drop trace, same delivered bits, same per-flow
 /// statistics — for the same seeds.
 #[test]
 fn slab_and_legacy_modes_agree() {
+    let _guard = HOSTING_LOCK.lock().unwrap();
     let run = |legacy: bool| {
         pert_tcp::set_legacy_agents(legacy);
         let (mut sim, a, b, _f) = dumbbell(

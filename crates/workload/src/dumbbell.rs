@@ -64,6 +64,13 @@ pub struct DumbbellConfig {
     pub random_loss: f64,
     /// Segment size, bytes.
     pub seg_size: u32,
+    /// Scheme of the competing cross-traffic flows (forward direction,
+    /// sharing the bottleneck). `None` disables cross-traffic; the
+    /// mixed-competition experiments set this to [`Scheme::Cubic`] or
+    /// [`Scheme::Bbr`] while `scheme` stays PERT.
+    pub cross_scheme: Option<Scheme>,
+    /// End-to-end RTTs of the cross-traffic flows (one flow per entry).
+    pub cross_rtts: Vec<f64>,
 }
 
 impl DumbbellConfig {
@@ -87,6 +94,8 @@ impl DumbbellConfig {
             auto_start: true,
             random_loss: 0.0,
             seg_size: 1000,
+            cross_scheme: None,
+            cross_rtts: Vec::new(),
         }
     }
 
@@ -99,7 +108,7 @@ impl DumbbellConfig {
     /// bandwidth-delay product (at the mean forward RTT), floored at twice
     /// the number of flows and at 10 packets.
     pub fn auto_buffer(&self) -> usize {
-        let n_flows = self.forward_rtts.len() + self.reverse_rtts.len();
+        let n_flows = self.forward_rtts.len() + self.reverse_rtts.len() + self.cross_rtts.len();
         let mean_rtt = if self.forward_rtts.is_empty() {
             0.060
         } else {
@@ -128,6 +137,8 @@ pub struct Dumbbell {
     pub reverse: Vec<Connection>,
     /// Web-session connections.
     pub web: Vec<Connection>,
+    /// Cross-traffic connections (`cross_scheme`), in `cross_rtts` order.
+    pub cross: Vec<Connection>,
     /// The buffer actually installed at the bottleneck.
     pub buffer_pkts: usize,
 }
@@ -240,11 +251,31 @@ pub fn build_dumbbell(cfg: &DumbbellConfig) -> Dumbbell {
         web.push(connect_with_source(&mut sim, spec, session));
     }
 
+    // Competing cross-traffic: greedy forward flows of a different scheme
+    // sharing the same bottleneck (the "PERT vs the moderns" studies).
+    let mut cross = Vec::new();
+    if let Some(cross_scheme) = &cfg.cross_scheme {
+        for (i, &rtt) in cfg.cross_rtts.iter().enumerate() {
+            let (src, dst) = attach_pair(&mut sim, rtt);
+            let flow = FlowId(next_flow);
+            next_flow += 1;
+            let mut spec = cross_scheme.connection(
+                flow,
+                src,
+                dst,
+                cfg.seed.wrapping_add(4000 + i as u64),
+                pps,
+            );
+            spec.seg_size = cfg.seg_size;
+            cross.push(connect_with_source(&mut sim, spec, Box::new(Greedy)));
+        }
+    }
+
     sim.compute_routes();
 
     // Staggered starts.
     if cfg.auto_start {
-        for conn in forward.iter().chain(&reverse).chain(&web) {
+        for conn in forward.iter().chain(&reverse).chain(&web).chain(&cross) {
             let start = rng.gen::<f64>() * cfg.start_window_secs.max(1e-9);
             sim.schedule_agent_timer(SimTime::from_secs_f64(start), conn.sender, conn.start_token);
         }
@@ -259,6 +290,7 @@ pub fn build_dumbbell(cfg: &DumbbellConfig) -> Dumbbell {
         forward,
         reverse,
         web,
+        cross,
         buffer_pkts: buffer,
     }
 }
@@ -365,6 +397,45 @@ mod tests {
         let mut cfg = small_cfg(Scheme::Pert);
         cfg.forward_rtts = vec![0.005];
         build_dumbbell(&cfg);
+    }
+
+    #[test]
+    fn cross_traffic_competes_on_the_bottleneck() {
+        let mut cfg = small_cfg(Scheme::Pert);
+        cfg.cross_scheme = Some(Scheme::Cubic);
+        cfg.cross_rtts = vec![0.060; 2];
+        let d = build_dumbbell(&cfg);
+        assert_eq!(d.cross.len(), 2);
+        let mut sim = d.sim;
+        sim.run_until(SimTime::from_secs_f64(10.0));
+        let pert: u64 = d
+            .forward
+            .iter()
+            .map(|c| pert_tcp::sender_stats(&sim, c).acked_segments)
+            .sum();
+        let cubic: u64 = d
+            .cross
+            .iter()
+            .map(|c| pert_tcp::sender_stats(&sim, c).acked_segments)
+            .sum();
+        assert!(pert > 500, "PERT goodput too low against CUBIC: {pert}");
+        assert!(cubic > 500, "CUBIC cross-traffic silent: {cubic}");
+    }
+
+    #[test]
+    fn bbr_cross_traffic_transfers() {
+        let mut cfg = small_cfg(Scheme::Pert);
+        cfg.cross_scheme = Some(Scheme::Bbr);
+        cfg.cross_rtts = vec![0.060; 2];
+        let d = build_dumbbell(&cfg);
+        let mut sim = d.sim;
+        sim.run_until(SimTime::from_secs_f64(10.0));
+        let bbr: u64 = d
+            .cross
+            .iter()
+            .map(|c| pert_tcp::sender_stats(&sim, c).acked_segments)
+            .sum();
+        assert!(bbr > 500, "BBR cross-traffic silent: {bbr}");
     }
 
     #[test]

@@ -52,6 +52,11 @@ pub enum Scheme {
     SackPiEcn,
     /// ECN-enabled SACK over router REM-ECN (the PERT/REM comparator).
     SackRemEcn,
+    /// CUBIC (hybrid slow start + PRR) over DropTail — the modern
+    /// loss-based competitor.
+    Cubic,
+    /// BBRv1-style model-based sender over DropTail.
+    Bbr,
 }
 
 impl Scheme {
@@ -67,6 +72,8 @@ impl Scheme {
             Scheme::PertRem => "PERT-REM",
             Scheme::SackPiEcn => "SACK/PI-ECN",
             Scheme::SackRemEcn => "SACK/REM-ECN",
+            Scheme::Cubic => "CUBIC",
+            Scheme::Bbr => "BBR",
         }
     }
 
@@ -85,7 +92,9 @@ impl Scheme {
             | Scheme::PertCustom(_)
             | Scheme::PertOwd
             | Scheme::PertPi
-            | Scheme::PertRem => Box::new(DropTail::new(buffer_pkts)),
+            | Scheme::PertRem
+            | Scheme::Cubic
+            | Scheme::Bbr => Box::new(DropTail::new(buffer_pkts)),
             Scheme::SackRedEcn => Box::new(RedQueue::adaptive(
                 RedParams::recommended(buffer_pkts, pps, true, seed),
                 AdaptiveRedParams::default(),
@@ -136,6 +145,8 @@ impl Scheme {
                 false,
             ),
             Scheme::PertRem => (CcKind::PertRem(PertRemParams::default()), false),
+            Scheme::Cubic => (CcKind::Cubic, false),
+            Scheme::Bbr => (CcKind::Bbr, false),
         };
         let mut spec = ConnectionSpec::new(flow, src, dst, cc, seed);
         spec.ecn = ecn;
