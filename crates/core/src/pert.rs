@@ -62,6 +62,35 @@ impl PertParams {
     }
 }
 
+/// Regime code: the sender is in congestion avoidance.
+pub const REGIME_CONG_AVOID: u8 = 0;
+/// Regime code: the sender is in slow start (`cwnd < ssthresh`).
+pub const REGIME_SLOW_START: u8 = 1;
+/// Regime code: inside a post-response hold window. Never emitted on a
+/// `pert/response` record (responses are suppressed during holds); reserved
+/// for trace-side regime timelines.
+pub const REGIME_LOSS_HOLD: u8 = 2;
+/// Regime code: loss recovery. Never emitted on a `pert/response` record
+/// (the controller is not consulted during recovery); reserved for
+/// trace-side regime timelines.
+pub const REGIME_RECOVERY: u8 = 3;
+
+/// Pack a regime code and a response probability into one telemetry value:
+/// `regime·100_000 + round(p·10_000)`. The probability lands in basis
+/// points (0..=10_000), so the two fields never collide and both survive
+/// the f64 round-trip exactly. Decode with [`decode_response`].
+pub fn encode_response(regime: u8, p: f64) -> f64 {
+    let bp = (p.clamp(0.0, 1.0) * 10_000.0).round();
+    f64::from(regime) * 100_000.0 + bp
+}
+
+/// Split a `pert/response` value back into `(regime, probability_bp)`.
+/// Legacy records (plain `1.0`) decode as `(REGIME_CONG_AVOID, 1)`.
+pub fn decode_response(value: f64) -> (u8, u32) {
+    let v = value.max(0.0).round() as u64;
+    ((v / 100_000) as u8, (v % 100_000) as u32)
+}
+
 /// A decision to reduce the congestion window early.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EarlyResponse {
@@ -97,6 +126,10 @@ pub struct PertController {
     /// sample defines what "one RTT" means.
     pending_loss: Option<f64>,
     rng: SmallRng,
+    /// Regime code the hosting sender last reported (`REGIME_*`); tags
+    /// `pert/response` records so traces can attribute each early response
+    /// to slow start vs congestion avoidance.
+    regime: u8,
     /// Activity counters.
     pub stats: PertStats,
     /// Differential oracle: straight-line §3 srtt/prop transcription.
@@ -121,6 +154,7 @@ impl PertController {
             hold_until: 0.0,
             pending_loss: None,
             rng: SmallRng::seed_from_u64(seed ^ 0x0007_0e57_ca75),
+            regime: REGIME_CONG_AVOID,
             stats: PertStats::default(),
             #[cfg(feature = "audit")]
             shadow: audit::enabled().then(|| PertReference::new(params.srtt_weight)),
@@ -214,11 +248,18 @@ impl PertController {
         self.stats.early_responses += 1;
         #[cfg(feature = "telemetry")]
         if let Some(key) = self.tap_key {
-            telemetry::record("pert/response", key, now, 1.0);
+            telemetry::record("pert/response", key, now, encode_response(self.regime, p));
         }
         Some(EarlyResponse {
             factor: self.params.decrease_factor,
         })
+    }
+
+    /// Tell the controller which regime the hosting sender is in
+    /// (`REGIME_CONG_AVOID` / `REGIME_SLOW_START`), so the next early
+    /// response record carries it. Cheap enough to call on every ACK.
+    pub fn set_regime(&mut self, code: u8) {
+        self.regime = code;
     }
 
     /// Tell the controller a loss-triggered (non-early) response happened,
@@ -444,5 +485,26 @@ mod tests {
     fn rejects_nonpositive_rtt() {
         let mut c = PertController::new(PertParams::default(), 1);
         c.on_ack(0.0, 0.0);
+    }
+
+    #[test]
+    fn response_encoding_round_trips() {
+        for regime in [
+            REGIME_CONG_AVOID,
+            REGIME_SLOW_START,
+            REGIME_LOSS_HOLD,
+            REGIME_RECOVERY,
+        ] {
+            for p in [0.0, 0.0001, 0.025, 0.5, 0.99995, 1.0] {
+                let (r, bp) = decode_response(encode_response(regime, p));
+                assert_eq!(r, regime);
+                assert_eq!(bp, (p * 10_000.0).round() as u32, "p={p}");
+            }
+        }
+        // Legacy plain-1.0 records stay decodable.
+        assert_eq!(decode_response(1.0), (REGIME_CONG_AVOID, 1));
+        // Out-of-range probabilities clamp instead of bleeding into the
+        // regime field.
+        assert_eq!(decode_response(encode_response(1, 7.5)), (1, 10_000));
     }
 }

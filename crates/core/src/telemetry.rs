@@ -56,7 +56,7 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, Once, OnceLock};
+use std::sync::{Arc, Mutex, Once, OnceLock};
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -125,7 +125,7 @@ pub fn set_full_trace(on: bool) {
 // ---------------------------------------------------------------------
 
 thread_local! {
-    static SCOPE: RefCell<String> = const { RefCell::new(String::new()) };
+    static SCOPE: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
     static SHARD: Cell<Option<u32>> = const { Cell::new(None) };
 }
 
@@ -133,19 +133,19 @@ thread_local! {
 /// guard (the previous scope is restored on drop). The experiment
 /// runner scopes each job by its label.
 pub fn scoped(label: &str) -> ScopeGuard {
-    let prev = SCOPE.with(|s| std::mem::replace(&mut *s.borrow_mut(), label.to_owned()));
+    let prev = SCOPE.with(|s| s.borrow_mut().replace(Arc::from(label)));
     ScopeGuard { prev }
 }
 
 /// Restores the previous thread scope on drop. See [`scoped`].
 #[derive(Debug)]
 pub struct ScopeGuard {
-    prev: String,
+    prev: Option<Arc<str>>,
 }
 
 impl Drop for ScopeGuard {
     fn drop(&mut self) {
-        SCOPE.with(|s| *s.borrow_mut() = std::mem::take(&mut self.prev));
+        SCOPE.with(|s| *s.borrow_mut() = self.prev.take());
     }
 }
 
@@ -153,8 +153,18 @@ impl Drop for ScopeGuard {
 /// so multi-threaded drivers (the shard workers) can capture the calling
 /// thread's scope and re-establish it with [`scoped`] on their workers —
 /// records published from a worker then group with the owning job.
-pub fn current_scope() -> String {
-    SCOPE.with(|s| s.borrow().clone())
+pub fn current_scope() -> Arc<str> {
+    // A shared `Arc<str>` instead of a fresh `String`: `record()` runs
+    // per sample on the simulation hot path, and cloning the scope must
+    // be a refcount bump, not an allocation.
+    SCOPE
+        .with(|s| s.borrow().clone())
+        .unwrap_or_else(empty_scope)
+}
+
+fn empty_scope() -> Arc<str> {
+    static EMPTY: OnceLock<Arc<str>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from("")).clone()
 }
 
 /// Tag every record this thread publishes with the originating shard id
@@ -195,7 +205,9 @@ impl Drop for ShardScopeGuard {
 #[derive(Clone, Debug, PartialEq)]
 pub struct Record {
     /// Publishing job's label (runner-assigned; empty outside a job).
-    pub scope: String,
+    /// Shared, not owned: every record from one job points at the same
+    /// allocation.
+    pub scope: Arc<str>,
     /// Series name, `subsystem/signal`.
     pub series: &'static str,
     /// Publisher-chosen instance key (seed, link index, flow id).
@@ -287,9 +299,7 @@ pub fn trace_snapshot_sorted() -> Vec<Record> {
     let buf = BUFFERS.lock().unwrap();
     let mut out = buf.full.clone();
     drop(buf);
-    out.sort_by(|a, b| {
-        (a.scope.as_str(), a.series, a.key).cmp(&(b.scope.as_str(), b.series, b.key))
-    });
+    out.sort_by(|a, b| (&*a.scope, a.series, a.key).cmp(&(&*b.scope, b.series, b.key)));
     out
 }
 
@@ -490,7 +500,7 @@ impl Drop for SpanGuard {
         let dur_us = self.started.elapsed().as_micros() as u64;
         SPANS.lock().unwrap().push(Span {
             name: std::mem::take(&mut self.name),
-            scope: current_scope(),
+            scope: current_scope().to_string(),
             tid: thread_id(),
             start_us,
             dur_us,
@@ -508,7 +518,7 @@ pub fn span_closed(name: impl Into<String>, dur_us: u64) {
     let end_us = epoch().elapsed().as_micros() as u64;
     SPANS.lock().unwrap().push(Span {
         name: name.into(),
-        scope: current_scope(),
+        scope: current_scope().to_string(),
         tid: thread_id(),
         start_us: end_us.saturating_sub(dur_us),
         dur_us,
@@ -677,7 +687,7 @@ mod tests {
             .into_iter()
             .filter(|r| r.series == "test/sorted")
             .collect();
-        let scopes: Vec<&str> = trace.iter().map(|r| r.scope.as_str()).collect();
+        let scopes: Vec<&str> = trace.iter().map(|r| &*r.scope).collect();
         assert_eq!(scopes, vec!["job-a", "job-a", "job-b"]);
         // Within a scope, publication order survives the stable sort.
         assert_eq!(trace[0].t, 0.25);
@@ -687,12 +697,12 @@ mod tests {
     #[test]
     fn scope_guard_restores_previous() {
         let _outer = scoped("outer");
-        assert_eq!(current_scope(), "outer");
+        assert_eq!(&*current_scope(), "outer");
         {
             let _inner = scoped("inner");
-            assert_eq!(current_scope(), "inner");
+            assert_eq!(&*current_scope(), "inner");
         }
-        assert_eq!(current_scope(), "outer");
+        assert_eq!(&*current_scope(), "outer");
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub const USAGE: &str = "usage: experiments <target>... [--quick|--standard|--fu
 [--shards N] [--seed S] [--json PATH] [--csv PATH] [--audit] [--telemetry] [--trace-out PATH] \
 [--flight-window N] [--progress] [--calendar wheel|heap] [--legacy-agents] \
 [--shard-profile-out PATH] [--partition-weights PATH] [--cc cubic|bbr|both]\n\
-\x20      experiments trace summarize|diff ... (see `experiments trace`)\n\
+\x20      experiments trace summarize|diff|shards|fidelity ... (see `experiments trace`)\n\
 targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1\n\
 \t fig11 fig12 fig13a fig13bcd fig14 mix6 mix12 reverse rem robustness ablations all\n\
 --audit runs every simulation with the invariant-audit layer on (packet\n\

@@ -9,6 +9,7 @@
 //!             [--cc cubic|bbr|both]
 //! experiments trace summarize FILE [filters] | trace diff A B [--tol X]
 //!                 | trace shards FILE [--top N]
+//!                 | trace fidelity FILE [--flow F] [--csv PATH]
 //!
 //! targets: fig2 fig3 fig4 fig234 fig5 fig6 fig7 fig8 fig9 table1
 //!          fig11 fig12 fig13a fig13bcd fig14 mix6 mix12 reverse rem

@@ -11,20 +11,31 @@
 //!                                  [--csv PATH] [--json PATH]
 //! experiments trace diff A B [--tol X]
 //! experiments trace shards FILE [--top N]
+//! experiments trace fidelity FILE [--flow F] [--csv PATH]
 //! ```
 //!
 //! `summarize` prints one row per series (record count, scope/key
 //! cardinality, time range, value min/mean/max) after applying the
-//! filters; `--csv`/`--json` additionally write the same rows to files.
-//! `diff` aligns two traces per `(scope, series, key)` group, record by
-//! record, and reports the per-series maximum absolute value delta —
-//! the regression-triage primitive: a reference trace diffed against a
-//! fresh run pinpoints which signal moved and by how much. The exit
-//! code is nonzero when any series differs beyond `--tol` (default 0,
-//! since traces are deterministic). `shards` reads the `shard/*`
-//! series a sharded run emits and prints the load-balance view:
-//! per-shard totals, the worst sampled epochs by barrier wait, and a
-//! stall-duration histogram.
+//! filters (`--since`/`--until` keep the half-open interval
+//! `[since, until)`); `--csv`/`--json` additionally write the same rows
+//! to files. `diff` aligns two traces per `(scope, series, key)` group,
+//! record by record, and reports the per-series maximum absolute value
+//! delta — the regression-triage primitive: a reference trace diffed
+//! against a fresh run pinpoints which signal moved and by how much.
+//! The exit code is nonzero when any series differs beyond `--tol`
+//! (default 0, since traces are deterministic). `shards` reads the
+//! `shard/*` series a sharded run emits and prints the load-balance
+//! view: per-shard totals, the worst sampled epochs by barrier wait,
+//! and a stall-duration histogram. `fidelity` pairs each flow's
+//! `pert/qdelay` estimates against the scope's bottleneck
+//! `truth/qdelay` window by window, annotates every window with the
+//! controller regime reconstructed from `pert/response` tags, and
+//! prints per-flow bias / worst divergence windows (full timeline via
+//! `--csv`).
+//!
+//! Parsing is lossy by design: a truncated tail or an interleaved log
+//! line is skipped and counted (warning on stderr) instead of sinking
+//! the whole trace; only a trace with zero valid records errors out.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -184,17 +195,24 @@ fn parse_number_or_null(line: &str, chars: &mut Chars<'_>) -> Result<f64, String
     parse_number(line, chars)
 }
 
-/// Parse a whole JSONL trace file body. Blank lines are skipped; a
-/// malformed line aborts with its line number.
-pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+/// Parse a whole JSONL trace file body. Blank lines are skipped.
+/// Malformed lines — a truncated final write, an editor mangling, a
+/// partial copy — are *skipped*, not fatal: they come back as
+/// `(line number, reason)` pairs so callers can warn with a count
+/// instead of refusing the whole trace.
+pub fn parse_jsonl(text: &str) -> (Vec<TraceRecord>, Vec<(usize, String)>) {
     let mut out = Vec::new();
+    let mut errors = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        out.push(parse_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+        match parse_line(line) {
+            Ok(r) => out.push(r),
+            Err(e) => errors.push((lineno + 1, e)),
+        }
     }
-    Ok(out)
+    (out, errors)
 }
 
 /// Record filters shared by `summarize` (`diff` takes none: a diff must
@@ -207,7 +225,9 @@ pub struct Filters {
     pub scope: Option<String>,
     /// Keep records with `t >= since`.
     pub since: Option<f64>,
-    /// Keep records with `t <= until`.
+    /// Keep records with `t < until`. Together with `since` this makes
+    /// `[since, until)` half-open, so adjacent windows partition a
+    /// trace with no double-counted boundary records.
     pub until: Option<f64>,
 }
 
@@ -230,7 +250,7 @@ impl Filters {
             }
         }
         if let Some(until) = self.until {
-            if r.t.is_nan() || r.t > until {
+            if r.t.is_nan() || r.t >= until {
                 return false;
             }
         }
@@ -562,6 +582,243 @@ pub fn render_shards_report(records: &[TraceRecord], top: usize) -> Option<Strin
 }
 
 // ---------------------------------------------------------------------
+// Fidelity timelines (trace fidelity FILE [--flow F] [--csv PATH])
+// ---------------------------------------------------------------------
+
+/// Windows a response's hold shadow extends over when annotating
+/// regimes: 10 windows × 10 ms = 100 ms, a generous once-per-RTT bound
+/// for the paper's RTT range.
+const FID_HOLD_WINDOWS: u64 = 10;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Regime {
+    /// Before the flow's first early response (startup transient).
+    Start,
+    /// Congestion avoidance (default steady state).
+    Avoid,
+    /// Slow start, tagged by the response record itself.
+    SlowStart,
+    /// Inside the post-response hold shadow.
+    Hold,
+    /// Truth flowed but the estimator published nothing — the sender
+    /// was blind (loss recovery suppresses controller decisions).
+    Recovery,
+}
+
+impl Regime {
+    fn name(self) -> &'static str {
+        match self {
+            Regime::Start => "start",
+            Regime::Avoid => "avoid",
+            Regime::SlowStart => "slow-start",
+            Regime::Hold => "hold",
+            Regime::Recovery => "recovery",
+        }
+    }
+}
+
+/// Reconstruct per-flow estimator-error timelines from an attached
+/// trace: pair `pert/qdelay` flows against the scope's bottleneck
+/// `truth/qdelay` link window by window (the same 10 ms bins and
+/// quantization as the online reducers), annotate each window's regime
+/// from the `pert/response` tags, and report per-flow bias / worst
+/// divergence windows. Returns `(text report, csv body)`, or `None`
+/// when no scope carries both sides of a pair.
+pub fn fidelity_report(
+    records: &[TraceRecord],
+    flow_filter: Option<u64>,
+) -> Option<(String, String)> {
+    use sim_stats::derive::{agreement_ok, prob_bp, quantize_us, FIDELITY_WINDOW_US};
+
+    type WinMap = BTreeMap<u64, (u64, u64)>; // window → (Σ, n)
+    #[derive(Default)]
+    struct ScopeAcc {
+        truth_qd: BTreeMap<u64, WinMap>, // link → windows
+        truth_p: BTreeMap<u64, WinMap>,
+        est_qd: BTreeMap<u64, WinMap>, // flow → windows
+        est_p: BTreeMap<u64, WinMap>,
+        /// flow → window → (regime code, probability bp) of the last
+        /// response in that window.
+        responses: BTreeMap<u64, BTreeMap<u64, (u8, u32)>>,
+    }
+
+    let mut scopes: BTreeMap<String, ScopeAcc> = BTreeMap::new();
+    for r in records {
+        if r.t.is_nan() || r.v.is_nan() {
+            continue;
+        }
+        let win = quantize_us(r.t) / FIDELITY_WINDOW_US;
+        let acc = scopes.entry(r.scope.clone()).or_default();
+        let add = |m: &mut BTreeMap<u64, WinMap>, key: u64, val: u64| {
+            let e = m.entry(key).or_default().entry(win).or_insert((0, 0));
+            e.0 += val;
+            e.1 += 1;
+        };
+        match r.series.as_str() {
+            "truth/qdelay" => add(&mut acc.truth_qd, r.key, quantize_us(r.v)),
+            "truth/prob" => add(&mut acc.truth_p, r.key, prob_bp(r.v)),
+            "pert/qdelay" if flow_filter.is_none_or(|f| f == r.key) => {
+                add(&mut acc.est_qd, r.key, quantize_us(r.v))
+            }
+            "pert/prob" if flow_filter.is_none_or(|f| f == r.key) => {
+                add(&mut acc.est_p, r.key, prob_bp(r.v))
+            }
+            "pert/response" if flow_filter.is_none_or(|f| f == r.key) => {
+                acc.responses
+                    .entry(r.key)
+                    .or_default()
+                    .insert(win, pert_core::pert::decode_response(r.v));
+            }
+            _ => {}
+        }
+    }
+
+    let mut text = String::new();
+    let mut csv = String::from("scope,flow,t_s,truth_us,est_us,err_us,regime\n");
+    let mut any = false;
+
+    for (scope, acc) in &scopes {
+        // Bottleneck: the truth link with the most qdelay samples
+        // (ties to the lowest id) — same rule as the online reducer.
+        let Some((bkey, _)) = acc
+            .truth_qd
+            .iter()
+            .map(|(k, w)| (*k, w.values().map(|(_, n)| n).sum::<u64>()))
+            .max_by_key(|(k, n)| (*n, std::cmp::Reverse(*k)))
+        else {
+            continue;
+        };
+        if acc.est_qd.is_empty() {
+            continue;
+        }
+        any = true;
+        let mean = |m: &WinMap, w: u64| m.get(&w).map(|(s, n)| s / n);
+        let truth = &acc.truth_qd[&bkey];
+        let empty_p = WinMap::new();
+        let truth_p = acc.truth_p.get(&bkey).unwrap_or(&empty_p);
+        let t_span = (
+            *truth.keys().next().unwrap(),
+            *truth.keys().next_back().unwrap(),
+        );
+        // A window is exactly 10 ms; render times from the integer
+        // window index so no float noise leaks into the report.
+        let per_s = 1_000_000 / FIDELITY_WINDOW_US;
+        let fmt_w = |w: u64| format!("{}.{:02}", w / per_s, (w % per_s) * 100 / per_s);
+        let _ = writeln!(
+            text,
+            "fidelity timeline: {scope}\n  bottleneck link {bkey}: truth windows={} span=[{}s, {}s]",
+            truth.len(),
+            fmt_w(t_span.0),
+            fmt_w(t_span.1 + 1),
+        );
+
+        for (flow, est) in &acc.est_qd {
+            let (first_w, last_w) = (
+                *est.keys().next().unwrap(),
+                *est.keys().next_back().unwrap(),
+            );
+            let resp = acc.responses.get(flow);
+            let first_resp = resp.and_then(|m| m.keys().next().copied());
+            let mut paired = 0u64;
+            let mut err_sum: i128 = 0;
+            let mut errs: Vec<i64> = Vec::new();
+            let mut worst: Vec<(u64, i64, u64, u64)> = Vec::new(); // (win, err, truth, est)
+            let mut tallies = [0u64; 5];
+            for (w, _) in truth.range(first_w.max(t_span.0)..=last_w) {
+                let w = *w;
+                let t_us = mean(truth, w).unwrap();
+                let e_us = mean(est, w);
+                let regime = if let Some((code, _)) = resp.and_then(|m| m.get(&w)) {
+                    match code {
+                        1 => Regime::SlowStart,
+                        _ => Regime::Avoid,
+                    }
+                } else if e_us.is_none() {
+                    Regime::Recovery
+                } else if resp.is_some_and(|m| {
+                    m.range(w.saturating_sub(FID_HOLD_WINDOWS)..w)
+                        .next_back()
+                        .is_some()
+                }) {
+                    Regime::Hold
+                } else if first_resp.is_none_or(|f| w < f) {
+                    Regime::Start
+                } else {
+                    Regime::Avoid
+                };
+                tallies[regime as usize] += 1;
+                if let Some(e_us) = e_us {
+                    let err = e_us as i64 - t_us as i64;
+                    paired += 1;
+                    err_sum += i128::from(err);
+                    errs.push(err.abs());
+                    worst.push((w, err, t_us, e_us));
+                }
+                let _ = writeln!(
+                    csv,
+                    "{scope},{flow},{},{t_us},{},{},{}",
+                    fmt_w(w),
+                    e_us.map(|v| v.to_string()).unwrap_or_default(),
+                    e_us.map(|v| (v as i64 - t_us as i64).to_string())
+                        .unwrap_or_default(),
+                    regime.name()
+                );
+            }
+            // Agreement over the probability pair, same tolerance as
+            // the online reducer.
+            let (mut agree, mut agree_n) = (0u64, 0u64);
+            if let Some(ep) = acc.est_p.get(flow) {
+                for (w, (s, n)) in ep {
+                    if let Some(t_bp) = mean(truth_p, *w) {
+                        agree_n += 1;
+                        agree += u64::from(agreement_ok(s / n, t_bp));
+                    }
+                }
+            }
+            let bias = if paired == 0 {
+                0
+            } else {
+                (err_sum / i128::from(paired)) as i64
+            };
+            errs.sort_unstable();
+            let p95 = if errs.is_empty() {
+                0
+            } else {
+                errs[(errs.len() * 95).div_ceil(100).saturating_sub(1)]
+            };
+            let (ss, ca) = resp.map_or((0, 0), |m| {
+                m.values()
+                    .fold((0u64, 0u64), |(ss, ca), (code, _)| match code {
+                        1 => (ss + 1, ca),
+                        _ => (ss, ca + 1),
+                    })
+            });
+            let _ = writeln!(
+                text,
+                "  flow {flow}: paired={paired} bias={bias}us abs_p95={p95}us \
+                 agree={agree}/{agree_n} responses={} (slow-start={ss} avoid={ca}) \
+                 regimes start={} avoid={} slow-start={} hold={} recovery={}",
+                ss + ca,
+                tallies[Regime::Start as usize],
+                tallies[Regime::Avoid as usize],
+                tallies[Regime::SlowStart as usize],
+                tallies[Regime::Hold as usize],
+                tallies[Regime::Recovery as usize],
+            );
+            worst.sort_by_key(|(w, err, _, _)| (std::cmp::Reverse(err.unsigned_abs()), *w));
+            for (w, err, t_us, e_us) in worst.iter().take(3) {
+                let _ = writeln!(
+                    text,
+                    "    worst t={}s err={err}us truth={t_us}us est={e_us}us",
+                    fmt_w(*w)
+                );
+            }
+        }
+    }
+    any.then_some((text, csv))
+}
+
+// ---------------------------------------------------------------------
 // Rendering and the subcommand driver
 // ---------------------------------------------------------------------
 
@@ -701,16 +958,33 @@ const TRACE_USAGE: &str = "usage: experiments trace summarize FILE [--series S] 
 [--since T] [--until T] [--csv PATH] [--json PATH]\n\
 \x20      experiments trace diff A B [--tol X]\n\
 \x20      experiments trace shards FILE [--top N]\n\
+\x20      experiments trace fidelity FILE [--flow F] [--csv PATH]\n\
 Operates on --trace-out JSONL traces and flight-recorder dumps.\n\
-summarize prints per-series record counts, time ranges and value stats;\n\
+summarize prints per-series record counts, time ranges and value stats\n\
+(--since/--until keep the half-open interval [since, until));\n\
 diff aligns two traces per (scope, series, key) and reports each series'\n\
 max |v_a - v_b| (exit 1 when any series differs beyond --tol);\n\
 shards prints per-shard load totals, the worst sampled epochs by\n\
-barrier wait, and a stall histogram from a sharded run's shard/* series.";
+barrier wait, and a stall histogram from a sharded run's shard/* series;\n\
+fidelity reconstructs per-flow estimator-vs-truth error timelines with\n\
+regime annotation and worst divergence windows from truth/* + pert/*.";
 
 fn read_trace(path: &str) -> Result<Vec<TraceRecord>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+    let (records, errors) = parse_jsonl(&text);
+    if let Some((line, reason)) = errors.first() {
+        eprintln!(
+            "warning: {path}: skipped {} malformed line(s), first at line {line}: {reason}",
+            errors.len()
+        );
+        if records.is_empty() {
+            return Err(format!(
+                "{path}: no valid records ({} malformed line(s))",
+                errors.len()
+            ));
+        }
+    }
+    Ok(records)
 }
 
 /// Write to stdout ignoring errors: a downstream `head`/`grep -q`
@@ -843,6 +1117,50 @@ fn run_inner(args: &[String]) -> Result<i32, String> {
                 }
             }
         }
+        "fidelity" => {
+            let mut file = None;
+            let mut flow = None;
+            let mut csv = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--flow" => {
+                        let n = num_value(args, &mut i)?;
+                        if n < 0.0 || n.fract() != 0.0 {
+                            return Err(format!("--flow wants a flow id, got {n}"));
+                        }
+                        flow = Some(n as u64);
+                    }
+                    "--csv" => csv = Some(value(args, &mut i)?),
+                    f if f.starts_with('-') => return Err(format!("unknown flag '{f}'")),
+                    p if file.is_none() => file = Some(p.to_string()),
+                    p => return Err(format!("unexpected argument '{p}'")),
+                }
+                i += 1;
+            }
+            let file = file.ok_or("fidelity needs a trace file")?;
+            let records = read_trace(&file)?;
+            match fidelity_report(&records, flow) {
+                Some((text, csv_body)) => {
+                    emit(&text);
+                    if let Some(path) = csv {
+                        std::fs::write(&path, csv_body)
+                            .map_err(|e| format!("writing {path}: {e}"))?;
+                        eprintln!("[wrote {path}]");
+                    }
+                    Ok(0)
+                }
+                None => {
+                    emit(&format!(
+                        "no truth/estimate pairs in {file} (needs an attached run with \
+                         truth/* and pert/* series{})\n",
+                        flow.map(|f| format!(", flow {f} not found"))
+                            .unwrap_or_default()
+                    ));
+                    Ok(1)
+                }
+            }
+        }
         other => Err(format!("unknown trace subcommand '{other}'")),
     }
 }
@@ -909,9 +1227,33 @@ mod tests {
         assert!(parse_line(r#"{"scope":"x"}"#).is_err());
         assert!(parse_line(r#"{"scope":1,"series":"s","key":0,"t":0,"v":0}"#).is_err());
         assert!(parse_line(r#"{"bogus":"x","scope":"s"}"#).is_err());
-        assert!(parse_jsonl("{}\n").is_err());
-        let err = parse_jsonl("\n\nnot json\n").unwrap_err();
-        assert!(err.contains("line 3"), "{err}");
+        let (records, errors) = parse_jsonl("{}\n");
+        assert!(records.is_empty());
+        assert_eq!(errors.len(), 1);
+        let (records, errors) = parse_jsonl("\n\nnot json\n");
+        assert!(records.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, 3, "{errors:?}");
+    }
+
+    #[test]
+    fn doctored_trace_parses_lossy_with_counted_errors() {
+        // A healthy trace whose tail was truncated mid-write and that
+        // picked up a stray log line: the good records must survive,
+        // the bad lines must be counted with their line numbers.
+        let text =
+            "{\"scope\":\"job/a\",\"series\":\"pert/srtt\",\"key\":3,\"t\":0.5,\"v\":0.25}\n\
+                    [runner] progress: 50%\n\
+                    {\"scope\":\"job/a\",\"series\":\"pert/srtt\",\"key\":3,\"t\":1.5,\"v\":0.5}\n\
+                    {\"scope\":\"job/a\",\"series\":\"pert/srtt\",\"key\":3,\"t\":2.5,\"v\":0.\n";
+        let (records, errors) = parse_jsonl(text);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].t, 1.5);
+        let lines: Vec<usize> = errors.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lines, vec![2, 4], "{errors:?}");
+        // The survivors are still usable downstream.
+        let rows = summarize(&records, &Filters::default());
+        assert_eq!(rows[0].records, 2);
     }
 
     #[test]
@@ -943,6 +1285,118 @@ mod tests {
         assert_eq!(filtered.len(), 1);
         assert_eq!(filtered[0].records, 1);
         assert_eq!(filtered[0].v_min, 0.050);
+    }
+
+    #[test]
+    fn since_until_is_half_open() {
+        // [since, until): a record exactly at `since` is kept, a
+        // record exactly at `until` is not, so adjacent windows
+        // partition the trace with no double counting.
+        let records = vec![
+            rec("a", "s", 0, 0.0, 1.0),
+            rec("a", "s", 0, 5.0, 2.0),
+            rec("a", "s", 0, 10.0, 3.0),
+        ];
+        let window = |since: f64, until: f64| {
+            summarize(
+                &records,
+                &Filters {
+                    since: Some(since),
+                    until: Some(until),
+                    ..Filters::default()
+                },
+            )
+            .first()
+            .map_or(0, |r| r.records)
+        };
+        assert_eq!(window(0.0, 5.0), 1); // t=0 in, t=5 out
+        assert_eq!(window(5.0, 10.0), 1); // t=5 in, t=10 out
+        assert_eq!(window(10.0, 15.0), 1); // t=10 in
+        assert_eq!(window(0.0, 5.0) + window(5.0, 10.0) + window(10.0, 15.0), 3);
+        assert_eq!(window(5.0, 5.0), 0); // empty interval is empty
+                                         // Open-ended bounds keep their edge record.
+        let since_only = summarize(
+            &records,
+            &Filters {
+                since: Some(10.0),
+                ..Filters::default()
+            },
+        );
+        assert_eq!(since_only[0].records, 1);
+        let until_only = summarize(
+            &records,
+            &Filters {
+                until: Some(10.0),
+                ..Filters::default()
+            },
+        );
+        assert_eq!(until_only[0].records, 2);
+    }
+
+    #[test]
+    fn fidelity_report_pairs_and_annotates_regimes() {
+        let win = sim_stats::derive::FIDELITY_WINDOW_US as f64 / 1e6; // 10 ms
+        let mut records = Vec::new();
+        // Truth on link 0 over windows 0..6: 10 ms queueing delay.
+        for w in 0..6 {
+            records.push(rec(
+                "mix/5Mbps/PERT",
+                "truth/qdelay",
+                0,
+                w as f64 * win,
+                0.010,
+            ));
+            records.push(rec("mix/5Mbps/PERT", "truth/prob", 0, w as f64 * win, 0.05));
+        }
+        // Flow 7 estimates: window 0 before any response (start), a
+        // slow-start response in window 1, hold shadow afterwards; the
+        // estimator goes silent in window 4 (recovery) and returns in
+        // window 5 with a large error.
+        records.push(rec("mix/5Mbps/PERT", "pert/qdelay", 7, 0.0, 0.011));
+        records.push(rec("mix/5Mbps/PERT", "pert/qdelay", 7, win, 0.012));
+        records.push(rec(
+            "mix/5Mbps/PERT",
+            "pert/response",
+            7,
+            win,
+            pert_core::pert::encode_response(pert_core::pert::REGIME_SLOW_START, 0.05),
+        ));
+        records.push(rec("mix/5Mbps/PERT", "pert/qdelay", 7, 2.0 * win, 0.010));
+        records.push(rec("mix/5Mbps/PERT", "pert/qdelay", 7, 3.0 * win, 0.010));
+        records.push(rec("mix/5Mbps/PERT", "pert/qdelay", 7, 5.0 * win, 0.020));
+        records.push(rec("mix/5Mbps/PERT", "pert/prob", 7, 2.0 * win, 0.05));
+
+        let (text, csv) = fidelity_report(&records, None).unwrap();
+        assert!(text.contains("bottleneck link 0"), "{text}");
+        assert!(text.contains("flow 7: paired=5"), "{text}");
+        // Bias: errors are +1000, +2000, 0, 0, +10000 us → +2600.
+        assert!(text.contains("bias=2600us"), "{text}");
+        assert!(text.contains("agree=1/1"), "{text}");
+        assert!(
+            text.contains("responses=1 (slow-start=1 avoid=0)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("start=1 avoid=0 slow-start=1 hold=3 recovery=1"),
+            "{text}"
+        );
+        // Worst divergence window is the 10 ms overshoot at t=50ms.
+        assert!(text.contains("worst t=0.05s err=10000us"), "{text}");
+        // CSV carries the full timeline including the silent window.
+        assert!(csv.starts_with("scope,flow,t_s,"), "{csv}");
+        assert!(
+            csv.contains("mix/5Mbps/PERT,7,0.04,10000,,,recovery"),
+            "{csv}"
+        );
+        assert!(csv.contains(",slow-start\n"), "{csv}");
+
+        // Deterministic rendering.
+        assert_eq!(fidelity_report(&records, None).unwrap().0, text);
+        // --flow filtering: an absent flow yields no pairs.
+        assert!(fidelity_report(&records, Some(99)).is_none());
+        assert!(fidelity_report(&records, Some(7)).is_some());
+        // Truth-only or estimate-only traces have nothing to pair.
+        assert!(fidelity_report(&records[..2], None).is_none());
     }
 
     #[test]
@@ -989,7 +1443,8 @@ mod tests {
         let text =
             "{\"scope\":\"job/a\",\"series\":\"pert/srtt\",\"key\":3,\"t\":0.5,\"v\":0.25}\n\
                     {\"scope\":\"job/a\",\"series\":\"pert/srtt\",\"key\":3,\"t\":1.5,\"v\":0.5}\n";
-        let records = parse_jsonl(text).unwrap();
+        let (records, errors) = parse_jsonl(text);
+        assert!(errors.is_empty(), "{errors:?}");
         assert_eq!(records.len(), 2);
         let rows = diff(&records, &records);
         assert!(rows.iter().all(|r| r.matches(0.0)));

@@ -135,7 +135,15 @@ impl QueueDiscipline for AvqQueue {
         if let Some(tap) = &mut self.tap {
             let vq = self.vq;
             let c_tilde = self.c_tilde;
-            if tap.on_enqueue(now, self.store.len()) {
+            let (len, bytes) = (self.store.len(), self.store.bytes());
+            // AVQ marks deterministically on virtual overflow; its
+            // reference probability is the 0/1 congestion indicator.
+            let p = if vq + 1.0 > self.params.virtual_capacity_pkts {
+                1.0
+            } else {
+                0.0
+            };
+            if tap.on_enqueue(now, len, bytes, p) {
                 let t = now.as_secs_f64();
                 telemetry::record("avq/vq", tap.key(), t, vq);
                 telemetry::record("avq/c_tilde", tap.key(), t, c_tilde);
@@ -193,8 +201,8 @@ impl QueueDiscipline for AvqQueue {
     }
 
     #[cfg(feature = "telemetry")]
-    fn attach_tap(&mut self, key: u64) {
-        self.tap = QueueTap::attach(key);
+    fn attach_tap(&mut self, key: u64, capacity_bps: u64) {
+        self.tap = QueueTap::attach(key, capacity_bps);
     }
 }
 

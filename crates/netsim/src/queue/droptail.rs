@@ -40,7 +40,11 @@ impl QueueDiscipline for DropTail {
         self.stats.advance(now, self.store.len());
         #[cfg(feature = "telemetry")]
         if let Some(tap) = &mut self.tap {
-            tap.on_enqueue(now, self.store.len());
+            let (len, bytes) = (self.store.len(), self.store.bytes());
+            // A FIFO's "drop probability" is the overflow indicator: the
+            // reference AQM curve for tail drop is a step at capacity.
+            let p = if len >= self.capacity_pkts { 1.0 } else { 0.0 };
+            tap.on_enqueue(now, len, bytes, p);
         }
         if self.store.len() >= self.capacity_pkts {
             self.stats.dropped += 1;
@@ -83,8 +87,8 @@ impl QueueDiscipline for DropTail {
     }
 
     #[cfg(feature = "telemetry")]
-    fn attach_tap(&mut self, key: u64) {
-        self.tap = QueueTap::attach(key);
+    fn attach_tap(&mut self, key: u64, capacity_bps: u64) {
+        self.tap = QueueTap::attach(key, capacity_bps);
     }
 }
 

@@ -119,8 +119,8 @@ impl QueueDiscipline for RandomLoss {
     }
 
     #[cfg(feature = "telemetry")]
-    fn attach_tap(&mut self, key: u64) {
-        self.inner.attach_tap(key);
+    fn attach_tap(&mut self, key: u64, capacity_bps: u64) {
+        self.inner.attach_tap(key, capacity_bps);
     }
 }
 

@@ -182,12 +182,14 @@ pub trait QueueDiscipline: Send {
     /// A short human-readable name for reports (e.g. `"RED"`).
     fn name(&self) -> &'static str;
 
-    /// Attach a telemetry tap keyed by the owning link's index. The
+    /// Attach a telemetry tap keyed by the owning link's index, carrying
+    /// the link's drain rate so the tap can publish the ground-truth
+    /// queueing delay (`truth/qdelay = backlog × 8 / capacity_bps`). The
     /// simulator calls this from `add_link` when telemetry is enabled;
     /// disciplines that publish series override it (wrappers forward to
     /// their inner queue). The default ignores the request.
     #[cfg(feature = "telemetry")]
-    fn attach_tap(&mut self, _key: u64) {}
+    fn attach_tap(&mut self, _key: u64, _capacity_bps: u64) {}
 }
 
 /// Shared plain-FIFO storage used by the concrete disciplines. Holds

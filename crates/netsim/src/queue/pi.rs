@@ -181,7 +181,8 @@ impl QueueDiscipline for PiQueue {
         self.stats.advance(now, self.store.len());
         #[cfg(feature = "telemetry")]
         if let Some(tap) = &mut self.tap {
-            tap.on_enqueue(now, self.store.len());
+            let (len, bytes, p) = (self.store.len(), self.store.bytes(), self.p);
+            tap.on_enqueue(now, len, bytes, p);
         }
         if self.store.len() >= self.params.capacity_pkts {
             self.stats.dropped += 1;
@@ -267,8 +268,8 @@ impl QueueDiscipline for PiQueue {
     }
 
     #[cfg(feature = "telemetry")]
-    fn attach_tap(&mut self, key: u64) {
-        self.tap = QueueTap::attach(key);
+    fn attach_tap(&mut self, key: u64, capacity_bps: u64) {
+        self.tap = QueueTap::attach(key, capacity_bps);
     }
 }
 

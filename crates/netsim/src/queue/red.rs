@@ -291,9 +291,14 @@ impl QueueDiscipline for RedQueue {
         self.update_avg(now);
         #[cfg(feature = "audit")]
         self.check_oracle(now);
+        // `None` = the force-drop region beyond the probabilistic
+        // ramp: the reference curve saturates at probability 1.
+        #[cfg(feature = "telemetry")]
+        let truth_p = self.base_probability().unwrap_or(1.0);
         #[cfg(feature = "telemetry")]
         if let Some(tap) = &mut self.tap {
-            if tap.on_enqueue(now, self.store.len()) {
+            let (len, bytes) = (self.store.len(), self.store.bytes());
+            if tap.on_enqueue(now, len, bytes, truth_p) {
                 telemetry::record("red/avg", tap.key(), now.as_secs_f64(), self.avg);
             }
         }
@@ -416,8 +421,8 @@ impl QueueDiscipline for RedQueue {
     }
 
     #[cfg(feature = "telemetry")]
-    fn attach_tap(&mut self, key: u64) {
-        self.tap = QueueTap::attach(key);
+    fn attach_tap(&mut self, key: u64, capacity_bps: u64) {
+        self.tap = QueueTap::attach(key, capacity_bps);
     }
 }
 

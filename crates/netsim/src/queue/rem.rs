@@ -132,8 +132,11 @@ impl QueueDiscipline for RemQueue {
     fn enqueue(&mut self, pkt: PacketRef, arena: &mut PacketArena, now: SimTime) -> EnqueueOutcome {
         self.stats.advance(now, self.store.len());
         #[cfg(feature = "telemetry")]
+        let truth_p = self.probability();
+        #[cfg(feature = "telemetry")]
         if let Some(tap) = &mut self.tap {
-            tap.on_enqueue(now, self.store.len());
+            let (len, bytes) = (self.store.len(), self.store.bytes());
+            tap.on_enqueue(now, len, bytes, truth_p);
         }
         if self.store.len() >= self.params.capacity_pkts {
             self.stats.dropped += 1;
@@ -223,8 +226,8 @@ impl QueueDiscipline for RemQueue {
     }
 
     #[cfg(feature = "telemetry")]
-    fn attach_tap(&mut self, key: u64) {
-        self.tap = QueueTap::attach(key);
+    fn attach_tap(&mut self, key: u64, capacity_bps: u64) {
+        self.tap = QueueTap::attach(key, capacity_bps);
     }
 }
 

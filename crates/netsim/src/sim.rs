@@ -504,8 +504,11 @@ impl Simulator {
         {
             if self.tel_on {
                 // Tap key = link index: `queue/len` series line up with the
-                // LinkIds reported everywhere else.
-                self.links[id.index()].queue.attach_tap(id.0 as u64);
+                // LinkIds reported everywhere else. The capacity lets the
+                // tap publish truth/qdelay (backlog drain time).
+                self.links[id.index()]
+                    .queue
+                    .attach_tap(id.0 as u64, capacity_bps);
             }
             self.queue_op.push(QueueOpCost::default());
             self.util.push(UtilWindow {

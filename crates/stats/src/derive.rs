@@ -22,6 +22,7 @@
 
 use crate::metrics::BucketHistogram;
 use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 /// Queueing-delay bucket edges, microseconds: a 1–2–5 ladder from
 /// 100 µs to 5 s. A percentile read from the histogram is exact to
@@ -37,6 +38,61 @@ pub const UTIL_EDGES_BP: [u64; 20] = [
     500, 1_000, 1_500, 2_000, 2_500, 3_000, 3_500, 4_000, 4_500, 5_000, 5_500, 6_000, 6_500, 7_000,
     7_500, 8_000, 8_500, 9_000, 9_500, 10_000,
 ];
+
+/// Fidelity pairing window, microseconds. Truth samples (router taps)
+/// and estimate samples (PERT controllers) arrive at different instants;
+/// both are averaged per 10 ms window and compared window against
+/// window. Ten milliseconds is well under the `srtt_0.99` filter's time
+/// constant, so the binning does not blur the signal being measured.
+pub const FIDELITY_WINDOW_US: u64 = 10_000;
+
+/// Lag-correlation offsets, in fidelity windows (0/10/20/50/100 ms):
+/// how far the end-host estimate trails the router truth.
+pub const FIDELITY_LAG_WINDOWS: [u64; 5] = [0, 1, 2, 5, 10];
+
+/// Per-scope fidelity accumulators: windowed sums of the router-truth
+/// series (`truth/qdelay`, `truth/prob`, keyed by link) and of the
+/// end-host estimate series (`pert/qdelay`, `pert/prob`, keyed by
+/// flow). Everything is integer sums; accumulation is commutative and
+/// merge is plain addition, so the maps can be hash maps — the ingest
+/// side runs per ACK under the telemetry lock, and every reader either
+/// adds commutatively or sorts into `BTreeMap`s first.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct FidScope {
+    /// (link key, window) → (Σ qdelay µs, samples).
+    truth_qd: HashMap<(u64, u64), (u64, u64)>,
+    /// (link key, window) → (Σ probability bp, samples).
+    truth_p: HashMap<(u64, u64), (u64, u64)>,
+    /// (flow key, window) → (Σ qdelay µs, samples).
+    est_qd: HashMap<(u64, u64), (u64, u64)>,
+    /// (flow key, window) → (Σ probability bp, samples).
+    est_p: HashMap<(u64, u64), (u64, u64)>,
+}
+
+impl FidScope {
+    fn merge(&mut self, other: &FidScope) {
+        // Commutative sums: HashMap iteration order cannot matter.
+        for (dst, src) in [
+            (&mut self.truth_qd, &other.truth_qd),
+            (&mut self.truth_p, &other.truth_p),
+            (&mut self.est_qd, &other.est_qd),
+            (&mut self.est_p, &other.est_p),
+        ] {
+            for (k, (sum, n)) in src {
+                let e = dst.entry(*k).or_insert((0, 0));
+                e.0 += sum;
+                e.1 += n;
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.truth_qd.is_empty()
+            && self.truth_p.is_empty()
+            && self.est_qd.is_empty()
+            && self.est_p.is_empty()
+    }
+}
 
 /// Streaming reducers over the telemetry record stream.
 ///
@@ -90,6 +146,8 @@ pub struct DeriveSet {
     cc_bbr_transitions: u64,
     /// Transitions into ProbeRTT (state index 3).
     cc_probe_rtt_entries: u64,
+    /// Per-scope fidelity accumulators (router truth vs PERT estimate).
+    fid: BTreeMap<String, FidScope>,
 }
 
 impl Default for DeriveSet {
@@ -122,7 +180,15 @@ impl DeriveSet {
             cc_min_rtt_us: u64::MAX,
             cc_bbr_transitions: 0,
             cc_probe_rtt_entries: 0,
+            fid: BTreeMap::new(),
         }
+    }
+
+    fn fid_scope(&mut self, scope: &str) -> &mut FidScope {
+        if !self.fid.contains_key(scope) {
+            self.fid.insert(scope.to_owned(), FidScope::default());
+        }
+        self.fid.get_mut(scope).unwrap()
     }
 
     /// Consume one telemetry record. Unrecognized series are ignored,
@@ -132,8 +198,16 @@ impl DeriveSet {
             "pert/qdelay" => {
                 // Seconds → µs. The quantization is a pure function of
                 // the record value, so ingestion order cannot matter.
-                self.qdelay_us.observe(quantize_us(value));
-                self.touch(scope, t);
+                let us = quantize_us(value);
+                self.qdelay_us.observe(us);
+                let win = quantize_us(t) / FIDELITY_WINDOW_US;
+                let e = self
+                    .fid_scope(scope)
+                    .est_qd
+                    .entry((key, win))
+                    .or_insert((0, 0));
+                e.0 += us;
+                e.1 += 1;
             }
             "link/util_bp" => self.util_bp.observe(value as u64),
             "link/idle_wins" => self.util_bp.observe_n(0, value as u64),
@@ -149,10 +223,47 @@ impl DeriveSet {
                     .or_insert(0) += value as u64;
             }
             "pert/response" => {
-                self.responses += value as u64;
+                // One record per early response. The value carries the
+                // encoded (regime, probability) tag, so it no longer
+                // counts as the response weight itself.
+                self.responses += 1;
                 self.touch(scope, t);
             }
-            "pert/prob" | "pert/srtt" => self.touch(scope, t),
+            "pert/prob" => {
+                let win = quantize_us(t) / FIDELITY_WINDOW_US;
+                let bp = prob_bp(value);
+                let e = self
+                    .fid_scope(scope)
+                    .est_p
+                    .entry((key, win))
+                    .or_insert((0, 0));
+                e.0 += bp;
+                e.1 += 1;
+                self.touch(scope, t);
+            }
+            "pert/srtt" => self.touch(scope, t),
+            "truth/qdelay" => {
+                let win = quantize_us(t) / FIDELITY_WINDOW_US;
+                let us = quantize_us(value);
+                let e = self
+                    .fid_scope(scope)
+                    .truth_qd
+                    .entry((key, win))
+                    .or_insert((0, 0));
+                e.0 += us;
+                e.1 += 1;
+            }
+            "truth/prob" => {
+                let win = quantize_us(t) / FIDELITY_WINDOW_US;
+                let bp = prob_bp(value);
+                let e = self
+                    .fid_scope(scope)
+                    .truth_p
+                    .entry((key, win))
+                    .or_insert((0, 0));
+                e.0 += bp;
+                e.1 += 1;
+            }
             "shard/events" => {
                 *self.shard_events.entry(key).or_insert(0) += value as u64;
             }
@@ -229,6 +340,13 @@ impl DeriveSet {
         self.cc_min_rtt_us = self.cc_min_rtt_us.min(other.cc_min_rtt_us);
         self.cc_bbr_transitions += other.cc_bbr_transitions;
         self.cc_probe_rtt_entries += other.cc_probe_rtt_entries;
+        for (scope, fs) in &other.fid {
+            if let Some(mine) = self.fid.get_mut(scope) {
+                mine.merge(fs);
+            } else {
+                self.fid.insert(scope.clone(), fs.clone());
+            }
+        }
     }
 
     /// True when no record has contributed anything.
@@ -246,6 +364,7 @@ impl DeriveSet {
             && self.shard_wait_ns.is_empty()
             && self.shard_samples == 0
             && !self.cc_active()
+            && self.fid.values().all(FidScope::is_empty)
     }
 
     /// True when any congestion-control-zoo record has arrived.
@@ -324,7 +443,218 @@ impl DeriveSet {
             pert,
             shards: self.shard_summary(),
             cc,
+            fidelity: self.fidelity_summary(),
         }
+    }
+
+    /// Pair windowed estimates with windowed truth and reduce to the
+    /// fidelity block. All arithmetic is integer over `BTreeMap`s built
+    /// by commutative accumulation, so the result is order-independent.
+    fn fidelity_summary(&self) -> Option<FidelitySummary> {
+        struct FlowAcc {
+            windows: u64,
+            err_sum: i128,
+            abs: BucketHistogram,
+        }
+        struct GroupAcc {
+            flows: std::collections::BTreeSet<u64>,
+            windows: u64,
+            err_sum: i128,
+            abs: BucketHistogram,
+            paired_prob: u64,
+            agree: u64,
+        }
+
+        let mut abs = BucketHistogram::new(&QDELAY_EDGES_US);
+        let mut pos = BucketHistogram::new(&QDELAY_EDGES_US);
+        let mut neg = BucketHistogram::new(&QDELAY_EDGES_US);
+        let mut err_sum: i128 = 0;
+        let mut windows: u64 = 0;
+        let mut paired_prob: u64 = 0;
+        let mut agree: u64 = 0;
+        let mut all_flows = std::collections::BTreeSet::new();
+        let mut flow_acc: BTreeMap<u64, FlowAcc> = BTreeMap::new();
+        let mut group_acc: BTreeMap<&str, GroupAcc> = BTreeMap::new();
+        let mut lag_acc: BTreeMap<u64, (i128, u64)> = BTreeMap::new();
+        let mut scopes_used: u64 = 0;
+
+        for (scope, fs) in &self.fid {
+            // The scope's bottleneck is the truth link with the most
+            // qdelay samples (ties break to the lowest link id) — the
+            // link PERT's estimator is actually tracking.
+            let mut per_key: BTreeMap<u64, u64> = BTreeMap::new();
+            for ((k, _), (_, n)) in &fs.truth_qd {
+                *per_key.entry(*k).or_insert(0) += n;
+            }
+            let Some(bkey) = per_key
+                .iter()
+                .max_by_key(|(k, n)| (**n, std::cmp::Reverse(**k)))
+                .map(|(k, _)| *k)
+            else {
+                continue;
+            };
+            // window → truth mean (µs / bp) on the bottleneck link.
+            let win_mean = |m: &HashMap<(u64, u64), (u64, u64)>| -> BTreeMap<u64, u64> {
+                m.iter()
+                    .filter(|((k, _), _)| *k == bkey)
+                    .map(|((_, w), (sum, n))| (*w, sum / n))
+                    .collect()
+            };
+            let tq = win_mean(&fs.truth_qd);
+            let tp = win_mean(&fs.truth_p);
+            let group = scope.rsplit('/').next().unwrap_or(scope.as_str());
+            let mut contributed = false;
+
+            // Signed qdelay error, flow by flow, window by window.
+            let mut pooled: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+            for ((flow, win), (sum, n)) in &fs.est_qd {
+                let e = pooled.entry(*win).or_insert((0, 0));
+                e.0 += sum;
+                e.1 += n;
+                let Some(&t) = tq.get(win) else { continue };
+                let est = sum / n;
+                let err = est as i128 - i128::from(t);
+                let mag = err.unsigned_abs() as u64;
+                abs.observe(mag);
+                if err >= 0 {
+                    pos.observe(mag);
+                } else {
+                    neg.observe(mag);
+                }
+                err_sum += err;
+                windows += 1;
+                contributed = true;
+                all_flows.insert(*flow);
+                let fa = flow_acc.entry(*flow).or_insert_with(|| FlowAcc {
+                    windows: 0,
+                    err_sum: 0,
+                    abs: BucketHistogram::new(&QDELAY_EDGES_US),
+                });
+                fa.windows += 1;
+                fa.err_sum += err;
+                fa.abs.observe(mag);
+                let ga = group_acc.entry(group).or_insert_with(|| GroupAcc {
+                    flows: std::collections::BTreeSet::new(),
+                    windows: 0,
+                    err_sum: 0,
+                    abs: BucketHistogram::new(&QDELAY_EDGES_US),
+                    paired_prob: 0,
+                    agree: 0,
+                });
+                ga.flows.insert(*flow);
+                ga.windows += 1;
+                ga.err_sum += err;
+                ga.abs.observe(mag);
+            }
+
+            // Emulation agreement on the probability pair.
+            for ((flow, win), (sum, n)) in &fs.est_p {
+                let Some(&t) = tp.get(win) else { continue };
+                let ok = agreement_ok(sum / n, t);
+                paired_prob += 1;
+                agree += u64::from(ok);
+                contributed = true;
+                all_flows.insert(*flow);
+                let ga = group_acc.entry(group).or_insert_with(|| GroupAcc {
+                    flows: std::collections::BTreeSet::new(),
+                    windows: 0,
+                    err_sum: 0,
+                    abs: BucketHistogram::new(&QDELAY_EDGES_US),
+                    paired_prob: 0,
+                    agree: 0,
+                });
+                ga.flows.insert(*flow);
+                ga.paired_prob += 1;
+                ga.agree += u64::from(ok);
+            }
+
+            // Lag correlation: truth at window w against the pooled
+            // estimate at w + offset (the estimator trails the router).
+            for off in FIDELITY_LAG_WINDOWS {
+                let pairs: Vec<(i128, i128)> = tq
+                    .iter()
+                    .filter_map(|(w, t)| {
+                        let (sum, n) = pooled.get(&(w + off))?;
+                        Some((i128::from(*t), (sum / n) as i128))
+                    })
+                    .collect();
+                if let Some(r) = pearson_milli(&pairs) {
+                    let e = lag_acc
+                        .entry(off * (FIDELITY_WINDOW_US / 1_000))
+                        .or_insert((0, 0));
+                    e.0 += i128::from(r);
+                    e.1 += 1;
+                }
+            }
+            scopes_used += u64::from(contributed);
+        }
+
+        if windows == 0 && paired_prob == 0 {
+            return None;
+        }
+
+        let mean_err = |sum: i128, n: u64| -> i64 {
+            if n == 0 {
+                0
+            } else {
+                (sum / i128::from(n)) as i64
+            }
+        };
+        let mut worst_flows: Vec<FlowFidelity> = flow_acc
+            .iter()
+            .map(|(flow, fa)| FlowFidelity {
+                key: *flow,
+                windows: fa.windows,
+                bias_us: mean_err(fa.err_sum, fa.windows),
+                abs_p95_us: fa.abs.percentile_upper(95).unwrap_or(0),
+            })
+            .collect();
+        // Worst first: largest |bias|, ties to the lower flow key.
+        worst_flows.sort_by_key(|f| (std::cmp::Reverse(f.bias_us.unsigned_abs()), f.key));
+        worst_flows.truncate(8);
+
+        let groups = group_acc
+            .iter()
+            .map(|(name, ga)| GroupFidelity {
+                name: (*name).to_owned(),
+                flows: ga.flows.len() as u64,
+                windows: ga.windows,
+                bias_us: mean_err(ga.err_sum, ga.windows),
+                abs_p95_us: ga.abs.percentile_upper(95).unwrap_or(0),
+                paired_prob: ga.paired_prob,
+                agree: ga.agree,
+                agree_bp: rate_bp(ga.agree, ga.paired_prob),
+            })
+            .collect();
+
+        let lag = lag_acc
+            .iter()
+            .map(|(off_ms, (sum, n))| LagPoint {
+                offset_ms: *off_ms,
+                r_milli: mean_err(*sum, *n),
+                scopes: *n,
+            })
+            .collect();
+
+        Some(FidelitySummary {
+            scopes: scopes_used,
+            flows: all_flows.len() as u64,
+            windows,
+            bias_us: mean_err(err_sum, windows),
+            abs_p50_us: abs.percentile_upper(50).unwrap_or(0),
+            abs_p95_us: abs.percentile_upper(95).unwrap_or(0),
+            abs_p99_us: abs.percentile_upper(99).unwrap_or(0),
+            over_n: pos.total,
+            over_p95_us: pos.percentile_upper(95).unwrap_or(0),
+            under_n: neg.total,
+            under_p95_us: neg.percentile_upper(95).unwrap_or(0),
+            paired_prob,
+            agree,
+            agree_bp: rate_bp(agree, paired_prob),
+            lag,
+            worst_flows,
+            groups,
+        })
     }
 
     fn shard_summary(&self) -> Option<ShardSummary> {
@@ -424,12 +754,80 @@ fn quantize_milli(value: f64) -> u64 {
 }
 
 /// Seconds → whole microseconds, round-half-up, clamped at zero.
-fn quantize_us(seconds: f64) -> u64 {
+/// Public so offline tools (the trace CLI) bin by the same rule the
+/// online reducers use.
+pub fn quantize_us(seconds: f64) -> u64 {
     if seconds <= 0.0 {
         0
     } else {
         (seconds * 1e6).round() as u64
     }
+}
+
+/// Probability in `[0, 1]` → whole basis points, round-to-nearest.
+/// Public for the trace CLI (same quantization as the online path).
+pub fn prob_bp(p: f64) -> u64 {
+    if p <= 0.0 {
+        0
+    } else {
+        (p.min(1.0) * 10_000.0).round() as u64
+    }
+}
+
+/// Floor integer square root (deterministic; avoids float sqrt).
+fn isqrt_u128(v: u128) -> u128 {
+    if v < 2 {
+        return v;
+    }
+    // Newton's method from a power-of-two overestimate; converges in a
+    // handful of iterations for u128.
+    let mut x = 1u128 << (v.ilog2() / 2 + 1);
+    loop {
+        let next = (x + v / x) / 2;
+        if next >= x {
+            return x;
+        }
+        x = next;
+    }
+}
+
+/// Pearson correlation over integer pairs, in milli-units (±1000).
+/// `None` when fewer than two pairs or either series is constant.
+fn pearson_milli(pairs: &[(i128, i128)]) -> Option<i64> {
+    let n = pairs.len() as i128;
+    if n < 2 {
+        return None;
+    }
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0i128, 0i128, 0i128, 0i128, 0i128);
+    for &(x, y) in pairs {
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        syy += y * y;
+        sxy += x * y;
+    }
+    let num = n * sxy - sx * sy;
+    let vx = n * sxx - sx * sx;
+    let vy = n * syy - sy * sy;
+    if vx <= 0 || vy <= 0 {
+        return None;
+    }
+    // Root each variance separately: the product of the variances can
+    // overflow i128 for long window series, their roots cannot.
+    let den = isqrt_u128(vx as u128) * isqrt_u128(vy as u128);
+    if den == 0 {
+        return None;
+    }
+    Some(((num * 1_000) / den as i128) as i64)
+}
+
+/// Emulation-agreement tolerance: the estimate agrees with the router
+/// truth when the probabilities are within `max(100 bp, truth/4)` of
+/// each other — an absolute floor of one percentage point, widening to
+/// ±25 % relative once the truth probability is substantial. Public so
+/// the trace CLI applies the identical rule offline.
+pub fn agreement_ok(est_bp: u64, truth_bp: u64) -> bool {
+    est_bp.abs_diff(truth_bp) <= (truth_bp / 4).max(100)
 }
 
 /// `part / whole` in basis points, round-to-nearest.
@@ -562,9 +960,99 @@ pub struct CcSummary {
     pub bbr_probe_rtt_entries: u64,
 }
 
+/// One flow's estimator-error fidelity (worst offenders are reported).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowFidelity {
+    /// Flow telemetry key (the controller's construction seed).
+    pub key: u64,
+    /// Paired 10 ms windows behind the numbers.
+    pub windows: u64,
+    /// Mean signed estimate−truth queueing-delay error, µs (positive =
+    /// the end host overestimates the router's queue).
+    pub bias_us: i64,
+    /// 95th-percentile |error| upper bucket edge, µs.
+    pub abs_p95_us: u64,
+}
+
+/// Fidelity rolled up per job group (the scope label's last `/`
+/// segment — the congestion-control scheme in fig6/mix6/mix12 runs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupFidelity {
+    /// Group name (e.g. `PERT`, `pert+cubic`).
+    pub name: String,
+    /// Distinct flows paired in this group.
+    pub flows: u64,
+    /// Paired qdelay windows.
+    pub windows: u64,
+    /// Mean signed qdelay error, µs.
+    pub bias_us: i64,
+    /// 95th-percentile |error| upper bucket edge, µs.
+    pub abs_p95_us: u64,
+    /// Paired probability windows.
+    pub paired_prob: u64,
+    /// Paired windows within the agreement tolerance.
+    pub agree: u64,
+    /// Agreement rate, basis points of paired windows.
+    pub agree_bp: u64,
+}
+
+/// Truth↔estimate cross-correlation at one lag offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LagPoint {
+    /// Estimate lag behind truth, milliseconds.
+    pub offset_ms: u64,
+    /// Mean Pearson correlation across scopes, milli-units (±1000).
+    pub r_milli: i64,
+    /// Scopes contributing a defined correlation at this offset.
+    pub scopes: u64,
+}
+
+/// How faithfully the end-host PERT estimator tracked the real router:
+/// signed error distribution, per-flow bias, lag correlation, and the
+/// emulation agreement rate. See `DESIGN.md` §12 for the pairing rule
+/// and tolerance definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FidelitySummary {
+    /// Scopes (jobs) that produced at least one truth↔estimate pair.
+    pub scopes: u64,
+    /// Distinct flows paired across all scopes.
+    pub flows: u64,
+    /// Paired qdelay windows (flow × window).
+    pub windows: u64,
+    /// Mean signed estimate−truth qdelay error, µs.
+    pub bias_us: i64,
+    /// Median |error| upper bucket edge, µs.
+    pub abs_p50_us: u64,
+    /// 95th-percentile |error| upper bucket edge, µs.
+    pub abs_p95_us: u64,
+    /// 99th-percentile |error| upper bucket edge, µs.
+    pub abs_p99_us: u64,
+    /// Windows where the estimate ≥ truth (overestimation side).
+    pub over_n: u64,
+    /// 95th-percentile overestimation error, µs.
+    pub over_p95_us: u64,
+    /// Windows where the estimate < truth (underestimation side).
+    pub under_n: u64,
+    /// 95th-percentile underestimation magnitude, µs.
+    pub under_p95_us: u64,
+    /// Paired probability windows.
+    pub paired_prob: u64,
+    /// Paired windows where PERT's probability was within tolerance of
+    /// the router-truth AQM probability.
+    pub agree: u64,
+    /// Emulation agreement rate, basis points of paired windows.
+    pub agree_bp: u64,
+    /// Lag correlation, one point per offset (ascending).
+    pub lag: Vec<LagPoint>,
+    /// Worst flows by |bias| (at most 8, ties to the lower key).
+    pub worst_flows: Vec<FlowFidelity>,
+    /// Per-group (cc-scheme) breakdown, sorted by name.
+    pub groups: Vec<GroupFidelity>,
+}
+
 /// The derived-metrics block of a report: everything integer, so text
 /// and JSON renderings are byte-stable.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DerivedSummary {
     /// Queueing-delay distribution, if any samples arrived.
     pub qdelay: Option<QdelaySummary>,
@@ -581,6 +1069,9 @@ pub struct DerivedSummary {
     pub shards: Option<ShardSummary>,
     /// Congestion-control-zoo activity, if any CUBIC/BBR flow ran.
     pub cc: Option<CcSummary>,
+    /// Emulation fidelity (router truth vs PERT estimate), if both
+    /// sides of a pair were observed.
+    pub fidelity: Option<FidelitySummary>,
 }
 
 impl DerivedSummary {
@@ -593,6 +1084,7 @@ impl DerivedSummary {
             && self.pert.is_none()
             && self.shards.is_none()
             && self.cc.is_none()
+            && self.fidelity.is_none()
     }
 
     /// Append the text rendering (the `derived metrics:` report block).
@@ -655,6 +1147,48 @@ impl DerivedSummary {
                 c.bbr_min_rtt_us,
                 c.bbr_probe_rtt_entries
             ));
+        }
+        if let Some(f) = &self.fidelity {
+            out.push_str("\nfidelity:\n");
+            out.push_str(&format!(
+                "  pairs: scopes={} flows={} windows={}\n",
+                f.scopes, f.flows, f.windows
+            ));
+            if f.windows > 0 {
+                out.push_str(&format!(
+                    "  err: bias={}us abs_p50<={}us abs_p95<={}us abs_p99<={}us\n",
+                    f.bias_us, f.abs_p50_us, f.abs_p95_us, f.abs_p99_us
+                ));
+                out.push_str(&format!(
+                    "  err split: over n={} p95<={}us | under n={} p95<={}us\n",
+                    f.over_n, f.over_p95_us, f.under_n, f.under_p95_us
+                ));
+            }
+            if f.paired_prob > 0 {
+                out.push_str(&format!(
+                    "  agree: {}/{} ({}bp, tol max(100bp, truth/4))\n",
+                    f.agree, f.paired_prob, f.agree_bp
+                ));
+            }
+            if !f.lag.is_empty() {
+                out.push_str("  lag:");
+                for p in &f.lag {
+                    out.push_str(&format!(" r@{}ms={}", p.offset_ms, p.r_milli));
+                }
+                out.push_str(" milli\n");
+            }
+            for w in &f.worst_flows {
+                out.push_str(&format!(
+                    "  flow {}: windows={} bias={}us p95<={}us\n",
+                    w.key, w.windows, w.bias_us, w.abs_p95_us
+                ));
+            }
+            for g in &f.groups {
+                out.push_str(&format!(
+                    "  group {}: flows={} windows={} bias={}us p95<={}us agree={}bp\n",
+                    g.name, g.flows, g.windows, g.bias_us, g.abs_p95_us, g.agree_bp
+                ));
+            }
         }
     }
 
@@ -724,8 +1258,90 @@ impl DerivedSummary {
                 c.bbr_probe_rtt_entries
             ));
         }
+        if let Some(f) = &self.fidelity {
+            let lag = f
+                .lag
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"offset_ms\":{},\"r_milli\":{},\"scopes\":{}}}",
+                        p.offset_ms, p.r_milli, p.scopes
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            let worst = f
+                .worst_flows
+                .iter()
+                .map(|w| {
+                    format!(
+                        "{{\"key\":{},\"windows\":{},\"bias_us\":{},\"abs_p95_us\":{}}}",
+                        w.key, w.windows, w.bias_us, w.abs_p95_us
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            let groups = f
+                .groups
+                .iter()
+                .map(|g| {
+                    format!(
+                        "{{\"name\":\"{}\",\"flows\":{},\"windows\":{},\"bias_us\":{},\
+                         \"abs_p95_us\":{},\"paired_prob\":{},\"agree\":{},\"agree_bp\":{}}}",
+                        json_escape(&g.name),
+                        g.flows,
+                        g.windows,
+                        g.bias_us,
+                        g.abs_p95_us,
+                        g.paired_prob,
+                        g.agree,
+                        g.agree_bp
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            parts.push(format!(
+                "\"fidelity\":{{\"scopes\":{},\"flows\":{},\"windows\":{},\"bias_us\":{},\
+                 \"abs_p50_us\":{},\"abs_p95_us\":{},\"abs_p99_us\":{},\"over_n\":{},\
+                 \"over_p95_us\":{},\"under_n\":{},\"under_p95_us\":{},\"paired_prob\":{},\
+                 \"agree\":{},\"agree_bp\":{},\"lag\":[{}],\"worst_flows\":[{}],\
+                 \"groups\":[{}]}}",
+                f.scopes,
+                f.flows,
+                f.windows,
+                f.bias_us,
+                f.abs_p50_us,
+                f.abs_p95_us,
+                f.abs_p99_us,
+                f.over_n,
+                f.over_p95_us,
+                f.under_n,
+                f.under_p95_us,
+                f.paired_prob,
+                f.agree,
+                f.agree_bp,
+                lag,
+                worst,
+                groups
+            ));
+        }
         format!("{{{}}}", parts.join(","))
     }
+}
+
+/// Minimal JSON string escaping for scope-derived names (quotes,
+/// backslashes, control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -746,6 +1362,9 @@ mod tests {
             ("job/a", "tcp/acked_final", 8, 0.0, 60.0),
             ("job/b", "pert/response", 3, 2.5, 1.0),
             ("job/b", "pert/prob", 3, 9.0, 0.25),
+            ("job/a", "truth/qdelay", 0, 0.5, 0.012),
+            ("job/a", "truth/prob", 0, 0.5, 0.3),
+            ("job/b", "truth/qdelay", 1, 9.0, 0.001),
         ];
         let mut fwd = DeriveSet::new();
         for r in &records {
@@ -937,6 +1556,100 @@ mod tests {
             .summary()
             .render_json()
             .contains("\"cc\":{\"hystart_exits\":1,"));
+    }
+
+    #[test]
+    fn fidelity_pairs_truth_and_estimate() {
+        let ingest_all = |d: &mut DeriveSet, rev: bool| {
+            let scope = "mix/5Mbps/PERT";
+            let mut records: Vec<(&str, u64, f64, f64)> = vec![
+                // Truth on link 0: 10 ms in window 0, 20 ms in window 1.
+                ("truth/qdelay", 0, 0.005, 0.010),
+                ("truth/qdelay", 0, 0.015, 0.020),
+                // Estimate on flow 42: +2 ms off in window 0, −5 ms in
+                // window 1.
+                ("pert/qdelay", 42, 0.006, 0.012),
+                ("pert/qdelay", 42, 0.016, 0.015),
+                // Probabilities: within tolerance in window 0 (4500 vs
+                // 5000 bp, tol 1250), far off in window 1 (5000 vs 100).
+                ("truth/prob", 0, 0.005, 0.50),
+                ("pert/prob", 42, 0.006, 0.45),
+                ("truth/prob", 0, 0.015, 0.01),
+                ("pert/prob", 42, 0.016, 0.50),
+            ];
+            if rev {
+                records.reverse();
+            }
+            for (series, key, t, v) in records {
+                d.ingest(scope, series, key, t, v);
+            }
+        };
+        let mut d = DeriveSet::new();
+        ingest_all(&mut d, false);
+        let f = d.summary().fidelity.unwrap();
+        assert_eq!((f.scopes, f.flows, f.windows), (1, 1, 2));
+        assert_eq!(f.bias_us, -1_500);
+        assert_eq!((f.abs_p50_us, f.abs_p95_us), (2_000, 5_000));
+        assert_eq!((f.over_n, f.over_p95_us), (1, 2_000));
+        assert_eq!((f.under_n, f.under_p95_us), (1, 5_000));
+        assert_eq!((f.paired_prob, f.agree, f.agree_bp), (2, 1, 5_000));
+        assert_eq!(f.groups.len(), 1);
+        let g = &f.groups[0];
+        assert_eq!(g.name, "PERT");
+        assert_eq!((g.flows, g.windows, g.agree_bp), (1, 2, 5_000));
+        assert_eq!(f.worst_flows.len(), 1);
+        assert_eq!(
+            (f.worst_flows[0].key, f.worst_flows[0].bias_us),
+            (42, -1_500)
+        );
+
+        // Ingestion order does not matter, and split+merge matches a
+        // single stream (the sharded-runner path).
+        let mut rev = DeriveSet::new();
+        ingest_all(&mut rev, true);
+        assert_eq!(d, rev);
+        assert_eq!(d.summary(), rev.summary());
+
+        // Truth without estimates (or vice versa) yields no block.
+        let mut t_only = DeriveSet::new();
+        t_only.ingest("j", "truth/qdelay", 0, 0.005, 0.010);
+        assert!(t_only.summary().fidelity.is_none());
+        assert!(!t_only.is_empty());
+        let mut e_only = DeriveSet::new();
+        e_only.ingest("j", "pert/qdelay", 1, 0.005, 0.010);
+        assert!(e_only.summary().fidelity.is_none());
+    }
+
+    #[test]
+    fn fidelity_lag_correlation_finds_the_shift() {
+        let mut d = DeriveSet::new();
+        // Zig-zag truth over windows 0..9; the estimate reproduces it
+        // exactly one window (10 ms) late.
+        let truth: [f64; 10] = [
+            0.001, 0.009, 0.002, 0.008, 0.003, 0.007, 0.001, 0.009, 0.002, 0.008,
+        ];
+        for (w, v) in truth.iter().enumerate() {
+            let t = w as f64 * 0.01 + 0.005;
+            d.ingest("j", "truth/qdelay", 0, t, *v);
+            d.ingest("j", "pert/qdelay", 7, t + 0.01, *v);
+        }
+        let f = d.summary().fidelity.unwrap();
+        let at = |ms: u64| f.lag.iter().find(|p| p.offset_ms == ms).unwrap().r_milli;
+        assert_eq!(at(10), 1_000, "exact one-window shift must correlate fully");
+        assert!(at(0) < 1_000, "unshifted correlation must be weaker");
+    }
+
+    #[test]
+    fn fidelity_bottleneck_is_the_busiest_truth_link() {
+        let mut d = DeriveSet::new();
+        // Link 5 has more truth samples than link 9; pairing must use
+        // link 5's means, so the window-0 error is 0, not 9 ms.
+        d.ingest("j", "truth/qdelay", 9, 0.005, 0.001);
+        d.ingest("j", "truth/qdelay", 5, 0.004, 0.010);
+        d.ingest("j", "truth/qdelay", 5, 0.006, 0.010);
+        d.ingest("j", "pert/qdelay", 1, 0.005, 0.010);
+        let f = d.summary().fidelity.unwrap();
+        assert_eq!((f.windows, f.bias_us), (1, 0));
     }
 
     #[test]

@@ -329,6 +329,13 @@ impl CcAlgorithm for PertCc {
 
     fn on_ack(&mut self, ctx: &mut CcContext<'_>) -> CcAction {
         ctx.reno_increase();
+        // Tag any response this ACK triggers with the sender's growth
+        // regime (`pert/response` telemetry carries it).
+        self.ctl.set_regime(if *ctx.cwnd < *ctx.ssthresh {
+            pert_core::pert::REGIME_SLOW_START
+        } else {
+            pert_core::pert::REGIME_CONG_AVOID
+        });
         let resp = match self.signal {
             DelaySignal::Rtt => self.ctl.on_ack(ctx.now, ctx.rtt),
             DelaySignal::OneWayDelay => self.ctl.on_ack_with_hold(ctx.now, ctx.owd, ctx.rtt),

@@ -93,6 +93,20 @@ for f in BENCH_*.json; do
                 continue
             fi
             ;;
+        fidelity)
+            # The fidelity-observatory acceptance figure: the attached
+            # run (truth taps + fidelity reducers) must stay within 15%
+            # of the BENCH_cc attached baseline. Both sides are ratios
+            # over the same-session plain run so a slow/noisy host
+            # cannot fake a pass or a fail.
+            ok=$(jq '((.metrics.attached_over_plain.value // 9999)
+                      <= ((.metrics.baseline_cc_attached_over_plain.value // 0) * 1.15))' "$f")
+            if [ "$ok" != "true" ]; then
+                echo "FAIL $f: attached/plain ratio exceeds the cc-zoo baseline by more than 15%" >&2
+                fail=1
+                continue
+            fi
+            ;;
         shard_weights)
             # The PR-8 acceptance figures: profile-guided weights must
             # bring the max-shard event share to 65% or below, and must
